@@ -1,0 +1,67 @@
+"""Figure 8 (and appendix Figures 10/11): per-query improvement over
+Postgres, clustered by the query's Postgres runtime interval.
+
+Paper: on short-running (OLTP-like) queries Postgres wins — estimation
+latency dominates and even TrueCard barely helps; on long-running queries
+the learned/bound methods' better plans dominate.
+"""
+
+import numpy as np
+
+from repro.utils import format_table
+
+
+def bucket_improvements(results, baseline_name="Postgres",
+                        method_names=("TrueCard", "DataDriven", "PessEst",
+                                      "FactorJoin")):
+    base = results[baseline_name].per_query
+    base_times = np.array([r.end_to_end_seconds for r in base])
+    edges = np.quantile(base_times[base_times > 0],
+                        [0.0, 0.33, 0.66, 0.9, 1.0])
+    rows = []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        mask = (base_times >= lo) & (base_times <= hi)
+        row = [f"{lo * 1e3:.2f}ms - {hi * 1e3:.2f}ms ({mask.sum()}q)"]
+        for name in method_names:
+            per_query = results[name].per_query
+            m_time = sum(per_query[i].end_to_end_seconds
+                         for i in np.nonzero(mask)[0]
+                         if per_query[i].supported)
+            b_time = base_times[mask].sum()
+            row.append(f"{(b_time - m_time) / b_time * 100:+.1f}%"
+                       if b_time > 0 else "n/a")
+        rows.append(row)
+    return rows, list(method_names)
+
+
+def test_figure8_per_query_stats(benchmark, stats_ctx, stats_results):
+    rows, names = bucket_improvements(stats_results)
+    print()
+    print(format_table(["Postgres runtime bucket"] + list(names), rows,
+                       title="Figure 8: improvement over Postgres by "
+                             "runtime interval (STATS-CEB)"))
+
+    # long-running bucket: the good methods must beat Postgres clearly
+    long_row = rows[-1]
+    fj_improvement = float(long_row[-1].rstrip("%"))
+    assert fj_improvement > 0
+
+    # short-running bucket: improvements are small or negative (planning
+    # latency dominates), mirroring the paper's OLTP observation
+    short_row = rows[0]
+    fj_short = float(short_row[-1].rstrip("%"))
+    assert fj_short < max(25.0, fj_improvement)
+
+    benchmark(lambda: bucket_improvements(stats_results))
+
+
+def test_figure11_per_query_imdb(benchmark, imdb_results):
+    rows, names = bucket_improvements(
+        imdb_results, method_names=("TrueCard", "PessEst", "FactorJoin"))
+    print()
+    print(format_table(["Postgres runtime bucket"] + list(names), rows,
+                       title="Figure 11 (appendix): improvement by runtime "
+                             "interval (IMDB-JOB)"))
+    assert rows, "bucketization produced no rows"
+    benchmark(lambda: bucket_improvements(
+        imdb_results, method_names=("TrueCard", "PessEst", "FactorJoin")))

@@ -1,0 +1,50 @@
+"""Table 1: taxonomy of CardEst methods.
+
+Each method class declares its techniques and qualitative properties
+(`MethodCharacteristics`); this bench renders the table and checks the rows
+the paper emphasizes.
+"""
+
+from dataclasses import fields
+
+from repro.baselines import (
+    FactorJoinMethod,
+    FanoutDataDrivenMethod,
+    JoinHistMethod,
+    MSCNMethod,
+    PessEstMethod,
+    PostgresMethod,
+    UBlockMethod,
+    WJSampleMethod,
+)
+from repro.utils import format_table
+
+METHODS = [PostgresMethod, JoinHistMethod, WJSampleMethod, MSCNMethod,
+           FanoutDataDrivenMethod, PessEstMethod, UBlockMethod,
+           FactorJoinMethod]
+
+
+def render_table1() -> str:
+    names = [m.name for m in METHODS]
+    rows = []
+    for f in fields(METHODS[0].characteristics):
+        row = [f.name.replace("_", " ")]
+        for m in METHODS:
+            row.append("Y" if getattr(m.characteristics, f.name) else "-")
+        rows.append(row)
+    return format_table(["characteristic"] + names, rows,
+                        title="Table 1: summary of CardEst methods")
+
+
+def test_table1_taxonomy(benchmark):
+    table = benchmark(render_table1)
+    print()
+    print(table)
+    # the paper's claim: FactorJoin alone combines binning + bound +
+    # learning without denormalizing or adding columns
+    fj = FactorJoinMethod.characteristics
+    assert fj.uses_binning and fj.uses_bound and fj.uses_machine_learning
+    assert not fj.denormalizes_join_tables
+    dd = FanoutDataDrivenMethod.characteristics
+    assert dd.denormalizes_join_tables and dd.adds_extra_columns
+    assert not dd.supports_cyclic_join

@@ -1,0 +1,61 @@
+"""IMDB-JOB walkthrough: the query classes only FactorJoin handles.
+
+Cyclic join templates, self joins of ``title`` through ``movie_link``, and
+LIKE string filters — the paper's Section 2.2 support matrix.  FactorJoin
+runs them all (with the sampling single-table estimator); the learned
+data-driven baseline must reject them.
+
+Run:  python examples/imdb_cyclic_and_like.py
+"""
+
+from repro.baselines import FanoutDataDrivenMethod
+from repro.core.estimator import FactorJoin, FactorJoinConfig
+from repro.engine import CardinalityExecutor
+from repro.sql import parse_query
+from repro.workloads.imdb_job import build_imdb_database
+
+QUERIES = {
+    "LIKE filter": (
+        "SELECT COUNT(*) FROM title t, movie_info mi "
+        "WHERE t.id = mi.movie_id AND t.title LIKE '%The%' "
+        "AND t.production_year > 1990"),
+    "cyclic alias graph": (
+        "SELECT COUNT(*) FROM title t, movie_info mi, movie_info_idx midx "
+        "WHERE t.id = mi.movie_id AND t.id = midx.movie_id "
+        "AND mi.movie_id = midx.movie_id AND t.production_year > 2000"),
+    "self join via movie_link": (
+        "SELECT COUNT(*) FROM title t1, title t2, movie_link ml "
+        "WHERE ml.movie_id = t1.id AND ml.linked_movie_id = t2.id "
+        "AND t1.production_year > 2000 AND t2.production_year < 1990"),
+}
+
+
+def main() -> None:
+    print("building IMDB-like database (21 tables, 11 key groups)...")
+    db = build_imdb_database(scale=0.1, seed=0)
+    executor = CardinalityExecutor(db)
+
+    # sampling estimator: the only single-table model that evaluates LIKE.
+    # (A generous rate for the tiny demo database — single-row hot keys
+    # are easy to miss at low rates, the failure mode the paper notes for
+    # highly selective IMDB predicates.)
+    model = FactorJoin(FactorJoinConfig(
+        n_bins=16, table_estimator="sampling", sample_rate=0.5))
+    model.fit(db)
+
+    data_driven = FanoutDataDrivenMethod().fit(db)
+
+    for label, sql in QUERIES.items():
+        query = parse_query(sql)
+        est = model.estimate(query)
+        true = executor.cardinality(query)
+        supported = data_driven.supports(query)
+        print(f"\n--- {label} ---")
+        print(f"  FactorJoin estimate: {est:,.0f}   true: {true:,.0f}"
+              f"   est/true: {est / max(true, 1):.2f}")
+        print(f"  learned data-driven supports it: {supported}"
+              f"   (paper Section 2.2: {'yes' if supported else 'no'})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim so ``pip install -e . --no-build-isolation`` works
+offline (no wheel package available for the PEP 517 editable path)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,46 @@
+"""FactorJoin reproduction: cardinality estimation for join queries.
+
+Public entry points::
+
+    from repro import FactorJoin, FactorJoinConfig, Database, parse_query
+
+    model = FactorJoin(FactorJoinConfig(n_bins=100)).fit(database)
+    card = model.estimate(parse_query("SELECT COUNT(*) FROM ..."))
+
+See :mod:`repro.workloads` for STATS-CEB / IMDB-JOB style benchmark
+builders, :mod:`repro.baselines` for the comparison estimators, and
+:mod:`repro.optimizer` for the end-to-end plan-quality evaluation.
+"""
+
+from repro.core.estimator import FactorJoin, FactorJoinConfig
+from repro.data import (
+    Column,
+    ColumnSchema,
+    Database,
+    DatabaseSchema,
+    DataType,
+    JoinRelation,
+    Table,
+    TableSchema,
+)
+from repro.engine import CardinalityExecutor
+from repro.sql import Query, parse_query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CardinalityExecutor",
+    "Column",
+    "ColumnSchema",
+    "Database",
+    "DatabaseSchema",
+    "DataType",
+    "FactorJoin",
+    "FactorJoinConfig",
+    "JoinRelation",
+    "parse_query",
+    "Query",
+    "Table",
+    "TableSchema",
+    "__version__",
+]

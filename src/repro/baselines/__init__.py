@@ -1,0 +1,33 @@
+"""Join-query cardinality estimation baselines (paper Section 6.1).
+
+Every method implements :class:`~repro.baselines.base.CardEstMethod` so the
+end-to-end harness can treat them uniformly: Postgres (Selinger), JoinHist,
+WJSample (wander join), MSCN (query-driven), a fanout-based learned
+data-driven estimator (the FLAT/DeepDB/BayesCard class), PessEst, U-Block,
+TrueCard, and FactorJoin itself.
+"""
+
+from repro.baselines.base import CardEstMethod, MethodCharacteristics
+from repro.baselines.factorjoin_method import FactorJoinMethod
+from repro.baselines.joinhist import JoinHistMethod
+from repro.baselines.postgres import PostgresMethod
+from repro.baselines.truecard import TrueCardMethod
+from repro.baselines.wjsample import WJSampleMethod
+from repro.baselines.pessimistic import PessEstMethod
+from repro.baselines.ublock import UBlockMethod
+from repro.baselines.mscn import MSCNMethod
+from repro.baselines.datadriven import FanoutDataDrivenMethod
+
+__all__ = [
+    "CardEstMethod",
+    "FactorJoinMethod",
+    "FanoutDataDrivenMethod",
+    "JoinHistMethod",
+    "MethodCharacteristics",
+    "MSCNMethod",
+    "PessEstMethod",
+    "PostgresMethod",
+    "TrueCardMethod",
+    "UBlockMethod",
+    "WJSampleMethod",
+]

@@ -1,0 +1,99 @@
+"""Common interface of join-level cardinality estimation methods.
+
+``MethodCharacteristics`` reproduces the rows of the paper's Table 1: each
+method declares which techniques it uses and which properties it satisfies,
+and the Table 1 bench simply renders these declarations.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.data.database import Database
+from repro.errors import UnsupportedQueryError
+from repro.sql.query import Query
+from repro.utils import Timer, pickled_size_bytes
+
+
+@dataclass(frozen=True)
+class MethodCharacteristics:
+    """Table 1 row: technique usage + qualitative performance properties."""
+
+    uses_sampling: bool = False
+    uses_machine_learning: bool = False
+    uses_query_information: bool = False
+    denormalizes_join_tables: bool = False
+    adds_extra_columns: bool = False
+    uses_binning: bool = False
+    uses_bound: bool = False
+    effective: bool = False
+    efficient: bool = False
+    small_model_size: bool = False
+    fast_training: bool = False
+    scalable_with_joins: bool = False
+    generalizes_to_new_queries: bool = False
+    supports_cyclic_join: bool = False
+
+
+class CardEstMethod(ABC):
+    """One join-query cardinality estimator under evaluation."""
+
+    name: str = "base"
+    characteristics: MethodCharacteristics = MethodCharacteristics()
+
+    def __init__(self):
+        self.fit_seconds = 0.0
+
+    def fit(self, database: Database,
+            workload: list[Query] | None = None) -> "CardEstMethod":
+        """Train on the database (query-driven methods also consume the
+        training workload).  Timing is recorded in ``fit_seconds``."""
+        with Timer() as timer:
+            self._fit(database, workload)
+        self.fit_seconds = timer.elapsed
+        return self
+
+    @abstractmethod
+    def _fit(self, database: Database,
+             workload: list[Query] | None) -> None:
+        ...
+
+    @abstractmethod
+    def estimate(self, query: Query) -> float:
+        """Estimated cardinality of one query."""
+
+    def estimate_subplans(self, query: Query,
+                          min_tables: int = 1) -> dict[frozenset, float]:
+        """Estimates for all connected sub-plans; default loops over
+        :meth:`estimate` (methods with progressive estimation override)."""
+        out: dict[frozenset, float] = {}
+        if min_tables <= 1:
+            for alias in query.aliases:
+                out[frozenset([alias])] = self.estimate(
+                    query.subquery({alias}))
+        for subset in query.connected_subsets(min_tables=2):
+            out[subset] = self.estimate(query.subquery(set(subset)))
+        return out
+
+    def supports(self, query: Query) -> bool:
+        """Whether the method can estimate this query at all (Table 1's
+        cyclic-join column; LIKE support is decided by the base estimator)."""
+        try:
+            self.check_supported(query)
+        except UnsupportedQueryError:
+            return False
+        return True
+
+    def check_supported(self, query: Query) -> None:
+        """Raise UnsupportedQueryError when the query is out of scope."""
+
+    def model_size_bytes(self) -> int:
+        return pickled_size_bytes(self)
+
+    def update(self, table_name: str, new_rows) -> None:
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support incremental updates")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,43 @@
+"""Adapter exposing :class:`repro.core.FactorJoin` as a CardEstMethod."""
+
+from __future__ import annotations
+
+from repro.baselines.base import CardEstMethod, MethodCharacteristics
+from repro.core.estimator import FactorJoin, FactorJoinConfig
+from repro.data.database import Database
+from repro.sql.query import Query
+
+
+class FactorJoinMethod(CardEstMethod):
+    name = "FactorJoin"
+    characteristics = MethodCharacteristics(
+        uses_sampling=True, uses_machine_learning=True,
+        uses_query_information=True, uses_binning=True, uses_bound=True,
+        effective=True, efficient=True, small_model_size=True,
+        fast_training=True, scalable_with_joins=True,
+        generalizes_to_new_queries=True, supports_cyclic_join=True)
+
+    def __init__(self, config: FactorJoinConfig | None = None, **kwargs):
+        super().__init__()
+        self._config = config if config is not None else FactorJoinConfig(
+            **kwargs)
+        self.model: FactorJoin | None = None
+
+    def _fit(self, database: Database, workload=None) -> None:
+        if workload and self._config.workload is None:
+            # optional workload-aware bin budgets (Section 4.2)
+            self._config.workload = workload
+        self.model = FactorJoin(self._config).fit(database)
+
+    def estimate(self, query: Query) -> float:
+        return self.model.estimate(query)
+
+    def estimate_subplans(self, query: Query,
+                          min_tables: int = 1) -> dict[frozenset, float]:
+        return self.model.estimate_subplans(query, min_tables=min_tables)
+
+    def model_size_bytes(self) -> int:
+        return self.model.model_size_bytes()
+
+    def update(self, table_name: str, new_rows) -> None:
+        self.model.update(table_name, new_rows)

@@ -1,0 +1,68 @@
+"""JoinHist: the classical join-histogram method (paper [7, 26, 29]).
+
+Reuses FactorJoin's machinery with the two classical simplifying
+assumptions restored: per-bin *join uniformity* (the distinct-value formula
+instead of the bound) and *attribute independence* (1-D histogram single
+table estimator instead of a learned model).  The paper's Table 8 rows are
+exactly the four combinations of these two switches.
+
+As in the paper (Section 6.1), cyclic and self joins are rejected — the
+classical construction assumes a tree of histogram multiplications.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import CardEstMethod, MethodCharacteristics
+from repro.core.estimator import FactorJoin, FactorJoinConfig
+from repro.data.database import Database
+from repro.errors import UnsupportedQueryError
+from repro.sql.query import Query
+
+
+class JoinHistMethod(CardEstMethod):
+    """JoinHist plus the two FactorJoin switches for the Table 8 ablation."""
+
+    name = "JoinHist"
+    characteristics = MethodCharacteristics(
+        uses_binning=True, efficient=True, small_model_size=True,
+        fast_training=True, scalable_with_joins=True,
+        generalizes_to_new_queries=True)
+
+    def __init__(self, n_bins: int = 100, with_bound: bool = False,
+                 with_conditional: bool = False, seed: int = 0):
+        super().__init__()
+        self.with_bound = with_bound
+        self.with_conditional = with_conditional
+        if with_bound and with_conditional:
+            self.name = "JoinHist+Both"
+        elif with_bound:
+            self.name = "JoinHist+Bound"
+        elif with_conditional:
+            self.name = "JoinHist+Conditional"
+        self._config = FactorJoinConfig(
+            n_bins=n_bins,
+            binning="equal_depth",
+            bound_mode="bound" if with_bound else "uniform",
+            table_estimator="bayescard" if with_conditional else "histogram1d",
+            seed=seed,
+        )
+
+    def _fit(self, database: Database, workload=None) -> None:
+        self.model = FactorJoin(self._config).fit(database)
+
+    def check_supported(self, query: Query) -> None:
+        if query.is_cyclic() or query.has_self_join():
+            raise UnsupportedQueryError(
+                f"{self.name} supports only tree join templates")
+
+    def estimate(self, query: Query) -> float:
+        self.check_supported(query)
+        return self.model.estimate(query)
+
+    def estimate_subplans(self, query: Query,
+                          min_tables: int = 1) -> dict[frozenset, float]:
+        self.check_supported(query)
+        return self.model.estimate_subplans(query, min_tables=min_tables)
+
+    def model_size_bytes(self) -> int:
+        return self.model.model_size_bytes()

@@ -1,0 +1,228 @@
+"""MSCN: learned query-driven estimation (paper [33], baseline 4).
+
+A multi-set convolutional network maps a featurized query — sets of tables
+(with sample bitmaps), joins, and filter predicates — to log(cardinality).
+Training requires an executed workload with true cardinalities; at
+estimation time inference is a few matrix multiplies.  The paper's critique
+(needs executed queries, degrades off-distribution, must retrain on data
+updates) is inherent in this construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import CardEstMethod, MethodCharacteristics
+from repro.baselines.nn import MSCNNetwork
+from repro.data.database import Database
+from repro.engine.executor import CardinalityExecutor
+from repro.engine.sampler import TableSample
+from repro.errors import NotFittedError
+from repro.sql.predicates import (
+    Between,
+    Comparison,
+    In,
+    IsNull,
+    Like,
+    Predicate,
+)
+from repro.sql.query import Query
+from repro.utils import resolve_rng
+
+_OPS = ("=", "!=", "<", "<=", ">", ">=", "between", "in", "like", "null")
+
+
+class _Featurizer:
+    """Stable featurization of queries against one database schema."""
+
+    def __init__(self, database: Database, bitmap_rows: int, seed: int):
+        rng = resolve_rng(seed)
+        self.table_ids = {name: i for i, name in
+                          enumerate(database.table_names)}
+        self.column_ids = {}
+        self.column_ranges = {}
+        for name in database.table_names:
+            table = database.table(name)
+            for cschema in database.schema.table(name).columns:
+                self.column_ids[(name, cschema.name)] = len(self.column_ids)
+                col = table[cschema.name]
+                vals = col.non_null_values()
+                if cschema.dtype.is_numeric and len(vals):
+                    self.column_ranges[(name, cschema.name)] = (
+                        float(np.min(vals)), float(np.max(vals)))
+        self.samples = {
+            name: TableSample(database.table(name), max_rows=bitmap_rows,
+                              rng=rng)
+            for name in database.table_names
+        }
+        self.bitmap_rows = bitmap_rows
+        self.n_table_feats = len(self.table_ids) + bitmap_rows
+        self.n_join_feats = 2 * len(self.column_ids)
+        self.n_pred_feats = len(self.column_ids) + len(_OPS) + 1
+
+    def featurize(self, query: Query) -> dict:
+        tables = []
+        for alias in query.aliases:
+            name = query.table_of(alias)
+            vec = np.zeros(self.n_table_feats)
+            vec[self.table_ids[name]] = 1.0
+            bitmap = self.samples[name].bitmap(query.filter_of(alias))
+            vec[len(self.table_ids):len(self.table_ids) + len(bitmap)] = bitmap
+            tables.append(vec)
+        joins = []
+        for join in query.joins:
+            vec = np.zeros(self.n_join_feats)
+            lid = self.column_ids.get(
+                (query.table_of(join.left.alias), join.left.column))
+            rid = self.column_ids.get(
+                (query.table_of(join.right.alias), join.right.column))
+            if lid is not None:
+                vec[lid] = 1.0
+            if rid is not None:
+                vec[len(self.column_ids) + rid] = 1.0
+            joins.append(vec)
+        preds = []
+        for alias, pred in query.filters.items():
+            name = query.table_of(alias)
+            for leaf in pred.conjuncts():
+                vec = self._predicate_vector(name, leaf)
+                if vec is not None:
+                    preds.append(vec)
+        return {"tables": tables, "joins": joins, "preds": preds}
+
+    def _predicate_vector(self, table: str, pred: Predicate) -> np.ndarray | None:
+        cols = pred.columns()
+        if len(cols) != 1:
+            return None
+        column = next(iter(cols))
+        cid = self.column_ids.get((table, column))
+        if cid is None:
+            return None
+        vec = np.zeros(self.n_pred_feats)
+        vec[cid] = 1.0
+        off = len(self.column_ids)
+
+        def normalize(value) -> float:
+            rng = self.column_ranges.get((table, column))
+            if rng is None or rng[1] == rng[0]:
+                return 0.5
+            return (float(value) - rng[0]) / (rng[1] - rng[0])
+
+        if isinstance(pred, Comparison) and not isinstance(pred.value, str):
+            vec[off + _OPS.index(pred.op)] = 1.0
+            vec[-1] = normalize(pred.value)
+        elif isinstance(pred, Comparison):
+            vec[off + _OPS.index(pred.op)] = 1.0
+            vec[-1] = 0.5
+        elif isinstance(pred, Between):
+            vec[off + _OPS.index("between")] = 1.0
+            vec[-1] = normalize(pred.high) - normalize(pred.low)
+        elif isinstance(pred, In):
+            vec[off + _OPS.index("in")] = 1.0
+            vec[-1] = min(1.0, len(pred.values) / 10.0)
+        elif isinstance(pred, Like):
+            vec[off + _OPS.index("like")] = 1.0
+            vec[-1] = min(1.0, len(pred.pattern) / 20.0)
+        elif isinstance(pred, IsNull):
+            vec[off + _OPS.index("null")] = 1.0
+            vec[-1] = 0.0 if pred.negated else 1.0
+        else:
+            vec[off + _OPS.index("=")] = 1.0
+            vec[-1] = 0.5
+        return vec
+
+
+def _pad_batch(featurized: list[dict], featurizer: "_Featurizer") -> dict:
+    """Stack variable-length sets into padded arrays + masks."""
+    def pad(key, width):
+        max_len = max(1, max(len(f[key]) for f in featurized))
+        arr = np.zeros((len(featurized), max_len, width))
+        mask = np.zeros((len(featurized), max_len), dtype=bool)
+        for i, f in enumerate(featurized):
+            for j, vec in enumerate(f[key]):
+                arr[i, j] = vec
+                mask[i, j] = True
+            if not f[key]:
+                mask[i, 0] = True  # empty set -> one zero element
+        return arr, mask
+
+    tables, tables_mask = pad("tables", featurizer.n_table_feats)
+    joins, joins_mask = pad("joins", featurizer.n_join_feats)
+    preds, preds_mask = pad("preds", featurizer.n_pred_feats)
+    return {"tables": tables, "tables_mask": tables_mask,
+            "joins": joins, "joins_mask": joins_mask,
+            "preds": preds, "preds_mask": preds_mask}
+
+
+class MSCNMethod(CardEstMethod):
+    name = "MSCN"
+    characteristics = MethodCharacteristics(
+        uses_machine_learning=True, uses_query_information=True,
+        uses_sampling=True, efficient=True, scalable_with_joins=True,
+        supports_cyclic_join=True)
+
+    def __init__(self, hidden: int = 64, epochs: int = 30,
+                 batch_size: int = 64, lr: float = 1e-3,
+                 bitmap_rows: int = 64, training_subplans: bool = True,
+                 max_training_queries: int = 2000, seed: int = 0):
+        super().__init__()
+        self._hidden = hidden
+        self._epochs = epochs
+        self._batch_size = batch_size
+        self._lr = lr
+        self._bitmap_rows = bitmap_rows
+        self._training_subplans = training_subplans
+        self._max_training = max_training_queries
+        self._seed = seed
+        self._net: MSCNNetwork | None = None
+
+    def _fit(self, database: Database, workload=None) -> None:
+        if not workload:
+            raise ValueError(
+                "MSCN is query-driven: it requires a training workload")
+        self._featurizer = _Featurizer(database, self._bitmap_rows,
+                                       self._seed)
+        executor = CardinalityExecutor(database)
+
+        # expand the workload to sub-plan queries with true cardinalities
+        # (the paper trains on ~100K sub-plan queries; we scale down)
+        training: list[tuple[Query, float]] = []
+        for query in workload:
+            if len(training) >= self._max_training:
+                break
+            if self._training_subplans:
+                cards = executor.subplan_cardinalities(query, min_tables=1)
+                for subset, card in cards.items():
+                    training.append((query.subquery(set(subset)), card))
+            else:
+                training.append((query, executor.cardinality(query)))
+        training = training[: self._max_training]
+
+        featurized = [self._featurizer.featurize(q) for q, _ in training]
+        log_cards = np.log1p(np.array([c for _, c in training]))
+        self._log_scale = max(float(log_cards.max()), 1.0)
+        targets_all = log_cards / self._log_scale
+
+        self._net = MSCNNetwork(
+            self._featurizer.n_table_feats, self._featurizer.n_join_feats,
+            self._featurizer.n_pred_feats, hidden=self._hidden,
+            seed=self._seed)
+        rng = resolve_rng(self._seed)
+        n = len(featurized)
+        for _ in range(self._epochs):
+            order = rng.permutation(n)
+            batches, targets = [], []
+            for start in range(0, n, self._batch_size):
+                idx = order[start:start + self._batch_size]
+                batches.append(_pad_batch([featurized[i] for i in idx],
+                                          self._featurizer))
+                targets.append(targets_all[idx])
+            self._net.train_epoch(batches, targets, lr=self._lr)
+
+    def estimate(self, query: Query) -> float:
+        if self._net is None:
+            raise NotFittedError("MSCNMethod not fitted")
+        batch = _pad_batch([self._featurizer.featurize(query)],
+                           self._featurizer)
+        pred = float(self._net.predict(batch)[0])
+        return float(np.expm1(max(pred, 0.0) * self._log_scale))

@@ -1,0 +1,134 @@
+"""Minimal neural-network library in pure numpy (powers the MSCN baseline).
+
+Implements exactly what a multi-set convolutional network needs: dense
+layers, ReLU, mean-pooling over masked sets, the Adam optimizer, and MSE
+training on mini-batches.  Gradients are hand-derived per layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils import resolve_rng
+
+
+class Dense:
+    """Fully connected layer with ReLU option; stores grads for Adam."""
+
+    def __init__(self, n_in: int, n_out: int, rng, relu: bool = True):
+        limit = np.sqrt(6.0 / (n_in + n_out))
+        self.w = rng.uniform(-limit, limit, size=(n_in, n_out))
+        self.b = np.zeros(n_out)
+        self.relu = relu
+        self._adam_state = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        z = x @ self.w + self.b
+        if self.relu:
+            self._mask = z > 0
+            return z * self._mask
+        return z
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self.relu:
+            grad = grad * self._mask
+        self.gw = self._x.reshape(-1, self._x.shape[-1]).T @ grad.reshape(
+            -1, grad.shape[-1])
+        self.gb = grad.reshape(-1, grad.shape[-1]).sum(axis=0)
+        return grad @ self.w.T
+
+    def adam_step(self, lr: float, beta1=0.9, beta2=0.999, eps=1e-8):
+        if self._adam_state is None:
+            self._adam_state = {
+                "t": 0,
+                "mw": np.zeros_like(self.w), "vw": np.zeros_like(self.w),
+                "mb": np.zeros_like(self.b), "vb": np.zeros_like(self.b),
+            }
+        s = self._adam_state
+        s["t"] += 1
+        for param, grad, m_key, v_key in ((self.w, self.gw, "mw", "vw"),
+                                          (self.b, self.gb, "mb", "vb")):
+            s[m_key] = beta1 * s[m_key] + (1 - beta1) * grad
+            s[v_key] = beta2 * s[v_key] + (1 - beta2) * grad ** 2
+            m_hat = s[m_key] / (1 - beta1 ** s["t"])
+            v_hat = s[v_key] / (1 - beta2 ** s["t"])
+            param -= lr * m_hat / (np.sqrt(v_hat) + eps)
+
+
+class SetEncoder:
+    """Two-layer MLP applied per set element, then masked mean pooling.
+
+    Input shape (batch, max_set, n_features) with boolean mask
+    (batch, max_set); output (batch, hidden).
+    """
+
+    def __init__(self, n_features: int, hidden: int, rng):
+        self.l1 = Dense(n_features, hidden, rng)
+        self.l2 = Dense(hidden, hidden, rng)
+
+    def forward(self, x: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        self._mask = mask
+        h = self.l2.forward(self.l1.forward(x))
+        m = mask[..., None].astype(float)
+        denom = np.maximum(m.sum(axis=1), 1.0)
+        self._denom = denom
+        return (h * m).sum(axis=1) / denom
+
+    def backward(self, grad: np.ndarray) -> None:
+        m = self._mask[..., None].astype(float)
+        g = grad[:, None, :] * m / self._denom[:, None, :]
+        self.l1.backward(self.l2.backward(g))
+
+    def layers(self):
+        return [self.l1, self.l2]
+
+
+class MSCNNetwork:
+    """Three set encoders (tables, joins, predicates) + output MLP."""
+
+    def __init__(self, n_table_feats: int, n_join_feats: int,
+                 n_pred_feats: int, hidden: int = 64, seed: int = 0):
+        rng = resolve_rng(seed)
+        self.tables = SetEncoder(n_table_feats, hidden, rng)
+        self.joins = SetEncoder(n_join_feats, hidden, rng)
+        self.preds = SetEncoder(n_pred_feats, hidden, rng)
+        self.out1 = Dense(hidden * 3, hidden, rng)
+        self.out2 = Dense(hidden, 1, rng, relu=False)
+
+    def forward(self, batch: dict) -> np.ndarray:
+        t = self.tables.forward(batch["tables"], batch["tables_mask"])
+        j = self.joins.forward(batch["joins"], batch["joins_mask"])
+        p = self.preds.forward(batch["preds"], batch["preds_mask"])
+        self._concat = np.concatenate([t, j, p], axis=1)
+        h = self.out1.forward(self._concat)
+        return self.out2.forward(h)[:, 0]
+
+    def backward(self, grad_out: np.ndarray) -> None:
+        grad = self.out1.backward(self.out2.backward(grad_out[:, None]))
+        hidden = grad.shape[1] // 3
+        self.tables.backward(grad[:, :hidden])
+        self.joins.backward(grad[:, hidden:2 * hidden])
+        self.preds.backward(grad[:, 2 * hidden:])
+
+    def layers(self):
+        return (self.tables.layers() + self.joins.layers()
+                + self.preds.layers() + [self.out1, self.out2])
+
+    def train_epoch(self, batches: list[dict], targets: list[np.ndarray],
+                    lr: float = 1e-3) -> float:
+        """One pass of Adam/MSE over pre-built batches; returns mean loss."""
+        total, count = 0.0, 0
+        for batch, y in zip(batches, targets):
+            pred = self.forward(batch)
+            err = pred - y
+            loss = float((err ** 2).mean())
+            self.backward(2 * err / len(err))
+            for layer in self.layers():
+                layer.adam_step(lr)
+            total += loss * len(err)
+            count += len(err)
+        return total / max(count, 1)
+
+    def predict(self, batch: dict) -> np.ndarray:
+        return self.forward(batch)

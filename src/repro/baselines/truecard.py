@@ -1,0 +1,28 @@
+"""TrueCard: the paper's optimal baseline — exact cardinalities, zero
+estimation latency charged (Section 6.1, baseline 10)."""
+
+from __future__ import annotations
+
+from repro.baselines.base import CardEstMethod, MethodCharacteristics
+from repro.data.database import Database
+from repro.engine.executor import CardinalityExecutor
+from repro.sql.query import Query
+
+
+class TrueCardMethod(CardEstMethod):
+    name = "TrueCard"
+    characteristics = MethodCharacteristics(
+        effective=True, efficient=True, small_model_size=True,
+        fast_training=True, scalable_with_joins=True,
+        generalizes_to_new_queries=True, supports_cyclic_join=True)
+
+    def _fit(self, database: Database, workload=None) -> None:
+        self._executor = CardinalityExecutor(database)
+
+    def estimate(self, query: Query) -> float:
+        return self._executor.cardinality(query)
+
+    def estimate_subplans(self, query: Query,
+                          min_tables: int = 1) -> dict[frozenset, float]:
+        return self._executor.subplan_cardinalities(query,
+                                                    min_tables=min_tables)

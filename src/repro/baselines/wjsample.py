@@ -1,0 +1,171 @@
+"""WJSample: wander join (paper [40], Section 6.1 baseline 3).
+
+Random walks over pre-built join indexes: a walk starts at a uniformly
+random row of the first alias and extends one alias at a time by picking a
+uniformly random matching row; the Horvitz-Thompson estimator multiplies the
+fan-outs along the path and rejects rows failing the filters.  The walk
+budget caps estimation latency, exactly like the paper's time-boxed runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import CardEstMethod, MethodCharacteristics
+from repro.data.database import Database
+from repro.engine.filter import evaluate_predicate
+from repro.sql.predicates import TruePredicate
+from repro.sql.query import Query
+from repro.utils import resolve_rng
+
+
+class _JoinIndex:
+    """value -> row ids of one key column (sorted arrays, binary search)."""
+
+    def __init__(self, values: np.ndarray, null_mask: np.ndarray):
+        valid = ~null_mask
+        rows = np.nonzero(valid)[0]
+        vals = values[valid].astype(np.int64)
+        order = np.argsort(vals, kind="stable")
+        self._vals = vals[order]
+        self._rows = rows[order]
+
+    def lookup(self, value: int) -> np.ndarray:
+        lo = np.searchsorted(self._vals, value, side="left")
+        hi = np.searchsorted(self._vals, value, side="right")
+        return self._rows[lo:hi]
+
+
+class WJSampleMethod(CardEstMethod):
+    name = "WJSample"
+    characteristics = MethodCharacteristics(
+        uses_sampling=True, small_model_size=True, fast_training=True,
+        generalizes_to_new_queries=True, supports_cyclic_join=True)
+
+    def __init__(self, walks_per_query: int = 200, seed: int = 0):
+        super().__init__()
+        self._walks = walks_per_query
+        self._rng = resolve_rng(seed)
+
+    def _fit(self, database: Database, workload=None) -> None:
+        self._db = database
+        self._indexes: dict[tuple[str, str], _JoinIndex] = {}
+        for name in database.table_names:
+            table = database.table(name)
+            for key in database.schema.table(name).key_columns:
+                col = table[key]
+                self._indexes[(name, key)] = _JoinIndex(col.values,
+                                                        col.null_mask)
+        # pre-computed filter masks are query-dependent; caching per query
+        self._mask_cache: dict = {}
+
+    def _filter_mask(self, query: Query, alias: str) -> np.ndarray | None:
+        pred = query.filter_of(alias)
+        table_name = query.table_of(alias)
+        if isinstance(pred, TruePredicate):
+            return None
+        key = (table_name, pred.to_sql(alias))
+        if key not in self._mask_cache:
+            self._mask_cache[key] = evaluate_predicate(
+                pred, self._db.table(table_name))
+        return self._mask_cache[key]
+
+    def estimate(self, query: Query) -> float:
+        order, conditions = self._walk_plan(query)
+        if order is None:
+            return 0.0
+        masks = {alias: self._filter_mask(query, alias)
+                 for alias in query.aliases}
+        first = order[0]
+        first_table = self._db.table(query.table_of(first))
+        n_first = len(first_table)
+        if n_first == 0:
+            return 0.0
+        total = 0.0
+        rng = self._rng
+        start_rows = rng.integers(0, n_first, size=self._walks)
+        for start in start_rows:
+            total += self._one_walk(query, order, conditions, masks,
+                                    int(start), n_first, rng)
+        return total / self._walks
+
+    def _one_walk(self, query, order, conditions, masks, start_row,
+                  n_first, rng) -> float:
+        rows = {order[0]: start_row}
+        weight = float(n_first)
+        first_mask = masks[order[0]]
+        if first_mask is not None and not first_mask[start_row]:
+            return 0.0
+        if not self._self_ok(query, order[0], start_row):
+            return 0.0
+        for alias in order[1:]:
+            cands = None
+            for (src_alias, src_col, dst_col) in conditions[alias]:
+                src_table = self._db.table(query.table_of(src_alias))
+                src_column = src_table[src_col]
+                src_row = rows[src_alias]
+                if src_column.null_mask[src_row]:
+                    return 0.0
+                value = int(src_column.values[src_row])
+                index = self._indexes[(query.table_of(alias), dst_col)]
+                matches = index.lookup(value)
+                cands = (matches if cands is None
+                         else np.intersect1d(cands, matches))
+                if len(cands) == 0:
+                    return 0.0
+            pick = int(cands[rng.integers(0, len(cands))])
+            weight *= len(cands)
+            mask = masks[alias]
+            if mask is not None and not mask[pick]:
+                return 0.0
+            if not self._self_ok(query, alias, pick):
+                return 0.0
+            rows[alias] = pick
+        return weight
+
+    def _self_ok(self, query: Query, alias: str, row: int) -> bool:
+        """Join conditions between two columns of the same alias."""
+        for col_a, col_b in self._self_conditions.get(alias, ()):
+            table = self._db.table(query.table_of(alias))
+            a, b = table[col_a], table[col_b]
+            if a.null_mask[row] or b.null_mask[row]:
+                return False
+            if a.values[row] != b.values[row]:
+                return False
+        return True
+
+    def _walk_plan(self, query: Query):
+        """Alias order plus, per alias, its binding conditions
+        (source_alias, source_column, this_alias_column)."""
+        aliases = list(query.aliases)
+        if not aliases:
+            return None, None
+        adj = query.adjacency()
+        order = [aliases[0]]
+        seen = {aliases[0]}
+        while len(order) < len(aliases):
+            progress = False
+            for alias in aliases:
+                if alias in seen:
+                    continue
+                if adj[alias] & seen:
+                    order.append(alias)
+                    seen.add(alias)
+                    progress = True
+            if not progress:
+                return None, None  # disconnected: not supported by walks
+        conditions: dict[str, list] = {a: [] for a in aliases}
+        self_conditions: dict[str, list] = {a: [] for a in aliases}
+        for join in query.joins:
+            la, ra = join.left.alias, join.right.alias
+            if la == ra:
+                self_conditions[la].append((join.left.column,
+                                            join.right.column))
+            elif order.index(la) < order.index(ra):
+                conditions[ra].append((la, join.left.column,
+                                       join.right.column))
+            else:
+                conditions[la].append((ra, join.right.column,
+                                       join.left.column))
+        self._self_conditions = self_conditions
+        return order, conditions

@@ -1,0 +1,119 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+summary    print the Table 2-style statistics of a synthetic benchmark
+compare    fit a method line-up and print the end-to-end comparison table
+estimate   fit FactorJoin on a benchmark and estimate one SQL query
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.estimator import FactorJoin, FactorJoinConfig
+from repro.engine import CardinalityExecutor
+from repro.eval.harness import (
+    default_methods,
+    end_to_end_table,
+    make_context,
+    run_end_to_end,
+)
+from repro.sql import parse_query
+from repro.utils import format_table
+
+
+def _add_benchmark_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--benchmark", choices=("stats", "imdb"),
+                        default="stats")
+    parser.add_argument("--scale", type=float, default=0.1,
+                        help="data size multiplier (default 0.1)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--queries", type=int, default=None,
+                        help="number of workload queries")
+    parser.add_argument("--max-tables", type=int, default=None,
+                        help="largest join template size")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FactorJoin reproduction: benchmarks and estimation")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_summary = sub.add_parser("summary", help="benchmark statistics")
+    _add_benchmark_args(p_summary)
+    p_summary.add_argument("--cardinalities", action="store_true",
+                           help="also compute the true cardinality range")
+
+    p_compare = sub.add_parser("compare", help="end-to-end comparison")
+    _add_benchmark_args(p_compare)
+    p_compare.add_argument("--bins", type=int, default=8)
+
+    p_estimate = sub.add_parser("estimate", help="estimate one query")
+    _add_benchmark_args(p_estimate)
+    p_estimate.add_argument("sql", help="SELECT COUNT(*) query text")
+    p_estimate.add_argument("--bins", type=int, default=8)
+    p_estimate.add_argument("--estimator", default="bayescard",
+                            choices=("bayescard", "sampling", "truescan",
+                                     "histogram1d"))
+    p_estimate.add_argument("--true", action="store_true",
+                            help="also compute the exact cardinality")
+    return parser
+
+
+def cmd_summary(args) -> int:
+    context = make_context(args.benchmark, scale=args.scale, seed=args.seed,
+                           n_queries=args.queries,
+                           max_tables=args.max_tables)
+    summary = context.benchmark.summary(with_cardinalities=args.cardinalities)
+    rows = [[key, str(value)] for key, value in summary.items()]
+    print(format_table(["statistic", "value"], rows,
+                       title=f"{context.benchmark.name} summary"))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    context = make_context(args.benchmark, scale=args.scale, seed=args.seed,
+                           n_queries=args.queries,
+                           max_tables=args.max_tables)
+    methods = default_methods(args.benchmark, seed=args.seed,
+                              n_bins=args.bins)
+    results = run_end_to_end(context, methods)
+    print(end_to_end_table(
+        results, title=f"End-to-end comparison on {context.benchmark.name}"))
+    return 0
+
+
+def cmd_estimate(args) -> int:
+    context = make_context(args.benchmark, scale=args.scale, seed=args.seed,
+                           n_queries=args.queries,
+                           max_tables=args.max_tables)
+    query = parse_query(args.sql)
+    model = FactorJoin(FactorJoinConfig(
+        n_bins=args.bins, table_estimator=args.estimator))
+    model.fit(context.database)
+    estimate = model.estimate(query)
+    print(f"estimate: {estimate:,.1f}")
+    if args.true:
+        true = CardinalityExecutor(context.database).cardinality(query)
+        ratio = estimate / max(true, 1.0)
+        print(f"true:     {true:,.1f}   (est/true {ratio:.3f})")
+    return 0
+
+
+COMMANDS = {
+    "summary": cmd_summary,
+    "compare": cmd_compare,
+    "estimate": cmd_estimate,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""FactorJoin core: key groups, binning, bin statistics, bound inference."""
+
+from repro.core.binning import (
+    Binning,
+    equal_depth_binning,
+    equal_width_binning,
+    gbsa_binning,
+    split_bin_budget,
+)
+from repro.core.bin_stats import BinStats, KeyStatistics
+from repro.core.estimator import FactorJoin, FactorJoinConfig
+from repro.core.key_groups import (
+    KeyGroup,
+    QueryKeyGroups,
+    query_key_groups,
+    schema_key_groups,
+)
+
+__all__ = [
+    "Binning",
+    "BinStats",
+    "equal_depth_binning",
+    "equal_width_binning",
+    "FactorJoin",
+    "FactorJoinConfig",
+    "gbsa_binning",
+    "KeyGroup",
+    "KeyStatistics",
+    "query_key_groups",
+    "QueryKeyGroups",
+    "schema_key_groups",
+    "split_bin_budget",
+]

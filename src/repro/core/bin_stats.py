@@ -1,0 +1,122 @@
+"""Per-bin statistics of join keys (paper Section 4.1 and Figure 5).
+
+For every join key and every bin the offline phase records:
+
+- ``totals``: how many rows fall in the bin,
+- ``mfv``: the most-frequent-value count ``V*`` (the quantity the
+  probabilistic bound divides by),
+- ``ndv``: distinct values in the bin (used by the JoinHist per-bin
+  distinct-value formula, the paper's "with Conditional" ablation).
+
+Exact per-value counts are retained so incremental updates (Section 4.3)
+keep the MFV exact: inserting rows only touches the affected values' counts
+and their bins' summaries, never the binning itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.binning import Binning
+from repro.errors import ReproError
+
+
+class BinStats:
+    """Summaries of one join key column under a fixed group binning."""
+
+    def __init__(self, binning: Binning, values: np.ndarray):
+        self._binning = binning
+        values = np.asarray(values, dtype=np.int64)
+        self._values, self._counts = np.unique(values, return_counts=True)
+        self._counts = self._counts.astype(np.float64)
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        k = self._binning.n_bins
+        bins = self._binning.assign(self._values)
+        self.totals = np.zeros(k, dtype=np.float64)
+        self.mfv = np.zeros(k, dtype=np.float64)
+        self.ndv = np.zeros(k, dtype=np.float64)
+        np.add.at(self.totals, bins, self._counts)
+        np.add.at(self.ndv, bins, 1.0)
+        np.maximum.at(self.mfv, bins, self._counts)
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def n_bins(self) -> int:
+        return self._binning.n_bins
+
+    @property
+    def binning(self) -> Binning:
+        return self._binning
+
+    @property
+    def total_rows(self) -> float:
+        return float(self.totals.sum())
+
+    def distribution(self) -> np.ndarray:
+        """Unconditional per-bin row counts (copy)."""
+        return self.totals.copy()
+
+    # -- incremental maintenance (Section 4.3) ------------------------------------
+
+    def insert(self, values: np.ndarray) -> None:
+        """Add rows; bins stay fixed, per-value counts updated exactly."""
+        values = np.asarray(values, dtype=np.int64)
+        if len(values) == 0:
+            return
+        new_vals, new_cnts = np.unique(values, return_counts=True)
+        self._merge(new_vals, new_cnts.astype(np.float64))
+
+    def delete(self, values: np.ndarray) -> None:
+        """Remove rows (counts floor at zero)."""
+        values = np.asarray(values, dtype=np.int64)
+        if len(values) == 0:
+            return
+        del_vals, del_cnts = np.unique(values, return_counts=True)
+        self._merge(del_vals, -del_cnts.astype(np.float64))
+
+    def _merge(self, vals: np.ndarray, deltas: np.ndarray) -> None:
+        merged_vals = np.union1d(self._values, vals)
+        merged_counts = np.zeros(len(merged_vals), dtype=np.float64)
+        merged_counts[np.searchsorted(merged_vals, self._values)] = self._counts
+        merged_counts[np.searchsorted(merged_vals, vals)] += deltas
+        keep = merged_counts > 0
+        self._values = merged_vals[keep]
+        self._counts = merged_counts[keep]
+        self._rebuild()
+
+
+class KeyStatistics:
+    """All bin statistics for one equivalent key group.
+
+    Holds the shared :class:`Binning` plus one :class:`BinStats` per member
+    key ``(table, column)``.
+    """
+
+    def __init__(self, group_name: str, binning: Binning):
+        self.group_name = group_name
+        self.binning = binning
+        self._per_key: dict[tuple[str, str], BinStats] = {}
+
+    def add_key(self, table: str, column: str, values: np.ndarray) -> None:
+        self._per_key[(table, column)] = BinStats(self.binning, values)
+
+    def stats_of(self, table: str, column: str) -> BinStats:
+        try:
+            return self._per_key[(table, column)]
+        except KeyError:
+            raise ReproError(
+                f"no bin statistics for key {table}.{column} in group "
+                f"{self.group_name!r}") from None
+
+    def has_key(self, table: str, column: str) -> bool:
+        return (table, column) in self._per_key
+
+    def insert(self, table: str, column: str, values: np.ndarray) -> None:
+        self.stats_of(table, column).insert(values)
+
+    @property
+    def keys(self) -> list[tuple[str, str]]:
+        return list(self._per_key)

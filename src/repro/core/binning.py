@@ -1,0 +1,265 @@
+"""Join-key domain binning (paper Section 4).
+
+A :class:`Binning` maps every value of an equivalent key group's domain to a
+bin id in ``[0, n_bins)``; the *same* binning is applied to every join key in
+the group so that equal values always land in equal bins (the correctness
+requirement stated under Equation 3).
+
+Three construction strategies are provided, matching the paper's ablation
+(Table 6): equal-width, equal-depth, and the Greedy Bin Selection Algorithm
+(GBSA, Algorithm 2) which minimizes the variance of value counts inside each
+bin across all keys of the group.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+class Binning:
+    """Value -> bin assignment over an integer key domain.
+
+    Bins are arbitrary subsets of the domain (GBSA groups values by count,
+    not by range), so the mapping is stored explicitly as a sorted domain
+    array plus a parallel bin-id array.  Values unseen at construction time
+    (inserted later; never joinable with trained stats anyway) are assigned
+    deterministically by ``value mod n_bins`` so all keys in a group agree.
+    """
+
+    __slots__ = ("domain", "bin_ids", "n_bins")
+
+    def __init__(self, domain: np.ndarray, bin_ids: np.ndarray, n_bins: int):
+        domain = np.asarray(domain, dtype=np.int64)
+        bin_ids = np.asarray(bin_ids, dtype=np.int64)
+        if domain.shape != bin_ids.shape:
+            raise ReproError("binning domain/bin_ids length mismatch")
+        order = np.argsort(domain, kind="stable")
+        self.domain = domain[order]
+        self.bin_ids = bin_ids[order]
+        if n_bins <= 0:
+            raise ReproError(f"n_bins must be positive, got {n_bins}")
+        if len(bin_ids) and bin_ids.max() >= n_bins:
+            raise ReproError("bin id out of range")
+        self.n_bins = int(n_bins)
+
+    def assign(self, values) -> np.ndarray:
+        """Vectorized bin lookup for an int array of key values."""
+        values = np.asarray(values, dtype=np.int64)
+        if len(self.domain) == 0:
+            return np.abs(values) % self.n_bins
+        pos = np.searchsorted(self.domain, values)
+        pos_clipped = np.minimum(pos, len(self.domain) - 1)
+        hit = self.domain[pos_clipped] == values
+        out = np.abs(values) % self.n_bins
+        out[hit] = self.bin_ids[pos_clipped[hit]]
+        return out
+
+    def __len__(self) -> int:
+        return self.n_bins
+
+    def __repr__(self) -> str:
+        return f"Binning(n_bins={self.n_bins}, domain_size={len(self.domain)})"
+
+
+# ---------------------------------------------------------------------------
+# naive strategies (Table 6 baselines)
+# ---------------------------------------------------------------------------
+
+def equal_width_binning(domain: np.ndarray, n_bins: int) -> Binning:
+    """Partition ``[min, max]`` of the domain into equal-width ranges."""
+    domain = np.unique(np.asarray(domain, dtype=np.int64))
+    if len(domain) == 0:
+        return Binning(domain, domain, max(1, n_bins))
+    n_bins = max(1, min(n_bins, len(domain)))
+    lo, hi = domain[0], domain[-1]
+    if hi == lo:
+        return Binning(domain, np.zeros(len(domain), np.int64), 1)
+    width = (hi - lo) / n_bins
+    ids = np.minimum(((domain - lo) / width).astype(np.int64), n_bins - 1)
+    return Binning(domain, ids, n_bins)
+
+
+def equal_depth_binning(domain: np.ndarray, counts: np.ndarray,
+                        n_bins: int) -> Binning:
+    """Bins holding roughly equal total row counts (DBMS-style histogram).
+
+    ``counts[i]`` is the total number of rows with value ``domain[i]``
+    summed over every key in the group.
+    """
+    domain = np.asarray(domain, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.float64)
+    order = np.argsort(domain, kind="stable")
+    domain, counts = domain[order], counts[order]
+    if len(domain) == 0:
+        return Binning(domain, domain, max(1, n_bins))
+    n_bins = max(1, min(n_bins, len(domain)))
+    cum = np.cumsum(counts)
+    total = cum[-1]
+    # target boundary for each value: which of the n_bins quantile slots
+    ids = np.minimum((cum - counts / 2) / total * n_bins,
+                     n_bins - 1).astype(np.int64)
+    return Binning(domain, ids, int(ids.max()) + 1)
+
+
+# ---------------------------------------------------------------------------
+# GBSA (Algorithm 2)
+# ---------------------------------------------------------------------------
+
+def _min_variance_bins(counts: np.ndarray, n_bins: int) -> list[np.ndarray]:
+    """Minimal-variance bins on a single key: sort values by count, then
+    equal-depth partition the count-sorted order so each bin groups values
+    of similar frequency (line 4 of Algorithm 2).
+
+    Returns a list of index arrays into the domain.
+    """
+    m = len(counts)
+    n_bins = max(1, min(n_bins, m))
+    order = np.argsort(counts, kind="stable")[::-1]
+    sorted_counts = counts[order]
+    cum = np.cumsum(sorted_counts)
+    total = cum[-1] if m else 0.0
+    if total <= 0:
+        # degenerate: all zero counts -> split evenly by position
+        splits = np.array_split(order, n_bins)
+        return [s for s in splits if len(s)]
+    slot = np.minimum((cum - sorted_counts / 2) / total * n_bins,
+                      n_bins - 1).astype(np.int64)
+    bins = []
+    for b in range(int(slot.max()) + 1):
+        members = order[slot == b]
+        if len(members):
+            bins.append(members)
+    return bins
+
+
+def _within_variance(values: np.ndarray) -> float:
+    """Sum of squared deviations from the mean (0 for <2 items)."""
+    if len(values) < 2:
+        return 0.0
+    return float(np.var(values) * len(values))
+
+
+def _bin_variance_for_key(bin_members: np.ndarray,
+                          key_counts: np.ndarray) -> float:
+    """Variance of one key's value counts inside a bin.
+
+    Only values the key actually contains (non-zero counts) participate —
+    a value absent from this key cannot be its MFV, and including zeros
+    would drown the outlier signal GBSA hunts for.
+    """
+    counts = key_counts[bin_members]
+    counts = counts[counts > 0]
+    return _within_variance(counts)
+
+
+def _min_variance_dichotomy(bin_members: np.ndarray,
+                            key_counts: np.ndarray
+                            ) -> tuple[np.ndarray, np.ndarray] | None:
+    """Split one bin in two, minimizing within-bin count variance for
+    ``key_counts`` (line 11 of Algorithm 2).  Returns None if unsplittable.
+    """
+    if len(bin_members) < 2:
+        return None
+    counts = key_counts[bin_members]
+    order = np.argsort(counts, kind="stable")
+    sorted_counts = counts[order].astype(np.float64)
+    m = len(sorted_counts)
+    prefix = np.cumsum(sorted_counts)
+    prefix_sq = np.cumsum(sorted_counts ** 2)
+    total, total_sq = prefix[-1], prefix_sq[-1]
+    cuts = np.arange(1, m)
+    nl = cuts.astype(np.float64)
+    nr = m - nl
+    sum_l, sq_l = prefix[cuts - 1], prefix_sq[cuts - 1]
+    sum_r, sq_r = total - sum_l, total_sq - sq_l
+    cost = (sq_l - sum_l ** 2 / nl) + (sq_r - sum_r ** 2 / nr)
+    best = int(np.argmin(cost)) + 1
+    members_sorted = bin_members[order]
+    return members_sorted[:best], members_sorted[best:]
+
+
+def gbsa_binning(key_columns: list[np.ndarray], n_bins: int) -> Binning:
+    """Greedy Bin Selection Algorithm over one equivalent key group.
+
+    ``key_columns`` holds the raw (non-null) value arrays of every join key
+    in the group.  Follows Algorithm 2: spend half the budget on
+    minimal-variance bins for the key with the largest domain, then
+    repeatedly dichotomize the highest-variance bins for each further key
+    with geometrically shrinking budget.
+    """
+    key_columns = [np.asarray(c, dtype=np.int64) for c in key_columns]
+    domain = np.unique(np.concatenate([c for c in key_columns])
+                       if key_columns else np.zeros(0, np.int64))
+    if len(domain) == 0:
+        return Binning(domain, domain, max(1, n_bins))
+    n_bins = max(1, min(n_bins, len(domain)))
+
+    # per-key counts aligned to the union domain
+    per_key_counts = []
+    domain_sizes = []
+    for col in key_columns:
+        vals, cnts = np.unique(col, return_counts=True)
+        aligned = np.zeros(len(domain), dtype=np.float64)
+        aligned[np.searchsorted(domain, vals)] = cnts
+        per_key_counts.append(aligned)
+        domain_sizes.append(len(vals))
+
+    if n_bins == 1 or not per_key_counts:
+        return Binning(domain, np.zeros(len(domain), np.int64), 1)
+
+    # line 3: sort keys by domain size (largest first)
+    key_order = np.argsort(domain_sizes)[::-1]
+    first_counts = per_key_counts[key_order[0]]
+    first_budget = max(1, n_bins // 2)
+    bins = _min_variance_bins(first_counts, first_budget)
+
+    remain = n_bins - len(bins)
+    for j in key_order[1:]:
+        if remain <= 0:
+            break
+        key_counts = per_key_counts[j]
+        variances = np.array([_bin_variance_for_key(b, key_counts)
+                              for b in bins])
+        split_budget = max(1, remain // 2) if len(key_order) > 2 else remain
+        order = np.argsort(variances)[::-1]
+        splits_done = 0
+        for p in order:
+            if splits_done >= split_budget or remain - splits_done <= 0:
+                break
+            if variances[p] <= 0:
+                break
+            parts = _min_variance_dichotomy(bins[p], key_counts)
+            if parts is None:
+                continue
+            bins[p] = parts[0]
+            bins.append(parts[1])
+            splits_done += 1
+        remain -= splits_done
+        if splits_done == 0:
+            # nothing left to improve for the remaining keys either
+            continue
+
+    bin_ids = np.zeros(len(domain), dtype=np.int64)
+    for b, members in enumerate(bins):
+        bin_ids[members] = b
+    return Binning(domain, bin_ids, len(bins))
+
+
+def split_bin_budget(total_budget: int, group_frequencies: dict[str, int],
+                     min_bins: int = 1) -> dict[str, int]:
+    """Workload-aware bin budget allocation (Section 4.2).
+
+    ``group_frequencies[name]`` counts how often the equivalent key group
+    appears in the observed workload; each group gets
+    ``k_i = K * n_i / sum(n_j)`` bins (at least ``min_bins``).
+    """
+    total_freq = sum(group_frequencies.values())
+    if total_freq <= 0:
+        even = max(min_bins, total_budget // max(1, len(group_frequencies)))
+        return {name: even for name in group_frequencies}
+    return {
+        name: max(min_bins, int(round(total_budget * freq / total_freq)))
+        for name, freq in group_frequencies.items()
+    }

@@ -1,0 +1,380 @@
+"""The FactorJoin cardinality estimator (the paper's contribution).
+
+Offline (``fit``, Section 3.3): discover equivalent key groups, bin their
+domains (GBSA by default, optionally workload-aware budgets), record per-bin
+MFV/total/NDV statistics, learn each table's Chow-Liu key tree conditionals
+(Section 5.1), and train one pluggable single-table estimator per table.
+
+Online (``estimate`` / ``estimate_subplans``): translate the query into
+factors over its equivalent key group variables and run bound-based
+variable elimination (Section 4) — progressively for sub-plans (Section 5.2).
+
+``update`` implements Section 4.3: incremental, bins stay fixed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import bound as bound_mod
+from repro.core.bin_stats import BinStats, KeyStatistics
+from repro.core.binning import (
+    Binning,
+    equal_depth_binning,
+    equal_width_binning,
+    gbsa_binning,
+    split_bin_budget,
+)
+from repro.core.factors import JoinFactor
+from repro.core.inference import (
+    ProgressiveSubplanEstimator,
+    estimate_subplans_independently,
+    fold_query,
+)
+from repro.core.key_groups import (
+    KeyGroup,
+    query_key_groups,
+    schema_key_groups,
+)
+from repro.data.database import Database
+from repro.data.table import Table
+from repro.errors import NotFittedError, UnsupportedQueryError
+from repro.estimators.base import make_table_estimator
+from repro.factorgraph.chow_liu import chow_liu_tree, joint_histogram
+from repro.sql.query import Query
+from repro.utils import Timer, pickled_size_bytes
+
+BINNING_STRATEGIES = ("gbsa", "equal_width", "equal_depth")
+
+
+@dataclass
+class FactorJoinConfig:
+    """Hyperparameters (paper Section 6.1 defaults: k=100, GBSA, BayesCard)."""
+
+    n_bins: int = 100
+    binning: str = "gbsa"
+    table_estimator: str = "bayescard"
+    bound_mode: str = bound_mod.BOUND
+    sample_rate: float = 0.05
+    max_sample_rows: int = 50_000
+    attribute_codes: int = 32
+    fit_sample_rows: int = 50_000
+    workload: list[Query] | None = None
+    total_bin_budget: int | None = None
+    seed: int = 0
+    estimator_kwargs: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.binning not in BINNING_STRATEGIES:
+            raise ValueError(f"unknown binning strategy {self.binning!r}; "
+                             f"choose from {BINNING_STRATEGIES}")
+        if self.bound_mode not in bound_mod.MODES:
+            raise ValueError(f"unknown bound mode {self.bound_mode!r}")
+
+
+class FactorJoin:
+    """Join-query cardinality estimation from single-table statistics."""
+
+    def __init__(self, config: FactorJoinConfig | None = None, **kwargs):
+        if config is None:
+            config = FactorJoinConfig(**kwargs)
+        elif kwargs:
+            raise ValueError("pass either a config object or kwargs, not both")
+        self.config = config
+        self._fitted = False
+        self.fit_seconds = 0.0
+        self.last_update_seconds = 0.0
+
+    # ------------------------------------------------------------------ fit --
+
+    def fit(self, database: Database) -> "FactorJoin":
+        with Timer() as timer:
+            self._fit(database)
+        self.fit_seconds = timer.elapsed
+        return self
+
+    def _fit(self, database: Database) -> None:
+        self._db = database
+        self._groups: list[KeyGroup] = schema_key_groups(database.schema)
+        self._group_of_key: dict[tuple[str, str], KeyGroup] = {}
+        for group in self._groups:
+            for member in group.members:
+                self._group_of_key[member] = group
+
+        budgets = self._bin_budgets()
+        self._key_stats: dict[str, KeyStatistics] = {}
+        for group in self._groups:
+            binning = self._build_binning(group, budgets[group.name])
+            stats = KeyStatistics(group.name, binning)
+            for table_name, column in group.members:
+                stats.add_key(table_name, column,
+                              self._key_values(table_name, column))
+            self._key_stats[group.name] = stats
+
+        self._table_estimators = {}
+        self._key_trees: dict[str, list[tuple[str, str]]] = {}
+        self._key_joints: dict[tuple[str, str, str], np.ndarray] = {}
+        for table_name in database.table_names:
+            self._fit_table(table_name)
+        self._fitted = True
+
+    def _bin_budgets(self) -> dict[str, int]:
+        """Per-group bin counts (Section 4.2 when a workload is given)."""
+        cfg = self.config
+        names = [g.name for g in self._groups]
+        if cfg.workload:
+            freqs = {name: 0 for name in names}
+            for query in cfg.workload:
+                q_groups = query_key_groups(query)
+                seen = set()
+                for refs in q_groups.members:
+                    ref = refs[0]
+                    member = (query.table_of(ref.alias), ref.column)
+                    group = self._group_of_key.get(member)
+                    if group is not None and group.name not in seen:
+                        freqs[group.name] += 1
+                        seen.add(group.name)
+            budget = cfg.total_bin_budget or cfg.n_bins * len(names)
+            return split_bin_budget(budget, freqs)
+        if cfg.total_bin_budget:
+            even = max(1, cfg.total_bin_budget // max(1, len(names)))
+            return {name: even for name in names}
+        return {name: cfg.n_bins for name in names}
+
+    def _key_values(self, table_name: str, column: str) -> np.ndarray:
+        col = self._db.table(table_name)[column]
+        return col.non_null_values().astype(np.int64)
+
+    def _build_binning(self, group: KeyGroup, n_bins: int) -> Binning:
+        columns = [self._key_values(t, c) for t, c in group.members]
+        columns = [c for c in columns if len(c)]
+        if not columns:
+            return Binning(np.zeros(0, np.int64), np.zeros(0, np.int64), 1)
+        if self.config.binning == "gbsa":
+            return gbsa_binning(columns, n_bins)
+        domain = np.unique(np.concatenate(columns))
+        if self.config.binning == "equal_width":
+            return equal_width_binning(domain, n_bins)
+        counts = np.zeros(len(domain))
+        for col in columns:
+            vals, cnts = np.unique(col, return_counts=True)
+            counts[np.searchsorted(domain, vals)] += cnts
+        return equal_depth_binning(domain, counts, n_bins)
+
+    def _fit_table(self, table_name: str) -> None:
+        cfg = self.config
+        table = self._db.table(table_name)
+        tschema = self._db.schema.table(table_name)
+        binnings = {
+            column: self._key_stats[self._group_of_key[(table_name,
+                                                        column)].name].binning
+            for column in tschema.key_columns
+        }
+        estimator = self._make_estimator()
+        estimator.fit(table, tschema, binnings)
+        self._table_estimators[table_name] = estimator
+
+        # Section 5.1: Chow-Liu tree over this table's join keys, with per-
+        # edge binned conditionals used to avoid the k^|JK| joint.
+        keys = tschema.key_columns
+        if len(keys) >= 2:
+            codes, cards = [], []
+            for column in keys:
+                col = table[column]
+                binning = binnings[column]
+                code = np.full(len(table), binning.n_bins, dtype=np.int64)
+                valid = ~col.null_mask
+                code[valid] = binning.assign(col.values[valid])
+                codes.append(code)
+                cards.append(binning.n_bins + 1)
+            matrix = np.stack(codes, axis=1)
+            edges = chow_liu_tree(matrix, cards)
+            tree = []
+            for pi, ci in edges:
+                parent, child = keys[pi], keys[ci]
+                joint = joint_histogram(matrix[:, pi], matrix[:, ci],
+                                        cards[pi], cards[ci])
+                # drop NULL codes; conditionals only describe joinable rows
+                self._key_joints[(table_name, parent, child)] = (
+                    joint[:-1, :-1])
+                tree.append((parent, child))
+            self._key_trees[table_name] = tree
+        else:
+            self._key_trees[table_name] = []
+
+    def _make_estimator(self):
+        cfg = self.config
+        kwargs = dict(cfg.estimator_kwargs)
+        if cfg.table_estimator == "sampling":
+            kwargs.setdefault("sample_rate", cfg.sample_rate)
+            kwargs.setdefault("max_sample_rows", cfg.max_sample_rows)
+            kwargs.setdefault("seed", cfg.seed)
+        elif cfg.table_estimator == "bayescard":
+            kwargs.setdefault("attribute_codes", cfg.attribute_codes)
+            kwargs.setdefault("fit_sample_rows", cfg.fit_sample_rows)
+            kwargs.setdefault("seed", cfg.seed)
+        return make_table_estimator(cfg.table_estimator, **kwargs)
+
+    # ------------------------------------------------------------- estimate --
+
+    def estimate(self, query: Query) -> float:
+        """Estimated (probabilistically upper-bounded) cardinality."""
+        self._check_fitted()
+        groups_q = query_key_groups(query)
+        provider = self._provider(groups_q)
+        return fold_query(query, provider, mode=self.config.bound_mode)
+
+    def estimate_subplans(self, query: Query, min_tables: int = 1,
+                          progressive: bool = True) -> dict[frozenset, float]:
+        """Estimates for every connected sub-plan (Section 5.2)."""
+        self._check_fitted()
+        groups_q = query_key_groups(query)
+        provider = self._provider(groups_q)
+        if progressive:
+            prog = ProgressiveSubplanEstimator(query, provider,
+                                               mode=self.config.bound_mode)
+            return prog.estimate_all(min_tables=min_tables)
+        return estimate_subplans_independently(
+            query, provider, mode=self.config.bound_mode,
+            min_tables=min_tables)
+
+    def _provider(self, groups_q):
+        def provider(query: Query, alias: str) -> JoinFactor:
+            return self.base_factor(query, alias, groups_q)
+        return provider
+
+    def base_factor(self, query: Query, alias: str, groups_q=None
+                    ) -> JoinFactor:
+        """Factor node of one table occurrence (Lemma 1's factor nodes)."""
+        self._check_fitted()
+        if groups_q is None:
+            groups_q = query_key_groups(query)
+        table_name = query.table_of(alias)
+        pred = query.filter_of(alias)
+        estimator = self._table_estimators[table_name]
+        total = estimator.estimate_row_count(pred)
+
+        vars_q = groups_q.vars_of_alias(alias)
+        totals: dict[int, np.ndarray] = {}
+        mfvs: dict[int, np.ndarray] = {}
+        ndvs: dict[int, np.ndarray] = {}
+        chosen_column: dict[int, str] = {}
+        for var in vars_q:
+            refs = groups_q.refs_of(alias, var)
+            ref_groups = {self._group_of_key.get((table_name, r.column))
+                          for r in refs}
+            if None in ref_groups or len(ref_groups) != 1:
+                raise UnsupportedQueryError(
+                    f"join keys of {alias} in one equivalence class must "
+                    f"belong to one declared key group: {refs}")
+            per_ref = []
+            for ref in refs:
+                stats = self._stats_for(table_name, ref.column)
+                dist = estimator.key_distribution(ref.column, pred)
+                per_ref.append((ref.column, dist, stats))
+            # several refs of one alias in the same variable means the join
+            # implies equality among them; the elementwise min is an upper
+            # bound of the rows satisfying all equalities
+            column, dist, stats = per_ref[0]
+            for _, other_dist, other_stats in per_ref[1:]:
+                dist = np.minimum(dist, other_dist)
+                stats = _min_stats(stats, other_stats)
+            chosen_column[var] = column
+            totals[var] = np.maximum(dist, 0.0)
+            mfvs[var] = stats.mfv.copy()
+            ndvs[var] = np.maximum(stats.ndv.copy(), 1.0)
+
+        conditionals = self._factor_conditionals(
+            table_name, vars_q, chosen_column)
+        return JoinFactor(tuple(vars_q), float(max(total, 0.0)),
+                          totals, mfvs, ndvs, conditionals)
+
+    def _factor_conditionals(self, table_name: str, vars_q: list[int],
+                             chosen_column: dict[int, str]) -> dict:
+        """Chow-Liu key-tree conditionals restricted to the query's vars."""
+        conditionals: dict[tuple[int, int], np.ndarray] = {}
+        column_var = {col: var for var, col in chosen_column.items()}
+        for parent, child in self._key_trees.get(table_name, []):
+            if parent in column_var and child in column_var:
+                joint = self._key_joints[(table_name, parent, child)]
+                row_sums = joint.sum(axis=1, keepdims=True)
+                cond = np.divide(joint, row_sums, out=np.zeros_like(joint),
+                                 where=row_sums > 0)
+                conditionals[(column_var[parent], column_var[child])] = cond
+        return conditionals
+
+    def _stats_for(self, table_name: str, column: str) -> BinStats:
+        group = self._group_of_key.get((table_name, column))
+        if group is None:
+            raise UnsupportedQueryError(
+                f"{table_name}.{column} is not a declared join key")
+        return self._key_stats[group.name].stats_of(table_name, column)
+
+    # --------------------------------------------------------------- update --
+
+    def update(self, table_name: str, new_rows: Table) -> None:
+        """Incremental insertion (Section 4.3): bins fixed, stats updated."""
+        self._check_fitted()
+        with Timer() as timer:
+            tschema = self._db.schema.table(table_name)
+            for column in tschema.key_columns:
+                group = self._group_of_key[(table_name, column)]
+                col = new_rows[column]
+                values = col.non_null_values().astype(np.int64)
+                self._key_stats[group.name].insert(table_name, column, values)
+            self._table_estimators[table_name].update(new_rows)
+            self._update_key_joints(table_name, new_rows)
+            self._db = self._db.insert(table_name, new_rows)
+        self.last_update_seconds = timer.elapsed
+
+    def _update_key_joints(self, table_name: str, new_rows: Table) -> None:
+        for parent, child in self._key_trees.get(table_name, []):
+            joint = self._key_joints[(table_name, parent, child)]
+            p_col, c_col = new_rows[parent], new_rows[child]
+            valid = ~p_col.null_mask & ~c_col.null_mask
+            if not valid.any():
+                continue
+            p_bin = self._binning_of(table_name, parent).assign(
+                p_col.values[valid])
+            c_bin = self._binning_of(table_name, child).assign(
+                c_col.values[valid])
+            joint += joint_histogram(p_bin, c_bin, joint.shape[0],
+                                     joint.shape[1])
+
+    def _binning_of(self, table_name: str, column: str) -> Binning:
+        group = self._group_of_key[(table_name, column)]
+        return self._key_stats[group.name].binning
+
+    # ----------------------------------------------------------- introspect --
+
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError("FactorJoin.fit was never called")
+
+    def model_size_bytes(self) -> int:
+        """Pickled size of everything the online phase needs."""
+        self._check_fitted()
+        return pickled_size_bytes(
+            (self._key_stats, self._table_estimators, self._key_joints,
+             self._key_trees))
+
+    def group_names(self) -> list[str]:
+        self._check_fitted()
+        return [g.name for g in self._groups]
+
+    def binning_for_group(self, name: str) -> Binning:
+        self._check_fitted()
+        return self._key_stats[name].binning
+
+
+def _min_stats(a: BinStats, b: BinStats):
+    """Elementwise-min view over two keys' bin summaries (self-join within
+    one alias).  Returns a lightweight object with the same attributes."""
+
+    class _View:
+        mfv = np.minimum(a.mfv, b.mfv)
+        ndv = np.minimum(a.ndv, b.ndv)
+
+    return _View()

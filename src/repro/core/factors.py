@@ -1,0 +1,197 @@
+"""Run-time factors for bound-based factor-graph inference.
+
+A :class:`JoinFactor` is the run-time object a factor node carries (paper
+Sections 3.3 / 5.2): for every equivalent-key-group *variable* it touches, an
+unnormalized binned distribution (``totals``), per-bin MFV counts (``mfvs``)
+and per-bin distinct counts (``ndvs``), plus optional two-dimensional
+conditional matrices along the table's Chow-Liu key tree (Section 5.1).
+
+``combine`` joins two factors: the per-bin bound over each shared variable is
+computed (Equation 5), their minimum total becomes the new cardinality
+estimate, and — exactly as Section 5.2 prescribes — the bounds become the new
+factor's unnormalized distribution while MFV counts multiply.  The result is
+again a :class:`JoinFactor`, so progressive sub-plan estimation is just a
+sequence of pairwise combinations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import bound as bound_mod
+from repro.utils import safe_div
+
+
+@dataclass
+class JoinFactor:
+    """Factor over zero or more group variables.
+
+    ``totals[v]`` sums (approximately) to ``total_estimate`` for every
+    variable ``v``; a factor with no variables is a scalar (a filtered table
+    with no join keys, or a fully-folded sub-plan).
+    """
+
+    vars: tuple[int, ...]
+    total_estimate: float
+    totals: dict[int, np.ndarray] = field(default_factory=dict)
+    mfvs: dict[int, np.ndarray] = field(default_factory=dict)
+    ndvs: dict[int, np.ndarray] = field(default_factory=dict)
+    conditionals: dict[tuple[int, int], np.ndarray] = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.vars = tuple(sorted(self.vars))
+        for v in self.vars:
+            if v not in self.totals:
+                raise ValueError(f"factor missing totals for variable {v}")
+            self.totals[v] = np.asarray(self.totals[v], dtype=np.float64)
+            if v not in self.mfvs:
+                self.mfvs[v] = np.ones_like(self.totals[v])
+            if v not in self.ndvs:
+                self.ndvs[v] = np.maximum(self.totals[v], 1.0)
+
+    def copy(self) -> "JoinFactor":
+        return JoinFactor(
+            self.vars,
+            self.total_estimate,
+            {v: t.copy() for v, t in self.totals.items()},
+            {v: m.copy() for v, m in self.mfvs.items()},
+            {v: d.copy() for v, d in self.ndvs.items()},
+            {e: c.copy() for e, c in self.conditionals.items()},
+        )
+
+    def conditional_to(self, u: int) -> tuple[int, np.ndarray] | None:
+        """A stored conditional connecting some other variable to ``u``.
+
+        Returns ``(v, P)`` where ``P[i, j] = P(u in bin j | v in bin i)``.
+        Conditionals stored in the opposite orientation are flipped via the
+        factor's own marginals (Bayes rule on binned counts).
+        """
+        for (a, b), matrix in self.conditionals.items():
+            if b == u and a in self.vars:
+                return a, matrix
+        for (a, b), matrix in self.conditionals.items():
+            if a == u and b in self.vars:
+                # flip P(b|u) into P(u|b) using totals[u] as the prior
+                joint = self.totals[u][:, None] * matrix  # (k_u, k_b)
+                col_sums = joint.sum(axis=0, keepdims=True)
+                flipped = np.divide(joint, col_sums,
+                                    out=np.zeros_like(joint),
+                                    where=col_sums > 0)
+                return b, flipped.T  # (k_b, k_u)
+        return None
+
+
+def combine(f1: JoinFactor, f2: JoinFactor, mode: str = bound_mod.BOUND
+            ) -> JoinFactor:
+    """Join two factors on their shared variables.
+
+    With no shared variables this is a cartesian product.  With several
+    shared variables (cyclic joins closing multiple conditions at once,
+    appendix Case 5) the bound is computed per shared variable and the
+    minimum is taken — joining on more conditions can only shrink the
+    result, so the minimum of valid upper bounds is a valid upper bound.
+    """
+    shared = sorted(set(f1.vars) & set(f2.vars))
+    if not shared:
+        return _cross(f1, f2)
+
+    per_var_bounds: dict[int, np.ndarray] = {}
+    per_var_sums: dict[int, float] = {}
+    for v in shared:
+        bounds = bound_mod.combine_per_bin(
+            mode,
+            [f1.totals[v], f2.totals[v]],
+            [f1.mfvs[v], f2.mfvs[v]],
+            [f1.ndvs[v], f2.ndvs[v]],
+        )
+        per_var_bounds[v] = bounds
+        per_var_sums[v] = float(bounds.sum())
+
+    estimate = min(per_var_sums.values())
+
+    out_vars = tuple(sorted(set(f1.vars) | set(f2.vars)))
+    totals: dict[int, np.ndarray] = {}
+    mfvs: dict[int, np.ndarray] = {}
+    ndvs: dict[int, np.ndarray] = {}
+
+    for v in shared:
+        scale = estimate / per_var_sums[v] if per_var_sums[v] > 0 else 0.0
+        totals[v] = per_var_bounds[v] * scale
+        mfvs[v] = f1.mfvs[v] * f2.mfvs[v]
+        ndvs[v] = np.minimum(f1.ndvs[v], f2.ndvs[v])
+
+    for source, other in ((f1, f2), (f2, f1)):
+        amp = _amplification(other, shared)
+        for u in source.vars:
+            if u in shared:
+                continue
+            totals[u] = _propagate(source, u, shared, totals, estimate)
+            mfvs[u] = source.mfvs[u] * amp
+            ndvs[u] = source.ndvs[u].copy()
+
+    conditionals = _merge_conditionals(f1, f2, out_vars)
+    return JoinFactor(out_vars, estimate, totals, mfvs, ndvs, conditionals)
+
+
+def _amplification(other: JoinFactor, shared: list[int]) -> float:
+    """Max join fan-out one row can get from ``other``: the smallest, over
+    shared variables, of ``other``'s largest per-bin MFV count."""
+    amps = []
+    for v in shared:
+        if v in other.mfvs and len(other.mfvs[v]):
+            amps.append(float(other.mfvs[v].max()))
+    if not amps:
+        return 1.0
+    return max(1.0, min(amps))
+
+
+def _propagate(source: JoinFactor, u: int, shared: list[int],
+               new_totals: dict[int, np.ndarray], estimate: float
+               ) -> np.ndarray:
+    """New distribution of a non-shared variable ``u`` of ``source``.
+
+    If the source factor stores a conditional between ``u`` and a shared
+    variable (the Chow-Liu key tree of Section 5.1), re-weight it by the
+    combined distribution of that variable; otherwise scale the old
+    distribution so it sums to the new estimate (independence).
+    """
+    link = source.conditional_to(u)
+    if link is not None:
+        v, matrix = link
+        if v in shared and v in new_totals:
+            weights = new_totals[v]
+            total = weights.sum()
+            if total > 0:
+                dist = (weights / total) @ matrix  # (k_u,)
+                return dist * estimate
+    scale = safe_div(estimate, source.total_estimate, 0.0)
+    return source.totals[u] * float(scale)
+
+
+def _cross(f1: JoinFactor, f2: JoinFactor) -> JoinFactor:
+    """Cartesian product of independent factors."""
+    estimate = f1.total_estimate * f2.total_estimate
+    totals: dict[int, np.ndarray] = {}
+    mfvs: dict[int, np.ndarray] = {}
+    ndvs: dict[int, np.ndarray] = {}
+    for source, other in ((f1, f2), (f2, f1)):
+        for u in source.vars:
+            totals[u] = source.totals[u] * other.total_estimate
+            mfvs[u] = source.mfvs[u] * max(1.0, other.total_estimate)
+            ndvs[u] = source.ndvs[u].copy()
+    out_vars = tuple(sorted(set(f1.vars) | set(f2.vars)))
+    conditionals = _merge_conditionals(f1, f2, out_vars)
+    return JoinFactor(out_vars, estimate, totals, mfvs, ndvs, conditionals)
+
+
+def _merge_conditionals(f1: JoinFactor, f2: JoinFactor,
+                        out_vars: tuple[int, ...]) -> dict:
+    keep = set(out_vars)
+    merged: dict[tuple[int, int], np.ndarray] = {}
+    for factor in (f1, f2):
+        for (a, b), matrix in factor.conditionals.items():
+            if a in keep and b in keep and (a, b) not in merged:
+                merged[(a, b)] = matrix
+    return merged

@@ -1,0 +1,121 @@
+"""Bound-based inference over query factor graphs.
+
+``fold_query`` runs the full estimation for one query: base factors are
+combined pairwise along the join graph (which is exactly variable
+elimination with the bound semiring — each combination eliminates the
+shared variables' summations).
+
+``ProgressiveSubplanEstimator`` implements Section 5.2: every connected
+sub-plan's factor is cached, and each larger sub-plan is built by combining
+one cached factor with one base factor, so estimating all sub-plan queries
+of a target query does no redundant work.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core import bound as bound_mod
+from repro.core.factors import JoinFactor, combine
+from repro.sql.query import Query
+
+FactorProvider = Callable[[Query, str], JoinFactor]
+
+
+def fold_query(query: Query, provider: FactorProvider,
+               mode: str = bound_mod.BOUND) -> float:
+    """Estimate one query by folding base factors along the join graph."""
+    aliases = list(query.aliases)
+    if not aliases:
+        return 0.0
+    factors = {alias: provider(query, alias) for alias in aliases}
+    if len(aliases) == 1:
+        return factors[aliases[0]].total_estimate
+
+    adj = query.adjacency()
+    remaining = set(aliases)
+    # deterministic start: smallest base estimate first
+    start = min(remaining,
+                key=lambda a: (factors[a].total_estimate, a))
+    current = factors[start]
+    remaining.discard(start)
+    joined = {start}
+    while remaining:
+        connected = [a for a in remaining
+                     if adj[a] & joined]
+        pool = connected or sorted(remaining)
+        nxt = min(pool, key=lambda a: (factors[a].total_estimate, a))
+        current = combine(current, factors[nxt], mode=mode)
+        joined.add(nxt)
+        remaining.discard(nxt)
+    return current.total_estimate
+
+
+class ProgressiveSubplanEstimator:
+    """Bottom-up estimation of all connected sub-plans of one query."""
+
+    def __init__(self, query: Query, provider: FactorProvider,
+                 mode: str = bound_mod.BOUND):
+        self._query = query
+        self._provider = provider
+        self._mode = mode
+        self._cache: dict[frozenset, JoinFactor] = {}
+
+    def base_factor(self, alias: str) -> JoinFactor:
+        key = frozenset([alias])
+        if key not in self._cache:
+            self._cache[key] = self._provider(self._query, alias)
+        return self._cache[key]
+
+    def estimate_all(self, min_tables: int = 1) -> dict[frozenset, float]:
+        """Cardinality estimate for every connected sub-plan.
+
+        Mirrors how the optimizer's DP table is populated; the paper reports
+        >10x speedup over estimating each sub-plan independently because each
+        step is a single pairwise factor combination.
+        """
+        results: dict[frozenset, float] = {}
+        if min_tables <= 1:
+            for alias in self._query.aliases:
+                results[frozenset([alias])] = self.base_factor(alias).total_estimate
+        for subset in self._query.connected_subsets(min_tables=2):
+            results[subset] = self.factor_for(subset).total_estimate
+        return results
+
+    def factor_for(self, subset: frozenset) -> JoinFactor:
+        if subset in self._cache:
+            return self._cache[subset]
+        if len(subset) == 1:
+            return self.base_factor(next(iter(subset)))
+        factor = None
+        for alias in sorted(subset):
+            rest = subset - {alias}
+            if rest in self._cache:
+                factor = combine(self._cache[rest], self.base_factor(alias),
+                                 mode=self._mode)
+                break
+        if factor is None:
+            # build recursively (subset's connected proper subsets missing,
+            # e.g. when called directly for one subset)
+            parts = sorted(subset)
+            factor = self.base_factor(parts[0])
+            for alias in parts[1:]:
+                factor = combine(factor, self.base_factor(alias),
+                                 mode=self._mode)
+        self._cache[subset] = factor
+        return factor
+
+
+def estimate_subplans_independently(query: Query, provider: FactorProvider,
+                                    mode: str = bound_mod.BOUND,
+                                    min_tables: int = 1
+                                    ) -> dict[frozenset, float]:
+    """Ablation path: estimate each sub-plan from scratch (no cache)."""
+    results: dict[frozenset, float] = {}
+    if min_tables <= 1:
+        for alias in query.aliases:
+            results[frozenset([alias])] = provider(query, alias).total_estimate
+    for subset in query.connected_subsets(min_tables=2):
+        sub_query = query.subquery(set(subset))
+        results[subset] = fold_query(sub_query, provider, mode=mode)
+    return results

@@ -1,0 +1,23 @@
+"""Relational storage substrate: numpy-backed columns, tables, schemas.
+
+This package is the "database" the paper assumes: it stores tables, declares
+join relations (PK/FK), and exposes the raw column data that the offline
+training phase of FactorJoin scans.
+"""
+
+from repro.data.column import Column
+from repro.data.database import Database
+from repro.data.schema import ColumnSchema, DatabaseSchema, JoinRelation, TableSchema
+from repro.data.table import Table
+from repro.data.types import DataType
+
+__all__ = [
+    "Column",
+    "ColumnSchema",
+    "Database",
+    "DatabaseSchema",
+    "DataType",
+    "JoinRelation",
+    "Table",
+    "TableSchema",
+]

@@ -1,0 +1,86 @@
+"""A single numpy-backed column with an explicit null mask.
+
+Join keys use NULL to represent dangling foreign keys (rows that match
+nothing), which inner joins must drop — the engine and the statistics layer
+both honour the mask.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.types import DataType, infer_data_type
+from repro.errors import DataError
+
+
+class Column:
+    """Immutable-by-convention column: values array + boolean null mask."""
+
+    __slots__ = ("name", "dtype", "values", "null_mask")
+
+    def __init__(self, name: str, values, dtype: DataType | None = None,
+                 null_mask=None):
+        self.name = name
+        self.dtype = dtype if dtype is not None else infer_data_type(values)
+        arr = np.asarray(values)
+        if self.dtype is DataType.STRING:
+            arr = arr.astype(object)
+        else:
+            try:
+                arr = arr.astype(self.dtype.numpy_dtype)
+            except (TypeError, ValueError) as exc:
+                raise DataError(
+                    f"column {name!r}: cannot cast values to {self.dtype}"
+                ) from exc
+        self.values = arr
+        if null_mask is None:
+            null_mask = np.zeros(len(arr), dtype=bool)
+        else:
+            null_mask = np.asarray(null_mask, dtype=bool)
+            if null_mask.shape != arr.shape:
+                raise DataError(
+                    f"column {name!r}: null mask length {null_mask.shape} "
+                    f"!= values length {arr.shape}")
+        self.null_mask = null_mask
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __repr__(self) -> str:
+        return f"Column({self.name!r}, {self.dtype.value}, n={len(self)})"
+
+    @property
+    def has_nulls(self) -> bool:
+        return bool(self.null_mask.any())
+
+    def non_null_values(self) -> np.ndarray:
+        """Values with nulls removed (the domain statistics operate on this)."""
+        if self.has_nulls:
+            return self.values[~self.null_mask]
+        return self.values
+
+    def take(self, indices_or_mask) -> "Column":
+        """Select rows by integer indices or boolean mask."""
+        sel = np.asarray(indices_or_mask)
+        return Column(self.name, self.values[sel], self.dtype,
+                      self.null_mask[sel])
+
+    def concat(self, other: "Column") -> "Column":
+        """Append another column's rows (used by incremental data insertion)."""
+        if other.dtype is not self.dtype:
+            raise DataError(
+                f"cannot concat column {self.name!r}: dtype mismatch "
+                f"{self.dtype} vs {other.dtype}")
+        return Column(
+            self.name,
+            np.concatenate([self.values, other.values]),
+            self.dtype,
+            np.concatenate([self.null_mask, other.null_mask]),
+        )
+
+    def distinct_count(self) -> int:
+        """Number of distinct non-null values."""
+        vals = self.non_null_values()
+        if len(vals) == 0:
+            return 0
+        return int(len(np.unique(vals)))

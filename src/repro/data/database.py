@@ -1,0 +1,70 @@
+"""A database instance: schema plus the table data."""
+
+from __future__ import annotations
+
+from repro.data.schema import DatabaseSchema
+from repro.data.table import Table
+from repro.errors import DataError, SchemaError
+
+
+class Database:
+    """Schema + tables. Validates data against the schema on construction."""
+
+    def __init__(self, schema: DatabaseSchema, tables: list[Table]):
+        self.schema = schema
+        self._tables: dict[str, Table] = {}
+        for table in tables:
+            if not schema.has_table(table.name):
+                raise SchemaError(
+                    f"table {table.name!r} not declared in schema")
+            self._validate(table)
+            self._tables[table.name] = table
+        missing = set(schema.table_names) - set(self._tables)
+        if missing:
+            raise DataError(f"missing data for tables: {sorted(missing)}")
+
+    def _validate(self, table: Table) -> None:
+        tschema = self.schema.table(table.name)
+        declared = {c.name for c in tschema.columns}
+        actual = set(table.column_names)
+        if declared != actual:
+            raise DataError(
+                f"table {table.name!r}: columns {sorted(actual)} do not match "
+                f"schema {sorted(declared)}")
+        for cschema in tschema.columns:
+            col = table[cschema.name]
+            if col.dtype is not cschema.dtype:
+                raise DataError(
+                    f"table {table.name!r} column {cschema.name!r}: dtype "
+                    f"{col.dtype} does not match schema {cschema.dtype}")
+
+    # -- accessors --------------------------------------------------------------
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SchemaError(f"database has no table {name!r}") from None
+
+    @property
+    def table_names(self) -> list[str]:
+        return list(self._tables)
+
+    def total_rows(self) -> int:
+        return sum(len(t) for t in self._tables.values())
+
+    def replace_table(self, table: Table) -> "Database":
+        """New database with one table's data replaced (used by updates)."""
+        self._validate(table)
+        tables = [table if t.name == table.name else t
+                  for t in self._tables.values()]
+        return Database(self.schema, tables)
+
+    def insert(self, table_name: str, rows: Table) -> "Database":
+        """New database with ``rows`` appended to ``table_name``."""
+        merged = self.table(table_name).concat(rows)
+        return self.replace_table(merged)
+
+    def __repr__(self) -> str:
+        sizes = {name: len(t) for name, t in self._tables.items()}
+        return f"Database({sizes})"

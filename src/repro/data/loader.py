@@ -1,0 +1,85 @@
+"""CSV persistence for tables and databases.
+
+Nulls are stored as empty fields.  Column types come from the schema, so a
+round-trip through disk reproduces the exact in-memory representation —
+useful for exporting the synthetic benchmark instances or importing small
+real datasets.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+
+import numpy as np
+
+from repro.data.column import Column
+from repro.data.database import Database
+from repro.data.schema import DatabaseSchema, TableSchema
+from repro.data.table import Table
+from repro.data.types import DataType
+from repro.errors import DataError
+
+
+def save_table(table: Table, path: str) -> None:
+    """Write one table to a CSV file with a header row."""
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(table.column_names)
+        columns = table.columns
+        for i in range(len(table)):
+            row = []
+            for col in columns:
+                if col.null_mask[i]:
+                    row.append("")
+                else:
+                    row.append(col.values[i])
+            writer.writerow(row)
+
+
+def load_table(path: str, schema: TableSchema) -> Table:
+    """Read one table from CSV, validating against its schema."""
+    with open(path, newline="") as f:
+        reader = csv.reader(f)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DataError(f"{path}: empty CSV file") from None
+        declared = [c.name for c in schema.columns]
+        if header != declared:
+            raise DataError(
+                f"{path}: header {header} does not match schema {declared}")
+        raw_rows = list(reader)
+
+    columns = []
+    for idx, cschema in enumerate(schema.columns):
+        cells = [row[idx] for row in raw_rows]
+        nulls = np.array([cell == "" for cell in cells], dtype=bool)
+        if cschema.dtype is DataType.STRING:
+            values = np.array([cell for cell in cells], dtype=object)
+        else:
+            caster = int if cschema.dtype is DataType.INT else float
+            values = np.array(
+                [caster(cell) if cell != "" else 0 for cell in cells],
+                dtype=cschema.dtype.numpy_dtype)
+        columns.append(Column(cschema.name, values, cschema.dtype, nulls))
+    return Table(schema.name, columns)
+
+
+def save_database(database: Database, directory: str) -> None:
+    """Write every table as ``<directory>/<table>.csv``."""
+    os.makedirs(directory, exist_ok=True)
+    for name in database.table_names:
+        save_table(database.table(name), os.path.join(directory,
+                                                      f"{name}.csv"))
+
+
+def load_database(directory: str, schema: DatabaseSchema) -> Database:
+    """Read a database saved by :func:`save_database`."""
+    tables = []
+    for name in schema.table_names:
+        path = os.path.join(directory, f"{name}.csv")
+        if not os.path.exists(path):
+            raise DataError(f"missing CSV for table {name!r}: {path}")
+        tables.append(load_table(path, schema.table(name)))
+    return Database(schema, tables)

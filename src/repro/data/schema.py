@@ -1,0 +1,127 @@
+"""Schema metadata: column declarations, tables, and join relations.
+
+The schema's join relations are the input to equivalent-key-group discovery
+(Section 3.3 of the paper: "FactorJoin first analyzes its DB schema ... to get
+all possible join relations between different join-keys").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.types import DataType
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class ColumnSchema:
+    """Declaration of one column.
+
+    ``is_key`` marks join keys (PKs and FKs); only key columns participate in
+    equivalent key groups and binning.
+    """
+
+    name: str
+    dtype: DataType
+    is_key: bool = False
+
+
+@dataclass(frozen=True)
+class JoinRelation:
+    """A declared equi-join relation ``left_table.left_column = right_table.right_column``."""
+
+    left_table: str
+    left_column: str
+    right_table: str
+    right_column: str
+
+    def endpoints(self) -> tuple[tuple[str, str], tuple[str, str]]:
+        return ((self.left_table, self.left_column),
+                (self.right_table, self.right_column))
+
+
+@dataclass
+class TableSchema:
+    name: str
+    columns: list[ColumnSchema] = field(default_factory=list)
+
+    def __post_init__(self):
+        seen = set()
+        for col in self.columns:
+            if col.name in seen:
+                raise SchemaError(
+                    f"table schema {self.name!r}: duplicate column {col.name!r}")
+            seen.add(col.name)
+
+    def column(self, name: str) -> ColumnSchema:
+        for col in self.columns:
+            if col.name == name:
+                return col
+        raise SchemaError(
+            f"table schema {self.name!r} has no column {name!r}")
+
+    def has_column(self, name: str) -> bool:
+        return any(col.name == name for col in self.columns)
+
+    @property
+    def key_columns(self) -> list[str]:
+        return [c.name for c in self.columns if c.is_key]
+
+    @property
+    def attribute_columns(self) -> list[str]:
+        return [c.name for c in self.columns if not c.is_key]
+
+
+class DatabaseSchema:
+    """All table schemas plus the declared join relations among their keys."""
+
+    def __init__(self, tables: list[TableSchema],
+                 join_relations: list[JoinRelation] | None = None):
+        self._tables: dict[str, TableSchema] = {}
+        for ts in tables:
+            if ts.name in self._tables:
+                raise SchemaError(f"duplicate table schema {ts.name!r}")
+            self._tables[ts.name] = ts
+        self.join_relations: list[JoinRelation] = []
+        for rel in (join_relations or []):
+            self.add_join_relation(rel)
+
+    # -- accessors --------------------------------------------------------------
+
+    @property
+    def table_names(self) -> list[str]:
+        return list(self._tables)
+
+    def table(self, name: str) -> TableSchema:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SchemaError(f"schema has no table {name!r}; "
+                              f"tables: {sorted(self._tables)}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    # -- join relations -----------------------------------------------------------
+
+    def add_join_relation(self, rel: JoinRelation) -> None:
+        for tname, cname in rel.endpoints():
+            tschema = self.table(tname)
+            cschema = tschema.column(cname)
+            if not cschema.is_key:
+                raise SchemaError(
+                    f"join relation endpoint {tname}.{cname} is not declared "
+                    f"as a key column")
+        self.join_relations.append(rel)
+
+    def key_endpoints(self) -> list[tuple[str, str]]:
+        """All (table, column) pairs that are key columns."""
+        out = []
+        for ts in self._tables.values():
+            for cname in ts.key_columns:
+                out.append((ts.name, cname))
+        return out
+
+    def __repr__(self) -> str:
+        return (f"DatabaseSchema(tables={self.table_names}, "
+                f"joins={len(self.join_relations)})")

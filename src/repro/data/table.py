@@ -1,0 +1,92 @@
+"""A table: an ordered set of equal-length columns."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.data.column import Column
+from repro.errors import DataError, SchemaError
+
+
+class Table:
+    """In-memory table. Columns are accessed by name via ``table[name]``."""
+
+    def __init__(self, name: str, columns: Iterable[Column]):
+        self.name = name
+        self._columns: dict[str, Column] = {}
+        n = None
+        for col in columns:
+            if col.name in self._columns:
+                raise SchemaError(f"table {name!r}: duplicate column {col.name!r}")
+            if n is None:
+                n = len(col)
+            elif len(col) != n:
+                raise DataError(
+                    f"table {name!r}: column {col.name!r} has {len(col)} rows, "
+                    f"expected {n}")
+            self._columns[col.name] = col
+        self._nrows = n or 0
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, name: str, data: dict[str, object],
+                  null_masks: dict[str, object] | None = None) -> "Table":
+        """Build a table from ``{column_name: values}``."""
+        null_masks = null_masks or {}
+        cols = [Column(cname, values, null_mask=null_masks.get(cname))
+                for cname, values in data.items()]
+        return cls(name, cols)
+
+    # -- basic protocol --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._nrows
+
+    def __contains__(self, column_name: str) -> bool:
+        return column_name in self._columns
+
+    def __getitem__(self, column_name: str) -> Column:
+        try:
+            return self._columns[column_name]
+        except KeyError:
+            raise SchemaError(
+                f"table {self.name!r} has no column {column_name!r}; "
+                f"columns: {sorted(self._columns)}") from None
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, rows={self._nrows}, cols={list(self._columns)})"
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self._columns)
+
+    @property
+    def columns(self) -> list[Column]:
+        return list(self._columns.values())
+
+    # -- row operations --------------------------------------------------------
+
+    def take(self, indices_or_mask) -> "Table":
+        """Row subset as a new table."""
+        return Table(self.name, [c.take(indices_or_mask) for c in self.columns])
+
+    def head(self, n: int) -> "Table":
+        return self.take(np.arange(min(n, self._nrows)))
+
+    def concat(self, other: "Table") -> "Table":
+        """Append ``other``'s rows (schema must match exactly)."""
+        if other.column_names != self.column_names:
+            raise SchemaError(
+                f"cannot concat into table {self.name!r}: column mismatch "
+                f"{self.column_names} vs {other.column_names}")
+        return Table(self.name, [self[c].concat(other[c])
+                                 for c in self.column_names])
+
+    def sample(self, n: int, rng: np.random.Generator) -> "Table":
+        """Uniform random sample of ``n`` rows without replacement."""
+        n = min(n, self._nrows)
+        idx = rng.choice(self._nrows, size=n, replace=False)
+        return self.take(np.sort(idx))

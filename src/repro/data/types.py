@@ -1,0 +1,42 @@
+"""Column data types supported by the relational substrate."""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+
+class DataType(enum.Enum):
+    """Logical column types.
+
+    INT covers join keys, dates (stored as epoch-style ints) and counts —
+    matching STATS/IMDB where filters are over numeric, categorical and
+    string columns.
+    """
+
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        if self is DataType.INT:
+            return np.dtype(np.int64)
+        if self is DataType.FLOAT:
+            return np.dtype(np.float64)
+        return np.dtype(object)
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (DataType.INT, DataType.FLOAT)
+
+
+def infer_data_type(values) -> DataType:
+    """Infer the logical type of a python/numpy value sequence."""
+    arr = np.asarray(values)
+    if arr.dtype.kind in "iub":
+        return DataType.INT
+    if arr.dtype.kind == "f":
+        return DataType.FLOAT
+    return DataType.STRING

@@ -1,0 +1,12 @@
+"""Query execution substrate: filters, counted joins, true cardinalities."""
+
+from repro.engine.filter import evaluate_predicate, filter_table
+from repro.engine.executor import CardinalityExecutor
+from repro.engine.relations import CountedRelation
+
+__all__ = [
+    "CardinalityExecutor",
+    "CountedRelation",
+    "evaluate_predicate",
+    "filter_table",
+]

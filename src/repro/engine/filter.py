@@ -1,0 +1,130 @@
+"""Vectorized predicate evaluation over tables.
+
+NULL semantics: a NULL value fails every leaf predicate except the matching
+``IS NULL``; ``NOT p`` additionally excludes rows that are NULL in any column
+``p`` references (simplified SQL three-valued logic).
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.errors import UnsupportedQueryError
+from repro.sql.predicates import (
+    And,
+    Between,
+    Comparison,
+    In,
+    IsNull,
+    Like,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+
+_OP_FUNCS = {
+    "=": np.equal,
+    "!=": np.not_equal,
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+}
+
+
+def like_pattern_to_regex(pattern: str) -> re.Pattern:
+    """Translate a SQL LIKE pattern (``%``, ``_``) to an anchored regex."""
+    out = []
+    for char in pattern:
+        if char == "%":
+            out.append(".*")
+        elif char == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(char))
+    return re.compile("^" + "".join(out) + "$", re.DOTALL)
+
+
+def _null_mask_of(pred: Predicate, table: Table) -> np.ndarray:
+    """Rows NULL in any column referenced by ``pred``."""
+    mask = np.zeros(len(table), dtype=bool)
+    for col in pred.columns():
+        mask |= table[col].null_mask
+    return mask
+
+
+def evaluate_predicate(pred: Predicate, table: Table) -> np.ndarray:
+    """Boolean mask of rows in ``table`` satisfying ``pred``."""
+    if isinstance(pred, TruePredicate):
+        return np.ones(len(table), dtype=bool)
+
+    if isinstance(pred, Comparison):
+        col = table[pred.column]
+        if col.dtype.is_numeric:
+            values = col.values
+            target = pred.value
+        else:
+            if pred.op not in ("=", "!=", "<", "<=", ">", ">="):
+                raise UnsupportedQueryError(
+                    f"operator {pred.op} unsupported on strings")
+            values = col.values.astype(str)
+            target = str(pred.value)
+        mask = _OP_FUNCS[pred.op](values, target)
+        return np.asarray(mask, dtype=bool) & ~col.null_mask
+
+    if isinstance(pred, Between):
+        col = table[pred.column]
+        mask = (col.values >= pred.low) & (col.values <= pred.high)
+        return np.asarray(mask, dtype=bool) & ~col.null_mask
+
+    if isinstance(pred, In):
+        col = table[pred.column]
+        mask = np.isin(col.values, np.asarray(list(pred.values),
+                                              dtype=col.values.dtype))
+        return np.asarray(mask, dtype=bool) & ~col.null_mask
+
+    if isinstance(pred, Like):
+        col = table[pred.column]
+        regex = like_pattern_to_regex(pred.pattern)
+        matches = np.fromiter(
+            (bool(regex.match(str(v))) for v in col.values),
+            dtype=bool, count=len(table))
+        matches &= ~col.null_mask
+        if pred.negated:
+            matches = ~matches & ~col.null_mask
+        return matches
+
+    if isinstance(pred, IsNull):
+        col = table[pred.column]
+        if pred.negated:
+            return ~col.null_mask
+        return col.null_mask.copy()
+
+    if isinstance(pred, And):
+        mask = np.ones(len(table), dtype=bool)
+        for child in pred.children:
+            mask &= evaluate_predicate(child, table)
+        return mask
+
+    if isinstance(pred, Or):
+        mask = np.zeros(len(table), dtype=bool)
+        for child in pred.children:
+            mask |= evaluate_predicate(child, table)
+        return mask
+
+    if isinstance(pred, Not):
+        inner = evaluate_predicate(pred.child, table)
+        return ~inner & ~_null_mask_of(pred.child, table)
+
+    raise UnsupportedQueryError(f"unknown predicate node {type(pred).__name__}")
+
+
+def filter_table(table: Table, pred: Predicate) -> Table:
+    """Rows of ``table`` satisfying ``pred`` as a new table."""
+    if isinstance(pred, TruePredicate):
+        return table
+    return table.take(evaluate_predicate(pred, table))

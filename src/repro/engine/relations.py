@@ -1,0 +1,166 @@
+"""Counted relations: (distinct key tuple, multiplicity) compressed tables.
+
+True join cardinalities are computed over these compressed relations — a
+relation stores one row per *distinct combination of join-key variables*
+together with how many base rows produce it.  Joins then multiply counts and
+early projection keeps intermediate sizes proportional to key-domain sizes,
+not to the (possibly 1e10-row) denormalized join.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class CountedRelation:
+    """``keys`` has shape (n, len(vars)); counts[i] base rows share keys[i]."""
+
+    vars: tuple[int, ...]
+    keys: np.ndarray
+    counts: np.ndarray
+
+    def __post_init__(self):
+        self.keys = np.asarray(self.keys, dtype=np.int64)
+        if self.keys.ndim == 1:
+            self.keys = self.keys.reshape(-1, max(1, len(self.vars)))
+        if len(self.vars) == 0:
+            self.keys = self.keys.reshape(len(self.counts), 0)
+        self.counts = np.asarray(self.counts, dtype=np.float64)
+
+    @property
+    def total(self) -> float:
+        """Total multiplicity (the relation's cardinality)."""
+        return float(self.counts.sum())
+
+    def __len__(self) -> int:
+        return len(self.counts)
+
+    def column(self, var: int) -> np.ndarray:
+        return self.keys[:, self.vars.index(var)]
+
+    def project(self, keep_vars: tuple[int, ...]) -> "CountedRelation":
+        """Keep only ``keep_vars`` and merge rows that became identical."""
+        keep_vars = tuple(sorted(set(keep_vars) & set(self.vars)))
+        if keep_vars == self.vars:
+            return self
+        if not keep_vars:
+            return CountedRelation((), np.zeros((1, 0)), [self.counts.sum()])
+        cols = [self.vars.index(v) for v in keep_vars]
+        sub = self.keys[:, cols]
+        return compress(keep_vars, sub, self.counts)
+
+
+def compress(vars: tuple[int, ...], keys: np.ndarray,
+             counts: np.ndarray) -> CountedRelation:
+    """Merge duplicate key rows, summing their counts."""
+    keys = np.asarray(keys, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.float64)
+    if keys.ndim == 1:
+        keys = keys.reshape(-1, 1)
+    if len(keys) == 0:
+        return CountedRelation(vars, keys.reshape(0, len(vars)),
+                               np.zeros(0))
+    uniq, inverse = np.unique(keys, axis=0, return_inverse=True)
+    summed = np.zeros(len(uniq), dtype=np.float64)
+    np.add.at(summed, inverse.ravel(), counts)
+    return CountedRelation(vars, uniq, summed)
+
+
+def from_columns(vars: tuple[int, ...], columns: list[np.ndarray],
+                 valid: np.ndarray | None = None) -> CountedRelation:
+    """Build a compressed relation from raw per-row key columns.
+
+    ``valid`` masks out rows with NULL keys (inner-join semantics).
+    """
+    if not columns:
+        n = 1 if valid is None else int(np.count_nonzero(valid))
+        return CountedRelation((), np.zeros((1, 0)), [float(n)])
+    stacked = np.stack(columns, axis=1).astype(np.int64, copy=False)
+    if valid is not None:
+        stacked = stacked[valid]
+    counts = np.ones(len(stacked), dtype=np.float64)
+    return compress(vars, stacked, counts)
+
+
+def join(left: CountedRelation, right: CountedRelation,
+         keep_vars: tuple[int, ...] | None = None) -> CountedRelation:
+    """Natural join on shared variables; optionally project the result.
+
+    Implementation: sort the right side by its shared-variable codes, binary
+    search each left row's code to find its matching range, then expand
+    ranges (`np.repeat`) and multiply counts.
+    """
+    shared = tuple(sorted(set(left.vars) & set(right.vars)))
+    if not shared:
+        return _cross_join(left, right, keep_vars)
+
+    left_codes, right_codes = _shared_codes(left, right, shared)
+    order = np.argsort(right_codes, kind="stable")
+    sorted_codes = right_codes[order]
+    starts = np.searchsorted(sorted_codes, left_codes, side="left")
+    ends = np.searchsorted(sorted_codes, left_codes, side="right")
+    reps = ends - starts
+    left_idx = np.repeat(np.arange(len(left)), reps)
+    right_idx = order[_expand_ranges(starts, ends)]
+
+    out_vars = tuple(sorted(set(left.vars) | set(right.vars)))
+    cols = []
+    for var in out_vars:
+        if var in left.vars:
+            cols.append(left.keys[left_idx, left.vars.index(var)])
+        else:
+            cols.append(right.keys[right_idx, right.vars.index(var)])
+    keys = (np.stack(cols, axis=1) if cols
+            else np.zeros((len(left_idx), 0), dtype=np.int64))
+    counts = left.counts[left_idx] * right.counts[right_idx]
+    result = compress(out_vars, keys, counts)
+    if keep_vars is not None:
+        result = result.project(keep_vars)
+    return result
+
+
+def _cross_join(left: CountedRelation, right: CountedRelation,
+                keep_vars: tuple[int, ...] | None) -> CountedRelation:
+    """Cartesian product (queries with disconnected join graphs)."""
+    n_l, n_r = len(left), len(right)
+    li = np.repeat(np.arange(n_l), n_r)
+    ri = np.tile(np.arange(n_r), n_l)
+    out_vars = tuple(sorted(set(left.vars) | set(right.vars)))
+    cols = []
+    for var in out_vars:
+        if var in left.vars:
+            cols.append(left.keys[li, left.vars.index(var)])
+        else:
+            cols.append(right.keys[ri, right.vars.index(var)])
+    keys = (np.stack(cols, axis=1) if cols
+            else np.zeros((len(li), 0), dtype=np.int64))
+    counts = left.counts[li] * right.counts[ri]
+    result = compress(out_vars, keys, counts)
+    if keep_vars is not None:
+        result = result.project(keep_vars)
+    return result
+
+
+def _shared_codes(left: CountedRelation, right: CountedRelation,
+                  shared: tuple[int, ...]) -> tuple[np.ndarray, np.ndarray]:
+    """Encode both sides' shared-variable tuples into one comparable code space."""
+    l_cols = np.stack([left.column(v) for v in shared], axis=1)
+    r_cols = np.stack([right.column(v) for v in shared], axis=1)
+    both = np.concatenate([l_cols, r_cols], axis=0)
+    _, inverse = np.unique(both, axis=0, return_inverse=True)
+    inverse = inverse.ravel()
+    return inverse[: len(l_cols)], inverse[len(l_cols):]
+
+
+def _expand_ranges(starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+    """Concatenate [starts[i], ends[i]) ranges into one index array."""
+    lengths = ends - starts
+    total = int(lengths.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    offsets = np.repeat(np.cumsum(lengths) - lengths, lengths)
+    flat = np.arange(total, dtype=np.int64) - offsets
+    return np.repeat(starts, lengths) + flat

@@ -1,0 +1,57 @@
+"""Uniform table samples with scale factors.
+
+Used by the sampling-based single-table estimator (Section 3.3), the MSCN
+sample bitmaps, and the WJSample baseline's starting tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.engine.filter import evaluate_predicate
+from repro.sql.predicates import Predicate
+from repro.utils import resolve_rng
+
+
+class TableSample:
+    """A uniform row sample of one table plus its scale-up factor."""
+
+    def __init__(self, table: Table, rate: float | None = None,
+                 max_rows: int | None = None, rng=None):
+        rng = resolve_rng(rng)
+        n = len(table)
+        if rate is None and max_rows is None:
+            raise ValueError("specify rate or max_rows")
+        target = n
+        if rate is not None:
+            target = max(1, int(round(n * rate)))
+        if max_rows is not None:
+            target = min(target, max_rows)
+        target = min(target, n)
+        if n == 0:
+            self.rows = table
+            self.scale = 1.0
+        else:
+            idx = np.sort(rng.choice(n, size=target, replace=False))
+            self.rows = table.take(idx)
+            self.scale = n / target
+        self.source_rows = n
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def selectivity(self, pred: Predicate) -> float:
+        """Fraction of sample rows matching ``pred``."""
+        if len(self.rows) == 0:
+            return 0.0
+        mask = evaluate_predicate(pred, self.rows)
+        return float(mask.mean())
+
+    def estimate_count(self, pred: Predicate) -> float:
+        """Estimated number of source rows matching ``pred``."""
+        return self.selectivity(pred) * self.source_rows
+
+    def bitmap(self, pred: Predicate) -> np.ndarray:
+        """Boolean match vector over the sample (MSCN featurization)."""
+        return evaluate_predicate(pred, self.rows)

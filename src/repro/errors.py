@@ -1,0 +1,38 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch one base class.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A schema definition is inconsistent (unknown table/column, bad key)."""
+
+
+class DataError(ReproError):
+    """Table data violates its declared schema (length, dtype, nulls)."""
+
+
+class ParseError(ReproError):
+    """A SQL string could not be parsed by the supported subset grammar."""
+
+
+class UnsupportedQueryError(ReproError):
+    """A query is valid but outside what a given estimator supports.
+
+    The paper's Table 1 makes these gaps explicit: e.g. learned data-driven
+    methods reject cyclic/self joins and LIKE predicates.  Estimators raise
+    this error rather than silently producing garbage.
+    """
+
+
+class NotFittedError(ReproError):
+    """An estimator was used before ``fit`` (or after a failed fit)."""
+
+
+class InferenceError(ReproError):
+    """Factor-graph inference failed (empty factors, missing statistics)."""

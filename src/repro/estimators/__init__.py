@@ -1,0 +1,26 @@
+"""Pluggable single-table estimators (paper Section 3.3).
+
+FactorJoin requires only that a single-table model can provide conditional
+distributions of join keys given filter predicates; any of these estimators
+can be plugged in, trading accuracy against predicate coverage and speed.
+"""
+
+from repro.estimators.base import (
+    ESTIMATOR_REGISTRY,
+    BaseTableEstimator,
+    make_table_estimator,
+)
+from repro.estimators.bayescard import BayesCardEstimator
+from repro.estimators.histogram1d import Histogram1DEstimator
+from repro.estimators.sampling import SamplingEstimator
+from repro.estimators.truescan import TrueScanEstimator
+
+__all__ = [
+    "BaseTableEstimator",
+    "BayesCardEstimator",
+    "ESTIMATOR_REGISTRY",
+    "Histogram1DEstimator",
+    "make_table_estimator",
+    "SamplingEstimator",
+    "TrueScanEstimator",
+]

@@ -1,0 +1,71 @@
+"""Interface that single-table estimators implement.
+
+An estimator answers two questions about *one* table (paper Equation 1):
+
+- ``estimate_row_count(pred)``: estimated ``|Q(T)|``;
+- ``key_distribution(column, pred)``: estimated per-bin counts of a join
+  key among rows satisfying the filter, i.e. ``P(key in bin | Q) * |Q(T)|``.
+
+Estimators that cannot evaluate a predicate class (e.g. BayesCard with LIKE)
+raise :class:`~repro.errors.UnsupportedQueryError` so the framework or the
+user can fall back to the sampling estimator, exactly as Section 6.1 does
+for IMDB-JOB.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.binning import Binning
+from repro.data.schema import TableSchema
+from repro.data.table import Table
+from repro.sql.predicates import Predicate
+
+
+class BaseTableEstimator(ABC):
+    """One instance models one table."""
+
+    name: str = "base"
+
+    @abstractmethod
+    def fit(self, table: Table, schema: TableSchema,
+            key_binnings: dict[str, Binning]) -> "BaseTableEstimator":
+        """Train on the table; ``key_binnings`` maps key columns to the
+        binning of their equivalent key group."""
+
+    @abstractmethod
+    def estimate_row_count(self, pred: Predicate) -> float:
+        """Estimated number of rows satisfying ``pred``."""
+
+    @abstractmethod
+    def key_distribution(self, column: str, pred: Predicate) -> np.ndarray:
+        """Estimated per-bin counts of ``column`` among rows matching
+        ``pred`` (unnormalized; sums to at most the row-count estimate —
+        rows with NULL keys are excluded since they can never join)."""
+
+    def update(self, new_rows: Table) -> None:
+        """Incrementally absorb inserted rows (Section 4.3)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support incremental updates")
+
+
+ESTIMATOR_REGISTRY: dict[str, type] = {}
+
+
+def register_estimator(cls: type) -> type:
+    """Class decorator adding an estimator to the plug-in registry."""
+    ESTIMATOR_REGISTRY[cls.name] = cls
+    return cls
+
+
+def make_table_estimator(name: str, **kwargs) -> BaseTableEstimator:
+    """Instantiate a registered estimator by name (user plug-in point)."""
+    try:
+        cls = ESTIMATOR_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown single-table estimator {name!r}; "
+            f"available: {sorted(ESTIMATOR_REGISTRY)}") from None
+    return cls(**kwargs)

@@ -1,0 +1,233 @@
+"""BayesCard estimator: tree Bayesian network over one table (paper [70]).
+
+All columns — join keys (binned by their group binning, plus a NULL code)
+and attributes (equal-depth discretized) — become nodes of a Chow-Liu tree
+BN.  Filter predicates turn into exact per-code soft evidence, and the
+conditional key distributions FactorJoin needs are read off BN marginals.
+
+Matches the paper's support matrix: conjunctive numeric/categorical filters
+(including single-column disjunctions and IN/BETWEEN) are supported; LIKE
+and cross-column disjunctions raise ``UnsupportedQueryError``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.binning import Binning
+from repro.data.column import Column
+from repro.data.schema import TableSchema
+from repro.data.table import Table
+from repro.errors import NotFittedError, UnsupportedQueryError
+from repro.estimators.base import BaseTableEstimator, register_estimator
+from repro.factorgraph.bayesnet import TreeBayesNet
+from repro.sql.predicates import (
+    And,
+    Between,
+    Comparison,
+    In,
+    IsNull,
+    Like,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+    conjoin,
+)
+from repro.stats.discretize import Discretizer
+from repro.utils import resolve_rng
+
+
+def _contains_like(pred: Predicate) -> bool:
+    if isinstance(pred, Like):
+        return True
+    if isinstance(pred, (And, Or)):
+        return any(_contains_like(c) for c in pred.children)
+    if isinstance(pred, Not):
+        return _contains_like(pred.child)
+    return False
+
+
+@register_estimator
+class BayesCardEstimator(BaseTableEstimator):
+    name = "bayescard"
+
+    def __init__(self, attribute_codes: int = 32, fit_sample_rows: int = 50_000,
+                 smoothing: float = 0.1, seed: int = 0):
+        self._attribute_codes = attribute_codes
+        self._fit_sample_rows = fit_sample_rows
+        self._smoothing = smoothing
+        self._rng = resolve_rng(seed)
+        self._bn: TreeBayesNet | None = None
+
+    # -- training -------------------------------------------------------------------
+
+    def fit(self, table: Table, schema: TableSchema,
+            key_binnings: dict[str, Binning]) -> "BayesCardEstimator":
+        self._total_rows = len(table)
+        self._key_binnings = dict(key_binnings)
+        self._node_of: dict[str, int] = {}
+        self._key_columns: list[str] = []
+        self._discretizers: dict[str, Discretizer] = {}
+
+        fit_table = table
+        if len(table) > self._fit_sample_rows:
+            idx = np.sort(self._rng.choice(len(table),
+                                           size=self._fit_sample_rows,
+                                           replace=False))
+            fit_table = table.take(idx)
+
+        code_columns: list[np.ndarray] = []
+        cardinalities: list[int] = []
+        for cschema in schema.columns:
+            name = cschema.name
+            column = fit_table[name]
+            if name in key_binnings:
+                codes = self._encode_key(column, key_binnings[name])
+                cardinality = key_binnings[name].n_bins + 1
+                self._key_columns.append(name)
+            else:
+                disc = Discretizer(table[name],
+                                   max_codes=self._attribute_codes)
+                self._discretizers[name] = disc
+                codes = disc.encode(column)
+                cardinality = disc.n_codes
+            self._node_of[name] = len(code_columns)
+            code_columns.append(codes)
+            cardinalities.append(cardinality)
+
+        matrix = (np.stack(code_columns, axis=1) if code_columns
+                  else np.zeros((len(fit_table), 0), dtype=np.int64))
+        self._bn = TreeBayesNet(smoothing=self._smoothing)
+        self._bn.fit(matrix, cardinalities)
+        return self
+
+    @staticmethod
+    def _encode_key(column: Column, binning: Binning) -> np.ndarray:
+        codes = np.full(len(column), binning.n_bins, dtype=np.int64)
+        valid = ~column.null_mask
+        if valid.any():
+            codes[valid] = binning.assign(
+                column.values[valid].astype(np.int64))
+        return codes
+
+    # -- evidence construction ----------------------------------------------------------
+
+    def _evidence(self, pred: Predicate) -> dict[int, np.ndarray]:
+        """Per-node soft evidence vectors for a conjunctive predicate."""
+        if isinstance(pred, TruePredicate):
+            return {}
+        per_column: dict[str, list[Predicate]] = {}
+        for conjunct in pred.conjuncts():
+            if _contains_like(conjunct):
+                raise UnsupportedQueryError(
+                    "BayesCard cannot evaluate LIKE predicates; "
+                    "use the sampling estimator")
+            cols = conjunct.columns()
+            if len(cols) != 1:
+                raise UnsupportedQueryError(
+                    "BayesCard requires each conjunct to reference one "
+                    f"column, got {sorted(cols)}")
+            per_column.setdefault(next(iter(cols)), []).append(conjunct)
+
+        evidence: dict[int, np.ndarray] = {}
+        for column, preds in per_column.items():
+            combined = conjoin(preds)
+            node = self._node_of.get(column)
+            if node is None:
+                raise UnsupportedQueryError(
+                    f"predicate references unknown column {column!r}")
+            if column in self._key_binnings:
+                evidence[node] = self._key_evidence(column, combined)
+            else:
+                evidence[node] = self._attribute_evidence(column, combined)
+        return evidence
+
+    def _attribute_evidence(self, column: str, pred: Predicate) -> np.ndarray:
+        disc = self._discretizers[column]
+        if isinstance(pred, IsNull):
+            return disc.null_evidence(pred.negated)
+        weights = disc.evidence_weights(_strip_nulls(pred))
+        extra = _null_part(pred)
+        if extra is not None:
+            weights = np.maximum(weights, disc.null_evidence(extra.negated))
+        return weights
+
+    def _key_evidence(self, column: str, pred: Predicate) -> np.ndarray:
+        """Filters directly on a join key: evaluate on the binning's domain."""
+        binning = self._key_binnings[column]
+        if isinstance(pred, IsNull):
+            weights = np.zeros(binning.n_bins + 1)
+            if pred.negated:
+                weights[: binning.n_bins] = 1.0
+            else:
+                weights[binning.n_bins] = 1.0
+            return weights
+        from repro.engine.filter import evaluate_predicate
+
+        tiny = Table("_k", [Column(column, binning.domain)])
+        satisfied = evaluate_predicate(pred, tiny)
+        weights = np.zeros(binning.n_bins + 1)
+        per_bin_total = np.bincount(binning.bin_ids,
+                                    minlength=binning.n_bins).astype(float)
+        per_bin_hit = np.bincount(binning.bin_ids, weights=satisfied,
+                                  minlength=binning.n_bins)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            weights[: binning.n_bins] = np.where(
+                per_bin_total > 0, per_bin_hit / per_bin_total, 0.0)
+        return weights
+
+    # -- estimation API --------------------------------------------------------------------
+
+    def _require_bn(self) -> TreeBayesNet:
+        if self._bn is None:
+            raise NotFittedError("BayesCardEstimator not fitted")
+        return self._bn
+
+    def estimate_row_count(self, pred: Predicate) -> float:
+        bn = self._require_bn()
+        evidence = self._evidence(pred)
+        return bn.probability(evidence) * self._total_rows
+
+    def key_distribution(self, column: str, pred: Predicate) -> np.ndarray:
+        bn = self._require_bn()
+        binning = self._key_binnings[column]
+        evidence = self._evidence(pred)
+        node = self._node_of[column]
+        marginal = bn.marginal(node, evidence)
+        # drop the NULL code: NULL keys never join
+        return marginal[: binning.n_bins] * self._total_rows
+
+    def update(self, new_rows: Table) -> None:
+        bn = self._require_bn()
+        code_columns = []
+        for name, node in sorted(self._node_of.items(), key=lambda kv: kv[1]):
+            column = new_rows[name]
+            if name in self._key_binnings:
+                code_columns.append(
+                    self._encode_key(column, self._key_binnings[name]))
+            else:
+                code_columns.append(self._discretizers[name].encode(column))
+        matrix = (np.stack(code_columns, axis=1) if code_columns
+                  else np.zeros((len(new_rows), 0), dtype=np.int64))
+        bn.partial_fit(matrix)
+        self._total_rows += len(new_rows)
+
+
+def _strip_nulls(pred: Predicate) -> Predicate:
+    """Remove IS NULL leaves (handled separately) from a predicate tree."""
+    if isinstance(pred, And):
+        parts = [_strip_nulls(c) for c in pred.children
+                 if not isinstance(c, IsNull)]
+        return conjoin(parts) if parts else TruePredicate()
+    return pred
+
+
+def _null_part(pred: Predicate) -> IsNull | None:
+    if isinstance(pred, IsNull):
+        return pred
+    if isinstance(pred, And):
+        for child in pred.children:
+            if isinstance(child, IsNull):
+                return child
+    return None

@@ -1,0 +1,25 @@
+"""Evaluation utilities: metrics, experiment harness, report rendering."""
+
+from repro.eval.metrics import (
+    improvement_over,
+    overestimation_fraction,
+    q_error,
+    relative_error_percentiles,
+)
+from repro.eval.harness import (
+    ExperimentContext,
+    default_methods,
+    make_context,
+    run_end_to_end,
+)
+
+__all__ = [
+    "default_methods",
+    "ExperimentContext",
+    "improvement_over",
+    "make_context",
+    "overestimation_fraction",
+    "q_error",
+    "relative_error_percentiles",
+    "run_end_to_end",
+]

@@ -1,0 +1,47 @@
+"""Estimation quality metrics used throughout the paper's evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def q_error(estimate: float, truth: float) -> float:
+    """max(est/true, true/est) with the usual 1-row floor."""
+    est = max(float(estimate), 1.0)
+    tru = max(float(truth), 1.0)
+    return max(est / tru, tru / est)
+
+
+def relative_errors(estimates, truths) -> np.ndarray:
+    """est/true ratios (the paper's Figure 7 / Figure 9-B metric)."""
+    est = np.maximum(np.asarray(estimates, dtype=float), 1e-9)
+    tru = np.maximum(np.asarray(truths, dtype=float), 1.0)
+    return est / tru
+
+
+def relative_error_percentiles(estimates, truths,
+                               percentiles=(50, 95, 99)) -> dict[int, float]:
+    """Percentiles of est/true — the bound-tightness summary of Fig. 9(B)
+    and Table 6."""
+    ratios = relative_errors(estimates, truths)
+    return {p: float(np.percentile(ratios, p)) for p in percentiles}
+
+
+def overestimation_fraction(estimates, truths) -> float:
+    """Fraction of queries whose estimate is >= the truth (Figure 7's
+    "upper bound for more than 90% of the sub-plan queries")."""
+    ratios = relative_errors(estimates, truths)
+    return float((ratios >= 1.0 - 1e-9).mean())
+
+
+def q_error_percentiles(estimates, truths,
+                        percentiles=(50, 95, 99)) -> dict[int, float]:
+    errors = np.array([q_error(e, t) for e, t in zip(estimates, truths)])
+    return {p: float(np.percentile(errors, p)) for p in percentiles}
+
+
+def improvement_over(baseline_seconds: float, method_seconds: float) -> float:
+    """The paper's improvement column: (base - method) / base."""
+    if baseline_seconds <= 0:
+        return 0.0
+    return (baseline_seconds - method_seconds) / baseline_seconds

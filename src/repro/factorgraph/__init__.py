@@ -1,0 +1,19 @@
+"""Discrete probabilistic graphical model substrate.
+
+Provides Chow-Liu structure learning (Section 5.1), tree-structured Bayesian
+networks with soft-evidence message passing (the BayesCard single-table
+estimator), and exact discrete factors with sum-product variable elimination
+(used to validate Lemma 1: cardinality == partition function).
+"""
+
+from repro.factorgraph.chow_liu import chow_liu_tree, mutual_information
+from repro.factorgraph.bayesnet import TreeBayesNet
+from repro.factorgraph.discrete import DiscreteFactor, sum_product_eliminate
+
+__all__ = [
+    "chow_liu_tree",
+    "DiscreteFactor",
+    "mutual_information",
+    "sum_product_eliminate",
+    "TreeBayesNet",
+]

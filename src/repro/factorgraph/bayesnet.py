@@ -1,0 +1,172 @@
+"""Tree-structured Bayesian network over discrete codes.
+
+This is the probabilistic engine behind the BayesCard single-table estimator
+(paper Section 3.3 / [70]): structure = Chow-Liu tree, parameters = per-edge
+joint count matrices, inference = exact message passing with per-node *soft
+evidence* vectors (the probability each code of a node satisfies the filter
+predicate).
+
+``marginal(target, evidence)`` returns the unnormalized vector
+``P(target = x, evidence)`` — multiplied by the table row count this is
+exactly the quantity FactorJoin's factor nodes need
+(``P(key bin | Q) * |Q|``, Equation 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InferenceError, NotFittedError
+from repro.factorgraph.chow_liu import chow_liu_tree, joint_histogram
+
+
+class TreeBayesNet:
+    """Discrete tree BN learned from an integer code matrix."""
+
+    def __init__(self, smoothing: float = 0.1):
+        self._smoothing = smoothing
+        self._fitted = False
+
+    # -- training ----------------------------------------------------------------
+
+    def fit(self, code_matrix: np.ndarray, cardinalities: list[int],
+            root: int = 0) -> "TreeBayesNet":
+        code_matrix = np.asarray(code_matrix, dtype=np.int64)
+        self.n_nodes = code_matrix.shape[1]
+        self.cardinalities = list(cardinalities)
+        self.n_rows = code_matrix.shape[0]
+        self.edges = chow_liu_tree(code_matrix, self.cardinalities, root=root)
+        self._adjacency: dict[int, list[int]] = {
+            i: [] for i in range(self.n_nodes)}
+        self._joints: dict[tuple[int, int], np.ndarray] = {}
+        for parent, child in self.edges:
+            joint = joint_histogram(
+                code_matrix[:, parent], code_matrix[:, child],
+                self.cardinalities[parent], self.cardinalities[child])
+            joint += self._smoothing / joint.size
+            self._joints[(parent, child)] = joint
+            self._adjacency[parent].append(child)
+            self._adjacency[child].append(parent)
+        self._marginals = []
+        for j in range(self.n_nodes):
+            counts = np.bincount(code_matrix[:, j],
+                                 minlength=self.cardinalities[j])
+            counts = counts.astype(np.float64) + self._smoothing / max(
+                1, self.cardinalities[j])
+            self._marginals.append(counts / counts.sum())
+        self._fitted = True
+        return self
+
+    def partial_fit(self, code_matrix: np.ndarray) -> None:
+        """Incremental update: add new rows' counts (structure kept fixed).
+
+        This mirrors the paper's Section 4.3: single-table models are updated
+        in place from inserted tuples without retraining.
+        """
+        self._check_fitted()
+        code_matrix = np.asarray(code_matrix, dtype=np.int64)
+        n_new = code_matrix.shape[0]
+        if n_new == 0:
+            return
+        for (parent, child), joint in self._joints.items():
+            joint += joint_histogram(
+                code_matrix[:, parent], code_matrix[:, child],
+                self.cardinalities[parent], self.cardinalities[child])
+        total_old = self.n_rows
+        for j in range(self.n_nodes):
+            counts = np.bincount(code_matrix[:, j],
+                                 minlength=self.cardinalities[j]).astype(float)
+            merged = self._marginals[j] * total_old + counts
+            self._marginals[j] = merged / merged.sum()
+        self.n_rows += n_new
+
+    # -- inference -----------------------------------------------------------------
+
+    def marginal(self, target: int, evidence: dict[int, np.ndarray] | None = None
+                 ) -> np.ndarray:
+        """Unnormalized ``P(target = x, evidence)`` for all codes ``x``.
+
+        ``evidence[node]`` is a weight vector in [0, 1] per code of ``node``
+        (1.0 everywhere == no evidence).  Exact on trees via a single
+        upward pass rooted at ``target``.
+        """
+        self._check_fitted()
+        evidence = evidence or {}
+        for node, vec in evidence.items():
+            if len(vec) != self.cardinalities[node]:
+                raise InferenceError(
+                    f"evidence vector for node {node} has length {len(vec)}, "
+                    f"expected {self.cardinalities[node]}")
+        message = self._collect(target, parent=None, evidence=evidence)
+        result = self._marginals[target] * message
+        if target in evidence:
+            result = result * evidence[target]
+        return result
+
+    def probability(self, evidence: dict[int, np.ndarray]) -> float:
+        """Normalized probability of the (soft) evidence."""
+        if not evidence:
+            return 1.0
+        anchor = next(iter(evidence))
+        return float(self.marginal(anchor, evidence).sum())
+
+    def pairwise_conditional(self, parent: int, child: int) -> np.ndarray:
+        """P(child | parent) matrix, composing conditionals along the tree
+        path when the two nodes are not adjacent."""
+        self._check_fitted()
+        path = self._path(parent, child)
+        if path is None:
+            raise InferenceError(f"no path between nodes {parent} and {child}")
+        matrix = np.eye(self.cardinalities[parent])
+        for a, b in zip(path[:-1], path[1:]):
+            matrix = matrix @ self._conditional(a, b)
+        return matrix
+
+    # -- internals ------------------------------------------------------------------
+
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError("TreeBayesNet.fit was never called")
+
+    def _conditional(self, a: int, b: int) -> np.ndarray:
+        """P(b | a) for adjacent nodes, from the stored joint counts."""
+        if (a, b) in self._joints:
+            joint = self._joints[(a, b)]
+        elif (b, a) in self._joints:
+            joint = self._joints[(b, a)].T
+        else:
+            raise InferenceError(f"nodes {a}, {b} not adjacent in tree")
+        row_sums = joint.sum(axis=1, keepdims=True)
+        return np.divide(joint, row_sums, out=np.zeros_like(joint),
+                         where=row_sums > 0)
+
+    def _collect(self, node: int, parent: int | None,
+                 evidence: dict[int, np.ndarray]) -> np.ndarray:
+        """Product of messages flowing into ``node`` from all neighbours
+        except ``parent`` (recursion depth == tree diameter, fine here)."""
+        message = np.ones(self.cardinalities[node])
+        for nbr in self._adjacency[node]:
+            if nbr == parent:
+                continue
+            child_msg = self._collect(nbr, node, evidence)
+            if nbr in evidence:
+                child_msg = child_msg * evidence[nbr]
+            message = message * (self._conditional(node, nbr) @ child_msg)
+        return message
+
+    def _path(self, a: int, b: int) -> list[int] | None:
+        if a == b:
+            return [a]
+        stack = [(a, [a])]
+        seen = {a}
+        while stack:
+            node, path = stack.pop()
+            for nbr in self._adjacency[node]:
+                if nbr in seen:
+                    continue
+                new_path = path + [nbr]
+                if nbr == b:
+                    return new_path
+                seen.add(nbr)
+                stack.append((nbr, new_path))
+        return None

@@ -1,0 +1,107 @@
+"""Chow-Liu tree structure learning (paper Section 5.1).
+
+The joint distribution over a table's attributes/join keys is approximated
+by a maximum-spanning tree under pairwise mutual information, so only one-
+and two-dimensional distributions ever need to be stored (the Chow & Liu
+1968 construction the paper cites as [6]).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+def joint_histogram(codes_a: np.ndarray, codes_b: np.ndarray,
+                    k_a: int, k_b: int,
+                    weights: np.ndarray | None = None) -> np.ndarray:
+    """(k_a, k_b) joint count matrix of two integer code columns."""
+    flat = codes_a.astype(np.int64) * k_b + codes_b.astype(np.int64)
+    counts = np.bincount(flat, weights=weights, minlength=k_a * k_b)
+    return counts.reshape(k_a, k_b).astype(np.float64)
+
+
+def mutual_information(codes_a: np.ndarray, codes_b: np.ndarray,
+                       k_a: int, k_b: int) -> float:
+    """Empirical mutual information (nats) between two code columns."""
+    if len(codes_a) == 0:
+        return 0.0
+    joint = joint_histogram(codes_a, codes_b, k_a, k_b)
+    total = joint.sum()
+    if total <= 0:
+        return 0.0
+    p_joint = joint / total
+    p_a = p_joint.sum(axis=1, keepdims=True)
+    p_b = p_joint.sum(axis=0, keepdims=True)
+    denom = p_a @ p_b
+    mask = p_joint > 0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        terms = p_joint[mask] * np.log(p_joint[mask] / denom[mask])
+    return float(terms.sum())
+
+
+def chow_liu_tree(code_matrix: np.ndarray, cardinalities: list[int],
+                  root: int = 0) -> list[tuple[int, int]]:
+    """Directed Chow-Liu tree edges ``(parent, child)`` rooted at ``root``.
+
+    ``code_matrix`` has shape (n_rows, n_cols) of integer codes with
+    ``code_matrix[:, j] in [0, cardinalities[j])``.  Maximum spanning tree
+    over pairwise mutual information, directed away from the root by BFS.
+    Isolated components (zero MI everywhere) are attached to the root so the
+    result is always a spanning arborescence.
+    """
+    n_cols = code_matrix.shape[1]
+    if n_cols == 0:
+        return []
+    if not 0 <= root < n_cols:
+        raise ReproError(f"root {root} out of range for {n_cols} columns")
+    if n_cols == 1:
+        return []
+
+    # Kruskal on negated MI (max spanning tree)
+    edges = []
+    for i in range(n_cols):
+        for j in range(i + 1, n_cols):
+            mi = mutual_information(code_matrix[:, i], code_matrix[:, j],
+                                    cardinalities[i], cardinalities[j])
+            edges.append((mi, i, j))
+    edges.sort(key=lambda e: -e[0])
+
+    parent = list(range(n_cols))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    undirected: dict[int, list[int]] = {i: [] for i in range(n_cols)}
+    accepted = 0
+    for _, i, j in edges:
+        ri, rj = find(i), find(j)
+        if ri != rj:
+            parent[ri] = rj
+            undirected[i].append(j)
+            undirected[j].append(i)
+            accepted += 1
+            if accepted == n_cols - 1:
+                break
+
+    # direct away from root via BFS
+    directed: list[tuple[int, int]] = []
+    seen = {root}
+    frontier = [root]
+    while frontier:
+        node = frontier.pop()
+        for nbr in undirected[node]:
+            if nbr not in seen:
+                seen.add(nbr)
+                directed.append((node, nbr))
+                frontier.append(nbr)
+    # attach any stragglers (possible only if MST above was not spanning)
+    for node in range(n_cols):
+        if node not in seen:
+            directed.append((root, node))
+            seen.add(node)
+    return directed

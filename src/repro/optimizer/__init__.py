@@ -1,0 +1,21 @@
+"""Cost-based query optimizer substrate.
+
+This replaces the paper's Postgres integration: estimated sub-plan
+cardinalities are injected into a dynamic-programming join-order optimizer,
+the chosen plan is costed with *true* cardinalities (the execution-time
+proxy), and measured estimation latency is added as planning time.
+"""
+
+from repro.optimizer.plans import JoinPlan
+from repro.optimizer.cost import CostModel, COST_MODELS
+from repro.optimizer.dp import optimize
+from repro.optimizer.endtoend import EndToEndResult, EndToEndRunner
+
+__all__ = [
+    "CostModel",
+    "COST_MODELS",
+    "EndToEndResult",
+    "EndToEndRunner",
+    "JoinPlan",
+    "optimize",
+]

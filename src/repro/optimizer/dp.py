@@ -1,0 +1,99 @@
+"""Dynamic-programming join ordering over connected sub-plans.
+
+Classic DPsub restricted to connected subsets (cross products only when the
+join graph itself is disconnected): for each connected alias subset, the
+cheapest plan is the cheapest way of splitting it into two connected,
+joinable halves.  Cardinalities come from an injected oracle — which is how
+the harness feeds each CardEst method's estimates to the same optimizer,
+mirroring the paper's "inject into PostgreSQL" methodology.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.optimizer.cost import CostModel, C_OUT
+from repro.optimizer.plans import JoinPlan
+from repro.sql.query import Query
+
+CardOracle = Callable[[frozenset], float]
+
+
+def optimize(query: Query, card: CardOracle,
+             cost_model: CostModel = C_OUT) -> tuple[JoinPlan, float]:
+    """Best plan and its estimated cost for ``query`` under ``card``."""
+    aliases = query.aliases
+    if not aliases:
+        raise ValueError("cannot optimize an empty query")
+    if len(aliases) == 1:
+        return JoinPlan.leaf(aliases[0]), 0.0
+
+    adj = query.adjacency()
+    best: dict[frozenset, tuple[float, JoinPlan]] = {}
+    for alias in aliases:
+        best[frozenset([alias])] = (0.0, JoinPlan.leaf(alias))
+
+    subsets = query.connected_subsets(min_tables=2)
+    full = frozenset(aliases)
+    if full not in subsets:
+        # disconnected join graph: fall back to greedy cross products
+        return _greedy_disconnected(query, card, cost_model)
+
+    for subset in subsets:
+        best_cost, best_plan = float("inf"), None
+        members = sorted(subset)
+        # enumerate proper subsets via bitmask over the subset's members
+        n = len(members)
+        for mask in range(1, (1 << n) - 1):
+            left = frozenset(members[i] for i in range(n) if mask >> i & 1)
+            right = subset - left
+            if left not in best or right not in best:
+                continue
+            if not _joinable(left, right, adj):
+                continue
+            plan = JoinPlan.join(best[left][1], best[right][1])
+            cost = cost_model.cost(plan, card)
+            if cost < best_cost:
+                best_cost, best_plan = cost, plan
+        if best_plan is not None:
+            best[subset] = (best_cost, best_plan)
+
+    if full not in best:
+        return _greedy_disconnected(query, card, cost_model)
+    cost, plan = best[full]
+    return plan, cost
+
+
+def _joinable(left: frozenset, right: frozenset,
+              adj: dict[str, set[str]]) -> bool:
+    for alias in left:
+        if adj[alias] & right:
+            return True
+    return False
+
+
+def _greedy_disconnected(query: Query, card: CardOracle,
+                         cost_model: CostModel) -> tuple[JoinPlan, float]:
+    """Left-deep greedy fallback that tolerates cross products."""
+    aliases = list(query.aliases)
+    adj = query.adjacency()
+    remaining = set(aliases)
+    start = min(remaining, key=lambda a: card(frozenset([a])))
+    plan = JoinPlan.leaf(start)
+    remaining.discard(start)
+    while remaining:
+        connected = [a for a in remaining if adj[a] & plan.aliases]
+        pool = connected or sorted(remaining)
+        nxt = min(pool,
+                  key=lambda a: card(plan.aliases | frozenset([a])))
+        plan = JoinPlan.join(plan, JoinPlan.leaf(nxt))
+        remaining.discard(nxt)
+    return plan, cost_model.cost(plan, card)
+
+
+def make_oracle(cards: dict[frozenset, float],
+                default: float = 1.0) -> CardOracle:
+    """Oracle over a precomputed sub-plan cardinality dict."""
+    def oracle(aliases: frozenset) -> float:
+        return cards.get(frozenset(aliases), default)
+    return oracle

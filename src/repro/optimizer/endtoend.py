@@ -1,0 +1,145 @@
+"""End-to-end evaluation: plan with estimates, cost with truth.
+
+For each query and each CardEst method:
+
+1. the method estimates **all sub-plan cardinalities** (timed: this is the
+   planning latency the paper's Exec+Plan columns separate out);
+2. the DP optimizer picks a plan using those estimates;
+3. the plan is costed under the **true** cardinalities — the execution-time
+   proxy (same plan-quality signal as running Postgres with injected
+   cardinalities, see DESIGN.md).
+
+``execution_seconds`` converts true cost to a simulated runtime via a fixed
+cost-to-seconds factor so that planning latency and execution quality
+combine into one end-to-end number, as in the paper's Tables 3/4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.base import CardEstMethod
+from repro.engine.executor import CardinalityExecutor
+from repro.errors import UnsupportedQueryError
+from repro.optimizer.cost import C_OUT, CostModel
+from repro.optimizer.dp import make_oracle, optimize
+from repro.optimizer.plans import JoinPlan
+from repro.sql.query import Query
+from repro.utils import Timer
+
+
+@dataclass
+class QueryResult:
+    query: Query
+    plan: JoinPlan | None
+    planning_seconds: float
+    true_cost: float
+    execution_seconds: float
+    supported: bool = True
+
+    @property
+    def end_to_end_seconds(self) -> float:
+        return self.planning_seconds + self.execution_seconds
+
+
+@dataclass
+class EndToEndResult:
+    method_name: str
+    per_query: list[QueryResult] = field(default_factory=list)
+
+    @property
+    def supported_queries(self) -> list[QueryResult]:
+        return [r for r in self.per_query if r.supported]
+
+    @property
+    def num_unsupported(self) -> int:
+        return sum(1 for r in self.per_query if not r.supported)
+
+    @property
+    def total_planning(self) -> float:
+        return sum(r.planning_seconds for r in self.supported_queries)
+
+    @property
+    def total_execution(self) -> float:
+        return sum(r.execution_seconds for r in self.supported_queries)
+
+    @property
+    def total_end_to_end(self) -> float:
+        return self.total_planning + self.total_execution
+
+    def improvement_over(self, baseline: "EndToEndResult") -> float:
+        """(baseline - self) / baseline, the paper's improvement column."""
+        base = baseline.total_end_to_end
+        if base <= 0:
+            return 0.0
+        return (base - self.total_end_to_end) / base
+
+
+class EndToEndRunner:
+    """Evaluates CardEst methods through the shared optimizer."""
+
+    def __init__(self, database, true_cards: dict | None = None,
+                 cost_model: CostModel = C_OUT,
+                 seconds_per_cost_unit: float = 2e-5):
+        self._db = database
+        self._executor = CardinalityExecutor(database)
+        self._cost_model = cost_model
+        self._unit = seconds_per_cost_unit
+        # cache of true sub-plan cardinalities per query signature
+        self._true_cards: dict = true_cards if true_cards is not None else {}
+
+    # -- truth --------------------------------------------------------------------
+
+    def true_subplan_cards(self, query: Query) -> dict[frozenset, float]:
+        key = query.signature()
+        if key not in self._true_cards:
+            self._true_cards[key] = self._executor.subplan_cardinalities(
+                query, min_tables=1)
+        return self._true_cards[key]
+
+    def true_cost_of_plan(self, query: Query, plan: JoinPlan) -> float:
+        truth = self.true_subplan_cards(query)
+        return self._cost_model.cost(plan, make_oracle(truth))
+
+    def optimal_result(self, query: Query) -> QueryResult:
+        """TrueCard: plan and cost under the truth, zero planning charge."""
+        truth = self.true_subplan_cards(query)
+        plan, _ = optimize(query, make_oracle(truth), self._cost_model)
+        cost = self.true_cost_of_plan(query, plan)
+        return QueryResult(query, plan, 0.0, cost, cost * self._unit)
+
+    # -- per method ----------------------------------------------------------------
+
+    def run_query(self, method: CardEstMethod, query: Query) -> QueryResult:
+        if len(query.aliases) == 1:
+            cost = 0.0
+            return QueryResult(query, JoinPlan.leaf(query.aliases[0]),
+                               0.0, cost, 0.0)
+        try:
+            with Timer() as timer:
+                estimates = method.estimate_subplans(query, min_tables=1)
+        except UnsupportedQueryError:
+            return QueryResult(query, None, 0.0, float("inf"),
+                               float("inf"), supported=False)
+        plan, _ = optimize(query, make_oracle(estimates), self._cost_model)
+        true_cost = self.true_cost_of_plan(query, plan)
+        return QueryResult(query, plan, timer.elapsed, true_cost,
+                           true_cost * self._unit)
+
+    def run(self, method: CardEstMethod,
+            workload: list[Query]) -> EndToEndResult:
+        result = EndToEndResult(method.name)
+        for query in workload:
+            result.per_query.append(self.run_query(method, query))
+        return result
+
+    def run_optimal(self, workload: list[Query],
+                    name: str = "TrueCard") -> EndToEndResult:
+        result = EndToEndResult(name)
+        for query in workload:
+            if len(query.aliases) == 1:
+                result.per_query.append(QueryResult(
+                    query, JoinPlan.leaf(query.aliases[0]), 0.0, 0.0, 0.0))
+            else:
+                result.per_query.append(self.optimal_result(query))
+        return result

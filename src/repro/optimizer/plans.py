@@ -1,0 +1,53 @@
+"""Join plan trees."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class JoinPlan:
+    """Binary join tree over alias sets.
+
+    Leaves have ``left is None and right is None`` and a single alias.
+    """
+
+    aliases: frozenset
+    left: "JoinPlan | None" = None
+    right: "JoinPlan | None" = None
+
+    @classmethod
+    def leaf(cls, alias: str) -> "JoinPlan":
+        return cls(frozenset([alias]))
+
+    @classmethod
+    def join(cls, left: "JoinPlan", right: "JoinPlan") -> "JoinPlan":
+        return cls(left.aliases | right.aliases, left, right)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+    def inner_nodes(self) -> list["JoinPlan"]:
+        """All join (non-leaf) nodes, bottom-up."""
+        if self.is_leaf:
+            return []
+        return (self.left.inner_nodes() + self.right.inner_nodes()
+                + [self])
+
+    def leaves(self) -> list[str]:
+        if self.is_leaf:
+            return [next(iter(self.aliases))]
+        return self.left.leaves() + self.right.leaves()
+
+    def render(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        if self.is_leaf:
+            return f"{pad}{next(iter(self.aliases))}"
+        header = f"{pad}JOIN {{{', '.join(sorted(self.aliases))}}}"
+        return "\n".join([header,
+                          self.left.render(indent + 1),
+                          self.right.render(indent + 1)])
+
+    def __str__(self) -> str:
+        return self.render()

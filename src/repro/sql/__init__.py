@@ -1,0 +1,34 @@
+"""Query representation: predicate AST, Query objects, SQL subset parser."""
+
+from repro.sql.predicates import (
+    And,
+    Between,
+    Comparison,
+    In,
+    IsNull,
+    Like,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+from repro.sql.query import ColumnRef, JoinCondition, Query, TableRef
+from repro.sql.parser import parse_query
+
+__all__ = [
+    "And",
+    "Between",
+    "ColumnRef",
+    "Comparison",
+    "In",
+    "IsNull",
+    "JoinCondition",
+    "Like",
+    "Not",
+    "Or",
+    "parse_query",
+    "Predicate",
+    "Query",
+    "TableRef",
+    "TruePredicate",
+]

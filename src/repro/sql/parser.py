@@ -1,0 +1,348 @@
+"""Parser for the SQL subset used by the CEB/JOB-style workloads.
+
+Grammar (case-insensitive keywords)::
+
+    query      := SELECT COUNT(*) FROM table_list [WHERE expr] [;]
+    table_list := table [AS] alias ("," table [AS] alias)*
+    expr       := or_expr
+    or_expr    := and_expr (OR and_expr)*
+    and_expr   := unary (AND unary)*
+    unary      := NOT unary | "(" expr ")" | atom
+    atom       := colref "=" colref                       -- join condition
+                | colref op literal                       -- comparison
+                | colref BETWEEN literal AND literal
+                | colref [NOT] IN "(" literal, ... ")"
+                | colref [NOT] LIKE string
+                | colref IS [NOT] NULL
+
+Top-level conjuncts of the WHERE clause that compare two column references
+become join conditions; every other predicate (including OR/NOT subtrees)
+must reference exactly one alias and becomes part of that alias's filter.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ParseError
+from repro.sql.predicates import (
+    Between,
+    Comparison,
+    In,
+    IsNull,
+    Like,
+    Not,
+    Or,
+    Predicate,
+    conjoin,
+)
+from repro.sql.query import ColumnRef, JoinCondition, Query, TableRef
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<string>'(?:[^']|'')*')
+      | (?P<number>-?\d+\.\d+|-?\d+)
+      | (?P<op><>|!=|<=|>=|=|<|>)
+      | (?P<punct>[(),;*])
+      | (?P<word>[A-Za-z_][A-Za-z_0-9]*(?:\.[A-Za-z_][A-Za-z_0-9]*)?)
+    )""",
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "select", "count", "from", "where", "and", "or", "not", "in",
+    "between", "like", "is", "null", "as",
+}
+
+
+class _Token:
+    __slots__ = ("kind", "text")
+
+    def __init__(self, kind: str, text: str):
+        self.kind = kind
+        self.text = text
+
+    def __repr__(self) -> str:
+        return f"{self.kind}:{self.text}"
+
+
+def _tokenize(sql: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(sql):
+        match = _TOKEN_RE.match(sql, pos)
+        if match is None:
+            if sql[pos:].strip() == "":
+                break
+            raise ParseError(
+                f"unexpected character at {pos}: {sql[pos:pos + 20]!r}")
+        pos = match.end()
+        for kind in ("string", "number", "op", "punct", "word"):
+            text = match.group(kind)
+            if text is not None:
+                if kind == "word" and text.lower() in _KEYWORDS:
+                    tokens.append(_Token("kw", text.lower()))
+                else:
+                    tokens.append(_Token(kind, text))
+                break
+    return tokens
+
+
+class _JoinAtom:
+    """A ``colref = colref`` atom (join condition)."""
+
+    def __init__(self, left: ColumnRef, right: ColumnRef):
+        self.left = left
+        self.right = right
+
+
+class _FilterAtom:
+    """A filter predicate together with the alias it references."""
+
+    def __init__(self, alias: str, predicate: Predicate):
+        self.alias = alias
+        self.predicate = predicate
+
+
+class _AndList:
+    """A flattened conjunction possibly mixing joins and filters."""
+
+    def __init__(self, parts: list):
+        self.parts: list = []
+        for part in parts:
+            if isinstance(part, _AndList):
+                self.parts.extend(part.parts)
+            else:
+                self.parts.append(part)
+
+
+def _unquote(text: str) -> str:
+    return text[1:-1].replace("''", "'")
+
+
+def _literal(tok: _Token):
+    if tok.kind == "string":
+        return _unquote(tok.text)
+    if tok.kind == "number":
+        if "." in tok.text:
+            return float(tok.text)
+        return int(tok.text)
+    raise ParseError(f"expected literal, got {tok.text!r}")
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers -----------------------------------------------------------
+
+    def _peek(self) -> _Token | None:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _next(self) -> _Token:
+        tok = self._peek()
+        if tok is None:
+            raise ParseError("unexpected end of query")
+        self._pos += 1
+        return tok
+
+    def _expect_kw(self, word: str) -> None:
+        tok = self._next()
+        if tok.kind != "kw" or tok.text != word:
+            raise ParseError(f"expected {word.upper()!r}, got {tok.text!r}")
+
+    def _expect_punct(self, char: str) -> None:
+        tok = self._next()
+        if tok.kind != "punct" or tok.text != char:
+            raise ParseError(f"expected {char!r}, got {tok.text!r}")
+
+    def _accept_kw(self, word: str) -> bool:
+        tok = self._peek()
+        if tok is not None and tok.kind == "kw" and tok.text == word:
+            self._pos += 1
+            return True
+        return False
+
+    def _accept_punct(self, char: str) -> bool:
+        tok = self._peek()
+        if tok is not None and tok.kind == "punct" and tok.text == char:
+            self._pos += 1
+            return True
+        return False
+
+    # -- grammar -------------------------------------------------------------------
+
+    def parse_query(self) -> Query:
+        self._expect_kw("select")
+        self._expect_kw("count")
+        self._expect_punct("(")
+        self._expect_punct("*")
+        self._expect_punct(")")
+        self._expect_kw("from")
+        tables = self._parse_table_list()
+        where = None
+        if self._accept_kw("where"):
+            where = self._parse_or()
+        self._accept_punct(";")
+        if self._peek() is not None:
+            raise ParseError(
+                f"trailing tokens after query: {self._peek().text!r}")
+        return _build_query(tables, where)
+
+    def _parse_table_list(self) -> list[TableRef]:
+        tables = []
+        while True:
+            tok = self._next()
+            if tok.kind != "word":
+                raise ParseError(f"expected table name, got {tok.text!r}")
+            table = tok.text
+            alias = table
+            self._accept_kw("as")
+            nxt = self._peek()
+            if nxt is not None and nxt.kind == "word":
+                alias = self._next().text
+            tables.append(TableRef(table, alias))
+            if not self._accept_punct(","):
+                break
+        return tables
+
+    def _parse_or(self):
+        parts = [self._parse_and()]
+        while self._accept_kw("or"):
+            parts.append(self._parse_and())
+        if len(parts) == 1:
+            return parts[0]
+        atoms = [_as_filter(p) for p in parts]
+        aliases = {a.alias for a in atoms}
+        if len(aliases) != 1:
+            raise ParseError(
+                f"OR branches must reference one alias, got {sorted(aliases)}")
+        return _FilterAtom(atoms[0].alias, Or([a.predicate for a in atoms]))
+
+    def _parse_and(self):
+        parts = [self._parse_unary()]
+        while self._accept_kw("and"):
+            parts.append(self._parse_unary())
+        if len(parts) == 1:
+            return parts[0]
+        return _AndList(parts)
+
+    def _parse_unary(self):
+        if self._accept_kw("not"):
+            child = _as_filter(self._parse_unary())
+            return _FilterAtom(child.alias, Not(child.predicate))
+        if self._accept_punct("("):
+            inner = self._parse_or()
+            self._expect_punct(")")
+            return inner
+        return self._parse_atom()
+
+    def _parse_atom(self):
+        tok = self._next()
+        if tok.kind != "word" or "." not in tok.text:
+            raise ParseError(
+                f"expected qualified column reference, got {tok.text!r}")
+        alias, column = tok.text.split(".", 1)
+        ref = ColumnRef(alias, column)
+        nxt = self._peek()
+        if nxt is None:
+            raise ParseError(f"dangling column reference {tok.text!r}")
+        if nxt.kind == "op":
+            op = self._next().text
+            op = "!=" if op == "<>" else op
+            rhs = self._next()
+            if rhs.kind == "word" and "." in rhs.text:
+                r_alias, r_column = rhs.text.split(".", 1)
+                if op != "=":
+                    raise ParseError(
+                        f"only equi-joins are supported, got {op!r}")
+                return _JoinAtom(ref, ColumnRef(r_alias, r_column))
+            return _FilterAtom(alias, Comparison(column, op, _literal(rhs)))
+        if nxt.kind == "kw" and nxt.text == "between":
+            self._next()
+            low = _literal(self._next())
+            self._expect_kw("and")
+            high = _literal(self._next())
+            return _FilterAtom(alias, Between(column, low, high))
+        negated = False
+        if nxt.kind == "kw" and nxt.text == "not":
+            self._next()
+            negated = True
+            nxt = self._peek()
+            if nxt is None:
+                raise ParseError("dangling NOT")
+        if nxt.kind == "kw" and nxt.text == "in":
+            self._next()
+            self._expect_punct("(")
+            values = [_literal(self._next())]
+            while self._accept_punct(","):
+                values.append(_literal(self._next()))
+            self._expect_punct(")")
+            pred: Predicate = In(column, values)
+            if negated:
+                pred = Not(pred)
+            return _FilterAtom(alias, pred)
+        if nxt.kind == "kw" and nxt.text == "like":
+            self._next()
+            pat = self._next()
+            if pat.kind != "string":
+                raise ParseError("LIKE requires a string pattern")
+            return _FilterAtom(alias,
+                               Like(column, _unquote(pat.text), negated=negated))
+        if nxt.kind == "kw" and nxt.text == "is":
+            self._next()
+            neg = self._accept_kw("not")
+            self._expect_kw("null")
+            return _FilterAtom(alias, IsNull(column, negated=neg))
+        raise ParseError(f"cannot parse predicate after {tok.text!r}")
+
+
+def _as_filter(part) -> _FilterAtom:
+    if isinstance(part, _FilterAtom):
+        return part
+    if isinstance(part, _AndList):
+        atoms = [_as_filter(p) for p in part.parts]
+        aliases = {a.alias for a in atoms}
+        if len(aliases) != 1:
+            raise ParseError(
+                "a parenthesized boolean expression must reference exactly "
+                f"one alias, got {sorted(aliases)}")
+        return _FilterAtom(atoms[0].alias,
+                           conjoin([a.predicate for a in atoms]))
+    raise ParseError("join conditions cannot appear inside OR / NOT")
+
+
+def _build_query(tables: list[TableRef], where) -> Query:
+    aliases = {t.alias for t in tables}
+    joins: list[JoinCondition] = []
+    filters: dict[str, list[Predicate]] = {}
+
+    if where is None:
+        parts = []
+    elif isinstance(where, _AndList):
+        parts = where.parts
+    else:
+        parts = [where]
+
+    for part in parts:
+        if isinstance(part, _JoinAtom):
+            joins.append(JoinCondition(part.left, part.right))
+            continue
+        atom = _as_filter(part)
+        if atom.alias not in aliases:
+            raise ParseError(
+                f"predicate references unknown alias {atom.alias!r}")
+        filters.setdefault(atom.alias, []).append(atom.predicate)
+
+    final_filters = {a: conjoin(ps) for a, ps in filters.items()}
+    return Query(tables, joins, final_filters)
+
+
+def parse_query(sql: str) -> Query:
+    """Parse a ``SELECT COUNT(*)`` join query from SQL text."""
+    parser = _Parser(_tokenize(sql))
+    return parser.parse_query()

@@ -1,0 +1,229 @@
+"""Filter predicate AST.
+
+Covers the predicate classes of the two benchmarks the paper evaluates on:
+STATS-CEB (numeric/categorical comparisons) and IMDB-JOB (adds IN lists,
+BETWEEN, string LIKE, IS [NOT] NULL, and disjunctions).
+
+Each node renders back to SQL via ``to_sql()`` and reports the columns it
+touches via ``columns()`` so estimators can featurize or reject predicates
+they do not support.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+class Predicate:
+    """Base class; concrete nodes are the dataclasses below."""
+
+    def columns(self) -> set[str]:
+        raise NotImplementedError
+
+    def to_sql(self, alias: str | None = None) -> str:
+        raise NotImplementedError
+
+    def conjuncts(self) -> list["Predicate"]:
+        """Flatten a top-level conjunction into its parts."""
+        return [self]
+
+    def is_simple(self) -> bool:
+        """True if the tree contains only AND-combined comparisons.
+
+        This is what the learned data-driven baselines support; LIKE / OR /
+        NOT make a predicate non-simple (paper Section 2.2).
+        """
+        return False
+
+
+def _fmt_value(value) -> str:
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    return str(value)
+
+
+def _qual(column: str, alias: str | None) -> str:
+    return f"{alias}.{column}" if alias else column
+
+
+@dataclass(frozen=True)
+class TruePredicate(Predicate):
+    """Matches every row (a table with no filter)."""
+
+    def columns(self) -> set[str]:
+        return set()
+
+    def to_sql(self, alias: str | None = None) -> str:
+        return "TRUE"
+
+    def conjuncts(self) -> list[Predicate]:
+        return []
+
+    def is_simple(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class Comparison(Predicate):
+    """``column <op> literal`` with op in =, !=, <, <=, >, >=."""
+
+    column: str
+    op: str
+    value: object
+
+    def __post_init__(self):
+        if self.op not in COMPARISON_OPS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+    def to_sql(self, alias: str | None = None) -> str:
+        op = "<>" if self.op == "!=" else self.op
+        return f"{_qual(self.column, alias)} {op} {_fmt_value(self.value)}"
+
+    def is_simple(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class Between(Predicate):
+    """``column BETWEEN low AND high`` (inclusive both ends)."""
+
+    column: str
+    low: object
+    high: object
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+    def to_sql(self, alias: str | None = None) -> str:
+        return (f"{_qual(self.column, alias)} BETWEEN "
+                f"{_fmt_value(self.low)} AND {_fmt_value(self.high)}")
+
+    def is_simple(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class In(Predicate):
+    """``column IN (v1, v2, ...)``."""
+
+    column: str
+    values: tuple = ()
+
+    def __init__(self, column: str, values: Sequence):
+        object.__setattr__(self, "column", column)
+        object.__setattr__(self, "values", tuple(values))
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+    def to_sql(self, alias: str | None = None) -> str:
+        inner = ", ".join(_fmt_value(v) for v in self.values)
+        return f"{_qual(self.column, alias)} IN ({inner})"
+
+    def is_simple(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class Like(Predicate):
+    """``column [NOT] LIKE pattern`` with SQL ``%``/``_`` wildcards."""
+
+    column: str
+    pattern: str
+    negated: bool = False
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+    def to_sql(self, alias: str | None = None) -> str:
+        kw = "NOT LIKE" if self.negated else "LIKE"
+        return f"{_qual(self.column, alias)} {kw} {_fmt_value(self.pattern)}"
+
+
+@dataclass(frozen=True)
+class IsNull(Predicate):
+    """``column IS [NOT] NULL``."""
+
+    column: str
+    negated: bool = False
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+    def to_sql(self, alias: str | None = None) -> str:
+        kw = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"{_qual(self.column, alias)} {kw}"
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    children: tuple = ()
+
+    def __init__(self, children: Sequence[Predicate]):
+        object.__setattr__(self, "children", tuple(children))
+        if not self.children:
+            raise ValueError("And requires at least one child")
+
+    def columns(self) -> set[str]:
+        out: set[str] = set()
+        for child in self.children:
+            out |= child.columns()
+        return out
+
+    def to_sql(self, alias: str | None = None) -> str:
+        return "(" + " AND ".join(c.to_sql(alias) for c in self.children) + ")"
+
+    def conjuncts(self) -> list[Predicate]:
+        out: list[Predicate] = []
+        for child in self.children:
+            out.extend(child.conjuncts())
+        return out
+
+    def is_simple(self) -> bool:
+        return all(c.is_simple() for c in self.children)
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    children: tuple = ()
+
+    def __init__(self, children: Sequence[Predicate]):
+        object.__setattr__(self, "children", tuple(children))
+        if not self.children:
+            raise ValueError("Or requires at least one child")
+
+    def columns(self) -> set[str]:
+        out: set[str] = set()
+        for child in self.children:
+            out |= child.columns()
+        return out
+
+    def to_sql(self, alias: str | None = None) -> str:
+        return "(" + " OR ".join(c.to_sql(alias) for c in self.children) + ")"
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    child: Predicate = field(default=None)  # type: ignore[assignment]
+
+    def columns(self) -> set[str]:
+        return self.child.columns()
+
+    def to_sql(self, alias: str | None = None) -> str:
+        return f"NOT ({self.child.to_sql(alias)})"
+
+
+def conjoin(predicates: Sequence[Predicate]) -> Predicate:
+    """AND a list of predicates, collapsing the trivial cases."""
+    parts = [p for p in predicates if not isinstance(p, TruePredicate)]
+    if not parts:
+        return TruePredicate()
+    if len(parts) == 1:
+        return parts[0]
+    return And(parts)

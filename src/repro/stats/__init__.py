@@ -1,0 +1,17 @@
+"""Basic statistics substrate: discretizers, histograms, MCVs, top-k."""
+
+from repro.stats.discretize import Discretizer
+from repro.stats.histograms import (
+    ColumnStatistics,
+    EquiDepthHistogram,
+    MostCommonValues,
+)
+from repro.stats.topk import TopKStatistics
+
+__all__ = [
+    "ColumnStatistics",
+    "Discretizer",
+    "EquiDepthHistogram",
+    "MostCommonValues",
+    "TopKStatistics",
+]

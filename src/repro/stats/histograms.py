@@ -1,0 +1,178 @@
+"""Per-column summary statistics in the style of DBMS catalogs.
+
+:class:`EquiDepthHistogram` + :class:`MostCommonValues` power the Selinger /
+Postgres-style baseline: selectivity of a predicate from single-column
+statistics, independence across columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.column import Column
+from repro.data.table import Table
+from repro.data.types import DataType
+from repro.engine.filter import evaluate_predicate
+from repro.sql.predicates import (
+    And,
+    Between,
+    Comparison,
+    In,
+    IsNull,
+    Like,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+
+DEFAULT_LIKE_SELECTIVITY = 0.05
+DEFAULT_EQ_SELECTIVITY = 0.005
+
+
+class MostCommonValues:
+    """Top-``n`` most common values with their frequencies."""
+
+    def __init__(self, column: Column, n: int = 100):
+        values = column.non_null_values()
+        self.total = len(values)
+        if self.total == 0:
+            self.values = np.zeros(0)
+            self.fractions = np.zeros(0)
+            self.ndv = 0
+            return
+        distinct, counts = np.unique(values, return_counts=True)
+        self.ndv = len(distinct)
+        order = np.argsort(counts)[::-1][:n]
+        self.values = distinct[order]
+        self.fractions = counts[order] / self.total
+        self.covered_fraction = float(self.fractions.sum())
+
+    def eq_selectivity(self, value) -> float | None:
+        """Selectivity of ``col = value`` if the value is an MCV, else None."""
+        hits = np.nonzero(self.values == value)[0]
+        if len(hits):
+            return float(self.fractions[hits[0]])
+        return None
+
+    def residual_eq_selectivity(self) -> float:
+        """Selectivity for a non-MCV equality: uniform over the residual."""
+        residual_ndv = max(1, self.ndv - len(self.values))
+        residual_frac = max(0.0, 1.0 - float(self.fractions.sum()))
+        return residual_frac / residual_ndv
+
+
+class EquiDepthHistogram:
+    """Equal-depth numeric histogram with range-selectivity estimation."""
+
+    def __init__(self, column: Column, n_bins: int = 100):
+        values = np.sort(column.non_null_values().astype(np.float64))
+        self.total = len(values)
+        if self.total == 0:
+            self.edges = np.zeros(0)
+            return
+        qs = np.linspace(0, 1, min(n_bins, self.total) + 1)
+        self.edges = np.quantile(values, qs)
+
+    def le_fraction(self, x: float) -> float:
+        """Estimated fraction of rows with value <= x (linear within bins)."""
+        if self.total == 0 or len(self.edges) == 0:
+            return 0.0
+        edges = self.edges
+        if x < edges[0]:
+            return 0.0
+        if x >= edges[-1]:
+            return 1.0
+        n_bins = len(edges) - 1
+        idx = int(np.searchsorted(edges, x, side="right")) - 1
+        idx = min(max(idx, 0), n_bins - 1)
+        lo, hi = edges[idx], edges[idx + 1]
+        within = 0.5 if hi == lo else (x - lo) / (hi - lo)
+        return (idx + within) / n_bins
+
+    def range_selectivity(self, low: float | None, high: float | None,
+                          low_inclusive: bool = True,
+                          high_inclusive: bool = True) -> float:
+        lo_frac = 0.0 if low is None else self.le_fraction(low)
+        hi_frac = 1.0 if high is None else self.le_fraction(high)
+        return max(0.0, hi_frac - lo_frac)
+
+
+class ColumnStatistics:
+    """Catalog-style stats of one column: histogram + MCVs + null fraction."""
+
+    def __init__(self, column: Column, n_bins: int = 100, n_mcv: int = 100):
+        self.name = column.name
+        self.dtype = column.dtype
+        self.n_rows = len(column)
+        self.null_fraction = (float(column.null_mask.mean())
+                              if self.n_rows else 0.0)
+        self.mcv = MostCommonValues(column, n_mcv)
+        self.histogram = (EquiDepthHistogram(column, n_bins)
+                          if column.dtype.is_numeric else None)
+
+    def selectivity(self, pred: Predicate) -> float:
+        """Selectivity of a single-column predicate, Selinger style."""
+        not_null = 1.0 - self.null_fraction
+        if isinstance(pred, TruePredicate):
+            return 1.0
+        if isinstance(pred, IsNull):
+            return not_null if pred.negated else self.null_fraction
+        if isinstance(pred, Comparison):
+            if pred.op == "=":
+                sel = self.mcv.eq_selectivity(pred.value)
+                if sel is None:
+                    sel = self.mcv.residual_eq_selectivity()
+                return sel * not_null
+            if pred.op == "!=":
+                return max(0.0, 1.0 - self.selectivity(
+                    Comparison(pred.column, "=", pred.value))) * not_null
+            if self.histogram is not None:
+                value = float(pred.value)
+                le = self.histogram.le_fraction(value)
+                eq = self.mcv.eq_selectivity(pred.value)
+                if eq is None:
+                    eq = self.mcv.residual_eq_selectivity()
+                if pred.op == "<=":
+                    sel = le
+                elif pred.op == "<":
+                    sel = max(0.0, le - eq)
+                elif pred.op == ">":
+                    sel = max(0.0, 1.0 - le)
+                else:  # >=
+                    sel = min(1.0, 1.0 - le + eq)
+                return sel * not_null
+            return 1.0 / 3.0 * not_null
+        if isinstance(pred, Between):
+            if self.histogram is not None:
+                return self.histogram.range_selectivity(
+                    float(pred.low), float(pred.high)) * not_null
+            return 0.1 * not_null
+        if isinstance(pred, In):
+            sel = sum(self.selectivity(Comparison(pred.column, "=", v))
+                      for v in pred.values)
+            return min(1.0, sel)
+        if isinstance(pred, Like):
+            # evaluate against the MCV list; fall back to the magic constant
+            sel = DEFAULT_LIKE_SELECTIVITY
+            if len(self.mcv.values) and self.dtype is DataType.STRING:
+                tiny = Table("_m", [Column(self.name, self.mcv.values,
+                                           self.dtype)])
+                matched = evaluate_predicate(pred, tiny)
+                covered = float(self.mcv.fractions[matched].sum())
+                residual = max(0.0, 1.0 - self.mcv.covered_fraction)
+                sel = covered + residual * DEFAULT_LIKE_SELECTIVITY
+            return min(1.0, sel) * not_null
+        if isinstance(pred, Not):
+            return max(0.0, 1.0 - self.selectivity(pred.child))
+        if isinstance(pred, And):
+            out = 1.0
+            for child in pred.children:
+                out *= self.selectivity(child)
+            return out
+        if isinstance(pred, Or):
+            miss = 1.0
+            for child in pred.children:
+                miss *= 1.0 - self.selectivity(child)
+            return 1.0 - miss
+        return DEFAULT_EQ_SELECTIVITY

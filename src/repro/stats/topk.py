@@ -1,0 +1,52 @@
+"""Top-k value statistics of a join key (the U-Block baseline's input)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class TopKStatistics:
+    """The ``k`` heaviest values of a key plus a uniform tail summary."""
+
+    def __init__(self, values: np.ndarray, k: int = 64):
+        values = np.asarray(values, dtype=np.int64)
+        self.total = float(len(values))
+        if len(values) == 0:
+            self.top_values = np.zeros(0, dtype=np.int64)
+            self.top_counts = np.zeros(0)
+            self.tail_count = 0.0
+            self.tail_ndv = 0
+            self.tail_max = 0.0
+            return
+        distinct, counts = np.unique(values, return_counts=True)
+        order = np.argsort(counts)[::-1]
+        top = order[:k]
+        tail = order[k:]
+        self.top_values = distinct[top]
+        self.top_counts = counts[top].astype(np.float64)
+        # sort top by value for fast intersection
+        v_order = np.argsort(self.top_values)
+        self.top_values = self.top_values[v_order]
+        self.top_counts = self.top_counts[v_order]
+        self.tail_count = float(counts[tail].sum())
+        self.tail_ndv = int(len(tail))
+        self.tail_max = float(counts[tail].max()) if len(tail) else 0.0
+
+    def join_upper_bound(self, other: "TopKStatistics") -> float:
+        """Upper bound on the join size of the two keys.
+
+        Matched top values multiply exactly; each side's tail can pair with
+        the other side's heaviest remaining multiplicity.
+        """
+        common, idx_a, idx_b = np.intersect1d(
+            self.top_values, other.top_values, return_indices=True)
+        bound = float((self.top_counts[idx_a] * other.top_counts[idx_b]).sum())
+        max_other = max(other.tail_max,
+                        float(other.top_counts.max()) if len(other.top_counts)
+                        else 0.0)
+        max_self = max(self.tail_max,
+                       float(self.top_counts.max()) if len(self.top_counts)
+                       else 0.0)
+        bound += self.tail_count * max_other
+        bound += other.tail_count * max_self
+        return bound

@@ -1,0 +1,20 @@
+"""Benchmark builders: synthetic STATS-CEB-like and IMDB-JOB-like instances.
+
+The real STATS / IMDB dumps are not available offline, so these builders
+generate databases with the same *shape* (table counts, key-group structure,
+Zipf-skewed foreign keys, attribute correlations, string columns for LIKE)
+and CEB/JOB-style query workloads.  See DESIGN.md's substitution table.
+"""
+
+from repro.workloads.benchmark import Benchmark, benchmark_summary
+from repro.workloads.imdb_job import build_imdb_job
+from repro.workloads.querygen import QueryGenerator
+from repro.workloads.stats_ceb import build_stats_ceb
+
+__all__ = [
+    "Benchmark",
+    "benchmark_summary",
+    "build_imdb_job",
+    "build_stats_ceb",
+    "QueryGenerator",
+]

@@ -1,0 +1,108 @@
+"""Benchmark bundles: database + workload + summary statistics (Table 2).
+
+Also provides the data split used by the incremental-update experiment
+(Table 5): tables are split on their date columns so the "stale" model is
+trained on older rows and the rest is inserted incrementally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.key_groups import schema_key_groups
+from repro.data.database import Database
+from repro.data.table import Table
+from repro.engine.executor import CardinalityExecutor
+from repro.sql.query import Query
+
+
+@dataclass
+class Benchmark:
+    name: str
+    database: Database
+    workload: list[Query]
+    _true_cards: dict = field(default_factory=dict, repr=False)
+
+    def true_cardinality(self, query: Query) -> float:
+        key = query.signature()
+        if key not in self._true_cards:
+            executor = CardinalityExecutor(self.database)
+            self._true_cards[key] = executor.cardinality(query)
+        return self._true_cards[key]
+
+    def true_cardinalities(self) -> list[float]:
+        return [self.true_cardinality(q) for q in self.workload]
+
+    def summary(self, with_cardinalities: bool = False) -> dict:
+        return benchmark_summary(self, with_cardinalities)
+
+
+def benchmark_summary(benchmark: Benchmark,
+                      with_cardinalities: bool = False) -> dict:
+    """The statistics reported in the paper's Table 2."""
+    db = benchmark.database
+    rows = [len(db.table(t)) for t in db.table_names]
+    cols = [len(db.schema.table(t).columns) for t in db.table_names]
+    keys = db.schema.key_endpoints()
+    groups = schema_key_groups(db.schema)
+    templates = {q.join_template() for q in benchmark.workload}
+    preds = [q.num_filter_predicates() for q in benchmark.workload]
+    subplans = [len(q.connected_subsets(2)) + len(q.aliases)
+                for q in benchmark.workload]
+    template_types = set()
+    for query in benchmark.workload:
+        if query.is_cyclic():
+            template_types.add("cyclic")
+        elif query.has_self_join():
+            template_types.add("self")
+        else:
+            template_types.add("star/chain")
+    summary = {
+        "benchmark": benchmark.name,
+        "num_tables": len(db.table_names),
+        "rows_per_table": (min(rows), max(rows)),
+        "cols_per_table": (min(cols), max(cols)),
+        "num_join_keys": len(keys),
+        "num_key_groups": len(groups),
+        "num_queries": len(benchmark.workload),
+        "num_join_templates": len(templates),
+        "template_types": sorted(template_types),
+        "filter_predicates": (min(preds), max(preds)),
+        "num_subplans": (min(subplans), max(subplans)),
+    }
+    if with_cardinalities:
+        cards = benchmark.true_cardinalities()
+        nonzero = [c for c in cards if c > 0] or [0.0]
+        summary["true_cardinality_range"] = (min(nonzero), max(cards))
+    return summary
+
+
+DATE_COLUMNS = ("creation_date", "date")
+
+
+def split_for_update(database: Database, fraction: float = 0.5
+                     ) -> tuple[Database, dict[str, Table]]:
+    """Split every table into (older rows, newer rows) for Table 5.
+
+    Tables with a date column split at its ``fraction`` quantile (mirroring
+    the paper's "data created before 2014"); others split positionally.
+    Returns the stale database plus per-table insert batches.
+    """
+    old_tables: list[Table] = []
+    inserts: dict[str, Table] = {}
+    for name in database.table_names:
+        table = database.table(name)
+        date_col = next((c for c in DATE_COLUMNS if c in table), None)
+        if date_col is not None and len(table):
+            values = table[date_col].values.astype(np.float64)
+            threshold = np.quantile(values, fraction)
+            mask = values <= threshold
+        else:
+            mask = np.arange(len(table)) < int(len(table) * fraction)
+        old_tables.append(table.take(mask))
+        rest = table.take(~mask)
+        if len(rest):
+            inserts[name] = rest
+    return Database(database.schema, old_tables), inserts

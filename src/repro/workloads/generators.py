@@ -1,0 +1,98 @@
+"""Synthetic data generation primitives.
+
+The generators mimic the statistical properties the paper's benchmarks
+stress: Zipf-skewed foreign keys (join-key skew), correlated attributes
+(attribute correlation), dangling foreign keys (NULLs), and word-built
+strings for LIKE predicates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils import resolve_rng
+
+_SYLLABLES = np.array([
+    "an", "ar", "ba", "bel", "cor", "dan", "del", "el", "fan", "gar",
+    "hal", "in", "jor", "kal", "lan", "mar", "nor", "or", "pan", "qui",
+    "ran", "sal", "tan", "ur", "van", "wen", "xan", "yor", "zan", "the",
+    "ing", "ter", "son", "ton", "ley", "ford", "wood", "stone", "field",
+    "brook",
+])
+
+
+def zipf_fk(rng: np.random.Generator, n_rows: int, n_parents: int,
+            a: float = 1.3, null_fraction: float = 0.0,
+            perm: np.ndarray | None = None
+            ) -> tuple[np.ndarray, np.ndarray]:
+    """Skewed foreign keys into ``[0, n_parents)`` plus a null mask.
+
+    The Zipf rank sample is permuted over the parent domain so heavy
+    parents are arbitrary ids.  Pass a shared ``perm`` across the FK
+    columns referencing one parent table to make the *same* parents hot
+    everywhere — the property of real data (a popular post collects many
+    comments AND votes) that drives large join results.
+    """
+    ranks = np.minimum(rng.zipf(a, size=n_rows), n_parents) - 1
+    if perm is None:
+        perm = rng.permutation(n_parents)
+    values = perm[ranks].copy()
+    nulls = rng.random(n_rows) < null_fraction
+    values[nulls] = 0  # placeholder under the mask
+    return values.astype(np.int64), nulls
+
+
+def correlated_int(rng: np.random.Generator, base: np.ndarray,
+                   noise: float, low: int, high: int) -> np.ndarray:
+    """An int column correlated with ``base`` (rescaled + gaussian noise)."""
+    base = np.asarray(base, dtype=np.float64)
+    span = base.max() - base.min()
+    scaled = (base - base.min()) / (span if span > 0 else 1.0)
+    values = scaled * (high - low) + low + rng.normal(
+        0, noise * (high - low), size=len(base))
+    return np.clip(np.round(values), low, high).astype(np.int64)
+
+
+def skewed_int(rng: np.random.Generator, n: int, low: int, high: int,
+               a: float = 1.5) -> np.ndarray:
+    """Zipf-skewed int attribute over [low, high]."""
+    vals = np.minimum(rng.zipf(a, size=n), high - low + 1) - 1
+    return (vals + low).astype(np.int64)
+
+
+def date_column(rng: np.random.Generator, n: int, start: int = 0,
+                end: int = 4000, recency_bias: float = 2.0) -> np.ndarray:
+    """Day-number timestamps biased toward recent dates (like forum data)."""
+    u = rng.random(n) ** (1.0 / recency_bias)
+    return (start + u * (end - start)).astype(np.int64)
+
+
+def categorical(rng: np.random.Generator, n: int, n_values: int,
+                skew: float = 1.2) -> np.ndarray:
+    """Skewed categorical codes in [0, n_values)."""
+    ranks = np.minimum(rng.zipf(skew, size=n), n_values) - 1
+    return ranks.astype(np.int64)
+
+
+def words(rng: np.random.Generator, n: int, min_syllables: int = 2,
+          max_syllables: int = 4) -> np.ndarray:
+    """Pronounceable pseudo-words (for names / titles / keywords)."""
+    counts = rng.integers(min_syllables, max_syllables + 1, size=n)
+    max_c = int(counts.max()) if n else 0
+    picks = rng.integers(0, len(_SYLLABLES), size=(n, max(max_c, 1)))
+    out = np.empty(n, dtype=object)
+    for i in range(n):
+        out[i] = "".join(_SYLLABLES[picks[i, : counts[i]]])
+    return out
+
+
+def titles(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Multi-word title strings ("The Xanley Brookson")."""
+    first = words(rng, n, 1, 2)
+    second = words(rng, n, 2, 3)
+    out = np.empty(n, dtype=object)
+    use_the = rng.random(n) < 0.3
+    for i in range(n):
+        prefix = "The " if use_the[i] else ""
+        out[i] = f"{prefix}{first[i].capitalize()} {second[i].capitalize()}"
+    return out

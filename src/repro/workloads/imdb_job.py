@@ -1,0 +1,276 @@
+"""Synthetic IMDB-like database (paper Section 6.1, Table 2 right column).
+
+Shape matches the real IMDB snapshot JOB runs on: 21 tables whose 36 join
+keys form 11 equivalent key groups (movie, person, company, keyword, kind,
+info-type, company-type, role, character, link-type, comp-cast-type),
+string columns for LIKE predicates, and the ``movie_link`` table enabling
+self joins of ``title`` and cyclic alias graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import (
+    Column,
+    ColumnSchema,
+    Database,
+    DatabaseSchema,
+    DataType,
+    JoinRelation,
+    Table,
+    TableSchema,
+)
+from repro.utils import resolve_rng
+from repro.workloads import generators as gen
+
+INT, STR = DataType.INT, DataType.STRING
+
+
+def _t(name: str, keys: list[str],
+       attrs: list[tuple[str, DataType]]) -> TableSchema:
+    cols = [ColumnSchema(k, INT, is_key=True) for k in keys]
+    cols += [ColumnSchema(a, dt) for a, dt in attrs]
+    return TableSchema(name, cols)
+
+
+def imdb_schema() -> DatabaseSchema:
+    tables = [
+        _t("title", ["id", "kind_id"],
+           [("title", STR), ("production_year", INT), ("season_nr", INT)]),
+        _t("name", ["id"],
+           [("name", STR), ("gender", INT), ("name_pcode", INT)]),
+        _t("char_name", ["id"], [("name", STR)]),
+        _t("company_name", ["id"],
+           [("name", STR), ("country_code", INT)]),
+        _t("company_type", ["id"], [("kind", INT)]),
+        _t("kind_type", ["id"], [("kind", INT)]),
+        _t("info_type", ["id"], [("info", INT)]),
+        _t("role_type", ["id"], [("role", INT)]),
+        _t("link_type", ["id"], [("link", INT)]),
+        _t("comp_cast_type", ["id"], [("kind", INT)]),
+        _t("keyword", ["id"], [("keyword", STR)]),
+        _t("cast_info", ["movie_id", "person_id", "person_role_id",
+                         "role_id"],
+           [("nr_order", INT)]),
+        _t("movie_companies", ["movie_id", "company_id", "company_type_id"],
+           [("note", STR)]),
+        _t("movie_info", ["movie_id", "info_type_id"],
+           [("info", STR)]),
+        _t("movie_info_idx", ["movie_id", "info_type_id"],
+           [("info", INT)]),
+        _t("movie_keyword", ["movie_id", "keyword_id"], []),
+        _t("movie_link", ["movie_id", "linked_movie_id", "link_type_id"],
+           []),
+        _t("complete_cast", ["movie_id", "subject_id", "status_id"], []),
+        _t("aka_title", ["movie_id", "kind_id"],
+           [("title", STR), ("production_year", INT)]),
+        _t("aka_name", ["person_id"], [("name", STR)]),
+        _t("person_info", ["person_id", "info_type_id"],
+           [("info", STR)]),
+    ]
+    joins = [
+        # movie group
+        JoinRelation("title", "id", "cast_info", "movie_id"),
+        JoinRelation("title", "id", "movie_companies", "movie_id"),
+        JoinRelation("title", "id", "movie_info", "movie_id"),
+        JoinRelation("title", "id", "movie_info_idx", "movie_id"),
+        JoinRelation("title", "id", "movie_keyword", "movie_id"),
+        JoinRelation("title", "id", "movie_link", "movie_id"),
+        JoinRelation("title", "id", "movie_link", "linked_movie_id"),
+        JoinRelation("title", "id", "complete_cast", "movie_id"),
+        JoinRelation("title", "id", "aka_title", "movie_id"),
+        # person group
+        JoinRelation("name", "id", "cast_info", "person_id"),
+        JoinRelation("name", "id", "aka_name", "person_id"),
+        JoinRelation("name", "id", "person_info", "person_id"),
+        # dimension groups
+        JoinRelation("company_name", "id", "movie_companies", "company_id"),
+        JoinRelation("company_type", "id", "movie_companies",
+                     "company_type_id"),
+        JoinRelation("keyword", "id", "movie_keyword", "keyword_id"),
+        JoinRelation("kind_type", "id", "title", "kind_id"),
+        JoinRelation("kind_type", "id", "aka_title", "kind_id"),
+        JoinRelation("info_type", "id", "movie_info", "info_type_id"),
+        JoinRelation("info_type", "id", "movie_info_idx", "info_type_id"),
+        JoinRelation("info_type", "id", "person_info", "info_type_id"),
+        JoinRelation("role_type", "id", "cast_info", "role_id"),
+        JoinRelation("char_name", "id", "cast_info", "person_role_id"),
+        JoinRelation("link_type", "id", "movie_link", "link_type_id"),
+        JoinRelation("comp_cast_type", "id", "complete_cast", "subject_id"),
+        JoinRelation("comp_cast_type", "id", "complete_cast", "status_id"),
+    ]
+    return DatabaseSchema(tables, joins)
+
+
+def build_imdb_database(scale: float = 1.0, seed: int = 0) -> Database:
+    rng = resolve_rng(seed)
+    n_title = max(60, int(5000 * scale))
+    n_name = max(80, int(7000 * scale))
+    n_char = max(50, int(4000 * scale))
+    n_company = max(30, int(2000 * scale))
+    n_keyword = max(30, int(1500 * scale))
+    n_cast = max(150, int(22000 * scale))
+    n_mc = max(80, int(8000 * scale))
+    n_mi = max(100, int(14000 * scale))
+    n_mi_idx = max(60, int(7000 * scale))
+    n_mk = max(80, int(9000 * scale))
+    n_ml = max(30, int(1200 * scale))
+    n_cc = max(30, int(2000 * scale))
+    n_aka_t = max(30, int(1500 * scale))
+    n_aka_n = max(40, int(2500 * scale))
+    n_pi = max(80, int(8000 * scale))
+
+    def dim(name: str, n: int, attr: str) -> Table:
+        return Table(name, [Column("id", np.arange(n)),
+                            Column(attr, np.arange(n) % max(2, n // 2))])
+
+    kind_type = dim("kind_type", 7, "kind")
+    info_type = dim("info_type", 40, "info")
+    company_type = dim("company_type", 4, "kind")
+    role_type = dim("role_type", 12, "role")
+    link_type = dim("link_type", 18, "link")
+    comp_cast_type = dim("comp_cast_type", 4, "kind")
+
+    title_perm = rng.permutation(n_title)
+    name_perm = rng.permutation(n_name)
+    title_hot = np.empty(n_title, dtype=np.int64)
+    title_hot[title_perm] = np.arange(n_title, 0, -1)
+
+    # heavily-referenced titles skew recent: production-year filters
+    # correlate with join-key degree (the paper's attribute correlation)
+    year = gen.correlated_int(rng, title_hot, 0.6, 1920, 2023)
+    year_null = rng.random(n_title) < 0.05
+    title = Table("title", [
+        Column("id", np.arange(n_title)),
+        Column("kind_id", gen.categorical(rng, n_title, 7)),
+        Column("title", gen.titles(rng, n_title)),
+        Column("production_year", year, null_mask=year_null),
+        Column("season_nr", gen.correlated_int(rng, title_hot, 0.4,
+                                               0, 30)),
+    ])
+
+    name = Table("name", [
+        Column("id", np.arange(n_name)),
+        Column("name", gen.titles(rng, n_name)),
+        Column("gender", gen.categorical(rng, n_name, 3)),
+        Column("name_pcode", gen.categorical(rng, n_name, 26)),
+    ])
+
+    char_name = Table("char_name", [
+        Column("id", np.arange(n_char)),
+        Column("name", gen.titles(rng, n_char)),
+    ])
+    company_name = Table("company_name", [
+        Column("id", np.arange(n_company)),
+        Column("name", gen.titles(rng, n_company)),
+        Column("country_code", gen.categorical(rng, n_company, 60)),
+    ])
+    keyword = Table("keyword", [
+        Column("id", np.arange(n_keyword)),
+        Column("keyword", gen.words(rng, n_keyword, 2, 4)),
+    ])
+
+    ci_movie, _ = gen.zipf_fk(rng, n_cast, n_title, a=1.2, perm=title_perm)
+    ci_person, _ = gen.zipf_fk(rng, n_cast, n_name, a=1.25, perm=name_perm)
+    ci_role_null = rng.random(n_cast) < 0.35
+    ci_char, _ = gen.zipf_fk(rng, n_cast, n_char, a=1.3)
+    cast_info = Table("cast_info", [
+        Column("movie_id", ci_movie),
+        Column("person_id", ci_person),
+        Column("person_role_id", ci_char, null_mask=ci_role_null),
+        Column("role_id", gen.categorical(rng, n_cast, 12)),
+        Column("nr_order", gen.skewed_int(rng, n_cast, 1, 100, a=1.6)),
+    ])
+
+    mc_movie, _ = gen.zipf_fk(rng, n_mc, n_title, a=1.25, perm=title_perm)
+    mc_company, _ = gen.zipf_fk(rng, n_mc, n_company, a=1.15)
+    movie_companies = Table("movie_companies", [
+        Column("movie_id", mc_movie),
+        Column("company_id", mc_company),
+        Column("company_type_id", gen.categorical(rng, n_mc, 4)),
+        Column("note", gen.titles(rng, n_mc)),
+    ])
+
+    mi_movie, _ = gen.zipf_fk(rng, n_mi, n_title, a=1.2, perm=title_perm)
+    movie_info = Table("movie_info", [
+        Column("movie_id", mi_movie),
+        Column("info_type_id", gen.categorical(rng, n_mi, 40)),
+        Column("info", gen.words(rng, n_mi, 2, 5)),
+    ])
+
+    mix_movie, _ = gen.zipf_fk(rng, n_mi_idx, n_title, a=1.2, perm=title_perm)
+    movie_info_idx = Table("movie_info_idx", [
+        Column("movie_id", mix_movie),
+        Column("info_type_id", gen.categorical(rng, n_mi_idx, 40)),
+        Column("info", gen.skewed_int(rng, n_mi_idx, 1, 10, a=1.3)),
+    ])
+
+    mk_movie, _ = gen.zipf_fk(rng, n_mk, n_title, a=1.2, perm=title_perm)
+    mk_keyword, _ = gen.zipf_fk(rng, n_mk, n_keyword, a=1.2)
+    movie_keyword = Table("movie_keyword", [
+        Column("movie_id", mk_movie),
+        Column("keyword_id", mk_keyword),
+    ])
+
+    ml_movie, _ = gen.zipf_fk(rng, n_ml, n_title, a=1.15, perm=title_perm)
+    ml_linked, _ = gen.zipf_fk(rng, n_ml, n_title, a=1.15, perm=title_perm)
+    movie_link = Table("movie_link", [
+        Column("movie_id", ml_movie),
+        Column("linked_movie_id", ml_linked),
+        Column("link_type_id", gen.categorical(rng, n_ml, 18)),
+    ])
+
+    cc_movie, _ = gen.zipf_fk(rng, n_cc, n_title, a=1.2, perm=title_perm)
+    complete_cast = Table("complete_cast", [
+        Column("movie_id", cc_movie),
+        Column("subject_id", gen.categorical(rng, n_cc, 4)),
+        Column("status_id", gen.categorical(rng, n_cc, 4)),
+    ])
+
+    at_movie, _ = gen.zipf_fk(rng, n_aka_t, n_title, a=1.2, perm=title_perm)
+    at_year = gen.date_column(rng, n_aka_t, start=1920, end=2023)
+    aka_title = Table("aka_title", [
+        Column("movie_id", at_movie),
+        Column("kind_id", gen.categorical(rng, n_aka_t, 7)),
+        Column("title", gen.titles(rng, n_aka_t)),
+        Column("production_year", at_year),
+    ])
+
+    an_person, _ = gen.zipf_fk(rng, n_aka_n, n_name, a=1.2, perm=name_perm)
+    aka_name = Table("aka_name", [
+        Column("person_id", an_person),
+        Column("name", gen.titles(rng, n_aka_n)),
+    ])
+
+    pi_person, _ = gen.zipf_fk(rng, n_pi, n_name, a=1.2, perm=name_perm)
+    person_info = Table("person_info", [
+        Column("person_id", pi_person),
+        Column("info_type_id", gen.categorical(rng, n_pi, 40)),
+        Column("info", gen.words(rng, n_pi, 2, 5)),
+    ])
+
+    return Database(imdb_schema(), [
+        title, name, char_name, company_name, company_type, kind_type,
+        info_type, role_type, link_type, comp_cast_type, keyword, cast_info,
+        movie_companies, movie_info, movie_info_idx, movie_keyword,
+        movie_link, complete_cast, aka_title, aka_name, person_info,
+    ])
+
+
+def build_imdb_job(scale: float = 1.0, seed: int = 0,
+                   n_queries: int = 113, n_templates: int = 33,
+                   max_tables: int = 6):
+    """Database + a JOB-style workload (113 queries / 33 templates,
+    including cyclic templates, self joins of ``title``, and LIKE filters)."""
+    from repro.workloads.benchmark import Benchmark
+    from repro.workloads.querygen import QueryGenerator
+
+    database = build_imdb_database(scale=scale, seed=seed)
+    qgen = QueryGenerator(database, seed=seed + 1, like_fraction=0.35)
+    templates = qgen.sample_templates(
+        n_templates, max_tables=max_tables, cyclic_fraction=0.2,
+        self_join_fraction=0.1)
+    workload = qgen.generate_workload(templates, n_queries,
+                                      max_predicates=13)
+    return Benchmark("IMDB-JOB", database, workload)

@@ -1,0 +1,285 @@
+"""Template-based random query generation (CEB/JOB workload style).
+
+Templates are connected join sub-graphs of the schema (optionally with
+redundant edges making the alias graph cyclic, or repeated tables making
+self joins); queries instantiate a template with randomized filter
+predicates whose literals are drawn from the actual column data, so
+selectivities span a wide range like the paper's workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.key_groups import schema_key_groups
+from repro.data.database import Database
+from repro.data.types import DataType
+from repro.sql.predicates import (
+    Between,
+    Comparison,
+    In,
+    Like,
+    Predicate,
+    conjoin,
+)
+from repro.sql.query import ColumnRef, JoinCondition, Query, TableRef
+from repro.utils import resolve_rng
+
+
+@dataclass
+class Template:
+    tables: list[TableRef]
+    joins: list[JoinCondition]
+    cyclic: bool = False
+    self_join: bool = False
+
+    def signature(self) -> tuple:
+        return Query(self.tables, self.joins).join_template()
+
+
+class QueryGenerator:
+    """Random template and query generation against one database."""
+
+    def __init__(self, database: Database, seed: int = 0,
+                 like_fraction: float = 0.0):
+        self._db = database
+        self._rng = resolve_rng(seed)
+        self._like_fraction = like_fraction
+        self._relations = list(database.schema.join_relations)
+        self._groups = schema_key_groups(database.schema)
+        self._group_of = {}
+        for group in self._groups:
+            for member in group.members:
+                self._group_of[member] = group.name
+
+    # -- templates ---------------------------------------------------------------
+
+    def sample_templates(self, n: int, max_tables: int = 5,
+                         min_tables: int = 2,
+                         cyclic_fraction: float = 0.0,
+                         self_join_fraction: float = 0.0) -> list[Template]:
+        """Distinct random templates; sizes uniform in [min, max] tables."""
+        templates: list[Template] = []
+        seen: set = set()
+        attempts = 0
+        while len(templates) < n and attempts < n * 60:
+            attempts += 1
+            size = int(self._rng.integers(min_tables, max_tables + 1))
+            allow_self = self._rng.random() < self_join_fraction
+            template = self._random_template(size, allow_self)
+            if template is None:
+                continue
+            if self._rng.random() < cyclic_fraction:
+                self._add_cycle_edge(template)
+            sig = template.signature()
+            if sig in seen:
+                continue
+            seen.add(sig)
+            templates.append(template)
+        return templates
+
+    def _random_template(self, size: int, allow_self: bool
+                         ) -> Template | None:
+        rng = self._rng
+        rel = self._relations[rng.integers(0, len(self._relations))]
+        alias_count: dict[str, int] = {}
+
+        def fresh_alias(table: str) -> str:
+            alias_count[table] = alias_count.get(table, 0) + 1
+            if alias_count[table] == 1:
+                return table
+            return f"{table}_{alias_count[table]}"
+
+        tables = [TableRef(rel.left_table, fresh_alias(rel.left_table)),
+                  TableRef(rel.right_table, fresh_alias(rel.right_table))]
+        joins = [JoinCondition(
+            ColumnRef(tables[0].alias, rel.left_column),
+            ColumnRef(tables[1].alias, rel.right_column))]
+        is_self = False
+
+        for _ in range(size - 2):
+            present = {t.table for t in tables}
+            grow = []
+            for relation in self._relations:
+                lt, rt = relation.left_table, relation.right_table
+                if (lt in present) != (rt in present):
+                    grow.append(relation)
+                elif allow_self and lt in present and rt in present:
+                    grow.append(relation)
+            if not grow:
+                break
+            relation = grow[rng.integers(0, len(grow))]
+            lt, rt = relation.left_table, relation.right_table
+            if lt in present and rt in present:
+                # duplicate one endpoint under a fresh alias (self join)
+                new_table, new_col = rt, relation.right_column
+                old_table, old_col = lt, relation.left_column
+                is_self = True
+            elif lt in present:
+                new_table, new_col = rt, relation.right_column
+                old_table, old_col = lt, relation.left_column
+            else:
+                new_table, new_col = lt, relation.left_column
+                old_table, old_col = rt, relation.right_column
+            old_aliases = [t.alias for t in tables if t.table == old_table]
+            old_alias = old_aliases[rng.integers(0, len(old_aliases))]
+            new_alias = fresh_alias(new_table)
+            tables.append(TableRef(new_table, new_alias))
+            joins.append(JoinCondition(ColumnRef(old_alias, old_col),
+                                       ColumnRef(new_alias, new_col)))
+        if len(tables) < 2:
+            return None
+        return Template(tables, joins, self_join=is_self)
+
+    def _add_cycle_edge(self, template: Template) -> None:
+        """Add a redundant equi-join edge between two aliases whose keys
+        share an equivalence group (makes the alias graph cyclic, like
+        JOB's ``mi.movie_id = mi_idx.movie_id`` clauses)."""
+        query = Query(template.tables, template.joins)
+        refs_by_group: dict[str, list[ColumnRef]] = {}
+        for join in template.joins:
+            for ref in (join.left, join.right):
+                table = query.table_of(ref.alias)
+                group = self._group_of.get((table, ref.column))
+                if group:
+                    refs_by_group.setdefault(group, []).append(ref)
+        direct = {frozenset((j.left.alias, j.right.alias))
+                  for j in template.joins}
+        for refs in refs_by_group.values():
+            for i in range(len(refs)):
+                for j in range(i + 1, len(refs)):
+                    a, b = refs[i], refs[j]
+                    if a.alias == b.alias:
+                        continue
+                    if frozenset((a.alias, b.alias)) in direct:
+                        continue
+                    template.joins.append(JoinCondition(a, b))
+                    template.cyclic = True
+                    return
+
+    # -- filters ------------------------------------------------------------------
+
+    def generate_workload(self, templates: list[Template], n_queries: int,
+                          max_predicates: int = 16,
+                          filter_probability: float = 0.6,
+                          ensure_nonzero: bool = True,
+                          max_retries: int = 8) -> list[Query]:
+        """Instantiate templates round-robin.
+
+        With ``ensure_nonzero`` (default) each query is rejection-sampled
+        until its true cardinality is positive — the paper's workloads are
+        real queries with non-empty results.
+        """
+        queries: list[Query] = []
+        if not templates:
+            return queries
+        executor = None
+        if ensure_nonzero:
+            from repro.engine.executor import CardinalityExecutor
+            executor = CardinalityExecutor(self._db)
+        for i in range(n_queries):
+            template = templates[i % len(templates)]
+            query = self._instantiate(template, max_predicates,
+                                      filter_probability)
+            if executor is not None:
+                for _ in range(max_retries):
+                    if executor.cardinality(query) > 0:
+                        break
+                    query = self._instantiate(template, max_predicates,
+                                              filter_probability)
+            queries.append(query)
+        return queries
+
+    def _instantiate(self, template: Template, max_predicates: int,
+                     filter_probability: float) -> Query:
+        rng = self._rng
+        filters: dict[str, Predicate] = {}
+        budget = max_predicates
+        aliases = list(template.tables)
+        rng.shuffle(aliases)
+        for tref in aliases:
+            if budget <= 0:
+                break
+            if rng.random() > filter_probability:
+                continue
+            tschema = self._db.schema.table(tref.table)
+            attrs = tschema.attribute_columns
+            if not attrs:
+                continue
+            n_preds = int(rng.integers(1, min(3, len(attrs), budget) + 1))
+            chosen = rng.choice(len(attrs), size=n_preds, replace=False)
+            preds = []
+            for idx in chosen:
+                pred = self._random_predicate(tref.table, attrs[idx])
+                if pred is not None:
+                    preds.append(pred)
+            if preds:
+                filters[tref.alias] = conjoin(preds)
+                budget -= len(preds)
+        query = Query(template.tables, template.joins, filters)
+        if not query.filters:  # guarantee at least one predicate
+            tref = template.tables[0]
+            attrs = self._db.schema.table(tref.table).attribute_columns
+            if attrs:
+                pred = self._random_predicate(tref.table, attrs[0])
+                if pred is not None:
+                    query = Query(template.tables, template.joins,
+                                  {tref.alias: pred})
+        return query
+
+    def _random_predicate(self, table: str, column: str) -> Predicate | None:
+        rng = self._rng
+        col = self._db.table(table)[column]
+        values = col.non_null_values()
+        if len(values) == 0:
+            return None
+        if col.dtype is DataType.STRING:
+            return self._string_predicate(column, values)
+        distinct = np.unique(values)
+        if len(distinct) <= 15:
+            if rng.random() < 0.5:
+                # frequency-weighted: pick the value of a random row so
+                # common categories are filtered on most often
+                value = values[rng.integers(0, len(values))]
+                return Comparison(column, "=", int(value))
+            size = int(rng.integers(2, min(6, len(distinct)) + 1))
+            picks = rng.choice(distinct, size=size, replace=False)
+            return In(column, [int(v) for v in sorted(picks)])
+        # wide numeric domain: range predicates at random quantiles,
+        # biased toward keeping a substantial fraction of rows
+        kind = rng.random()
+        if kind < 0.45:
+            if rng.random() < 0.5:
+                q = rng.uniform(0.3, 0.95)
+                return Comparison(column, "<=",
+                                  int(np.quantile(values, q)))
+            q = rng.uniform(0.05, 0.7)
+            return Comparison(column, ">=", int(np.quantile(values, q)))
+        if kind < 0.75:
+            lo_q = rng.uniform(0.0, 0.5)
+            hi_q = rng.uniform(lo_q + 0.25, 1.0)
+            return Between(column, int(np.quantile(values, lo_q)),
+                           int(np.quantile(values, hi_q)))
+        if rng.random() < 0.5:
+            q = rng.uniform(0.3, 0.95)
+            return Comparison(column, "<", int(np.quantile(values, q)))
+        q = rng.uniform(0.05, 0.7)
+        return Comparison(column, ">", int(np.quantile(values, q)))
+
+    def _string_predicate(self, column: str, values: np.ndarray) -> Predicate:
+        rng = self._rng
+        sample = str(values[rng.integers(0, len(values))])
+        if rng.random() < max(self._like_fraction, 0.5):
+            # LIKE with a substring of a real value (always matches >= 1 row)
+            if len(sample) <= 2:
+                sub = sample
+            else:
+                length = int(rng.integers(2, min(5, len(sample)) + 1))
+                start = int(rng.integers(0, len(sample) - length + 1))
+                sub = sample[start:start + length]
+            if rng.random() < 0.15:
+                return Like(column, f"%{sub}%", negated=True)
+            return Like(column, f"%{sub}%")
+        return Comparison(column, "=", sample)

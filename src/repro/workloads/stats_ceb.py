@@ -1,0 +1,199 @@
+"""Synthetic STATS-like database (paper Section 6.1, Table 2 left column).
+
+Shape matches the real STATS dump of Stack Exchange: 8 tables, 13 join keys
+forming exactly 2 equivalent key groups (everything references ``users.id``
+or ``posts.id``), numeric/categorical attributes with correlations and
+Zipf-skewed foreign keys.  Row counts scale linearly with ``scale``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import (
+    Column,
+    ColumnSchema,
+    Database,
+    DatabaseSchema,
+    DataType,
+    JoinRelation,
+    Table,
+    TableSchema,
+)
+from repro.utils import resolve_rng
+from repro.workloads import generators as gen
+
+INT = DataType.INT
+
+
+def _t(name: str, keys: list[str], attrs: list[str]) -> TableSchema:
+    cols = [ColumnSchema(k, INT, is_key=True) for k in keys]
+    cols += [ColumnSchema(a, INT) for a in attrs]
+    return TableSchema(name, cols)
+
+
+def stats_schema() -> DatabaseSchema:
+    tables = [
+        _t("users", ["id"],
+           ["reputation", "creation_date", "views", "upvotes", "downvotes"]),
+        _t("posts", ["id", "owner_user_id"],
+           ["creation_date", "score", "view_count", "answer_count",
+            "comment_count", "favorite_count", "post_type"]),
+        _t("badges", ["user_id"], ["date", "badge_class"]),
+        _t("comments", ["post_id", "user_id"], ["score", "creation_date"]),
+        _t("votes", ["post_id", "user_id"],
+           ["vote_type", "creation_date", "bounty_amount"]),
+        _t("postHistory", ["post_id", "user_id"],
+           ["creation_date", "history_type"]),
+        _t("postLinks", ["post_id", "related_post_id"],
+           ["creation_date", "link_type"]),
+        _t("tags", ["excerpt_post_id"], ["count"]),
+    ]
+    joins = [
+        JoinRelation("users", "id", "posts", "owner_user_id"),
+        JoinRelation("users", "id", "badges", "user_id"),
+        JoinRelation("users", "id", "comments", "user_id"),
+        JoinRelation("users", "id", "votes", "user_id"),
+        JoinRelation("users", "id", "postHistory", "user_id"),
+        JoinRelation("posts", "id", "comments", "post_id"),
+        JoinRelation("posts", "id", "votes", "post_id"),
+        JoinRelation("posts", "id", "postHistory", "post_id"),
+        JoinRelation("posts", "id", "postLinks", "post_id"),
+        JoinRelation("posts", "id", "postLinks", "related_post_id"),
+        JoinRelation("posts", "id", "tags", "excerpt_post_id"),
+    ]
+    return DatabaseSchema(tables, joins)
+
+
+def build_stats_database(scale: float = 1.0, seed: int = 0) -> Database:
+    rng = resolve_rng(seed)
+    n_users = max(50, int(4000 * scale))
+    n_posts = max(80, int(10000 * scale))
+    n_badges = max(40, int(8000 * scale))
+    n_comments = max(80, int(16000 * scale))
+    n_votes = max(80, int(14000 * scale))
+    n_history = max(60, int(12000 * scale))
+    n_links = max(30, int(2500 * scale))
+    n_tags = max(20, int(800 * scale))
+
+    # shared popularity permutations: the same users/posts are hot in
+    # every referencing table (drives realistic join blow-up)
+    users_perm = rng.permutation(n_users)
+    posts_perm = rng.permutation(n_posts)
+    # hotness: rank 0 = most referenced entity (via the shared perms)
+    users_hot = np.empty(n_users, dtype=np.int64)
+    users_hot[users_perm] = np.arange(n_users, 0, -1)
+    posts_hot = np.empty(n_posts, dtype=np.int64)
+    posts_hot[posts_perm] = np.arange(n_posts, 0, -1)
+
+    # users: reputation correlated with activity (hot users earn karma) —
+    # the filter-attribute/join-key correlation the paper's benchmarks
+    # stress (a reputation filter selects exactly the high-degree users)
+    reputation = gen.correlated_int(rng, users_hot, 0.6, 1, 10_000)
+    users = Table("users", [
+        Column("id", np.arange(n_users)),
+        Column("reputation", reputation),
+        Column("creation_date", gen.date_column(rng, n_users)),
+        Column("views", gen.correlated_int(rng, reputation, 0.15, 0, 5000)),
+        Column("upvotes", gen.correlated_int(rng, reputation, 0.1, 0, 3000)),
+        Column("downvotes", gen.correlated_int(rng, reputation, 0.3, 0, 500)),
+    ])
+
+    # posts: heavy users write more posts (zipf on owner)
+    owner, owner_null = gen.zipf_fk(rng, n_posts, n_users, a=1.25,
+                                    null_fraction=0.02, perm=users_perm)
+    # popular posts score higher: score correlates with join-key hotness
+    score = gen.correlated_int(rng, posts_hot, 0.6, -3, 120)
+    posts = Table("posts", [
+        Column("id", np.arange(n_posts)),
+        Column("owner_user_id", owner, null_mask=owner_null),
+        Column("creation_date", gen.date_column(rng, n_posts)),
+        Column("score", score),
+        Column("view_count", gen.correlated_int(rng, score, 0.2, 0, 20_000)),
+        Column("answer_count", gen.correlated_int(rng, score, 0.4, 0, 30)),
+        Column("comment_count", gen.correlated_int(rng, score, 0.4, 0, 40)),
+        Column("favorite_count", gen.correlated_int(rng, score, 0.3, 0, 80)),
+        Column("post_type", gen.categorical(rng, n_posts, 6)),
+    ])
+
+    def fk_pair(n_rows, post_a, user_a, post_null=0.0, user_null=0.0):
+        post_id, p_null = gen.zipf_fk(rng, n_rows, n_posts, a=post_a,
+                                      null_fraction=post_null,
+                                      perm=posts_perm)
+        user_id, u_null = gen.zipf_fk(rng, n_rows, n_users, a=user_a,
+                                      null_fraction=user_null,
+                                      perm=users_perm)
+        return (post_id, p_null), (user_id, u_null)
+
+    badge_user, badge_null = gen.zipf_fk(rng, n_badges, n_users, a=1.2,
+                                         perm=users_perm)
+    badges = Table("badges", [
+        Column("user_id", badge_user, null_mask=badge_null),
+        Column("date", gen.date_column(rng, n_badges)),
+        Column("badge_class", gen.categorical(rng, n_badges, 3)),
+    ])
+
+    (c_post, c_pnull), (c_user, c_unull) = fk_pair(
+        n_comments, 1.3, 1.25, user_null=0.05)
+    comments = Table("comments", [
+        Column("post_id", c_post, null_mask=c_pnull),
+        Column("user_id", c_user, null_mask=c_unull),
+        Column("score", gen.correlated_int(rng, posts_hot[c_post], 0.6,
+                                           0, 60)),
+        Column("creation_date", gen.date_column(rng, n_comments)),
+    ])
+
+    (v_post, v_pnull), (v_user, v_unull) = fk_pair(
+        n_votes, 1.35, 1.3, user_null=0.4)  # many anonymous votes
+    votes = Table("votes", [
+        Column("post_id", v_post, null_mask=v_pnull),
+        Column("user_id", v_user, null_mask=v_unull),
+        Column("vote_type", gen.categorical(rng, n_votes, 10)),
+        Column("creation_date", gen.date_column(rng, n_votes)),
+        Column("bounty_amount", gen.skewed_int(rng, n_votes, 0, 500, a=2.2)),
+    ])
+
+    (h_post, h_pnull), (h_user, h_unull) = fk_pair(
+        n_history, 1.3, 1.3, user_null=0.1)
+    post_history = Table("postHistory", [
+        Column("post_id", h_post, null_mask=h_pnull),
+        Column("user_id", h_user, null_mask=h_unull),
+        Column("creation_date", gen.date_column(rng, n_history)),
+        Column("history_type", gen.categorical(rng, n_history, 12)),
+    ])
+
+    l_post, l_pnull = gen.zipf_fk(rng, n_links, n_posts, a=1.3,
+                                  perm=posts_perm)
+    l_rel, l_rnull = gen.zipf_fk(rng, n_links, n_posts, a=1.3,
+                                 perm=posts_perm)
+    post_links = Table("postLinks", [
+        Column("post_id", l_post, null_mask=l_pnull),
+        Column("related_post_id", l_rel, null_mask=l_rnull),
+        Column("creation_date", gen.date_column(rng, n_links)),
+        Column("link_type", gen.categorical(rng, n_links, 2)),
+    ])
+
+    t_post, t_null = gen.zipf_fk(rng, n_tags, n_posts, a=1.1,
+                                 null_fraction=0.1, perm=posts_perm)
+    tags = Table("tags", [
+        Column("excerpt_post_id", t_post, null_mask=t_null),
+        Column("count", gen.skewed_int(rng, n_tags, 1, 40_000, a=1.3)),
+    ])
+
+    return Database(stats_schema(), [users, posts, badges, comments, votes,
+                                     post_history, post_links, tags])
+
+
+def build_stats_ceb(scale: float = 1.0, seed: int = 0,
+                    n_queries: int = 146, n_templates: int = 70,
+                    max_tables: int = 5):
+    """Database + a CEB-style workload (146 queries / 70 templates)."""
+    from repro.workloads.benchmark import Benchmark
+    from repro.workloads.querygen import QueryGenerator
+
+    database = build_stats_database(scale=scale, seed=seed)
+    qgen = QueryGenerator(database, seed=seed + 1)
+    templates = qgen.sample_templates(n_templates, max_tables=max_tables)
+    workload = qgen.generate_workload(templates, n_queries,
+                                      max_predicates=16)
+    return Benchmark("STATS-CEB", database, workload)

@@ -1,0 +1,250 @@
+"""Tests for the join-level baseline estimators.
+
+Each baseline is checked for its *defining* property from the paper's
+Table 1, not just for running: TrueCard is exact, PessEst never
+under-estimates, WJSample is unbiased-ish, JoinHist/DataDriven reject the
+query classes they reject in the paper, MSCN learns from a workload.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    FactorJoinMethod,
+    FanoutDataDrivenMethod,
+    JoinHistMethod,
+    MSCNMethod,
+    PessEstMethod,
+    PostgresMethod,
+    TrueCardMethod,
+    UBlockMethod,
+    WJSampleMethod,
+)
+from repro.engine import CardinalityExecutor
+from repro.errors import UnsupportedQueryError
+from repro.sql import parse_query
+from tests.conftest import build_toy_db
+
+CHAIN = ("SELECT COUNT(*) FROM A a, B b, C c "
+         "WHERE a.id = b.aid AND b.cid = c.id AND a.x > 0")
+TWO = "SELECT COUNT(*) FROM A a, B b WHERE a.id = b.aid AND b.y < 3"
+SELF = ("SELECT COUNT(*) FROM A a1, A a2, B b "
+        "WHERE a1.id = b.aid AND a2.id = b.aid")
+
+
+@pytest.fixture(scope="module")
+def db():
+    return build_toy_db(seed=42, n_a=150, n_b=600, n_c=60)
+
+
+@pytest.fixture(scope="module")
+def truth(db):
+    ex = CardinalityExecutor(db)
+    return {sql: ex.cardinality(parse_query(sql))
+            for sql in (CHAIN, TWO, SELF)}
+
+
+class TestTrueCard:
+    def test_exact(self, db, truth):
+        m = TrueCardMethod().fit(db)
+        for sql, expected in truth.items():
+            assert m.estimate(parse_query(sql)) == expected
+
+    def test_subplans_exact(self, db):
+        m = TrueCardMethod().fit(db)
+        q = parse_query(CHAIN)
+        subs = m.estimate_subplans(q)
+        ex = CardinalityExecutor(db)
+        for subset, card in subs.items():
+            assert card == ex.cardinality(q.subquery(set(subset)))
+
+
+class TestPostgres:
+    def test_reasonable_two_table(self, db, truth):
+        m = PostgresMethod().fit(db)
+        est = m.estimate(parse_query(TWO))
+        assert 0 < est
+        assert max(est, truth[TWO]) / max(1, min(est, truth[TWO])) < 100
+
+    def test_supports_everything(self, db):
+        m = PostgresMethod().fit(db)
+        assert m.supports(parse_query(SELF))
+
+    def test_join_uniformity_formula(self, db):
+        # unfiltered two-table join must equal |A|*|B| / max(ndv)
+        m = PostgresMethod().fit(db)
+        q = parse_query("SELECT COUNT(*) FROM A a, B b WHERE a.id = b.aid")
+        n_a = len(db.table("A"))
+        n_b = len(db.table("B"))
+        ndv = max(db.table("A")["id"].distinct_count(),
+                  db.table("B")["aid"].distinct_count())
+        assert m.estimate(q) == pytest.approx(n_a * n_b / ndv)
+
+
+class TestPessEst:
+    @pytest.mark.parametrize("sql", [TWO, CHAIN, SELF])
+    def test_never_underestimates(self, db, truth, sql):
+        m = PessEstMethod(n_partitions=32).fit(db)
+        assert m.estimate(parse_query(sql)) + 1e-6 >= truth[sql]
+
+    def test_subplans_never_underestimate(self, db):
+        m = PessEstMethod(n_partitions=32).fit(db)
+        q = parse_query(CHAIN)
+        ests = m.estimate_subplans(q, min_tables=2)
+        ex = CardinalityExecutor(db)
+        for subset, est in ests.items():
+            assert est + 1e-6 >= ex.cardinality(q.subquery(set(subset)))
+
+    def test_tighter_with_more_partitions(self, db, truth):
+        loose = PessEstMethod(n_partitions=2).fit(db)
+        tight = PessEstMethod(n_partitions=128).fit(db)
+        q = parse_query(TWO)
+        assert tight.estimate(q) <= loose.estimate(q) + 1e-6
+
+
+class TestWJSample:
+    def test_unbiased_on_unfiltered_join(self, db):
+        ex = CardinalityExecutor(db)
+        q = parse_query("SELECT COUNT(*) FROM A a, B b WHERE a.id = b.aid")
+        true = ex.cardinality(q)
+        m = WJSampleMethod(walks_per_query=3000, seed=7).fit(db)
+        est = m.estimate(q)
+        assert est == pytest.approx(true, rel=0.25)
+
+    def test_filters_are_rejected_in_walks(self, db):
+        q = parse_query("SELECT COUNT(*) FROM A a, B b "
+                        "WHERE a.id = b.aid AND a.x > 100")
+        m = WJSampleMethod(walks_per_query=200, seed=1).fit(db)
+        assert m.estimate(q) == 0.0
+
+    def test_self_join_walks(self, db, truth):
+        m = WJSampleMethod(walks_per_query=3000, seed=3).fit(db)
+        est = m.estimate(parse_query(SELF))
+        assert est > 0
+        assert est == pytest.approx(truth[SELF], rel=0.5)
+
+
+class TestUBlock:
+    def test_bound_on_unfiltered_join(self, db):
+        ex = CardinalityExecutor(db)
+        q = parse_query("SELECT COUNT(*) FROM A a, B b WHERE a.id = b.aid")
+        m = UBlockMethod(top_k=32).fit(db)
+        assert m.estimate(q) + 1e-6 >= ex.cardinality(q)
+
+    def test_filters_scale_down(self, db):
+        m = UBlockMethod().fit(db)
+        q_all = parse_query("SELECT COUNT(*) FROM A a, B b WHERE a.id = b.aid")
+        q_filtered = parse_query(TWO)
+        assert m.estimate(q_filtered) <= m.estimate(q_all)
+
+
+class TestJoinHist:
+    def test_rejects_cyclic_and_self(self, db):
+        m = JoinHistMethod(n_bins=8).fit(db)
+        assert not m.supports(parse_query(SELF))
+        with pytest.raises(UnsupportedQueryError):
+            m.estimate(parse_query(SELF))
+
+    def test_tree_estimates_run(self, db, truth):
+        m = JoinHistMethod(n_bins=16).fit(db)
+        est = m.estimate(parse_query(TWO))
+        assert np.isfinite(est) and est > 0
+
+    def test_variant_names(self):
+        assert JoinHistMethod(with_bound=True).name == "JoinHist+Bound"
+        assert JoinHistMethod(with_conditional=True).name == \
+            "JoinHist+Conditional"
+        assert JoinHistMethod(with_bound=True,
+                              with_conditional=True).name == "JoinHist+Both"
+
+
+class TestDataDriven:
+    def test_accurate_on_tree_joins(self, db, truth):
+        m = FanoutDataDrivenMethod().fit(db)
+        est = m.estimate(parse_query(CHAIN))
+        q_err = max(est, truth[CHAIN]) / max(1.0, min(est, truth[CHAIN]))
+        assert q_err < 5
+
+    def test_near_exact_on_unfiltered_two_table(self, db):
+        ex = CardinalityExecutor(db)
+        q = parse_query("SELECT COUNT(*) FROM A a, B b WHERE a.id = b.aid")
+        m = FanoutDataDrivenMethod().fit(db)
+        # fanout weights are log-bucket quantized (ratio 1.4), so the
+        # estimate is within that modeling error of the truth
+        true = ex.cardinality(q)
+        est = m.estimate(q)
+        assert max(est, true) / min(est, true) < m._QUANT_RATIO
+
+    def test_rejects_self_join(self, db):
+        m = FanoutDataDrivenMethod().fit(db)
+        assert not m.supports(parse_query(SELF))
+
+    def test_rejects_like(self, db):
+        m = FanoutDataDrivenMethod().fit(db)
+        # toy db has no string columns; construct a LIKE on x artificially
+        from repro.sql.predicates import Like
+        from repro.sql.query import Query, TableRef, JoinCondition, ColumnRef
+        q = Query([TableRef("A", "a"), TableRef("B", "b")],
+                  [JoinCondition(ColumnRef("a", "id"), ColumnRef("b", "aid"))],
+                  {"a": Like("x", "%1%")})
+        assert not m.supports(q)
+
+    def test_update_refreshes_fanouts(self, db):
+        m = FanoutDataDrivenMethod().fit(db)
+        q = parse_query("SELECT COUNT(*) FROM A a, B b WHERE a.id = b.aid")
+        before = m.estimate(q)
+        extra = db.table("B").take(np.arange(min(100, len(db.table("B")))))
+        m.update("B", extra)
+        after = m.estimate(q)
+        assert after > before
+
+
+class TestMSCN:
+    def test_requires_workload(self, db):
+        with pytest.raises(Exception):
+            MSCNMethod(epochs=1).fit(db, None)
+
+    def test_learns_rough_magnitudes(self, db):
+        queries = [parse_query(TWO), parse_query(CHAIN),
+                   parse_query("SELECT COUNT(*) FROM A a, B b "
+                               "WHERE a.id = b.aid"),
+                   parse_query("SELECT COUNT(*) FROM B b, C c "
+                               "WHERE b.cid = c.id")]
+        m = MSCNMethod(epochs=40, max_training_queries=400, seed=0)
+        m.fit(db, queries)
+        ex = CardinalityExecutor(db)
+        # on training-distribution queries the q-error should be bounded
+        q = parse_query(TWO)
+        est = m.estimate(q)
+        true = max(ex.cardinality(q), 1.0)
+        assert max(est, true) / max(1.0, min(est, true)) < 50
+
+    def test_estimation_is_fast(self, db):
+        import time
+        queries = [parse_query(TWO)]
+        m = MSCNMethod(epochs=2, max_training_queries=50, seed=0)
+        m.fit(db, queries)
+        start = time.perf_counter()
+        for _ in range(20):
+            m.estimate(parse_query(CHAIN))
+        assert (time.perf_counter() - start) / 20 < 0.05
+
+
+class TestFactorJoinMethod:
+    def test_adapter_delegates(self, db, truth):
+        m = FactorJoinMethod(n_bins=16, table_estimator="truescan").fit(db)
+        assert m.estimate(parse_query(TWO)) + 1e-6 >= truth[TWO]
+        assert m.model_size_bytes() > 0
+
+    def test_supports_self_join(self, db):
+        m = FactorJoinMethod(n_bins=8, table_estimator="truescan").fit(db)
+        assert m.supports(parse_query(SELF))
+        assert m.estimate(parse_query(SELF)) >= 0
+
+    def test_characteristics_table1(self):
+        # the Table 1 row for FactorJoin: binning + bound + no denorm
+        ch = FactorJoinMethod.characteristics
+        assert ch.uses_binning and ch.uses_bound
+        assert not ch.denormalizes_join_tables
+        assert not ch.adds_extra_columns
+        assert ch.supports_cyclic_join

@@ -1,0 +1,110 @@
+"""Tests for per-bin key statistics and their incremental maintenance."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bin_stats import BinStats, KeyStatistics
+from repro.core.binning import Binning, gbsa_binning
+
+
+def make_binning(domain_size=20, n_bins=4):
+    domain = np.arange(domain_size)
+    return Binning(domain, domain % n_bins, n_bins)
+
+
+class TestBinStats:
+    def test_totals_sum_to_rows(self):
+        binning = make_binning()
+        values = np.array([0, 0, 1, 5, 5, 5, 19])
+        stats = BinStats(binning, values)
+        assert stats.total_rows == len(values)
+
+    def test_mfv_is_max_count_per_bin(self):
+        binning = Binning(np.array([0, 1, 2, 3]), np.array([0, 0, 1, 1]), 2)
+        values = np.array([0, 0, 0, 1, 2, 3, 3])
+        stats = BinStats(binning, values)
+        assert stats.mfv[0] == 3  # value 0 appears 3x
+        assert stats.mfv[1] == 2  # value 3 appears 2x
+
+    def test_ndv_per_bin(self):
+        binning = Binning(np.array([0, 1, 2, 3]), np.array([0, 0, 1, 1]), 2)
+        stats = BinStats(binning, np.array([0, 1, 1, 2]))
+        assert stats.ndv[0] == 2
+        assert stats.ndv[1] == 1
+
+    def test_empty_bin_zeroes(self):
+        binning = make_binning(n_bins=4)
+        stats = BinStats(binning, np.array([0, 4, 8]))  # all map to bin 0
+        assert stats.totals[1] == 0
+        assert stats.mfv[1] == 0
+        assert stats.ndv[1] == 0
+
+    def test_insert_matches_rebuild(self):
+        binning = make_binning()
+        initial = np.array([0, 1, 2, 3, 4])
+        extra = np.array([0, 0, 19, 7])
+        incremental = BinStats(binning, initial)
+        incremental.insert(extra)
+        rebuilt = BinStats(binning, np.concatenate([initial, extra]))
+        assert np.allclose(incremental.totals, rebuilt.totals)
+        assert np.allclose(incremental.mfv, rebuilt.mfv)
+        assert np.allclose(incremental.ndv, rebuilt.ndv)
+
+    def test_delete_matches_rebuild(self):
+        binning = make_binning()
+        initial = np.array([0, 0, 1, 2, 3, 4, 4, 4])
+        removed = np.array([0, 4])
+        incremental = BinStats(binning, initial)
+        incremental.delete(removed)
+        rebuilt = BinStats(binning, np.array([0, 1, 2, 3, 4, 4]))
+        assert np.allclose(incremental.totals, rebuilt.totals)
+        assert np.allclose(incremental.mfv, rebuilt.mfv)
+
+    def test_insert_unseen_value_stays_in_range(self):
+        binning = make_binning(domain_size=10, n_bins=3)
+        stats = BinStats(binning, np.array([1, 2]))
+        stats.insert(np.array([500, 501]))  # outside trained domain
+        assert stats.total_rows == 4
+        assert (stats.totals >= 0).all()
+
+    @given(st.lists(st.integers(0, 30), min_size=0, max_size=200),
+           st.lists(st.integers(0, 30), min_size=0, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_property_insert_equals_rebuild(self, initial, extra):
+        initial = np.array(initial, dtype=np.int64)
+        extra = np.array(extra, dtype=np.int64)
+        base = initial if len(initial) else np.array([0])
+        binning = gbsa_binning([base], 5)
+        incremental = BinStats(binning, initial)
+        incremental.insert(extra)
+        rebuilt = BinStats(binning, np.concatenate([initial, extra]))
+        assert np.allclose(incremental.totals, rebuilt.totals)
+        assert np.allclose(incremental.mfv, rebuilt.mfv)
+        assert np.allclose(incremental.ndv, rebuilt.ndv)
+
+
+class TestKeyStatistics:
+    def test_per_key_lookup(self):
+        binning = make_binning()
+        ks = KeyStatistics("users.id", binning)
+        ks.add_key("users", "id", np.arange(10))
+        ks.add_key("posts", "owner_id", np.array([1, 1, 2]))
+        assert ks.stats_of("users", "id").total_rows == 10
+        assert ks.stats_of("posts", "owner_id").total_rows == 3
+        assert ks.has_key("users", "id")
+        assert not ks.has_key("users", "nope")
+
+    def test_missing_key_raises(self):
+        ks = KeyStatistics("g", make_binning())
+        import pytest
+
+        from repro.errors import ReproError
+        with pytest.raises(ReproError):
+            ks.stats_of("t", "c")
+
+    def test_insert_routes_to_key(self):
+        ks = KeyStatistics("g", make_binning())
+        ks.add_key("t", "c", np.array([1]))
+        ks.insert("t", "c", np.array([2, 3]))
+        assert ks.stats_of("t", "c").total_rows == 3

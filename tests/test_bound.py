@@ -1,0 +1,135 @@
+"""Tests for the per-bin combination rules (Equation 5 and join-histogram).
+
+The central soundness property: with *exact* per-bin statistics, the bound
+mode never under-estimates the true per-bin join size — checked against
+brute-force joins of random value multisets (hypothesis).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bound import per_bin_bound, per_bin_uniform
+from repro.core.binning import Binning
+from repro.core.bin_stats import BinStats
+
+
+def exact_stats(values, binning):
+    return BinStats(binning, np.asarray(values, dtype=np.int64))
+
+
+def true_per_bin_join(a_values, b_values, binning):
+    """Exact per-bin join sizes of two key multisets."""
+    out = np.zeros(binning.n_bins)
+    a_vals, a_cnts = np.unique(a_values, return_counts=True)
+    b_vals, b_cnts = np.unique(b_values, return_counts=True)
+    common, ia, ib = np.intersect1d(a_vals, b_vals, return_indices=True)
+    contributions = a_cnts[ia] * b_cnts[ib]
+    bins = binning.assign(common)
+    np.add.at(out, bins, contributions)
+    return out
+
+
+class TestPaperExample:
+    def test_figure5_bound(self):
+        """The worked example of Section 4.1: bin1 = {a,b,c,e,f},
+        A counts: a=8,b=4,c=1,f=3 (total 16, MFV 8);
+        B counts: a=6,b=5,e=2,f=2 (total 15, MFV 6);
+        bound = min(16/8, 15/6) * 8 * 6 = 96."""
+        totals_a = np.array([16.0])
+        totals_b = np.array([15.0])
+        mfv_a = np.array([8.0])
+        mfv_b = np.array([6.0])
+        bound = per_bin_bound([totals_a, totals_b], [mfv_a, mfv_b])
+        assert bound[0] == pytest.approx(96.0)
+
+    def test_figure5_true_value_is_covered(self):
+        # true value 8*6 + 4*5 + 3*2 = 74 <= 96
+        assert 8 * 6 + 4 * 5 + 3 * 2 <= 96
+
+
+class TestBoundEdgeCases:
+    def test_zero_total_gives_zero(self):
+        bound = per_bin_bound(
+            [np.array([0.0]), np.array([10.0])],
+            [np.array([1.0]), np.array([5.0])])
+        assert bound[0] == 0
+
+    def test_zero_mfv_gives_zero(self):
+        bound = per_bin_bound(
+            [np.array([3.0]), np.array([10.0])],
+            [np.array([0.0]), np.array([5.0])])
+        assert bound[0] == 0
+
+    def test_unique_keys_bound_by_min(self):
+        # both sides all-distinct (mfv=1): at most min(n1, n2) matches
+        bound = per_bin_bound(
+            [np.array([7.0]), np.array([4.0])],
+            [np.array([1.0]), np.array([1.0])])
+        assert bound[0] == pytest.approx(4.0)
+
+    def test_three_way(self):
+        bound = per_bin_bound(
+            [np.array([10.0]), np.array([6.0]), np.array([4.0])],
+            [np.array([5.0]), np.array([3.0]), np.array([2.0])])
+        # min(2, 2, 2) * 5*3*2 = 60
+        assert bound[0] == pytest.approx(60.0)
+
+
+class TestUniformMode:
+    def test_two_way_distinct_value_formula(self):
+        est = per_bin_uniform(
+            [np.array([8.0]), np.array([6.0])],
+            [np.array([4.0]), np.array([2.0])])
+        assert est[0] == pytest.approx(8 * 6 / 4)
+
+    def test_zero_total(self):
+        est = per_bin_uniform(
+            [np.array([0.0]), np.array([6.0])],
+            [np.array([1.0]), np.array([2.0])])
+        assert est[0] == 0
+
+
+@st.composite
+def key_multisets(draw):
+    a = draw(st.lists(st.integers(0, 12), min_size=1, max_size=80))
+    b = draw(st.lists(st.integers(0, 12), min_size=1, max_size=80))
+    n_bins = draw(st.integers(1, 6))
+    return np.array(a), np.array(b), n_bins
+
+
+class TestBoundSoundness:
+    @given(key_multisets())
+    @settings(max_examples=200, deadline=None)
+    def test_bound_never_underestimates_with_exact_stats(self, case):
+        a, b, n_bins = case
+        domain = np.arange(13)
+        binning = Binning(domain, domain % n_bins, n_bins)
+        sa, sb = exact_stats(a, binning), exact_stats(b, binning)
+        bound = per_bin_bound([sa.totals, sb.totals], [sa.mfv, sb.mfv])
+        truth = true_per_bin_join(a, b, binning)
+        assert (bound + 1e-9 >= truth).all()
+
+    @given(key_multisets())
+    @settings(max_examples=100, deadline=None)
+    def test_bound_tight_when_single_value_bins(self, case):
+        a, b, _ = case
+        # one bin per domain value: bound must equal the exact join size
+        domain = np.arange(13)
+        binning = Binning(domain, domain, 13)
+        sa, sb = exact_stats(a, binning), exact_stats(b, binning)
+        bound = per_bin_bound([sa.totals, sb.totals], [sa.mfv, sb.mfv])
+        truth = true_per_bin_join(a, b, binning)
+        assert np.allclose(bound, truth)
+
+    @given(key_multisets())
+    @settings(max_examples=100, deadline=None)
+    def test_uniform_mode_can_be_compared(self, case):
+        a, b, n_bins = case
+        domain = np.arange(13)
+        binning = Binning(domain, domain % n_bins, n_bins)
+        sa, sb = exact_stats(a, binning), exact_stats(b, binning)
+        est = per_bin_uniform([sa.totals, sb.totals], [sa.ndv, sb.ndv])
+        assert (est >= 0).all()
+        assert np.isfinite(est).all()

@@ -1,0 +1,53 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_summary_defaults(self):
+        args = build_parser().parse_args(["summary"])
+        assert args.benchmark == "stats"
+        assert args.scale == 0.1
+
+    def test_estimate_requires_sql(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["estimate"])
+
+
+class TestCommands:
+    def test_summary_prints_table(self, capsys):
+        code = main(["summary", "--scale", "0.02", "--queries", "4",
+                     "--max-tables", "3", "--seed", "21"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "STATS-CEB summary" in out
+        assert "num_key_groups" in out
+
+    def test_estimate_with_truth(self, capsys):
+        code = main([
+            "estimate",
+            "SELECT COUNT(*) FROM posts p, comments c "
+            "WHERE p.id = c.post_id AND p.score > 0",
+            "--scale", "0.02", "--queries", "4", "--max-tables", "3",
+            "--seed", "21", "--bins", "4", "--true",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "estimate:" in out
+        assert "est/true" in out
+
+    def test_estimate_truescan(self, capsys):
+        code = main([
+            "estimate",
+            "SELECT COUNT(*) FROM users u, badges b WHERE u.id = b.user_id",
+            "--scale", "0.02", "--queries", "4", "--max-tables", "3",
+            "--seed", "21", "--estimator", "truescan",
+        ])
+        assert code == 0
+        assert "estimate:" in capsys.readouterr().out

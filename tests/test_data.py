@@ -1,0 +1,170 @@
+"""Unit tests for the relational storage substrate (repro.data)."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    Column,
+    Database,
+    DatabaseSchema,
+    ColumnSchema,
+    DataType,
+    JoinRelation,
+    Table,
+    TableSchema,
+)
+from repro.errors import DataError, SchemaError
+
+
+def make_schema():
+    users = TableSchema("users", [
+        ColumnSchema("id", DataType.INT, is_key=True),
+        ColumnSchema("age", DataType.INT),
+    ])
+    posts = TableSchema("posts", [
+        ColumnSchema("id", DataType.INT, is_key=True),
+        ColumnSchema("owner_id", DataType.INT, is_key=True),
+        ColumnSchema("score", DataType.INT),
+    ])
+    return DatabaseSchema(
+        [users, posts],
+        [JoinRelation("users", "id", "posts", "owner_id")],
+    )
+
+
+class TestColumn:
+    def test_int_column_roundtrip(self):
+        col = Column("x", [1, 2, 3])
+        assert col.dtype is DataType.INT
+        assert len(col) == 3
+        assert list(col.values) == [1, 2, 3]
+
+    def test_string_column(self):
+        col = Column("s", ["a", "bb", "ccc"])
+        assert col.dtype is DataType.STRING
+        assert col.values.dtype == object
+
+    def test_null_mask_defaults_to_all_false(self):
+        col = Column("x", [1, 2])
+        assert not col.has_nulls
+
+    def test_null_mask_length_mismatch_raises(self):
+        with pytest.raises(DataError):
+            Column("x", [1, 2], null_mask=[True])
+
+    def test_non_null_values_drops_nulls(self):
+        col = Column("x", [1, 2, 3], null_mask=[False, True, False])
+        assert list(col.non_null_values()) == [1, 3]
+
+    def test_take_boolean_mask(self):
+        col = Column("x", [10, 20, 30])
+        sub = col.take(np.array([True, False, True]))
+        assert list(sub.values) == [10, 30]
+
+    def test_take_preserves_null_mask(self):
+        col = Column("x", [1, 2, 3], null_mask=[True, False, True])
+        sub = col.take(np.array([0, 2]))
+        assert list(sub.null_mask) == [True, True]
+
+    def test_concat(self):
+        a = Column("x", [1, 2])
+        b = Column("x", [3])
+        assert list(a.concat(b).values) == [1, 2, 3]
+
+    def test_concat_dtype_mismatch_raises(self):
+        with pytest.raises(DataError):
+            Column("x", [1]).concat(Column("x", ["a"]))
+
+    def test_distinct_count_ignores_nulls(self):
+        col = Column("x", [1, 1, 2, 9], null_mask=[False, False, False, True])
+        assert col.distinct_count() == 2
+
+    def test_float_column(self):
+        col = Column("f", [1.5, 2.5])
+        assert col.dtype is DataType.FLOAT
+
+
+class TestTable:
+    def test_from_dict(self):
+        t = Table.from_dict("t", {"a": [1, 2], "b": ["x", "y"]})
+        assert len(t) == 2
+        assert t.column_names == ["a", "b"]
+
+    def test_ragged_columns_raise(self):
+        with pytest.raises(DataError):
+            Table("t", [Column("a", [1, 2]), Column("b", [1])])
+
+    def test_duplicate_column_raises(self):
+        with pytest.raises(SchemaError):
+            Table("t", [Column("a", [1]), Column("a", [2])])
+
+    def test_unknown_column_lookup_raises(self):
+        t = Table.from_dict("t", {"a": [1]})
+        with pytest.raises(SchemaError):
+            t["nope"]
+
+    def test_take_rows(self):
+        t = Table.from_dict("t", {"a": [1, 2, 3]})
+        assert list(t.take([2, 0])["a"].values) == [3, 1]
+
+    def test_concat_requires_same_columns(self):
+        t1 = Table.from_dict("t", {"a": [1]})
+        t2 = Table.from_dict("t", {"b": [1]})
+        with pytest.raises(SchemaError):
+            t1.concat(t2)
+
+    def test_sample_size(self):
+        t = Table.from_dict("t", {"a": list(range(100))})
+        s = t.sample(10, np.random.default_rng(0))
+        assert len(s) == 10
+        # sampled values come from the original
+        assert set(s["a"].values) <= set(range(100))
+
+
+class TestDatabase:
+    def test_build_and_lookup(self):
+        schema = make_schema()
+        db = Database(schema, [
+            Table.from_dict("users", {"id": [1, 2], "age": [30, 40]}),
+            Table.from_dict("posts", {"id": [10], "owner_id": [1],
+                                      "score": [5]}),
+        ])
+        assert len(db.table("users")) == 2
+        assert db.total_rows() == 3
+
+    def test_missing_table_raises(self):
+        schema = make_schema()
+        with pytest.raises(DataError):
+            Database(schema, [
+                Table.from_dict("users", {"id": [1], "age": [1]}),
+            ])
+
+    def test_schema_mismatch_raises(self):
+        schema = make_schema()
+        with pytest.raises(DataError):
+            Database(schema, [
+                Table.from_dict("users", {"id": [1], "wrong": [1]}),
+                Table.from_dict("posts", {"id": [1], "owner_id": [1],
+                                          "score": [1]}),
+            ])
+
+    def test_insert_appends_rows(self):
+        schema = make_schema()
+        db = Database(schema, [
+            Table.from_dict("users", {"id": [1], "age": [30]}),
+            Table.from_dict("posts", {"id": [10], "owner_id": [1],
+                                      "score": [5]}),
+        ])
+        db2 = db.insert("users", Table.from_dict(
+            "users", {"id": [2], "age": [50]}))
+        assert len(db2.table("users")) == 2
+        assert len(db.table("users")) == 1  # original untouched
+
+    def test_join_relation_requires_key_columns(self):
+        users = TableSchema("users", [
+            ColumnSchema("id", DataType.INT, is_key=True),
+            ColumnSchema("age", DataType.INT),
+        ])
+        with pytest.raises(SchemaError):
+            DatabaseSchema([users], [JoinRelation("users", "age",
+                                                  "users", "id")])

@@ -1,0 +1,224 @@
+"""Unit tests for the single-table estimators (repro.estimators)."""
+
+import numpy as np
+import pytest
+
+from repro.core.binning import Binning
+from repro.data import Column, ColumnSchema, DataType, Table, TableSchema
+from repro.errors import NotFittedError, UnsupportedQueryError
+from repro.estimators import (
+    BayesCardEstimator,
+    ESTIMATOR_REGISTRY,
+    Histogram1DEstimator,
+    make_table_estimator,
+    SamplingEstimator,
+    TrueScanEstimator,
+)
+from repro.sql.predicates import (
+    And,
+    Comparison,
+    IsNull,
+    Like,
+    Or,
+    TruePredicate,
+)
+
+
+def make_table(n=2000, seed=0, with_nulls=True):
+    rng = np.random.default_rng(seed)
+    key = rng.integers(0, 50, n)
+    x = (key % 5) + rng.integers(0, 2, n)  # correlated with key
+    y = rng.integers(0, 10, n)
+    null_mask = (rng.random(n) < 0.1) if with_nulls else np.zeros(n, bool)
+    table = Table("t", [
+        Column("k", key, null_mask=null_mask),
+        Column("x", x),
+        Column("y", y),
+    ])
+    schema = TableSchema("t", [
+        ColumnSchema("k", DataType.INT, is_key=True),
+        ColumnSchema("x", DataType.INT),
+        ColumnSchema("y", DataType.INT),
+    ])
+    binning = Binning(np.arange(50), np.arange(50) % 8, 8)
+    return table, schema, {"k": binning}
+
+
+def exact_distribution(table, binning, pred):
+    from repro.engine.filter import evaluate_predicate
+    mask = evaluate_predicate(pred, table)
+    col = table["k"]
+    mask = mask & ~col.null_mask
+    return np.bincount(binning.assign(col.values[mask]),
+                       minlength=binning.n_bins).astype(float)
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert set(ESTIMATOR_REGISTRY) >= {"truescan", "sampling",
+                                           "bayescard", "histogram1d"}
+
+    def test_factory(self):
+        est = make_table_estimator("truescan")
+        assert isinstance(est, TrueScanEstimator)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_table_estimator("nope")
+
+
+class TestTrueScan:
+    def test_exact_row_count(self):
+        table, schema, binnings = make_table()
+        est = TrueScanEstimator().fit(table, schema, binnings)
+        pred = Comparison("x", ">", 3)
+        expected = (table["x"].values > 3).sum()
+        assert est.estimate_row_count(pred) == expected
+
+    def test_exact_key_distribution(self):
+        table, schema, binnings = make_table()
+        est = TrueScanEstimator().fit(table, schema, binnings)
+        pred = Comparison("y", "<", 5)
+        expected = exact_distribution(table, binnings["k"], pred)
+        assert np.allclose(est.key_distribution("k", pred), expected)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            TrueScanEstimator().estimate_row_count(TruePredicate())
+
+    def test_update_extends_table(self):
+        table, schema, binnings = make_table(n=100)
+        est = TrueScanEstimator().fit(table, schema, binnings)
+        est.update(table)
+        assert est.estimate_row_count(TruePredicate()) == 200
+
+
+class TestSampling:
+    def test_row_count_approximates(self):
+        table, schema, binnings = make_table(n=5000)
+        est = SamplingEstimator(sample_rate=0.3, seed=0).fit(
+            table, schema, binnings)
+        pred = Comparison("y", "<", 5)
+        true = (table["y"].values < 5).sum()
+        assert est.estimate_row_count(pred) == pytest.approx(true, rel=0.15)
+
+    def test_key_distribution_sums_to_estimate(self):
+        table, schema, binnings = make_table(n=5000, with_nulls=False)
+        est = SamplingEstimator(sample_rate=0.3, seed=0).fit(
+            table, schema, binnings)
+        pred = Comparison("x", ">=", 2)
+        dist = est.key_distribution("k", pred)
+        assert dist.sum() == pytest.approx(
+            est.estimate_row_count(pred), rel=1e-6)
+
+    def test_supports_like_and_or(self):
+        table = Table("s", [Column("k", np.arange(100)),
+                            Column("name", np.array(
+                                [f"item{i}" for i in range(100)],
+                                dtype=object))])
+        schema = TableSchema("s", [
+            ColumnSchema("k", DataType.INT, is_key=True),
+            ColumnSchema("name", DataType.STRING),
+        ])
+        binning = Binning(np.arange(100), np.arange(100) % 4, 4)
+        est = SamplingEstimator(sample_rate=1.0, seed=0).fit(
+            table, schema, {"k": binning})
+        pred = Or([Like("name", "%item1%"), Like("name", "%item2%")])
+        assert est.estimate_row_count(pred) > 0
+
+    def test_update_appends_sample(self):
+        table, schema, binnings = make_table(n=1000)
+        est = SamplingEstimator(sample_rate=0.5, seed=0).fit(
+            table, schema, binnings)
+        est.update(table)
+        assert est.estimate_row_count(TruePredicate()) == 2000
+
+
+class TestBayesCard:
+    def test_row_count_close_to_truth(self):
+        table, schema, binnings = make_table(n=8000)
+        est = BayesCardEstimator(seed=0).fit(table, schema, binnings)
+        pred = Comparison("x", "=", 3)
+        true = (table["x"].values == 3).sum()
+        assert est.estimate_row_count(pred) == pytest.approx(true, rel=0.2)
+
+    def test_correlated_key_distribution(self):
+        # x is derived from k: conditioning on x must shift the key bins
+        table, schema, binnings = make_table(n=8000)
+        est = BayesCardEstimator(seed=0).fit(table, schema, binnings)
+        uncond = est.key_distribution("k", TruePredicate())
+        cond = est.key_distribution("k", Comparison("x", "=", 0))
+        uncond = uncond / uncond.sum()
+        cond = cond / max(cond.sum(), 1e-9)
+        # distributions must differ noticeably (correlation captured)
+        assert np.abs(uncond - cond).sum() > 0.1
+
+    def test_exactness_against_truescan_shape(self):
+        table, schema, binnings = make_table(n=8000, with_nulls=False)
+        bc = BayesCardEstimator(seed=0).fit(table, schema, binnings)
+        ts = TrueScanEstimator().fit(table, schema, binnings)
+        pred = Comparison("y", "<=", 4)
+        d_bc = bc.key_distribution("k", pred)
+        d_ts = ts.key_distribution("k", pred)
+        assert d_bc.sum() == pytest.approx(d_ts.sum(), rel=0.15)
+
+    def test_rejects_like(self):
+        table, schema, binnings = make_table()
+        est = BayesCardEstimator(seed=0).fit(table, schema, binnings)
+        with pytest.raises(UnsupportedQueryError):
+            est.estimate_row_count(Like("x", "%1%"))
+
+    def test_rejects_cross_column_disjunction(self):
+        table, schema, binnings = make_table()
+        est = BayesCardEstimator(seed=0).fit(table, schema, binnings)
+        pred = Or([Comparison("x", "=", 1), Comparison("y", "=", 2)])
+        with pytest.raises(UnsupportedQueryError):
+            est.estimate_row_count(pred)
+
+    def test_single_column_disjunction_ok(self):
+        table, schema, binnings = make_table(n=4000)
+        est = BayesCardEstimator(seed=0).fit(table, schema, binnings)
+        pred = Or([Comparison("x", "=", 1), Comparison("x", "=", 2)])
+        true = np.isin(table["x"].values, [1, 2]).sum()
+        assert est.estimate_row_count(pred) == pytest.approx(true, rel=0.25)
+
+    def test_is_null_evidence(self):
+        table, schema, binnings = make_table(n=4000)
+        est = BayesCardEstimator(seed=0).fit(table, schema, binnings)
+        est_null = est.estimate_row_count(IsNull("k"))
+        true_null = table["k"].null_mask.sum()
+        assert est_null == pytest.approx(true_null, rel=0.3)
+
+    def test_update_shifts_estimates(self):
+        table, schema, binnings = make_table(n=2000)
+        est = BayesCardEstimator(seed=0).fit(table, schema, binnings)
+        before = est.estimate_row_count(TruePredicate())
+        est.update(table)
+        assert est.estimate_row_count(TruePredicate()) == before * 2
+
+
+class TestHistogram1D:
+    def test_independence_multiplication(self):
+        table, schema, binnings = make_table(n=4000, with_nulls=False)
+        est = Histogram1DEstimator().fit(table, schema, binnings)
+        sel_x = est.selectivity(Comparison("x", "=", 2))
+        sel_y = est.selectivity(Comparison("y", "=", 3))
+        combined = est.selectivity(And([Comparison("x", "=", 2),
+                                        Comparison("y", "=", 3)]))
+        assert combined == pytest.approx(sel_x * sel_y, rel=1e-9)
+
+    def test_key_distribution_is_scaled_unconditional(self):
+        table, schema, binnings = make_table(n=4000, with_nulls=False)
+        est = Histogram1DEstimator().fit(table, schema, binnings)
+        pred = Comparison("y", "<", 5)
+        dist = est.key_distribution("k", pred)
+        uncond = est.key_distribution("k", TruePredicate())
+        sel = est.selectivity(pred)
+        assert np.allclose(dist, uncond * sel)
+
+    def test_range_selectivity_sane(self):
+        table, schema, binnings = make_table(n=4000)
+        est = Histogram1DEstimator().fit(table, schema, binnings)
+        sel = est.selectivity(Comparison("y", "<", 5))
+        true = (table["y"].values < 5).mean()
+        assert sel == pytest.approx(true, abs=0.1)

@@ -1,0 +1,113 @@
+"""Tests for metrics, the experiment harness, and report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import PostgresMethod, TrueCardMethod
+from repro.eval.harness import (
+    default_methods,
+    end_to_end_table,
+    make_context,
+    run_end_to_end,
+)
+from repro.eval.metrics import (
+    improvement_over,
+    overestimation_fraction,
+    q_error,
+    q_error_percentiles,
+    relative_error_percentiles,
+    relative_errors,
+)
+from repro.utils import format_table, pickled_size_bytes, safe_div
+
+
+class TestMetrics:
+    def test_q_error_symmetric(self):
+        assert q_error(10, 100) == q_error(100, 10) == 10
+
+    def test_q_error_floors_at_one_row(self):
+        assert q_error(0.0, 0.0) == 1.0
+        assert q_error(0.5, 2.0) == 2.0
+
+    def test_relative_errors(self):
+        out = relative_errors([10, 200], [100, 100])
+        assert out[0] == pytest.approx(0.1)
+        assert out[1] == pytest.approx(2.0)
+
+    def test_percentiles(self):
+        ests = np.arange(1, 101, dtype=float)
+        trues = np.ones(100)
+        pct = relative_error_percentiles(ests, trues, (50, 99))
+        assert pct[50] == pytest.approx(50.5)
+        assert pct[99] > 99
+
+    def test_overestimation_fraction(self):
+        assert overestimation_fraction([2, 2, 0.5, 3],
+                                       [1, 1, 1, 1]) == pytest.approx(0.75)
+
+    def test_q_error_percentiles(self):
+        pct = q_error_percentiles([1, 10, 100], [1, 1, 1], (50,))
+        assert pct[50] == 10
+
+    def test_improvement(self):
+        assert improvement_over(100, 50) == pytest.approx(0.5)
+        assert improvement_over(100, 150) == pytest.approx(-0.5)
+        assert improvement_over(0, 10) == 0.0
+
+
+class TestUtils:
+    def test_format_table_aligns(self):
+        table = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_safe_div(self):
+        out = safe_div([1.0, 2.0], [2.0, 0.0], default=-1.0)
+        assert out[0] == 0.5
+        assert out[1] == -1.0
+
+    def test_pickled_size_positive(self):
+        assert pickled_size_bytes({"a": np.arange(10)}) > 0
+
+
+class TestHarness:
+    def test_make_context_memoizes(self):
+        a = make_context("stats", scale=0.02, seed=11, n_queries=4,
+                         max_tables=3)
+        b = make_context("stats", scale=0.02, seed=11, n_queries=4,
+                         max_tables=3)
+        assert a is b
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(ValueError):
+            make_context("nope")
+
+    def test_default_methods_lineups(self):
+        stats = {m.name for m in default_methods("stats")}
+        imdb = {m.name for m in default_methods("imdb")}
+        # paper's support matrix: JoinHist and the data-driven method
+        # cannot run IMDB-JOB
+        assert "JoinHist" in stats and "DataDriven" in stats
+        assert "JoinHist" not in imdb and "DataDriven" not in imdb
+        assert "FactorJoin" in stats and "FactorJoin" in imdb
+
+    def test_run_end_to_end_small(self):
+        ctx = make_context("stats", scale=0.02, seed=12, n_queries=6,
+                           max_tables=3)
+        results = run_end_to_end(ctx, [PostgresMethod()])
+        assert "TrueCard" in results and "Postgres" in results
+        # TrueCard execution is never worse than any method's
+        assert results["TrueCard"].total_execution <= \
+            results["Postgres"].total_execution + 1e-9
+        table = end_to_end_table(results)
+        assert "Postgres" in table and "Improvement" in table
+
+    def test_context_reuses_true_cards(self):
+        ctx = make_context("stats", scale=0.02, seed=13, n_queries=4,
+                           max_tables=3)
+        method = TrueCardMethod().fit(ctx.database)
+        first = ctx.runner.run(method, ctx.workload)
+        second = ctx.runner.run(method, ctx.workload)
+        for r1, r2 in zip(first.per_query, second.per_query):
+            assert r1.true_cost == r2.true_cost

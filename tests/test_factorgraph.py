@@ -1,0 +1,219 @@
+"""Tests for the PGM substrate: Chow-Liu, tree BN inference, exact factors.
+
+Includes the Lemma 1 verification: the cardinality of a join query equals
+the partition function of the factor graph built from exact per-table joint
+key distributions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.key_groups import query_key_groups
+from repro.engine import CardinalityExecutor
+from repro.engine.filter import evaluate_predicate
+from repro.factorgraph import (
+    DiscreteFactor,
+    TreeBayesNet,
+    chow_liu_tree,
+    mutual_information,
+    sum_product_eliminate,
+)
+from repro.sql import parse_query
+from tests.conftest import build_toy_db
+
+
+class TestMutualInformation:
+    def test_independent_columns_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 4, 20_000)
+        b = rng.integers(0, 4, 20_000)
+        assert mutual_information(a, b, 4, 4) < 0.01
+
+    def test_identical_columns_equal_entropy(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 4, 10_000)
+        mi = mutual_information(a, a, 4, 4)
+        # MI(X, X) = H(X) <= log 4
+        counts = np.bincount(a, minlength=4) / len(a)
+        entropy = -np.sum(counts * np.log(counts))
+        assert mi == pytest.approx(entropy, rel=1e-6)
+
+    def test_nonnegative(self):
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 3, 500)
+        b = (a + rng.integers(0, 2, 500)) % 3
+        assert mutual_information(a, b, 3, 3) >= 0
+
+
+class TestChowLiu:
+    def test_tree_is_spanning(self):
+        rng = np.random.default_rng(3)
+        n = 2000
+        a = rng.integers(0, 3, n)
+        b = (a + rng.integers(0, 2, n)) % 3
+        c = rng.integers(0, 3, n)
+        d = (c + rng.integers(0, 2, n)) % 3
+        edges = chow_liu_tree(np.stack([a, b, c, d], axis=1), [3, 3, 3, 3])
+        assert len(edges) == 3
+        reached = {0}
+        for parent, child in edges:
+            assert parent in reached
+            reached.add(child)
+        assert reached == {0, 1, 2, 3}
+
+    def test_strong_pairs_connected_directly(self):
+        rng = np.random.default_rng(4)
+        n = 5000
+        a = rng.integers(0, 4, n)
+        b = a.copy()  # perfectly dependent on a
+        c = rng.integers(0, 4, n)  # independent noise
+        edges = chow_liu_tree(np.stack([a, b, c], axis=1), [4, 4, 4])
+        undirected = {frozenset(e) for e in edges}
+        assert frozenset({0, 1}) in undirected
+
+    def test_single_column(self):
+        assert chow_liu_tree(np.zeros((10, 1), dtype=int), [1]) == []
+
+
+class TestTreeBayesNet:
+    def make_bn(self, seed=5, n=8000):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 3, n)
+        b = (a + (rng.random(n) < 0.2)) % 3  # strongly coupled to a
+        c = rng.integers(0, 4, n)
+        matrix = np.stack([a, b, c], axis=1)
+        bn = TreeBayesNet().fit(matrix, [3, 3, 4])
+        return bn, matrix
+
+    def test_marginal_without_evidence_matches_empirical(self):
+        bn, matrix = self.make_bn()
+        marg = bn.marginal(0)
+        empirical = np.bincount(matrix[:, 0], minlength=3) / len(matrix)
+        assert np.allclose(marg / marg.sum(), empirical, atol=0.02)
+
+    def test_evidence_conditions_marginal(self):
+        bn, matrix = self.make_bn()
+        evidence = {0: np.array([1.0, 0.0, 0.0])}  # a == 0
+        marg = bn.marginal(1, evidence)
+        sub = matrix[matrix[:, 0] == 0]
+        empirical = np.bincount(sub[:, 1], minlength=3) / len(matrix)
+        assert np.allclose(marg, empirical, atol=0.02)
+
+    def test_probability_of_hard_evidence(self):
+        bn, matrix = self.make_bn()
+        evidence = {2: np.array([1.0, 0, 0, 0])}
+        p = bn.probability(evidence)
+        empirical = float((matrix[:, 2] == 0).mean())
+        assert p == pytest.approx(empirical, abs=0.02)
+
+    def test_joint_evidence_uses_correlation(self):
+        bn, matrix = self.make_bn()
+        # P(a=0, b=0) >> P(a=0)P(b=0) because b ~ a
+        p_joint = bn.probability({0: np.array([1.0, 0, 0]),
+                                  1: np.array([1.0, 0, 0])})
+        empirical = float(((matrix[:, 0] == 0) & (matrix[:, 1] == 0)).mean())
+        assert p_joint == pytest.approx(empirical, abs=0.03)
+
+    def test_pairwise_conditional_rows_normalized(self):
+        bn, _ = self.make_bn()
+        cond = bn.pairwise_conditional(0, 2)
+        assert cond.shape == (3, 4)
+        assert np.allclose(cond.sum(axis=1), 1.0, atol=1e-6)
+
+    def test_partial_fit_shifts_marginal(self):
+        bn, _ = self.make_bn()
+        new = np.zeros((4000, 3), dtype=np.int64)  # all-zero rows
+        before = bn.marginal(0)[0] / bn.marginal(0).sum()
+        bn.partial_fit(new)
+        after = bn.marginal(0)[0] / bn.marginal(0).sum()
+        assert after > before
+
+    def test_unfitted_raises(self):
+        from repro.errors import NotFittedError
+        with pytest.raises(NotFittedError):
+            TreeBayesNet().marginal(0)
+
+
+class TestDiscreteFactors:
+    def test_multiply_and_marginalize(self):
+        f1 = DiscreteFactor((0,), np.array([1.0, 2.0]))
+        f2 = DiscreteFactor((0, 1), np.array([[1.0, 0.0], [0.0, 3.0]]))
+        prod = f1.multiply(f2)
+        assert prod.vars == (0, 1)
+        assert prod.table[1, 1] == 6.0
+        marg = prod.marginalize(0)
+        assert marg.vars == (1,)
+        assert np.allclose(marg.table, [1.0, 6.0])
+
+    def test_sum_product_simple_chain(self):
+        # sum_{x,y} f(x) g(x,y) h(y)
+        f = DiscreteFactor((0,), np.array([1.0, 2.0]))
+        g = DiscreteFactor((0, 1), np.array([[1.0, 1.0], [2.0, 0.0]]))
+        h = DiscreteFactor((1,), np.array([3.0, 1.0]))
+        expected = sum(
+            f.table[x] * g.table[x, y] * h.table[y]
+            for x in range(2) for y in range(2))
+        assert sum_product_eliminate([f, g, h]) == pytest.approx(expected)
+
+
+def exact_factors_for_query(db, query):
+    """Lemma 1 construction: one dense factor per alias over the full
+    (dictionary-encoded) domains of its equivalent key group variables."""
+    groups = query_key_groups(query)
+    # encode each variable's domain across all its refs
+    domains = []
+    for refs in groups.members:
+        values = []
+        for ref in refs:
+            col = db.table(query.table_of(ref.alias))[ref.column]
+            values.append(col.non_null_values().astype(np.int64))
+        domains.append(np.unique(np.concatenate(values)))
+
+    factors = []
+    for alias in query.aliases:
+        table = db.table(query.table_of(alias))
+        mask = evaluate_predicate(query.filter_of(alias), table)
+        vars_of = groups.vars_of_alias(alias)
+        if not vars_of:
+            factors.append(DiscreteFactor((), np.array(float(mask.sum()))))
+            continue
+        shape = [len(domains[v]) for v in vars_of]
+        dense = np.zeros(shape)
+        valid = mask.copy()
+        coords = []
+        for v in vars_of:
+            refs = groups.refs_of(alias, v)
+            col = table[refs[0].column]
+            valid &= ~col.null_mask
+            idx = np.searchsorted(domains[v], col.values.astype(np.int64))
+            idx = np.clip(idx, 0, len(domains[v]) - 1)
+            valid &= domains[v][idx] == col.values.astype(np.int64)
+            for ref in refs[1:]:
+                other = table[ref.column]
+                valid &= ~other.null_mask
+                valid &= other.values.astype(np.int64) == col.values.astype(
+                    np.int64)
+            coords.append(idx)
+        coords = tuple(c[valid] for c in coords)
+        np.add.at(dense, coords, 1.0)
+        factors.append(DiscreteFactor(tuple(vars_of), dense))
+    return factors
+
+
+class TestLemma1:
+    """Cardinality == partition function of the exact factor graph."""
+
+    @pytest.mark.parametrize("sql", [
+        "SELECT COUNT(*) FROM A a, B b WHERE a.id = b.aid AND a.x > 1",
+        "SELECT COUNT(*) FROM A a, B b, C c WHERE a.id = b.aid "
+        "AND b.cid = c.id AND c.z = 1",
+        "SELECT COUNT(*) FROM A a1, A a2, B b "
+        "WHERE a1.id = b.aid AND a2.id = b.aid AND a1.x > 0 AND a2.y < 3",
+    ])
+    def test_partition_function_equals_cardinality(self, sql):
+        db = build_toy_db(seed=11, n_a=25, n_b=60, n_c=15)
+        query = parse_query(sql)
+        factors = exact_factors_for_query(db, query)
+        partition = sum_product_eliminate(factors)
+        truth = CardinalityExecutor(db).cardinality(query)
+        assert partition == pytest.approx(truth)

@@ -1,0 +1,270 @@
+"""Integration tests for the FactorJoin estimator itself.
+
+Key properties checked against the exact executor on small databases:
+
+- two-table bound validity: with the TrueScan estimator (exact single-table
+  statistics) the estimate never under-estimates a two-table join;
+- multi-join behaviour: estimates stay finite, positive, and within a
+  reasonable factor of the truth; most sub-plans are over-estimated
+  (the paper reports >90%);
+- progressive == independent sub-plan estimation;
+- incremental updates converge to the retrained statistics;
+- configuration knobs (k, binning strategy, estimator choice) behave as the
+  ablation sections describe.
+"""
+
+import numpy as np
+import pytest
+
+from repro import FactorJoin, FactorJoinConfig
+from repro.engine import CardinalityExecutor
+from repro.errors import NotFittedError
+from repro.sql import parse_query
+from tests.conftest import build_toy_db
+
+TWO_TABLE_QUERIES = [
+    "SELECT COUNT(*) FROM A a, B b WHERE a.id = b.aid",
+    "SELECT COUNT(*) FROM A a, B b WHERE a.id = b.aid AND a.x > 1",
+    "SELECT COUNT(*) FROM A a, B b WHERE a.id = b.aid AND a.x > 1 "
+    "AND b.y <= 2",
+    "SELECT COUNT(*) FROM B b, C c WHERE b.cid = c.id AND c.z = 1",
+]
+
+CHAIN_QUERIES = [
+    "SELECT COUNT(*) FROM A a, B b, C c WHERE a.id = b.aid "
+    "AND b.cid = c.id",
+    "SELECT COUNT(*) FROM A a, B b, C c WHERE a.id = b.aid "
+    "AND b.cid = c.id AND a.x > 0 AND c.z < 2",
+]
+
+
+def fit_truescan(db, n_bins=20, **kwargs):
+    cfg = FactorJoinConfig(n_bins=n_bins, table_estimator="truescan",
+                           **kwargs)
+    return FactorJoin(cfg).fit(db)
+
+
+class TestBoundValidity:
+    @pytest.mark.parametrize("sql", TWO_TABLE_QUERIES)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_two_table_truescan_never_underestimates(self, sql, seed):
+        db = build_toy_db(seed=seed)
+        model = fit_truescan(db)
+        truth = CardinalityExecutor(db).cardinality(parse_query(sql))
+        est = model.estimate(parse_query(sql))
+        assert est + 1e-6 >= truth
+
+    @pytest.mark.parametrize("sql", TWO_TABLE_QUERIES)
+    def test_exact_with_one_bin_per_value(self, sql):
+        # enough bins that every domain value gets its own bin: the bound
+        # must reduce to the exact cardinality (Section 4.2's extreme case)
+        db = build_toy_db(seed=3, n_a=30, n_b=60, n_c=20)
+        model = fit_truescan(db, n_bins=10_000)
+        truth = CardinalityExecutor(db).cardinality(parse_query(sql))
+        est = model.estimate(parse_query(sql))
+        assert est == pytest.approx(truth, rel=1e-6)
+
+    @pytest.mark.parametrize("sql", CHAIN_QUERIES)
+    def test_chain_estimates_reasonable(self, sql):
+        db = build_toy_db(seed=4)
+        model = fit_truescan(db, n_bins=30)
+        truth = CardinalityExecutor(db).cardinality(parse_query(sql))
+        est = model.estimate(parse_query(sql))
+        assert est > 0
+        if truth > 0:
+            assert est / truth < 1e4  # sane bound, not garbage
+
+    def test_most_subplans_overestimated(self):
+        db = build_toy_db(seed=5, n_a=80, n_b=200, n_c=50)
+        model = fit_truescan(db, n_bins=40)
+        q = parse_query(CHAIN_QUERIES[1])
+        ests = model.estimate_subplans(q, min_tables=2)
+        truths = CardinalityExecutor(db).subplan_cardinalities(q,
+                                                               min_tables=2)
+        over = sum(ests[s] + 1e-6 >= truths[s] for s in truths
+                   if truths[s] > 0)
+        positive = sum(1 for s in truths if truths[s] > 0)
+        assert over >= 0.9 * positive
+
+    def test_k1_single_bin_still_works(self):
+        db = build_toy_db(seed=6)
+        model = fit_truescan(db, n_bins=1)
+        q = parse_query(TWO_TABLE_QUERIES[0])
+        truth = CardinalityExecutor(db).cardinality(q)
+        est = model.estimate(q)
+        assert est + 1e-6 >= truth  # single-bin bound is valid, just loose
+
+
+class TestBoundTightness:
+    def test_more_bins_tighter_bound(self):
+        db = build_toy_db(seed=7, n_a=100, n_b=400, n_c=50)
+        q = parse_query(TWO_TABLE_QUERIES[0])
+        truth = CardinalityExecutor(db).cardinality(q)
+        errors = []
+        for k in (1, 8, 64):
+            model = fit_truescan(db, n_bins=k)
+            errors.append(model.estimate(q) / truth)
+        assert errors[0] >= errors[1] >= errors[2] >= 1 - 1e-9
+
+    def test_gbsa_no_looser_than_equal_width(self):
+        db = build_toy_db(seed=8, n_a=150, n_b=600, n_c=40)
+        q = parse_query(TWO_TABLE_QUERIES[0])
+        truth = CardinalityExecutor(db).cardinality(q)
+        rel = {}
+        for strategy in ("gbsa", "equal_width"):
+            model = fit_truescan(db, n_bins=12, binning=strategy)
+            rel[strategy] = model.estimate(q) / truth
+        assert rel["gbsa"] <= rel["equal_width"] * 1.05
+
+
+class TestSubplanEstimation:
+    def test_progressive_covers_all_connected_subsets(self):
+        db = build_toy_db(seed=9)
+        model = fit_truescan(db)
+        q = parse_query(CHAIN_QUERIES[0])
+        ests = model.estimate_subplans(q, min_tables=1)
+        assert len(ests) == len(q.connected_subsets(2)) + 3
+
+    def test_progressive_matches_independent(self):
+        db = build_toy_db(seed=10)
+        model = fit_truescan(db, n_bins=16)
+        q = parse_query(CHAIN_QUERIES[1])
+        prog = model.estimate_subplans(q, progressive=True)
+        indep = model.estimate_subplans(q, progressive=False)
+        assert set(prog) == set(indep)
+        for s in prog:
+            assert prog[s] == pytest.approx(indep[s], rel=1e-9), s
+
+    def test_full_query_estimate_consistent_with_subplans(self):
+        db = build_toy_db(seed=11)
+        model = fit_truescan(db, n_bins=16)
+        q = parse_query(CHAIN_QUERIES[0])
+        full = model.estimate(q)
+        subs = model.estimate_subplans(q)
+        assert subs[frozenset(q.aliases)] == pytest.approx(full, rel=1e-9)
+
+
+class TestEstimatorChoices:
+    @pytest.mark.parametrize("estimator", ["truescan", "sampling",
+                                           "bayescard", "histogram1d"])
+    def test_all_estimators_run(self, estimator):
+        db = build_toy_db(seed=12)
+        cfg = FactorJoinConfig(n_bins=10, table_estimator=estimator,
+                               sample_rate=0.5)
+        model = FactorJoin(cfg).fit(db)
+        q = parse_query(TWO_TABLE_QUERIES[1])
+        est = model.estimate(q)
+        assert np.isfinite(est) and est >= 0
+
+    def test_bayescard_close_to_truescan_on_filters(self):
+        db = build_toy_db(seed=13, n_a=200, n_b=800, n_c=60)
+        q = parse_query(
+            "SELECT COUNT(*) FROM A a, B b WHERE a.id = b.aid AND a.x = 2")
+        bc = FactorJoin(FactorJoinConfig(
+            n_bins=16, table_estimator="bayescard")).fit(db)
+        ts = FactorJoin(FactorJoinConfig(
+            n_bins=16, table_estimator="truescan")).fit(db)
+        est_bc, est_ts = bc.estimate(q), ts.estimate(q)
+        q_error = max(est_bc, est_ts) / max(1e-9, min(est_bc, est_ts))
+        assert q_error < 3.0
+
+    def test_uniform_mode_is_joinhist_semantics(self):
+        db = build_toy_db(seed=14)
+        q = parse_query(TWO_TABLE_QUERIES[0])
+        bound = fit_truescan(db, n_bins=8).estimate(q)
+        uniform = fit_truescan(db, n_bins=8, bound_mode="uniform").estimate(q)
+        truth = CardinalityExecutor(db).cardinality(q)
+        # the expected-value estimate is below the bound, and for the
+        # unfiltered join both should be in the truth's ballpark
+        assert uniform <= bound + 1e-6
+        assert uniform > 0.01 * truth
+
+
+class TestWorkloadBudget:
+    def test_workload_shifts_bins_to_frequent_group(self):
+        db = build_toy_db(seed=15)
+        workload = [parse_query(TWO_TABLE_QUERIES[0])] * 10  # only A.id group
+        cfg = FactorJoinConfig(n_bins=10, table_estimator="truescan",
+                               workload=workload, total_bin_budget=40)
+        model = FactorJoin(cfg).fit(db)
+        sizes = {name: model.binning_for_group(name).n_bins
+                 for name in model.group_names()}
+        # group containing A.id must get (almost) the whole budget
+        a_group = [n for n in sizes
+                   if any(m == ("A", "id")
+                          for m in _group_members(model, n))][0]
+        other = [n for n in sizes if n != a_group][0]
+        assert sizes[a_group] > sizes[other]
+
+
+def _group_members(model, name):
+    for g in model._groups:
+        if g.name == name:
+            return g.members
+    return ()
+
+
+class TestUpdates:
+    def test_update_tracks_inserted_rows(self):
+        db_full = build_toy_db(seed=16, n_b=400)
+        table_b = db_full.table("B")
+        half = len(table_b) // 2
+        import repro.data as rdata
+        first = table_b.take(np.arange(half))
+        rest = table_b.take(np.arange(half, len(table_b)))
+        db_half = db_full.replace_table(first)
+
+        model = fit_truescan(db_half, n_bins=16)
+        q = parse_query(TWO_TABLE_QUERIES[0])
+        before = model.estimate(q)
+        model.update("B", rest)
+        after = model.estimate(q)
+        truth = CardinalityExecutor(db_full).cardinality(q)
+        assert after > before
+        assert after + 1e-6 >= truth  # bound still valid after update
+        assert model.last_update_seconds >= 0
+
+    def test_update_estimates_match_retrain_with_same_bins(self):
+        # with truescan + fixed bins, update must land exactly on the
+        # statistics a retrain over the merged data would produce
+        db_full = build_toy_db(seed=17, n_b=300)
+        table_b = db_full.table("B")
+        first = table_b.take(np.arange(150))
+        rest = table_b.take(np.arange(150, 300))
+        db_half = db_full.replace_table(first)
+
+        updated = fit_truescan(db_half, n_bins=4, binning="equal_width")
+        updated.update("B", rest)
+        retrained = fit_truescan(db_full, n_bins=4, binning="equal_width")
+        q = parse_query(TWO_TABLE_QUERIES[0])
+        assert updated.estimate(q) == pytest.approx(retrained.estimate(q),
+                                                    rel=1e-6)
+
+
+class TestAPI:
+    def test_not_fitted_raises(self):
+        with pytest.raises(NotFittedError):
+            FactorJoin().estimate(parse_query(TWO_TABLE_QUERIES[0]))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FactorJoinConfig(binning="nope")
+        with pytest.raises(ValueError):
+            FactorJoinConfig(bound_mode="nope")
+
+    def test_config_or_kwargs_not_both(self):
+        with pytest.raises(ValueError):
+            FactorJoin(FactorJoinConfig(), n_bins=5)
+
+    def test_model_size_and_training_time_reported(self):
+        db = build_toy_db(seed=18)
+        model = fit_truescan(db)
+        assert model.model_size_bytes() > 0
+        assert model.fit_seconds > 0
+
+    def test_single_table_query(self):
+        db = build_toy_db(seed=19)
+        model = fit_truescan(db)
+        q = parse_query("SELECT COUNT(*) FROM A a WHERE a.x > 2")
+        truth = CardinalityExecutor(db).cardinality(q)
+        assert model.estimate(q) == pytest.approx(truth)

@@ -1,0 +1,136 @@
+"""Unit tests for JoinFactor combination (repro.core.factors)."""
+
+import numpy as np
+import pytest
+
+from repro.core import bound as bound_mod
+from repro.core.factors import JoinFactor, combine
+
+
+def single_var_factor(var, totals, mfvs=None, total=None):
+    totals = np.asarray(totals, dtype=float)
+    return JoinFactor(
+        (var,),
+        float(totals.sum() if total is None else total),
+        {var: totals},
+        {var: np.asarray(mfvs, dtype=float)} if mfvs is not None else {},
+    )
+
+
+class TestCombineSingleVar:
+    def test_paper_example_bound(self):
+        # Figure 5 numbers: one bin, totals 16/15, MFVs 8/6 -> 96
+        f1 = single_var_factor(0, [16.0], [8.0])
+        f2 = single_var_factor(0, [15.0], [6.0])
+        result = combine(f1, f2)
+        assert result.total_estimate == pytest.approx(96.0)
+        assert result.vars == (0,)
+        assert result.totals[0][0] == pytest.approx(96.0)
+        # MFV counts multiply (Section 5.2)
+        assert result.mfvs[0][0] == pytest.approx(48.0)
+
+    def test_multiple_bins_sum(self):
+        f1 = single_var_factor(0, [10.0, 4.0], [5.0, 2.0])
+        f2 = single_var_factor(0, [6.0, 6.0], [3.0, 3.0])
+        result = combine(f1, f2)
+        expected = min(10 / 5, 6 / 3) * 15 + min(4 / 2, 6 / 3) * 6
+        assert result.total_estimate == pytest.approx(expected)
+
+    def test_empty_bin_contributes_zero(self):
+        f1 = single_var_factor(0, [10.0, 0.0], [5.0, 0.0])
+        f2 = single_var_factor(0, [6.0, 8.0], [3.0, 4.0])
+        result = combine(f1, f2)
+        assert result.totals[0][1] == 0.0
+
+    def test_uniform_mode_uses_ndv(self):
+        f1 = JoinFactor((0,), 8.0, {0: np.array([8.0])},
+                        {0: np.array([4.0])}, {0: np.array([4.0])})
+        f2 = JoinFactor((0,), 6.0, {0: np.array([6.0])},
+                        {0: np.array([2.0])}, {0: np.array([2.0])})
+        result = combine(f1, f2, mode=bound_mod.UNIFORM)
+        assert result.total_estimate == pytest.approx(8 * 6 / 4)
+
+
+class TestCombineMultiVar:
+    def test_unshared_var_scales(self):
+        f1 = JoinFactor((0, 1), 20.0,
+                        {0: np.array([20.0]), 1: np.array([12.0, 8.0])},
+                        {0: np.array([4.0]),
+                         1: np.array([3.0, 2.0])})
+        f2 = single_var_factor(0, [10.0], [2.0])
+        result = combine(f1, f2)
+        assert set(result.vars) == {0, 1}
+        # var 1 distribution scaled to the new estimate, shape preserved
+        ratio = result.totals[1] / np.array([12.0, 8.0])
+        assert ratio[0] == pytest.approx(ratio[1])
+        assert result.totals[1].sum() == pytest.approx(
+            result.total_estimate, rel=1e-9)
+
+    def test_unshared_var_uses_conditional(self):
+        # conditional P(var1 bin | var0 bin): bin0 -> [1, 0], bin1 -> [0, 1]
+        cond = np.array([[1.0, 0.0], [0.0, 1.0]])
+        f1 = JoinFactor((0, 1), 10.0,
+                        {0: np.array([5.0, 5.0]),
+                         1: np.array([5.0, 5.0])},
+                        {0: np.array([1.0, 1.0]),
+                         1: np.array([1.0, 1.0])},
+                        conditionals={(0, 1): cond})
+        # other side joins only bin 0 of var 0
+        f2 = single_var_factor(0, [7.0, 0.0], [1.0, 1.0])
+        result = combine(f1, f2)
+        # all surviving mass sits in var1's bin 0 via the conditional
+        assert result.totals[1][1] == pytest.approx(0.0, abs=1e-9)
+        assert result.totals[1][0] == pytest.approx(result.total_estimate)
+
+    def test_two_shared_vars_takes_min(self):
+        # joining on two conditions at once: bound = min of per-var bounds
+        f1 = JoinFactor((0, 1), 10.0,
+                        {0: np.array([10.0]), 1: np.array([10.0])},
+                        {0: np.array([5.0]), 1: np.array([1.0])})
+        f2 = JoinFactor((0, 1), 10.0,
+                        {0: np.array([10.0]), 1: np.array([10.0])},
+                        {0: np.array([5.0]), 1: np.array([1.0])})
+        result = combine(f1, f2)
+        bound_v0 = min(2.0, 2.0) * 25      # 50
+        bound_v1 = min(10.0, 10.0) * 1     # 10
+        assert result.total_estimate == pytest.approx(min(bound_v0,
+                                                          bound_v1))
+
+
+class TestCross:
+    def test_cross_product(self):
+        f1 = single_var_factor(0, [4.0], [2.0])
+        f2 = JoinFactor((), 5.0, {})
+        result = combine(f1, f2)
+        assert result.total_estimate == pytest.approx(20.0)
+        assert result.totals[0][0] == pytest.approx(20.0)
+
+    def test_scalar_times_scalar(self):
+        f1 = JoinFactor((), 3.0, {})
+        f2 = JoinFactor((), 7.0, {})
+        assert combine(f1, f2).total_estimate == pytest.approx(21.0)
+
+
+class TestFactorObject:
+    def test_missing_totals_rejected(self):
+        with pytest.raises(ValueError):
+            JoinFactor((0,), 1.0, {})
+
+    def test_copy_is_deep_for_arrays(self):
+        f = single_var_factor(0, [1.0, 2.0], [1.0, 1.0])
+        c = f.copy()
+        c.totals[0][0] = 99
+        assert f.totals[0][0] == 1.0
+
+    def test_conditional_to_flips_orientation(self):
+        cond = np.array([[0.5, 0.5], [0.0, 1.0]])  # P(v1 | v0)
+        f = JoinFactor((0, 1), 4.0,
+                       {0: np.array([2.0, 2.0]), 1: np.array([1.0, 3.0])},
+                       conditionals={(0, 1): cond})
+        link = f.conditional_to(1)
+        assert link is not None and link[0] == 0
+        flipped = f.conditional_to(0)
+        assert flipped is not None and flipped[0] == 1
+        # rows of the flipped conditional are normalized where defined
+        rows = flipped[1].sum(axis=1)
+        assert np.all((np.isclose(rows, 1.0)) | (rows == 0.0))

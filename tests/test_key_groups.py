@@ -1,0 +1,132 @@
+"""Tests for equivalent key group discovery (schema and query level)."""
+
+from repro.core.key_groups import (
+    UnionFind,
+    query_key_groups,
+    schema_key_groups,
+)
+from repro.data import ColumnSchema, DatabaseSchema, DataType, JoinRelation, TableSchema
+from repro.sql import parse_query
+
+
+def stats_like_schema():
+    """Mimics STATS: several tables, all FKs point at users.id or posts.id."""
+    def t(name, keys, attrs=()):
+        cols = [ColumnSchema(k, DataType.INT, is_key=True) for k in keys]
+        cols += [ColumnSchema(a, DataType.INT) for a in attrs]
+        return TableSchema(name, cols)
+
+    tables = [
+        t("users", ["id"], ["age"]),
+        t("posts", ["id", "owner_id"], ["score"]),
+        t("comments", ["post_id", "user_id"]),
+        t("badges", ["user_id"]),
+    ]
+    joins = [
+        JoinRelation("users", "id", "posts", "owner_id"),
+        JoinRelation("users", "id", "comments", "user_id"),
+        JoinRelation("users", "id", "badges", "user_id"),
+        JoinRelation("posts", "id", "comments", "post_id"),
+    ]
+    return DatabaseSchema(tables, joins)
+
+
+class TestUnionFind:
+    def test_transitive_union(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("b", "c")
+        assert uf.find("a") == uf.find("c")
+
+    def test_separate_groups(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.add("z")
+        assert uf.find("a") != uf.find("z")
+
+    def test_groups_partition(self):
+        uf = UnionFind()
+        for x in "abcdef":
+            uf.add(x)
+        uf.union("a", "b")
+        uf.union("c", "d")
+        groups = sorted(sorted(g) for g in uf.groups())
+        assert groups == [["a", "b"], ["c", "d"], ["e"], ["f"]]
+
+
+class TestSchemaGroups:
+    def test_stats_like_has_two_groups(self):
+        groups = schema_key_groups(stats_like_schema())
+        assert len(groups) == 2
+        sizes = sorted(len(g.members) for g in groups)
+        # users.id group: users.id, posts.owner_id, comments.user_id,
+        # badges.user_id (4); posts.id group: posts.id, comments.post_id (2)
+        assert sizes == [2, 4]
+
+    def test_every_key_in_exactly_one_group(self):
+        schema = stats_like_schema()
+        groups = schema_key_groups(schema)
+        seen = []
+        for g in groups:
+            seen.extend(g.members)
+        assert sorted(seen) == sorted(schema.key_endpoints())
+
+    def test_unjoined_key_gets_singleton_group(self):
+        schema = DatabaseSchema([
+            TableSchema("t", [ColumnSchema("id", DataType.INT, is_key=True)]),
+        ])
+        groups = schema_key_groups(schema)
+        assert len(groups) == 1
+        assert groups[0].members == (("t", "id"),)
+
+    def test_group_name_is_smallest_member(self):
+        groups = schema_key_groups(stats_like_schema())
+        for g in groups:
+            assert g.name == f"{g.members[0][0]}.{g.members[0][1]}"
+            assert g.members == tuple(sorted(g.members))
+
+
+class TestQueryGroups:
+    def test_chain_query_two_vars(self):
+        q = parse_query(
+            "SELECT COUNT(*) FROM A a, B b, C c "
+            "WHERE a.id = b.aid AND b.cid = c.id")
+        groups = query_key_groups(q)
+        assert groups.num_vars == 2
+        assert groups.vars_of_alias("b") == [0, 1]
+        assert len(groups.vars_of_alias("a")) == 1
+
+    def test_star_query_single_var(self):
+        q = parse_query(
+            "SELECT COUNT(*) FROM A a, B b, C c "
+            "WHERE a.id = b.aid AND a.id = c.aid")
+        groups = query_key_groups(q)
+        assert groups.num_vars == 1
+        assert len(groups.members[0]) == 3
+
+    def test_self_join_aliases_are_distinct_refs(self):
+        q = parse_query(
+            "SELECT COUNT(*) FROM A a1, A a2 WHERE a1.id = a2.id")
+        groups = query_key_groups(q)
+        assert groups.num_vars == 1
+        refs = {(r.alias, r.column) for r in groups.members[0]}
+        assert refs == {("a1", "id"), ("a2", "id")}
+
+    def test_cyclic_query_vars(self):
+        # figure 3 topology: V1 = {A.id, B.aid}, V2 = {A.id2, C.aid2},
+        # V3 = {B.cid, C.id, D.cid}
+        q = parse_query(
+            "SELECT COUNT(*) FROM A a, B b, C c, D d "
+            "WHERE a.id = b.aid AND a.id2 = c.aid2 AND c.id = b.cid "
+            "AND c.id = d.cid")
+        groups = query_key_groups(q)
+        assert groups.num_vars == 3
+        sizes = sorted(len(m) for m in groups.members)
+        assert sizes == [2, 2, 3]
+
+    def test_refs_of(self):
+        q = parse_query("SELECT COUNT(*) FROM A a, B b WHERE a.id = b.aid")
+        groups = query_key_groups(q)
+        refs = groups.refs_of("a", 0)
+        assert len(refs) == 1
+        assert refs[0].column == "id"

@@ -1,0 +1,168 @@
+"""Tests for the cost-based optimizer substrate."""
+
+import pytest
+
+from repro.optimizer import COST_MODELS, JoinPlan, optimize
+from repro.optimizer.cost import C_MM, C_OUT
+from repro.optimizer.dp import make_oracle
+from repro.optimizer.endtoend import EndToEndRunner
+from repro.baselines import PostgresMethod, TrueCardMethod
+from repro.engine import CardinalityExecutor
+from repro.sql import parse_query
+from tests.conftest import build_toy_db
+
+
+class TestJoinPlan:
+    def test_leaf(self):
+        plan = JoinPlan.leaf("a")
+        assert plan.is_leaf
+        assert plan.aliases == frozenset(["a"])
+        assert plan.leaves() == ["a"]
+
+    def test_join_combines_aliases(self):
+        plan = JoinPlan.join(JoinPlan.leaf("a"), JoinPlan.leaf("b"))
+        assert plan.aliases == frozenset(["a", "b"])
+        assert not plan.is_leaf
+        assert len(plan.inner_nodes()) == 1
+
+    def test_inner_nodes_bottom_up(self):
+        ab = JoinPlan.join(JoinPlan.leaf("a"), JoinPlan.leaf("b"))
+        abc = JoinPlan.join(ab, JoinPlan.leaf("c"))
+        nodes = abc.inner_nodes()
+        assert nodes[-1] is abc
+        assert nodes[0] is ab
+
+    def test_render_contains_aliases(self):
+        plan = JoinPlan.join(JoinPlan.leaf("a"), JoinPlan.leaf("b"))
+        assert "JOIN" in str(plan)
+        assert "a" in str(plan)
+
+
+class TestCostModels:
+    def make_chain_plan(self):
+        ab = JoinPlan.join(JoinPlan.leaf("a"), JoinPlan.leaf("b"))
+        return JoinPlan.join(ab, JoinPlan.leaf("c"))
+
+    def test_c_out_counts_strict_intermediates_only(self):
+        plan = self.make_chain_plan()
+        cards = {frozenset("a"): 10, frozenset("b"): 10, frozenset("c"): 10,
+                 frozenset(["a", "b"]): 50,
+                 frozenset(["a", "b", "c"]): 1000}
+        assert C_OUT.cost(plan, make_oracle(cards)) == 50  # root excluded
+
+    def test_c_mm_includes_inputs(self):
+        plan = JoinPlan.join(JoinPlan.leaf("a"), JoinPlan.leaf("b"))
+        cards = {frozenset(["a"]): 10, frozenset(["b"]): 30,
+                 frozenset(["a", "b"]): 99}
+        # 2*min + max, root output excluded
+        assert C_MM.cost(plan, make_oracle(cards)) == 2 * 10 + 30
+
+    def test_registry(self):
+        assert set(COST_MODELS) == {"c_out", "c_mm"}
+
+
+class TestDP:
+    def test_chain_prefers_selective_side_first(self):
+        q = parse_query(
+            "SELECT COUNT(*) FROM A a, B b, C c "
+            "WHERE a.id = b.aid AND b.cid = c.id")
+        # joining b-c first is much cheaper than a-b
+        cards = {
+            frozenset(["a"]): 100, frozenset(["b"]): 100,
+            frozenset(["c"]): 100,
+            frozenset(["a", "b"]): 10_000,
+            frozenset(["b", "c"]): 10,
+            frozenset(["a", "b", "c"]): 500,
+        }
+        plan, cost = optimize(q, make_oracle(cards))
+        assert cost == 10
+        first_join = plan.inner_nodes()[0]
+        assert first_join.aliases == frozenset(["b", "c"])
+
+    def test_no_cross_products_for_connected_graph(self):
+        q = parse_query(
+            "SELECT COUNT(*) FROM A a, B b, C c "
+            "WHERE a.id = b.aid AND b.cid = c.id")
+        cards = {s: 10.0 for s in
+                 [frozenset(x) for x in (["a"], ["b"], ["c"])]}
+        cards[frozenset(["a", "b"])] = 5
+        cards[frozenset(["b", "c"])] = 5
+        cards[frozenset(["a", "b", "c"])] = 5
+        plan, _ = optimize(q, make_oracle(cards))
+        # every inner node must be a connected subgraph: {a, c} never appears
+        for node in plan.inner_nodes():
+            assert node.aliases != frozenset(["a", "c"])
+
+    def test_single_table(self):
+        q = parse_query("SELECT COUNT(*) FROM A a WHERE a.x = 1")
+        plan, cost = optimize(q, make_oracle({}))
+        assert plan.is_leaf
+        assert cost == 0
+
+    def test_disconnected_graph_falls_back(self):
+        q = parse_query("SELECT COUNT(*) FROM A a, C c WHERE a.x > 0")
+        cards = {frozenset(["a"]): 5, frozenset(["c"]): 7,
+                 frozenset(["a", "c"]): 35}
+        plan, _ = optimize(q, make_oracle(cards))
+        assert plan.aliases == frozenset(["a", "c"])
+
+    def test_cyclic_query_optimizes(self):
+        q = parse_query(
+            "SELECT COUNT(*) FROM A a1, A a2, B b "
+            "WHERE a1.id = b.aid AND a2.id = b.aid")
+        cards = {
+            frozenset(["a1"]): 10, frozenset(["a2"]): 10,
+            frozenset(["b"]): 100,
+            frozenset(["a1", "b"]): 200, frozenset(["a2", "b"]): 50,
+            frozenset(["a1", "a2", "b"]): 100,
+        }
+        plan, cost = optimize(q, make_oracle(cards))
+        assert plan.aliases == frozenset(["a1", "a2", "b"])
+        assert cost == 50  # joins a2-b first
+
+
+class TestEndToEnd:
+    def test_true_card_plans_are_never_worse(self, toy_db):
+        runner = EndToEndRunner(toy_db)
+        q = parse_query(
+            "SELECT COUNT(*) FROM A a, B b, C c "
+            "WHERE a.id = b.aid AND b.cid = c.id AND a.x > 0")
+        optimal = runner.optimal_result(q)
+        postgres = PostgresMethod().fit(toy_db)
+        method_result = runner.run_query(postgres, q)
+        assert optimal.true_cost <= method_result.true_cost + 1e-9
+
+    def test_planning_time_recorded(self, toy_db):
+        runner = EndToEndRunner(toy_db)
+        q = parse_query(
+            "SELECT COUNT(*) FROM A a, B b WHERE a.id = b.aid")
+        postgres = PostgresMethod().fit(toy_db)
+        result = runner.run_query(postgres, q)
+        assert result.planning_seconds > 0
+        assert result.supported
+
+    def test_runner_uses_true_costs(self, toy_db):
+        runner = EndToEndRunner(toy_db)
+        q = parse_query(
+            "SELECT COUNT(*) FROM A a, B b, C c "
+            "WHERE a.id = b.aid AND b.cid = c.id")
+        truth = CardinalityExecutor(toy_db).subplan_cardinalities(q)
+        true_method = TrueCardMethod().fit(toy_db)
+        result = runner.run_query(true_method, q)
+        # cost must equal the c_out over true cards for the chosen plan
+        expected = runner.true_cost_of_plan(q, result.plan)
+        assert result.true_cost == expected
+        assert set(truth) >= {n.aliases for n in result.plan.inner_nodes()}
+
+    def test_improvement_metric(self, toy_db):
+        runner = EndToEndRunner(toy_db)
+        q = parse_query(
+            "SELECT COUNT(*) FROM A a, B b, C c "
+            "WHERE a.id = b.aid AND b.cid = c.id")
+        postgres = PostgresMethod().fit(toy_db)
+        res = runner.run(postgres, [q])
+        assert res.improvement_over(res) == pytest.approx(0.0)
+        worse = runner.run(postgres, [q, q])
+        # doubling the workload doubles execution cost (deterministic part)
+        assert worse.total_execution == pytest.approx(
+            2 * res.total_execution)

@@ -1,0 +1,134 @@
+"""Property tests for counted relations (the executor's join algebra).
+
+Counted relations must behave exactly like multisets of key tuples:
+joins commute, projections preserve totals, and everything matches a
+brute-force dictionary implementation on random inputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.relations import CountedRelation, compress, from_columns, join
+
+
+def brute_force_join(left, right):
+    """Dict-based natural join of two counted relations."""
+    shared = tuple(sorted(set(left.vars) & set(right.vars)))
+    out_vars = tuple(sorted(set(left.vars) | set(right.vars)))
+    result: dict[tuple, float] = {}
+    for i in range(len(left)):
+        for j in range(len(right)):
+            ok = all(
+                left.keys[i, left.vars.index(v)]
+                == right.keys[j, right.vars.index(v)]
+                for v in shared)
+            if not ok:
+                continue
+            key = tuple(
+                left.keys[i, left.vars.index(v)] if v in left.vars
+                else right.keys[j, right.vars.index(v)]
+                for v in out_vars)
+            result[key] = result.get(key, 0.0) + (
+                left.counts[i] * right.counts[j])
+    return result
+
+
+def as_dict(rel):
+    return {tuple(rel.keys[i]): rel.counts[i] for i in range(len(rel))}
+
+
+@st.composite
+def counted_relation(draw, vars_pool=(0, 1, 2)):
+    n_vars = draw(st.integers(1, len(vars_pool)))
+    vars = tuple(sorted(draw(st.permutations(vars_pool))[:n_vars]))
+    n_rows = draw(st.integers(0, 12))
+    keys = draw(st.lists(
+        st.tuples(*[st.integers(0, 3) for _ in vars]),
+        min_size=n_rows, max_size=n_rows))
+    counts = draw(st.lists(st.integers(1, 5), min_size=n_rows,
+                           max_size=n_rows))
+    keys_arr = (np.array(keys, dtype=np.int64).reshape(n_rows, len(vars)))
+    return compress(vars, keys_arr, np.array(counts, dtype=float))
+
+
+class TestCompress:
+    def test_merges_duplicates(self):
+        rel = compress((0,), np.array([[1], [1], [2]]),
+                       np.array([2.0, 3.0, 4.0]))
+        assert len(rel) == 2
+        assert as_dict(rel) == {(1,): 5.0, (2,): 4.0}
+
+    def test_total_preserved(self):
+        rel = compress((0, 1), np.array([[1, 2], [1, 2], [3, 4]]),
+                       np.array([1.0, 1.0, 1.0]))
+        assert rel.total == 3.0
+
+    def test_empty(self):
+        rel = compress((0,), np.zeros((0, 1)), np.zeros(0))
+        assert len(rel) == 0
+        assert rel.total == 0.0
+
+
+class TestFromColumns:
+    def test_counts_distinct_rows(self):
+        rel = from_columns((0,), [np.array([5, 5, 7])])
+        assert as_dict(rel) == {(5,): 2.0, (7,): 1.0}
+
+    def test_no_columns_scalar(self):
+        rel = from_columns((), [], valid=np.array([True, False, True]))
+        assert rel.total == 2.0
+
+
+class TestProject:
+    def test_project_sums_counts(self):
+        rel = compress((0, 1), np.array([[1, 1], [1, 2]]),
+                       np.array([2.0, 3.0]))
+        projected = rel.project((0,))
+        assert as_dict(projected) == {(1,): 5.0}
+
+    def test_project_to_nothing_keeps_total(self):
+        rel = compress((0,), np.array([[1], [2]]), np.array([2.0, 3.0]))
+        scalar = rel.project(())
+        assert scalar.total == 5.0
+        assert scalar.vars == ()
+
+    @given(counted_relation())
+    @settings(max_examples=60, deadline=None)
+    def test_property_projection_preserves_total(self, rel):
+        for keep in ([], list(rel.vars)[:1], list(rel.vars)):
+            assert rel.project(tuple(keep)).total == pytest.approx(rel.total)
+
+
+class TestJoin:
+    @given(counted_relation(), counted_relation())
+    @settings(max_examples=80, deadline=None)
+    def test_property_matches_brute_force(self, left, right):
+        result = join(left, right)
+        expected = brute_force_join(left, right)
+        got = as_dict(result)
+        assert set(got) == set(expected)
+        for key, count in expected.items():
+            assert got[key] == pytest.approx(count)
+
+    @given(counted_relation(), counted_relation())
+    @settings(max_examples=50, deadline=None)
+    def test_property_commutative_total(self, left, right):
+        assert join(left, right).total == pytest.approx(
+            join(right, left).total)
+
+    def test_join_with_projection(self):
+        left = compress((0, 1), np.array([[1, 10], [2, 20]]),
+                        np.array([1.0, 1.0]))
+        right = compress((0,), np.array([[1], [1], [2]]),
+                         np.array([1.0, 1.0, 1.0]))
+        result = join(left, right, keep_vars=(1,))
+        assert as_dict(result) == {(10,): 2.0, (20,): 1.0}
+
+    def test_disjoint_vars_cross_product(self):
+        left = compress((0,), np.array([[1], [2]]), np.array([2.0, 1.0]))
+        right = compress((1,), np.array([[9]]), np.array([4.0]))
+        result = join(left, right)
+        assert result.total == pytest.approx(12.0)
+        assert result.vars == (0, 1)

@@ -1,0 +1,225 @@
+"""Tests for the predicate AST, Query model, and SQL parser."""
+
+import pytest
+
+from repro.errors import ParseError, SchemaError
+from repro.sql import (
+    And,
+    Between,
+    ColumnRef,
+    Comparison,
+    In,
+    IsNull,
+    JoinCondition,
+    Like,
+    Not,
+    Or,
+    parse_query,
+    Query,
+    TableRef,
+)
+from repro.sql.predicates import TruePredicate, conjoin
+
+
+class TestPredicates:
+    def test_comparison_sql(self):
+        assert Comparison("a", ">", 5).to_sql("t") == "t.a > 5"
+
+    def test_comparison_rejects_bad_op(self):
+        with pytest.raises(ValueError):
+            Comparison("a", "~", 5)
+
+    def test_string_values_quoted(self):
+        assert Comparison("s", "=", "o'x").to_sql() == "s = 'o''x'"
+
+    def test_between_columns(self):
+        assert Between("a", 1, 2).columns() == {"a"}
+
+    def test_in_freezes_values(self):
+        p = In("a", [3, 1])
+        assert p.values == (3, 1)
+
+    def test_like_sql(self):
+        assert Like("s", "%An%").to_sql() == "s LIKE '%An%'"
+        assert Like("s", "%An%", negated=True).to_sql() == "s NOT LIKE '%An%'"
+
+    def test_and_flattens_conjuncts(self):
+        p = And([Comparison("a", "=", 1),
+                 And([Comparison("b", "=", 2), Comparison("c", "=", 3)])])
+        assert len(p.conjuncts()) == 3
+
+    def test_or_is_not_simple(self):
+        p = Or([Comparison("a", "=", 1), Comparison("a", "=", 2)])
+        assert not p.is_simple()
+        assert And([Comparison("a", "=", 1)]).is_simple()
+
+    def test_conjoin_collapses(self):
+        assert isinstance(conjoin([]), TruePredicate)
+        c = Comparison("a", "=", 1)
+        assert conjoin([TruePredicate(), c]) is c
+
+
+def two_table_query():
+    return Query(
+        [TableRef("A", "a"), TableRef("B", "b")],
+        [JoinCondition(ColumnRef("a", "id"), ColumnRef("b", "aid"))],
+        {"a": Comparison("x", ">", 0)},
+    )
+
+
+class TestQuery:
+    def test_aliases(self):
+        q = two_table_query()
+        assert q.aliases == ["a", "b"]
+        assert q.table_of("b") == "B"
+
+    def test_duplicate_alias_raises(self):
+        with pytest.raises(SchemaError):
+            Query([TableRef("A", "a"), TableRef("B", "a")], [])
+
+    def test_join_unknown_alias_raises(self):
+        with pytest.raises(SchemaError):
+            Query([TableRef("A", "a")],
+                  [JoinCondition(ColumnRef("a", "id"), ColumnRef("z", "id"))])
+
+    def test_filter_of_missing_alias_is_true(self):
+        q = two_table_query()
+        assert isinstance(q.filter_of("b"), TruePredicate)
+
+    def test_connectivity(self):
+        q = two_table_query()
+        assert q.is_connected()
+        assert not q.is_cyclic()
+
+    def test_cyclic_triangle(self):
+        q = Query(
+            [TableRef("A", "a"), TableRef("B", "b"), TableRef("C", "c")],
+            [
+                JoinCondition(ColumnRef("a", "id"), ColumnRef("b", "aid")),
+                JoinCondition(ColumnRef("b", "cid"), ColumnRef("c", "id")),
+                JoinCondition(ColumnRef("c", "aid"), ColumnRef("a", "id2")),
+            ],
+        )
+        assert q.is_cyclic()
+
+    def test_self_join_detection(self):
+        q = Query(
+            [TableRef("A", "a1"), TableRef("A", "a2")],
+            [JoinCondition(ColumnRef("a1", "id"), ColumnRef("a2", "id"))],
+        )
+        assert q.has_self_join()
+
+    def test_subquery_induced(self):
+        q = Query(
+            [TableRef("A", "a"), TableRef("B", "b"), TableRef("C", "c")],
+            [
+                JoinCondition(ColumnRef("a", "id"), ColumnRef("b", "aid")),
+                JoinCondition(ColumnRef("b", "id"), ColumnRef("c", "bid")),
+            ],
+            {"c": Comparison("y", "=", 1)},
+        )
+        sub = q.subquery({"a", "b"})
+        assert sub.aliases == ["a", "b"]
+        assert len(sub.joins) == 1
+        assert sub.filters == {}
+
+    def test_connected_subsets_chain(self):
+        q = Query(
+            [TableRef("A", "a"), TableRef("B", "b"), TableRef("C", "c")],
+            [
+                JoinCondition(ColumnRef("a", "id"), ColumnRef("b", "aid")),
+                JoinCondition(ColumnRef("b", "id"), ColumnRef("c", "bid")),
+            ],
+        )
+        subsets = q.connected_subsets(min_tables=2)
+        # chain a-b-c: {a,b}, {b,c}, {a,b,c}; NOT {a,c}
+        assert frozenset({"a", "b"}) in subsets
+        assert frozenset({"b", "c"}) in subsets
+        assert frozenset({"a", "c"}) not in subsets
+        assert frozenset({"a", "b", "c"}) in subsets
+
+    def test_to_sql_roundtrip_through_parser(self):
+        q = two_table_query()
+        q2 = parse_query(q.to_sql())
+        assert q2.signature() == q.signature()
+
+
+class TestParser:
+    def test_basic_join_query(self):
+        q = parse_query(
+            "SELECT COUNT(*) FROM A AS a, B AS b "
+            "WHERE a.id = b.aid AND a.x > 0 AND b.y <= 10;")
+        assert q.aliases == ["a", "b"]
+        assert len(q.joins) == 1
+        assert q.filters["a"] == Comparison("x", ">", 0)
+        assert q.filters["b"] == Comparison("y", "<=", 10)
+
+    def test_alias_defaults_to_table_name(self):
+        q = parse_query("SELECT COUNT(*) FROM users WHERE users.age > 5")
+        assert q.aliases == ["users"]
+
+    def test_string_and_like(self):
+        q = parse_query(
+            "SELECT COUNT(*) FROM t WHERE t.name LIKE '%An%' "
+            "AND t.kind = 'movie';")
+        preds = q.filters["t"].conjuncts()
+        assert Like("name", "%An%") in preds
+        assert Comparison("kind", "=", "movie") in preds
+
+    def test_in_and_between(self):
+        q = parse_query(
+            "SELECT COUNT(*) FROM t WHERE t.a IN (1, 2, 3) "
+            "AND t.b BETWEEN 5 AND 9")
+        preds = q.filters["t"].conjuncts()
+        assert In("a", (1, 2, 3)) in preds
+        assert Between("b", 5, 9) in preds
+
+    def test_or_predicate_groups_single_alias(self):
+        q = parse_query(
+            "SELECT COUNT(*) FROM t WHERE (t.a = 1 OR t.a = 2)")
+        assert isinstance(q.filters["t"], Or)
+
+    def test_or_across_aliases_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query(
+                "SELECT COUNT(*) FROM A a, B b "
+                "WHERE a.id = b.aid AND (a.x = 1 OR b.y = 2)")
+
+    def test_is_null_and_not_null(self):
+        q = parse_query(
+            "SELECT COUNT(*) FROM t WHERE t.a IS NULL AND t.b IS NOT NULL")
+        preds = q.filters["t"].conjuncts()
+        assert IsNull("a") in preds
+        assert IsNull("b", negated=True) in preds
+
+    def test_not_predicate(self):
+        q = parse_query("SELECT COUNT(*) FROM t WHERE NOT (t.a = 3)")
+        assert isinstance(q.filters["t"], Not)
+
+    def test_not_equal_variants(self):
+        q = parse_query("SELECT COUNT(*) FROM t WHERE t.a <> 1 AND t.b != 2")
+        preds = q.filters["t"].conjuncts()
+        assert Comparison("a", "!=", 1) in preds
+        assert Comparison("b", "!=", 2) in preds
+
+    def test_self_join_parse(self):
+        q = parse_query(
+            "SELECT COUNT(*) FROM movie_link AS m1, movie_link AS m2 "
+            "WHERE m1.movie_id = m2.linked_movie_id")
+        assert q.has_self_join()
+
+    def test_non_equi_join_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT COUNT(*) FROM A a, B b WHERE a.id < b.id")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELEKT * FROM t")
+
+    def test_float_literal(self):
+        q = parse_query("SELECT COUNT(*) FROM t WHERE t.a >= 1.5")
+        assert q.filters["t"] == Comparison("a", ">=", 1.5)
+
+    def test_negative_number(self):
+        q = parse_query("SELECT COUNT(*) FROM t WHERE t.a = -10")
+        assert q.filters["t"] == Comparison("a", "=", -10)

@@ -1,0 +1,169 @@
+"""Tests for the catalog statistics substrate (repro.stats)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Column
+from repro.sql.predicates import Between, Comparison, In, IsNull, Like
+from repro.stats import (
+    ColumnStatistics,
+    Discretizer,
+    EquiDepthHistogram,
+    MostCommonValues,
+    TopKStatistics,
+)
+
+
+class TestMCV:
+    def test_top_values_first(self):
+        col = Column("c", [1] * 50 + [2] * 30 + list(range(3, 23)))
+        mcv = MostCommonValues(col, n=2)
+        assert set(mcv.values) == {1, 2}
+        assert mcv.eq_selectivity(1) == pytest.approx(0.5)
+
+    def test_residual_selectivity(self):
+        col = Column("c", [1] * 50 + [2] * 30 + list(range(3, 23)))
+        mcv = MostCommonValues(col, n=2)
+        residual = mcv.residual_eq_selectivity()
+        assert 0 < residual < 0.2
+
+    def test_missing_value(self):
+        col = Column("c", [1, 1, 2])
+        mcv = MostCommonValues(col, n=1)
+        assert mcv.eq_selectivity(999) is None
+
+
+class TestHistogram:
+    def test_le_fraction_monotone(self):
+        rng = np.random.default_rng(0)
+        col = Column("c", rng.normal(0, 100, 5000).astype(int))
+        hist = EquiDepthHistogram(col, n_bins=50)
+        xs = np.linspace(-300, 300, 30)
+        fracs = [hist.le_fraction(x) for x in xs]
+        assert all(a <= b + 1e-9 for a, b in zip(fracs, fracs[1:]))
+
+    def test_le_fraction_accuracy(self):
+        rng = np.random.default_rng(1)
+        values = rng.integers(0, 1000, 10_000)
+        hist = EquiDepthHistogram(Column("c", values), n_bins=100)
+        for q in (100, 500, 900):
+            true = (values <= q).mean()
+            assert hist.le_fraction(q) == pytest.approx(true, abs=0.03)
+
+    def test_range_selectivity(self):
+        rng = np.random.default_rng(2)
+        values = rng.integers(0, 100, 5000)
+        hist = EquiDepthHistogram(Column("c", values), n_bins=50)
+        true = ((values >= 20) & (values <= 60)).mean()
+        assert hist.range_selectivity(20, 60) == pytest.approx(true,
+                                                               abs=0.05)
+
+    def test_empty_column(self):
+        hist = EquiDepthHistogram(Column("c", np.zeros(0, dtype=np.int64)))
+        assert hist.le_fraction(5) == 0.0
+
+
+class TestColumnStatistics:
+    def make(self, seed=0, n=5000):
+        rng = np.random.default_rng(seed)
+        values = rng.integers(0, 200, n)
+        nulls = rng.random(n) < 0.1
+        return values, nulls, ColumnStatistics(
+            Column("c", values, null_mask=nulls))
+
+    def test_equality_selectivity(self):
+        values, nulls, stats = self.make()
+        target = values[~nulls][0]
+        true = ((values == target) & ~nulls).mean()
+        assert stats.selectivity(Comparison("c", "=", int(target))) == \
+            pytest.approx(true, abs=0.02)
+
+    def test_range_selectivity(self):
+        values, nulls, stats = self.make()
+        true = ((values < 100) & ~nulls).mean()
+        assert stats.selectivity(Comparison("c", "<", 100)) == \
+            pytest.approx(true, abs=0.05)
+
+    def test_between(self):
+        values, nulls, stats = self.make()
+        true = ((values >= 50) & (values <= 150) & ~nulls).mean()
+        assert stats.selectivity(Between("c", 50, 150)) == \
+            pytest.approx(true, abs=0.05)
+
+    def test_null_selectivity(self):
+        _, nulls, stats = self.make()
+        assert stats.selectivity(IsNull("c")) == pytest.approx(
+            nulls.mean(), abs=0.01)
+
+    def test_in_caps_at_one(self):
+        _, _, stats = self.make()
+        sel = stats.selectivity(In("c", list(range(200))))
+        assert sel <= 1.0
+
+    def test_like_uses_mcvs_for_strings(self):
+        col = Column("s", np.array(["alpha"] * 60 + ["beta"] * 40,
+                                   dtype=object))
+        stats = ColumnStatistics(col)
+        sel = stats.selectivity(Like("s", "%alp%"))
+        assert sel == pytest.approx(0.6, abs=0.05)
+
+
+class TestTopK:
+    def test_join_bound_exact_when_topk_covers(self):
+        a = np.array([1] * 5 + [2] * 3)
+        b = np.array([1] * 4 + [2] * 2)
+        sa, sb = TopKStatistics(a, k=10), TopKStatistics(b, k=10)
+        # all values in top-k: bound = exact join size
+        assert sa.join_upper_bound(sb) == 5 * 4 + 3 * 2
+
+    @given(st.lists(st.integers(0, 10), min_size=1, max_size=60),
+           st.lists(st.integers(0, 10), min_size=1, max_size=60),
+           st.integers(1, 8))
+    @settings(max_examples=100, deadline=None)
+    def test_join_bound_never_underestimates(self, a, b, k):
+        a, b = np.array(a), np.array(b)
+        sa, sb = TopKStatistics(a, k=k), TopKStatistics(b, k=k)
+        true = 0
+        for v in np.intersect1d(a, b):
+            true += (a == v).sum() * (b == v).sum()
+        assert sa.join_upper_bound(sb) + 1e-9 >= true
+
+
+class TestDiscretizer:
+    def test_codes_in_range(self):
+        rng = np.random.default_rng(0)
+        col = Column("c", rng.integers(0, 1000, 5000))
+        disc = Discretizer(col, max_codes=16)
+        codes = disc.encode(col)
+        assert codes.max() < disc.n_codes
+        assert codes.min() >= 0
+
+    def test_null_code(self):
+        col = Column("c", [1, 2, 3], null_mask=[False, True, False])
+        disc = Discretizer(col, max_codes=4)
+        codes = disc.encode(col)
+        assert codes[1] == disc.null_code
+
+    def test_evidence_weights_exact(self):
+        col = Column("c", [1, 1, 2, 3, 4, 5, 6, 7, 8, 9])
+        disc = Discretizer(col, max_codes=3)
+        weights = disc.evidence_weights(Comparison("c", "<=", 4))
+        codes = disc.encode(col)
+        # reconstruct: sum over rows of weight[code] == true match count
+        reconstructed = weights[codes].sum()
+        assert reconstructed == pytest.approx(5.0)
+
+    def test_string_discretizer(self):
+        col = Column("s", np.array(["a", "b", "b", "c"], dtype=object))
+        disc = Discretizer(col, max_codes=10)
+        weights = disc.evidence_weights(Like("s", "b"))
+        codes = disc.encode(col)
+        assert weights[codes].sum() == pytest.approx(2.0)
+
+    def test_unseen_value_snaps(self):
+        col = Column("c", [10, 20, 30])
+        disc = Discretizer(col, max_codes=3)
+        new = Column("c", [999])
+        assert disc.encode(new)[0] < disc.n_codes

@@ -1,0 +1,200 @@
+"""Tests for the synthetic benchmark builders and the query generator."""
+
+import numpy as np
+import pytest
+
+from repro.core.key_groups import schema_key_groups
+from repro.engine import CardinalityExecutor
+from repro.workloads import (
+    Benchmark,
+    build_imdb_job,
+    build_stats_ceb,
+    QueryGenerator,
+)
+from repro.workloads.benchmark import split_for_update
+from repro.workloads.generators import (
+    correlated_int,
+    date_column,
+    titles,
+    words,
+    zipf_fk,
+)
+from repro.workloads.imdb_job import build_imdb_database
+from repro.workloads.stats_ceb import build_stats_database
+
+
+@pytest.fixture(scope="module")
+def stats_bench():
+    return build_stats_ceb(scale=0.05, seed=3, n_queries=30, n_templates=15)
+
+
+@pytest.fixture(scope="module")
+def imdb_bench():
+    return build_imdb_job(scale=0.05, seed=3, n_queries=25, n_templates=12)
+
+
+class TestGenerators:
+    def test_zipf_fk_range_and_skew(self):
+        rng = np.random.default_rng(0)
+        values, nulls = zipf_fk(rng, 5000, 100, a=1.3)
+        assert values.min() >= 0 and values.max() < 100
+        _, counts = np.unique(values, return_counts=True)
+        assert counts.max() > 5 * np.median(counts)  # heavy skew
+
+    def test_zipf_fk_shared_perm_aligns_hot_parents(self):
+        rng = np.random.default_rng(1)
+        perm = rng.permutation(50)
+        a, _ = zipf_fk(rng, 3000, 50, a=1.2, perm=perm)
+        b, _ = zipf_fk(rng, 3000, 50, a=1.2, perm=perm)
+        hot_a = np.bincount(a, minlength=50).argmax()
+        hot_b = np.bincount(b, minlength=50).argmax()
+        assert hot_a == hot_b
+
+    def test_null_fraction(self):
+        rng = np.random.default_rng(2)
+        _, nulls = zipf_fk(rng, 10_000, 10, null_fraction=0.3)
+        assert 0.25 < nulls.mean() < 0.35
+
+    def test_correlated_int_correlates(self):
+        rng = np.random.default_rng(3)
+        base = rng.integers(0, 100, 5000)
+        derived = correlated_int(rng, base, noise=0.05, low=0, high=50)
+        corr = np.corrcoef(base, derived)[0, 1]
+        assert corr > 0.8
+
+    def test_date_column_within_range(self):
+        rng = np.random.default_rng(4)
+        dates = date_column(rng, 1000, start=100, end=200)
+        assert dates.min() >= 100 and dates.max() <= 200
+
+    def test_words_and_titles_are_strings(self):
+        rng = np.random.default_rng(5)
+        ws = words(rng, 20)
+        ts = titles(rng, 20)
+        assert all(isinstance(w, str) and w for w in ws)
+        assert all(" " in t for t in ts)
+
+
+class TestStatsBenchmark:
+    def test_schema_shape_matches_paper_table2(self, stats_bench):
+        summary = stats_bench.summary()
+        assert summary["num_tables"] == 8
+        assert summary["num_join_keys"] == 13
+        assert summary["num_key_groups"] == 2
+        assert summary["template_types"] == ["star/chain"]
+
+    def test_workload_size(self, stats_bench):
+        assert len(stats_bench.workload) == 30
+
+    def test_queries_mostly_nonzero(self, stats_bench):
+        cards = stats_bench.true_cardinalities()
+        assert sum(1 for c in cards if c > 0) >= 0.8 * len(cards)
+
+    def test_queries_are_valid_against_db(self, stats_bench):
+        ex = CardinalityExecutor(stats_bench.database)
+        for q in stats_bench.workload[:10]:
+            assert ex.cardinality(q) >= 0
+
+    def test_deterministic_given_seed(self):
+        b1 = build_stats_ceb(scale=0.05, seed=9, n_queries=5, n_templates=4)
+        b2 = build_stats_ceb(scale=0.05, seed=9, n_queries=5, n_templates=4)
+        assert [q.to_sql() for q in b1.workload] == \
+            [q.to_sql() for q in b2.workload]
+
+    def test_scale_controls_size(self):
+        small = build_stats_database(scale=0.02, seed=0)
+        large = build_stats_database(scale=0.1, seed=0)
+        assert large.total_rows() > 2 * small.total_rows()
+
+
+class TestImdbBenchmark:
+    def test_schema_shape_matches_paper_table2(self, imdb_bench):
+        summary = imdb_bench.summary()
+        assert summary["num_tables"] == 21
+        assert summary["num_join_keys"] == 36
+        assert summary["num_key_groups"] == 11
+
+    def test_has_cyclic_templates(self):
+        bench = build_imdb_job(scale=0.05, seed=0, n_queries=40,
+                               n_templates=20)
+        assert any(q.is_cyclic() for q in bench.workload)
+
+    def test_has_like_predicates(self, imdb_bench):
+        from repro.sql.predicates import Like
+
+        def walk(p):
+            if isinstance(p, Like):
+                return True
+            for child in getattr(p, "children", ()):
+                if walk(child):
+                    return True
+            child = getattr(p, "child", None)
+            return walk(child) if child is not None else False
+
+        assert any(walk(p) for q in imdb_bench.workload
+                   for p in q.filters.values())
+
+    def test_string_columns_exist(self):
+        db = build_imdb_database(scale=0.02, seed=0)
+        col = db.table("title")["title"]
+        assert isinstance(col.values[0], str)
+
+
+class TestQueryGenerator:
+    def test_templates_are_connected(self, stats_bench):
+        qgen = QueryGenerator(stats_bench.database, seed=0)
+        templates = qgen.sample_templates(10, max_tables=4)
+        for template in templates:
+            from repro.sql.query import Query
+            assert Query(template.tables, template.joins).is_connected()
+
+    def test_templates_distinct(self, stats_bench):
+        qgen = QueryGenerator(stats_bench.database, seed=0)
+        templates = qgen.sample_templates(15, max_tables=4)
+        sigs = [t.signature() for t in templates]
+        assert len(set(sigs)) == len(sigs)
+
+    def test_cyclic_fraction_produces_cycles(self):
+        db = build_imdb_database(scale=0.02, seed=0)
+        qgen = QueryGenerator(db, seed=1)
+        templates = qgen.sample_templates(20, max_tables=5,
+                                          cyclic_fraction=1.0)
+        from repro.sql.query import Query
+        assert any(Query(t.tables, t.joins).is_cyclic() for t in templates)
+
+    def test_self_join_fraction_produces_self_joins(self):
+        db = build_imdb_database(scale=0.02, seed=0)
+        qgen = QueryGenerator(db, seed=2)
+        templates = qgen.sample_templates(30, max_tables=4,
+                                          self_join_fraction=1.0)
+        assert any(t.self_join for t in templates)
+
+    def test_max_predicates_respected(self, stats_bench):
+        qgen = QueryGenerator(stats_bench.database, seed=3)
+        templates = qgen.sample_templates(5, max_tables=4)
+        queries = qgen.generate_workload(templates, 20, max_predicates=4,
+                                         ensure_nonzero=False)
+        assert all(q.num_filter_predicates() <= 4 + 2 for q in queries)
+
+
+class TestSplitForUpdate:
+    def test_split_preserves_total_rows(self, stats_bench):
+        db = stats_bench.database
+        old_db, inserts = split_for_update(db, fraction=0.5)
+        for name in db.table_names:
+            total = len(old_db.table(name)) + len(
+                inserts.get(name, []) or [])
+            assert total == len(db.table(name))
+
+    def test_split_uses_date_column(self, stats_bench):
+        db = stats_bench.database
+        old_db, inserts = split_for_update(db, fraction=0.5)
+        old_dates = old_db.table("posts")["creation_date"].values
+        new_dates = inserts["posts"]["creation_date"].values
+        assert old_dates.max() <= new_dates.min() + 1e-9
+
+    def test_fraction_roughly_respected(self, stats_bench):
+        db = stats_bench.database
+        old_db, _ = split_for_update(db, fraction=0.3)
+        ratio = len(old_db.table("comments")) / len(db.table("comments"))
+        assert 0.15 < ratio < 0.45
