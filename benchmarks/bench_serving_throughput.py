@@ -1,0 +1,100 @@
+"""Serving-layer throughput: artifact warm starts and cache-hit speedups.
+
+The paper's asymmetry — expensive offline fit, sub-millisecond online
+inference (Sections 3.3, 4) — is what ``repro.serve`` operationalizes.
+This bench quantifies the two wins the serving layer buys:
+
+- **warm start**: loading a saved artifact must be much faster than
+  refitting from scratch (the fit cost is paid once, ever);
+- **estimate cache**: a repeated query must be answered much faster from
+  the fingerprint cache than by re-running inference.
+
+Shape checks: warm-load startup >= 10x faster than cold fit, cache hits
+>= 10x faster than misses, and cached answers bit-identical to uncached.
+"""
+
+import time
+
+import pytest
+
+from repro.core.estimator import FactorJoin, FactorJoinConfig
+from repro.eval.harness import make_context
+from repro.serve import EstimationService, load_model, save_model
+from repro.utils import Timer, format_table
+
+
+@pytest.fixture(scope="module")
+def full_stats_ctx():
+    """Full-scale STATS instance: the warm-start win is proportional to the
+    data the offline phase scans, so this bench does not reuse the small
+    shared context."""
+    return make_context("stats", scale=1.0, seed=0, max_tables=6)
+
+
+def _per_query_seconds(fn, queries) -> list[float]:
+    out = []
+    for query in queries:
+        start = time.perf_counter()
+        fn(query)
+        out.append(time.perf_counter() - start)
+    return out
+
+
+def _percentile(latencies: list[float], q: float) -> float:
+    ordered = sorted(latencies)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def test_serving_throughput(benchmark, full_stats_ctx, tmp_path):
+    queries = full_stats_ctx.workload[:30]
+
+    # -- cold fit vs warm artifact load ------------------------------------
+    with Timer() as cold:
+        model = FactorJoin(FactorJoinConfig(
+            n_bins=8, table_estimator="bayescard", seed=0))
+        model.fit(full_stats_ctx.database)
+    save_model(model, tmp_path / "stats.fj")
+    with Timer() as warm:
+        loaded = load_model(tmp_path / "stats.fj")
+
+    service = EstimationService(cache_size=4096)
+    service.register("stats", loaded)
+
+    # -- cache-miss pass, then cache-hit pass ------------------------------
+    miss = _per_query_seconds(service.estimate, queries)
+    miss_answers = [service.estimate(q).estimate for q in queries]  # hits
+    hit = _per_query_seconds(service.estimate, queries)
+    uncached = [loaded.estimate(q) for q in queries]
+
+    def summary(lat):
+        total = sum(lat)
+        return (f"{len(lat) / total:,.0f} qps",
+                f"{_percentile(lat, 0.5) * 1e3:.3f}ms",
+                f"{_percentile(lat, 0.99) * 1e3:.3f}ms")
+
+    miss_qps, miss_p50, miss_p99 = summary(miss)
+    hit_qps, hit_p50, hit_p99 = summary(hit)
+    rows = [
+        ["cold fit (startup)", f"{cold.elapsed:.3f}s", "-", "-"],
+        ["warm load (startup)", f"{warm.elapsed:.3f}s", "-", "-"],
+        ["estimate, cache miss", miss_qps, miss_p50, miss_p99],
+        ["estimate, cache hit", hit_qps, hit_p50, hit_p99],
+    ]
+    print()
+    print(format_table(
+        ["Path", "Time / QPS", "p50", "p99"], rows,
+        title=f"Serving throughput on {full_stats_ctx.benchmark.name} "
+              f"({len(queries)} queries)"))
+
+    # cached answers are the uncached answers, bit for bit
+    assert miss_answers == uncached
+    assert all(service.estimate(q).cached for q in queries)
+    # warm start amortizes the offline phase away
+    assert warm.elapsed * 10 <= cold.elapsed
+    # the fingerprint cache beats re-running inference comfortably
+    assert _percentile(hit, 0.5) * 10 <= _percentile(miss, 0.5)
+
+    stats = service._cache_of("stats").stats()
+    assert stats["hits"] >= 2 * len(queries)
+
+    benchmark(lambda: service.estimate(queries[0]))

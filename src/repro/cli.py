@@ -4,13 +4,16 @@ Commands
 --------
 summary    print the Table 2-style statistics of a synthetic benchmark
 compare    fit a method line-up and print the end-to-end comparison table
-estimate   fit FactorJoin on a benchmark and estimate one SQL query
+estimate   fit (or ``--load``) FactorJoin and estimate one SQL query;
+           ``--save`` persists the fitted model so the fit cost is paid once
+serve      publish fitted models behind the JSON HTTP estimation service
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.core.estimator import FactorJoin, FactorJoinConfig
 from repro.engine import CardinalityExecutor
@@ -60,6 +63,30 @@ def build_parser() -> argparse.ArgumentParser:
                                      "histogram1d"))
     p_estimate.add_argument("--true", action="store_true",
                             help="also compute the exact cardinality")
+    p_estimate.add_argument("--save", metavar="DIR", default=None,
+                            help="persist the fitted model artifact here")
+    p_estimate.add_argument("--load", metavar="DIR", default=None,
+                            help="load a saved model artifact instead of "
+                                 "fitting (skips the offline phase)")
+
+    p_serve = sub.add_parser(
+        "serve", help="run the JSON HTTP estimation service")
+    _add_benchmark_args(p_serve)
+    p_serve.add_argument("--bins", type=int, default=8)
+    p_serve.add_argument("--estimator", default="bayescard",
+                         choices=("bayescard", "sampling", "truescan",
+                                  "histogram1d"))
+    p_serve.add_argument("--load", metavar="[NAME=]DIR", action="append",
+                         default=None,
+                         help="publish a saved artifact (repeatable); "
+                              "without it, fit on the benchmark and "
+                              "publish as 'default'")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8765)
+    p_serve.add_argument("--cache-size", type=int, default=1024,
+                         help="LRU estimate cache entries per model")
+    p_serve.add_argument("--verbose", action="store_true",
+                         help="log one line per HTTP request")
     return parser
 
 
@@ -87,19 +114,95 @@ def cmd_compare(args) -> int:
 
 
 def cmd_estimate(args) -> int:
-    context = make_context(args.benchmark, scale=args.scale, seed=args.seed,
-                           n_queries=args.queries,
-                           max_tables=args.max_tables)
     query = parse_query(args.sql)
-    model = FactorJoin(FactorJoinConfig(
-        n_bins=args.bins, table_estimator=args.estimator))
-    model.fit(context.database)
+
+    # the benchmark context (synthetic data + workload) is only built when
+    # something needs it — a pure --load run must cost artifact-load time,
+    # not data-generation time
+    context = None
+
+    def ctx():
+        nonlocal context
+        if context is None:
+            context = make_context(args.benchmark, scale=args.scale,
+                                   seed=args.seed, n_queries=args.queries,
+                                   max_tables=args.max_tables)
+        return context
+
+    if args.load:
+        expected = ctx().database.schema if args.true else None
+        model = FactorJoin.load(args.load, expected_schema=expected)
+        print(f"loaded model from {args.load} (fit skipped)")
+    else:
+        model = FactorJoin(FactorJoinConfig(
+            n_bins=args.bins, table_estimator=args.estimator,
+            seed=args.seed))
+        model.fit(ctx().database)
+    if args.save:
+        model.save(args.save)
+        print(f"saved model to {args.save}")
     estimate = model.estimate(query)
     print(f"estimate: {estimate:,.1f}")
     if args.true:
-        true = CardinalityExecutor(context.database).cardinality(query)
+        true = CardinalityExecutor(ctx().database).cardinality(query)
         ratio = estimate / max(true, 1.0)
         print(f"true:     {true:,.1f}   (est/true {ratio:.3f})")
+    return 0
+
+
+def build_service(args):
+    """Assemble the EstimationService a ``serve`` invocation will run.
+
+    Split from :func:`cmd_serve` so tests can exercise model loading and
+    registration without binding a socket.
+    """
+    from repro.serve import DEFAULT_MODEL, EstimationService, load_model
+
+    service = EstimationService(cache_size=args.cache_size)
+    if args.load:
+        seen: dict[str, str] = {}
+        for spec in args.load:
+            name, sep, path = spec.partition("=")
+            if not sep:
+                name, path = Path(spec).stem or DEFAULT_MODEL, spec
+            if name in seen:
+                raise SystemExit(
+                    f"repro serve: --load name {name!r} used by both "
+                    f"{seen[name]!r} and {path!r}; disambiguate with "
+                    f"NAME=DIR")
+            seen[name] = path
+            service.register(name, load_model(path))
+    else:
+        model = FactorJoin(FactorJoinConfig(
+            n_bins=args.bins, table_estimator=args.estimator,
+            seed=args.seed))
+        context = make_context(args.benchmark, scale=args.scale,
+                               seed=args.seed, n_queries=args.queries,
+                               max_tables=args.max_tables)
+        model.fit(context.database)
+        service.register(DEFAULT_MODEL, model,
+                         metadata={"benchmark": args.benchmark,
+                                   "fit_seconds": model.fit_seconds})
+    return service
+
+
+def cmd_serve(args) -> int:
+    from repro.serve import make_server
+
+    service = build_service(args)
+    server = make_server(service, host=args.host, port=args.port,
+                         verbose=args.verbose)
+    host, port = server.server_address[:2]
+    print(f"serving models {service.registry.names()} "
+          f"on http://{host}:{port}")
+    print("endpoints: POST /estimate /estimate_batch /update · "
+          "GET /models /stats /health")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.server_close()
     return 0
 
 
@@ -107,6 +210,7 @@ COMMANDS = {
     "summary": cmd_summary,
     "compare": cmd_compare,
     "estimate": cmd_estimate,
+    "serve": cmd_serve,
 }
 
 

@@ -319,6 +319,10 @@ class FactorJoin:
         self._check_fitted()
         with Timer() as timer:
             tschema = self._db.schema.table(table_name)
+            # validate the insert (columns, dtypes, schema) BEFORE mutating
+            # any statistics — a malformed batch must not half-update the
+            # model
+            new_db = self._db.insert(table_name, new_rows)
             for column in tschema.key_columns:
                 group = self._group_of_key[(table_name, column)]
                 col = new_rows[column]
@@ -326,7 +330,7 @@ class FactorJoin:
                 self._key_stats[group.name].insert(table_name, column, values)
             self._table_estimators[table_name].update(new_rows)
             self._update_key_joints(table_name, new_rows)
-            self._db = self._db.insert(table_name, new_rows)
+            self._db = new_db
         self.last_update_seconds = timer.elapsed
 
     def _update_key_joints(self, table_name: str, new_rows: Table) -> None:
@@ -347,7 +351,59 @@ class FactorJoin:
         group = self._group_of_key[(table_name, column)]
         return self._key_stats[group.name].binning
 
+    def supports_update(self, table_name: str) -> bool:
+        """Whether inserts into ``table_name`` can be absorbed — i.e. the
+        fitted table estimator implements ``update``.  Unknown tables
+        return True so ``update`` raises its own (clearer) SchemaError."""
+        self._check_fitted()
+        estimator = self._table_estimators.get(table_name)
+        return estimator is None or estimator.supports_update()
+
+    # -------------------------------------------------------------- persist --
+
+    def __getstate__(self):
+        """Pickle the online phase only: statistics, per-table estimators,
+        key trees, and the schema — not the base tables the model was
+        fitted on.  Artifacts stay model-sized instead of data-sized, and
+        ``update`` keeps working after a reload (the schema survives;
+        rows inserted post-load accumulate into the empty shell)."""
+        state = dict(self.__dict__)
+        db = state.get("_db")
+        if db is not None:
+            state["_db"] = db.empty_copy()
+        return state
+
+    def save(self, path, name: str | None = None) -> "FactorJoin":
+        """Persist the fitted model as an artifact directory (manifest +
+        pickle); see :mod:`repro.serve.artifact`.  Returns self."""
+        from repro.serve.artifact import save_model
+
+        self._check_fitted()
+        save_model(self, path, name=name)
+        return self
+
+    @classmethod
+    def load(cls, path, expected_schema=None) -> "FactorJoin":
+        """Load a saved artifact, verifying integrity (and optionally that
+        it was fitted against ``expected_schema``)."""
+        from repro.serve.artifact import load_model
+
+        model = load_model(path, expected_schema=expected_schema)
+        if not isinstance(model, cls):
+            raise TypeError(
+                f"artifact at {path} holds a {type(model).__name__}, "
+                f"not a {cls.__name__}")
+        return model
+
     # ----------------------------------------------------------- introspect --
+
+    @property
+    def database(self) -> Database:
+        """The model's database view: the fit data plus rows absorbed by
+        ``update`` — or, after a pickle/artifact reload, an empty-table
+        shell of the same schema (see :meth:`__getstate__`)."""
+        self._check_fitted()
+        return self._db
 
     def _check_fitted(self) -> None:
         if not self._fitted:
@@ -369,12 +425,16 @@ class FactorJoin:
         return self._key_stats[name].binning
 
 
-def _min_stats(a: BinStats, b: BinStats):
-    """Elementwise-min view over two keys' bin summaries (self-join within
-    one alias).  Returns a lightweight object with the same attributes."""
+@dataclass(frozen=True)
+class _MinStatsView:
+    """Elementwise-min over two keys' bin summaries (self-join within one
+    alias).  A real (picklable) dataclass: the previous implementation was
+    a function-local class with *class* attributes, which pickle cannot
+    reduce — breaking persistence of anything that captured one."""
 
-    class _View:
-        mfv = np.minimum(a.mfv, b.mfv)
-        ndv = np.minimum(a.ndv, b.ndv)
+    mfv: np.ndarray
+    ndv: np.ndarray
 
-    return _View()
+
+def _min_stats(a: BinStats, b: BinStats) -> _MinStatsView:
+    return _MinStatsView(np.minimum(a.mfv, b.mfv), np.minimum(a.ndv, b.ndv))

@@ -65,6 +65,17 @@ class Database:
         merged = self.table(table_name).concat(rows)
         return self.replace_table(merged)
 
+    def empty_copy(self) -> "Database":
+        """Same schema and column layout, zero rows in every table.
+
+        Fitted models pickle this instead of the data they were trained
+        on: the online phase needs statistics and the schema, not the
+        base tables (see :meth:`repro.core.estimator.FactorJoin.
+        __getstate__`).
+        """
+        return Database(self.schema,
+                        [t.head(0) for t in self._tables.values()])
+
     def __repr__(self) -> str:
         sizes = {name: len(t) for name, t in self._tables.items()}
         return f"Database({sizes})"

@@ -36,3 +36,12 @@ class NotFittedError(ReproError):
 
 class InferenceError(ReproError):
     """Factor-graph inference failed (empty factors, missing statistics)."""
+
+
+class ArtifactError(ReproError):
+    """A persisted model artifact is missing, corrupt, or incompatible
+    (bad manifest, checksum mismatch, wrong format version, schema drift)."""
+
+
+class ModelNotFoundError(ReproError):
+    """A serving request referenced a model name the registry does not hold."""

@@ -25,7 +25,14 @@ from repro.sql.predicates import Predicate
 
 
 class BaseTableEstimator(ABC):
-    """One instance models one table."""
+    """One instance models one table.
+
+    Persistence contract: a fitted estimator must survive a pickle
+    round-trip with bit-identical answers — the serving layer
+    (:mod:`repro.serve.artifact`) persists whole fitted models this way.
+    Keep state in plain attributes (numpy arrays, dicts, dataclasses);
+    no lambdas, no function-local classes, no open handles.
+    """
 
     name: str = "base"
 
@@ -49,6 +56,11 @@ class BaseTableEstimator(ABC):
         """Incrementally absorb inserted rows (Section 4.3)."""
         raise NotImplementedError(
             f"{type(self).__name__} does not support incremental updates")
+
+    def supports_update(self) -> bool:
+        """Whether this estimator overrides :meth:`update` (the serving
+        layer rejects ``POST /update`` early for models that would raise)."""
+        return type(self).update is not BaseTableEstimator.update
 
 
 ESTIMATOR_REGISTRY: dict[str, type] = {}

@@ -1,0 +1,52 @@
+"""Serving layer: model persistence, registry, caching, and an HTTP API.
+
+FactorJoin's offline phase is minutes, its online phase sub-millisecond
+(paper Sections 3.3, 4) — this package makes that asymmetry operational:
+
+- :mod:`repro.serve.artifact` — fit once, save a versioned artifact with a
+  manifest and integrity checks, load it anywhere;
+- :mod:`repro.serve.registry` — hold many named models, hot-swap refreshed
+  ones atomically under concurrent readers;
+- :mod:`repro.serve.cache` — LRU estimate cache on canonical query
+  fingerprints, invalidated on swap/update;
+- :mod:`repro.serve.service` — single / batched / sub-plan estimation with
+  latency accounting, safe under concurrent callers;
+- :mod:`repro.serve.httpd` — a dependency-free JSON HTTP front end
+  (``repro serve`` on the command line).
+"""
+
+from repro.serve.artifact import (
+    FORMAT_VERSION,
+    load_model,
+    read_manifest,
+    save_model,
+    schema_fingerprint,
+)
+from repro.serve.cache import EstimateCache, query_fingerprint
+from repro.serve.httpd import ServingServer, make_server, serve_in_background
+from repro.serve.registry import ModelRecord, ModelRegistry
+from repro.serve.service import (
+    DEFAULT_MODEL,
+    EstimateResult,
+    EstimationService,
+    LatencyStats,
+)
+
+__all__ = [
+    "DEFAULT_MODEL",
+    "EstimateCache",
+    "EstimateResult",
+    "EstimationService",
+    "FORMAT_VERSION",
+    "LatencyStats",
+    "load_model",
+    "make_server",
+    "ModelRecord",
+    "ModelRegistry",
+    "query_fingerprint",
+    "read_manifest",
+    "save_model",
+    "schema_fingerprint",
+    "serve_in_background",
+    "ServingServer",
+]

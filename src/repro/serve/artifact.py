@@ -1,0 +1,174 @@
+"""Versioned on-disk persistence of fitted estimators.
+
+FactorJoin's split between an expensive offline phase and a sub-millisecond
+online phase (paper Sections 3.3 and 4) only pays off if the offline result
+is durable: fit once, serve forever.  An *artifact* is a directory holding
+
+- ``model.pkl`` — the pickled fitted estimator (``FactorJoin`` or any
+  :class:`~repro.baselines.base.CardEstMethod`), and
+- ``manifest.json`` — human-readable metadata: format version, model kind,
+  a schema fingerprint, the fit configuration, fit time, model size, and a
+  SHA-256 checksum of the pickle.
+
+``load_model`` verifies the checksum and format version before unpickling,
+and optionally the schema fingerprint against the database the caller
+intends to serve, so a stale artifact fails loudly instead of silently
+producing estimates for the wrong schema.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import datetime
+import hashlib
+import json
+import pickle
+from pathlib import Path
+
+from repro.data.schema import DatabaseSchema
+from repro.errors import ArtifactError
+
+FORMAT_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+MODEL_NAME = "model.pkl"
+
+
+def schema_fingerprint(schema: DatabaseSchema) -> str:
+    """Stable hash of a database schema (tables, columns, keys, joins).
+
+    Only declarations enter the hash — not data — so incremental inserts
+    (Section 4.3) keep the fingerprint stable while a schema change breaks
+    it, which is exactly when a persisted model must not be reused.
+    """
+    desc = {
+        "tables": [
+            {
+                "name": name,
+                "columns": [
+                    {"name": c.name, "dtype": c.dtype.name, "is_key": c.is_key}
+                    for c in schema.table(name).columns
+                ],
+            }
+            for name in sorted(schema.table_names)
+        ],
+        "joins": sorted(
+            [rel.left_table, rel.left_column, rel.right_table,
+             rel.right_column]
+            for rel in schema.join_relations
+        ),
+    }
+    blob = json.dumps(desc, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _json_safe(value):
+    """Best-effort conversion of config values to JSON (repr as fallback)."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _json_safe(getattr(value, f.name))
+                for f in dataclasses.fields(value)}
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)
+
+
+def _model_schema(model) -> DatabaseSchema | None:
+    """The schema a fitted model was trained against, if discoverable."""
+    try:
+        db = getattr(model, "database", None) or getattr(model, "_db", None)
+    except Exception:
+        db = None
+    if db is None:
+        inner = getattr(model, "model", None)  # CardEstMethod wrappers
+        if inner is not None and inner is not model:
+            return _model_schema(inner)
+        return None
+    return getattr(db, "schema", None)
+
+
+def save_model(model, path: str | Path, name: str | None = None,
+               extra_metadata: dict | None = None) -> Path:
+    """Persist a fitted model to the directory ``path`` and return it.
+
+    The directory is created if needed; an existing artifact there is
+    overwritten atomically enough for single-writer use (pickle first,
+    manifest last, so a partially written artifact never verifies).
+    """
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    blob = pickle.dumps(model, protocol=pickle.HIGHEST_PROTOCOL)
+    (path / MODEL_NAME).write_bytes(blob)
+
+    schema = _model_schema(model)
+    config = getattr(model, "config", None)
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "kind": f"{type(model).__module__}.{type(model).__qualname__}",
+        "name": name or getattr(model, "name", type(model).__name__),
+        "created_at": datetime.datetime.now(
+            datetime.timezone.utc).isoformat(),
+        "model_bytes": len(blob),
+        "sha256": hashlib.sha256(blob).hexdigest(),
+        "schema_hash": schema_fingerprint(schema) if schema else None,
+        "fit_seconds": float(getattr(model, "fit_seconds", 0.0)),
+        "config": _json_safe(config) if config is not None else None,
+    }
+    if extra_metadata:
+        manifest["extra"] = _json_safe(extra_metadata)
+    (path / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+    return path
+
+
+def read_manifest(path: str | Path) -> dict:
+    """Parse and sanity-check an artifact's manifest."""
+    path = Path(path)
+    manifest_path = path / MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise ArtifactError(f"no artifact at {path}: missing {MANIFEST_NAME}")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ArtifactError(f"corrupt manifest at {manifest_path}: {exc}")
+    version = manifest.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ArtifactError(
+            f"artifact {path} has format version {version!r}; "
+            f"this build reads version {FORMAT_VERSION}")
+    return manifest
+
+
+def load_model(path: str | Path,
+               expected_schema: DatabaseSchema | None = None):
+    """Load a model artifact, verifying integrity before unpickling.
+
+    Raises :class:`~repro.errors.ArtifactError` when the artifact is
+    missing, its checksum does not match, or (with ``expected_schema``)
+    it was fitted against a different schema.
+    """
+    path = Path(path)
+    manifest = read_manifest(path)
+    model_path = path / MODEL_NAME
+    if not model_path.is_file():
+        raise ArtifactError(f"artifact {path} is missing {MODEL_NAME}")
+    blob = model_path.read_bytes()
+    digest = hashlib.sha256(blob).hexdigest()
+    if digest != manifest.get("sha256"):
+        raise ArtifactError(
+            f"artifact {path} failed its integrity check: {MODEL_NAME} "
+            f"hashes to {digest[:12]}… but the manifest records "
+            f"{str(manifest.get('sha256'))[:12]}…")
+    if expected_schema is not None and manifest.get("schema_hash"):
+        expected = schema_fingerprint(expected_schema)
+        if expected != manifest["schema_hash"]:
+            raise ArtifactError(
+                f"artifact {path} was fitted against a different schema "
+                f"(fingerprint {manifest['schema_hash'][:12]}… vs expected "
+                f"{expected[:12]}…); refit instead of loading")
+    try:
+        return pickle.loads(blob)
+    except Exception as exc:
+        raise ArtifactError(f"artifact {path} failed to unpickle: {exc}")

@@ -1,0 +1,101 @@
+"""LRU cache of query estimates keyed by canonical query fingerprints.
+
+Optimizers re-ask the same cardinalities constantly (every DP enumeration
+revisits the same sub-plans; dashboards re-issue identical templates), and
+FactorJoin's estimates are deterministic given a fitted model — so caching
+turns repeated sub-millisecond inference into microsecond lookups.  The
+fingerprint canonicalizes the query (sorted table set, normalized join
+conditions, normalized predicates via :meth:`repro.sql.query.Query.
+signature`), so syntactic permutations of one query share an entry.
+
+Entries are only valid for one model version: the serving layer keeps one
+cache per model name and invalidates it on every registry swap or
+in-place ``update()``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro.sql.query import Query
+
+
+def query_fingerprint(query: Query, request: tuple = ()) -> tuple:
+    """Hashable canonical identity of an estimation request.
+
+    ``request`` distinguishes request shapes that share a query but not an
+    answer (e.g. ``("subplans", min_tables)`` vs a plain estimate).
+    """
+    return request + query.signature()
+
+
+class EstimateCache:
+    """Bounded LRU mapping fingerprints to estimates, with stats.
+
+    All operations take the cache lock; they are dict manipulations, so the
+    critical sections are tiny compared to even a cached model inference.
+    """
+
+    def __init__(self, max_size: int = 1024):
+        if max_size < 1:
+            raise ValueError("cache max_size must be >= 1")
+        self.max_size = max_size
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    _MISSING = object()
+
+    def get(self, key: tuple):
+        """The cached value, or None on a miss (estimates are floats > 0 or
+        dicts, so None is unambiguous)."""
+        with self._lock:
+            value = self._entries.get(key, self._MISSING)
+            if value is self._MISSING:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: tuple, value, stamp: int | None = None) -> None:
+        """Insert ``key``; with ``stamp`` (an invalidation count observed
+        before computing ``value``), the put is dropped when an
+        invalidation happened in between — a slow computation racing an
+        ``update()`` must not resurrect pre-update state."""
+        with self._lock:
+            if stamp is not None and stamp != self.invalidations:
+                return
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.max_size:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def invalidate(self) -> None:
+        """Drop every entry (model swapped or updated in place)."""
+        with self._lock:
+            self._entries.clear()
+            self.invalidations += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "size": len(self._entries),
+                "max_size": self.max_size,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hits / lookups if lookups else 0.0,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }

@@ -1,0 +1,199 @@
+"""Stdlib JSON-over-HTTP front end for the estimation service.
+
+A deliberately dependency-free server (``http.server.ThreadingHTTPServer``,
+one thread per connection) exposing the :class:`~repro.serve.service.
+EstimationService` endpoints an optimizer or load generator needs:
+
+==========================  =================================================
+``POST /estimate``          ``{"sql": ..., "model"?, "subplans"?,
+                            "min_tables"?}`` → one estimate (or a sub-plan
+                            map keyed by comma-joined alias sets)
+``POST /estimate_batch``    ``{"queries": [sql, ...], "model"?}`` → a result
+                            per query
+``POST /update``            ``{"table": ..., "rows": {col: [...]},
+                            "model"?}`` → incremental insert (JSON ``null``
+                            marks NULLs)
+``GET /models``             published models (name, version, kind)
+``GET /stats``              latency, cache, and registry statistics
+==========================  =================================================
+
+Errors return ``{"error": ...}`` with 400 (bad request / unsupported
+query), 404 (unknown model or route), or 500.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.data.table import Table
+from repro.errors import ModelNotFoundError, ReproError
+from repro.serve.service import EstimationService
+
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+
+def _table_from_json(table_name: str, rows: dict) -> Table:
+    """Build a Table from ``{column: [values]}``; JSON nulls become NULLs."""
+    data, masks = {}, {}
+    for column, values in rows.items():
+        mask = [v is None for v in values]
+        if any(mask):
+            masks[column] = mask
+            values = [0 if v is None else v for v in values]
+        data[column] = values
+    return Table.from_dict(table_name, data, null_masks=masks)
+
+
+def _subplans_to_json(subplans: dict) -> dict:
+    return {",".join(sorted(aliases)): value
+            for aliases, value in subplans.items()}
+
+
+class ServingHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests to the server's ``service``."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve/1"
+
+    @property
+    def service(self) -> EstimationService:
+        return self.server.service
+
+    def log_message(self, format, *args):  # noqa: A002 (stdlib signature)
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _reply(self, payload: dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except (TypeError, ValueError):
+            self.close_connection = True
+            raise ValueError("invalid Content-Length header")
+        if length < 0 or length > MAX_BODY_BYTES:
+            # the body is unreadable (read(-1) would block until EOF) or
+            # would desync a keep-alive connection — close instead
+            self.close_connection = True
+            raise ValueError(
+                f"Content-Length must be 0..{MAX_BODY_BYTES}, got {length}")
+        body = self.rfile.read(length) if length else b""
+        if not body:
+            raise ValueError("request body must be a JSON object")
+        payload = json.loads(body)
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    def _require(self, payload: dict, field: str):
+        if field not in payload:
+            raise ValueError(f"missing required field {field!r}")
+        return payload[field]
+
+    def _dispatch(self, handler) -> None:
+        try:
+            self._reply(handler())
+        except ModelNotFoundError as exc:
+            self._reply({"error": str(exc)}, status=404)
+        except (ValueError, KeyError, json.JSONDecodeError,
+                NotImplementedError, ReproError) as exc:
+            self._reply({"error": str(exc)}, status=400)
+        except Exception as exc:  # pragma: no cover - defensive
+            self._reply({"error": f"internal error: {exc}"}, status=500)
+
+    # -- routes ----------------------------------------------------------------
+
+    def do_GET(self):
+        if self.path == "/models":
+            self._dispatch(lambda: {"models": self.service.registry.describe()})
+        elif self.path == "/stats":
+            self._dispatch(self.service.stats)
+        elif self.path == "/health":
+            self._dispatch(lambda: {"ok": True})
+        else:
+            self._reply({"error": f"unknown route GET {self.path}"},
+                        status=404)
+
+    def do_POST(self):
+        if self.path == "/estimate":
+            self._dispatch(self._post_estimate)
+        elif self.path == "/estimate_batch":
+            self._dispatch(self._post_estimate_batch)
+        elif self.path == "/update":
+            self._dispatch(self._post_update)
+        else:
+            self._reply({"error": f"unknown route POST {self.path}"},
+                        status=404)
+
+    def _post_estimate(self) -> dict:
+        payload = self._read_json()
+        sql = self._require(payload, "sql")
+        model = payload.get("model")
+        if payload.get("subplans"):
+            subplans = self.service.estimate_subplans(
+                sql, model=model,
+                min_tables=int(payload.get("min_tables", 1)))
+            return {"subplans": _subplans_to_json(subplans)}
+        return self.service.estimate(sql, model=model).describe()
+
+    def _post_estimate_batch(self) -> dict:
+        payload = self._read_json()
+        queries = self._require(payload, "queries")
+        if not isinstance(queries, list):
+            raise ValueError("'queries' must be a list of SQL strings")
+        results = self.service.estimate_many(queries,
+                                             model=payload.get("model"))
+        return {"results": [r.describe() for r in results]}
+
+    def _post_update(self) -> dict:
+        payload = self._read_json()
+        table_name = self._require(payload, "table")
+        rows = self._require(payload, "rows")
+        if not isinstance(rows, dict) or not rows:
+            raise ValueError("'rows' must be a non-empty "
+                             "{column: [values]} object")
+        new_rows = _table_from_json(table_name, rows)
+        return self.service.update(table_name, new_rows,
+                                   model=payload.get("model"))
+
+
+class ServingServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the shared EstimationService."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int],
+                 service: EstimationService, verbose: bool = False):
+        super().__init__(address, ServingHandler)
+        self.service = service
+        self.verbose = verbose
+
+
+def make_server(service: EstimationService, host: str = "127.0.0.1",
+                port: int = 8765, verbose: bool = False) -> ServingServer:
+    """Bind a serving server (``port=0`` picks a free port for tests)."""
+    return ServingServer((host, port), service, verbose=verbose)
+
+
+def serve_in_background(service: EstimationService, host: str = "127.0.0.1",
+                        port: int = 0) -> tuple[ServingServer,
+                                                threading.Thread]:
+    """Start a server on a daemon thread; returns (server, thread).
+
+    Callers stop it with ``server.shutdown(); server.server_close()``.
+    """
+    server = make_server(service, host=host, port=port)
+    thread = threading.Thread(target=server.serve_forever,
+                              name="repro-serve", daemon=True)
+    thread.start()
+    return server, thread

@@ -1,0 +1,280 @@
+"""The estimation service: concurrent cardinality serving over a registry.
+
+This is the online half of the paper made operational: a fitted model is
+published into a :class:`~repro.serve.registry.ModelRegistry`, and the
+service answers single (``estimate``), batched (``estimate_many``), and
+optimizer-style sub-plan (``estimate_subplans``) requests against it, with
+per-request latency accounting and an LRU result cache per model.
+
+Concurrency contract
+--------------------
+Reads are lock-free: a request resolves its model record once and uses
+that snapshot throughout, so a concurrent hot-swap never changes the model
+under a request mid-flight.  Mutations (``update``, which edits a fitted
+model's statistics in place, Section 4.3) serialize on a per-service lock
+and invalidate that model's cache afterwards.  Estimates running
+concurrently with an ``update`` read a consistent model because numpy
+in-place adds on the statistics are the only mutation and the online phase
+never iterates those arrays across release points — the worst case is an
+estimate reflecting a partially applied batch, the same semantics the
+paper's incremental maintenance accepts.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.data.table import Table
+from repro.errors import DataError
+from repro.serve.cache import EstimateCache, query_fingerprint
+from repro.serve.registry import ModelRecord, ModelRegistry
+from repro.sql import parse_query
+from repro.sql.query import Query
+
+DEFAULT_MODEL = "default"
+
+
+@dataclass
+class LatencyStats:
+    """Streaming latency accounting with approximate percentiles.
+
+    Percentiles come from a bounded window of the most recent
+    observations — enough fidelity for serving dashboards without
+    unbounded memory.
+    """
+
+    window: int = 4096
+    count: int = 0
+    total_seconds: float = 0.0
+    _recent: list = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def observe(self, seconds: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.total_seconds += seconds
+            self._recent.append(seconds)
+            if len(self._recent) > self.window:
+                del self._recent[: len(self._recent) - self.window]
+
+    def _percentile(self, ordered: list, q: float) -> float:
+        if not ordered:
+            return 0.0
+        idx = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[idx]
+
+    def summary(self) -> dict:
+        with self._lock:
+            ordered = sorted(self._recent)
+            count, total = self.count, self.total_seconds
+        return {
+            "count": count,
+            "total_seconds": total,
+            "mean_ms": (total / count * 1e3) if count else 0.0,
+            "p50_ms": self._percentile(ordered, 0.50) * 1e3,
+            "p99_ms": self._percentile(ordered, 0.99) * 1e3,
+        }
+
+
+@dataclass(frozen=True)
+class EstimateResult:
+    """One answered request: the number plus serving metadata."""
+
+    estimate: float
+    model: str
+    version: int
+    cached: bool
+    seconds: float
+    sql: str
+
+    def describe(self) -> dict:
+        return {
+            "estimate": self.estimate,
+            "model": self.model,
+            "version": self.version,
+            "cached": self.cached,
+            "seconds": self.seconds,
+            "sql": self.sql,
+        }
+
+
+class EstimationService:
+    """Serves estimates from registered models; safe under concurrency."""
+
+    def __init__(self, registry: ModelRegistry | None = None,
+                 cache_size: int = 1024):
+        self.registry = registry if registry is not None else ModelRegistry()
+        self.cache_size = cache_size
+        self._caches: dict[str, EstimateCache] = {}
+        self._caches_lock = threading.Lock()
+        self._update_lock = threading.Lock()
+        self.latency = LatencyStats()
+        self.update_latency = LatencyStats()
+        self.started_at = time.time()
+        self.registry.add_swap_listener(self._on_swap)
+
+    # -- model management ------------------------------------------------------
+
+    def register(self, name: str, model, metadata: dict | None = None
+                 ) -> ModelRecord:
+        """Publish a fitted model for serving (atomic replace)."""
+        return self.registry.publish(name, model, metadata=metadata)
+
+    def _on_swap(self, name: str, record: ModelRecord | None) -> None:
+        cache = self._caches.get(name)
+        if cache is not None:
+            cache.invalidate()
+
+    def _cache_of(self, name: str) -> EstimateCache:
+        cache = self._caches.get(name)
+        if cache is None:
+            with self._caches_lock:
+                cache = self._caches.setdefault(
+                    name, EstimateCache(self.cache_size))
+        return cache
+
+    def _resolve(self, model: str | None) -> ModelRecord:
+        if model is None:
+            names = self.registry.names()
+            if len(names) == 1:
+                return self.registry.record(names[0])
+            model = DEFAULT_MODEL
+        return self.registry.record(model)
+
+    @staticmethod
+    def _as_query(query: Query | str) -> Query:
+        return parse_query(query) if isinstance(query, str) else query
+
+    # -- estimation ------------------------------------------------------------
+
+    def estimate(self, query: Query | str,
+                 model: str | None = None) -> EstimateResult:
+        """Single-query estimate, cache-first."""
+        return self._estimate_with(self._resolve(model), query)
+
+    def _estimate_with(self, record: ModelRecord,
+                       query: Query | str) -> EstimateResult:
+        start = time.perf_counter()
+        query = self._as_query(query)
+        cache = self._cache_of(record.name)
+        key = query_fingerprint(query)
+        stamp = cache.invalidations
+        value = cache.get(key)
+        cached = value is not None
+        if not cached:
+            value = float(record.model.estimate(query))
+            # cache only answers from the still-published model version
+            # (estimate_many pins a record across a hot-swap) and only if
+            # no update/swap invalidated the cache mid-computation; a swap
+            # landing between these two checks still bumps the stamp, so
+            # the put drops in every interleaving
+            if self.registry.is_current(record):
+                cache.put(key, value, stamp=stamp)
+        seconds = time.perf_counter() - start
+        self.latency.observe(seconds)
+        return EstimateResult(estimate=value, model=record.name,
+                              version=record.version, cached=cached,
+                              seconds=seconds, sql=query.to_sql())
+
+    def estimate_many(self, queries: list[Query | str],
+                      model: str | None = None) -> list[EstimateResult]:
+        """Batched estimates, all against one resolved model snapshot
+        (a hot-swap mid-batch does not mix versions)."""
+        record = self._resolve(model)
+        return [self._estimate_with(record, q) for q in queries]
+
+    def estimate_subplans(self, query: Query | str,
+                          model: str | None = None,
+                          min_tables: int = 1) -> dict[frozenset, float]:
+        """Estimates for every connected sub-plan (optimizer interface)."""
+        start = time.perf_counter()
+        record = self._resolve(model)
+        query = self._as_query(query)
+        cache = self._cache_of(record.name)
+        key = query_fingerprint(query, request=("subplans", min_tables))
+        stamp = cache.invalidations
+        value = cache.get(key)
+        if value is None:
+            value = record.model.estimate_subplans(query,
+                                                   min_tables=min_tables)
+            if self.registry.is_current(record):
+                cache.put(key, dict(value), stamp=stamp)
+        self.latency.observe(time.perf_counter() - start)
+        # a copy: callers mutating their result must not poison the cache
+        return dict(value)
+
+    # -- mutation --------------------------------------------------------------
+
+    @staticmethod
+    def _check_insert(model, table_name: str, new_rows: Table) -> Table:
+        """Validate and normalize an insert *before* any mutation.
+
+        The model's ``update`` mutates statistics column by column, so a
+        malformed insert failing midway would leave it half-updated —
+        reject mismatched column sets up front instead.  Column *order*
+        is normalized to the served table's storage order (JSON objects
+        are unordered; order is a serving-layer concern, not an error).
+        Also rejects models whose table estimator cannot absorb inserts,
+        so the caller gets a clean error instead of a partial mutation.
+        """
+        if not getattr(model, "supports_update", lambda *a: True)(
+                table_name):
+            raise NotImplementedError(
+                f"the served model cannot absorb inserts into "
+                f"{table_name!r} (its table estimator has no update)")
+        try:
+            want = model.database.table(table_name).column_names
+        except Exception:
+            return new_rows
+        if set(want) != set(new_rows.column_names):
+            raise DataError(
+                f"insert into {table_name!r} must provide exactly the "
+                f"columns {sorted(want)}; got "
+                f"{sorted(new_rows.column_names)}")
+        if want != new_rows.column_names:
+            return Table(new_rows.name, [new_rows[c] for c in want])
+        return new_rows
+
+    def update(self, table_name: str, new_rows: Table,
+               model: str | None = None) -> dict:
+        """Apply an incremental insert to a served model (Section 4.3).
+
+        Serialized against other updates.  The model's cache is
+        invalidated even when the update raises partway — a failed
+        mutation must never leave pre-failure entries serving.
+        """
+        start = time.perf_counter()
+        record = self._resolve(model)
+        new_rows = self._check_insert(record.model, table_name, new_rows)
+        with self._update_lock:
+            try:
+                record.model.update(table_name, new_rows)
+            finally:
+                self._cache_of(record.name).invalidate()
+        seconds = time.perf_counter() - start
+        self.update_latency.observe(seconds)
+        return {
+            "model": record.name,
+            "version": record.version,
+            "table": table_name,
+            "rows": len(new_rows),
+            "seconds": seconds,
+        }
+
+    # -- introspection ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        """JSON-ready serving statistics (``GET /stats``)."""
+        with self._caches_lock:
+            caches = dict(self._caches)
+        return {
+            "uptime_seconds": time.time() - self.started_at,
+            "models": self.registry.describe(),
+            "swap_count": self.registry.swap_count,
+            "estimate_latency": self.latency.summary(),
+            "update_latency": self.update_latency.summary(),
+            "caches": {name: cache.stats()
+                       for name, cache in sorted(caches.items())},
+        }

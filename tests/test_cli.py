@@ -19,6 +19,18 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["estimate"])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8765
+        assert args.cache_size == 1024
+        assert args.load is None
+
+    def test_serve_load_is_repeatable(self):
+        args = build_parser().parse_args(
+            ["serve", "--load", "a=/tmp/a.fj", "--load", "/tmp/b.fj"])
+        assert args.load == ["a=/tmp/a.fj", "/tmp/b.fj"]
+
 
 class TestCommands:
     def test_summary_prints_table(self, capsys):
@@ -51,3 +63,61 @@ class TestCommands:
         ])
         assert code == 0
         assert "estimate:" in capsys.readouterr().out
+
+
+class TestSaveLoadRoundTrip:
+    SQL = ("SELECT COUNT(*) FROM posts p, comments c "
+           "WHERE p.id = c.post_id AND p.score > 0")
+    ARGS = ["--scale", "0.02", "--queries", "4", "--max-tables", "3",
+            "--seed", "21", "--bins", "4"]
+
+    def _estimate_line(self, out):
+        return next(line for line in out.splitlines()
+                    if line.startswith("estimate:"))
+
+    def test_fit_save_load_identical_estimate(self, capsys, tmp_path):
+        artifact = str(tmp_path / "m.fj")
+        assert main(["estimate", self.SQL, *self.ARGS,
+                     "--save", artifact]) == 0
+        saved_out = capsys.readouterr().out
+        assert f"saved model to {artifact}" in saved_out
+
+        assert main(["estimate", self.SQL, *self.ARGS,
+                     "--load", artifact]) == 0
+        loaded_out = capsys.readouterr().out
+        assert "fit skipped" in loaded_out
+        assert self._estimate_line(loaded_out) == self._estimate_line(
+            saved_out)
+
+    def test_load_missing_artifact_fails_loudly(self, tmp_path):
+        from repro.errors import ArtifactError
+        with pytest.raises(ArtifactError):
+            main(["estimate", self.SQL, *self.ARGS,
+                  "--load", str(tmp_path / "absent.fj")])
+
+
+class TestBuildService:
+    def test_serve_loads_artifacts_by_name(self, capsys, tmp_path):
+        from repro.cli import build_service
+        artifact = str(tmp_path / "toy.fj")
+        assert main(["estimate",
+                     "SELECT COUNT(*) FROM users u, badges b "
+                     "WHERE u.id = b.user_id",
+                     "--scale", "0.02", "--queries", "4",
+                     "--max-tables", "3", "--seed", "21", "--bins", "4",
+                     "--save", artifact]) == 0
+        capsys.readouterr()
+        args = build_parser().parse_args(
+            ["serve", "--load", f"toy={artifact}"])
+        service = build_service(args)
+        assert service.registry.names() == ["toy"]
+        result = service.estimate(
+            "SELECT COUNT(*) FROM users u, badges b WHERE u.id = b.user_id")
+        assert result.model == "toy" and result.estimate > 0
+
+        # two artifacts deriving the same name must not silently shadow
+        from repro.cli import build_service as build
+        clash = build_parser().parse_args(
+            ["serve", "--load", artifact, "--load", f"other/{artifact}"])
+        with pytest.raises(SystemExit, match="disambiguate"):
+            build(clash)

@@ -1,0 +1,106 @@
+"""Tests for model artifact persistence (save/load, manifest, integrity)."""
+
+import json
+
+import pytest
+
+from repro.core.estimator import FactorJoin, FactorJoinConfig
+from repro.errors import ArtifactError
+from repro.serve.artifact import (
+    FORMAT_VERSION,
+    MANIFEST_NAME,
+    MODEL_NAME,
+    load_model,
+    read_manifest,
+    save_model,
+    schema_fingerprint,
+)
+from repro.sql import parse_query
+
+QUERY = parse_query(
+    "SELECT COUNT(*) FROM A a, B b WHERE a.id = b.aid AND a.x > 1")
+
+
+@pytest.fixture
+def fitted(toy_db):
+    return FactorJoin(FactorJoinConfig(n_bins=4)).fit(toy_db)
+
+
+class TestSaveLoad:
+    def test_round_trip_identical_estimate(self, fitted, tmp_path):
+        want = fitted.estimate(QUERY)
+        save_model(fitted, tmp_path / "m.fj")
+        loaded = load_model(tmp_path / "m.fj")
+        assert loaded.estimate(QUERY) == want
+
+    def test_method_hooks(self, fitted, tmp_path):
+        fitted.save(tmp_path / "m.fj")
+        loaded = FactorJoin.load(tmp_path / "m.fj")
+        assert loaded.estimate(QUERY) == fitted.estimate(QUERY)
+
+    def test_load_verifies_expected_schema(self, fitted, tmp_path, toy_db):
+        save_model(fitted, tmp_path / "m.fj")
+        load_model(tmp_path / "m.fj", expected_schema=toy_db.schema)
+
+    def test_loaded_model_still_updates(self, fitted, tmp_path, toy_db):
+        save_model(fitted, tmp_path / "m.fj")
+        loaded = load_model(tmp_path / "m.fj")
+        loaded.update("C", toy_db.table("C").head(5))
+        assert loaded.estimate(QUERY) > 0
+
+    def test_save_unfitted_via_hook_raises(self, tmp_path):
+        from repro.errors import NotFittedError
+        with pytest.raises(NotFittedError):
+            FactorJoin(FactorJoinConfig(n_bins=4)).save(tmp_path / "m.fj")
+
+
+class TestManifest:
+    def test_manifest_fields(self, fitted, tmp_path, toy_db):
+        save_model(fitted, tmp_path / "m.fj", name="toy",
+                   extra_metadata={"note": "test"})
+        manifest = read_manifest(tmp_path / "m.fj")
+        assert manifest["format_version"] == FORMAT_VERSION
+        assert manifest["kind"].endswith("FactorJoin")
+        assert manifest["name"] == "toy"
+        assert manifest["schema_hash"] == schema_fingerprint(toy_db.schema)
+        assert manifest["model_bytes"] == (
+            tmp_path / "m.fj" / MODEL_NAME).stat().st_size
+        assert manifest["config"]["n_bins"] == 4
+        assert manifest["extra"] == {"note": "test"}
+
+    def test_missing_artifact(self, tmp_path):
+        with pytest.raises(ArtifactError, match="missing"):
+            load_model(tmp_path / "nope")
+
+    def test_future_format_version_rejected(self, fitted, tmp_path):
+        path = save_model(fitted, tmp_path / "m.fj")
+        manifest = json.loads((path / MANIFEST_NAME).read_text())
+        manifest["format_version"] = FORMAT_VERSION + 1
+        (path / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactError, match="format version"):
+            load_model(path)
+
+
+class TestIntegrity:
+    def test_corrupt_pickle_detected(self, fitted, tmp_path):
+        path = save_model(fitted, tmp_path / "m.fj")
+        blob = bytearray((path / MODEL_NAME).read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        (path / MODEL_NAME).write_bytes(bytes(blob))
+        with pytest.raises(ArtifactError, match="integrity"):
+            load_model(path)
+
+    def test_schema_drift_detected(self, fitted, tmp_path, toy_db_nulls):
+        # same schema object shape — build a genuinely different schema
+        from repro.data import ColumnSchema, DatabaseSchema, DataType, \
+            TableSchema
+        other = DatabaseSchema(
+            [TableSchema("X", [ColumnSchema("id", DataType.INT, True)])], [])
+        path = save_model(fitted, tmp_path / "m.fj")
+        with pytest.raises(ArtifactError, match="different schema"):
+            load_model(path, expected_schema=other)
+
+    def test_fingerprint_stable_under_data_growth(self, toy_db, toy_db_nulls):
+        # fingerprints hash declarations, not rows
+        assert schema_fingerprint(toy_db.schema) == schema_fingerprint(
+            toy_db_nulls.schema)

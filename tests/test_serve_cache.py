@@ -1,0 +1,81 @@
+"""Tests for the LRU estimate cache and canonical query fingerprints."""
+
+import pytest
+
+from repro.serve.cache import EstimateCache, query_fingerprint
+from repro.sql import parse_query
+
+
+class TestFingerprint:
+    def test_syntactic_permutations_share_a_fingerprint(self):
+        q1 = parse_query("SELECT COUNT(*) FROM A a, B b "
+                         "WHERE a.id = b.aid AND a.x > 1")
+        q2 = parse_query("SELECT COUNT(*) FROM B b, A a "
+                         "WHERE b.aid = a.id AND a.x > 1")
+        assert query_fingerprint(q1) == query_fingerprint(q2)
+
+    def test_different_predicates_differ(self):
+        q1 = parse_query("SELECT COUNT(*) FROM A a WHERE a.x > 1")
+        q2 = parse_query("SELECT COUNT(*) FROM A a WHERE a.x > 2")
+        assert query_fingerprint(q1) != query_fingerprint(q2)
+
+    def test_request_shape_disambiguates(self):
+        q = parse_query("SELECT COUNT(*) FROM A a WHERE a.x > 1")
+        assert query_fingerprint(q) != query_fingerprint(
+            q, request=("subplans", 1))
+
+
+class TestCache:
+    def test_hit_miss_accounting(self):
+        cache = EstimateCache(max_size=4)
+        assert cache.get(("k",)) is None
+        cache.put(("k",), 1.5)
+        assert cache.get(("k",)) == 1.5
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = EstimateCache(max_size=2)
+        cache.put(("a",), 1)
+        cache.put(("b",), 2)
+        cache.get(("a",))           # refresh a; b becomes the LRU entry
+        cache.put(("c",), 3)
+        assert cache.get(("a",)) == 1
+        assert cache.get(("b",)) is None
+        assert cache.stats()["evictions"] == 1
+
+    def test_put_existing_key_refreshes_without_evicting(self):
+        cache = EstimateCache(max_size=2)
+        cache.put(("a",), 1)
+        cache.put(("b",), 2)
+        cache.put(("a",), 10)
+        assert len(cache) == 2
+        assert cache.get(("a",)) == 10
+        assert cache.stats()["evictions"] == 0
+
+    def test_invalidate_clears_but_keeps_counters(self):
+        cache = EstimateCache(max_size=4)
+        cache.put(("a",), 1)
+        cache.get(("a",))
+        cache.invalidate()
+        assert len(cache) == 0
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["invalidations"] == 1
+        assert cache.get(("a",)) is None
+
+    def test_rejects_degenerate_size(self):
+        with pytest.raises(ValueError):
+            EstimateCache(max_size=0)
+
+    def test_stamped_put_dropped_after_invalidation(self):
+        """A computation that started before an invalidation must not
+        resurrect pre-invalidation state (estimate/update race)."""
+        cache = EstimateCache(max_size=4)
+        stamp = cache.invalidations
+        cache.invalidate()                  # update() lands mid-computation
+        cache.put(("k",), 1.0, stamp=stamp)
+        assert cache.get(("k",)) is None
+        cache.put(("k",), 2.0, stamp=cache.invalidations)
+        assert cache.get(("k",)) == 2.0

@@ -1,0 +1,173 @@
+"""Tests for the JSON HTTP API (routes, errors, concurrent clients)."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.estimator import FactorJoin, FactorJoinConfig
+from repro.serve import EstimationService, serve_in_background
+
+SQL = "SELECT COUNT(*) FROM A a, B b WHERE a.id = b.aid AND a.x > 1"
+
+
+@pytest.fixture
+def served(toy_db):
+    model = FactorJoin(FactorJoinConfig(n_bins=4)).fit(toy_db)
+    service = EstimationService()
+    service.register("default", model)
+    server, _ = serve_in_background(service, port=0)
+    yield server, service, model
+    server.shutdown()
+    server.server_close()
+
+
+def _url(server, path):
+    host, port = server.server_address[:2]
+    return f"http://{host}:{port}{path}"
+
+
+def _post(server, path, payload):
+    req = urllib.request.Request(
+        _url(server, path), data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(req, timeout=10) as resp:
+        return json.loads(resp.read())
+
+
+def _get(server, path):
+    with urllib.request.urlopen(_url(server, path), timeout=10) as resp:
+        return json.loads(resp.read())
+
+
+def _status_of(err_callable):
+    with pytest.raises(urllib.error.HTTPError) as info:
+        err_callable()
+    return info.value.code, json.loads(info.value.read())
+
+
+class TestRoutes:
+    def test_estimate(self, served):
+        server, _, model = served
+        body = _post(server, "/estimate", {"sql": SQL})
+        from repro.sql import parse_query
+        assert body["estimate"] == model.estimate(parse_query(SQL))
+        assert body["model"] == "default"
+        assert not body["cached"]
+        assert _post(server, "/estimate", {"sql": SQL})["cached"]
+
+    def test_estimate_subplans(self, served):
+        server, _, _ = served
+        body = _post(server, "/estimate", {"sql": SQL, "subplans": True})
+        assert set(body["subplans"]) == {"a", "b", "a,b"}
+
+    def test_estimate_batch(self, served):
+        server, _, _ = served
+        other = "SELECT COUNT(*) FROM B b, C c WHERE b.cid = c.id"
+        body = _post(server, "/estimate_batch", {"queries": [SQL, other]})
+        assert len(body["results"]) == 2
+        assert all(r["estimate"] > 0 for r in body["results"])
+
+    def test_update_with_json_nulls(self, served):
+        server, service, _ = served
+        body = _post(server, "/update", {
+            "table": "C",
+            "rows": {"id": [1000, 1001, None], "z": [0, 1, 2]},
+        })
+        assert body["rows"] == 3
+        assert service.update_latency.count == 1
+
+    def test_update_accepts_any_column_order(self, served):
+        # JSON objects are unordered; the service aligns columns to the
+        # served table's storage order
+        server, service, _ = served
+        body = _post(server, "/update", {
+            "table": "C",
+            "rows": {"z": [0, 1], "id": [2000, 2001]},
+        })
+        assert body["rows"] == 2
+
+    def test_models_and_stats_and_health(self, served):
+        server, _, _ = served
+        _post(server, "/estimate", {"sql": SQL})
+        assert _get(server, "/models")["models"][0]["name"] == "default"
+        stats = _get(server, "/stats")
+        assert stats["estimate_latency"]["count"] == 1
+        assert _get(server, "/health") == {"ok": True}
+
+
+class TestErrors:
+    def test_unknown_model_is_404(self, served):
+        server, _, _ = served
+        code, body = _status_of(lambda: _post(
+            server, "/estimate", {"sql": SQL, "model": "nope"}))
+        assert code == 404 and "nope" in body["error"]
+
+    def test_bad_sql_is_400(self, served):
+        server, _, _ = served
+        code, body = _status_of(lambda: _post(
+            server, "/estimate", {"sql": "not sql at all"}))
+        assert code == 400 and body["error"]
+
+    def test_missing_field_is_400(self, served):
+        server, _, _ = served
+        code, body = _status_of(lambda: _post(server, "/estimate", {}))
+        assert code == 400 and "sql" in body["error"]
+
+    def test_unknown_route_is_404(self, served):
+        server, _, _ = served
+        code, _ = _status_of(lambda: _get(server, "/nope"))
+        assert code == 404
+
+    def test_batch_requires_list(self, served):
+        server, _, _ = served
+        code, _ = _status_of(lambda: _post(
+            server, "/estimate_batch", {"queries": SQL}))
+        assert code == 400
+
+    def test_negative_content_length_rejected(self, served):
+        # read(-1) would block until client EOF; must 400 and close instead
+        import http.client
+        server, _, _ = served
+        host, port = server.server_address[:2]
+        conn = http.client.HTTPConnection(host, port, timeout=5)
+        try:
+            conn.putrequest("POST", "/estimate")
+            conn.putheader("Content-Length", "-1")
+            conn.endheaders()
+            response = conn.getresponse()
+            assert response.status == 400
+            assert b"Content-Length" in response.read()
+        finally:
+            conn.close()
+
+
+class TestConcurrentClients:
+    def test_many_clients_batching_concurrently(self, served):
+        """The acceptance scenario: concurrent POST /estimate_batch clients
+        all receive complete, consistent answers."""
+        server, service, model = served
+        from repro.sql import parse_query
+        want = model.estimate(parse_query(SQL))
+        other = "SELECT COUNT(*) FROM B b, C c WHERE b.cid = c.id"
+        results, errors = [], []
+
+        def client():
+            try:
+                body = _post(server, "/estimate_batch",
+                             {"queries": [SQL, other]})
+                results.append(body["results"])
+            except Exception as exc:  # noqa: BLE001 - recording
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client) for _ in range(12)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(results) == 12
+        assert all(batch[0]["estimate"] == want for batch in results)
+        assert service.latency.count == 24

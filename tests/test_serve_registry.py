@@ -1,0 +1,108 @@
+"""Tests for the thread-safe model registry and its hot-swap semantics."""
+
+import threading
+
+import pytest
+
+from repro.errors import ModelNotFoundError
+from repro.serve.registry import ModelRegistry
+
+
+class TestPublish:
+    def test_publish_and_get(self):
+        reg = ModelRegistry()
+        model = object()
+        record = reg.publish("m", model, metadata={"k": 1})
+        assert reg.get("m") is model
+        assert record.version == 1
+        assert record.metadata == {"k": 1}
+        assert "m" in reg and len(reg) == 1
+
+    def test_versions_are_monotone_per_name(self):
+        reg = ModelRegistry()
+        assert reg.publish("m", object()).version == 1
+        assert reg.publish("m", object()).version == 2
+        assert reg.publish("other", object()).version == 1
+        # a republish after unpublish keeps counting up
+        reg.unpublish("m")
+        assert reg.publish("m", object()).version == 3
+
+    def test_swap_replaces_atomically(self):
+        reg = ModelRegistry()
+        old, new = object(), object()
+        reg.publish("m", old)
+        before = reg.record("m")
+        reg.publish("m", new)
+        assert reg.get("m") is new
+        # the retired record is untouched — in-flight readers keep a
+        # consistent snapshot
+        assert before.model is old
+
+    def test_unknown_name(self):
+        reg = ModelRegistry()
+        reg.publish("present", object())
+        with pytest.raises(ModelNotFoundError, match="present"):
+            reg.get("absent")
+
+    def test_unpublish(self):
+        reg = ModelRegistry()
+        model = object()
+        reg.publish("m", model)
+        assert reg.unpublish("m").model is model
+        assert "m" not in reg
+        with pytest.raises(ModelNotFoundError):
+            reg.get("m")
+
+
+class TestListeners:
+    def test_listener_sees_publish_and_unpublish(self):
+        reg = ModelRegistry()
+        events = []
+        reg.add_swap_listener(lambda name, rec: events.append((name, rec)))
+        reg.publish("m", object())
+        reg.unpublish("m")
+        assert [name for name, _ in events] == ["m", "m"]
+        assert events[0][1].version == 1
+        assert events[1][1] is None
+
+    def test_swap_count(self):
+        reg = ModelRegistry()
+        reg.publish("a", object())
+        reg.publish("a", object())
+        reg.unpublish("a")
+        assert reg.swap_count == 3
+
+
+class TestConcurrency:
+    def test_concurrent_publish_and_read(self):
+        """Hammer the registry from publisher and reader threads; readers
+        must always observe a complete record."""
+        reg = ModelRegistry()
+        reg.publish("m", 0)
+        stop = threading.Event()
+        errors = []
+
+        def publisher():
+            for i in range(200):
+                reg.publish("m", i)
+
+        def reader():
+            while not stop.is_set():
+                record = reg.record("m")
+                if not isinstance(record.model, int) or record.version < 1:
+                    errors.append(record)
+
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        for t in readers:
+            t.start()
+        writers = [threading.Thread(target=publisher) for _ in range(4)]
+        for t in writers:
+            t.start()
+        for t in writers:
+            t.join()
+        stop.set()
+        for t in readers:
+            t.join()
+        assert not errors
+        # the seed publish plus 4 threads x 200 publishes
+        assert reg.record("m").version == 801

@@ -1,0 +1,223 @@
+"""Tests for the EstimationService: caching, updates, hot-swap, concurrency."""
+
+import threading
+
+import pytest
+
+from repro.core.estimator import FactorJoin, FactorJoinConfig
+from repro.errors import ModelNotFoundError
+from repro.serve import EstimationService
+from repro.sql import parse_query
+
+SQL = "SELECT COUNT(*) FROM A a, B b WHERE a.id = b.aid AND a.x > 1"
+
+
+@pytest.fixture
+def fitted(toy_db):
+    return FactorJoin(FactorJoinConfig(n_bins=4)).fit(toy_db)
+
+
+@pytest.fixture
+def service(fitted):
+    svc = EstimationService(cache_size=64)
+    svc.register("default", fitted)
+    return svc
+
+
+class TestEstimate:
+    def test_matches_direct_model_call(self, service, fitted):
+        result = service.estimate(SQL)
+        assert result.estimate == fitted.estimate(parse_query(SQL))
+        assert result.model == "default"
+        assert result.version == 1
+        assert not result.cached
+        assert result.seconds >= 0
+
+    def test_repeat_is_cached_and_identical(self, service):
+        first = service.estimate(SQL)
+        second = service.estimate(SQL)
+        assert second.cached and not first.cached
+        assert second.estimate == first.estimate
+
+    def test_accepts_parsed_queries(self, service):
+        assert service.estimate(parse_query(SQL)).estimate > 0
+
+    def test_single_model_is_implicit_default(self, fitted):
+        svc = EstimationService()
+        svc.register("toy", fitted)
+        assert svc.estimate(SQL).model == "toy"
+
+    def test_ambiguous_default_raises(self, fitted):
+        svc = EstimationService()
+        svc.register("a", fitted)
+        svc.register("b", fitted)
+        with pytest.raises(ModelNotFoundError):
+            svc.estimate(SQL)
+        assert svc.estimate(SQL, model="a").estimate > 0
+
+    def test_estimate_many(self, service, fitted):
+        other = "SELECT COUNT(*) FROM B b, C c WHERE b.cid = c.id"
+        results = service.estimate_many([SQL, other, SQL])
+        assert len(results) == 3
+        assert results[2].cached
+        assert results[0].estimate == results[2].estimate
+
+    def test_estimate_subplans(self, service, fitted):
+        got = service.estimate_subplans(SQL)
+        want = fitted.estimate_subplans(parse_query(SQL))
+        assert got == want
+        # second call is served from cache (same object is fine here)
+        assert service.estimate_subplans(SQL) == want
+        assert service._cache_of("default").stats()["hits"] >= 1
+
+
+class TestUpdate:
+    def test_update_invalidates_cache(self, service, toy_db):
+        before = service.estimate(SQL)
+        info = service.update("B", toy_db.table("B").head(30))
+        after = service.estimate(SQL)
+        assert info["rows"] == 30
+        assert not after.cached
+        # 30 extra B rows must raise the join estimate
+        assert after.estimate > before.estimate
+
+    def test_update_latency_recorded(self, service, toy_db):
+        service.update("C", toy_db.table("C").head(3))
+        assert service.update_latency.count == 1
+        assert service.stats()["update_latency"]["count"] == 1
+
+    def test_malformed_insert_rejected_before_mutation(self, service,
+                                                       toy_db):
+        """A column-set mismatch must fail up front — never half-apply."""
+        from repro.data import Column, Table
+        from repro.errors import DataError
+        before = service.estimate(SQL).estimate
+        bad = Table("B", [Column("aid", [1, 2])])  # missing cid, y
+        with pytest.raises(DataError, match="exactly the columns"):
+            service.update("B", bad)
+        assert service.estimate(SQL).estimate == before
+
+    def test_dtype_mismatch_rejected_before_mutation(self, service, toy_db):
+        """Right columns, wrong dtype: the model's statistics must be
+        untouched after the rejected insert (no half-applied update)."""
+        import numpy as np
+        from repro.data import Column, DataType, Table
+        from repro.errors import DataError
+        before = service.estimate(SQL).estimate
+        bad = Table("B", [
+            Column("aid", np.array([1.5, 2.5]), dtype=DataType.FLOAT),
+            Column("cid", [1, 2]),
+            Column("y", [0, 1]),
+        ])
+        with pytest.raises(DataError):
+            service.update("B", bad)
+        assert service.estimate(SQL).estimate == before
+
+    def test_subplan_result_mutation_does_not_poison_cache(self, service):
+        first = service.estimate_subplans(SQL)
+        keys = set(first)
+        first.clear()
+        assert set(service.estimate_subplans(SQL)) == keys
+
+    def test_insert_column_order_normalized(self, service, toy_db):
+        from repro.data import Column, Table
+        src = toy_db.table("B").head(4)
+        shuffled = Table("B", [src["y"], src["aid"], src["cid"]])
+        assert service.update("B", shuffled)["rows"] == 4
+
+    def test_non_updatable_estimator_rejected_early(self, service):
+        """A table estimator without update support fails cleanly, before
+        any key statistics mutate."""
+        from repro.estimators.base import BaseTableEstimator
+
+        class Frozen(BaseTableEstimator):
+            name = "frozen"
+
+            def fit(self, *a, **k):
+                return self
+
+            def estimate_row_count(self, pred):
+                return 0.0
+
+            def key_distribution(self, column, pred):
+                raise NotImplementedError
+
+        model = service.registry.get("default")
+        model._table_estimators["B"] = Frozen()
+        with pytest.raises(NotImplementedError, match="cannot absorb"):
+            service.update("B", None)
+
+
+class TestHotSwap:
+    def test_swap_invalidates_cache_and_bumps_version(self, service, toy_db):
+        stale = service.estimate(SQL)
+        assert service.estimate(SQL).cached
+        refit = FactorJoin(FactorJoinConfig(n_bins=8)).fit(toy_db)
+        service.register("default", refit)
+        fresh = service.estimate(SQL)
+        assert not fresh.cached
+        assert fresh.version == 2
+        assert fresh.estimate == refit.estimate(parse_query(SQL))
+        assert stale.version == 1
+
+    def test_stale_record_result_not_cached_after_swap(self, service,
+                                                       toy_db):
+        """A computation pinned to a pre-swap record (estimate_many does
+        this deliberately) must not poison the cache for the new
+        version."""
+        old_record = service.registry.record("default")
+        refit = FactorJoin(FactorJoinConfig(n_bins=8)).fit(toy_db)
+        service.register("default", refit)
+        stale = service._estimate_with(old_record, SQL)
+        assert stale.version == 1                     # batch stays on v1
+        fresh = service.estimate(SQL)
+        assert fresh.version == 2
+        assert not fresh.cached                       # v1's answer dropped
+        assert fresh.estimate == refit.estimate(parse_query(SQL))
+
+    def test_stats_shape(self, service):
+        service.estimate(SQL)
+        stats = service.stats()
+        assert stats["models"][0]["name"] == "default"
+        assert stats["estimate_latency"]["count"] == 1
+        assert "default" in stats["caches"]
+        assert stats["uptime_seconds"] >= 0
+
+
+class TestConcurrency:
+    def test_concurrent_estimates_with_updates(self, service, toy_db):
+        """Readers keep getting positive finite answers while a writer
+        applies incremental inserts and hot-swaps."""
+        queries = [
+            SQL,
+            "SELECT COUNT(*) FROM B b, C c WHERE b.cid = c.id",
+            "SELECT COUNT(*) FROM A a, B b, C c "
+            "WHERE a.id = b.aid AND b.cid = c.id",
+        ]
+        errors = []
+        done = threading.Event()
+
+        def reader(sql):
+            while not done.is_set():
+                try:
+                    result = service.estimate(sql)
+                    if not result.estimate >= 0:
+                        errors.append(result)
+                except Exception as exc:  # noqa: BLE001 - recording
+                    errors.append(exc)
+
+        threads = [threading.Thread(target=reader, args=(q,))
+                   for q in queries for _ in range(2)]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(5):
+                service.update("B", toy_db.table("B").head(10))
+            refit = FactorJoin(FactorJoinConfig(n_bins=4)).fit(toy_db)
+            service.register("default", refit)
+        finally:
+            done.set()
+            for t in threads:
+                t.join()
+        assert not errors
+        assert service.latency.count > 0
