@@ -6,7 +6,10 @@ summary    print the Table 2-style statistics of a synthetic benchmark
 compare    fit a method line-up and print the end-to-end comparison table
 estimate   fit (or ``--load``) FactorJoin and estimate one SQL query;
            ``--save`` persists the fitted model so the fit cost is paid once
-serve      publish fitted models behind the JSON HTTP estimation service
+serve      publish fitted models behind the JSON HTTP estimation service;
+           ``--warm`` replays a recorded workload into the caches before
+           traffic is admitted, ``--record`` logs served queries for the
+           next warm start
 """
 
 from __future__ import annotations
@@ -85,6 +88,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--port", type=int, default=8765)
     p_serve.add_argument("--cache-size", type=int, default=1024,
                          help="LRU estimate cache entries per model")
+    p_serve.add_argument("--warm", metavar="WORKLOAD", default=None,
+                         help="pre-populate both cache levels before "
+                              "admitting traffic: a recorded JSONL / "
+                              "SQL-per-line workload file, or the literal "
+                              "'benchmark' to warm from the generated "
+                              "benchmark workload")
+    p_serve.add_argument("--record", metavar="PATH", default=None,
+                         help="log every served query to this JSONL "
+                              "workload file (replay later via --warm)")
+    p_serve.add_argument("--no-subplan-reuse", action="store_true",
+                         help="disable the cross-request sub-plan table "
+                              "(whole-query caching only)")
     p_serve.add_argument("--verbose", action="store_true",
                          help="log one line per HTTP request")
     return parser
@@ -151,14 +166,17 @@ def cmd_estimate(args) -> int:
 
 
 def build_service(args):
-    """Assemble the EstimationService a ``serve`` invocation will run.
+    """Assemble (and optionally warm) the EstimationService a ``serve``
+    invocation will run.
 
-    Split from :func:`cmd_serve` so tests can exercise model loading and
-    registration without binding a socket.
+    Split from :func:`cmd_serve` so tests can exercise model loading,
+    warming, and recording without binding a socket.
     """
     from repro.serve import DEFAULT_MODEL, EstimationService, load_model
 
-    service = EstimationService(cache_size=args.cache_size)
+    service = EstimationService(
+        cache_size=args.cache_size,
+        subplan_reuse=not getattr(args, "no_subplan_reuse", False))
     if args.load:
         seen: dict[str, str] = {}
         for spec in args.load:
@@ -183,7 +201,34 @@ def build_service(args):
         service.register(DEFAULT_MODEL, model,
                          metadata={"benchmark": args.benchmark,
                                    "fit_seconds": model.fit_seconds})
+    if getattr(args, "warm", None):
+        summary = warm_from_spec(service, args)
+        print(f"warmed {summary['entries']} workload entries in "
+              f"{summary['seconds']:.2f}s "
+              f"({summary['warmed_subplan_maps']} sub-plan maps, "
+              f"{summary['warmed_estimates']} plain estimates"
+              + (f", {len(summary['errors'])} skipped"
+                 if summary["errors"] else "") + ")")
+    if getattr(args, "record", None):
+        service.start_recording(args.record)
+        print(f"recording served queries to {args.record}")
     return service
+
+
+def warm_from_spec(service, args) -> dict:
+    """Resolve ``--warm`` (a workload file, or the literal ``benchmark``
+    for the generated benchmark workload) and replay it into the caches
+    before any socket is bound."""
+    from repro.serve import generated_workload, load_workload, warm_service
+
+    if args.warm == "benchmark":
+        entries = generated_workload(args.benchmark, scale=args.scale,
+                                     seed=args.seed,
+                                     n_queries=args.queries,
+                                     max_tables=args.max_tables)
+    else:
+        entries = load_workload(args.warm)
+    return warm_service(service, entries)
 
 
 def cmd_serve(args) -> int:
@@ -195,7 +240,7 @@ def cmd_serve(args) -> int:
     host, port = server.server_address[:2]
     print(f"serving models {service.registry.names()} "
           f"on http://{host}:{port}")
-    print("endpoints: POST /estimate /estimate_batch /update · "
+    print("endpoints: POST /estimate /estimate_batch /update /warmup · "
           "GET /models /stats /health")
     try:
         server.serve_forever()

@@ -240,6 +240,22 @@ class FactorJoin:
             query, provider, mode=self.config.bound_mode,
             min_tables=min_tables)
 
+    def subplan_fingerprints(self, query: Query, min_tables: int = 1
+                             ) -> dict[frozenset, tuple]:
+        """Stable, alias-invariant cache keys for the sub-plan map.
+
+        Returns one canonical :meth:`~repro.sql.query.Query.subplan_key`
+        per entry :meth:`estimate_subplans` would produce for ``query``
+        (same subset universe, same ``min_tables`` semantics).  The
+        serving layer keys its cross-request sub-plan table on these, so
+        an estimate computed for a sub-plan of one query is reusable for
+        any later query containing — or equal to — the same canonical
+        sub-plan, regardless of alias spelling.  Keys are plain tuples of
+        strings and ints: hashable, order-stable, and identical across
+        processes and pickling round-trips.
+        """
+        return query.subplan_keys(min_tables=min_tables)
+
     def _provider(self, groups_q):
         def provider(query: Query, alias: str) -> JoinFactor:
             return self.base_factor(query, alias, groups_q)

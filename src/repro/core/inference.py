@@ -9,6 +9,17 @@ shared variables' summations).
 sub-plan's factor is cached, and each larger sub-plan is built by combining
 one cached factor with one base factor, so estimating all sub-plan queries
 of a target query does no redundant work.
+
+The progressive path combines factors in *exactly* the greedy order
+``fold_query`` would use on each induced sub-query.  The bound semiring is
+order-sensitive, so this is what makes the progressive estimate of a
+sub-plan bit-identical to estimating that sub-plan from scratch — and what
+lets the serving layer reuse sub-plan entries to answer plain estimates
+(see :mod:`repro.serve.cache`) without changing any answer.  The key
+property: the greedy order never picks an element earlier because a
+later-picked element exists, so the greedy order of ``S`` minus its last
+element *is* the greedy order of that smaller set, and building ``S`` as
+``combine(factor(S - {last}), base(last))`` reproduces the whole fold.
 """
 
 from __future__ import annotations
@@ -83,27 +94,40 @@ class ProgressiveSubplanEstimator:
         return results
 
     def factor_for(self, subset: frozenset) -> JoinFactor:
+        """The combined factor of ``subset``, bit-identical to folding its
+        induced sub-query from scratch (see the module docstring)."""
         if subset in self._cache:
             return self._cache[subset]
         if len(subset) == 1:
             return self.base_factor(next(iter(subset)))
-        factor = None
-        for alias in sorted(subset):
-            rest = subset - {alias}
-            if rest in self._cache:
-                factor = combine(self._cache[rest], self.base_factor(alias),
-                                 mode=self._mode)
-                break
-        if factor is None:
-            # build recursively (subset's connected proper subsets missing,
-            # e.g. when called directly for one subset)
-            parts = sorted(subset)
-            factor = self.base_factor(parts[0])
-            for alias in parts[1:]:
-                factor = combine(factor, self.base_factor(alias),
-                                 mode=self._mode)
+        last = self._fold_order(subset)[-1]
+        factor = combine(self.factor_for(subset - {last}),
+                         self.base_factor(last), mode=self._mode)
         self._cache[subset] = factor
         return factor
+
+    def _fold_order(self, subset: frozenset) -> list[str]:
+        """``fold_query``'s greedy combination order on the induced
+        sub-query: start from the smallest base estimate, grow along the
+        join graph by smallest base estimate, cross-product fallback when
+        nothing connects.  Must mirror ``fold_query`` exactly — any
+        divergence breaks the bit-identity the serving cache relies on."""
+        adj = self._query.adjacency()
+        est = {a: self.base_factor(a).total_estimate for a in subset}
+        remaining = set(subset)
+        start = min(remaining, key=lambda a: (est[a], a))
+        order = [start]
+        remaining.discard(start)
+        joined = {start}
+        while remaining:
+            connected = [a for a in remaining
+                         if adj[a] & subset & joined]
+            pool = connected or sorted(remaining)
+            nxt = min(pool, key=lambda a: (est[a], a))
+            order.append(nxt)
+            joined.add(nxt)
+            remaining.discard(nxt)
+        return order
 
 
 def estimate_subplans_independently(query: Query, provider: FactorProvider,

@@ -7,10 +7,14 @@ FactorJoin's offline phase is minutes, its online phase sub-millisecond
   manifest and integrity checks, load it anywhere;
 - :mod:`repro.serve.registry` — hold many named models, hot-swap refreshed
   ones atomically under concurrent readers;
-- :mod:`repro.serve.cache` — LRU estimate cache on canonical query
-  fingerprints, invalidated on swap/update;
+- :mod:`repro.serve.cache` — two-level LRU estimate cache: canonical query
+  fingerprints plus a cross-request sub-plan table, invalidated together
+  on swap/update;
 - :mod:`repro.serve.service` — single / batched / sub-plan estimation with
-  latency accounting, safe under concurrent callers;
+  sub-plan reuse, workload recording, and latency accounting, safe under
+  concurrent callers;
+- :mod:`repro.serve.warmup` — workload recording/replay: warm both cache
+  levels from a recorded (or generated) workload before admitting traffic;
 - :mod:`repro.serve.httpd` — a dependency-free JSON HTTP front end
   (``repro serve`` on the command line).
 """
@@ -31,6 +35,13 @@ from repro.serve.service import (
     EstimationService,
     LatencyStats,
 )
+from repro.serve.warmup import (
+    WorkloadEntry,
+    WorkloadRecorder,
+    generated_workload,
+    load_workload,
+    warm_service,
+)
 
 __all__ = [
     "DEFAULT_MODEL",
@@ -38,8 +49,10 @@ __all__ = [
     "EstimateResult",
     "EstimationService",
     "FORMAT_VERSION",
+    "generated_workload",
     "LatencyStats",
     "load_model",
+    "load_workload",
     "make_server",
     "ModelRecord",
     "ModelRegistry",
@@ -49,4 +62,7 @@ __all__ = [
     "schema_fingerprint",
     "serve_in_background",
     "ServingServer",
+    "warm_service",
+    "WorkloadEntry",
+    "WorkloadRecorder",
 ]

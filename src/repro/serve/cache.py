@@ -1,16 +1,33 @@
-"""LRU cache of query estimates keyed by canonical query fingerprints.
+"""Two-level LRU cache of estimates: query fingerprints + sub-plan table.
 
 Optimizers re-ask the same cardinalities constantly (every DP enumeration
 revisits the same sub-plans; dashboards re-issue identical templates), and
 FactorJoin's estimates are deterministic given a fitted model — so caching
-turns repeated sub-millisecond inference into microsecond lookups.  The
-fingerprint canonicalizes the query (sorted table set, normalized join
-conditions, normalized predicates via :meth:`repro.sql.query.Query.
-signature`), so syntactic permutations of one query share an entry.
+turns repeated sub-millisecond inference into microsecond lookups.
+
+The cache has two levels:
+
+- **query level** — exact request fingerprints (sorted table set,
+  normalized join conditions, normalized predicates via
+  :meth:`repro.sql.query.Query.signature`, plus the request shape), so
+  syntactic permutations of one request share an entry;
+- **sub-plan level** — canonical, alias-renaming-invariant
+  (table-set, predicate, join-structure) keys from
+  :meth:`repro.sql.query.Query.subplan_key`.  Every answered estimate and
+  every entry of a sub-plan map lands here, so a *different* query that
+  contains (or equals) a previously served sub-plan is answered without
+  touching the model — the cross-request reuse FactorJoin's per-sub-plan
+  decomposition makes possible.
+
+The two levels keep separate hit/miss counters (``stats()``), so benchmark
+numbers for whole-query caching and sub-plan reuse are never conflated.
 
 Entries are only valid for one model version: the serving layer keeps one
 cache per model name and invalidates it on every registry swap or
-in-place ``update()``.
+in-place ``update()``.  Invalidation clears both levels atomically, and
+the stamped-put mechanism (see :meth:`EstimateCache.put`) covers both, so
+a slow computation racing a model update can never resurrect pre-update
+state at either level.
 """
 
 from __future__ import annotations
@@ -31,24 +48,44 @@ def query_fingerprint(query: Query, request: tuple = ()) -> tuple:
 
 
 class EstimateCache:
-    """Bounded LRU mapping fingerprints to estimates, with stats.
+    """Bounded two-level LRU (query fingerprints + sub-plan table).
 
     All operations take the cache lock; they are dict manipulations, so the
     critical sections are tiny compared to even a cached model inference.
+
+    Parameters
+    ----------
+    max_size:
+        Query-level entry bound.
+    subplan_max_size:
+        Sub-plan-table entry bound; defaults to ``8 * max_size`` (one
+        served query typically contributes several sub-plans).
     """
 
-    def __init__(self, max_size: int = 1024):
+    def __init__(self, max_size: int = 1024,
+                 subplan_max_size: int | None = None):
         if max_size < 1:
             raise ValueError("cache max_size must be >= 1")
+        if subplan_max_size is None:
+            subplan_max_size = 8 * max_size
+        if subplan_max_size < 1:
+            raise ValueError("cache subplan_max_size must be >= 1")
         self.max_size = max_size
+        self.subplan_max_size = subplan_max_size
         self._lock = threading.Lock()
         self._entries: OrderedDict[tuple, object] = OrderedDict()
+        self._subplans: OrderedDict[tuple, float] = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.subplan_hits = 0
+        self.subplan_misses = 0
+        self.subplan_evictions = 0
         self.invalidations = 0
 
     _MISSING = object()
+
+    # -- query level -----------------------------------------------------------
 
     def get(self, key: tuple):
         """The cached value, or None on a miss (estimates are floats > 0 or
@@ -77,19 +114,87 @@ class EstimateCache:
                 self._entries.popitem(last=False)
                 self.evictions += 1
 
+    # -- sub-plan level --------------------------------------------------------
+
+    def get_subplan(self, key: tuple):
+        """The cached sub-plan estimate for a canonical
+        :meth:`~repro.sql.query.Query.subplan_key`, or None on a miss."""
+        with self._lock:
+            value = self._subplans.get(key, self._MISSING)
+            if value is self._MISSING:
+                self.subplan_misses += 1
+                return None
+            self._subplans.move_to_end(key)
+            self.subplan_hits += 1
+            return value
+
+    def lookup_subplans(self, keys: list[tuple]):
+        """All-or-nothing batch lookup: ``{key: value}`` when *every* key
+        is present, else None.
+
+        Used to assemble a full sub-plan map from previously served
+        entries; a partial set is useless there (the model recomputes the
+        whole map anyway), so hits are only counted when the assembly
+        succeeds, and on failure only the absent keys count as misses —
+        keeping the counters an honest measure of avoided inference.
+        """
+        with self._lock:
+            absent = [k for k in keys if k not in self._subplans]
+            if absent:
+                self.subplan_misses += len(absent)
+                return None
+            out = {}
+            for key in keys:
+                self._subplans.move_to_end(key)
+                out[key] = self._subplans[key]
+            self.subplan_hits += len(keys)
+            return out
+
+    def put_subplan(self, key: tuple, value: float,
+                    stamp: int | None = None) -> None:
+        """Insert one sub-plan estimate (same stamp semantics as
+        :meth:`put`)."""
+        self.put_subplans({key: value}, stamp=stamp)
+
+    def put_subplans(self, entries: dict[tuple, float],
+                     stamp: int | None = None) -> None:
+        """Insert a batch of sub-plan estimates under one lock acquisition
+        (same stamp semantics as :meth:`put`); a batch straddling an
+        invalidation is dropped whole."""
+        with self._lock:
+            if stamp is not None and stamp != self.invalidations:
+                return
+            for key, value in entries.items():
+                if key in self._subplans:
+                    self._subplans.move_to_end(key)
+                self._subplans[key] = value
+            while len(self._subplans) > self.subplan_max_size:
+                self._subplans.popitem(last=False)
+                self.subplan_evictions += 1
+
+    # -- lifecycle -------------------------------------------------------------
+
     def invalidate(self) -> None:
-        """Drop every entry (model swapped or updated in place)."""
+        """Drop every entry at both levels (model swapped or updated in
+        place); bumps the invalidation stamp so in-flight puts drop."""
         with self._lock:
             self._entries.clear()
+            self._subplans.clear()
             self.invalidations += 1
 
     def __len__(self) -> int:
+        """Number of query-level entries (see ``stats()['subplan_size']``
+        for the sub-plan table)."""
         with self._lock:
             return len(self._entries)
 
     def stats(self) -> dict:
+        """JSON-ready counters, split by level: ``hits``/``misses``/
+        ``hit_rate`` are query-level; ``subplan_*`` mirror them for the
+        sub-plan table."""
         with self._lock:
             lookups = self.hits + self.misses
+            sub_lookups = self.subplan_hits + self.subplan_misses
             return {
                 "size": len(self._entries),
                 "max_size": self.max_size,
@@ -97,5 +202,12 @@ class EstimateCache:
                 "misses": self.misses,
                 "hit_rate": self.hits / lookups if lookups else 0.0,
                 "evictions": self.evictions,
+                "subplan_size": len(self._subplans),
+                "subplan_max_size": self.subplan_max_size,
+                "subplan_hits": self.subplan_hits,
+                "subplan_misses": self.subplan_misses,
+                "subplan_hit_rate": (self.subplan_hits / sub_lookups
+                                     if sub_lookups else 0.0),
+                "subplan_evictions": self.subplan_evictions,
                 "invalidations": self.invalidations,
             }

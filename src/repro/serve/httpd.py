@@ -13,6 +13,10 @@ EstimationService` endpoints an optimizer or load generator needs:
 ``POST /update``            ``{"table": ..., "rows": {col: [...]},
                             "model"?}`` → incremental insert (JSON ``null``
                             marks NULLs)
+``POST /warmup``            ``{"queries": [sql, ...] | "path": ...,
+                            "model"?, "subplans"?}`` → replay a workload
+                            into both cache levels; returns the warm
+                            summary (see :mod:`repro.serve.warmup`)
 ``GET /models``             published models (name, version, kind)
 ``GET /stats``              latency, cache, and registry statistics
 ==========================  =================================================
@@ -131,6 +135,8 @@ class ServingHandler(BaseHTTPRequestHandler):
             self._dispatch(self._post_estimate_batch)
         elif self.path == "/update":
             self._dispatch(self._post_update)
+        elif self.path == "/warmup":
+            self._dispatch(self._post_warmup)
         else:
             self._reply({"error": f"unknown route POST {self.path}"},
                         status=404)
@@ -154,6 +160,76 @@ class ServingHandler(BaseHTTPRequestHandler):
         results = self.service.estimate_many(queries,
                                              model=payload.get("model"))
         return {"results": [r.describe() for r in results]}
+
+    def _post_warmup(self) -> dict:
+        """Replay a workload into the service's caches.
+
+        The workload comes inline (``"queries"``: SQL strings or
+        ``{"sql", "kind"?, "min_tables"?}`` objects) or from a server-local
+        file (``"path"``: a recorded JSONL / SQL-per-line workload).
+        ``"subplans"`` (default true) promotes multi-table plain estimates
+        to sub-plan requests for denser warming; pass false to replay
+        entries exactly as given.
+        """
+        from repro.serve.warmup import (
+            WorkloadEntry,
+            load_workload,
+            warm_service,
+        )
+
+        payload = self._read_json()
+        queries = payload.get("queries")
+        path = payload.get("path")
+        if (queries is None) == (path is None):
+            raise ValueError(
+                "provide exactly one of 'queries' (inline workload) or "
+                "'path' (server-local workload file)")
+        if queries is not None:
+            if not isinstance(queries, list) or not queries:
+                raise ValueError("'queries' must be a non-empty list")
+            entries = []
+            for item in queries:
+                if isinstance(item, str):
+                    entries.append(WorkloadEntry(sql=item))
+                elif isinstance(item, dict) and "sql" in item:
+                    entries.append(WorkloadEntry(
+                        sql=item["sql"],
+                        kind=item.get("kind", "estimate"),
+                        model=item.get("model"),
+                        min_tables=int(item.get("min_tables", 1))))
+                else:
+                    raise ValueError(
+                        "each workload item must be a SQL string or an "
+                        "object with 'sql'")
+        else:
+            if not isinstance(path, str):
+                raise ValueError("'path' must be a string")
+            try:
+                entries = load_workload(path)
+            except OSError as exc:
+                # a client typo in the path is a bad request, not an
+                # internal error
+                raise ValueError(f"cannot read workload {path!r}: {exc}"
+                                 ) from exc
+        subplans = payload.get("subplans", True)
+        try:
+            summary = warm_service(self.service, entries,
+                                   model=payload.get("model"),
+                                   subplans=True if subplans else None)
+        except ValueError:
+            if path is not None:
+                # the abort message quotes a workload line; see below
+                raise ValueError("warmup aborted: too many workload "
+                                 "entries failed to replay") from None
+            raise
+        if path is not None and summary["errors"]:
+            # replay errors can quote workload lines; for a server-local
+            # file that would disclose its content to the HTTP client —
+            # report only the failure count (inline queries came from the
+            # client, so their errors remain verbatim)
+            summary["errors"] = [f"{len(summary['errors'])} workload "
+                                 f"entries failed to replay"]
+        return summary
 
     def _post_update(self) -> dict:
         payload = self._read_json()

@@ -68,6 +68,8 @@ class ModelRegistry:
     # -- reads (lock-free) -----------------------------------------------------
 
     def record(self, name: str) -> ModelRecord:
+        """The published :class:`ModelRecord` snapshot for ``name``
+        (raises :class:`~repro.errors.ModelNotFoundError` otherwise)."""
         try:
             return self._records[name]
         except KeyError:
@@ -76,9 +78,11 @@ class ModelRegistry:
                 f"available: {sorted(self._records)}") from None
 
     def get(self, name: str):
+        """The published model object for ``name`` (see :meth:`record`)."""
         return self.record(name).model
 
     def names(self) -> list[str]:
+        """Sorted names of every published model."""
         return sorted(self._records)
 
     def __contains__(self, name: str) -> bool:
@@ -99,6 +103,8 @@ class ModelRegistry:
         return self._records.get(record.name) is record
 
     def describe(self) -> list[dict]:
+        """JSON-ready summaries of every published model, sorted by name
+        (``GET /models``)."""
         # one atomic read of the records dict — indexing a names()
         # snapshot would race a concurrent unpublish
         records = list(self._records.values())

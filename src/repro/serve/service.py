@@ -4,7 +4,36 @@ This is the online half of the paper made operational: a fitted model is
 published into a :class:`~repro.serve.registry.ModelRegistry`, and the
 service answers single (``estimate``), batched (``estimate_many``), and
 optimizer-style sub-plan (``estimate_subplans``) requests against it, with
-per-request latency accounting and an LRU result cache per model.
+per-request latency accounting and a two-level result cache per model.
+
+Sub-plan reuse
+--------------
+FactorJoin's estimate of a join query decomposes into per-sub-plan bound
+computations, so overlapping queries share work.  The service exploits
+that across requests: every answered estimate also lands in a *sub-plan
+table* keyed on canonical, alias-invariant
+:meth:`~repro.sql.query.Query.subplan_key` fingerprints, and
+
+- a plain ``estimate`` that misses the query-level cache consults the
+  sub-plan table — a query previously seen as a sub-plan of a *larger*
+  query is answered without touching the model;
+- ``estimate_subplans`` populates one sub-plan entry per connected
+  sub-plan it computes, and assembles its whole answer from the table when
+  every sub-plan is already present.
+
+A sub-plan entry carries the *progressive* estimate (Section 5.2), and the
+progressive estimator combines factors in exactly the greedy order the
+plain-``estimate`` fold uses (see :mod:`repro.core.inference`), so the two
+paths produce bit-identical numbers — reuse never changes an answer, it
+only skips recomputing it.  Set ``subplan_reuse=False`` to insist on
+whole-query caching only.
+
+Workload recording
+------------------
+``start_recording(path)`` logs every served estimation request to a JSONL
+workload file (see :mod:`repro.serve.warmup`); replaying that file against
+a freshly loaded artifact pre-populates both cache levels before traffic
+is admitted (``repro serve --warm``, ``POST /warmup``).
 
 Concurrency contract
 --------------------
@@ -12,16 +41,17 @@ Reads are lock-free: a request resolves its model record once and uses
 that snapshot throughout, so a concurrent hot-swap never changes the model
 under a request mid-flight.  Mutations (``update``, which edits a fitted
 model's statistics in place, Section 4.3) serialize on a per-service lock
-and invalidate that model's cache afterwards.  Estimates running
-concurrently with an ``update`` read a consistent model because numpy
-in-place adds on the statistics are the only mutation and the online phase
-never iterates those arrays across release points — the worst case is an
-estimate reflecting a partially applied batch, the same semantics the
-paper's incremental maintenance accepts.
+and invalidate that model's cache (both levels) afterwards.  Estimates
+running concurrently with an ``update`` read a consistent model because
+numpy in-place adds on the statistics are the only mutation and the online
+phase never iterates those arrays across release points — the worst case
+is an estimate reflecting a partially applied batch, the same semantics
+the paper's incremental maintenance accepts.
 """
 
 from __future__ import annotations
 
+import contextlib
 import threading
 import time
 from dataclasses import dataclass, field
@@ -30,6 +60,12 @@ from repro.data.table import Table
 from repro.errors import DataError
 from repro.serve.cache import EstimateCache, query_fingerprint
 from repro.serve.registry import ModelRecord, ModelRegistry
+from repro.serve.warmup import (
+    KIND_ESTIMATE,
+    KIND_SUBPLANS,
+    WorkloadEntry,
+    WorkloadRecorder,
+)
 from repro.sql import parse_query
 from repro.sql.query import Query
 
@@ -52,6 +88,7 @@ class LatencyStats:
     _lock: threading.Lock = field(default_factory=threading.Lock)
 
     def observe(self, seconds: float) -> None:
+        """Record one request's wall-clock seconds."""
         with self._lock:
             self.count += 1
             self.total_seconds += seconds
@@ -66,6 +103,7 @@ class LatencyStats:
         return ordered[idx]
 
     def summary(self) -> dict:
+        """JSON-ready count / mean / p50 / p99 over the recent window."""
         with self._lock:
             ordered = sorted(self._recent)
             count, total = self.count, self.total_seconds
@@ -80,7 +118,13 @@ class LatencyStats:
 
 @dataclass(frozen=True)
 class EstimateResult:
-    """One answered request: the number plus serving metadata."""
+    """One answered request: the number plus serving metadata.
+
+    ``cache_level`` records where the answer came from: ``"query"`` (exact
+    request fingerprint), ``"subplan"`` (the cross-request sub-plan
+    table), or None (computed by the model).  ``cached`` stays the
+    boolean summary of the first two.
+    """
 
     estimate: float
     model: str
@@ -88,32 +132,61 @@ class EstimateResult:
     cached: bool
     seconds: float
     sql: str
+    cache_level: str | None = None
 
     def describe(self) -> dict:
+        """JSON-ready view (the ``POST /estimate`` response body)."""
         return {
             "estimate": self.estimate,
             "model": self.model,
             "version": self.version,
             "cached": self.cached,
+            "cache_level": self.cache_level,
             "seconds": self.seconds,
             "sql": self.sql,
         }
 
 
 class EstimationService:
-    """Serves estimates from registered models; safe under concurrency."""
+    """Serves estimates from registered models; safe under concurrency.
+
+    Parameters
+    ----------
+    registry:
+        The model registry to serve from (a fresh one by default).
+    cache_size:
+        Query-level LRU entries per model.
+    subplan_reuse:
+        Enable the cross-request sub-plan table (default True).
+    subplan_cache_size:
+        Sub-plan-table entries per model (default ``8 * cache_size``).
+    record_path:
+        Start recording served requests to this JSONL path immediately
+        (equivalent to calling :meth:`start_recording` after construction).
+    """
 
     def __init__(self, registry: ModelRegistry | None = None,
-                 cache_size: int = 1024):
+                 cache_size: int = 1024, subplan_reuse: bool = True,
+                 subplan_cache_size: int | None = None,
+                 record_path=None):
         self.registry = registry if registry is not None else ModelRegistry()
         self.cache_size = cache_size
+        self.subplan_reuse = subplan_reuse
+        self.subplan_cache_size = subplan_cache_size
         self._caches: dict[str, EstimateCache] = {}
         self._caches_lock = threading.Lock()
         self._update_lock = threading.Lock()
+        self._recorder: WorkloadRecorder | None = None
+        self._recorder_lock = threading.Lock()
+        # thread-local: warming replays must not be recorded, but other
+        # threads' genuine traffic arriving mid-warmup must be
+        self._suspended = threading.local()
         self.latency = LatencyStats()
         self.update_latency = LatencyStats()
         self.started_at = time.time()
         self.registry.add_swap_listener(self._on_swap)
+        if record_path is not None:
+            self.start_recording(record_path)
 
     # -- model management ------------------------------------------------------
 
@@ -132,7 +205,9 @@ class EstimationService:
         if cache is None:
             with self._caches_lock:
                 cache = self._caches.setdefault(
-                    name, EstimateCache(self.cache_size))
+                    name, EstimateCache(
+                        self.cache_size,
+                        subplan_max_size=self.subplan_cache_size))
         return cache
 
     def _resolve(self, model: str | None) -> ModelRecord:
@@ -143,27 +218,100 @@ class EstimationService:
             model = DEFAULT_MODEL
         return self.registry.record(model)
 
+    def _default_name(self) -> str:
+        """The registry name a ``model=None`` request resolves to."""
+        return self._resolve(None).name
+
     @staticmethod
     def _as_query(query: Query | str) -> Query:
         return parse_query(query) if isinstance(query, str) else query
+
+    # -- workload recording ----------------------------------------------------
+
+    def start_recording(self, path) -> WorkloadRecorder:
+        """Log every served estimation request to a JSONL workload file
+        (closing any previous recorder); see :mod:`repro.serve.warmup`."""
+        recorder = WorkloadRecorder(path)
+        with self._recorder_lock:
+            previous, self._recorder = self._recorder, recorder
+        if previous is not None:
+            previous.close()
+        return recorder
+
+    def stop_recording(self) -> int:
+        """Stop recording; returns how many entries the recorder wrote."""
+        with self._recorder_lock:
+            recorder, self._recorder = self._recorder, None
+        if recorder is None:
+            return 0
+        recorder.close()
+        return recorder.recorded
+
+    @contextlib.contextmanager
+    def recording_suspended(self):
+        """Context manager: requests served by *this thread* inside the
+        block are not recorded.
+
+        Cache warming replays a workload *through* the service; without
+        suspension, warming a recording service would copy the old
+        workload into the new log.  The suspension is thread-local, so a
+        live ``POST /warmup`` does not stop concurrent client traffic on
+        other threads from being recorded.
+        """
+        self._suspended.count = getattr(self._suspended, "count", 0) + 1
+        try:
+            yield self
+        finally:
+            self._suspended.count -= 1
+
+    def _record(self, kind: str, query: Query, model: str | None,
+                min_tables: int = 1) -> None:
+        if getattr(self._suspended, "count", 0):
+            return
+        with self._recorder_lock:
+            recorder = self._recorder
+        if recorder is None:
+            return
+        recorder.record(WorkloadEntry(sql=query.to_sql(), kind=kind,
+                                      model=model, min_tables=min_tables))
 
     # -- estimation ------------------------------------------------------------
 
     def estimate(self, query: Query | str,
                  model: str | None = None) -> EstimateResult:
-        """Single-query estimate, cache-first."""
-        return self._estimate_with(self._resolve(model), query)
+        """Single-query estimate: query-level cache, then the sub-plan
+        table, then the model."""
+        return self._estimate_with(self._resolve(model), query,
+                                   requested_model=model)
 
-    def _estimate_with(self, record: ModelRecord,
-                       query: Query | str) -> EstimateResult:
+    def _estimate_with(self, record: ModelRecord, query: Query | str,
+                       requested_model: str | None = None) -> EstimateResult:
         start = time.perf_counter()
         query = self._as_query(query)
         cache = self._cache_of(record.name)
         key = query_fingerprint(query)
         stamp = cache.invalidations
         value = cache.get(key)
-        cached = value is not None
-        if not cached:
+        # a cache entry read while `record` is still published belongs to
+        # record's version (every swap invalidates before the new version
+        # can repopulate) — but a request pinned to a swapped-out record
+        # (estimate_many mid-batch) must not serve the *new* version's
+        # entries under the old version label, so verify currency AFTER
+        # the read and recompute instead of trusting a shared cache
+        if value is not None and not self.registry.is_current(record):
+            value = None
+        cache_level = "query" if value is not None else None
+        skey = None
+        if value is None and self.subplan_reuse:
+            skey = query.subplan_key()
+            value = cache.get_subplan(skey)
+            if value is not None and not self.registry.is_current(record):
+                value = None
+            if value is not None:
+                cache_level = "subplan"
+                # promote: the next identical request is a query-level hit
+                cache.put(key, value, stamp=stamp)
+        if value is None:
             value = float(record.model.estimate(query))
             # cache only answers from the still-published model version
             # (estimate_many pins a record across a hot-swap) and only if
@@ -172,23 +320,37 @@ class EstimationService:
             # the put drops in every interleaving
             if self.registry.is_current(record):
                 cache.put(key, value, stamp=stamp)
+                if skey is not None:
+                    cache.put_subplan(skey, value, stamp=stamp)
+        self._record(KIND_ESTIMATE, query, requested_model)
         seconds = time.perf_counter() - start
         self.latency.observe(seconds)
         return EstimateResult(estimate=value, model=record.name,
-                              version=record.version, cached=cached,
-                              seconds=seconds, sql=query.to_sql())
+                              version=record.version,
+                              cached=cache_level is not None,
+                              seconds=seconds, sql=query.to_sql(),
+                              cache_level=cache_level)
 
     def estimate_many(self, queries: list[Query | str],
                       model: str | None = None) -> list[EstimateResult]:
         """Batched estimates, all against one resolved model snapshot
         (a hot-swap mid-batch does not mix versions)."""
         record = self._resolve(model)
-        return [self._estimate_with(record, q) for q in queries]
+        return [self._estimate_with(record, q, requested_model=model)
+                for q in queries]
 
     def estimate_subplans(self, query: Query | str,
                           model: str | None = None,
                           min_tables: int = 1) -> dict[frozenset, float]:
-        """Estimates for every connected sub-plan (optimizer interface)."""
+        """Estimates for every connected sub-plan (optimizer interface).
+
+        Consults the query-level cache first; on a miss, the whole map is
+        assembled from the sub-plan table when every sub-plan is already
+        present (all-or-nothing — a partial set saves nothing, since the
+        progressive estimator recomputes the map as one pass).  Computed
+        maps populate both levels, so later *plain* estimates of any
+        contained sub-plan are served without inference.
+        """
         start = time.perf_counter()
         record = self._resolve(model)
         query = self._as_query(query)
@@ -196,11 +358,35 @@ class EstimationService:
         key = query_fingerprint(query, request=("subplans", min_tables))
         stamp = cache.invalidations
         value = cache.get(key)
+        # same currency rule as _estimate_with: a swap landing after the
+        # read means the entry may belong to the newer version
+        if value is not None and not self.registry.is_current(record):
+            value = None
+        skeys = None
+        if value is None and self.subplan_reuse:
+            # prefer the model's own fingerprint surface (FactorJoin.
+            # subplan_fingerprints mirrors its estimate_subplans key set
+            # by construction); fall back to the query's for models that
+            # do not expose one
+            fingerprints = getattr(record.model, "subplan_fingerprints",
+                                   None)
+            skeys = (fingerprints(query, min_tables=min_tables)
+                     if fingerprints is not None
+                     else query.subplan_keys(min_tables=min_tables))
+            found = cache.lookup_subplans(list(skeys.values()))
+            if found is not None and self.registry.is_current(record):
+                value = {subset: found[k] for subset, k in skeys.items()}
+                cache.put(key, dict(value), stamp=stamp)
         if value is None:
             value = record.model.estimate_subplans(query,
                                                    min_tables=min_tables)
             if self.registry.is_current(record):
                 cache.put(key, dict(value), stamp=stamp)
+                if skeys is not None:
+                    cache.put_subplans(
+                        {skeys[s]: v for s, v in value.items()
+                         if s in skeys}, stamp=stamp)
+        self._record(KIND_SUBPLANS, query, model, min_tables=min_tables)
         self.latency.observe(time.perf_counter() - start)
         # a copy: callers mutating their result must not poison the cache
         return dict(value)
@@ -241,9 +427,9 @@ class EstimationService:
                model: str | None = None) -> dict:
         """Apply an incremental insert to a served model (Section 4.3).
 
-        Serialized against other updates.  The model's cache is
-        invalidated even when the update raises partway — a failed
-        mutation must never leave pre-failure entries serving.
+        Serialized against other updates.  The model's cache (both
+        levels) is invalidated even when the update raises partway — a
+        failed mutation must never leave pre-failure entries serving.
         """
         start = time.perf_counter()
         record = self._resolve(model)
@@ -269,10 +455,16 @@ class EstimationService:
         """JSON-ready serving statistics (``GET /stats``)."""
         with self._caches_lock:
             caches = dict(self._caches)
+        with self._recorder_lock:
+            recorder = self._recorder
         return {
             "uptime_seconds": time.time() - self.started_at,
             "models": self.registry.describe(),
             "swap_count": self.registry.swap_count,
+            "subplan_reuse": self.subplan_reuse,
+            "recording": (None if recorder is None else
+                          {"path": str(recorder.path),
+                           "recorded": recorder.recorded}),
             "estimate_latency": self.latency.summary(),
             "update_latency": self.update_latency.summary(),
             "caches": {name: cache.stats()

@@ -244,6 +244,58 @@ class Query:
             tuple(sorted((str(j.left), str(j.right)) for j in self.joins)),
         )
 
+    def subplan_key(self) -> tuple:
+        """Canonical (table-set, predicate, join-structure) fingerprint,
+        invariant under alias renaming.
+
+        Unlike :meth:`signature`, which embeds the literal alias names, this
+        key renames aliases into canonical positions, so two queries that
+        join the same tables with the same filters and the same join
+        conditions — under *any* alias spelling — share one key.  That is
+        what makes sub-plan estimates reusable across requests: the induced
+        sub-query of one query and a standalone query over the same tables
+        hash to the same entry.
+
+        Aliases are ordered by (base table, filter SQL, incident-edge
+        descriptors), with the original alias as the final tiebreak; join
+        conditions are then rewritten positionally.  Equal keys imply
+        isomorphic queries (the positions define an alias bijection under
+        which tables, filters, and joins all coincide), so sharing an entry
+        is always sound; a tie broken by the original alias can at worst
+        miss a reuse opportunity between two isomorphic spellings, never
+        conflate two different queries.
+        """
+        base = {a: (self.table_of(a),
+                    self.filters[a].to_sql() if a in self.filters else "")
+                for a in self.aliases}
+        edges: dict[str, list[tuple]] = {a: [] for a in self.aliases}
+        for j in self.joins:
+            edges[j.left.alias].append(
+                (j.left.column, base[j.right.alias], j.right.column))
+            edges[j.right.alias].append(
+                (j.right.column, base[j.left.alias], j.left.column))
+        order = sorted(self.aliases,
+                       key=lambda a: (base[a], sorted(edges[a]), a))
+        pos = {a: i for i, a in enumerate(order)}
+        joins = tuple(sorted(
+            tuple(sorted(((pos[j.left.alias], j.left.column),
+                          (pos[j.right.alias], j.right.column))))
+            for j in self.joins))
+        return ("subplan", tuple(base[a] for a in order), joins)
+
+    def subplan_keys(self, min_tables: int = 1) -> dict[frozenset, tuple]:
+        """Canonical :meth:`subplan_key` of every connected sub-plan.
+
+        The key set mirrors :meth:`repro.core.estimator.FactorJoin.
+        estimate_subplans`: all connected alias subsets of two or more
+        tables, plus the singletons when ``min_tables <= 1``.
+        """
+        subsets: list[frozenset] = []
+        if min_tables <= 1:
+            subsets.extend(frozenset([a]) for a in self.aliases)
+        subsets.extend(self.connected_subsets(min_tables=2))
+        return {s: self.subquery(s).subplan_key() for s in subsets}
+
     def __repr__(self) -> str:
         return f"Query({self.to_sql()})"
 

@@ -1,0 +1,97 @@
+"""Documentation health: intra-repo links resolve, examples compile,
+and the documented serving surface keeps its docstrings.
+
+Run standalone in the CI docs job:
+``python -m pytest tests/test_docs.py``.
+"""
+
+import compileall
+import inspect
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+# [text](target) — excluding images; targets are checked when they are
+# repo-relative paths (external URLs and pure #anchors are skipped)
+_LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _doc_files() -> list[Path]:
+    return sorted([REPO / "README.md", *(REPO / "docs").glob("*.md")])
+
+
+def _intra_repo_links(path: Path) -> list[str]:
+    return [t for t in _LINK.findall(path.read_text(encoding="utf-8"))
+            if not t.startswith(_EXTERNAL) and not t.startswith("#")]
+
+
+class TestDocLinks:
+    def test_doc_pages_exist_and_are_linked_from_readme(self):
+        assert (REPO / "docs" / "ARCHITECTURE.md").is_file()
+        assert (REPO / "docs" / "API.md").is_file()
+        readme_links = _intra_repo_links(REPO / "README.md")
+        assert "docs/ARCHITECTURE.md" in readme_links
+        assert "docs/API.md" in readme_links
+
+    @pytest.mark.parametrize("doc", _doc_files(),
+                             ids=lambda p: str(p.relative_to(REPO)))
+    def test_intra_repo_links_resolve(self, doc):
+        """Every repo-relative markdown link must point at a real file or
+        directory (anchors are stripped before checking)."""
+        broken = []
+        for target in _intra_repo_links(doc):
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            if not (doc.parent / relative).exists():
+                broken.append(target)
+        assert not broken, f"broken links in {doc.name}: {broken}"
+
+
+class TestExamples:
+    def test_examples_compile(self):
+        """Every example must at least be syntactically valid (the CI docs
+        job runs the same check as ``python -m compileall examples/``)."""
+        assert compileall.compile_dir(str(REPO / "examples"), quiet=2,
+                                      force=True)
+
+
+class TestServeDocstrings:
+    """docs/API.md documents the serving surface; these checks keep the
+    code side of that contract honest."""
+
+    def _public_symbols(self):
+        import repro.serve as serve
+
+        for name in serve.__all__:
+            obj = getattr(serve, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                yield name, obj
+
+    def test_every_public_serve_symbol_has_a_docstring(self):
+        missing = [name for name, obj in self._public_symbols()
+                   if not (obj.__doc__ or "").strip()]
+        assert not missing, f"undocumented serve symbols: {missing}"
+
+    def test_every_public_method_has_a_docstring(self):
+        missing = []
+        for name, obj in self._public_symbols():
+            if not inspect.isclass(obj):
+                continue
+            for attr, member in vars(obj).items():
+                if attr.startswith("_") or not callable(member):
+                    continue
+                if not (getattr(member, "__doc__", "") or "").strip():
+                    missing.append(f"{name}.{attr}")
+        assert not missing, f"undocumented serve methods: {missing}"
+
+    def test_api_md_mentions_every_public_symbol(self):
+        api = (REPO / "docs" / "API.md").read_text(encoding="utf-8")
+        missing = [name for name, _ in self._public_symbols()
+                   if name not in api]
+        assert not missing, f"symbols absent from docs/API.md: {missing}"

@@ -126,14 +126,15 @@ class TestSubplanEstimation:
         assert len(ests) == len(q.connected_subsets(2)) + 3
 
     def test_progressive_matches_independent(self):
+        """Bit-identical, not approximately: the progressive path mirrors
+        the greedy fold order exactly (the contract the serving layer's
+        cross-request sub-plan reuse relies on)."""
         db = build_toy_db(seed=10)
         model = fit_truescan(db, n_bins=16)
         q = parse_query(CHAIN_QUERIES[1])
         prog = model.estimate_subplans(q, progressive=True)
         indep = model.estimate_subplans(q, progressive=False)
-        assert set(prog) == set(indep)
-        for s in prog:
-            assert prog[s] == pytest.approx(indep[s], rel=1e-9), s
+        assert prog == indep
 
     def test_full_query_estimate_consistent_with_subplans(self):
         db = build_toy_db(seed=11)
@@ -141,7 +142,30 @@ class TestSubplanEstimation:
         q = parse_query(CHAIN_QUERIES[0])
         full = model.estimate(q)
         subs = model.estimate_subplans(q)
-        assert subs[frozenset(q.aliases)] == pytest.approx(full, rel=1e-9)
+        assert subs[frozenset(q.aliases)] == full
+
+    def test_every_subplan_entry_equals_plain_estimate(self):
+        """Each sub-plan map entry is exactly what ``estimate`` returns
+        for the induced sub-query — so a cached sub-plan entry can answer
+        a plain estimate without changing the number."""
+        db = build_toy_db(seed=12)
+        model = fit_truescan(db, n_bins=16)
+        q = parse_query(CHAIN_QUERIES[1])
+        subs = model.estimate_subplans(q, min_tables=1)
+        for subset, value in subs.items():
+            assert value == model.estimate(q.subquery(set(subset))), subset
+
+    def test_subplan_fingerprints_align_with_map(self):
+        db = build_toy_db(seed=12)
+        model = fit_truescan(db, n_bins=16)
+        q = parse_query(CHAIN_QUERIES[1])
+        fingerprints = model.subplan_fingerprints(q, min_tables=1)
+        assert set(fingerprints) == set(
+            model.estimate_subplans(q, min_tables=1))
+        # stable and alias-invariant: each key matches the induced
+        # sub-query's own canonical key
+        for subset, key in fingerprints.items():
+            assert key == q.subquery(set(subset)).subplan_key()
 
 
 class TestEstimatorChoices:

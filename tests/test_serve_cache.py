@@ -79,3 +79,66 @@ class TestCache:
         assert cache.get(("k",)) is None
         cache.put(("k",), 2.0, stamp=cache.invalidations)
         assert cache.get(("k",)) == 2.0
+
+
+class TestSubplanLevel:
+    def test_levels_keep_separate_counters(self):
+        """Query-level and sub-plan-level hits must never be conflated —
+        benchmark numbers depend on the split."""
+        cache = EstimateCache(max_size=4)
+        cache.put(("q",), 1.0)
+        cache.put_subplan(("s",), 2.0)
+        assert cache.get(("q",)) == 1.0
+        assert cache.get_subplan(("s",)) == 2.0
+        assert cache.get_subplan(("absent",)) is None
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 0
+        assert stats["subplan_hits"] == 1 and stats["subplan_misses"] == 1
+        assert stats["subplan_hit_rate"] == 0.5
+        assert stats["size"] == 1 and stats["subplan_size"] == 1
+
+    def test_lookup_subplans_all_or_nothing(self):
+        cache = EstimateCache(max_size=4)
+        cache.put_subplans({("a",): 1.0, ("b",): 2.0})
+        assert cache.lookup_subplans([("a",), ("b",)]) == {
+            ("a",): 1.0, ("b",): 2.0}
+        assert cache.stats()["subplan_hits"] == 2
+        # one absent key fails the whole lookup; only the absent key
+        # counts as a miss (present entries were not used)
+        assert cache.lookup_subplans([("a",), ("c",)]) is None
+        stats = cache.stats()
+        assert stats["subplan_hits"] == 2
+        assert stats["subplan_misses"] == 1
+
+    def test_subplan_lru_bound_and_evictions(self):
+        cache = EstimateCache(max_size=1, subplan_max_size=2)
+        cache.put_subplans({("a",): 1.0, ("b",): 2.0})
+        cache.get_subplan(("a",))           # refresh a; b becomes LRU
+        cache.put_subplan(("c",), 3.0)
+        assert cache.get_subplan(("a",)) == 1.0
+        assert cache.get_subplan(("b",)) is None
+        assert cache.stats()["subplan_evictions"] == 1
+
+    def test_invalidate_clears_both_levels(self):
+        cache = EstimateCache(max_size=4)
+        cache.put(("q",), 1.0)
+        cache.put_subplan(("s",), 2.0)
+        cache.invalidate()
+        assert cache.get(("q",)) is None
+        assert cache.get_subplan(("s",)) is None
+        assert cache.stats()["invalidations"] == 1
+
+    def test_stamped_subplan_put_dropped_after_invalidation(self):
+        """The stamped-put race protection covers the sub-plan table: a
+        sub-plan map computed against a pre-update model must not land
+        after the invalidation."""
+        cache = EstimateCache(max_size=4)
+        stamp = cache.invalidations
+        cache.invalidate()
+        cache.put_subplans({("s",): 1.0, ("t",): 2.0}, stamp=stamp)
+        assert cache.get_subplan(("s",)) is None
+        assert cache.get_subplan(("t",)) is None
+
+    def test_rejects_degenerate_subplan_size(self):
+        with pytest.raises(ValueError):
+            EstimateCache(max_size=4, subplan_max_size=0)

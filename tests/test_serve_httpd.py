@@ -89,6 +89,27 @@ class TestRoutes:
         })
         assert body["rows"] == 2
 
+    def test_warmup_inline_queries(self, served):
+        server, service, _ = served
+        big = ("SELECT COUNT(*) FROM A a, B b, C c "
+               "WHERE a.id = b.aid AND b.cid = c.id AND a.x > 1")
+        body = _post(server, "/warmup", {"queries": [big]})
+        assert body["entries"] == 1 and not body["errors"]
+        assert body["caches"]["default"]["subplan_size"] >= 6
+        # a sub-plan of the warmed query is now served from cache
+        hit = _post(server, "/estimate", {
+            "sql": "SELECT COUNT(*) FROM A q, B r "
+                   "WHERE q.id = r.aid AND q.x > 1"})
+        assert hit["cached"] and hit["cache_level"] == "subplan"
+
+    def test_warmup_from_workload_file(self, served, tmp_path):
+        server, _, _ = served
+        workload = tmp_path / "warm.jsonl"
+        workload.write_text(json.dumps({"sql": SQL}) + "\n")
+        body = _post(server, "/warmup", {"path": str(workload)})
+        assert body["entries"] == 1
+        assert _post(server, "/estimate", {"sql": SQL})["cached"]
+
     def test_models_and_stats_and_health(self, served):
         server, _, _ = served
         _post(server, "/estimate", {"sql": SQL})
@@ -120,6 +141,58 @@ class TestErrors:
         server, _, _ = served
         code, _ = _status_of(lambda: _get(server, "/nope"))
         assert code == 404
+
+    def test_warmup_requires_exactly_one_source(self, served):
+        server, _, _ = served
+        code, body = _status_of(lambda: _post(server, "/warmup", {}))
+        assert code == 400 and "exactly one" in body["error"]
+        code, _ = _status_of(lambda: _post(
+            server, "/warmup", {"queries": [SQL], "path": "x"}))
+        assert code == 400
+
+    def test_warmup_empty_queries_rejected(self, served):
+        server, _, _ = served
+        code, _ = _status_of(lambda: _post(
+            server, "/warmup", {"queries": []}))
+        assert code == 400
+
+    def test_warmup_missing_path_is_400_not_500(self, served):
+        """A typo'd workload path is the client's bad request, not an
+        internal error."""
+        server, _, _ = served
+        code, body = _status_of(lambda: _post(
+            server, "/warmup", {"path": "/nonexistent/workload.jsonl"}))
+        assert code == 400 and "cannot read workload" in body["error"]
+        code, _ = _status_of(lambda: _post(
+            server, "/warmup", {"path": 5}))
+        assert code == 400
+
+    def test_warmup_path_never_leaks_file_content(self, served, tmp_path):
+        """Pointing /warmup at a non-workload file must not echo the
+        file's lines back to the client."""
+        server, _, _ = served
+        secret = tmp_path / "secret.conf"
+        secret.write_text("password=hunter2\ntoken=abcd\n")
+        code, body = _status_of(lambda: _post(
+            server, "/warmup", {"path": str(secret)}))
+        assert code == 400
+        assert "hunter2" not in body["error"]
+        assert "abcd" not in body["error"]
+
+    def test_warmup_path_replay_errors_report_counts_only(self, served,
+                                                          tmp_path):
+        """Workload-shaped lines that fail replay (e.g. unknown tables)
+        must not be quoted back either — only inline-query errors are
+        echoed verbatim."""
+        server, _, _ = served
+        workload = tmp_path / "w.jsonl"
+        workload.write_text(
+            json.dumps({"sql": "SELECT COUNT(*) FROM Hidden h"}) + "\n"
+            + json.dumps({"sql": SQL}) + "\n")
+        body = _post(server, "/warmup", {"path": str(workload)})
+        assert body["warmed_subplan_maps"] == 1
+        assert body["errors"] == ["1 workload entries failed to replay"]
+        assert all("Hidden" not in e for e in body["errors"])
 
     def test_batch_requires_list(self, served):
         server, _, _ = served

@@ -71,6 +71,77 @@ class TestEstimate:
         assert service._cache_of("default").stats()["hits"] >= 1
 
 
+class TestSubplanReuse:
+    BIG = ("SELECT COUNT(*) FROM A a, B b, C c "
+           "WHERE a.id = b.aid AND b.cid = c.id AND a.x > 1")
+    # the {a, b} sub-plan of BIG, spelled with different aliases
+    SMALL = "SELECT COUNT(*) FROM A q, B r WHERE q.id = r.aid AND q.x > 1"
+
+    def test_plain_estimate_served_from_subplan_table(self, service,
+                                                      fitted):
+        service.estimate_subplans(self.BIG)
+        result = service.estimate(self.SMALL)
+        assert result.cached and result.cache_level == "subplan"
+        direct = fitted.estimate(parse_query(self.SMALL))
+        assert result.estimate == pytest.approx(direct, rel=1e-9)
+
+    def test_subplan_hit_promotes_to_query_level(self, service):
+        service.estimate_subplans(self.BIG)
+        assert service.estimate(self.SMALL).cache_level == "subplan"
+        assert service.estimate(self.SMALL).cache_level == "query"
+
+    def test_plain_estimates_populate_subplan_table(self, service):
+        """An isomorphic alias respelling of a served query hits the
+        sub-plan table even though its query fingerprint differs."""
+        computed = service.estimate(self.SMALL)
+        respelled = service.estimate(
+            "SELECT COUNT(*) FROM A x, B y WHERE x.id = y.aid AND x.x > 1")
+        assert not computed.cached
+        assert respelled.cache_level == "subplan"
+        assert respelled.estimate == computed.estimate
+
+    def test_subplan_map_assembled_from_table(self, service, fitted):
+        """Once the table holds every sub-plan, estimate_subplans answers
+        without calling the model at all."""
+        service.estimate_subplans(self.BIG)
+        calls = []
+        original = fitted.estimate_subplans
+        fitted.estimate_subplans = (
+            lambda *a, **k: calls.append(a) or original(*a, **k))
+        small_subplans = service.estimate_subplans(self.SMALL)
+        fitted.estimate_subplans = original
+        assert not calls
+        want = original(parse_query(self.SMALL))
+        assert set(small_subplans) == set(want)
+        for subset, value in small_subplans.items():
+            assert value == pytest.approx(want[subset], rel=1e-9), subset
+
+    def test_reuse_disabled_skips_subplan_table(self, fitted):
+        svc = EstimationService(cache_size=64, subplan_reuse=False)
+        svc.register("default", fitted)
+        svc.estimate_subplans(self.BIG)
+        result = svc.estimate(self.SMALL)
+        assert not result.cached and result.cache_level is None
+        stats = svc._cache_of("default").stats()
+        assert stats["subplan_size"] == 0
+        assert stats["subplan_hits"] == 0 and stats["subplan_misses"] == 0
+
+    def test_cache_level_in_describe(self, service):
+        service.estimate_subplans(self.BIG)
+        body = service.estimate(self.SMALL).describe()
+        assert body["cache_level"] == "subplan" and body["cached"]
+        assert service.estimate(self.SMALL).describe()[
+            "cache_level"] == "query"
+
+    def test_stats_report_both_levels(self, service):
+        service.estimate_subplans(self.BIG)
+        service.estimate(self.SMALL)
+        cache_stats = service.stats()["caches"]["default"]
+        assert cache_stats["subplan_hits"] >= 1
+        assert cache_stats["subplan_size"] >= 5
+        assert service.stats()["subplan_reuse"] is True
+
+
 class TestUpdate:
     def test_update_invalidates_cache(self, service, toy_db):
         before = service.estimate(SQL)
@@ -174,6 +245,24 @@ class TestHotSwap:
         assert fresh.version == 2
         assert not fresh.cached                       # v1's answer dropped
         assert fresh.estimate == refit.estimate(parse_query(SQL))
+
+    def test_pinned_stale_record_never_serves_new_version_cache(
+            self, service, toy_db):
+        """A batch pinned to a swapped-out record must not return the new
+        version's cached values labeled with the old version — at either
+        cache level."""
+        old_record = service.registry.record("default")
+        refit = FactorJoin(FactorJoinConfig(n_bins=8)).fit(toy_db)
+        service.register("default", refit)
+        # new-version traffic repopulates both cache levels
+        fresh = service.estimate(SQL)
+        assert service.estimate(SQL).cached
+        stale = service._estimate_with(old_record, SQL)
+        assert stale.version == 1
+        assert not stale.cached and stale.cache_level is None
+        old_model = old_record.model
+        assert stale.estimate == old_model.estimate(parse_query(SQL))
+        assert fresh.estimate != stale.estimate
 
     def test_stats_shape(self, service):
         service.estimate(SQL)

@@ -223,3 +223,73 @@ class TestParser:
     def test_negative_number(self):
         q = parse_query("SELECT COUNT(*) FROM t WHERE t.a = -10")
         assert q.filters["t"] == Comparison("a", "=", -10)
+
+
+class TestSubplanKey:
+    """Canonical, alias-invariant sub-plan fingerprints (serving reuse)."""
+
+    def test_alias_renaming_shares_a_key(self):
+        q1 = parse_query("SELECT COUNT(*) FROM A a, B b "
+                         "WHERE a.id = b.aid AND a.x > 1")
+        q2 = parse_query("SELECT COUNT(*) FROM A u, B v "
+                         "WHERE u.id = v.aid AND u.x > 1")
+        assert q1.signature() != q2.signature()   # alias-sensitive
+        assert q1.subplan_key() == q2.subplan_key()
+
+    def test_induced_subquery_matches_standalone_query(self):
+        big = parse_query("SELECT COUNT(*) FROM A a, B b, C c "
+                          "WHERE a.id = b.aid AND b.cid = c.id AND a.x > 1")
+        small = parse_query("SELECT COUNT(*) FROM A q, B r "
+                            "WHERE q.id = r.aid AND q.x > 1")
+        induced = big.subquery({"a", "b"})
+        assert induced.subplan_key() == small.subplan_key()
+
+    def test_different_filters_differ(self):
+        q1 = parse_query("SELECT COUNT(*) FROM A a, B b "
+                         "WHERE a.id = b.aid AND a.x > 1")
+        q2 = parse_query("SELECT COUNT(*) FROM A a, B b "
+                         "WHERE a.id = b.aid AND a.x > 2")
+        assert q1.subplan_key() != q2.subplan_key()
+
+    def test_symmetric_self_join_filter_sides_share_a_key(self):
+        """A symmetric self join (same column both sides) is isomorphic
+        under swapping the aliases, so the filter may sit on either side —
+        one canonical key.  The asymmetric case is the next test."""
+        q1 = parse_query("SELECT COUNT(*) FROM A a1, A a2 "
+                         "WHERE a1.id = a2.id AND a1.x > 1")
+        q2 = parse_query("SELECT COUNT(*) FROM A a1, A a2 "
+                         "WHERE a1.id = a2.id AND a2.x > 1")
+        assert q1.subplan_key() == q2.subplan_key()
+
+    def test_asymmetric_self_join_columns_differ(self):
+        q1 = parse_query("SELECT COUNT(*) FROM L m1, L m2 "
+                         "WHERE m1.movie_id = m2.linked_movie_id "
+                         "AND m1.x > 1")
+        q2 = parse_query("SELECT COUNT(*) FROM L m1, L m2 "
+                         "WHERE m1.movie_id = m2.linked_movie_id "
+                         "AND m2.x > 1")
+        # filter on the movie_id side vs the linked_movie_id side: NOT
+        # isomorphic, so the canonical keys must differ
+        assert q1.subplan_key() != q2.subplan_key()
+
+    def test_different_join_columns_differ(self):
+        q1 = parse_query("SELECT COUNT(*) FROM A a, B b WHERE a.id = b.aid")
+        q2 = parse_query("SELECT COUNT(*) FROM A a, B b WHERE a.id = b.cid")
+        assert q1.subplan_key() != q2.subplan_key()
+
+    def test_subplan_keys_cover_connected_subsets(self):
+        q = parse_query("SELECT COUNT(*) FROM A a, B b, C c "
+                        "WHERE a.id = b.aid AND b.cid = c.id")
+        keys = q.subplan_keys(min_tables=1)
+        subsets = {frozenset(s) for s in
+                   (["a"], ["b"], ["c"], ["a", "b"], ["b", "c"],
+                    ["a", "b", "c"])}
+        assert set(keys) == subsets
+        keys2 = q.subplan_keys(min_tables=2)
+        assert set(keys2) == {s for s in subsets if len(s) >= 2}
+
+    def test_keys_are_hashable_and_stable(self):
+        q = parse_query("SELECT COUNT(*) FROM A a, B b WHERE a.id = b.aid")
+        key = q.subplan_key()
+        assert hash(key) == hash(q.subplan_key())
+        assert key == parse_query(q.to_sql()).subplan_key()
