@@ -9,8 +9,6 @@ Shape checks: k=1 already beats Postgres; tightness and end-to-end improve
 monotonically-ish with k and saturate; latency/size grow with k.
 """
 
-import numpy as np
-
 from repro.baselines import FactorJoinMethod
 from repro.core.estimator import FactorJoinConfig
 from repro.errors import UnsupportedQueryError

@@ -196,3 +196,49 @@ def test_subplan_reuse_beats_cold_query_cache(full_stats_ctx, fitted_stats):
     assert [r.estimate for r in warm_results] == cold_answers
     # the headline: warm sub-plan serving beats cold inference >= 10x
     assert _percentile(warm, 0.5) * 10 <= _percentile(cold, 0.5)
+
+
+def test_sharded_ensemble_serving_matches_unsharded(full_stats_ctx,
+                                                    tmp_path):
+    """4-shard ensemble scenario: an ensemble artifact served through the
+    EstimationService answers the workload within the bound semantics of
+    the unsharded model — with an exact single-table estimator the merge
+    is lossless, so the answers are *identical* — and per-shard lazy
+    loading means a served ensemble deserializes shards on demand."""
+    from repro.shard import ShardedFactorJoin
+
+    queries = full_stats_ctx.workload[:30]
+    config = dict(n_bins=8, table_estimator="truescan", seed=0)
+    flat = FactorJoin(FactorJoinConfig(**config)).fit(
+        full_stats_ctx.database)
+    sharded = ShardedFactorJoin(
+        FactorJoinConfig(**config), n_shards=4).fit(
+        full_stats_ctx.database)
+    sharded.save(tmp_path / "stats-ensemble")
+
+    loaded = load_model(tmp_path / "stats-ensemble")
+    assert loaded.materialized_shards() == [False] * 4  # lazy so far
+
+    service = EstimationService(cache_size=4096)
+    service.register("ensemble", loaded)
+    served = [service.estimate(q).estimate for q in queries]
+    reference = [flat.estimate(q) for q in queries]
+
+    worst = max((abs(s - r) / r for s, r in zip(served, reference)
+                 if r > 0), default=0.0)
+    hit = _per_query_seconds(service.estimate, queries)
+    hit_qps, hit_p50, hit_p99 = _summary(hit)
+    print()
+    print(format_table(
+        ["Scenario", "Value"],
+        [["queries served", str(len(queries))],
+         ["worst |sharded - flat| / flat", f"{worst:.2e}"],
+         ["shards materialized", str(sum(loaded.materialized_shards()))],
+         ["cache-hit throughput", f"{hit_qps} (p50 {hit_p50})"]],
+        title="4-shard ensemble serving vs unsharded"))
+
+    # sharded answers equal the unsharded bound (lossless merge)
+    for s, r in zip(served, reference):
+        assert s == pytest.approx(r, rel=1e-9)
+    # repeated queries are served from the cache like any other model
+    assert all(service.estimate(q).cached for q in queries)

@@ -39,5 +39,6 @@ class FactorJoinMethod(CardEstMethod):
     def model_size_bytes(self) -> int:
         return self.model.model_size_bytes()
 
-    def update(self, table_name: str, new_rows) -> None:
-        self.model.update(table_name, new_rows)
+    def update(self, table_name: str, new_rows=None,
+               deleted_rows=None) -> None:
+        self.model.update(table_name, new_rows, deleted_rows=deleted_rows)

@@ -4,12 +4,15 @@ Commands
 --------
 summary    print the Table 2-style statistics of a synthetic benchmark
 compare    fit a method line-up and print the end-to-end comparison table
+fit        fit FactorJoin — or, with ``--shards N``, a sharded ensemble
+           fitted in parallel — and persist the artifact with ``--save``
 estimate   fit (or ``--load``) FactorJoin and estimate one SQL query;
            ``--save`` persists the fitted model so the fit cost is paid once
-serve      publish fitted models behind the JSON HTTP estimation service;
-           ``--warm`` replays a recorded workload into the caches before
-           traffic is admitted, ``--record`` logs served queries for the
-           next warm start
+serve      publish fitted models (single or ensemble artifacts) behind the
+           JSON HTTP estimation service; ``--warm`` replays a recorded
+           workload into the caches before traffic is admitted,
+           ``--record`` logs served queries for the next warm start,
+           ``--snapshot`` persists/restores the cache beside the artifact
 """
 
 from __future__ import annotations
@@ -42,6 +45,36 @@ def _add_benchmark_args(parser: argparse.ArgumentParser) -> None:
                         help="largest join template size")
 
 
+def _add_shard_args(parser: argparse.ArgumentParser) -> None:
+    from repro.shard import POLICY_REGISTRY
+    from repro.shard.ensemble import PARALLEL_MODES
+
+    parser.add_argument("--shards", type=int, default=0, metavar="N",
+                        help="fit a sharded ensemble of N partitions "
+                             "(0 = a single unsharded model)")
+    parser.add_argument("--policy", default="hash",
+                        choices=sorted(POLICY_REGISTRY),
+                        help="sharding policy (with --shards)")
+    parser.add_argument("--parallel", default="process",
+                        choices=PARALLEL_MODES,
+                        help="shard fit executor (with --shards)")
+
+
+def _make_model(args):
+    """A FactorJoin or ShardedFactorJoin per the parsed arguments."""
+    from repro.shard import ShardedFactorJoin
+
+    config = FactorJoinConfig(n_bins=args.bins,
+                              table_estimator=args.estimator,
+                              seed=args.seed)
+    shards = getattr(args, "shards", 0)
+    if shards:
+        return ShardedFactorJoin(config, n_shards=shards,
+                                 policy=args.policy,
+                                 parallel=args.parallel)
+    return FactorJoin(config)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -56,6 +89,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_compare = sub.add_parser("compare", help="end-to-end comparison")
     _add_benchmark_args(p_compare)
     p_compare.add_argument("--bins", type=int, default=8)
+
+    p_fit = sub.add_parser(
+        "fit", help="fit a model (or sharded ensemble) and save it")
+    _add_benchmark_args(p_fit)
+    p_fit.add_argument("--bins", type=int, default=8)
+    p_fit.add_argument("--estimator", default="bayescard",
+                       choices=("bayescard", "sampling", "truescan",
+                                "histogram1d"))
+    _add_shard_args(p_fit)
+    p_fit.add_argument("--save", metavar="DIR", required=True,
+                       help="artifact directory to write")
+    p_fit.add_argument("--name", default=None,
+                       help="artifact name recorded in the manifest")
 
     p_estimate = sub.add_parser("estimate", help="estimate one query")
     _add_benchmark_args(p_estimate)
@@ -100,9 +146,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--no-subplan-reuse", action="store_true",
                          help="disable the cross-request sub-plan table "
                               "(whole-query caching only)")
+    p_serve.add_argument("--snapshot", metavar="PATH", default=None,
+                         help="cache snapshot file: restored at startup "
+                              "when present (fingerprint-checked, no "
+                              "workload replay) and written back on "
+                              "shutdown")
+    p_serve.add_argument("--snapshot-dir", metavar="DIR", default=None,
+                         help="enable POST /snapshot, confined to this "
+                              "directory (defaults to --snapshot's "
+                              "directory when that flag is given; "
+                              "otherwise the endpoint stays disabled)")
+    _add_shard_args(p_serve)
     p_serve.add_argument("--verbose", action="store_true",
                          help="log one line per HTTP request")
     return parser
+
+
+def cmd_fit(args) -> int:
+    context = make_context(args.benchmark, scale=args.scale, seed=args.seed,
+                           n_queries=args.queries,
+                           max_tables=args.max_tables)
+    model = _make_model(args)
+    model.fit(context.database)
+    model.save(args.save, name=args.name)
+    if args.shards:
+        per_shard = ", ".join(f"{s:.2f}s" for s in model.shard_fit_seconds)
+        print(f"fitted {args.shards}-shard {args.policy} ensemble in "
+              f"{model.fit_seconds:.2f}s (per-shard fits: {per_shard}; "
+              f"executor: {args.parallel})")
+        if model.parallel_fallback:
+            print(f"note: parallel fit fell back to serial "
+                  f"({model.parallel_fallback})")
+    else:
+        print(f"fitted model in {model.fit_seconds:.2f}s")
+    print(f"saved artifact to {args.save}")
+    return 0
 
 
 def cmd_summary(args) -> int:
@@ -145,8 +223,11 @@ def cmd_estimate(args) -> int:
         return context
 
     if args.load:
+        from repro.serve import load_model
+
         expected = ctx().database.schema if args.true else None
-        model = FactorJoin.load(args.load, expected_schema=expected)
+        # load_model handles single-model and ensemble artifacts alike
+        model = load_model(args.load, expected_schema=expected)
         print(f"loaded model from {args.load} (fit skipped)")
     else:
         model = FactorJoin(FactorJoinConfig(
@@ -172,7 +253,12 @@ def build_service(args):
     Split from :func:`cmd_serve` so tests can exercise model loading,
     warming, and recording without binding a socket.
     """
-    from repro.serve import DEFAULT_MODEL, EstimationService, load_model
+    from repro.serve import (
+        DEFAULT_MODEL,
+        EstimationService,
+        load_model,
+        read_manifest,
+    )
 
     service = EstimationService(
         cache_size=args.cache_size,
@@ -189,11 +275,16 @@ def build_service(args):
                     f"{seen[name]!r} and {path!r}; disambiguate with "
                     f"NAME=DIR")
             seen[name] = path
-            service.register(name, load_model(path))
+            manifest = read_manifest(path)
+            # the artifact checksum doubles as the cache-snapshot
+            # fingerprint (see EstimationService.save_snapshot)
+            fingerprint = (manifest.get("sha256")
+                           or manifest.get("shared_sha256"))
+            service.register(name, load_model(path),
+                             metadata={"fingerprint": fingerprint,
+                                       "artifact": path})
     else:
-        model = FactorJoin(FactorJoinConfig(
-            n_bins=args.bins, table_estimator=args.estimator,
-            seed=args.seed))
+        model = _make_model(args)
         context = make_context(args.benchmark, scale=args.scale,
                                seed=args.seed, n_queries=args.queries,
                                max_tables=args.max_tables)
@@ -201,6 +292,19 @@ def build_service(args):
         service.register(DEFAULT_MODEL, model,
                          metadata={"benchmark": args.benchmark,
                                    "fit_seconds": model.fit_seconds})
+    if getattr(args, "snapshot", None) and Path(args.snapshot).is_file():
+        from repro.errors import ReproError
+
+        try:
+            summary = service.restore_snapshot(args.snapshot)
+            print(f"restored cache snapshot {args.snapshot} "
+                  f"({summary['entries']} query entries, "
+                  f"{summary['subplans']} sub-plan entries)")
+        except ReproError as exc:
+            # a stale snapshot (or an ambiguous default model) must
+            # refuse, not kill the server; the shutdown path overwrites
+            # it with a fresh one
+            print(f"cache snapshot refused: {exc}")
     if getattr(args, "warm", None):
         summary = warm_from_spec(service, args)
         print(f"warmed {summary['entries']} workload entries in "
@@ -235,8 +339,11 @@ def cmd_serve(args) -> int:
     from repro.serve import make_server
 
     service = build_service(args)
+    snapshot_dir = args.snapshot_dir
+    if snapshot_dir is None and args.snapshot:
+        snapshot_dir = str(Path(args.snapshot).resolve().parent)
     server = make_server(service, host=args.host, port=args.port,
-                         verbose=args.verbose)
+                         verbose=args.verbose, snapshot_dir=snapshot_dir)
     host, port = server.server_address[:2]
     print(f"serving models {service.registry.names()} "
           f"on http://{host}:{port}")
@@ -248,12 +355,23 @@ def cmd_serve(args) -> int:
         print("shutting down")
     finally:
         server.server_close()
+        if getattr(args, "snapshot", None):
+            from repro.errors import ReproError
+
+            try:
+                summary = service.save_snapshot(args.snapshot)
+                print(f"saved cache snapshot to {args.snapshot} "
+                      f"({summary['entries']} query entries, "
+                      f"{summary['subplans']} sub-plan entries)")
+            except ReproError as exc:  # e.g. ambiguous default model
+                print(f"cache snapshot not saved: {exc}")
     return 0
 
 
 COMMANDS = {
     "summary": cmd_summary,
     "compare": cmd_compare,
+    "fit": cmd_fit,
     "estimate": cmd_estimate,
     "serve": cmd_serve,
 }

@@ -41,6 +41,54 @@ class BinStats:
         np.add.at(self.ndv, bins, 1.0)
         np.maximum.at(self.mfv, bins, self._counts)
 
+    @classmethod
+    def from_value_counts(cls, binning: Binning, values: np.ndarray,
+                          counts: np.ndarray) -> "BinStats":
+        """Build directly from exact per-value counts (merge fast path)."""
+        out = cls.__new__(cls)
+        out._binning = binning
+        out._values = np.asarray(values, dtype=np.int64)
+        out._counts = np.asarray(counts, dtype=np.float64)
+        out._rebuild()
+        return out
+
+    @classmethod
+    def merged(cls, parts: list["BinStats"]) -> "BinStats":
+        """Exact union of per-partition statistics.
+
+        All parts must share one :class:`Binning`.  Because every part
+        retains exact per-value counts, the merge is *lossless*: the
+        result's totals, MFV, and NDV are bit-identical to fitting one
+        ``BinStats`` on the concatenated data — the property that lets a
+        sharded ensemble reproduce the unsharded model's join bounds.
+        """
+        if not parts:
+            raise ReproError("cannot merge zero BinStats parts")
+        binning = parts[0]._binning
+        for part in parts[1:]:
+            if part._binning is not binning and (
+                    part._binning.n_bins != binning.n_bins
+                    or not np.array_equal(part._binning.domain,
+                                          binning.domain)
+                    or not np.array_equal(part._binning.bin_ids,
+                                          binning.bin_ids)):
+                raise ReproError(
+                    "BinStats.merged requires all parts to share one "
+                    "binning; fit shards with a shared global binning")
+        merged_vals = parts[0]._values
+        for part in parts[1:]:
+            merged_vals = np.union1d(merged_vals, part._values)
+        merged_counts = np.zeros(len(merged_vals), dtype=np.float64)
+        for part in parts:
+            merged_counts[np.searchsorted(merged_vals,
+                                          part._values)] += part._counts
+        return cls.from_value_counts(binning, merged_vals, merged_counts)
+
+    def copy(self) -> "BinStats":
+        """Independent copy (copy-on-write updates in ensembles)."""
+        return BinStats.from_value_counts(self._binning, self._values.copy(),
+                                          self._counts.copy())
+
     # -- accessors -------------------------------------------------------------
 
     @property
@@ -103,6 +151,33 @@ class KeyStatistics:
     def add_key(self, table: str, column: str, values: np.ndarray) -> None:
         self._per_key[(table, column)] = BinStats(self.binning, values)
 
+    @classmethod
+    def merged(cls, parts: list["KeyStatistics"]) -> "KeyStatistics":
+        """Exact union of per-partition group statistics (see
+        :meth:`BinStats.merged`).  Keys present in only some parts are
+        merged from the parts that have them."""
+        if not parts:
+            raise ReproError("cannot merge zero KeyStatistics parts")
+        out = cls(parts[0].group_name, parts[0].binning)
+        keys: list[tuple[str, str]] = []
+        for part in parts:
+            for key in part.keys:
+                if key not in keys:
+                    keys.append(key)
+        for table, column in keys:
+            per_part = [part.stats_of(table, column) for part in parts
+                        if part.has_key(table, column)]
+            out._per_key[(table, column)] = BinStats.merged(per_part)
+        return out
+
+    def shallow_copy(self) -> "KeyStatistics":
+        """Copy sharing the per-key :class:`BinStats` objects; replace
+        individual entries (via :meth:`BinStats.copy`) before mutating —
+        the copy-on-write discipline atomic ensemble updates rely on."""
+        out = KeyStatistics(self.group_name, self.binning)
+        out._per_key = dict(self._per_key)
+        return out
+
     def stats_of(self, table: str, column: str) -> BinStats:
         try:
             return self._per_key[(table, column)]
@@ -116,6 +191,9 @@ class KeyStatistics:
 
     def insert(self, table: str, column: str, values: np.ndarray) -> None:
         self.stats_of(table, column).insert(values)
+
+    def delete(self, table: str, column: str, values: np.ndarray) -> None:
+        self.stats_of(table, column).delete(values)
 
     @property
     def keys(self) -> list[tuple[str, str]]:

@@ -56,6 +56,22 @@ class Binning:
         out[hit] = self.bin_ids[pos_clipped[hit]]
         return out
 
+    def assign_with_null_code(self, column) -> np.ndarray:
+        """Bin codes of a :class:`~repro.data.column.Column` with NULLs
+        mapped to the extra trailing code ``n_bins``.
+
+        The single definition of the NULL-code convention every joint
+        histogram relies on (key trees, pairwise joints, BayesCard key
+        nodes) — per-shard and merged statistics must agree on it
+        exactly for ensemble merging to be lossless.
+        """
+        codes = np.full(len(column), self.n_bins, dtype=np.int64)
+        valid = ~column.null_mask
+        if valid.any():
+            codes[valid] = self.assign(
+                column.values[valid].astype(np.int64))
+        return codes
+
     def __len__(self) -> int:
         return self.n_bins
 

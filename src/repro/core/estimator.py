@@ -42,7 +42,11 @@ from repro.data.database import Database
 from repro.data.table import Table
 from repro.errors import NotFittedError, UnsupportedQueryError
 from repro.estimators.base import make_table_estimator
-from repro.factorgraph.chow_liu import chow_liu_tree, joint_histogram
+from repro.factorgraph.chow_liu import (
+    chow_liu_tree_from_joints,
+    joint_histogram,
+    pairwise_joints,
+)
 from repro.sql.query import Query
 from repro.utils import Timer, pickled_size_bytes
 
@@ -65,6 +69,10 @@ class FactorJoinConfig:
     total_bin_budget: int | None = None
     seed: int = 0
     estimator_kwargs: dict = field(default_factory=dict)
+    # retain full pairwise key-joint histograms (not just tree edges) so
+    # per-partition models can be merged exactly (joint histograms sum
+    # across horizontal shards); costs O(|JK|^2 k^2) floats per table
+    keep_pairwise_joints: bool = False
 
     def __post_init__(self):
         if self.binning not in BINNING_STRATEGIES:
@@ -89,13 +97,24 @@ class FactorJoin:
 
     # ------------------------------------------------------------------ fit --
 
-    def fit(self, database: Database) -> "FactorJoin":
+    def fit(self, database: Database,
+            shared_binnings: dict[str, Binning] | None = None
+            ) -> "FactorJoin":
+        """Fit on ``database``.
+
+        ``shared_binnings`` (group name -> :class:`Binning`) overrides the
+        per-group binning construction.  A sharded ensemble fits one model
+        per horizontal partition under one *global* binning so per-shard
+        bin statistics stay mergeable (equal values must land in equal
+        bins across shards just as they must across keys, Equation 3).
+        """
         with Timer() as timer:
-            self._fit(database)
+            self._fit(database, shared_binnings=shared_binnings)
         self.fit_seconds = timer.elapsed
         return self
 
-    def _fit(self, database: Database) -> None:
+    def _fit(self, database: Database,
+             shared_binnings: dict[str, Binning] | None = None) -> None:
         self._db = database
         self._groups: list[KeyGroup] = schema_key_groups(database.schema)
         self._group_of_key: dict[tuple[str, str], KeyGroup] = {}
@@ -106,7 +125,10 @@ class FactorJoin:
         budgets = self._bin_budgets()
         self._key_stats: dict[str, KeyStatistics] = {}
         for group in self._groups:
-            binning = self._build_binning(group, budgets[group.name])
+            if shared_binnings and group.name in shared_binnings:
+                binning = shared_binnings[group.name]
+            else:
+                binning = self._build_binning(group, budgets[group.name])
             stats = KeyStatistics(group.name, binning)
             for table_name, column in group.members:
                 stats.add_key(table_name, column,
@@ -116,9 +138,23 @@ class FactorJoin:
         self._table_estimators = {}
         self._key_trees: dict[str, list[tuple[str, str]]] = {}
         self._key_joints: dict[tuple[str, str, str], np.ndarray] = {}
+        self._pairwise_joints: dict[tuple[str, str, str], np.ndarray] = {}
         for table_name in database.table_names:
             self._fit_table(table_name)
         self._fitted = True
+
+    def build_binnings(self, database: Database) -> dict[str, Binning]:
+        """Per-group binnings for ``database`` without fitting anything
+        else — the (cheap) serial prologue of a sharded parallel fit."""
+        self._db = database
+        self._groups = schema_key_groups(database.schema)
+        self._group_of_key = {}
+        for group in self._groups:
+            for member in group.members:
+                self._group_of_key[member] = group
+        budgets = self._bin_budgets()
+        return {group.name: self._build_binning(group, budgets[group.name])
+                for group in self._groups}
 
     def _bin_budgets(self) -> dict[str, int]:
         """Per-group bin counts (Section 4.2 when a workload is given)."""
@@ -182,23 +218,24 @@ class FactorJoin:
         if len(keys) >= 2:
             codes, cards = [], []
             for column in keys:
-                col = table[column]
                 binning = binnings[column]
-                code = np.full(len(table), binning.n_bins, dtype=np.int64)
-                valid = ~col.null_mask
-                code[valid] = binning.assign(col.values[valid])
-                codes.append(code)
+                codes.append(binning.assign_with_null_code(table[column]))
                 cards.append(binning.n_bins + 1)
             matrix = np.stack(codes, axis=1)
-            edges = chow_liu_tree(matrix, cards)
+            joints = pairwise_joints(matrix, cards)
+            if cfg.keep_pairwise_joints:
+                for (i, j), joint in joints.items():
+                    self._pairwise_joints[(table_name, keys[i],
+                                           keys[j])] = joint
+            edges = chow_liu_tree_from_joints(joints, len(keys))
             tree = []
             for pi, ci in edges:
                 parent, child = keys[pi], keys[ci]
-                joint = joint_histogram(matrix[:, pi], matrix[:, ci],
-                                        cards[pi], cards[ci])
+                joint = (joints[(pi, ci)] if pi < ci
+                         else joints[(ci, pi)].T)
                 # drop NULL codes; conditionals only describe joinable rows
                 self._key_joints[(table_name, parent, child)] = (
-                    joint[:-1, :-1])
+                    joint[:-1, :-1].copy())
                 tree.append((parent, child))
             self._key_trees[table_name] = tree
         else:
@@ -330,29 +367,62 @@ class FactorJoin:
 
     # --------------------------------------------------------------- update --
 
-    def update(self, table_name: str, new_rows: Table) -> None:
-        """Incremental insertion (Section 4.3): bins fixed, stats updated."""
+    def update(self, table_name: str, new_rows: Table | None = None,
+               deleted_rows: Table | None = None) -> None:
+        """Incremental insertion and/or deletion (Section 4.3).
+
+        Bins stay fixed; per-value counts, key-joint histograms, and the
+        table estimator are updated exactly.  Everything is validated
+        (columns, dtypes, estimator support) *before* any statistic
+        mutates — a malformed batch must not half-update the model.
+        ``deleted_rows`` removes one table row per given row; the fitted
+        table estimator must implement ``delete`` (TrueScan and
+        Histogram1D do; sample-based estimators reject deletions).
+        """
         self._check_fitted()
         with Timer() as timer:
             tschema = self._db.schema.table(table_name)
-            # validate the insert (columns, dtypes, schema) BEFORE mutating
-            # any statistics — a malformed batch must not half-update the
-            # model
-            new_db = self._db.insert(table_name, new_rows)
+            estimator = self._table_estimators[table_name]
+            if deleted_rows is not None and not estimator.supports_delete():
+                raise NotImplementedError(
+                    f"{type(estimator).__name__} for table {table_name!r} "
+                    f"does not support deletions")
+            # validation pass: both batches must apply cleanly to the
+            # database view before any statistic mutates.  Deletion is
+            # non-strict: after an artifact reload the model's database is
+            # an empty shell (see __getstate__), so row presence cannot be
+            # checked there — the statistics themselves floor at zero.
+            new_db = self._db
+            if new_rows is not None:
+                new_db = new_db.insert(table_name, new_rows)
+            if deleted_rows is not None:
+                new_db = new_db.delete(table_name, deleted_rows,
+                                       strict=False)
             for column in tschema.key_columns:
                 group = self._group_of_key[(table_name, column)]
-                col = new_rows[column]
-                values = col.non_null_values().astype(np.int64)
-                self._key_stats[group.name].insert(table_name, column, values)
-            self._table_estimators[table_name].update(new_rows)
-            self._update_key_joints(table_name, new_rows)
+                stats = self._key_stats[group.name]
+                if new_rows is not None:
+                    values = new_rows[column].non_null_values()
+                    stats.insert(table_name, column,
+                                 values.astype(np.int64))
+                if deleted_rows is not None:
+                    values = deleted_rows[column].non_null_values()
+                    stats.delete(table_name, column,
+                                 values.astype(np.int64))
+            if new_rows is not None:
+                estimator.update(new_rows)
+                self._update_key_joints(table_name, new_rows, sign=1.0)
+            if deleted_rows is not None:
+                estimator.delete(deleted_rows)
+                self._update_key_joints(table_name, deleted_rows, sign=-1.0)
             self._db = new_db
         self.last_update_seconds = timer.elapsed
 
-    def _update_key_joints(self, table_name: str, new_rows: Table) -> None:
+    def _update_key_joints(self, table_name: str, rows: Table,
+                           sign: float = 1.0) -> None:
         for parent, child in self._key_trees.get(table_name, []):
             joint = self._key_joints[(table_name, parent, child)]
-            p_col, c_col = new_rows[parent], new_rows[child]
+            p_col, c_col = rows[parent], rows[child]
             valid = ~p_col.null_mask & ~c_col.null_mask
             if not valid.any():
                 continue
@@ -360,8 +430,24 @@ class FactorJoin:
                 p_col.values[valid])
             c_bin = self._binning_of(table_name, child).assign(
                 c_col.values[valid])
-            joint += joint_histogram(p_bin, c_bin, joint.shape[0],
-                                     joint.shape[1])
+            joint += sign * joint_histogram(p_bin, c_bin, joint.shape[0],
+                                            joint.shape[1])
+            if sign < 0:
+                np.maximum(joint, 0.0, out=joint)
+        # full pairwise joints (kept for ensemble merging) include the
+        # NULL code row/column, so they absorb every row of the batch
+        for (tname, a, b), joint in getattr(self, "_pairwise_joints",
+                                            {}).items():
+            if tname != table_name:
+                continue
+            a_code = self._binning_of(table_name,
+                                      a).assign_with_null_code(rows[a])
+            b_code = self._binning_of(table_name,
+                                      b).assign_with_null_code(rows[b])
+            joint += sign * joint_histogram(a_code, b_code, joint.shape[0],
+                                            joint.shape[1])
+            if sign < 0:
+                np.maximum(joint, 0.0, out=joint)
 
     def _binning_of(self, table_name: str, column: str) -> Binning:
         group = self._group_of_key[(table_name, column)]
@@ -374,6 +460,13 @@ class FactorJoin:
         self._check_fitted()
         estimator = self._table_estimators.get(table_name)
         return estimator is None or estimator.supports_update()
+
+    def supports_delete(self, table_name: str) -> bool:
+        """Whether deletions from ``table_name`` can be absorbed — i.e. the
+        fitted table estimator implements ``delete``."""
+        self._check_fitted()
+        estimator = self._table_estimators.get(table_name)
+        return estimator is None or estimator.supports_delete()
 
     # -------------------------------------------------------------- persist --
 
@@ -388,6 +481,45 @@ class FactorJoin:
         if db is not None:
             state["_db"] = db.empty_copy()
         return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        # artifacts written before pairwise joints existed stay loadable
+        self.__dict__.setdefault("_pairwise_joints", {})
+
+    def __deepcopy__(self, memo):
+        """In-memory clones keep the base tables.
+
+        Without this, ``copy.deepcopy`` would route through
+        ``__getstate__`` and silently drop the database view — the
+        persistence trade-off is for artifacts, not for the ensemble's
+        copy-on-write update path."""
+        import copy as _copy
+
+        clone = type(self).__new__(type(self))
+        memo[id(self)] = clone
+        clone.__dict__ = _copy.deepcopy(self.__dict__, memo)
+        return clone
+
+    def clone_for_update(self) -> "FactorJoin":
+        """Copy whose mutable statistics are independent but whose
+        database view is shared.
+
+        ``update`` only ever *rebinds* ``_db`` (``Database.insert`` /
+        ``delete`` are functional), so sharing the reference is safe and
+        skips duplicating every base-table column — the point of the
+        ensemble's copy-on-write update path.  Estimators are deep
+        copies: several (BayesCard, Histogram1D) mutate their arrays in
+        place."""
+        import copy as _copy
+
+        clone = type(self).__new__(type(self))
+        state = dict(self.__dict__)
+        db = state.pop("_db", None)
+        clone.__dict__ = _copy.deepcopy(state)
+        if db is not None:
+            clone.__dict__["_db"] = db
+        return clone
 
     def save(self, path, name: str | None = None) -> "FactorJoin":
         """Persist the fitted model as an artifact directory (manifest +
@@ -411,7 +543,74 @@ class FactorJoin:
                 f"not a {cls.__name__}")
         return model
 
+    # ------------------------------------------------------------- assemble --
+
+    @classmethod
+    def from_components(cls, config: FactorJoinConfig, database: Database,
+                        key_stats: dict[str, KeyStatistics],
+                        table_estimators: dict[str, object],
+                        key_trees: dict[str, list[tuple[str, str]]],
+                        key_joints: dict[tuple[str, str, str], np.ndarray],
+                        fit_seconds: float = 0.0) -> "FactorJoin":
+        """Assemble a fitted model from pre-built components.
+
+        The merge hook the sharded ensemble uses: per-shard statistics are
+        merged exactly (see :meth:`~repro.core.bin_stats.BinStats.merged`)
+        and plugged in here together with ensemble table estimators, so
+        the assembled model runs the ordinary online phase — inference
+        never learns it is looking at a partitioned fit.
+        """
+        model = cls(config)
+        model._db = database
+        model._groups = schema_key_groups(database.schema)
+        model._group_of_key = {}
+        for group in model._groups:
+            for member in group.members:
+                model._group_of_key[member] = group
+        model._key_stats = dict(key_stats)
+        model._table_estimators = dict(table_estimators)
+        model._key_trees = dict(key_trees)
+        model._key_joints = dict(key_joints)
+        model._pairwise_joints = {}
+        model._fitted = True
+        model.fit_seconds = fit_seconds
+        return model
+
     # ----------------------------------------------------------- introspect --
+
+    def key_statistics(self) -> dict[str, KeyStatistics]:
+        """Per-group key statistics (group name -> :class:`KeyStatistics`);
+        the raw material of ensemble merging."""
+        self._check_fitted()
+        return self._key_stats
+
+    def group_name_of(self, table_name: str, column: str) -> str:
+        """The equivalent key group a join key belongs to."""
+        self._check_fitted()
+        group = self._group_of_key.get((table_name, column))
+        if group is None:
+            raise UnsupportedQueryError(
+                f"{table_name}.{column} is not a declared join key")
+        return group.name
+
+    def key_trees(self) -> dict[str, list[tuple[str, str]]]:
+        """Per-table Chow-Liu key-tree edges (fixed after fit)."""
+        self._check_fitted()
+        return self._key_trees
+
+    def pairwise_joints_of(self, table_name: str
+                           ) -> dict[tuple[str, str], np.ndarray]:
+        """Full pairwise key-joint histograms of one table (only populated
+        when ``config.keep_pairwise_joints`` was set at fit time)."""
+        self._check_fitted()
+        return {(a, b): joint
+                for (t, a, b), joint in self._pairwise_joints.items()
+                if t == table_name}
+
+    def table_estimator(self, table_name: str):
+        """The fitted single-table estimator of ``table_name``."""
+        self._check_fitted()
+        return self._table_estimators[table_name]
 
     @property
     def database(self) -> Database:
@@ -431,6 +630,22 @@ class FactorJoin:
         return pickled_size_bytes(
             (self._key_stats, self._table_estimators, self._key_joints,
              self._key_trees))
+
+    def fingerprint(self) -> str:
+        """Content hash of the model's *statistics* (not timings).
+
+        Two fits producing identical statistics fingerprint identically,
+        and any statistic mutation (``update``) changes it — the property
+        cache snapshots rely on (:mod:`repro.serve.snapshot`)."""
+        import hashlib
+        import pickle as _pickle
+
+        self._check_fitted()
+        blob = _pickle.dumps(
+            (self.config, self._key_stats, self._table_estimators,
+             self._key_trees, self._key_joints, self._pairwise_joints),
+            protocol=_pickle.HIGHEST_PROTOCOL)
+        return hashlib.sha256(blob).hexdigest()
 
     def group_names(self) -> list[str]:
         self._check_fitted()

@@ -65,6 +65,13 @@ class Database:
         merged = self.table(table_name).concat(rows)
         return self.replace_table(merged)
 
+    def delete(self, table_name: str, rows: Table,
+               strict: bool = True) -> "Database":
+        """New database with one occurrence of each given row removed from
+        ``table_name`` (see :meth:`repro.data.table.Table.remove_rows`)."""
+        remaining = self.table(table_name).remove_rows(rows, strict=strict)
+        return self.replace_table(remaining)
+
     def empty_copy(self) -> "Database":
         """Same schema and column layout, zero rows in every table.
 

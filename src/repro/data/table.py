@@ -90,3 +90,51 @@ class Table:
         n = min(n, self._nrows)
         idx = rng.choice(self._nrows, size=n, replace=False)
         return self.take(np.sort(idx))
+
+    def row_tuples(self) -> "list[tuple]":
+        """Rows as hashable tuples (NULLs become None) — multiset identity
+        for incremental deletion.  ``tolist()`` converts each column in C
+        rather than per-element numpy indexing; both sides of a deletion
+        match go through this, so the tuples compare consistently."""
+        parts = []
+        for col in self.columns:
+            values = col.values.tolist()
+            if col.has_nulls:
+                values = [None if null else value for null, value
+                          in zip(col.null_mask.tolist(), values)]
+            parts.append(values)
+        return list(zip(*parts)) if parts else []
+
+    def remove_rows(self, rows: "Table", strict: bool = True) -> "Table":
+        """New table with one occurrence of each row of ``rows`` removed.
+
+        Rows are matched as full-width value tuples (NULL-aware).  With
+        ``strict``, a row that is not present raises
+        :class:`~repro.errors.DataError` *before* anything is removed;
+        without it, absent rows are ignored (the post-reload shell case —
+        see ``FactorJoin.__getstate__``).
+        """
+        if rows.column_names != self.column_names:
+            raise SchemaError(
+                f"cannot delete from table {self.name!r}: column mismatch "
+                f"{self.column_names} vs {rows.column_names}")
+        pending: dict[tuple, int] = {}
+        for row in rows.row_tuples():
+            pending[row] = pending.get(row, 0) + 1
+        keep = np.ones(self._nrows, dtype=bool)
+        for i, row in enumerate(self.row_tuples()):
+            count = pending.get(row, 0)
+            if count:
+                keep[i] = False
+                if count == 1:
+                    del pending[row]
+                else:
+                    pending[row] = count - 1
+            if not pending:
+                break
+        if pending and strict:
+            missing = sum(pending.values())
+            raise DataError(
+                f"cannot delete from table {self.name!r}: {missing} "
+                f"row(s) not present (first: {next(iter(pending))!r})")
+        return self.take(keep)

@@ -62,6 +62,18 @@ class BaseTableEstimator(ABC):
         layer rejects ``POST /update`` early for models that would raise)."""
         return type(self).update is not BaseTableEstimator.update
 
+    def delete(self, deleted_rows: Table) -> None:
+        """Incrementally absorb deleted rows (Section 4.3, symmetric to
+        :meth:`update`).  Sample-based estimators cannot delete without
+        bias and keep the default, which raises."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support incremental deletions")
+
+    def supports_delete(self) -> bool:
+        """Whether this estimator overrides :meth:`delete` (the serving
+        layer rejects delete requests early for models that would raise)."""
+        return type(self).delete is not BaseTableEstimator.delete
+
 
 ESTIMATOR_REGISTRY: dict[str, type] = {}
 

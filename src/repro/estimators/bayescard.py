@@ -104,12 +104,7 @@ class BayesCardEstimator(BaseTableEstimator):
 
     @staticmethod
     def _encode_key(column: Column, binning: Binning) -> np.ndarray:
-        codes = np.full(len(column), binning.n_bins, dtype=np.int64)
-        valid = ~column.null_mask
-        if valid.any():
-            codes[valid] = binning.assign(
-                column.values[valid].astype(np.int64))
-        return codes
+        return binning.assign_with_null_code(column)
 
     # -- evidence construction ----------------------------------------------------------
 

@@ -96,3 +96,17 @@ class Histogram1DEstimator(BaseTableEstimator):
             bins = binning.assign(col.values[valid].astype(np.int64))
             self._key_distributions[name] += np.bincount(
                 bins, minlength=binning.n_bins).astype(np.float64)
+
+    def delete(self, deleted_rows: Table) -> None:
+        # symmetric to update: row counts and key distributions shrink
+        # exactly (floored at zero); per-column histograms keep shape
+        self._require_stats()
+        self._total_rows = max(0, self._total_rows - len(deleted_rows))
+        for name, binning in self._binnings.items():
+            col = deleted_rows[name]
+            valid = ~col.null_mask
+            bins = binning.assign(col.values[valid].astype(np.int64))
+            dist = self._key_distributions[name]
+            dist -= np.bincount(bins,
+                                minlength=binning.n_bins).astype(np.float64)
+            np.maximum(dist, 0.0, out=dist)

@@ -54,3 +54,9 @@ class TrueScanEstimator(BaseTableEstimator):
 
     def update(self, new_rows: Table) -> None:
         self._table = self._require_table().concat(new_rows)
+
+    def delete(self, deleted_rows: Table) -> None:
+        # non-strict: a row deleted twice (or unknown after a reload)
+        # simply stops contributing; the scan stays exact for what remains
+        self._table = self._require_table().remove_rows(deleted_rows,
+                                                        strict=False)

@@ -22,12 +22,14 @@ def joint_histogram(codes_a: np.ndarray, codes_b: np.ndarray,
     return counts.reshape(k_a, k_b).astype(np.float64)
 
 
-def mutual_information(codes_a: np.ndarray, codes_b: np.ndarray,
-                       k_a: int, k_b: int) -> float:
-    """Empirical mutual information (nats) between two code columns."""
-    if len(codes_a) == 0:
-        return 0.0
-    joint = joint_histogram(codes_a, codes_b, k_a, k_b)
+def mutual_information_from_joint(joint: np.ndarray) -> float:
+    """Empirical mutual information (nats) of a joint count matrix.
+
+    Joint histograms are additive across data partitions, so summing
+    per-shard joints and calling this reproduces the MI of the full data
+    bit for bit — the property the sharded ensemble's merged Chow-Liu
+    trees rely on (see :func:`chow_liu_tree_from_joints`).
+    """
     total = joint.sum()
     if total <= 0:
         return 0.0
@@ -39,6 +41,26 @@ def mutual_information(codes_a: np.ndarray, codes_b: np.ndarray,
     with np.errstate(divide="ignore", invalid="ignore"):
         terms = p_joint[mask] * np.log(p_joint[mask] / denom[mask])
     return float(terms.sum())
+
+
+def mutual_information(codes_a: np.ndarray, codes_b: np.ndarray,
+                       k_a: int, k_b: int) -> float:
+    """Empirical mutual information (nats) between two code columns."""
+    if len(codes_a) == 0:
+        return 0.0
+    return mutual_information_from_joint(
+        joint_histogram(codes_a, codes_b, k_a, k_b))
+
+
+def pairwise_joints(code_matrix: np.ndarray, cardinalities: list[int]
+                    ) -> dict[tuple[int, int], np.ndarray]:
+    """Joint count matrices of every column pair ``(i, j)`` with ``i < j``."""
+    n_cols = code_matrix.shape[1]
+    return {
+        (i, j): joint_histogram(code_matrix[:, i], code_matrix[:, j],
+                                cardinalities[i], cardinalities[j])
+        for i in range(n_cols) for j in range(i + 1, n_cols)
+    }
 
 
 def chow_liu_tree(code_matrix: np.ndarray, cardinalities: list[int],
@@ -54,6 +76,25 @@ def chow_liu_tree(code_matrix: np.ndarray, cardinalities: list[int],
     n_cols = code_matrix.shape[1]
     if n_cols == 0:
         return []
+    return chow_liu_tree_from_joints(
+        pairwise_joints(code_matrix, cardinalities), n_cols, root=root)
+
+
+def chow_liu_tree_from_joints(joints: dict[tuple[int, int], np.ndarray],
+                              n_cols: int, root: int = 0
+                              ) -> list[tuple[int, int]]:
+    """:func:`chow_liu_tree` from precomputed pairwise joint histograms.
+
+    ``joints`` maps ``(i, j)`` with ``i < j`` to the joint count matrix of
+    columns *i* and *j*.  Because joint histograms sum across horizontal
+    data partitions, feeding this the elementwise sums of per-shard joints
+    yields exactly the tree the full data would — same MI values, same
+    Kruskal tie-breaking — which is how
+    :class:`~repro.shard.ShardedFactorJoin` merges per-shard key trees
+    without ever materializing the unpartitioned code matrix.
+    """
+    if n_cols == 0:
+        return []
     if not 0 <= root < n_cols:
         raise ReproError(f"root {root} out of range for {n_cols} columns")
     if n_cols == 1:
@@ -63,8 +104,10 @@ def chow_liu_tree(code_matrix: np.ndarray, cardinalities: list[int],
     edges = []
     for i in range(n_cols):
         for j in range(i + 1, n_cols):
-            mi = mutual_information(code_matrix[:, i], code_matrix[:, j],
-                                    cardinalities[i], cardinalities[j])
+            if (i, j) not in joints:
+                raise ReproError(f"missing pairwise joint for columns "
+                                 f"({i}, {j})")
+            mi = mutual_information_from_joint(joints[(i, j)])
             edges.append((mi, i, j))
     edges.sort(key=lambda e: -e[0])
 

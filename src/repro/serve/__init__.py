@@ -15,8 +15,14 @@ FactorJoin's offline phase is minutes, its online phase sub-millisecond
   concurrent callers;
 - :mod:`repro.serve.warmup` — workload recording/replay: warm both cache
   levels from a recorded (or generated) workload before admitting traffic;
+- :mod:`repro.serve.snapshot` — persist/restore the cache itself beside
+  the artifact, stamped with a model fingerprint and refused on mismatch;
 - :mod:`repro.serve.httpd` — a dependency-free JSON HTTP front end
   (``repro serve`` on the command line).
+
+The sharding layer (:mod:`repro.shard`) plugs in transparently:
+``load_model`` dispatches ensemble artifacts to it, and ensembles serve
+through the registry, caches, and HTTP front end unchanged.
 """
 
 from repro.serve.artifact import (
@@ -34,6 +40,12 @@ from repro.serve.service import (
     EstimateResult,
     EstimationService,
     LatencyStats,
+)
+from repro.serve.snapshot import (
+    model_fingerprint,
+    read_snapshot,
+    restore_snapshot,
+    save_snapshot,
 )
 from repro.serve.warmup import (
     WorkloadEntry,
@@ -54,11 +66,15 @@ __all__ = [
     "load_model",
     "load_workload",
     "make_server",
+    "model_fingerprint",
     "ModelRecord",
     "ModelRegistry",
     "query_fingerprint",
     "read_manifest",
+    "read_snapshot",
+    "restore_snapshot",
     "save_model",
+    "save_snapshot",
     "schema_fingerprint",
     "serve_in_background",
     "ServingServer",

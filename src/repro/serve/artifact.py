@@ -151,6 +151,13 @@ def load_model(path: str | Path,
     """
     path = Path(path)
     manifest = read_manifest(path)
+    if manifest.get("ensemble_version") is not None:
+        # ensemble artifacts (one sub-artifact per shard, lazily loaded)
+        # live in the sharding layer; registries and `repro serve --load`
+        # reach them through this dispatch unchanged
+        from repro.shard.artifact import load_ensemble
+
+        return load_ensemble(path, expected_schema=expected_schema)
     model_path = path / MODEL_NAME
     if not model_path.is_file():
         raise ArtifactError(f"artifact {path} is missing {MODEL_NAME}")

@@ -172,6 +172,60 @@ class EstimateCache:
                 self._subplans.popitem(last=False)
                 self.subplan_evictions += 1
 
+    # -- persistence -----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Copyable view of both levels (see :mod:`repro.serve.snapshot`).
+
+        Entries are returned in LRU order (least recent first) so a
+        restore into a smaller cache keeps the hottest ones.
+        """
+        with self._lock:
+            return {
+                "entries": list(self._entries.items()),
+                "subplans": list(self._subplans.items()),
+            }
+
+    def restore(self, snapshot: dict, stamp: int | None = None) -> dict:
+        """Refill both levels from a :meth:`snapshot` payload.
+
+        Existing entries are kept (restored ones overwrite on key
+        collision); bounds are enforced, so restoring a snapshot larger
+        than the cache keeps its most-recent tail.  Returns counts of
+        restored entries per level, plus ``dropped``.  Callers are
+        responsible for only restoring snapshots taken against the
+        *same* model version — the serving layer stamps snapshots with a
+        model fingerprint (:func:`repro.serve.snapshot.save_snapshot`)
+        for exactly that, and passes the invalidation ``stamp`` it
+        observed when it verified the fingerprint: like :meth:`put`, a
+        restore racing an invalidation is dropped whole rather than
+        resurrecting pre-update entries.
+        """
+        entries = list(snapshot.get("entries", ()))
+        subplans = list(snapshot.get("subplans", ()))
+        with self._lock:
+            if stamp is not None and stamp != self.invalidations:
+                return {"entries": 0, "subplans": 0, "dropped": True}
+            for key, value in entries:
+                self._entries[key] = value
+                self._entries.move_to_end(key)
+            while len(self._entries) > self.max_size:
+                self._entries.popitem(last=False)
+            for key, value in subplans:
+                self._subplans[key] = value
+                self._subplans.move_to_end(key)
+            while len(self._subplans) > self.subplan_max_size:
+                self._subplans.popitem(last=False)
+            # report what actually survived bound enforcement, not the
+            # snapshot's size — operators read these to judge warm-start
+            # coverage
+            kept_entries = sum(1 for key, _ in entries
+                               if key in self._entries)
+            kept_subplans = sum(1 for key, _ in subplans
+                                if key in self._subplans)
+        return {"entries": kept_entries, "subplans": kept_subplans,
+                "dropped": False}
+
     # -- lifecycle -------------------------------------------------------------
 
     def invalidate(self) -> None:

@@ -11,8 +11,15 @@ EstimationService` endpoints an optimizer or load generator needs:
 ``POST /estimate_batch``    ``{"queries": [sql, ...], "model"?}`` → a result
                             per query
 ``POST /update``            ``{"table": ..., "rows": {col: [...]},
-                            "model"?}`` → incremental insert (JSON ``null``
+                            "op"?: "insert"|"delete", "model"?}`` →
+                            incremental insert or delete (JSON ``null``
                             marks NULLs)
+``POST /snapshot``          ``{"action": "save"|"restore", "path": ...,
+                            "model"?}`` → persist/warm the model's cache
+                            snapshot; paths are confined to the server's
+                            configured snapshot directory (endpoint
+                            disabled without one) and restores are
+                            fingerprint-checked
 ``POST /warmup``            ``{"queries": [sql, ...] | "path": ...,
                             "model"?, "subplans"?}`` → replay a workload
                             into both cache levels; returns the warm
@@ -137,9 +144,58 @@ class ServingHandler(BaseHTTPRequestHandler):
             self._dispatch(self._post_update)
         elif self.path == "/warmup":
             self._dispatch(self._post_warmup)
+        elif self.path == "/snapshot":
+            self._dispatch(self._post_snapshot)
         else:
             self._reply({"error": f"unknown route POST {self.path}"},
                         status=404)
+
+    def _post_snapshot(self) -> dict:
+        """Save or restore a model's cache snapshot at a server-local
+        path: ``{"action": "save"|"restore", "path": ..., "model"?}``.
+        Restores are fingerprint-checked — a snapshot stamped against a
+        different model state is refused (400).
+
+        The endpoint hands a client-named path to the filesystem (write
+        on save, ``pickle.loads`` on restore), so it only operates when
+        the server was started with a snapshot directory and the
+        resolved path stays inside it — an HTTP client must never gain
+        an arbitrary-file write or an arbitrary-pickle read primitive.
+        """
+        payload = self._read_json()
+        action = self._require(payload, "action")
+        path = self._require(payload, "path")
+        if not isinstance(path, str):
+            raise ValueError("'path' must be a string")
+        path = self._confined_snapshot_path(path)
+        model = payload.get("model")
+        if action == "save":
+            return self.service.save_snapshot(path, model=model)
+        if action == "restore":
+            return self.service.restore_snapshot(path, model=model)
+        raise ValueError(
+            f"'action' must be 'save' or 'restore', got {action!r}")
+
+    def _confined_snapshot_path(self, path: str):
+        from pathlib import Path
+
+        directory = getattr(self.server, "snapshot_dir", None)
+        if directory is None:
+            raise ValueError(
+                "the snapshot endpoint is disabled: start the server "
+                "with a snapshot directory (repro serve --snapshot-dir "
+                "DIR, or --snapshot PATH)")
+        resolved = (Path(directory) / path).resolve()
+        if not resolved.is_relative_to(Path(directory).resolve()):
+            raise ValueError(
+                "snapshot 'path' must stay inside the server's snapshot "
+                "directory (relative names only, no '..')")
+        if resolved.suffix != ".snap":
+            # the snapshot dir may be an artifact directory (the CLI
+            # defaults it to --snapshot's parent); a fixed extension
+            # keeps clients from overwriting model.pkl / manifest.json
+            raise ValueError("snapshot 'path' must name a .snap file")
+        return resolved
 
     def _post_estimate(self) -> dict:
         payload = self._read_json()
@@ -234,41 +290,57 @@ class ServingHandler(BaseHTTPRequestHandler):
     def _post_update(self) -> dict:
         payload = self._read_json()
         table_name = self._require(payload, "table")
+        op = payload.get("op", "insert")
+        if op not in ("insert", "delete"):
+            raise ValueError(f"'op' must be 'insert' or 'delete', got {op!r}")
         rows = self._require(payload, "rows")
         if not isinstance(rows, dict) or not rows:
             raise ValueError("'rows' must be a non-empty "
                              "{column: [values]} object")
-        new_rows = _table_from_json(table_name, rows)
-        return self.service.update(table_name, new_rows,
+        batch = _table_from_json(table_name, rows)
+        if op == "delete":
+            return self.service.update(table_name, deleted_rows=batch,
+                                       model=payload.get("model"))
+        return self.service.update(table_name, batch,
                                    model=payload.get("model"))
 
 
 class ServingServer(ThreadingHTTPServer):
-    """ThreadingHTTPServer carrying the shared EstimationService."""
+    """ThreadingHTTPServer carrying the shared EstimationService.
+
+    ``snapshot_dir`` confines the ``POST /snapshot`` endpoint; when None
+    (the default) that endpoint is disabled — clients must never name
+    arbitrary server-local paths.
+    """
 
     daemon_threads = True
 
     def __init__(self, address: tuple[str, int],
-                 service: EstimationService, verbose: bool = False):
+                 service: EstimationService, verbose: bool = False,
+                 snapshot_dir=None):
         super().__init__(address, ServingHandler)
         self.service = service
         self.verbose = verbose
+        self.snapshot_dir = snapshot_dir
 
 
 def make_server(service: EstimationService, host: str = "127.0.0.1",
-                port: int = 8765, verbose: bool = False) -> ServingServer:
+                port: int = 8765, verbose: bool = False,
+                snapshot_dir=None) -> ServingServer:
     """Bind a serving server (``port=0`` picks a free port for tests)."""
-    return ServingServer((host, port), service, verbose=verbose)
+    return ServingServer((host, port), service, verbose=verbose,
+                         snapshot_dir=snapshot_dir)
 
 
 def serve_in_background(service: EstimationService, host: str = "127.0.0.1",
-                        port: int = 0) -> tuple[ServingServer,
-                                                threading.Thread]:
+                        port: int = 0, snapshot_dir=None
+                        ) -> tuple[ServingServer, threading.Thread]:
     """Start a server on a daemon thread; returns (server, thread).
 
     Callers stop it with ``server.shutdown(); server.server_close()``.
     """
-    server = make_server(service, host=host, port=port)
+    server = make_server(service, host=host, port=port,
+                         snapshot_dir=snapshot_dir)
     thread = threading.Thread(target=server.serve_forever,
                               name="repro-serve", daemon=True)
     thread.start()

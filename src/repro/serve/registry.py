@@ -38,13 +38,14 @@ class ModelRecord:
         return type(self.model).__name__
 
     def describe(self) -> dict:
-        """JSON-ready summary (``GET /models`` rows)."""
+        """JSON-ready summary (``GET /models`` rows); metadata is copied
+        so serialization never iterates a dict a caller could hold."""
         return {
             "name": self.name,
             "version": self.version,
             "kind": self.kind,
             "published_at": self.published_at,
-            "metadata": self.metadata,
+            "metadata": dict(self.metadata),
         }
 
 

@@ -176,6 +176,10 @@ class EstimationService:
         self._caches: dict[str, EstimateCache] = {}
         self._caches_lock = threading.Lock()
         self._update_lock = threading.Lock()
+        # (name, version) pairs whose model mutated in place via update();
+        # their publish-time artifact fingerprints are stale (see
+        # _fingerprint_of)
+        self._mutated_records: set[tuple[str, int]] = set()
         self._recorder: WorkloadRecorder | None = None
         self._recorder_lock = threading.Lock()
         # thread-local: warming replays must not be recorded, but other
@@ -394,60 +398,159 @@ class EstimationService:
     # -- mutation --------------------------------------------------------------
 
     @staticmethod
-    def _check_insert(model, table_name: str, new_rows: Table) -> Table:
-        """Validate and normalize an insert *before* any mutation.
+    def _check_batch(model, table_name: str, rows: Table,
+                     op: str = "insert") -> Table:
+        """Validate and normalize a mutation batch *before* any mutation.
 
         The model's ``update`` mutates statistics column by column, so a
-        malformed insert failing midway would leave it half-updated —
+        malformed batch failing midway would leave it half-updated —
         reject mismatched column sets up front instead.  Column *order*
         is normalized to the served table's storage order (JSON objects
         are unordered; order is a serving-layer concern, not an error).
-        Also rejects models whose table estimator cannot absorb inserts,
-        so the caller gets a clean error instead of a partial mutation.
+        Also rejects models whose table estimator cannot absorb the
+        operation, so the caller gets a clean error instead of a partial
+        mutation.
         """
-        if not getattr(model, "supports_update", lambda *a: True)(
-                table_name):
-            raise NotImplementedError(
-                f"the served model cannot absorb inserts into "
-                f"{table_name!r} (its table estimator has no update)")
+        if op == "insert":
+            if not getattr(model, "supports_update", lambda *a: True)(
+                    table_name):
+                raise NotImplementedError(
+                    f"the served model cannot absorb inserts into "
+                    f"{table_name!r} (its table estimator has no update)")
+        else:
+            if not getattr(model, "supports_delete", lambda *a: False)(
+                    table_name):
+                raise NotImplementedError(
+                    f"the served model cannot absorb deletions from "
+                    f"{table_name!r} (its table estimator has no delete)")
         try:
             want = model.database.table(table_name).column_names
         except Exception:
-            return new_rows
-        if set(want) != set(new_rows.column_names):
+            return rows
+        if set(want) != set(rows.column_names):
             raise DataError(
-                f"insert into {table_name!r} must provide exactly the "
+                f"{op} into {table_name!r} must provide exactly the "
                 f"columns {sorted(want)}; got "
-                f"{sorted(new_rows.column_names)}")
-        if want != new_rows.column_names:
-            return Table(new_rows.name, [new_rows[c] for c in want])
-        return new_rows
+                f"{sorted(rows.column_names)}")
+        if want != rows.column_names:
+            return Table(rows.name, [rows[c] for c in want])
+        return rows
 
-    def update(self, table_name: str, new_rows: Table,
-               model: str | None = None) -> dict:
-        """Apply an incremental insert to a served model (Section 4.3).
+    def update(self, table_name: str, new_rows: Table | None = None,
+               model: str | None = None,
+               deleted_rows: Table | None = None) -> dict:
+        """Apply an incremental insert and/or delete to a served model
+        (Section 4.3).
 
-        Serialized against other updates.  The model's cache (both
-        levels) is invalidated even when the update raises partway — a
-        failed mutation must never leave pre-failure entries serving.
+        Serialized against other updates.  Both batches are validated
+        before any statistic mutates, and the model's cache (both levels)
+        is invalidated even when the update raises partway — a failed
+        mutation must never leave pre-failure entries serving.
         """
         start = time.perf_counter()
         record = self._resolve(model)
-        new_rows = self._check_insert(record.model, table_name, new_rows)
+        if new_rows is None and deleted_rows is None:
+            # reject unsupported models first (the clearer error), then
+            # the empty batch
+            if not getattr(record.model, "supports_update",
+                           lambda *a: True)(table_name):
+                raise NotImplementedError(
+                    f"the served model cannot absorb inserts into "
+                    f"{table_name!r} (its table estimator has no update)")
+            raise DataError("update needs new_rows and/or deleted_rows")
+        if new_rows is not None:
+            new_rows = self._check_batch(record.model, table_name,
+                                         new_rows, op="insert")
+        if deleted_rows is not None:
+            deleted_rows = self._check_batch(record.model, table_name,
+                                             deleted_rows, op="delete")
         with self._update_lock:
             try:
-                record.model.update(table_name, new_rows)
+                if deleted_rows is not None:
+                    record.model.update(table_name, new_rows,
+                                        deleted_rows=deleted_rows)
+                else:
+                    record.model.update(table_name, new_rows)
             finally:
                 self._cache_of(record.name).invalidate()
+                # the artifact fingerprint no longer describes the mutated
+                # model; snapshots taken from here on must stamp a content
+                # hash instead (see _fingerprint_of).  Tracked out of band:
+                # ModelRecord (and its metadata dict) is an immutable
+                # snapshot that concurrent GET /models responses iterate
+                self._mutated_records.add((record.name, record.version))
         seconds = time.perf_counter() - start
         self.update_latency.observe(seconds)
         return {
             "model": record.name,
             "version": record.version,
             "table": table_name,
-            "rows": len(new_rows),
+            "rows": len(new_rows) if new_rows is not None else 0,
+            "deleted_rows": (len(deleted_rows) if deleted_rows is not None
+                             else 0),
             "seconds": seconds,
         }
+
+    # -- cache snapshots -------------------------------------------------------
+
+    def _fingerprint_of(self, record: ModelRecord) -> str:
+        """The served model's snapshot fingerprint: the artifact SHA-256
+        recorded at publish time when available (``repro serve --load``
+        sets it from the manifest), else a content hash of the model.
+        Once a record's model has absorbed an in-place ``update`` the
+        artifact hash no longer describes it, so the content hash is
+        used from then on."""
+        from repro.serve.snapshot import model_fingerprint
+
+        fingerprint = record.metadata.get("fingerprint")
+        if (record.name, record.version) in self._mutated_records:
+            fingerprint = None
+        return fingerprint or model_fingerprint(record.model)
+
+    def save_snapshot(self, path, model: str | None = None) -> dict:
+        """Persist one model's cache (both levels) to ``path``, stamped
+        with that model's fingerprint (see :mod:`repro.serve.snapshot`).
+
+        The fingerprint and the cache contents must come from the same
+        inter-invalidation epoch: an update landing between the two
+        would stamp post-update entries with the pre-update fingerprint,
+        and a later restore against the pristine artifact would accept
+        them.  The stamp check retries until both were read in one
+        epoch.
+        """
+        from repro.errors import ArtifactError
+        from repro.serve.snapshot import save_snapshot
+
+        record = self._resolve(model)
+        cache = self._cache_of(record.name)
+        for _ in range(5):
+            stamp = cache.invalidations
+            fingerprint = self._fingerprint_of(record)
+            payload = cache.snapshot()
+            if cache.invalidations == stamp:
+                break
+        else:
+            raise ArtifactError(
+                f"cache snapshot of model {record.name!r} kept racing "
+                f"concurrent updates; retry when the update stream "
+                f"quiesces")
+        return save_snapshot(cache, path, fingerprint,
+                             model_name=record.name, snapshot=payload)
+
+    def restore_snapshot(self, path, model: str | None = None) -> dict:
+        """Warm one model's cache from a snapshot taken earlier; refuses
+        (:class:`~repro.errors.ArtifactError`) when the snapshot was
+        stamped against a different model state.  Race-safe: the
+        fingerprint is computed under an invalidation stamp, so a model
+        update landing mid-restore drops the restore instead of
+        resurrecting pre-update entries."""
+        from repro.serve.snapshot import restore_snapshot
+
+        record = self._resolve(model)
+        cache = self._cache_of(record.name)
+        stamp = cache.invalidations
+        return restore_snapshot(cache, path, self._fingerprint_of(record),
+                                stamp=stamp)
 
     # -- introspection ---------------------------------------------------------
 

@@ -1,0 +1,128 @@
+"""Persist/restore the estimate cache beside the model artifact.
+
+A warmed sub-plan table is expensive state: it encodes every sub-plan
+bound the service has computed.  Snapshots make it durable — a restart
+restores both cache levels from disk instead of replaying a workload
+(:mod:`repro.serve.warmup`), which matters when the recorded workload is
+long or no longer available.
+
+Every snapshot is **stamped with a model fingerprint** at save time and
+**refused on mismatch** at restore time: cached estimates are only valid
+for the exact model that produced them, so a snapshot taken against a
+different artifact (or against a model that has since absorbed updates)
+fails loudly instead of silently serving stale numbers.  The fingerprint
+is the serving artifact's pickle SHA-256 when the model came from one
+(``repro serve --load``), or a SHA-256 of the model's own pickle
+otherwise — either way it changes whenever the model's statistics do.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import time
+from pathlib import Path
+
+from repro.errors import ArtifactError
+from repro.serve.cache import EstimateCache
+
+SNAPSHOT_VERSION = 1
+
+
+def model_fingerprint(model) -> str:
+    """Content fingerprint of a fitted model.
+
+    Prefers the model's own ``fingerprint()`` (FactorJoin and
+    ShardedFactorJoin hash their statistics, excluding volatile timing
+    fields, so a deterministic refit fingerprints identically); falls
+    back to a SHA-256 of the whole pickle.  Any statistic mutation
+    (incremental update) changes the fingerprint, which is exactly when
+    cached estimates must not be restored.
+    """
+    own = getattr(model, "fingerprint", None)
+    if callable(own):
+        return own()
+    blob = pickle.dumps(model, protocol=pickle.HIGHEST_PROTOCOL)
+    return hashlib.sha256(blob).hexdigest()
+
+
+def save_snapshot(cache: EstimateCache, path: str | Path,
+                  fingerprint: str, model_name: str | None = None,
+                  snapshot: dict | None = None) -> dict:
+    """Write both cache levels to ``path``, stamped with ``fingerprint``.
+
+    ``snapshot`` lets the caller pass a pre-captured
+    :meth:`EstimateCache.snapshot` payload taken in the same epoch as
+    the fingerprint (see ``EstimationService.save_snapshot``); without
+    it the cache is captured here.  Returns a JSON-ready summary (entry
+    counts, byte size).
+    """
+    path = Path(path)
+    payload = {
+        "snapshot_version": SNAPSHOT_VERSION,
+        "fingerprint": fingerprint,
+        "model_name": model_name,
+        "created_at": time.time(),
+        "cache": snapshot if snapshot is not None else cache.snapshot(),
+    }
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(blob)
+    return {
+        "path": str(path),
+        "entries": len(payload["cache"]["entries"]),
+        "subplans": len(payload["cache"]["subplans"]),
+        "bytes": len(blob),
+        "fingerprint": fingerprint,
+    }
+
+
+def read_snapshot(path: str | Path) -> dict:
+    """Parse and sanity-check a snapshot file (no fingerprint check yet)."""
+    path = Path(path)
+    if not path.is_file():
+        raise ArtifactError(f"no cache snapshot at {path}")
+    try:
+        payload = pickle.loads(path.read_bytes())
+    except Exception as exc:
+        raise ArtifactError(f"corrupt cache snapshot at {path}: {exc}")
+    if not isinstance(payload, dict) or "cache" not in payload:
+        raise ArtifactError(f"corrupt cache snapshot at {path}: "
+                            f"not a snapshot payload")
+    version = payload.get("snapshot_version")
+    if version != SNAPSHOT_VERSION:
+        raise ArtifactError(
+            f"cache snapshot {path} has version {version!r}; this build "
+            f"reads version {SNAPSHOT_VERSION}")
+    return payload
+
+
+def restore_snapshot(cache: EstimateCache, path: str | Path,
+                     fingerprint: str, stamp: int | None = None) -> dict:
+    """Refill ``cache`` from ``path`` after verifying the fingerprint.
+
+    Raises :class:`~repro.errors.ArtifactError` when the snapshot was
+    stamped against a different model state — restoring it would serve
+    estimates of a model that no longer exists.  ``stamp`` (the cache's
+    invalidation count observed alongside the fingerprint) makes the
+    restore race-safe against concurrent model updates: a restore that
+    straddles an invalidation is dropped whole (``"dropped": true`` in
+    the summary) instead of resurrecting pre-update entries.
+    """
+    payload = read_snapshot(path)
+    stamped = payload.get("fingerprint")
+    if stamped != fingerprint:
+        raise ArtifactError(
+            f"cache snapshot {path} was stamped for model fingerprint "
+            f"{str(stamped)[:12]}… but the served model fingerprints to "
+            f"{fingerprint[:12]}…; refusing to restore stale estimates "
+            f"(re-warm or delete the snapshot)")
+    counts = cache.restore(payload["cache"], stamp=stamp)
+    return {
+        "path": str(path),
+        "entries": counts["entries"],
+        "subplans": counts["subplans"],
+        "dropped": counts.get("dropped", False),
+        "model_name": payload.get("model_name"),
+        "created_at": payload.get("created_at"),
+    }

@@ -1,0 +1,72 @@
+"""Sharding layer: partitioned model ensembles with parallel fit.
+
+FactorJoin's factor decomposition makes per-partition estimation
+composable: bin statistics over join keys sum across horizontal shards,
+so an ensemble of per-shard models answers exactly like one model fitted
+on everything — while fitting in parallel, pruning shards per predicate,
+and loading lazily from disk (the Scardina-style scaling axis named in
+the roadmap).
+
+- :mod:`repro.shard.policy` — pluggable row -> shard assignment
+  (hash-on-join-key, contiguous row ranges) and database partitioning;
+- :mod:`repro.shard.pruning` — per-shard table summaries and the
+  provable predicate-exclusion test;
+- :mod:`repro.shard.ensemble` — :class:`ShardedFactorJoin`: parallel
+  fit, exact statistic merging, routed incremental updates with an
+  atomic state swap;
+- :mod:`repro.shard.artifact` — ensemble artifacts (one sub-artifact
+  per shard, per-shard SHA-256, lazy materialization) served through the
+  registry and ``repro serve`` unchanged.
+"""
+
+from repro.shard.artifact import (
+    ENSEMBLE_VERSION,
+    is_ensemble_manifest,
+    load_ensemble,
+    save_ensemble,
+)
+from repro.shard.ensemble import (
+    EnsembleTableEstimator,
+    ShardSet,
+    ShardedFactorJoin,
+    fit_shard,
+)
+from repro.shard.policy import (
+    POLICY_REGISTRY,
+    HashShardingPolicy,
+    RangeShardingPolicy,
+    ShardingPolicy,
+    make_policy,
+    partition_database,
+    register_policy,
+    split_rows,
+)
+from repro.shard.pruning import (
+    ColumnSummary,
+    ShardSummary,
+    TableSummary,
+    predicate_excludes,
+)
+
+__all__ = [
+    "ColumnSummary",
+    "ENSEMBLE_VERSION",
+    "EnsembleTableEstimator",
+    "fit_shard",
+    "HashShardingPolicy",
+    "is_ensemble_manifest",
+    "load_ensemble",
+    "make_policy",
+    "partition_database",
+    "POLICY_REGISTRY",
+    "predicate_excludes",
+    "RangeShardingPolicy",
+    "register_policy",
+    "save_ensemble",
+    "ShardedFactorJoin",
+    "ShardingPolicy",
+    "ShardSet",
+    "ShardSummary",
+    "split_rows",
+    "TableSummary",
+]

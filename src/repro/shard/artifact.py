@@ -1,0 +1,189 @@
+"""Ensemble artifacts: one sub-artifact per shard, lazily loadable.
+
+An ensemble artifact is a directory
+
+::
+
+    <path>/
+      manifest.json          ensemble manifest (see below)
+      shared.pkl             merged statistics + policy + config
+      shards/
+        shard-0000/          a standard model artifact (manifest + pickle)
+        shard-0001/
+        ...
+
+The ensemble manifest carries the policy descriptor, the schema
+fingerprint, and — per shard — the sub-artifact's SHA-256 and size, so
+the whole ensemble can be integrity-checked without deserializing any
+shard.  ``load_ensemble`` unpickles only ``shared.pkl`` (model-sized
+merged statistics); every shard slot becomes a lazy loader that
+deserializes its ``model.pkl`` the first time a query needs that shard —
+a selective query against a hash-sharded ensemble touches (and loads)
+one shard.
+
+``repro.serve.artifact.load_model`` dispatches here whenever a manifest
+declares ``ensemble_version``, so registries, the estimation service,
+and ``repro serve --load`` handle ensembles unchanged.
+"""
+
+from __future__ import annotations
+
+import datetime
+import hashlib
+import json
+import pickle
+from pathlib import Path
+
+from repro.data.schema import DatabaseSchema
+from repro.errors import ArtifactError
+from repro.serve.artifact import (
+    MANIFEST_NAME,
+    MODEL_NAME,
+    _json_safe,
+    load_model,
+    read_manifest,
+    save_model,
+    schema_fingerprint,
+)
+from repro.shard.ensemble import ShardedFactorJoin
+
+ENSEMBLE_VERSION = 1
+FORMAT_VERSION = 1
+
+SHARED_NAME = "shared.pkl"
+SHARDS_DIR = "shards"
+
+
+def _shard_dir(index: int) -> str:
+    return f"{SHARDS_DIR}/shard-{index:04d}"
+
+
+def save_ensemble(model: ShardedFactorJoin, path: str | Path,
+                  name: str | None = None) -> Path:
+    """Persist a fitted ensemble to the directory ``path``; returns it.
+
+    Write order is shards, then shared statistics, then the manifest, so
+    a partially written ensemble never verifies.
+    """
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    state = model._require_state()
+    shards = state.shard_set.models()
+
+    shard_entries = []
+    for index, shard in enumerate(shards):
+        shard_path = path / _shard_dir(index)
+        save_model(shard, shard_path,
+                   name=f"{name or 'ensemble'}-shard{index}")
+        shard_manifest = read_manifest(shard_path)
+        shard_entries.append({
+            "dir": _shard_dir(index),
+            "sha256": shard_manifest["sha256"],
+            "model_bytes": shard_manifest["model_bytes"],
+        })
+
+    # the persisted field set is defined once, in
+    # ShardedFactorJoin.shared_state / from_shared_state — the artifact
+    # and plain pickling cannot drift apart
+    shared_blob = pickle.dumps(model.shared_state(),
+                               protocol=pickle.HIGHEST_PROTOCOL)
+    (path / SHARED_NAME).write_bytes(shared_blob)
+
+    schema = state.merged.database.schema
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "ensemble_version": ENSEMBLE_VERSION,
+        "kind": (f"{type(model).__module__}."
+                 f"{type(model).__qualname__}"),
+        "name": name or "ensemble",
+        "created_at": datetime.datetime.now(
+            datetime.timezone.utc).isoformat(),
+        "policy": model.policy.describe(),
+        "n_shards": model.n_shards,
+        "schema_hash": schema_fingerprint(schema),
+        "fit_seconds": float(model.fit_seconds),
+        "config": _json_safe(model.config),
+        "shared_sha256": hashlib.sha256(shared_blob).hexdigest(),
+        "shared_bytes": len(shared_blob),
+        "shards": shard_entries,
+    }
+    (path / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+    return path
+
+
+def is_ensemble_manifest(manifest: dict) -> bool:
+    return manifest.get("ensemble_version") is not None
+
+
+def load_ensemble(path: str | Path,
+                  expected_schema: DatabaseSchema | None = None
+                  ) -> ShardedFactorJoin:
+    """Load an ensemble artifact with lazy per-shard materialization.
+
+    Integrity is verified up front for the shared statistics and for
+    every shard's *manifest* (cheap JSON reads); each shard's pickle is
+    verified by :func:`~repro.serve.artifact.load_model` when — and only
+    when — that shard is first materialized.
+    """
+    path = Path(path)
+    manifest = read_manifest(path)
+    if not is_ensemble_manifest(manifest):
+        raise ArtifactError(
+            f"artifact at {path} is a single-model artifact, not an "
+            f"ensemble; use repro.serve.artifact.load_model")
+    version = manifest.get("ensemble_version")
+    if version != ENSEMBLE_VERSION:
+        raise ArtifactError(
+            f"ensemble {path} has ensemble version {version!r}; this "
+            f"build reads version {ENSEMBLE_VERSION}")
+
+    shared_path = path / SHARED_NAME
+    if not shared_path.is_file():
+        raise ArtifactError(f"ensemble {path} is missing {SHARED_NAME}")
+    shared_blob = shared_path.read_bytes()
+    digest = hashlib.sha256(shared_blob).hexdigest()
+    if digest != manifest.get("shared_sha256"):
+        raise ArtifactError(
+            f"ensemble {path} failed its integrity check: {SHARED_NAME} "
+            f"hashes to {digest[:12]}… but the manifest records "
+            f"{str(manifest.get('shared_sha256'))[:12]}…")
+
+    if expected_schema is not None and manifest.get("schema_hash"):
+        expected = schema_fingerprint(expected_schema)
+        if expected != manifest["schema_hash"]:
+            raise ArtifactError(
+                f"ensemble {path} was fitted against a different schema "
+                f"(fingerprint {manifest['schema_hash'][:12]}… vs "
+                f"expected {expected[:12]}…); refit instead of loading")
+
+    try:
+        payload = pickle.loads(shared_blob)
+    except Exception as exc:
+        raise ArtifactError(f"ensemble {path} failed to unpickle its "
+                            f"shared statistics: {exc}")
+
+    entries = manifest.get("shards") or []
+    loaders = []
+    for entry in entries:
+        shard_path = path / entry["dir"]
+        shard_manifest_path = shard_path / MANIFEST_NAME
+        if not shard_manifest_path.is_file() or not (
+                shard_path / MODEL_NAME).is_file():
+            raise ArtifactError(
+                f"ensemble {path} is missing shard artifact "
+                f"{entry['dir']}")
+        shard_manifest = read_manifest(shard_path)
+        if shard_manifest.get("sha256") != entry["sha256"]:
+            raise ArtifactError(
+                f"ensemble {path} shard {entry['dir']} does not match "
+                f"the ensemble manifest (sub-artifact replaced?)")
+        loaders.append(_shard_loader(shard_path))
+
+    return ShardedFactorJoin.from_shared_state(payload, loaders)
+
+
+def _shard_loader(shard_path: Path):
+    """A zero-argument loader for one shard (checksum-verified)."""
+    def load():
+        return load_model(shard_path)
+    return load

@@ -1,0 +1,760 @@
+"""Partitioned model ensembles: one FactorJoin per shard, one answer.
+
+:class:`ShardedFactorJoin` fits one :class:`~repro.core.estimator.
+FactorJoin` per horizontal partition of the database — **in parallel**,
+with :mod:`concurrent.futures` — and serves the whole ensemble behind the
+exact estimator surface a single model exposes (``estimate``,
+``estimate_subplans``, ``update``, ``save``/``load``).
+
+Why the merge is exact
+----------------------
+All shards fit under one *global* binning (computed once from the full
+data), so per-shard bin statistics are mergeable: per-value counts sum,
+which makes merged totals, MFV, and NDV bit-identical to an unsharded
+fit (:meth:`~repro.core.bin_stats.BinStats.merged`); pairwise key-joint
+histograms sum, which makes the merged Chow-Liu trees and conditionals
+bit-identical too (:func:`~repro.factorgraph.chow_liu.
+chow_liu_tree_from_joints`).  Per-table row counts and filtered key
+distributions are summed across shards at query time.  With an exact
+single-table estimator (``truescan``) the ensemble's estimates therefore
+*equal* the unsharded model's; with approximate estimators they differ
+only by the per-shard estimator error, never by the merge.
+
+Shard pruning
+-------------
+Each shard keeps per-table summaries (:mod:`repro.shard.pruning`); a
+factor evaluation skips every shard whose summary proves the filter
+matches nothing there, and hash policies prune equality predicates on
+the shard key to a single shard — so selective queries touch few shards
+(and, for lazily loaded ensembles, deserialize few).
+
+Concurrency contract
+--------------------
+All mutable state lives behind one ``_state`` reference.  ``update``
+routes each batch to its owning shards, clones only those shard models
+(copy-on-write), re-merges the affected statistics, and swaps the state
+reference once — so an estimate running concurrently with an update
+computes its whole answer from either the pre-update or the post-update
+ensemble, never a mix.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, replace
+from itertools import repeat
+
+import numpy as np
+
+from repro.core.bin_stats import KeyStatistics
+from repro.core.binning import Binning
+from repro.core.estimator import FactorJoin, FactorJoinConfig
+from repro.data.database import Database
+from repro.data.schema import DatabaseSchema, TableSchema
+from repro.data.table import Table
+from repro.errors import NotFittedError, ReproError
+from repro.estimators.base import BaseTableEstimator
+from repro.factorgraph.chow_liu import (
+    chow_liu_tree_from_joints,
+    joint_histogram,
+)
+from repro.shard.policy import ShardingPolicy, make_policy, partition_database, split_rows
+from repro.shard.pruning import ShardSummary, TableSummary, predicate_excludes
+from repro.sql.predicates import Predicate, TruePredicate
+from repro.sql.query import Query
+from repro.utils import Timer, pickled_size_bytes
+
+PARALLEL_MODES = ("process", "thread", "serial")
+
+
+@dataclass
+class ShardFit:
+    """One shard's parallel-fit result (what a worker sends back)."""
+
+    model: FactorJoin
+    summary: ShardSummary
+    fit_seconds: float
+
+
+def fit_shard(config: FactorJoinConfig, shard_db: Database,
+              binnings: dict[str, Binning]) -> ShardFit:
+    """Fit one shard model under the shared global binning.
+
+    Module-level so :class:`~concurrent.futures.ProcessPoolExecutor` can
+    pickle it; the returned model travels back model-sized because
+    ``FactorJoin.__getstate__`` drops the base tables.
+    """
+    model = FactorJoin(config).fit(shard_db, shared_binnings=binnings)
+    return ShardFit(model=model, summary=ShardSummary.of(shard_db),
+                    fit_seconds=model.fit_seconds)
+
+
+class ShardSet:
+    """Ordered per-shard models, possibly lazily materialized.
+
+    A slot is either a fitted :class:`FactorJoin` or a zero-argument
+    loader callable; loaders run at most once (under a lock) the first
+    time their shard is needed.  ``replace`` builds a new set sharing
+    the untouched slots — the copy-on-write step of ensemble updates.
+    """
+
+    def __init__(self, slots: list):
+        self._slots = list(slots)
+        self._lock = threading.Lock()
+
+    @classmethod
+    def eager(cls, models: list[FactorJoin]) -> "ShardSet":
+        return cls(models)
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def model(self, index: int) -> FactorJoin:
+        slot = self._slots[index]
+        if not callable(slot):
+            return slot
+        with self._lock:
+            slot = self._slots[index]
+            if callable(slot):
+                slot = slot()
+                self._slots[index] = slot
+        return slot
+
+    def models(self) -> list[FactorJoin]:
+        return [self.model(i) for i in range(len(self))]
+
+    def materialized_flags(self) -> list[bool]:
+        """Which shards are deserialized (False = still a lazy loader)."""
+        return [not callable(slot) for slot in self._slots]
+
+    @property
+    def loaded_count(self) -> int:
+        return sum(self.materialized_flags())
+
+    def replace(self, replacements: dict[int, FactorJoin]) -> "ShardSet":
+        slots = list(self._slots)
+        for index, model in replacements.items():
+            slots[index] = model
+        return ShardSet(slots)
+
+
+class EnsembleTableEstimator(BaseTableEstimator):
+    """Single-table estimator view over all shards of one table.
+
+    Row counts and filtered key distributions are *sums* over the
+    non-pruned shards; everything else about the bound computation reads
+    the exactly-merged global statistics, so inference never knows the
+    fit was partitioned.
+    """
+
+    name = "ensemble"
+
+    def __init__(self, table_name: str, shard_set: ShardSet,
+                 table_summaries: list[TableSummary | None],
+                 policy: ShardingPolicy, table_schema: TableSchema,
+                 key_binnings: dict[str, Binning],
+                 supports: tuple[bool, bool]):
+        self._table_name = table_name
+        self._shard_set = shard_set
+        self._summaries = table_summaries
+        self._policy = policy
+        self._schema = table_schema
+        self._binnings = dict(key_binnings)
+        self._supports_update, self._supports_delete = supports
+
+    def fit(self, table, schema, key_binnings):
+        raise NotImplementedError(
+            "EnsembleTableEstimator is assembled from fitted shards, "
+            "never fitted directly")
+
+    def candidate_shards(self, pred: Predicate) -> list[int]:
+        """Shards that may contribute rows under ``pred`` (never excludes
+        a shard that could change the answer)."""
+        policy_hint = self._policy.candidate_shards(
+            self._table_name, self._schema, pred)
+        out = []
+        for index, summary in enumerate(self._summaries):
+            if policy_hint is not None and index not in policy_hint:
+                continue
+            if summary is not None and predicate_excludes(pred, summary):
+                continue
+            out.append(index)
+        return out
+
+    def estimate_row_count(self, pred: Predicate) -> float:
+        return float(sum(
+            self._shard_set.model(i).table_estimator(
+                self._table_name).estimate_row_count(pred)
+            for i in self.candidate_shards(pred)))
+
+    def key_distribution(self, column: str, pred: Predicate) -> np.ndarray:
+        total = np.zeros(self._binnings[column].n_bins, dtype=np.float64)
+        for i in self.candidate_shards(pred):
+            total += self._shard_set.model(i).table_estimator(
+                self._table_name).key_distribution(column, pred)
+        return total
+
+    # mutations go through ShardedFactorJoin.update (routed + atomic
+    # state swap); the assembled view only reports capability
+    def update(self, new_rows: Table) -> None:
+        raise NotImplementedError(
+            "update the ensemble through ShardedFactorJoin.update")
+
+    def delete(self, deleted_rows: Table) -> None:
+        raise NotImplementedError(
+            "delete through ShardedFactorJoin.update(deleted_rows=...)")
+
+    def supports_update(self) -> bool:
+        return self._supports_update
+
+    def supports_delete(self) -> bool:
+        return self._supports_delete
+
+
+@dataclass(frozen=True)
+class _EnsembleState:
+    """One immutable snapshot of everything estimation reads.
+
+    ``ShardedFactorJoin`` swaps this reference atomically on update, so
+    concurrent readers see a consistent ensemble end to end.
+    """
+
+    shard_set: ShardSet
+    summaries: tuple[ShardSummary, ...]
+    merged: FactorJoin
+    # full pairwise key-joint sums (NULL codes included), kept so updates
+    # can refresh edge conditionals without touching unaffected shards
+    merged_pairs: dict[tuple[str, str, str], np.ndarray] = field(
+        default_factory=dict)
+    supports: dict[str, tuple[bool, bool]] = field(default_factory=dict)
+
+
+class ShardedFactorJoin:
+    """A FactorJoin-compatible estimator over a partitioned ensemble."""
+
+    def __init__(self, config: FactorJoinConfig | None = None, *,
+                 n_shards: int = 4,
+                 policy: ShardingPolicy | str = "hash",
+                 parallel: str = "process",
+                 max_workers: int | None = None,
+                 **kwargs):
+        if config is None:
+            config = FactorJoinConfig(**kwargs)
+        elif kwargs:
+            raise ValueError("pass either a config object or kwargs, "
+                             "not both")
+        if parallel not in PARALLEL_MODES:
+            raise ValueError(f"unknown parallel mode {parallel!r}; "
+                             f"choose from {PARALLEL_MODES}")
+        self.config = config
+        self.policy = (policy if isinstance(policy, ShardingPolicy)
+                       else make_policy(policy, n_shards))
+        self.parallel = parallel
+        self.max_workers = max_workers
+        self.parallel_fallback: str | None = None
+        self.fit_seconds = 0.0
+        self.last_update_seconds = 0.0
+        self.shard_fit_seconds: list[float] = []
+        self._state: _EnsembleState | None = None
+        self._update_lock = threading.Lock()
+
+    @property
+    def n_shards(self) -> int:
+        return self.policy.n_shards
+
+    # ------------------------------------------------------------------ fit --
+
+    def fit(self, database: Database) -> "ShardedFactorJoin":
+        """Partition, fit every shard (in parallel), merge statistics."""
+        with Timer() as timer:
+            shard_config = replace(self.config, keep_pairwise_joints=True)
+            binnings = FactorJoin(replace(self.config)).build_binnings(
+                database)
+            shard_dbs = partition_database(database, self.policy)
+            fits = self._fit_all(shard_config, shard_dbs, binnings)
+            self.shard_fit_seconds = [f.fit_seconds for f in fits]
+            self._state = _build_state(
+                self.config, database, self.policy,
+                ShardSet.eager([f.model for f in fits]),
+                tuple(f.summary for f in fits))
+        self.fit_seconds = timer.elapsed
+        return self
+
+    def _fit_all(self, config: FactorJoinConfig,
+                 shard_dbs: list[Database],
+                 binnings: dict[str, Binning]) -> list[ShardFit]:
+        if self.parallel == "serial" or len(shard_dbs) == 1:
+            return [fit_shard(config, db, binnings) for db in shard_dbs]
+        workers = self.max_workers or min(len(shard_dbs),
+                                          os.cpu_count() or 1)
+        workers = max(1, workers)
+        pool_cls = (ProcessPoolExecutor if self.parallel == "process"
+                    else ThreadPoolExecutor)
+        try:
+            with pool_cls(max_workers=workers) as pool:
+                return list(pool.map(fit_shard, repeat(config), shard_dbs,
+                                     repeat(binnings)))
+        except (BrokenProcessPool, OSError, pickle.PicklingError) as exc:
+            # constrained environments (no fork, no /dev/shm) fall back
+            # to a serial fit rather than failing the whole job
+            self.parallel_fallback = f"{type(exc).__name__}: {exc}"
+            return [fit_shard(config, db, binnings) for db in shard_dbs]
+
+    # ------------------------------------------------------------- estimate --
+
+    def _require_state(self) -> _EnsembleState:
+        state = self._state
+        if state is None:
+            raise NotFittedError("ShardedFactorJoin.fit was never called")
+        return state
+
+    def estimate(self, query: Query) -> float:
+        """Estimated cardinality; resolves one ensemble snapshot for the
+        whole computation (see the module's concurrency contract)."""
+        return self._require_state().merged.estimate(query)
+
+    def estimate_subplans(self, query: Query, min_tables: int = 1,
+                          progressive: bool = True) -> dict[frozenset, float]:
+        return self._require_state().merged.estimate_subplans(
+            query, min_tables=min_tables, progressive=progressive)
+
+    def subplan_fingerprints(self, query: Query, min_tables: int = 1
+                             ) -> dict[frozenset, tuple]:
+        return self._require_state().merged.subplan_fingerprints(
+            query, min_tables=min_tables)
+
+    def base_factor(self, query: Query, alias: str, groups_q=None):
+        return self._require_state().merged.base_factor(query, alias,
+                                                        groups_q)
+
+    def candidate_shards(self, query: Query, alias: str) -> list[int]:
+        """Which shards alias's factor would read (pruning introspection)."""
+        state = self._require_state()
+        estimator = state.merged.table_estimator(query.table_of(alias))
+        return estimator.candidate_shards(query.filter_of(alias))
+
+    # --------------------------------------------------------------- update --
+
+    def supports_update(self, table_name: str) -> bool:
+        state = self._require_state()
+        return state.supports.get(table_name, (True, True))[0]
+
+    def supports_delete(self, table_name: str) -> bool:
+        """Deletions need every shard estimator to support them *and* a
+        policy that can locate a deleted row's owner by content (range
+        placement cannot; neither can hash on a keyless table)."""
+        state = self._require_state()
+        try:
+            tschema = state.merged.database.schema.table(table_name)
+        except Exception:
+            return state.supports.get(table_name, (True, True))[1]
+        return (self.policy.can_route_deletes(tschema)
+                and state.supports.get(table_name, (True, True))[1])
+
+    def update(self, table_name: str, new_rows: Table | None = None,
+               deleted_rows: Table | None = None) -> None:
+        """Incremental insert/delete, routed to the owning shards.
+
+        Only the shards that receive rows are cloned and updated
+        (copy-on-write); merged statistics absorb the same delta, and the
+        new ensemble state is published with a single reference swap, so
+        concurrent estimates never observe a half-applied batch.
+        """
+        self._require_state()
+        with self._update_lock, Timer() as timer:
+            # resolve the state inside the lock: a concurrent update must
+            # build on the previous update's published state, not on a
+            # shared stale snapshot (lost-update hazard)
+            self._apply_update(self._require_state(), table_name,
+                               new_rows, deleted_rows)
+        self.last_update_seconds = timer.elapsed
+
+    def _apply_update(self, state: _EnsembleState, table_name: str,
+                      new_rows: Table | None,
+                      deleted_rows: Table | None) -> None:
+        merged = state.merged
+        schema = merged.database.schema
+        tschema = schema.table(table_name)  # unknown table: SchemaError
+        sup_update, sup_delete = state.supports.get(table_name,
+                                                    (True, True))
+        if new_rows is not None and not sup_update:
+            raise NotImplementedError(
+                f"ensemble shards cannot absorb inserts into "
+                f"{table_name!r} (table estimator has no update)")
+        if deleted_rows is not None and not (
+                sup_delete and self.policy.can_route_deletes(tschema)):
+            raise NotImplementedError(
+                f"ensemble shards cannot absorb deletions from "
+                f"{table_name!r} (table estimator has no delete, or the "
+                f"{self.policy.kind!r} policy cannot route deletions "
+                f"from this table by row content)")
+        new_split = (split_rows(self.policy, new_rows, tschema)
+                     if new_rows is not None else {})
+        del_split = (split_rows(self.policy, deleted_rows, tschema,
+                                op="delete")
+                     if deleted_rows is not None else {})
+        affected = sorted(set(new_split) | set(del_split))
+        if not affected:
+            return
+
+        # 1. clone + update the owning shards only; FactorJoin.update
+        # validates before mutating, and it mutates the clone — a failure
+        # here leaves the published state untouched.  clone_for_update
+        # shares the (immutable) database view, so the copy is
+        # statistics-sized, not data-sized
+        new_models: dict[int, FactorJoin] = {}
+        for index in affected:
+            clone = state.shard_set.model(index).clone_for_update()
+            if index in del_split:
+                clone.update(table_name, new_split.get(index),
+                             deleted_rows=del_split[index])
+            else:
+                clone.update(table_name, new_split[index])
+            new_models[index] = clone
+
+        # 2. merged key statistics: copy-on-write the affected groups
+        new_key_stats = dict(merged.key_statistics())
+        touched_groups: dict[str, KeyStatistics] = {}
+        for column in tschema.key_columns:
+            group_name = merged.group_name_of(table_name, column)
+            stats = touched_groups.get(group_name)
+            if stats is None:
+                stats = new_key_stats[group_name].shallow_copy()
+                touched_groups[group_name] = stats
+                new_key_stats[group_name] = stats
+            bin_stats = stats.stats_of(table_name, column).copy()
+            if new_rows is not None:
+                bin_stats.insert(
+                    new_rows[column].non_null_values().astype(np.int64))
+            if deleted_rows is not None:
+                bin_stats.delete(
+                    deleted_rows[column].non_null_values().astype(np.int64))
+            stats._per_key[(table_name, column)] = bin_stats
+
+        # 3. merged pairwise joints + the fixed tree's edge conditionals
+        new_pairs = dict(state.merged_pairs)
+        binning_of = {column: new_key_stats[
+            merged.group_name_of(table_name, column)].binning
+            for column in tschema.key_columns}
+        for (tname, col_a, col_b), joint in state.merged_pairs.items():
+            if tname != table_name:
+                continue
+            joint = joint.copy()
+            if new_rows is not None:
+                joint += _pair_histogram(new_rows, col_a, col_b,
+                                         binning_of, joint.shape)
+            if deleted_rows is not None:
+                joint -= _pair_histogram(deleted_rows, col_a, col_b,
+                                         binning_of, joint.shape)
+                np.maximum(joint, 0.0, out=joint)
+            new_pairs[(tname, col_a, col_b)] = joint
+        new_key_joints = dict(merged._key_joints)
+        for parent, child in merged.key_trees().get(table_name, []):
+            pair = _pair_lookup(new_pairs, table_name, parent, child)
+            new_key_joints[(table_name, parent, child)] = (
+                pair[:-1, :-1].copy())
+
+        # 4. database view + shard summaries
+        new_db = merged.database
+        if new_rows is not None:
+            new_db = new_db.insert(table_name, new_rows)
+        if deleted_rows is not None:
+            new_db = new_db.delete(table_name, deleted_rows, strict=False)
+        new_summaries = list(state.summaries)
+        for index in affected:
+            tables = dict(new_summaries[index].tables)
+            summary = tables.get(table_name,
+                                 TableSummary(0, {}))
+            if index in new_split:
+                summary = summary.after_insert(new_split[index])
+            if index in del_split:
+                remaining = int(round(new_models[index].table_estimator(
+                    table_name).estimate_row_count(TruePredicate())))
+                # approximate estimators under-count after tolerated
+                # over-deletes (rows that were never present); a summary
+                # must never claim emptiness it cannot prove, or pruning
+                # would wrongly exclude a shard that still has rows
+                if summary.row_count > 0:
+                    remaining = max(1, remaining)
+                summary = summary.after_delete(del_split[index],
+                                               remaining_rows=remaining)
+            tables[table_name] = summary
+            new_summaries[index] = ShardSummary(tables)
+
+        # 5. assemble + publish (single reference swap)
+        new_shard_set = state.shard_set.replace(new_models)
+        self._state = _assemble_state(
+            self.config, new_db, self.policy, new_shard_set,
+            tuple(new_summaries), new_key_stats,
+            dict(merged.key_trees()), new_key_joints, new_pairs,
+            dict(state.supports))
+
+    # -------------------------------------------------------------- persist --
+
+    def save(self, path, name: str | None = None) -> "ShardedFactorJoin":
+        """Persist as an ensemble artifact directory (one sub-artifact
+        per shard + shared merged statistics); see
+        :mod:`repro.shard.artifact`.  Returns self."""
+        from repro.shard.artifact import save_ensemble
+
+        self._require_state()
+        save_ensemble(self, path, name=name)
+        return self
+
+    @classmethod
+    def load(cls, path, expected_schema=None) -> "ShardedFactorJoin":
+        """Load an ensemble artifact with lazy per-shard materialization
+        (a shard deserializes the first time a query needs it)."""
+        from repro.shard.artifact import load_ensemble
+
+        model = load_ensemble(path, expected_schema=expected_schema)
+        if not isinstance(model, cls):
+            raise TypeError(
+                f"artifact at {path} holds a {type(model).__name__}, "
+                f"not a {cls.__name__}")
+        return model
+
+    def shared_state(self) -> dict:
+        """Everything the ensemble persists *except* the shard models.
+
+        The single definition of the persisted field set: plain pickling
+        (``__getstate__``/``__setstate__``) and the ensemble artifact
+        (:mod:`repro.shard.artifact`) both go through this and
+        :meth:`from_shared_state`, so a field added here round-trips
+        through every path or none.
+        """
+        state = self._require_state()
+        return {
+            "config": self.config,
+            "policy": self.policy,
+            "parallel": self.parallel,
+            "max_workers": self.max_workers,
+            "parallel_fallback": self.parallel_fallback,
+            "fit_seconds": self.fit_seconds,
+            "last_update_seconds": self.last_update_seconds,
+            "shard_fit_seconds": self.shard_fit_seconds,
+            "summaries": state.summaries,
+            "key_stats": state.merged.key_statistics(),
+            "key_trees": state.merged.key_trees(),
+            "key_joints": state.merged._key_joints,
+            "merged_pairs": state.merged_pairs,
+            "supports": state.supports,
+            "db_shell": state.merged.database.empty_copy(),
+        }
+
+    @classmethod
+    def from_shared_state(cls, payload: dict,
+                          shard_slots: list) -> "ShardedFactorJoin":
+        """Rebuild an ensemble from :meth:`shared_state` output plus
+        shard slots (fitted models, or lazy loaders for artifacts)."""
+        model = cls.__new__(cls)
+        model.config = payload["config"]
+        model.policy = payload["policy"]
+        model.parallel = payload.get("parallel", "process")
+        model.max_workers = payload.get("max_workers")
+        model.parallel_fallback = payload.get("parallel_fallback")
+        model.fit_seconds = float(payload.get("fit_seconds", 0.0))
+        model.last_update_seconds = float(
+            payload.get("last_update_seconds", 0.0))
+        model.shard_fit_seconds = list(
+            payload.get("shard_fit_seconds", []))
+        model._update_lock = threading.Lock()
+        model._state = _assemble_state(
+            model.config, payload["db_shell"], model.policy,
+            ShardSet(shard_slots), payload["summaries"],
+            payload["key_stats"], payload["key_trees"],
+            payload["key_joints"], payload["merged_pairs"],
+            payload["supports"])
+        return model
+
+    def __getstate__(self):
+        """Plain pickling materializes every shard and, like
+        ``FactorJoin.__getstate__``, drops base-table data."""
+        return {**self.shared_state(),
+                "shards": self._require_state().shard_set.models()}
+
+    def __setstate__(self, state):
+        rebuilt = type(self).from_shared_state(state, state["shards"])
+        self.__dict__ = rebuilt.__dict__
+
+    # ----------------------------------------------------------- introspect --
+
+    @property
+    def database(self) -> Database:
+        return self._require_state().merged.database
+
+    @property
+    def shards(self) -> list[FactorJoin]:
+        """Materialized per-shard models (loads any lazy shard)."""
+        return self._require_state().shard_set.models()
+
+    def materialized_shards(self) -> list[bool]:
+        """Which shards are deserialized (lazy-loading introspection)."""
+        return self._require_state().shard_set.materialized_flags()
+
+    def model_size_bytes(self) -> int:
+        state = self._require_state()
+        merged = state.merged
+        shared = pickled_size_bytes(
+            (merged.key_statistics(), merged._key_joints,
+             merged.key_trees(), state.merged_pairs))
+        return shared + sum(m.model_size_bytes()
+                            for m in state.shard_set.models())
+
+    def fingerprint(self) -> str:
+        """Content hash of the ensemble's statistics (see
+        :meth:`FactorJoin.fingerprint`); materializes every shard."""
+        import hashlib
+
+        state = self._require_state()
+        parts = "|".join([self.policy.kind, str(self.n_shards)]
+                         + [m.fingerprint()
+                            for m in state.shard_set.models()])
+        return hashlib.sha256(parts.encode()).hexdigest()
+
+    def group_names(self) -> list[str]:
+        return self._require_state().merged.group_names()
+
+    def binning_for_group(self, name: str) -> Binning:
+        return self._require_state().merged.binning_for_group(name)
+
+    def describe(self) -> dict:
+        """JSON-ready ensemble summary (manifest + ``GET /models``)."""
+        state = self._require_state()
+        return {
+            "kind": "ShardedFactorJoin",
+            "policy": self.policy.describe(),
+            "n_shards": self.n_shards,
+            "parallel": self.parallel,
+            "materialized_shards": sum(state.shard_set.
+                                       materialized_flags()),
+        }
+
+
+# -------------------------------------------------------------- assembly --
+
+
+def _build_state(config: FactorJoinConfig, database: Database,
+                 policy: ShardingPolicy, shard_set: ShardSet,
+                 summaries: tuple[ShardSummary, ...]) -> _EnsembleState:
+    """Merge freshly fitted shard models into one ensemble state."""
+    models = shard_set.models()
+    schema = database.schema
+    group_names = list(models[0].key_statistics())
+    key_stats = {
+        name: KeyStatistics.merged([m.key_statistics()[name]
+                                    for m in models])
+        for name in group_names
+    }
+    merged_pairs: dict[tuple[str, str, str], np.ndarray] = {}
+    for model in models:
+        for table_name in schema.table_names:
+            for (col_a, col_b), joint in model.pairwise_joints_of(
+                    table_name).items():
+                key = (table_name, col_a, col_b)
+                if key in merged_pairs:
+                    merged_pairs[key] = merged_pairs[key] + joint
+                else:
+                    merged_pairs[key] = joint.copy()
+    key_trees: dict[str, list[tuple[str, str]]] = {}
+    key_joints: dict[tuple[str, str, str], np.ndarray] = {}
+    for table_name in schema.table_names:
+        keys = schema.table(table_name).key_columns
+        if len(keys) < 2:
+            key_trees[table_name] = []
+            continue
+        index = {column: i for i, column in enumerate(keys)}
+        joints_by_index = {
+            (index[a], index[b]): merged_pairs[(t, a, b)]
+            for (t, a, b) in merged_pairs if t == table_name
+        }
+        edges = chow_liu_tree_from_joints(joints_by_index, len(keys))
+        tree = []
+        for pi, ci in edges:
+            parent, child = keys[pi], keys[ci]
+            pair = _pair_lookup(merged_pairs, table_name, parent, child)
+            key_joints[(table_name, parent, child)] = pair[:-1, :-1].copy()
+            tree.append((parent, child))
+        key_trees[table_name] = tree
+    supports = {
+        table_name: (
+            all(m.table_estimator(table_name).supports_update()
+                for m in models),
+            all(m.table_estimator(table_name).supports_delete()
+                for m in models),
+        )
+        for table_name in schema.table_names
+    }
+    return _assemble_state(config, database, policy, shard_set, summaries,
+                           key_stats, key_trees, key_joints, merged_pairs,
+                           supports)
+
+
+def _assemble_state(config: FactorJoinConfig, database: Database,
+                    policy: ShardingPolicy, shard_set: ShardSet,
+                    summaries: tuple[ShardSummary, ...],
+                    key_stats: dict[str, KeyStatistics],
+                    key_trees: dict[str, list[tuple[str, str]]],
+                    key_joints: dict[tuple[str, str, str], np.ndarray],
+                    merged_pairs: dict[tuple[str, str, str], np.ndarray],
+                    supports: dict[str, tuple[bool, bool]]
+                    ) -> _EnsembleState:
+    """Wrap merged components into a fresh immutable ensemble state."""
+    merged = FactorJoin.from_components(
+        config, database, key_stats,
+        _ensemble_estimators(database.schema, shard_set, summaries, policy,
+                             key_stats, supports),
+        key_trees, key_joints)
+    return _EnsembleState(shard_set=shard_set, summaries=tuple(summaries),
+                          merged=merged, merged_pairs=merged_pairs,
+                          supports=supports)
+
+
+def _ensemble_estimators(schema: DatabaseSchema, shard_set: ShardSet,
+                         summaries: tuple[ShardSummary, ...],
+                         policy: ShardingPolicy,
+                         key_stats: dict[str, KeyStatistics],
+                         supports: dict[str, tuple[bool, bool]]
+                         ) -> dict[str, EnsembleTableEstimator]:
+    group_of_key = {}
+    for name, stats in key_stats.items():
+        for table_name, column in stats.keys:
+            group_of_key[(table_name, column)] = name
+    estimators = {}
+    for table_name in schema.table_names:
+        tschema = schema.table(table_name)
+        binnings = {
+            column: key_stats[group_of_key[(table_name, column)]].binning
+            for column in tschema.key_columns
+            if (table_name, column) in group_of_key
+        }
+        estimators[table_name] = EnsembleTableEstimator(
+            table_name, shard_set,
+            [summary.table(table_name) for summary in summaries],
+            policy, tschema, binnings,
+            supports.get(table_name, (True, True)))
+    return estimators
+
+
+def _pair_lookup(pairs: dict[tuple[str, str, str], np.ndarray],
+                 table_name: str, parent: str, child: str) -> np.ndarray:
+    """The (parent, child)-oriented full joint from canonical storage."""
+    if (table_name, parent, child) in pairs:
+        return pairs[(table_name, parent, child)]
+    return pairs[(table_name, child, parent)].T
+
+
+def _pair_histogram(rows: Table, col_a: str, col_b: str,
+                    binnings: dict[str, Binning],
+                    shape: tuple[int, int]) -> np.ndarray:
+    """Full (NULL-padded) joint histogram of one batch's two key columns
+    (same NULL-code convention as the fit path:
+    :meth:`~repro.core.binning.Binning.assign_with_null_code`)."""
+    return joint_histogram(
+        binnings[col_a].assign_with_null_code(rows[col_a]),
+        binnings[col_b].assign_with_null_code(rows[col_b]),
+        shape[0], shape[1])

@@ -1,0 +1,260 @@
+"""Sharding policies: horizontal partitioning of a :class:`Database`.
+
+A :class:`ShardingPolicy` decides, row by row, which shard of an ensemble
+owns each row of each table.  Two concrete policies ship:
+
+- :class:`HashShardingPolicy` — hash (modulo) on one join-key column per
+  table, so rows that *join* tend to co-locate and an equality predicate
+  on the shard key prunes the ensemble to a single shard;
+- :class:`RangeShardingPolicy` — contiguous row ranges, the layout of
+  append-mostly data where new rows always land in the last shard.
+
+Policies are pluggable: register a subclass with :func:`register_policy`
+and ``repro fit --policy <kind>`` picks it up.  A policy must be
+deterministic and pure — the same row always routes to the same shard —
+because incremental updates (Section 4.3 of the paper) are routed through
+the same ``assign``/``route`` functions years after the initial fit.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.data.database import Database
+from repro.data.schema import TableSchema
+from repro.data.table import Table
+from repro.errors import ReproError
+from repro.sql.predicates import Comparison, In, Predicate
+
+
+class ShardingPolicy(ABC):
+    """Deterministic row -> shard assignment for every table."""
+
+    kind: str = "base"
+
+    def __init__(self, n_shards: int):
+        if n_shards < 1:
+            raise ReproError(f"n_shards must be >= 1, got {n_shards}")
+        self.n_shards = int(n_shards)
+
+    @abstractmethod
+    def assign(self, table: Table, schema: TableSchema) -> np.ndarray:
+        """Shard id in ``[0, n_shards)`` for every row of ``table``."""
+
+    def route(self, table: Table, schema: TableSchema) -> np.ndarray:
+        """Shard ids for *newly inserted* rows (defaults to ``assign``).
+
+        Policies whose assignment depends on row position rather than row
+        content (ranges) override this so late arrivals have a stable
+        owner.
+        """
+        return self.assign(table, schema)
+
+    def route_deletes(self, table: Table, schema: TableSchema) -> np.ndarray:
+        """Owning shards of rows being *deleted*.
+
+        Deletion must locate each row's owner from the row's content;
+        the default works for content-based policies (hash), where
+        ``assign`` is exactly that lookup.  Positional policies must
+        override — or raise, if content cannot determine ownership.
+        """
+        return self.assign(table, schema)
+
+    @property
+    def routes_deletes(self) -> bool:
+        """Whether this policy can ever route deletions by row content
+        (ensembles reject ``deleted_rows`` up front otherwise)."""
+        return True
+
+    def can_route_deletes(self, schema: TableSchema) -> bool:
+        """Whether deletions from *this table* can be routed by content
+        (some policies are content-based only for tables with a usable
+        shard key)."""
+        return self.routes_deletes
+
+    def candidate_shards(self, table_name: str, schema: TableSchema,
+                         pred: Predicate) -> set[int] | None:
+        """Shards that may hold rows matching ``pred``, or None when the
+        policy cannot tell (every shard is a candidate)."""
+        return None
+
+    def describe(self) -> dict:
+        """JSON-ready descriptor recorded in the ensemble manifest."""
+        return {"kind": self.kind, "n_shards": self.n_shards}
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n_shards={self.n_shards})"
+
+
+POLICY_REGISTRY: dict[str, type] = {}
+
+
+def register_policy(cls: type) -> type:
+    """Class decorator adding a policy to the plug-in registry."""
+    POLICY_REGISTRY[cls.kind] = cls
+    return cls
+
+
+def make_policy(kind: str, n_shards: int, **kwargs) -> ShardingPolicy:
+    """Instantiate a registered sharding policy by kind."""
+    try:
+        cls = POLICY_REGISTRY[kind]
+    except KeyError:
+        raise ReproError(
+            f"unknown sharding policy {kind!r}; "
+            f"available: {sorted(POLICY_REGISTRY)}") from None
+    return cls(n_shards, **kwargs)
+
+
+@register_policy
+class HashShardingPolicy(ShardingPolicy):
+    """Hash (modulo) partitioning on one join-key column per table.
+
+    The shard key defaults to the table's first declared key column;
+    ``shard_keys`` overrides per table.  Tables without key columns are
+    spread round-robin so every shard fits on comparable data sizes.
+    NULL shard keys route to shard 0 (they never join, so their placement
+    only affects balance, not answers).
+    """
+
+    kind = "hash"
+
+    def __init__(self, n_shards: int,
+                 shard_keys: dict[str, str] | None = None):
+        super().__init__(n_shards)
+        self.shard_keys = dict(shard_keys or {})
+
+    def shard_key_of(self, schema: TableSchema) -> str | None:
+        explicit = self.shard_keys.get(schema.name)
+        if explicit is not None:
+            if not schema.has_column(explicit):
+                raise ReproError(
+                    f"shard key {explicit!r} is not a column of table "
+                    f"{schema.name!r}")
+            return explicit
+        keys = schema.key_columns
+        return keys[0] if keys else None
+
+    def assign(self, table: Table, schema: TableSchema) -> np.ndarray:
+        column = self.shard_key_of(schema)
+        if column is None:
+            return np.arange(len(table), dtype=np.int64) % self.n_shards
+        col = table[column]
+        values = col.values.astype(np.int64, copy=False)
+        ids = np.mod(values, self.n_shards)
+        ids[col.null_mask] = 0
+        return ids
+
+    def route_deletes(self, table: Table, schema: TableSchema) -> np.ndarray:
+        if self.shard_key_of(schema) is None:
+            # keyless tables were spread round-robin *by position* at fit
+            # time; a delete batch's positions say nothing about where
+            # the rows live, so content routing is impossible
+            raise ReproError(
+                f"hash sharding spread keyless table {schema.name!r} by "
+                f"row position; deletions from it cannot be routed by "
+                f"content")
+        return self.assign(table, schema)
+
+    def can_route_deletes(self, schema: TableSchema) -> bool:
+        return self.shard_key_of(schema) is not None
+
+    def candidate_shards(self, table_name: str, schema: TableSchema,
+                         pred: Predicate) -> set[int] | None:
+        column = self.shard_key_of(schema)
+        if column is None:
+            return None
+        for conjunct in pred.conjuncts():
+            if isinstance(conjunct, Comparison) and conjunct.op == "=" \
+                    and conjunct.column == column \
+                    and _is_int_like(conjunct.value):
+                return {int(conjunct.value) % self.n_shards}
+            if isinstance(conjunct, In) and conjunct.column == column \
+                    and all(_is_int_like(v) for v in conjunct.values):
+                return {int(v) % self.n_shards for v in conjunct.values}
+        return None
+
+    def describe(self) -> dict:
+        out = super().describe()
+        if self.shard_keys:
+            out["shard_keys"] = dict(self.shard_keys)
+        return out
+
+
+@register_policy
+class RangeShardingPolicy(ShardingPolicy):
+    """Contiguous row-range partitioning (shard *i* owns rows
+    ``[i*n/k, (i+1)*n/k)`` of every table); inserts route to the last
+    shard, the natural owner of append-mostly growth."""
+
+    kind = "range"
+
+    def assign(self, table: Table, schema: TableSchema) -> np.ndarray:
+        n = len(table)
+        if n == 0:
+            return np.zeros(0, dtype=np.int64)
+        return (np.arange(n, dtype=np.int64) * self.n_shards) // n
+
+    def route(self, table: Table, schema: TableSchema) -> np.ndarray:
+        return np.full(len(table), self.n_shards - 1, dtype=np.int64)
+
+    def route_deletes(self, table: Table, schema: TableSchema) -> np.ndarray:
+        raise ReproError(
+            "range sharding places rows by position, so a deleted row's "
+            "owning shard cannot be derived from its content; use a "
+            "content-based policy (hash) for delete workloads, or refit")
+
+    @property
+    def routes_deletes(self) -> bool:
+        return False
+
+
+def _is_int_like(value) -> bool:
+    return isinstance(value, (int, np.integer)) \
+        and not isinstance(value, bool)
+
+
+def partition_database(database: Database, policy: ShardingPolicy
+                       ) -> list[Database]:
+    """Split ``database`` horizontally into ``policy.n_shards`` databases.
+
+    Every row lands in exactly one shard; every shard sees the full
+    schema (tables it owns no rows of are present but empty), so each
+    shard fits a complete, independently usable :class:`FactorJoin`.
+    """
+    shards: list[list[Table]] = [[] for _ in range(policy.n_shards)]
+    for name in database.table_names:
+        table = database.table(name)
+        schema = database.schema.table(name)
+        ids = np.asarray(policy.assign(table, schema))
+        if ids.shape != (len(table),):
+            raise ReproError(
+                f"policy {policy.kind!r} assigned {ids.shape} shard ids "
+                f"to the {len(table)} rows of table {name!r}")
+        if len(ids) and (ids.min() < 0 or ids.max() >= policy.n_shards):
+            raise ReproError(
+                f"policy {policy.kind!r} produced shard ids outside "
+                f"[0, {policy.n_shards}) for table {name!r}")
+        for s in range(policy.n_shards):
+            shards[s].append(table.take(ids == s))
+    return [Database(database.schema, tables) for tables in shards]
+
+
+def split_rows(policy: ShardingPolicy, table: Table, schema: TableSchema,
+               op: str = "insert") -> dict[int, Table]:
+    """Route a batch of rows to their owning shards (update path);
+    returns only shards that receive at least one row.  ``op="delete"``
+    routes through :meth:`ShardingPolicy.route_deletes`, which must
+    locate owners by row content."""
+    router = policy.route_deletes if op == "delete" else policy.route
+    ids = np.asarray(router(table, schema))
+    if ids.shape != (len(table),):
+        raise ReproError(
+            f"policy {policy.kind!r} routed {ids.shape} shard ids for "
+            f"{len(table)} rows of table {table.name!r}")
+    out: dict[int, Table] = {}
+    for s in np.unique(ids):
+        out[int(s)] = table.take(ids == s)
+    return out

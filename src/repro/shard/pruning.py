@@ -1,0 +1,241 @@
+"""Predicate-based shard pruning: skip shards that provably match nothing.
+
+Every shard keeps a tiny per-table summary — row count, per-column
+min/max over non-null values, null counts, and (for low-cardinality
+columns) the exact distinct-value set.  At estimation time a filter
+predicate is tested against the summary; a shard is *excluded* only when
+the predicate can be **proved** to select no rows there, so pruning never
+changes an answer, it only skips work.  Anything unprovable (LIKE, NOT,
+unknown columns, non-numeric bounds) conservatively keeps the shard.
+
+Summaries only ever widen on incremental updates (inserts extend min/max
+and distinct sets; deletes leave bounds untouched), so a stale summary is
+always on the safe side of the proof.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.column import Column
+from repro.data.database import Database
+from repro.data.table import Table
+from repro.sql.predicates import (
+    And,
+    Between,
+    Comparison,
+    In,
+    IsNull,
+    Predicate,
+    TruePredicate,
+)
+
+# columns with at most this many distinct non-null values keep the exact
+# value set, enabling equality/IN pruning beyond min/max ranges
+MAX_TRACKED_DISTINCT = 32
+
+
+@dataclass(frozen=True)
+class ColumnSummary:
+    """Provable facts about one column within one shard."""
+
+    non_null_count: int
+    null_count: int
+    minimum: float | None = None
+    maximum: float | None = None
+    values: frozenset | None = None
+
+    @classmethod
+    def of(cls, column: Column) -> "ColumnSummary":
+        non_null = column.non_null_values()
+        null_count = int(column.null_mask.sum())
+        if len(non_null) == 0:
+            return cls(0, null_count)
+        minimum = maximum = None
+        try:
+            minimum = float(non_null.min())
+            maximum = float(non_null.max())
+        except (TypeError, ValueError):
+            pass  # non-orderable (string) columns: no range pruning
+        values = None
+        distinct = np.unique(non_null)
+        if len(distinct) <= MAX_TRACKED_DISTINCT:
+            values = frozenset(distinct.tolist())
+        return cls(len(non_null), null_count, minimum, maximum, values)
+
+    def widened_by(self, column: Column) -> "ColumnSummary":
+        """Summary after inserting ``column``'s rows (bounds only grow)."""
+        other = ColumnSummary.of(column)
+        values = None
+        if self.values is not None and other.non_null_count == 0:
+            values = self.values
+        elif self.values is not None and other.values is not None:
+            merged = self.values | other.values
+            if len(merged) <= MAX_TRACKED_DISTINCT:
+                values = merged
+        return ColumnSummary(
+            self.non_null_count + other.non_null_count,
+            self.null_count + other.null_count,
+            _opt_min(self.minimum, other.minimum),
+            _opt_max(self.maximum, other.maximum),
+            values,
+        )
+
+
+def _opt_min(a, b):
+    return b if a is None else (a if b is None else min(a, b))
+
+
+def _opt_max(a, b):
+    return b if a is None else (a if b is None else max(a, b))
+
+
+@dataclass(frozen=True)
+class TableSummary:
+    """Per-shard facts about one table."""
+
+    row_count: int
+    columns: dict[str, ColumnSummary] = field(default_factory=dict)
+
+    @classmethod
+    def of(cls, table: Table) -> "TableSummary":
+        return cls(len(table),
+                   {c.name: ColumnSummary.of(c) for c in table.columns})
+
+    def after_insert(self, rows: Table) -> "TableSummary":
+        columns = {
+            name: (summary.widened_by(rows[name]) if name in rows
+                   else summary)
+            for name, summary in self.columns.items()
+        }
+        return TableSummary(self.row_count + len(rows), columns)
+
+    def after_delete(self, rows: Table, remaining_rows: int | None = None
+                     ) -> "TableSummary":
+        """Summary after a delete: bounds stay (conservative), the row
+        count shrinks only when the caller supplies one.
+
+        Callers must pass a remaining count that is a *proven floor* —
+        never 0 unless the shard is provably empty (non-strict deletes
+        tolerate absent rows, so approximate estimators can under-count;
+        a summary claiming false emptiness would make pruning exclude a
+        shard that still has rows).
+        """
+        if remaining_rows is None:
+            return self
+        return TableSummary(remaining_rows, self.columns)
+
+
+@dataclass(frozen=True)
+class ShardSummary:
+    """All table summaries of one shard (the pruning index)."""
+
+    tables: dict[str, TableSummary] = field(default_factory=dict)
+
+    @classmethod
+    def of(cls, database: Database) -> "ShardSummary":
+        return cls({name: TableSummary.of(database.table(name))
+                    for name in database.table_names})
+
+    def table(self, name: str) -> TableSummary | None:
+        return self.tables.get(name)
+
+
+def predicate_excludes(pred: Predicate, summary: TableSummary) -> bool:
+    """True only when ``pred`` provably matches no row of the shard.
+
+    Unknown predicate classes, unknown columns, and columns without
+    range information all return False (keep the shard).
+    """
+    if summary.row_count == 0:
+        return True
+    return _excludes(pred, summary)
+
+
+def _excludes(pred: Predicate, summary: TableSummary) -> bool:
+    if isinstance(pred, TruePredicate):
+        return False
+    if isinstance(pred, And):
+        return any(_excludes(child, summary) for child in pred.children)
+    # Or is imported lazily to keep the explicit-class dispatch below
+    from repro.sql.predicates import Or
+
+    if isinstance(pred, Or):
+        return bool(pred.children) and all(
+            _excludes(child, summary) for child in pred.children)
+    if isinstance(pred, IsNull):
+        col = summary.columns.get(pred.column)
+        if col is None:
+            return False
+        if pred.negated:  # IS NOT NULL matches nothing iff all-NULL
+            return col.non_null_count == 0
+        return col.null_count == 0
+    if isinstance(pred, Comparison):
+        return _comparison_excludes(pred, summary)
+    if isinstance(pred, Between):
+        col = summary.columns.get(pred.column)
+        if col is None or col.non_null_count == 0:
+            return col is not None
+        low, high = _as_float(pred.low), _as_float(pred.high)
+        if low is None or high is None or col.minimum is None:
+            return False
+        return high < col.minimum or low > col.maximum
+    if isinstance(pred, In):
+        col = summary.columns.get(pred.column)
+        if col is None:
+            return False
+        if col.non_null_count == 0:
+            return True
+        if col.values is not None:
+            return not any(_in_values(v, col.values) for v in pred.values)
+        if col.minimum is None:
+            return False
+        floats = [_as_float(v) for v in pred.values]
+        if any(f is None for f in floats):
+            return False
+        return all(f < col.minimum or f > col.maximum for f in floats)
+    return False  # LIKE, NOT, anything unknown: cannot prove emptiness
+
+
+def _comparison_excludes(pred: Comparison, summary: TableSummary) -> bool:
+    col = summary.columns.get(pred.column)
+    if col is None:
+        return False
+    if col.non_null_count == 0:
+        return True  # comparisons never match NULL
+    if pred.op == "=" and col.values is not None:
+        return not _in_values(pred.value, col.values)
+    value = _as_float(pred.value)
+    if value is None or col.minimum is None:
+        return False
+    if pred.op == "=":
+        return value < col.minimum or value > col.maximum
+    if pred.op == "<":
+        return col.minimum >= value
+    if pred.op == "<=":
+        return col.minimum > value
+    if pred.op == ">":
+        return col.maximum <= value
+    if pred.op == ">=":
+        return col.maximum < value
+    if pred.op == "!=":
+        return col.minimum == col.maximum == value
+    return False
+
+
+def _in_values(value, values: frozenset) -> bool:
+    if value in values:
+        return True
+    as_float = _as_float(value)
+    if as_float is None:
+        return False
+    return any(_as_float(v) == as_float for v in values)
+
+
+def _as_float(value) -> float | None:
+    if isinstance(value, bool) or not isinstance(
+            value, (int, float, np.integer, np.floating)):
+        return None
+    return float(value)

@@ -108,3 +108,81 @@ class TestKeyStatistics:
         ks.add_key("t", "c", np.array([1]))
         ks.insert("t", "c", np.array([2, 3]))
         assert ks.stats_of("t", "c").total_rows == 3
+
+
+class TestMerging:
+    """Exact per-partition merging (the sharded ensemble's foundation)."""
+
+    def test_merged_equals_full_fit(self):
+        binning = make_binning()
+        full = np.array([0, 0, 1, 5, 5, 5, 7, 12, 19, 19])
+        parts = [full[full % 3 == s] for s in range(3)]
+        merged = BinStats.merged([BinStats(binning, p) for p in parts])
+        reference = BinStats(binning, full)
+        assert np.array_equal(merged.totals, reference.totals)
+        assert np.array_equal(merged.mfv, reference.mfv)
+        assert np.array_equal(merged.ndv, reference.ndv)
+
+    def test_merged_requires_matching_binning(self):
+        import pytest
+
+        from repro.errors import ReproError
+
+        a = BinStats(make_binning(n_bins=4), np.array([1, 2]))
+        b = BinStats(make_binning(n_bins=5), np.array([1, 2]))
+        with pytest.raises(ReproError, match="share one binning"):
+            BinStats.merged([a, b])
+        with pytest.raises(ReproError, match="zero"):
+            BinStats.merged([])
+
+    def test_from_value_counts_round_trip(self):
+        binning = make_binning()
+        values = np.array([2, 7, 7, 7, 11])
+        reference = BinStats(binning, values)
+        rebuilt = BinStats.from_value_counts(
+            binning, np.array([2, 7, 11]), np.array([1.0, 3.0, 1.0]))
+        assert np.array_equal(rebuilt.totals, reference.totals)
+        assert np.array_equal(rebuilt.mfv, reference.mfv)
+
+    def test_copy_is_independent(self):
+        binning = make_binning()
+        original = BinStats(binning, np.array([1, 1, 2]))
+        clone = original.copy()
+        clone.insert(np.array([1, 1, 1]))
+        assert original.total_rows == 3
+        assert clone.total_rows == 6
+
+    def test_delete_inverts_insert(self):
+        binning = make_binning()
+        stats = BinStats(binning, np.array([0, 1, 1, 5]))
+        reference = BinStats(binning, np.array([0, 1, 1, 5]))
+        batch = np.array([1, 5, 5, 9])
+        stats.insert(batch)
+        stats.delete(batch)
+        assert np.array_equal(stats.totals, reference.totals)
+        assert np.array_equal(stats.mfv, reference.mfv)
+        assert np.array_equal(stats.ndv, reference.ndv)
+
+    def test_key_statistics_merged_and_shallow_copy(self):
+        binning = make_binning()
+        parts = []
+        for values in ([0, 1, 2], [3, 4], [5, 5, 5]):
+            ks = KeyStatistics("g", binning)
+            ks.add_key("t", "c", np.array(values))
+            parts.append(ks)
+        merged = KeyStatistics.merged(parts)
+        assert merged.stats_of("t", "c").total_rows == 8
+
+        clone = merged.shallow_copy()
+        replacement = clone.stats_of("t", "c").copy()
+        replacement.insert(np.array([7]))
+        clone._per_key[("t", "c")] = replacement
+        assert merged.stats_of("t", "c").total_rows == 8
+        assert clone.stats_of("t", "c").total_rows == 9
+
+    def test_key_statistics_delete_routes(self):
+        binning = make_binning()
+        ks = KeyStatistics("g", binning)
+        ks.add_key("t", "c", np.array([1, 2, 3]))
+        ks.delete("t", "c", np.array([2]))
+        assert ks.stats_of("t", "c").total_rows == 2

@@ -121,3 +121,95 @@ class TestBuildService:
             ["serve", "--load", artifact, "--load", f"other/{artifact}"])
         with pytest.raises(SystemExit, match="disambiguate"):
             build(clash)
+
+
+class TestFitCommand:
+    BENCH = ["--scale", "0.02", "--queries", "4", "--max-tables", "3",
+             "--seed", "21", "--bins", "4", "--estimator", "truescan"]
+    SQL = "SELECT COUNT(*) FROM users u, badges b WHERE u.id = b.user_id"
+
+    def test_fit_requires_save(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fit"])
+
+    def test_fit_writes_single_model_artifact(self, capsys, tmp_path):
+        artifact = str(tmp_path / "m.fj")
+        assert main(["fit", *self.BENCH, "--save", artifact]) == 0
+        out = capsys.readouterr().out
+        assert "fitted model" in out and artifact in out
+        assert main(["estimate", self.SQL, *self.BENCH[:-2],
+                     "--load", artifact]) == 0
+
+    def test_fit_writes_ensemble_artifact(self, capsys, tmp_path):
+        from repro.serve import read_manifest
+        from repro.shard import ShardedFactorJoin
+
+        artifact = str(tmp_path / "ens")
+        assert main(["fit", *self.BENCH, "--shards", "3",
+                     "--policy", "hash", "--parallel", "serial",
+                     "--save", artifact, "--name", "trio"]) == 0
+        out = capsys.readouterr().out
+        assert "3-shard hash ensemble" in out
+        manifest = read_manifest(artifact)
+        assert manifest["n_shards"] == 3 and manifest["name"] == "trio"
+        assert isinstance(ShardedFactorJoin.load(artifact),
+                          ShardedFactorJoin)
+
+    def test_shard_flags_on_serve(self):
+        args = build_parser().parse_args(
+            ["serve", "--shards", "4", "--policy", "range",
+             "--parallel", "thread", "--snapshot", "/tmp/x.snap"])
+        assert args.shards == 4
+        assert args.policy == "range"
+        assert args.snapshot == "/tmp/x.snap"
+
+
+class TestServeSnapshotFlow:
+    ARGS = ["serve", "--benchmark", "stats", "--scale", "0.02",
+            "--queries", "4", "--max-tables", "3", "--seed", "21",
+            "--bins", "4", "--estimator", "truescan"]
+    SQL = "SELECT COUNT(*) FROM users u, badges b WHERE u.id = b.user_id"
+
+    def test_snapshot_restores_across_restarts(self, capsys, tmp_path):
+        from repro.cli import build_service
+
+        snap = str(tmp_path / "cache.snap")
+        args = build_parser().parse_args([*self.ARGS, "--snapshot", snap])
+        first = build_service(args)
+        assert not first.estimate(self.SQL).cached
+        first.save_snapshot(snap)
+        capsys.readouterr()
+
+        second = build_service(args)
+        out = capsys.readouterr().out
+        assert "restored cache snapshot" in out
+        assert second.estimate(self.SQL).cached
+
+    def test_stale_snapshot_refused_but_not_fatal(self, capsys, tmp_path):
+        from repro.cli import build_service
+
+        snap = str(tmp_path / "cache.snap")
+        args = build_parser().parse_args([*self.ARGS, "--snapshot", snap])
+        service = build_service(args)
+        service.estimate(self.SQL)
+        service.save_snapshot(snap)
+        capsys.readouterr()
+
+        stale_args = build_parser().parse_args(
+            [*self.ARGS[:-2], "--estimator", "bayescard",
+             "--snapshot", snap])
+        survivor = build_service(stale_args)
+        out = capsys.readouterr().out
+        assert "cache snapshot refused" in out
+        assert not survivor.estimate(self.SQL).cached
+
+    def test_serve_fits_sharded_ensemble(self, capsys):
+        from repro.cli import build_service
+        from repro.shard import ShardedFactorJoin
+
+        args = build_parser().parse_args(
+            [*self.ARGS, "--shards", "2", "--parallel", "serial"])
+        service = build_service(args)
+        record = service.registry.record("default")
+        assert isinstance(record.model, ShardedFactorJoin)
+        assert service.estimate(self.SQL).estimate > 0

@@ -168,3 +168,52 @@ class TestDatabase:
         with pytest.raises(SchemaError):
             DatabaseSchema([users], [JoinRelation("users", "age",
                                                   "users", "id")])
+
+
+class TestRowRemoval:
+    def _db(self):
+        schema = make_schema()
+        return Database(schema, [
+            Table.from_dict("users", {"id": [1, 2, 2, 3],
+                                      "age": [30, 40, 40, 50]}),
+            Table.from_dict("posts", {"id": [10, 11], "owner_id": [1, 2],
+                                      "score": [5, 6]}),
+        ])
+
+    def test_remove_rows_multiset_semantics(self):
+        db = self._db()
+        batch = Table.from_dict("users", {"id": [2], "age": [40]})
+        remaining = db.table("users").remove_rows(batch)
+        assert len(remaining) == 3  # one of the two duplicates removed
+        assert (remaining["id"].values == [1, 2, 3]).all()
+
+    def test_remove_rows_missing_strict_raises(self):
+        db = self._db()
+        batch = Table.from_dict("users", {"id": [9], "age": [9]})
+        with pytest.raises(DataError, match="not present"):
+            db.table("users").remove_rows(batch)
+        # non-strict ignores the absent row
+        assert len(db.table("users").remove_rows(batch,
+                                                 strict=False)) == 4
+
+    def test_remove_rows_column_mismatch(self):
+        db = self._db()
+        with pytest.raises(SchemaError, match="column mismatch"):
+            db.table("users").remove_rows(
+                Table.from_dict("users", {"id": [1]}))
+
+    def test_remove_rows_is_null_aware(self):
+        masked = Table.from_dict("users", {"id": [1, 1], "age": [0, 0]},
+                                 null_masks={"age": [True, False]})
+        null_row = Table.from_dict("users", {"id": [1], "age": [0]},
+                                   null_masks={"age": [True]})
+        remaining = masked.remove_rows(null_row)
+        assert len(remaining) == 1
+        assert not remaining["age"].null_mask.any()
+
+    def test_database_delete(self):
+        db = self._db()
+        batch = Table.from_dict("users", {"id": [3], "age": [50]})
+        db2 = db.delete("users", batch)
+        assert len(db2.table("users")) == 3
+        assert len(db.table("users")) == 4  # original untouched

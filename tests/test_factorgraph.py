@@ -217,3 +217,68 @@ class TestLemma1:
         partition = sum_product_eliminate(factors)
         truth = CardinalityExecutor(db).cardinality(query)
         assert partition == pytest.approx(truth)
+
+
+class TestChowLiuFromJoints:
+    """Tree learning from summed pairwise joints must be bit-identical to
+    learning from the full code matrix (the sharded merge guarantee)."""
+
+    def test_tree_from_joints_matches_matrix(self):
+        from repro.factorgraph.chow_liu import (
+            chow_liu_tree,
+            chow_liu_tree_from_joints,
+            pairwise_joints,
+        )
+
+        rng = np.random.default_rng(3)
+        cards = [4, 3, 5, 2]
+        matrix = np.stack([rng.integers(0, k, 500) for k in cards], axis=1)
+        joints = pairwise_joints(matrix, cards)
+        assert chow_liu_tree_from_joints(joints, 4) == chow_liu_tree(
+            matrix, cards)
+
+    def test_partitioned_joints_sum_to_full(self):
+        from repro.factorgraph.chow_liu import (
+            chow_liu_tree,
+            chow_liu_tree_from_joints,
+            pairwise_joints,
+        )
+
+        rng = np.random.default_rng(4)
+        cards = [4, 4, 3]
+        matrix = np.stack([rng.integers(0, k, 600) for k in cards], axis=1)
+        shards = [matrix[s::3] for s in range(3)]
+        summed = None
+        for shard in shards:
+            joints = pairwise_joints(shard, cards)
+            if summed is None:
+                summed = joints
+            else:
+                summed = {pair: summed[pair] + joints[pair]
+                          for pair in joints}
+        full = pairwise_joints(matrix, cards)
+        for pair in full:
+            assert np.array_equal(summed[pair], full[pair])
+        assert chow_liu_tree_from_joints(summed, 3) == chow_liu_tree(
+            matrix, cards)
+
+    def test_mutual_information_from_joint_matches(self):
+        from repro.factorgraph.chow_liu import (
+            joint_histogram,
+            mutual_information,
+            mutual_information_from_joint,
+        )
+
+        rng = np.random.default_rng(5)
+        a = rng.integers(0, 4, 200)
+        b = (a + rng.integers(0, 2, 200)) % 4
+        joint = joint_histogram(a, b, 4, 4)
+        assert mutual_information_from_joint(joint) == pytest.approx(
+            mutual_information(a, b, 4, 4))
+
+    def test_missing_pair_raises(self):
+        from repro.errors import ReproError
+        from repro.factorgraph.chow_liu import chow_liu_tree_from_joints
+
+        with pytest.raises(ReproError, match="missing pairwise"):
+            chow_liu_tree_from_joints({}, 3)

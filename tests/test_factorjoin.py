@@ -233,7 +233,6 @@ class TestUpdates:
         db_full = build_toy_db(seed=16, n_b=400)
         table_b = db_full.table("B")
         half = len(table_b) // 2
-        import repro.data as rdata
         first = table_b.take(np.arange(half))
         rest = table_b.take(np.arange(half, len(table_b)))
         db_half = db_full.replace_table(first)
@@ -292,3 +291,74 @@ class TestAPI:
         q = parse_query("SELECT COUNT(*) FROM A a WHERE a.x > 2")
         truth = CardinalityExecutor(db).cardinality(q)
         assert model.estimate(q) == pytest.approx(truth)
+
+
+class TestDeletes:
+    """Section 4.3 symmetric maintenance: the deleted_rows update path."""
+
+    def test_insert_then_delete_restores_estimates(self):
+        db = build_toy_db(seed=21, n_b=200)
+        model = fit_truescan(db, n_bins=8)
+        q = parse_query(TWO_TABLE_QUERIES[0])
+        before = model.estimate(q)
+        batch = db.table("B").take(np.arange(40))
+        model.update("B", batch)
+        assert model.estimate(q) != before
+        model.update("B", deleted_rows=batch)
+        assert model.estimate(q) == pytest.approx(before, rel=1e-9)
+        assert len(model.database.table("B")) == 200
+
+    def test_delete_matches_retrain_on_remaining(self):
+        db = build_toy_db(seed=22, n_b=300)
+        table_b = db.table("B")
+        keep, drop = table_b.take(np.arange(200)), table_b.take(
+            np.arange(200, 300))
+        model = fit_truescan(db, n_bins=4, binning="equal_width")
+        model.update("B", deleted_rows=drop)
+        retrained = fit_truescan(db.replace_table(keep), n_bins=4,
+                                 binning="equal_width")
+        q = parse_query(TWO_TABLE_QUERIES[0])
+        assert model.estimate(q) == pytest.approx(retrained.estimate(q),
+                                                  rel=1e-6)
+
+    def test_mixed_insert_and_delete_batch(self):
+        db = build_toy_db(seed=23, n_b=120)
+        model = fit_truescan(db, n_bins=8)
+        q = parse_query(TWO_TABLE_QUERIES[0])
+        batch = db.table("B").take(np.arange(30))
+        model.update("B", new_rows=batch, deleted_rows=batch)
+        assert model.estimate(q) == pytest.approx(
+            fit_truescan(db, n_bins=8).estimate(q), rel=1e-9)
+
+    def test_unsupported_estimator_rejected_before_mutation(self):
+        db = build_toy_db(seed=24)
+        model = FactorJoin(FactorJoinConfig(
+            n_bins=4, table_estimator="bayescard")).fit(db)
+        assert model.supports_update("B")
+        assert not model.supports_delete("B")
+        q = parse_query(TWO_TABLE_QUERIES[0])
+        before = model.estimate(q)
+        with pytest.raises(NotImplementedError, match="deletion"):
+            model.update("B", deleted_rows=db.table("B").head(5))
+        assert model.estimate(q) == before
+
+    def test_histogram1d_supports_delete(self):
+        db = build_toy_db(seed=25)
+        model = FactorJoin(FactorJoinConfig(
+            n_bins=4, table_estimator="histogram1d")).fit(db)
+        assert model.supports_delete("B")
+        q = parse_query(TWO_TABLE_QUERIES[0])
+        before = model.estimate(q)
+        model.update("B", deleted_rows=db.table("B").head(30))
+        assert model.estimate(q) < before
+
+    def test_delete_after_reload_is_non_strict(self, tmp_path):
+        # after an artifact reload the database view is an empty shell;
+        # deletes must still apply to the statistics
+        db = build_toy_db(seed=26, n_b=150)
+        fit_truescan(db, n_bins=8).save(tmp_path / "m")
+        model = FactorJoin.load(tmp_path / "m")
+        q = parse_query(TWO_TABLE_QUERIES[0])
+        before = model.estimate(q)
+        model.update("B", deleted_rows=db.table("B").head(50))
+        assert model.estimate(q) < before

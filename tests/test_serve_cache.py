@@ -142,3 +142,76 @@ class TestSubplanLevel:
     def test_rejects_degenerate_subplan_size(self):
         with pytest.raises(ValueError):
             EstimateCache(max_size=4, subplan_max_size=0)
+
+
+class TestSnapshot:
+    def test_snapshot_restore_round_trip(self):
+        cache = EstimateCache(max_size=8)
+        cache.put(("q1",), 10.0)
+        cache.put(("q2",), 20.0)
+        cache.put_subplan(("s1",), 1.5)
+        fresh = EstimateCache(max_size=8)
+        counts = fresh.restore(cache.snapshot())
+        assert counts == {"entries": 2, "subplans": 1, "dropped": False}
+        assert fresh.get(("q1",)) == 10.0
+        assert fresh.get_subplan(("s1",)) == 1.5
+
+    def test_restore_into_smaller_cache_keeps_hottest(self):
+        cache = EstimateCache(max_size=8)
+        for i in range(6):
+            cache.put((f"q{i}",), float(i))
+        cache.get(("q0",))  # refresh q0 so it becomes most-recent
+        small = EstimateCache(max_size=2)
+        small.restore(cache.snapshot())
+        assert small.get(("q0",)) is not None
+        assert small.get(("q5",)) is not None
+        assert small.get(("q1",)) is None
+
+    def test_restore_keeps_existing_entries(self):
+        cache = EstimateCache(max_size=8)
+        cache.put(("mine",), 1.0)
+        other = EstimateCache(max_size=8)
+        other.put(("theirs",), 2.0)
+        cache.restore(other.snapshot())
+        assert cache.get(("mine",)) == 1.0
+        assert cache.get(("theirs",)) == 2.0
+
+    def test_file_snapshot_fingerprint_guard(self, tmp_path):
+        from repro.errors import ArtifactError
+        from repro.serve.snapshot import restore_snapshot, save_snapshot
+
+        cache = EstimateCache(max_size=8)
+        cache.put(("q",), 42.0)
+        path = tmp_path / "cache.snap"
+        summary = save_snapshot(cache, path, fingerprint="abc",
+                                model_name="m")
+        assert summary["entries"] == 1
+
+        target = EstimateCache(max_size=8)
+        restored = restore_snapshot(target, path, fingerprint="abc")
+        assert restored["entries"] == 1
+        assert target.get(("q",)) == 42.0
+        with pytest.raises(ArtifactError, match="refusing"):
+            restore_snapshot(EstimateCache(), path, fingerprint="other")
+
+    def test_restore_racing_invalidation_is_dropped(self):
+        cache = EstimateCache(max_size=8)
+        cache.put(("q",), 1.0)
+        payload = cache.snapshot()
+        target = EstimateCache(max_size=8)
+        stamp = target.invalidations
+        target.invalidate()  # a model update lands mid-restore
+        counts = target.restore(payload, stamp=stamp)
+        assert counts["dropped"] and counts["entries"] == 0
+        assert target.get(("q",)) is None
+
+    def test_corrupt_snapshot_refused(self, tmp_path):
+        from repro.errors import ArtifactError
+        from repro.serve.snapshot import read_snapshot
+
+        path = tmp_path / "bad.snap"
+        with pytest.raises(ArtifactError, match="no cache snapshot"):
+            read_snapshot(path)
+        path.write_bytes(b"not a pickle")
+        with pytest.raises(ArtifactError, match="corrupt"):
+            read_snapshot(path)

@@ -244,3 +244,140 @@ class TestConcurrentClients:
         assert len(results) == 12
         assert all(batch[0]["estimate"] == want for batch in results)
         assert service.latency.count == 24
+
+
+@pytest.fixture
+def served_scan(toy_db):
+    """A served truescan model (supports deletes), plus the raw rows."""
+    model = FactorJoin(FactorJoinConfig(
+        n_bins=4, table_estimator="truescan")).fit(toy_db)
+    service = EstimationService()
+    service.register("default", model)
+    server, _ = serve_in_background(service, port=0)
+    yield server, service, model
+    server.shutdown()
+    server.server_close()
+
+
+class TestUpdateOps:
+    def _rows(self, toy_db, n=10):
+        table = toy_db.table("B").head(n)
+        return {name: table[name].values.tolist()
+                for name in table.column_names}
+
+    def test_update_op_delete_round_trip(self, served_scan, toy_db):
+        server, _, _ = served_scan
+        before = _post(server, "/estimate", {"sql": SQL})["estimate"]
+        rows = self._rows(toy_db)
+        inserted = _post(server, "/update", {"table": "B", "rows": rows})
+        assert inserted["rows"] == 10
+        deleted = _post(server, "/update",
+                        {"table": "B", "rows": rows, "op": "delete"})
+        assert deleted["deleted_rows"] == 10
+        after = _post(server, "/estimate", {"sql": SQL})["estimate"]
+        assert after == pytest.approx(before, rel=1e-9)
+
+    def test_update_bad_op_is_400(self, served_scan, toy_db):
+        server, _, _ = served_scan
+        status, body = _status_of(lambda: _post(
+            server, "/update",
+            {"table": "B", "rows": self._rows(toy_db), "op": "upsert"}))
+        assert status == 400
+        assert "op" in body["error"]
+
+    def test_delete_on_unsupporting_model_is_400(self, served, toy_db):
+        server, _, _ = served  # bayescard: no delete support
+        rows = {"aid": [1], "cid": [1], "y": [1]}
+        status, body = _status_of(lambda: _post(
+            server, "/update",
+            {"table": "B", "rows": rows, "op": "delete"}))
+        assert status == 400
+        assert "delete" in body["error"]
+
+
+class TestSnapshotRoute:
+    """POST /snapshot is only live when the server was given a snapshot
+    directory, and every client-named path must stay inside it — the
+    endpoint writes files on save and unpickles them on restore."""
+
+    @pytest.fixture
+    def snapshot_server(self, served, tmp_path):
+        _, service, _ = served
+        server, _ = serve_in_background(service, port=0,
+                                        snapshot_dir=tmp_path)
+        yield server, service
+        server.shutdown()
+        server.server_close()
+
+    def test_save_then_restore(self, snapshot_server):
+        server, service = snapshot_server
+        _post(server, "/estimate", {"sql": SQL})
+        saved = _post(server, "/snapshot",
+                      {"action": "save", "path": "cache.snap"})
+        assert saved["entries"] >= 1
+
+        service._cache_of("default").invalidate()
+        assert not _post(server, "/estimate", {"sql": SQL})["cached"]
+        restored = _post(server, "/snapshot",
+                         {"action": "restore", "path": "cache.snap"})
+        assert restored["entries"] == saved["entries"]
+        assert _post(server, "/estimate", {"sql": SQL})["cached"]
+
+    def test_bad_action_is_400(self, snapshot_server):
+        server, _ = snapshot_server
+        status, body = _status_of(lambda: _post(
+            server, "/snapshot", {"action": "rotate", "path": "x.snap"}))
+        assert status == 400
+        assert "action" in body["error"]
+
+    def test_disabled_without_snapshot_dir(self, served):
+        server, _, _ = served  # no snapshot_dir configured
+        status, body = _status_of(lambda: _post(
+            server, "/snapshot",
+            {"action": "save", "path": "cache.snap"}))
+        assert status == 400
+        assert "disabled" in body["error"]
+
+    def test_path_escape_is_rejected(self, snapshot_server):
+        server, _ = snapshot_server
+        for evil in ("../outside.snap", "/etc/hostile.snap"):
+            status, body = _status_of(lambda: _post(
+                server, "/snapshot", {"action": "save", "path": evil}))
+            assert status == 400
+            assert "snapshot" in body["error"]
+
+    def test_non_snap_extension_is_rejected(self, snapshot_server):
+        """The snapshot dir may be an artifact dir — a client must not be
+        able to overwrite model.pkl or manifest.json."""
+        server, _ = snapshot_server
+        for name in ("model.pkl", "manifest.json", "cache"):
+            status, body = _status_of(lambda: _post(
+                server, "/snapshot", {"action": "save", "path": name}))
+            assert status == 400
+            assert ".snap" in body["error"]
+
+    def test_fingerprint_mismatch_is_400(self, snapshot_server,
+                                         served_scan, tmp_path):
+        server_a, _ = snapshot_server
+        _post(server_a, "/estimate", {"sql": SQL})
+        _post(server_a, "/snapshot",
+              {"action": "save", "path": "cache.snap"})
+
+        _, scan_service, _ = served_scan
+        server_b, _ = serve_in_background(scan_service, port=0,
+                                          snapshot_dir=tmp_path)
+        try:
+            status, body = _status_of(lambda: _post(
+                server_b, "/snapshot",
+                {"action": "restore", "path": "cache.snap"}))
+        finally:
+            server_b.shutdown()
+            server_b.server_close()
+        assert status == 400
+        assert "refusing" in body["error"]
+
+    def test_missing_fields_are_400(self, snapshot_server):
+        server, _ = snapshot_server
+        status, _ = _status_of(lambda: _post(
+            server, "/snapshot", {"action": "save"}))
+        assert status == 400

@@ -310,3 +310,168 @@ class TestConcurrency:
                 t.join()
         assert not errors
         assert service.latency.count > 0
+
+
+class TestDeletes:
+    def test_delete_through_service(self, toy_db):
+        model = FactorJoin(FactorJoinConfig(
+            n_bins=4, table_estimator="truescan")).fit(toy_db)
+        svc = EstimationService()
+        svc.register("default", model)
+        before = svc.estimate(SQL).estimate
+        batch = toy_db.table("B").head(25)
+        svc.update("B", batch)
+        mid = svc.estimate(SQL).estimate
+        assert mid != before
+        summary = svc.update("B", deleted_rows=batch)
+        assert summary["deleted_rows"] == 25 and summary["rows"] == 0
+        after = svc.estimate(SQL).estimate
+        assert after == pytest.approx(before, rel=1e-9)
+
+    def test_delete_invalidates_cache(self, toy_db):
+        model = FactorJoin(FactorJoinConfig(
+            n_bins=4, table_estimator="truescan")).fit(toy_db)
+        svc = EstimationService()
+        svc.register("default", model)
+        svc.estimate(SQL)
+        assert svc.estimate(SQL).cached
+        svc.update("B", deleted_rows=toy_db.table("B").head(5))
+        assert not svc.estimate(SQL).cached
+
+    def test_unsupported_delete_rejected(self, service, toy_db):
+        # the default fixture model uses bayescard, which cannot delete
+        with pytest.raises(NotImplementedError, match="no delete"):
+            service.update("B", deleted_rows=toy_db.table("B").head(2))
+
+    def test_update_without_any_rows_rejected(self, service):
+        from repro.errors import DataError
+
+        with pytest.raises(DataError, match="new_rows and/or deleted"):
+            service.update("B")
+
+
+class TestSnapshots:
+    def _exercised(self, svc):
+        svc.estimate(SQL)
+        svc.estimate_subplans("SELECT COUNT(*) FROM A a, B b, C c "
+                              "WHERE a.id = b.aid AND b.cid = c.id")
+        return svc
+
+    def test_save_restore_round_trip(self, toy_db, tmp_path):
+        model = FactorJoin(FactorJoinConfig(n_bins=4)).fit(toy_db)
+        svc = EstimationService()
+        svc.register("default", model)
+        self._exercised(svc)
+        path = tmp_path / "cache.snap"
+        saved = svc.save_snapshot(path)
+        assert saved["entries"] >= 2 and saved["subplans"] >= 1
+
+        fresh = EstimationService()
+        fresh.register("default", model)
+        restored = fresh.restore_snapshot(path)
+        assert restored["entries"] == saved["entries"]
+        assert fresh.estimate(SQL).cached
+
+    def test_restore_refused_for_different_model(self, toy_db, tmp_path):
+        from repro.errors import ArtifactError
+
+        model = FactorJoin(FactorJoinConfig(n_bins=4)).fit(toy_db)
+        svc = EstimationService()
+        svc.register("default", model)
+        self._exercised(svc)
+        path = tmp_path / "cache.snap"
+        svc.save_snapshot(path)
+
+        other = EstimationService()
+        other.register("default",
+                       FactorJoin(FactorJoinConfig(n_bins=8)).fit(toy_db))
+        with pytest.raises(ArtifactError, match="refusing"):
+            other.restore_snapshot(path)
+
+    def test_update_changes_fingerprint(self, toy_db, tmp_path):
+        """A snapshot saved pre-update must not restore post-update."""
+        from repro.errors import ArtifactError
+
+        model = FactorJoin(FactorJoinConfig(
+            n_bins=4, table_estimator="truescan")).fit(toy_db)
+        svc = EstimationService()
+        svc.register("default", model,
+                     metadata={"fingerprint": "artifact-sha"})
+        self._exercised(svc)
+        path = tmp_path / "cache.snap"
+        svc.save_snapshot(path)
+        svc.update("B", toy_db.table("B").head(3))
+        # the artifact fingerprint was dropped by the update; the content
+        # hash of the mutated model no longer matches the stamp
+        with pytest.raises(ArtifactError, match="refusing"):
+            svc.restore_snapshot(path)
+
+
+class TestEnsembleConcurrency:
+    """Satellite: parallel estimates against a served ShardedFactorJoin
+    racing a per-shard update must never mix pre/post-update shard stats
+    in one answer (extends the stamped-put race coverage)."""
+
+    def _sharded_service(self, toy_db):
+        from repro.shard import ShardedFactorJoin
+
+        model = ShardedFactorJoin(
+            FactorJoinConfig(n_bins=4, table_estimator="truescan"),
+            n_shards=4, parallel="serial").fit(toy_db)
+        svc = EstimationService(cache_size=64)
+        svc.register("default", model)
+        return svc, model
+
+    def test_served_answers_are_pre_or_post_update(self, toy_db):
+        svc, model = self._sharded_service(toy_db)
+        query = parse_query(SQL)
+        before = model.estimate(query)
+        batch = toy_db.table("B").head(40)
+        observed, errors = [], []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    observed.append(svc.estimate(SQL).estimate)
+                except Exception as exc:  # noqa: BLE001 - recording
+                    errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(3):
+                svc.update("B", batch)
+                svc.update("B", deleted_rows=batch)
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+        after = model.estimate(query)
+        assert not errors
+        assert after == pytest.approx(before, rel=1e-9)
+        mid_model = None  # the transient post-insert value
+        import copy as _copy
+
+        probe = _copy.deepcopy(model)
+        probe.update("B", batch)
+        mid_model = probe.estimate(query)
+        allowed = {before, after, mid_model}
+        unexpected = [v for v in observed if v not in allowed]
+        assert not unexpected, f"mixed-state answers: {unexpected[:5]}"
+
+    def test_stamped_put_drops_raced_ensemble_entry(self, toy_db):
+        """A cache put computed against the pre-update ensemble must not
+        land after the update invalidated the cache."""
+        svc, model = self._sharded_service(toy_db)
+        cache = svc._cache_of("default")
+        from repro.serve.cache import query_fingerprint
+
+        query = parse_query(SQL)
+        key = query_fingerprint(query)
+        stamp = cache.invalidations
+        stale_value = model.estimate(query)
+        svc.update("B", toy_db.table("B").head(10))
+        cache.put(key, stale_value, stamp=stamp)  # must be dropped
+        assert cache.get(key) is None

@@ -1,0 +1,291 @@
+"""Tests for ShardedFactorJoin: parallel fit, exact merging, routed updates."""
+
+import pickle
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import FactorJoin, FactorJoinConfig
+from repro.errors import NotFittedError
+from repro.shard import ShardedFactorJoin
+from repro.sql import parse_query
+
+SQL_JOIN = "SELECT COUNT(*) FROM A a, B b WHERE a.id = b.aid"
+SQL_CHAIN = ("SELECT COUNT(*) FROM A a, B b, C c "
+             "WHERE a.id = b.aid AND b.cid = c.id AND a.x > 1")
+SQL_FILTERED = "SELECT COUNT(*) FROM A a, B b WHERE a.id = b.aid AND b.y = 2"
+
+QUERIES = [SQL_JOIN, SQL_CHAIN, SQL_FILTERED,
+           "SELECT COUNT(*) FROM B b WHERE b.y >= 2",
+           "SELECT COUNT(*) FROM B b, C c WHERE b.cid = c.id"]
+
+
+def _config(**kwargs):
+    kwargs.setdefault("n_bins", 4)
+    kwargs.setdefault("table_estimator", "truescan")
+    return FactorJoinConfig(**kwargs)
+
+
+@pytest.fixture
+def flat(toy_db):
+    return FactorJoin(_config()).fit(toy_db)
+
+
+@pytest.fixture
+def sharded(toy_db):
+    return ShardedFactorJoin(_config(), n_shards=4,
+                             parallel="serial").fit(toy_db)
+
+
+class TestEquality:
+    """A hash-partitioned ensemble with an exact single-table estimator
+    must reproduce the unsharded model's estimates bit for bit (the merge
+    is lossless; see repro.shard.ensemble's module docstring)."""
+
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_estimates_equal_unsharded(self, flat, sharded, sql):
+        query = parse_query(sql)
+        assert sharded.estimate(query) == pytest.approx(
+            flat.estimate(query), rel=1e-12)
+
+    def test_equal_under_range_policy(self, toy_db, flat):
+        ranged = ShardedFactorJoin(_config(), n_shards=3, policy="range",
+                                   parallel="serial").fit(toy_db)
+        for sql in QUERIES:
+            query = parse_query(sql)
+            assert ranged.estimate(query) == pytest.approx(
+                flat.estimate(query), rel=1e-12)
+
+    def test_subplan_maps_equal_unsharded(self, flat, sharded):
+        query = parse_query(SQL_CHAIN)
+        flat_map = flat.estimate_subplans(query)
+        shard_map = sharded.estimate_subplans(query)
+        assert set(flat_map) == set(shard_map)
+        for subset, value in flat_map.items():
+            assert shard_map[subset] == pytest.approx(value, rel=1e-12)
+
+    def test_merged_key_trees_match_unsharded(self, flat, sharded):
+        state = sharded._require_state()
+        assert state.merged.key_trees() == flat.key_trees()
+
+    @pytest.mark.parametrize("mode", ["thread", "process"])
+    def test_parallel_modes_match_serial(self, toy_db, sharded, mode):
+        parallel = ShardedFactorJoin(_config(), n_shards=4,
+                                     parallel=mode).fit(toy_db)
+        for sql in QUERIES:
+            query = parse_query(sql)
+            assert parallel.estimate(query) == pytest.approx(
+                sharded.estimate(query), rel=1e-12)
+
+    def test_approximate_estimator_stays_sane(self, toy_db):
+        flat = FactorJoin(_config(table_estimator="bayescard",
+                                  seed=0)).fit(toy_db)
+        sharded = ShardedFactorJoin(
+            _config(table_estimator="bayescard", seed=0),
+            n_shards=2, parallel="serial").fit(toy_db)
+        for sql in QUERIES:
+            query = parse_query(sql)
+            estimate = sharded.estimate(query)
+            assert np.isfinite(estimate) and estimate >= 0
+            reference = flat.estimate(query)
+            # merged stats are exact; only per-shard estimator error may
+            # differ, so the two stay within a small factor
+            if reference > 0:
+                assert 0.2 <= (estimate + 1) / (reference + 1) <= 5
+
+
+class TestSurface:
+    def test_not_fitted_raises(self):
+        model = ShardedFactorJoin(_config(), n_shards=2)
+        with pytest.raises(NotFittedError):
+            model.estimate(parse_query(SQL_JOIN))
+
+    def test_config_or_kwargs_not_both(self):
+        with pytest.raises(ValueError):
+            ShardedFactorJoin(_config(), n_bins=8)
+
+    def test_unknown_parallel_mode(self):
+        with pytest.raises(ValueError, match="parallel"):
+            ShardedFactorJoin(_config(), parallel="gpu")
+
+    def test_database_property_and_introspection(self, sharded, toy_db):
+        assert sharded.database.schema is not None
+        assert sharded.n_shards == 4
+        assert len(sharded.shards) == 4
+        assert sharded.model_size_bytes() > 0
+        assert sorted(sharded.group_names()) == sorted(
+            FactorJoin(_config()).fit(toy_db).group_names())
+        description = sharded.describe()
+        assert description["policy"]["kind"] == "hash"
+        assert description["n_shards"] == 4
+
+    def test_pickle_round_trip(self, sharded):
+        clone = pickle.loads(pickle.dumps(sharded))
+        for sql in QUERIES:
+            query = parse_query(sql)
+            assert clone.estimate(query) == sharded.estimate(query)
+
+    def test_fingerprint_tracks_statistics(self, toy_db, sharded):
+        again = ShardedFactorJoin(_config(), n_shards=4,
+                                  parallel="serial").fit(toy_db)
+        assert again.fingerprint() == sharded.fingerprint()
+        again.update("B", toy_db.table("B").head(3))
+        assert again.fingerprint() != sharded.fingerprint()
+
+
+class TestPruning:
+    def test_equality_predicate_prunes_to_one_shard(self, sharded):
+        query = parse_query(
+            "SELECT COUNT(*) FROM A a WHERE a.id = 7")
+        assert sharded.candidate_shards(query, "a") == [3]
+
+    def test_unfiltered_alias_reads_every_shard(self, sharded):
+        query = parse_query(SQL_JOIN)
+        assert sharded.candidate_shards(query, "b") == [0, 1, 2, 3]
+
+    def test_pruned_estimates_match_unpruned_sum(self, flat, sharded):
+        query = parse_query("SELECT COUNT(*) FROM A a WHERE a.id = 7")
+        assert sharded.estimate(query) == pytest.approx(
+            flat.estimate(query), rel=1e-12)
+
+
+class TestUpdates:
+    def test_routed_insert_matches_unsharded_update(self, toy_db, flat,
+                                                    sharded):
+        batch = toy_db.table("B").head(17)
+        flat.update("B", batch)
+        sharded.update("B", batch)
+        for sql in QUERIES:
+            query = parse_query(sql)
+            assert sharded.estimate(query) == pytest.approx(
+                flat.estimate(query), rel=1e-12)
+
+    def test_insert_then_delete_restores_estimates(self, toy_db, sharded):
+        before = {sql: sharded.estimate(parse_query(sql))
+                  for sql in QUERIES}
+        batch = toy_db.table("B").head(11)
+        sharded.update("B", batch)
+        sharded.update("B", deleted_rows=batch)
+        for sql, value in before.items():
+            assert sharded.estimate(parse_query(sql)) == pytest.approx(
+                value, rel=1e-12)
+
+    def test_range_policy_routes_inserts_to_last_shard(self, toy_db):
+        model = ShardedFactorJoin(_config(), n_shards=3, policy="range",
+                                  parallel="serial").fit(toy_db)
+        sizes_before = [len(s.database.table("B")) for s in model.shards]
+        model.update("B", toy_db.table("B").head(9))
+        sizes_after = [len(s.database.table("B")) for s in model.shards]
+        assert sizes_after[:-1] == sizes_before[:-1]
+        assert sizes_after[-1] == sizes_before[-1] + 9
+
+    def test_failed_update_leaves_state_untouched(self, toy_db, sharded):
+        from repro.data import Column, Table
+        from repro.errors import ReproError
+
+        before = {sql: sharded.estimate(parse_query(sql))
+                  for sql in QUERIES}
+        state_before = sharded._require_state()
+        bad = Table("B", [Column("aid", [1])])  # missing columns
+        with pytest.raises(ReproError):
+            sharded.update("B", bad)
+        assert sharded._require_state() is state_before
+        for sql, value in before.items():
+            assert sharded.estimate(parse_query(sql)) == value
+
+    def test_range_policy_cannot_route_deletes(self, toy_db):
+        """Range placement is positional, so a deleted row's owner is not
+        derivable from its content — deletes must be rejected up front
+        rather than silently subtracted from the wrong shard."""
+        model = ShardedFactorJoin(_config(), n_shards=3, policy="range",
+                                  parallel="serial").fit(toy_db)
+        assert model.supports_update("B")
+        assert not model.supports_delete("B")
+        before = model.estimate(parse_query(SQL_JOIN))
+        with pytest.raises(NotImplementedError, match="route deletions"):
+            model.update("B", deleted_rows=toy_db.table("B").head(3))
+        assert model.estimate(parse_query(SQL_JOIN)) == before
+
+    def test_concurrent_updates_are_not_lost(self, toy_db, sharded):
+        """Two racing updates must both land (the state is re-resolved
+        under the update lock, so the second builds on the first)."""
+        batch_a = toy_db.table("B").head(10)
+        batch_c = toy_db.table("C").head(5)
+        threads = [
+            threading.Thread(target=sharded.update, args=("B", batch_a)),
+            threading.Thread(target=sharded.update, args=("C", batch_c)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        db = sharded.database
+        assert len(db.table("B")) == 120 + 10
+        assert len(db.table("C")) == 40 + 5
+
+    def test_unsupported_delete_rejected_before_mutation(self, toy_db):
+        model = ShardedFactorJoin(
+            _config(table_estimator="bayescard"), n_shards=2,
+            parallel="serial").fit(toy_db)
+        assert model.supports_update("B")
+        assert not model.supports_delete("B")
+        state_before = model._require_state()
+        with pytest.raises(NotImplementedError, match="delete"):
+            model.update("B", deleted_rows=toy_db.table("B").head(2))
+        assert model._require_state() is state_before
+
+    def test_over_delete_never_empties_a_live_summary(self, toy_db):
+        """A tolerated over-delete (rows that were never present) on an
+        approximate estimator must not zero a shard's summary — pruning
+        would then exclude a shard that still has rows."""
+        model = ShardedFactorJoin(
+            _config(table_estimator="histogram1d"), n_shards=2,
+            parallel="serial").fit(toy_db)
+        batch = toy_db.table("B").head(30)
+        reference = model.estimate(parse_query(SQL_JOIN))
+        model.update("B", new_rows=batch)
+        # delete the batch twice: the second pass deletes absent rows
+        model.update("B", deleted_rows=batch)
+        model.update("B", deleted_rows=batch)
+        state = model._require_state()
+        for summary in state.summaries:
+            assert summary.table("B").row_count >= 1
+        # every shard still participates; the estimate stays positive
+        query = parse_query(SQL_JOIN)
+        assert model.candidate_shards(query, "b") == [0, 1]
+        assert 0 < model.estimate(query) <= reference
+
+    def test_concurrent_estimates_never_mix_states(self, toy_db, sharded):
+        """Readers racing a routed update must see either the pre-update
+        or the post-update answer — the atomic state swap contract."""
+        query = parse_query(SQL_JOIN)
+        before = sharded.estimate(query)
+        batch = toy_db.table("B").head(40)
+        observed, errors = [], []
+        start = threading.Barrier(5)
+        done = threading.Event()
+
+        def reader():
+            start.wait()
+            while not done.is_set():
+                try:
+                    observed.append(sharded.estimate(query))
+                except Exception as exc:  # noqa: BLE001 - recording
+                    errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        start.wait()
+        try:
+            sharded.update("B", batch)
+        finally:
+            done.set()
+            for thread in threads:
+                thread.join()
+        after = sharded.estimate(query)
+        assert not errors
+        assert after != before
+        allowed = {before, after}
+        assert set(observed) <= allowed

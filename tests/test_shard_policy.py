@@ -1,0 +1,233 @@
+"""Tests for sharding policies, partitioning, and predicate pruning."""
+
+import numpy as np
+import pytest
+
+from repro.data import Column, Table
+from repro.errors import ReproError
+from repro.shard import (
+    HashShardingPolicy,
+    RangeShardingPolicy,
+    ShardingPolicy,
+    make_policy,
+    partition_database,
+    predicate_excludes,
+    split_rows,
+)
+from repro.shard.pruning import ColumnSummary, ShardSummary, TableSummary
+from repro.sql.predicates import (
+    And,
+    Between,
+    Comparison,
+    In,
+    IsNull,
+    Like,
+    Or,
+    TruePredicate,
+)
+
+
+class TestPolicies:
+    def test_make_policy_unknown_kind(self):
+        with pytest.raises(ReproError, match="unknown sharding policy"):
+            make_policy("nope", 4)
+
+    def test_n_shards_must_be_positive(self):
+        with pytest.raises(ReproError):
+            HashShardingPolicy(0)
+
+    def test_hash_assign_is_mod_on_first_key(self, toy_db):
+        policy = HashShardingPolicy(4)
+        table = toy_db.table("B")
+        ids = policy.assign(table, toy_db.schema.table("B"))
+        expected = np.mod(table["aid"].values.astype(np.int64), 4)
+        assert np.array_equal(ids, expected)
+
+    def test_hash_shard_key_override(self, toy_db):
+        policy = HashShardingPolicy(4, shard_keys={"B": "cid"})
+        table = toy_db.table("B")
+        ids = policy.assign(table, toy_db.schema.table("B"))
+        assert np.array_equal(ids, np.mod(table["cid"].values, 4))
+
+    def test_hash_bad_override_raises(self, toy_db):
+        policy = HashShardingPolicy(4, shard_keys={"B": "nope"})
+        with pytest.raises(ReproError, match="not a column"):
+            policy.assign(toy_db.table("B"), toy_db.schema.table("B"))
+
+    def test_hash_null_keys_route_to_shard_zero(self, toy_db_nulls):
+        policy = HashShardingPolicy(4)
+        table = toy_db_nulls.table("B")
+        ids = policy.assign(table, toy_db_nulls.schema.table("B"))
+        assert (ids[table["aid"].null_mask] == 0).all()
+
+    def test_hash_candidate_shards_equality_and_in(self, toy_db):
+        policy = HashShardingPolicy(4)
+        schema = toy_db.schema.table("B")
+        assert policy.candidate_shards("B", schema,
+                                       Comparison("aid", "=", 7)) == {3}
+        assert policy.candidate_shards("B", schema,
+                                       In("aid", [1, 5, 9])) == {1}
+        # range predicates and non-key columns: no policy opinion
+        assert policy.candidate_shards("B", schema,
+                                       Comparison("aid", ">", 7)) is None
+        assert policy.candidate_shards("B", schema,
+                                       Comparison("y", "=", 2)) is None
+
+    def test_range_assign_is_contiguous(self, toy_db):
+        policy = RangeShardingPolicy(3)
+        ids = policy.assign(toy_db.table("B"), toy_db.schema.table("B"))
+        assert (np.diff(ids) >= 0).all()
+        assert set(np.unique(ids)) == {0, 1, 2}
+
+    def test_range_routes_inserts_to_last_shard(self, toy_db):
+        policy = RangeShardingPolicy(3)
+        rows = toy_db.table("B").head(5)
+        ids = policy.route(rows, toy_db.schema.table("B"))
+        assert (ids == 2).all()
+
+    def test_delete_routing_capabilities(self, toy_db):
+        """Deletes must be routed by row content; positional placements
+        (range everywhere, hash on keyless tables) must refuse."""
+        schema_b = toy_db.schema.table("B")
+        hash_policy = HashShardingPolicy(4)
+        assert hash_policy.can_route_deletes(schema_b)
+        rows = toy_db.table("B").head(5)
+        assert np.array_equal(hash_policy.route_deletes(rows, schema_b),
+                              hash_policy.assign(rows, schema_b))
+
+        range_policy = RangeShardingPolicy(3)
+        assert not range_policy.routes_deletes
+        assert not range_policy.can_route_deletes(schema_b)
+        with pytest.raises(ReproError, match="position"):
+            range_policy.route_deletes(rows, schema_b)
+
+        from repro.data.schema import ColumnSchema, TableSchema
+        from repro.data.types import DataType
+
+        keyless = TableSchema("logs", [ColumnSchema("msg", DataType.INT)])
+        assert not hash_policy.can_route_deletes(keyless)
+        with pytest.raises(ReproError, match="keyless"):
+            hash_policy.route_deletes(
+                Table("logs", [Column("msg", [1, 2])]), keyless)
+
+    def test_describe_round_trips_to_json(self):
+        import json
+
+        policy = HashShardingPolicy(4, shard_keys={"B": "cid"})
+        desc = json.loads(json.dumps(policy.describe()))
+        assert desc["kind"] == "hash"
+        assert desc["n_shards"] == 4
+        assert desc["shard_keys"] == {"B": "cid"}
+
+
+class TestPartition:
+    def test_every_row_lands_in_exactly_one_shard(self, toy_db):
+        for policy in (HashShardingPolicy(4), RangeShardingPolicy(4)):
+            shards = partition_database(toy_db, policy)
+            assert len(shards) == 4
+            for name in toy_db.table_names:
+                total = sum(len(s.table(name)) for s in shards)
+                assert total == len(toy_db.table(name))
+
+    def test_shards_keep_the_full_schema(self, toy_db):
+        shards = partition_database(toy_db, HashShardingPolicy(2))
+        for shard in shards:
+            assert shard.table_names == toy_db.table_names
+            assert shard.schema is toy_db.schema
+
+    def test_hash_colocates_equal_keys(self, toy_db):
+        shards = partition_database(toy_db, HashShardingPolicy(4))
+        for s, shard in enumerate(shards):
+            aid = shard.table("B")["aid"].values
+            assert (np.mod(aid, 4) == s).all()
+
+    def test_bad_policy_assignment_rejected(self, toy_db):
+        class Broken(ShardingPolicy):
+            kind = "broken"
+
+            def assign(self, table, schema):
+                return np.full(len(table), 99, dtype=np.int64)
+
+        with pytest.raises(ReproError, match="outside"):
+            partition_database(toy_db, Broken(4))
+
+    def test_split_rows_routes_batches(self, toy_db):
+        policy = HashShardingPolicy(4)
+        rows = toy_db.table("B").head(10)
+        routed = split_rows(policy, rows, toy_db.schema.table("B"))
+        assert sum(len(t) for t in routed.values()) == 10
+        for s, part in routed.items():
+            assert (np.mod(part["aid"].values, 4) == s).all()
+
+
+def _summary(values, nulls=None):
+    return TableSummary.of(Table("t", [Column("c", values,
+                                              null_mask=nulls)]))
+
+
+class TestPruning:
+    def test_empty_shard_excludes_everything(self):
+        empty = TableSummary(0, {})
+        assert predicate_excludes(TruePredicate(), empty)
+        assert predicate_excludes(Comparison("c", "=", 1), empty)
+
+    def test_true_predicate_keeps_nonempty_shard(self):
+        assert not predicate_excludes(TruePredicate(), _summary([1, 2]))
+
+    def test_equality_outside_range_excludes(self):
+        summary = _summary(list(range(40)))
+        assert predicate_excludes(Comparison("c", "=", 99), summary)
+        assert not predicate_excludes(Comparison("c", "=", 5), summary)
+
+    def test_equality_against_tracked_values(self):
+        summary = _summary([2, 4, 8])
+        assert predicate_excludes(Comparison("c", "=", 3), summary)
+        assert not predicate_excludes(Comparison("c", "=", 4), summary)
+
+    def test_range_operators(self):
+        summary = _summary([10, 20, 30])
+        assert predicate_excludes(Comparison("c", "<", 10), summary)
+        assert not predicate_excludes(Comparison("c", "<=", 10), summary)
+        assert predicate_excludes(Comparison("c", ">", 30), summary)
+        assert not predicate_excludes(Comparison("c", ">=", 30), summary)
+
+    def test_between_and_in(self):
+        summary = _summary(list(range(100)))
+        assert predicate_excludes(Between("c", 200, 300), summary)
+        assert not predicate_excludes(Between("c", 90, 110), summary)
+        assert predicate_excludes(In("c", [150, 200]), summary)
+        assert not predicate_excludes(In("c", [150, 50]), summary)
+
+    def test_null_predicates(self):
+        no_nulls = _summary([1, 2, 3])
+        assert predicate_excludes(IsNull("c"), no_nulls)
+        assert not predicate_excludes(IsNull("c", negated=True), no_nulls)
+        all_null = _summary([0, 0], nulls=[True, True])
+        assert predicate_excludes(IsNull("c", negated=True), all_null)
+        assert not predicate_excludes(IsNull("c"), all_null)
+        # comparisons never match NULL
+        assert predicate_excludes(Comparison("c", ">", -100), all_null)
+
+    def test_conjunction_and_disjunction(self):
+        summary = _summary([1, 2, 3])
+        dead = Comparison("c", "=", 99)
+        alive = Comparison("c", "=", 2)
+        assert predicate_excludes(And([alive, dead]), summary)
+        assert not predicate_excludes(Or([alive, dead]), summary)
+        assert predicate_excludes(Or([dead, dead]), summary)
+
+    def test_unknown_and_unsupported_are_conservative(self):
+        summary = _summary([1, 2, 3])
+        assert not predicate_excludes(Comparison("other", "=", 99), summary)
+        assert not predicate_excludes(Like("c", "%x%"), summary)
+
+    def test_widening_after_inserts(self):
+        summary = ColumnSummary.of(Column("c", [1, 2, 3]))
+        wider = summary.widened_by(Column("c", [10]))
+        assert wider.maximum == 10 and wider.minimum == 1
+        assert 10 in wider.values
+
+    def test_shard_summary_of_database(self, toy_db):
+        summary = ShardSummary.of(toy_db)
+        assert summary.table("B").row_count == len(toy_db.table("B"))
+        assert summary.table("nope") is None
