@@ -198,6 +198,58 @@ def test_subplan_reuse_beats_cold_query_cache(full_stats_ctx, fitted_stats):
     assert _percentile(warm, 0.5) * 10 <= _percentile(cold, 0.5)
 
 
+def test_prepared_sessions_amortize_subplan_probing(full_stats_ctx,
+                                                    fitted_stats):
+    """Session-reuse scenario: an optimizer probing the sub-plan lattice
+    through one prepared ``open_session`` must beat one-shot probing
+    (re-folding each induced sub-query from scratch) by >= 2x, with
+    bit-identical answers — per-probe setup (key groups, base factors,
+    binning lookups) is computed once and every larger sub-plan is one
+    pairwise factor combination (paper Section 5.2).
+    """
+    model, _ = fitted_stats
+    parents = [q for q in full_stats_ctx.workload if q.num_tables() >= 4]
+    parents = parents or [q for q in full_stats_ctx.workload
+                          if q.num_tables() >= 3]
+    parents = parents[:8]
+    assert parents, "workload has no multi-join queries"
+
+    one_shot_seconds = 0.0
+    session_seconds = 0.0
+    probes = 0
+    for parent in parents:
+        subsets = parent.connected_subsets(min_tables=1)
+        probes += len(subsets)
+
+        start = time.perf_counter()
+        one_shot = [model.estimate(parent.subquery(set(s)))
+                    for s in subsets]
+        one_shot_seconds += time.perf_counter() - start
+
+        start = time.perf_counter()
+        with model.open_session(parent) as session:
+            probed = [session.estimate_join(s) for s in subsets]
+        session_seconds += time.perf_counter() - start
+
+        # sessions never change an answer, they only amortize the work
+        assert probed == one_shot
+
+    speedup = one_shot_seconds / max(session_seconds, 1e-12)
+    print()
+    print(format_table(
+        ["Probing path", "Probes", "Seconds", "Speedup"],
+        [["one-shot (fold per probe)", str(probes),
+          f"{one_shot_seconds:.3f}s", "1.0x"],
+         ["prepared session", str(probes),
+          f"{session_seconds:.3f}s", f"{speedup:.1f}x"]],
+        title=f"Sub-plan lattice probing on "
+              f"{full_stats_ctx.benchmark.name} "
+              f"({len(parents)} queries)"))
+
+    # the acceptance bar: sessioned lattice probing >= 2x one-shot
+    assert session_seconds * 2 <= one_shot_seconds
+
+
 def test_sharded_ensemble_serving_matches_unsharded(full_stats_ctx,
                                                     tmp_path):
     """4-shard ensemble scenario: an ensemble artifact served through the

@@ -10,11 +10,12 @@ method's, post-update plans still beat Postgres, and the updated model is
 at most slightly worse than a full retrain.
 """
 
+import numpy as np
 import pytest
 
 from repro.baselines import FactorJoinMethod, FanoutDataDrivenMethod
 from repro.core.estimator import FactorJoinConfig
-from repro.data import Database
+from repro.data import Column, Table
 from repro.utils import Timer, format_table
 from repro.workloads.benchmark import split_for_update
 
@@ -115,3 +116,56 @@ def test_table5_deletion_path(stats_ctx):
         assert r == pytest.approx(b, rel=1e-6)
     # the delete path is as incremental as the insert path
     assert delete_timer.elapsed < 5.0
+
+
+def test_deletion_matching_is_o_batch():
+    """Micro-bench for the O(batch) deletion matching (ROADMAP item).
+
+    ``Table.remove_rows`` used to run a full-row multiset scan of the
+    whole table per delete batch; matching now goes through the
+    per-table value→row-index map (``Table.row_locations``), built once
+    per table.  Two batches against the same table therefore split into
+    one O(table) map build (cold) plus O(batch) lookups (warm) — the
+    warm match must be far cheaper than the cold one, and both must
+    drop exactly the requested multiset of rows.
+    """
+    n_rows, batch = 120_000, 256
+    rng = np.random.default_rng(7)
+    cols = {
+        "a": rng.integers(0, 5_000, n_rows),
+        "b": rng.integers(0, 50, n_rows),
+        "c": rng.integers(0, 1_000_000, n_rows),
+    }
+    table = Table("big", [Column(name, vals)
+                          for name, vals in cols.items()])
+
+    def batch_of(start):
+        idx = np.arange(start, start + batch)
+        return Table("big", [Column(name, vals[idx])
+                             for name, vals in cols.items()])
+
+    with Timer() as cold:  # builds the row-locations map, then matches
+        after_first = table.remove_rows(batch_of(0))
+    with Timer() as warm:  # map already cached on `table`: O(batch)
+        after_second = table.remove_rows(batch_of(batch))
+
+    print()
+    print(format_table(
+        ["Matching pass", "Rows", "Batch", "Seconds"],
+        [["cold (build map + match)", str(n_rows), str(batch),
+          f"{cold.elapsed:.4f}s"],
+         ["warm (cached map, O(batch))", str(n_rows), str(batch),
+          f"{warm.elapsed:.4f}s"]],
+        title="Table 5 extension: deletion matching cost"))
+
+    assert len(after_first) == n_rows - batch
+    assert len(after_second) == n_rows - batch
+    # the shared map survives on the source table, and the warm pass
+    # skips the O(table) rebuild entirely
+    assert table._row_locations is not None
+    assert warm.elapsed * 5 <= cold.elapsed
+
+    # the shared-pass seam TrueScan relies on: matching twice on the
+    # same table object builds the map once (FactorJoin.update's
+    # database-view delete warms it for the estimator's delete)
+    assert after_first._row_locations is None  # results start cold

@@ -1,16 +1,20 @@
 """Injecting cardinalities into a query optimizer (the paper's end-to-end
 methodology, Section 6.1).
 
-Each estimator's sub-plan cardinalities are handed to the same DP join-order
-optimizer; the chosen plans are then costed under the *true* cardinalities,
-so plan-quality differences are exactly attributable to estimation quality.
+Every estimator family implements the ``repro.api.CardinalityModel``
+protocol, so the optimizer holds one prepared ``EstimationSession`` per
+query and probes the sub-plan lattice through it — per-query setup (key
+groups, base factors) is paid once, and the DP asks for cardinalities
+lazily via ``optimize_with_session``.  The chosen plans are then costed
+under the *true* cardinalities, so plan-quality differences are exactly
+attributable to estimation quality.
 
 Run:  python examples/optimizer_integration.py
 """
 
 from repro.baselines import FactorJoinMethod, PostgresMethod, TrueCardMethod
 from repro.core.estimator import FactorJoinConfig
-from repro.optimizer.dp import make_oracle, optimize
+from repro.optimizer.dp import optimize_with_session
 from repro.optimizer.endtoend import EndToEndRunner
 from repro.workloads import build_stats_ceb
 
@@ -32,8 +36,10 @@ def main() -> None:
     ]
     for method in methods:
         method.fit(bench.database)
-        estimates = method.estimate_subplans(query, min_tables=1)
-        plan, believed_cost = optimize(query, make_oracle(estimates))
+        # one prepared session per planning task: the DP probes it
+        # lazily, each probe one incremental factor combination
+        with method.open_session(query) as session:
+            plan, believed_cost = optimize_with_session(query, session)
         actual_cost = runner.true_cost_of_plan(query, plan)
         print(f"=== {method.name} ===")
         print(plan.render(indent=1))

@@ -71,18 +71,23 @@ def main() -> None:
           f"ms; estimate moved {first.estimate:,.0f} -> "
           f"{after.estimate:,.0f} (cache invalidated: {not after.cached})")
 
-    # -- 5. the HTTP front end -------------------------------------------------
+    # -- 5. the HTTP front end (versioned /v1 API) ----------------------------
     server, _ = serve_in_background(service, port=0)
     host, port = server.server_address[:2]
     request = urllib.request.Request(
-        f"http://{host}:{port}/estimate",
-        data=json.dumps({"sql": sql, "model": "orders"}).encode(),
+        f"http://{host}:{port}/v1/estimate",
+        data=json.dumps({"sql": sql, "model": "orders",
+                         "explain": True}).encode(),
         headers={"Content-Type": "application/json"})
     with urllib.request.urlopen(request) as response:
         body = json.loads(response.read())
-    print(f"\nPOST /estimate -> {body['estimate']:,.0f} "
+    trace = body["explain"]
+    print(f"\nPOST /v1/estimate -> {body['estimate']:,.0f} "
           f"(model {body['model']} v{body['version']}, "
-          f"cached: {body['cached']})")
+          f"cached: {body['cached']}, api {body['api_version']})")
+    print(f"  explain: bound_mode={trace['bound_mode']}, "
+          f"bins touched={trace['bins_touched']}, "
+          f"cache_level={trace['cache_level']}")
     stats = json.loads(urllib.request.urlopen(
         f"http://{host}:{port}/stats").read())
     cache = stats["caches"]["orders"]

@@ -1,0 +1,29 @@
+"""The one canonical query-coercion helper.
+
+Every entry point that accepts "a query" — the estimation service, the
+HTTP layer, the CLI, warmup replay — used to carry its own ``_as_query``
+variant.  They all route here now, so SQL-vs-``Query`` handling, type
+validation, and the taxonomy error raised for garbage input are defined
+exactly once.
+"""
+
+from __future__ import annotations
+
+from repro.sql.query import Query
+
+
+def coerce_query(query: "Query | str") -> Query:
+    """``Query`` passes through; SQL text parses; anything else raises.
+
+    Parse failures raise :class:`~repro.errors.ParseError` (taxonomy code
+    ``parse_error``); non-query, non-string input raises ``TypeError``
+    (taxonomy code ``invalid_request``).
+    """
+    if isinstance(query, Query):
+        return query
+    if isinstance(query, str):
+        from repro.sql import parse_query
+
+        return parse_query(query)
+    raise TypeError(
+        f"expected a Query or a SQL string, got {type(query).__name__}")

@@ -1,0 +1,95 @@
+"""Explain traces: which knobs and statistics answered an estimate.
+
+:func:`build_explain_trace` assembles an
+:class:`~repro.api.messages.ExplainTrace` for any
+:class:`~repro.api.protocol.CardinalityModel`.  Everything is
+best-effort: models expose their internals through small optional hooks
+(``config.bound_mode``, ``group_name_of``/``binning_for_group`` for the
+binning layout, ``candidate_shards`` for ensemble pruning), and a model
+lacking a hook simply yields a sparser trace — never an error.  The
+serving layer stamps ``cache_level`` on top, since only it knows whether
+the model was consulted at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.api.messages import ExplainTrace
+from repro.sql.query import Query
+
+
+def _key_group_trace(model, query: Query) -> tuple[dict, int]:
+    """Per-group bin counts for the key groups ``query`` touches."""
+    group_name_of = getattr(model, "group_name_of", None)
+    binning_for_group = getattr(model, "binning_for_group", None)
+    if group_name_of is None or binning_for_group is None:
+        return {}, 0
+    groups: dict[str, int] = {}
+    for join in query.joins:
+        for ref in (join.left, join.right):
+            try:
+                name = group_name_of(query.table_of(ref.alias), ref.column)
+                groups[name] = int(binning_for_group(name).n_bins)
+            except Exception:
+                continue
+    return groups, sum(groups.values())
+
+
+def _shard_trace(model, query: Query) -> dict | None:
+    """Per-alias shard pruning for ensemble models (None otherwise)."""
+    candidate_shards = getattr(model, "candidate_shards", None)
+    n_shards = getattr(model, "n_shards", None)
+    if candidate_shards is None or n_shards is None:
+        return None
+    touched: dict[str, list[int]] = {}
+    for alias in query.aliases:
+        try:
+            touched[alias] = list(candidate_shards(query, alias))
+        except Exception:
+            continue
+    union = set()
+    for shards in touched.values():
+        union.update(shards)
+    return {
+        "total": int(n_shards),
+        "touched": sorted(union),
+        "pruned": int(n_shards) - len(union),
+        "per_alias": {alias: shards for alias, shards in touched.items()},
+    }
+
+
+def build_explain_trace(model, query: Query,
+                        cache_level: str | None = None) -> ExplainTrace:
+    """Assemble the trace for one (model, query) pair.
+
+    ``cache_level`` is the serving layer's contribution — pass None when
+    explaining a model directly (the model always computes then).
+    """
+    config = getattr(model, "config", None)
+    capabilities = getattr(model, "capabilities", None)
+    declared = None
+    if callable(capabilities):
+        try:
+            declared = capabilities().describe()
+        except Exception:
+            declared = None
+    groups, bins_touched = _key_group_trace(model, query)
+    trace = ExplainTrace(
+        model_kind=type(model).__name__,
+        capabilities=declared,
+        bound_mode=getattr(config, "bound_mode", None),
+        table_estimator=getattr(config, "table_estimator", None),
+        key_groups=groups,
+        bins_touched=bins_touched,
+        aliases=tuple(query.aliases),
+        shards=_shard_trace(model, query),
+        cache_level=cache_level,
+    )
+    return trace
+
+
+def with_cache_level(trace: ExplainTrace,
+                     cache_level: str | None) -> ExplainTrace:
+    """A copy of ``trace`` restamped with the serving cache level."""
+    return replace(trace, cache_level=cache_level)

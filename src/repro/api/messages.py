@@ -1,0 +1,306 @@
+"""Typed request/response objects and the machine-readable error taxonomy.
+
+The serving layer used to pass dict-shaped payloads around; this module
+gives every request and response a declared shape:
+
+- requests (:class:`EstimateRequest`, :class:`SubplanRequest`,
+  :class:`UpdateRequest`) validate on construction and parse themselves
+  from ``/v1`` JSON bodies (:meth:`from_json`);
+- responses (:class:`EstimateResponse`, :class:`SubplanResponse`,
+  :class:`UpdateResponse`) know both their versioned ``/v1`` rendering
+  (:meth:`to_json`, which stamps ``api_version`` and carries the optional
+  :class:`ExplainTrace`) and the legacy unversioned body
+  (:meth:`describe`) the deprecation-shim routes keep answering;
+- the **error taxonomy** maps every exception the library raises to a
+  stable machine-readable code and an HTTP status
+  (:func:`error_code`, :func:`error_payload`, :func:`http_status_of`),
+  so ``/v1`` clients dispatch on ``error.code`` instead of parsing
+  English prose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    ArtifactError,
+    DataError,
+    InferenceError,
+    ModelNotFoundError,
+    NotFittedError,
+    ParseError,
+    ReproError,
+    SchemaError,
+    UnsupportedOperationError,
+    UnsupportedQueryError,
+)
+from repro.sql.query import Query
+
+#: The current versioned serving API. Bump only with a new route prefix.
+API_VERSION = "v1"
+
+# ------------------------------------------------------------ taxonomy --
+
+#: Ordered (exception type, code, http status) — first match wins, so
+#: subclasses must precede their bases.
+ERROR_TAXONOMY: tuple[tuple[type, str, int], ...] = (
+    (ModelNotFoundError, "model_not_found", 404),
+    (ParseError, "parse_error", 400),
+    (UnsupportedQueryError, "unsupported_query", 400),
+    (UnsupportedOperationError, "unsupported_operation", 400),
+    (NotFittedError, "not_fitted", 409),
+    (SchemaError, "schema_error", 400),
+    (DataError, "invalid_data", 400),
+    (ArtifactError, "artifact_error", 409),
+    (InferenceError, "inference_error", 500),
+    (ReproError, "error", 400),
+    (NotImplementedError, "unsupported_operation", 400),
+    (KeyError, "invalid_request", 400),
+    (ValueError, "invalid_request", 400),
+    (TypeError, "invalid_request", 400),
+)
+
+INTERNAL_ERROR_CODE = "internal_error"
+
+
+def error_code(exc: BaseException) -> str:
+    """The stable taxonomy code of an exception (``internal_error`` for
+    anything the taxonomy does not know)."""
+    for exc_type, code, _ in ERROR_TAXONOMY:
+        if isinstance(exc, exc_type):
+            return code
+    return INTERNAL_ERROR_CODE
+
+
+def http_status_of(exc: BaseException) -> int:
+    """The HTTP status a ``/v1`` route answers for an exception."""
+    for exc_type, _, status in ERROR_TAXONOMY:
+        if isinstance(exc, exc_type):
+            return status
+    return 500
+
+
+def error_payload(exc: BaseException) -> dict:
+    """The ``/v1`` error body: ``{"error": {"code", "message", "type"}}``
+    — machine-dispatchable code first, prose second."""
+    return {
+        "error": {
+            "code": error_code(exc),
+            "message": str(exc),
+            "type": type(exc).__name__,
+        },
+        "api_version": API_VERSION,
+    }
+
+
+# ------------------------------------------------------------ requests --
+
+
+def _query_text(payload: dict) -> str:
+    sql = payload.get("sql", payload.get("query"))
+    if not isinstance(sql, str) or not sql.strip():
+        raise ValueError("'sql' must be a non-empty SQL string")
+    return sql
+
+
+@dataclass(frozen=True)
+class EstimateRequest:
+    """One single-query estimation request.
+
+    ``query`` may be a parsed :class:`~repro.sql.query.Query` or SQL text
+    (coerced by the service); ``explain`` asks for an
+    :class:`ExplainTrace` alongside the number.
+    """
+
+    query: Query | str
+    model: str | None = None
+    explain: bool = False
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "EstimateRequest":
+        """Parse and validate a ``POST /v1/estimate`` body."""
+        return cls(query=_query_text(payload), model=payload.get("model"),
+                   explain=bool(payload.get("explain", False)))
+
+
+@dataclass(frozen=True)
+class SubplanRequest:
+    """An optimizer-style request for the whole sub-plan map."""
+
+    query: Query | str
+    model: str | None = None
+    min_tables: int = 1
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "SubplanRequest":
+        """Parse and validate a ``POST /v1/subplans`` body."""
+        try:
+            min_tables = int(payload.get("min_tables", 1))
+        except (TypeError, ValueError):
+            raise ValueError("'min_tables' must be an integer") from None
+        return cls(query=_query_text(payload), model=payload.get("model"),
+                   min_tables=min_tables)
+
+
+@dataclass(frozen=True)
+class UpdateRequest:
+    """An incremental mutation: insert and/or delete one table's rows.
+
+    ``rows`` / ``deleted_rows`` are :class:`~repro.data.table.Table`
+    batches (the HTTP layer builds them from ``{column: [values]}`` JSON,
+    nulls included); at least one must be given.
+    """
+
+    table: str
+    rows: object | None = None
+    deleted_rows: object | None = None
+    model: str | None = None
+
+
+@dataclass(frozen=True)
+class ExplainTrace:
+    """Where an estimate came from: the inference knobs and data touched.
+
+    ``bound_mode`` / ``table_estimator`` are the model's inference
+    configuration; ``key_groups`` maps each equivalent key group the
+    query touches to its bin count (``bins_touched`` sums them);
+    ``shards`` reports per-alias shard pruning for ensembles (absent for
+    single models); ``cache_level`` is filled in by the serving layer
+    (``"query"``, ``"subplan"``, or None when the model computed the
+    answer).
+    """
+
+    model_kind: str
+    capabilities: dict | None = None
+    bound_mode: str | None = None
+    table_estimator: str | None = None
+    key_groups: dict = field(default_factory=dict)
+    bins_touched: int = 0
+    aliases: tuple[str, ...] = ()
+    shards: dict | None = None
+    cache_level: str | None = None
+
+    def to_json(self) -> dict:
+        """JSON-ready trace (the ``"explain"`` response field)."""
+        payload = {
+            "model_kind": self.model_kind,
+            "bound_mode": self.bound_mode,
+            "table_estimator": self.table_estimator,
+            "key_groups": dict(self.key_groups),
+            "bins_touched": self.bins_touched,
+            "aliases": list(self.aliases),
+            "cache_level": self.cache_level,
+        }
+        if self.capabilities is not None:
+            payload["capabilities"] = self.capabilities
+        if self.shards is not None:
+            payload["shards"] = self.shards
+        return payload
+
+
+# ----------------------------------------------------------- responses --
+
+
+@dataclass(frozen=True)
+class EstimateResponse:
+    """One answered request: the number plus serving metadata.
+
+    ``cache_level`` records where the answer came from: ``"query"``
+    (exact request fingerprint), ``"subplan"`` (the cross-request
+    sub-plan table), or None (computed by the model); ``cached`` stays
+    the boolean summary of the first two.  ``explain`` is only populated
+    when the request asked for it.
+
+    Also exported as ``EstimateResult`` (its pre-``/v1`` name) from
+    :mod:`repro.serve` — a deprecation alias, same class.
+    """
+
+    estimate: float
+    model: str
+    version: int
+    cached: bool
+    seconds: float
+    sql: str
+    cache_level: str | None = None
+    explain: ExplainTrace | None = None
+
+    def describe(self) -> dict:
+        """Legacy JSON view (the unversioned ``POST /estimate`` body)."""
+        return {
+            "estimate": self.estimate,
+            "model": self.model,
+            "version": self.version,
+            "cached": self.cached,
+            "cache_level": self.cache_level,
+            "seconds": self.seconds,
+            "sql": self.sql,
+        }
+
+    def to_json(self) -> dict:
+        """Versioned JSON view (the ``POST /v1/estimate`` body)."""
+        payload = self.describe()
+        payload["api_version"] = API_VERSION
+        payload["explain"] = (self.explain.to_json()
+                              if self.explain is not None else None)
+        return payload
+
+
+def render_subplan_keys(subplans: dict) -> dict:
+    """``{frozenset({'a','b'}): v}`` → ``{"a,b": v}`` (JSON keys)."""
+    return {",".join(sorted(aliases)): value
+            for aliases, value in subplans.items()}
+
+
+@dataclass(frozen=True)
+class SubplanResponse:
+    """The whole connected sub-plan map plus serving metadata."""
+
+    subplans: dict
+    model: str
+    version: int
+    seconds: float
+    sql: str
+    min_tables: int = 1
+
+    def to_json(self) -> dict:
+        """Versioned JSON view (the ``POST /v1/subplans`` body); alias
+        sets become comma-joined sorted keys."""
+        return {
+            "subplans": render_subplan_keys(self.subplans),
+            "model": self.model,
+            "version": self.version,
+            "count": len(self.subplans),
+            "min_tables": self.min_tables,
+            "seconds": self.seconds,
+            "sql": self.sql,
+            "api_version": API_VERSION,
+        }
+
+
+@dataclass(frozen=True)
+class UpdateResponse:
+    """One applied mutation: what changed, where, and how long it took."""
+
+    model: str
+    version: int
+    table: str
+    rows: int
+    deleted_rows: int
+    seconds: float
+
+    def describe(self) -> dict:
+        """Legacy JSON view (the unversioned ``POST /update`` body)."""
+        return {
+            "model": self.model,
+            "version": self.version,
+            "table": self.table,
+            "rows": self.rows,
+            "deleted_rows": self.deleted_rows,
+            "seconds": self.seconds,
+        }
+
+    def to_json(self) -> dict:
+        """Versioned JSON view (the ``POST /v1/update`` body)."""
+        payload = self.describe()
+        payload["api_version"] = API_VERSION
+        return payload

@@ -1,0 +1,286 @@
+"""The ``CardinalityModel`` protocol: one estimation interface, any model.
+
+FactorJoin's value proposition is being a *framework* — a query optimizer
+probes one estimation surface thousands of times per query over the
+sub-plan lattice, regardless of which estimator answers.  This module
+defines that surface:
+
+- :class:`Capabilities` — an explicit, machine-readable descriptor of
+  what a model can do (updates, deletions, sub-plans, sessions, predicate
+  classes), so the registry/service/CLI can serve *any* model and reject
+  unsupported operations with the taxonomy error instead of mid-flight
+  surprises;
+- :class:`CardinalityModel` — the runtime-checkable protocol every
+  estimator family implements (:class:`~repro.core.estimator.FactorJoin`,
+  :class:`~repro.shard.ensemble.ShardedFactorJoin`, and every
+  :class:`~repro.baselines.base.CardEstMethod`);
+- :class:`EstimationSession` — a *prepared query*: per-query setup
+  (key groups, base factors, binning lookups) is computed once when the
+  session opens, then ``estimate_join(table_subset)`` probes are answered
+  incrementally.  This is the optimizer's interface to the sub-plan
+  lattice; answers are bit-identical to one-shot :meth:`estimate` calls.
+- :class:`GenericEstimationSession` — the default session any model gets
+  for free: probes are answered by estimating the induced sub-query,
+  memoized per subset, so repeated probes cost one model call each.
+
+The protocol is deliberately small.  ``fit`` signatures differ per family
+(FactorJoin takes shared binnings, query-driven baselines take a
+workload), so fitting stays family-specific; everything *online* — the
+part an optimizer or serving layer programs against — is uniform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.errors import UnsupportedOperationError
+from repro.sql.query import Query
+
+#: Predicate classes a model may declare support for.
+PREDICATE_CLASSES = ("equality", "range", "in", "like", "disjunction",
+                     "is_null")
+
+#: How a model absorbs data changes: ``"row-batch"`` (incremental
+#: insert/delete batches, paper Section 4.3), ``"refit"`` (only by
+#: retraining), or ``"none"`` (static snapshot).
+UPDATE_GRANULARITIES = ("row-batch", "refit", "none")
+
+
+@dataclass(frozen=True)
+class Capabilities:
+    """What one estimator family can do, declared up front.
+
+    The serving layer gates mutations on this declaration
+    (:func:`check_operation`) for any model that does not expose the
+    finer per-table ``supports_update`` / ``supports_delete`` hooks, so
+    a request for an undeclared operation fails fast with
+    :class:`~repro.errors.UnsupportedOperationError` (taxonomy code
+    ``unsupported_operation``) before any state mutates.
+    """
+
+    name: str
+    supports_update: bool = False
+    supports_delete: bool = False
+    supports_subplans: bool = True
+    supports_sessions: bool = True
+    predicate_classes: tuple[str, ...] = ("equality", "range", "in")
+    update_granularity: str = "refit"
+    supports_cyclic_joins: bool = True
+    supports_self_joins: bool = True
+
+    def __post_init__(self):
+        if self.update_granularity not in UPDATE_GRANULARITIES:
+            raise ValueError(
+                f"unknown update granularity "
+                f"{self.update_granularity!r}; choose from "
+                f"{UPDATE_GRANULARITIES}")
+        unknown = set(self.predicate_classes) - set(PREDICATE_CLASSES)
+        if unknown:
+            raise ValueError(f"unknown predicate classes {sorted(unknown)}; "
+                             f"choose from {PREDICATE_CLASSES}")
+
+    def describe(self) -> dict:
+        """JSON-ready view (served by ``GET /v1/models``)."""
+        payload = asdict(self)
+        payload["predicate_classes"] = list(self.predicate_classes)
+        return payload
+
+
+class EstimationSession:
+    """A prepared query: open once, probe the sub-plan lattice cheaply.
+
+    ``model.open_session(query)`` performs the per-query setup exactly
+    once; every :meth:`estimate_join` probe after that reuses it.  The
+    contract all implementations honor:
+
+    - :meth:`estimate_join` over the full alias set, and
+      :meth:`estimate`, return **bit-identically** what the model's
+      one-shot ``estimate(query)`` returns;
+    - :meth:`estimate_all` returns bit-identically what the model's
+      ``estimate_subplans(query, min_tables=...)`` returns;
+    - probes are memoized — repeating one costs a dictionary lookup.
+
+    Sessions are single-query, not thread-safe, and hold no locks; an
+    optimizer opens one per planning task and drops it afterwards.  They
+    also work as context managers (``with model.open_session(q) as s:``).
+    """
+
+    def __init__(self, query: Query):
+        self._query = query
+        self._aliases = frozenset(query.aliases)
+
+    @property
+    def query(self) -> Query:
+        """The query this session was prepared for."""
+        return self._query
+
+    def _check_subset(self, table_subset) -> frozenset:
+        subset = frozenset(table_subset)
+        if not subset:
+            raise ValueError("estimate_join needs a non-empty alias subset")
+        unknown = subset - self._aliases
+        if unknown:
+            raise ValueError(
+                f"aliases {sorted(unknown)} are not part of this "
+                f"session's query (aliases: {sorted(self._aliases)})")
+        return subset
+
+    def estimate_join(self, table_subset) -> float:
+        """Estimated cardinality of the induced sub-plan over
+        ``table_subset`` (any iterable of this query's aliases)."""
+        raise NotImplementedError
+
+    def estimate(self) -> float:
+        """Estimated cardinality of the whole prepared query."""
+        if not self._aliases:
+            return 0.0
+        return self.estimate_join(self._aliases)
+
+    def estimate_all(self, min_tables: int = 1) -> dict[frozenset, float]:
+        """Estimates for every connected sub-plan (the optimizer's DP
+        table), answered through the session's memoized probes."""
+        results: dict[frozenset, float] = {}
+        if min_tables <= 1:
+            for alias in self._query.aliases:
+                results[frozenset([alias])] = self.estimate_join([alias])
+        for subset in self._query.connected_subsets(min_tables=2):
+            results[subset] = self.estimate_join(subset)
+        return results
+
+    def close(self) -> None:
+        """Release per-query state (memoized factors); probing a closed
+        session is undefined.  Idempotent."""
+        # base sessions hold only dictionaries; subclasses may override
+        return None
+
+    def __enter__(self) -> "EstimationSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class GenericEstimationSession(EstimationSession):
+    """Default session over any model exposing ``estimate(query)``.
+
+    Each probe estimates the induced sub-query from scratch (mirroring
+    :meth:`~repro.baselines.base.CardEstMethod.estimate_subplans`) and is
+    memoized, so the bit-identity contract holds by construction: a probe
+    over the full alias set passes the *original* query object through.
+    """
+
+    def __init__(self, model, query: Query):
+        super().__init__(query)
+        self._model = model
+        self._cache: dict[frozenset, float] = {}
+
+    def estimate_join(self, table_subset) -> float:
+        """Memoized one-shot estimate of the induced sub-query."""
+        subset = self._check_subset(table_subset)
+        value = self._cache.get(subset)
+        if value is None:
+            if subset == self._aliases:
+                sub_query = self._query
+            else:
+                sub_query = self._query.subquery(set(subset))
+            value = float(self._model.estimate(sub_query))
+            self._cache[subset] = value
+        return value
+
+    def close(self) -> None:
+        """Drop the memoized probe results."""
+        self._cache.clear()
+
+
+class NativeSubplanSession(EstimationSession):
+    """Session over a model whose ``estimate_subplans`` is natively
+    progressive (shares work across the lattice internally, e.g.
+    TrueCard's memoized intermediate relations).
+
+    The connected sub-plan map is materialized lazily on the first probe
+    via one native ``estimate_subplans`` call; probes outside it (the
+    cross-product fallback of a disconnected DP) fall back to memoized
+    one-shot estimates.
+    """
+
+    def __init__(self, model, query: Query):
+        super().__init__(query)
+        self._model = model
+        self._map: dict[frozenset, float] | None = None
+        self._extra: dict[frozenset, float] = {}
+
+    def _lattice(self) -> dict[frozenset, float]:
+        if self._map is None:
+            self._map = self._model.estimate_subplans(self._query,
+                                                      min_tables=1)
+        return self._map
+
+    def estimate_join(self, table_subset) -> float:
+        """Lattice lookup; memoized one-shot estimate off-lattice."""
+        subset = self._check_subset(table_subset)
+        lattice = self._lattice()
+        if subset in lattice:
+            return lattice[subset]
+        value = self._extra.get(subset)
+        if value is None:
+            sub_query = (self._query if subset == self._aliases
+                         else self._query.subquery(set(subset)))
+            value = float(self._model.estimate(sub_query))
+            self._extra[subset] = value
+        return value
+
+    def estimate_all(self, min_tables: int = 1) -> dict[frozenset, float]:
+        """The native sub-plan map itself."""
+        if min_tables <= 1:
+            return dict(self._lattice())
+        return self._model.estimate_subplans(self._query,
+                                             min_tables=min_tables)
+
+    def close(self) -> None:
+        """Drop the materialized lattice and memoized probes."""
+        self._map = None
+        self._extra.clear()
+
+
+@runtime_checkable
+class CardinalityModel(Protocol):
+    """The online estimation surface every estimator family implements.
+
+    Structural (``isinstance`` checks the method set, not inheritance):
+    a model conforms iff it answers one-shot estimates, sub-plan maps,
+    prepared sessions, and declares its :class:`Capabilities`.  Fitting
+    stays family-specific and is *not* part of the protocol.
+    """
+
+    def capabilities(self) -> Capabilities:
+        """Declared abilities; behavior must match (the conformance
+        suite verifies it)."""
+        ...
+
+    def estimate(self, query: Query) -> float:
+        """One-shot estimated cardinality of ``query``."""
+        ...
+
+    def estimate_subplans(self, query: Query,
+                          min_tables: int = 1) -> dict[frozenset, float]:
+        """Estimates for every connected sub-plan of ``query``."""
+        ...
+
+    def open_session(self, query: Query) -> EstimationSession:
+        """Prepare ``query`` for repeated sub-plan probing."""
+        ...
+
+
+def check_operation(capabilities: Capabilities, operation: str) -> None:
+    """Raise the taxonomy error when ``operation`` (``"update"`` /
+    ``"delete"``) is outside ``capabilities``; no-op otherwise."""
+    if operation == "update" and not capabilities.supports_update:
+        raise UnsupportedOperationError(
+            f"model {capabilities.name!r} does not support incremental "
+            f"updates (update_granularity="
+            f"{capabilities.update_granularity!r})")
+    if operation == "delete" and not capabilities.supports_delete:
+        raise UnsupportedOperationError(
+            f"model {capabilities.name!r} does not support incremental "
+            f"deletions")

@@ -1,0 +1,108 @@
+"""Registry of estimator families implementing the protocol.
+
+One place that knows how to build a fitted
+:class:`~repro.api.protocol.CardinalityModel` of every family — the
+conformance suite iterates it to verify that *declared* capabilities
+match *actual* behavior across FactorJoin, the sharded ensemble, and the
+baselines, and user code can register its own families
+(:func:`register_model_family`) to ride the same checks.
+
+Factories import lazily so importing :mod:`repro.api` never drags in the
+whole estimator zoo.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+# name -> factory(database, workload|None) -> fitted CardinalityModel
+_MODEL_FAMILIES: dict[str, Callable] = {}
+
+
+def register_model_family(name: str, factory: Callable) -> Callable:
+    """Register ``factory(database, workload) -> fitted model`` under
+    ``name`` (replacing any previous registration); returns the factory
+    so it can be used as a decorator body."""
+    _MODEL_FAMILIES[name] = factory
+    return factory
+
+
+def model_families() -> dict[str, Callable]:
+    """A copy of the registry: family name -> fitted-model factory."""
+    _register_builtin_families()
+    return dict(_MODEL_FAMILIES)
+
+
+def build_model(name: str, database, workload=None):
+    """Build a fitted model of one registered family."""
+    _register_builtin_families()
+    try:
+        factory = _MODEL_FAMILIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown model family {name!r}; available: "
+            f"{sorted(_MODEL_FAMILIES)}") from None
+    return factory(database, workload)
+
+
+def _factorjoin(database, workload=None):
+    from repro.core.estimator import FactorJoin, FactorJoinConfig
+
+    return FactorJoin(FactorJoinConfig(
+        n_bins=4, table_estimator="truescan", seed=0)).fit(database)
+
+
+def _factorjoin_bayescard(database, workload=None):
+    from repro.core.estimator import FactorJoin, FactorJoinConfig
+
+    return FactorJoin(FactorJoinConfig(
+        n_bins=4, table_estimator="bayescard", seed=0)).fit(database)
+
+
+def _factorjoin_sharded(database, workload=None):
+    from repro.core.estimator import FactorJoinConfig
+    from repro.shard import ShardedFactorJoin
+
+    return ShardedFactorJoin(
+        FactorJoinConfig(n_bins=4, table_estimator="truescan", seed=0),
+        n_shards=2, parallel="serial").fit(database)
+
+
+def _baseline_postgres(database, workload=None):
+    from repro.baselines import PostgresMethod
+
+    return PostgresMethod().fit(database, workload)
+
+
+def _baseline_joinhist(database, workload=None):
+    from repro.baselines import JoinHistMethod
+
+    return JoinHistMethod().fit(database, workload)
+
+
+def _baseline_truecard(database, workload=None):
+    from repro.baselines import TrueCardMethod
+
+    return TrueCardMethod().fit(database, workload)
+
+
+def _baseline_datadriven(database, workload=None):
+    from repro.baselines import FanoutDataDrivenMethod
+
+    return FanoutDataDrivenMethod().fit(database, workload)
+
+
+_BUILTINS = {
+    "factorjoin": _factorjoin,
+    "factorjoin-bayescard": _factorjoin_bayescard,
+    "factorjoin-sharded": _factorjoin_sharded,
+    "baseline-postgres": _baseline_postgres,
+    "baseline-joinhist": _baseline_joinhist,
+    "baseline-truecard": _baseline_truecard,
+    "baseline-datadriven": _baseline_datadriven,
+}
+
+
+def _register_builtin_families() -> None:
+    for name, factory in _BUILTINS.items():
+        _MODEL_FAMILIES.setdefault(name, factory)

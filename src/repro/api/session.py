@@ -1,0 +1,81 @@
+"""Prepared FactorJoin sessions: per-query setup once, probes amortized.
+
+``FactorJoin.estimate`` pays per call for work that depends only on the
+query's *structure*: resolving the query's equivalent key groups, building
+each alias's base factor (a filtered row count plus one binned key
+distribution per join variable), and the binning lookups behind them.  An
+optimizer exploring the sub-plan lattice repeats that setup for every
+probe.
+
+:class:`FactorJoinSession` hoists it: key groups are resolved once when
+the session opens, base factors are built once per alias on first use,
+and every ``estimate_join(subset)`` probe is answered by the progressive
+estimator (paper Section 5.2) — each sub-plan factor is one pairwise
+combination away from an already-memoized smaller one.  Because the
+progressive estimator combines factors in exactly the greedy order the
+one-shot fold uses (see :mod:`repro.core.inference`), session answers are
+**bit-identical** to one-shot ``estimate`` / ``estimate_subplans`` calls;
+the session only changes where the time goes.
+"""
+
+from __future__ import annotations
+
+from repro.api.protocol import EstimationSession
+from repro.core.inference import ProgressiveSubplanEstimator
+from repro.core.key_groups import query_key_groups
+from repro.sql.query import Query
+
+
+class ProgressiveProbeSession(EstimationSession):
+    """Session over any :class:`~repro.core.inference.
+    ProgressiveSubplanEstimator`: each probe is answered by the memoized
+    progressive factor of its subset — one pairwise combination beyond
+    an already-built smaller factor."""
+
+    def __init__(self, query: Query,
+                 progressive: ProgressiveSubplanEstimator):
+        super().__init__(query)
+        self._progressive = progressive
+
+    def estimate_join(self, table_subset) -> float:
+        """Bound estimate of the sub-plan over ``table_subset``,
+        bit-identical to folding its induced sub-query from scratch."""
+        subset = self._check_subset(table_subset)
+        if len(subset) == 1:
+            return self._progressive.base_factor(
+                next(iter(subset))).total_estimate
+        return self._progressive.factor_for(subset).total_estimate
+
+    def estimate_all(self, min_tables: int = 1) -> dict[frozenset, float]:
+        """The whole connected sub-plan map in one progressive pass
+        (mirrors ``FactorJoin.estimate_subplans``)."""
+        return self._progressive.estimate_all(min_tables=min_tables)
+
+    def close(self) -> None:
+        """Drop the memoized sub-plan factors."""
+        self._progressive._cache.clear()
+
+
+class FactorJoinSession(ProgressiveProbeSession):
+    """Prepared sub-plan probing over one fitted FactorJoin model.
+
+    Built by :meth:`repro.core.estimator.FactorJoin.open_session` (and,
+    through the merged model, by
+    :meth:`repro.shard.ensemble.ShardedFactorJoin.open_session`); use
+    those instead of constructing directly.
+    """
+
+    def __init__(self, model, query: Query):
+        # the prepared part: key groups resolved once, one provider whose
+        # base factors (and their binning lookups) are memoized by the
+        # progressive estimator
+        groups_q = query_key_groups(query)
+        provider = model._provider(groups_q)
+        super().__init__(query, ProgressiveSubplanEstimator(
+            query, provider, mode=model.config.bound_mode))
+        self._model = model
+
+    @property
+    def model(self):
+        """The fitted model this session probes."""
+        return self._model

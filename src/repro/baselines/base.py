@@ -10,8 +10,9 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
+from repro.api.protocol import Capabilities, GenericEstimationSession
 from repro.data.database import Database
-from repro.errors import UnsupportedQueryError
+from repro.errors import UnsupportedOperationError, UnsupportedQueryError
 from repro.sql.query import Query
 from repro.utils import Timer, pickled_size_bytes
 
@@ -37,10 +38,21 @@ class MethodCharacteristics:
 
 
 class CardEstMethod(ABC):
-    """One join-query cardinality estimator under evaluation."""
+    """One join-query cardinality estimator under evaluation.
+
+    Every method implements the :class:`~repro.api.protocol.
+    CardinalityModel` protocol: one-shot :meth:`estimate`, sub-plan maps
+    (:meth:`estimate_subplans`), prepared sessions
+    (:meth:`open_session`), and declared :meth:`capabilities` — so the
+    registry, the serving layer, and the optimizer treat baselines and
+    FactorJoin itself through one interface.
+    """
 
     name: str = "base"
     characteristics: MethodCharacteristics = MethodCharacteristics()
+    #: Predicate classes the method evaluates (see
+    #: :data:`repro.api.protocol.PREDICATE_CLASSES`); refine per class.
+    predicate_classes: tuple[str, ...] = ("equality", "range", "in")
 
     def __init__(self):
         self.fit_seconds = 0.0
@@ -65,16 +77,46 @@ class CardEstMethod(ABC):
 
     def estimate_subplans(self, query: Query,
                           min_tables: int = 1) -> dict[frozenset, float]:
-        """Estimates for all connected sub-plans; default loops over
-        :meth:`estimate` (methods with progressive estimation override)."""
-        out: dict[frozenset, float] = {}
-        if min_tables <= 1:
-            for alias in query.aliases:
-                out[frozenset([alias])] = self.estimate(
-                    query.subquery({alias}))
-        for subset in query.connected_subsets(min_tables=2):
-            out[subset] = self.estimate(query.subquery(set(subset)))
-        return out
+        """Estimates for all connected sub-plans; the default routes
+        through :meth:`open_session` (methods with progressive
+        estimation override :meth:`open_session` instead)."""
+        return self.open_session(query).estimate_all(min_tables=min_tables)
+
+    def open_session(self, query: Query) -> GenericEstimationSession:
+        """Prepare ``query`` for repeated sub-plan probing.
+
+        The default session memoizes one-shot estimates of induced
+        sub-queries — bit-identical to calling :meth:`estimate` per
+        probe, paying the model once per distinct subset.  Methods with
+        genuinely incremental sub-plan estimation (FactorJoin) override
+        this with a prepared session.
+        """
+        return GenericEstimationSession(self, query)
+
+    def capabilities(self) -> Capabilities:
+        """Declared abilities, derived from which hooks the class
+        overrides plus its Table 1 characteristics; the conformance
+        suite checks the declaration against behavior."""
+        supports_update = type(self).update is not CardEstMethod.update
+        supports_delete = self._supports_delete()
+        return Capabilities(
+            name=self.name,
+            supports_update=supports_update,
+            supports_delete=supports_delete,
+            supports_subplans=True,
+            supports_sessions=True,
+            predicate_classes=tuple(sorted(self.predicate_classes)),
+            update_granularity=("row-batch" if supports_update
+                                else "refit"),
+            supports_cyclic_joins=(
+                self.characteristics.supports_cyclic_join),
+            supports_self_joins=(
+                self.characteristics.supports_cyclic_join))
+
+    def _supports_delete(self) -> bool:
+        """Whether :meth:`update` absorbs ``deleted_rows`` batches;
+        methods wrapping a delete-capable model override."""
+        return False
 
     def supports(self, query: Query) -> bool:
         """Whether the method can estimate this query at all (Table 1's
@@ -91,8 +133,12 @@ class CardEstMethod(ABC):
     def model_size_bytes(self) -> int:
         return pickled_size_bytes(self)
 
-    def update(self, table_name: str, new_rows) -> None:
-        raise NotImplementedError(
+    def update(self, table_name: str, new_rows=None,
+               deleted_rows=None) -> None:
+        """Incrementally absorb inserted and/or deleted rows; methods
+        without incremental maintenance keep this default, which raises
+        the taxonomy error (code ``unsupported_operation``)."""
+        raise UnsupportedOperationError(
             f"{type(self).__name__} does not support incremental updates")
 
     def __repr__(self) -> str:

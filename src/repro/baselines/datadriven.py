@@ -22,7 +22,7 @@ import numpy as np
 from repro.baselines.base import CardEstMethod, MethodCharacteristics
 from repro.data.database import Database
 from repro.engine.filter import evaluate_predicate
-from repro.errors import UnsupportedQueryError
+from repro.errors import UnsupportedOperationError, UnsupportedQueryError
 from repro.sql.predicates import Like, Predicate, TruePredicate
 from repro.sql.query import Query
 
@@ -171,9 +171,15 @@ class FanoutDataDrivenMethod(CardEstMethod):
             weights = weights * factor
         return weights
 
-    def update(self, table_name: str, new_rows) -> None:
+    def update(self, table_name: str, new_rows=None,
+               deleted_rows=None) -> None:
         """Data-driven methods must re-derive the denormalized fanout
-        columns touching the table — the expensive path Table 5 measures."""
+        columns touching the table — the expensive path Table 5 measures.
+        Deletions are not absorbed (``supports_delete`` is False)."""
+        if deleted_rows is not None:
+            raise UnsupportedOperationError(
+                f"{type(self).__name__} does not support incremental "
+                f"deletions")
         self._db = self._db.insert(table_name, new_rows)
         for rel in self._db.schema.join_relations:
             if table_name in (rel.left_table, rel.right_table):

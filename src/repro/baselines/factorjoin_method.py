@@ -36,6 +36,21 @@ class FactorJoinMethod(CardEstMethod):
                           min_tables: int = 1) -> dict[frozenset, float]:
         return self.model.estimate_subplans(query, min_tables=min_tables)
 
+    def open_session(self, query: Query):
+        """The wrapped model's prepared session (progressive sub-plan
+        probing) rather than the generic memoized one."""
+        return self.model.open_session(query)
+
+    def capabilities(self):
+        """The fitted model's capabilities under this method's name."""
+        from dataclasses import replace
+
+        return replace(self.model.capabilities(), name=self.name)
+
+    def _supports_delete(self) -> bool:
+        return (self.model is not None
+                and self.model.capabilities().supports_delete)
+
     def model_size_bytes(self) -> int:
         return self.model.model_size_bytes()
 

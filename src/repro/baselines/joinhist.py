@@ -64,5 +64,10 @@ class JoinHistMethod(CardEstMethod):
         self.check_supported(query)
         return self.model.estimate_subplans(query, min_tables=min_tables)
 
+    def open_session(self, query: Query):
+        """The wrapped model's prepared session (tree templates only)."""
+        self.check_supported(query)
+        return self.model.open_session(query)
+
     def model_size_bytes(self) -> int:
         return self.model.model_size_bytes()

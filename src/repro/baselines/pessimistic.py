@@ -105,7 +105,13 @@ class PessEstMethod(CardEstMethod):
 
     def estimate_subplans(self, query: Query,
                           min_tables: int = 1) -> dict[frozenset, float]:
+        return self.open_session(query).estimate_all(min_tables=min_tables)
+
+    def open_session(self, query: Query):
+        """Prepared progressive probing over PessEst's own factors."""
+        from repro.api.session import ProgressiveProbeSession
+
         groups_q = query_key_groups(query)
         prog = ProgressiveSubplanEstimator(query, self._provider(groups_q),
                                            mode=bound_mod.BOUND)
-        return prog.estimate_all(min_tables=min_tables)
+        return ProgressiveProbeSession(query, prog)

@@ -11,6 +11,9 @@ from repro.sql.query import Query
 
 class TrueCardMethod(CardEstMethod):
     name = "TrueCard"
+    # exact execution evaluates every predicate class
+    predicate_classes = ("equality", "range", "in", "like", "disjunction",
+                         "is_null")
     characteristics = MethodCharacteristics(
         effective=True, efficient=True, small_model_size=True,
         fast_training=True, scalable_with_joins=True,
@@ -26,3 +29,10 @@ class TrueCardMethod(CardEstMethod):
                           min_tables: int = 1) -> dict[frozenset, float]:
         return self._executor.subplan_cardinalities(query,
                                                     min_tables=min_tables)
+
+    def open_session(self, query: Query):
+        """Native session: the exact lattice is computed in one memoized
+        bottom-up pass, not one execution per probe."""
+        from repro.api.protocol import NativeSubplanSession
+
+        return NativeSubplanSession(self, query)

@@ -21,6 +21,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro.api import build_explain_trace, coerce_query
 from repro.core.estimator import FactorJoin, FactorJoinConfig
 from repro.engine import CardinalityExecutor
 from repro.eval.harness import (
@@ -29,7 +30,6 @@ from repro.eval.harness import (
     make_context,
     run_end_to_end,
 )
-from repro.sql import parse_query
 from repro.utils import format_table
 
 
@@ -112,6 +112,10 @@ def build_parser() -> argparse.ArgumentParser:
                                      "histogram1d"))
     p_estimate.add_argument("--true", action="store_true",
                             help="also compute the exact cardinality")
+    p_estimate.add_argument("--explain", action="store_true",
+                            help="print the explain trace (bound mode, "
+                                 "key groups and bins touched, shard "
+                                 "pruning)")
     p_estimate.add_argument("--save", metavar="DIR", default=None,
                             help="persist the fitted model artifact here")
     p_estimate.add_argument("--load", metavar="DIR", default=None,
@@ -207,7 +211,7 @@ def cmd_compare(args) -> int:
 
 
 def cmd_estimate(args) -> int:
-    query = parse_query(args.sql)
+    query = coerce_query(args.sql)
 
     # the benchmark context (synthetic data + workload) is only built when
     # something needs it — a pure --load run must cost artifact-load time,
@@ -243,6 +247,11 @@ def cmd_estimate(args) -> int:
         true = CardinalityExecutor(ctx().database).cardinality(query)
         ratio = estimate / max(true, 1.0)
         print(f"true:     {true:,.1f}   (est/true {ratio:.3f})")
+    if getattr(args, "explain", False):
+        import json
+
+        trace = build_explain_trace(model, query)
+        print(json.dumps(trace.to_json(), indent=2, sort_keys=True))
     return 0
 
 
@@ -347,8 +356,9 @@ def cmd_serve(args) -> int:
     host, port = server.server_address[:2]
     print(f"serving models {service.registry.names()} "
           f"on http://{host}:{port}")
-    print("endpoints: POST /estimate /estimate_batch /update /warmup · "
-          "GET /models /stats /health")
+    print("endpoints: POST /v1/estimate /v1/subplans /v1/update "
+          "/v1/explain · GET /v1/models /stats /health "
+          "(legacy: /estimate /estimate_batch /update /warmup /models)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

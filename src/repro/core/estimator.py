@@ -29,7 +29,6 @@ from repro.core.binning import (
 )
 from repro.core.factors import JoinFactor
 from repro.core.inference import (
-    ProgressiveSubplanEstimator,
     estimate_subplans_independently,
     fold_query,
 )
@@ -40,7 +39,11 @@ from repro.core.key_groups import (
 )
 from repro.data.database import Database
 from repro.data.table import Table
-from repro.errors import NotFittedError, UnsupportedQueryError
+from repro.errors import (
+    NotFittedError,
+    UnsupportedOperationError,
+    UnsupportedQueryError,
+)
 from repro.estimators.base import make_table_estimator
 from repro.factorgraph.chow_liu import (
     chow_liu_tree_from_joints,
@@ -263,19 +266,65 @@ class FactorJoin:
         provider = self._provider(groups_q)
         return fold_query(query, provider, mode=self.config.bound_mode)
 
+    def open_session(self, query: Query):
+        """Prepare ``query`` for repeated sub-plan probing.
+
+        The :class:`~repro.api.session.FactorJoinSession` resolves key
+        groups and memoizes base factors once; every
+        ``estimate_join(subset)`` probe after that is one pairwise factor
+        combination (Section 5.2), bit-identical to estimating the
+        induced sub-query from scratch.  This is the interface a query
+        optimizer should hold for the duration of planning one query.
+        """
+        from repro.api.session import FactorJoinSession
+
+        self._check_fitted()
+        return FactorJoinSession(self, query)
+
     def estimate_subplans(self, query: Query, min_tables: int = 1,
                           progressive: bool = True) -> dict[frozenset, float]:
-        """Estimates for every connected sub-plan (Section 5.2)."""
+        """Estimates for every connected sub-plan (Section 5.2).
+
+        The progressive path runs through :meth:`open_session` — one
+        prepared session computing the whole lattice; ``progressive=
+        False`` is the ablation that re-folds every sub-plan from
+        scratch.
+        """
         self._check_fitted()
+        if progressive:
+            return self.open_session(query).estimate_all(
+                min_tables=min_tables)
         groups_q = query_key_groups(query)
         provider = self._provider(groups_q)
-        if progressive:
-            prog = ProgressiveSubplanEstimator(query, provider,
-                                               mode=self.config.bound_mode)
-            return prog.estimate_all(min_tables=min_tables)
         return estimate_subplans_independently(
             query, provider, mode=self.config.bound_mode,
             min_tables=min_tables)
+
+    def capabilities(self):
+        """Declared :class:`~repro.api.protocol.Capabilities`: updates
+        and deletions reflect what every fitted table estimator can
+        absorb, predicate classes are the intersection across tables."""
+        from repro.api.protocol import Capabilities
+
+        self._check_fitted()
+        estimators = list(self._table_estimators.values())
+        supports_update = all(e.supports_update() for e in estimators)
+        supports_delete = all(e.supports_delete() for e in estimators)
+        predicate_classes = set(
+            estimators[0].predicate_classes if estimators else ())
+        for estimator in estimators[1:]:
+            predicate_classes &= set(estimator.predicate_classes)
+        return Capabilities(
+            name="factorjoin",
+            supports_update=supports_update,
+            supports_delete=supports_delete,
+            supports_subplans=True,
+            supports_sessions=True,
+            predicate_classes=tuple(sorted(predicate_classes)),
+            update_granularity=("row-batch" if supports_update
+                                else "refit"),
+            supports_cyclic_joins=True,
+            supports_self_joins=True)
 
     def subplan_fingerprints(self, query: Query, min_tables: int = 1
                              ) -> dict[frozenset, tuple]:
@@ -384,7 +433,7 @@ class FactorJoin:
             tschema = self._db.schema.table(table_name)
             estimator = self._table_estimators[table_name]
             if deleted_rows is not None and not estimator.supports_delete():
-                raise NotImplementedError(
+                raise UnsupportedOperationError(
                     f"{type(estimator).__name__} for table {table_name!r} "
                     f"does not support deletions")
             # validation pass: both batches must apply cleanly to the

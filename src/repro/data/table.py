@@ -28,6 +28,9 @@ class Table:
                     f"expected {n}")
             self._columns[col.name] = col
         self._nrows = n or 0
+        # lazy value->row-index multimap for content-based row matching;
+        # built once per (immutable) table, see row_locations()
+        self._row_locations: dict[tuple, list] | None = None
 
     # -- construction helpers -------------------------------------------------
 
@@ -105,14 +108,42 @@ class Table:
             parts.append(values)
         return list(zip(*parts)) if parts else []
 
-    def remove_rows(self, rows: "Table", strict: bool = True) -> "Table":
-        """New table with one occurrence of each row of ``rows`` removed.
+    def row_locations(self) -> dict[tuple, list]:
+        """Value → row-index multimap for content-based row matching.
 
-        Rows are matched as full-width value tuples (NULL-aware).  With
-        ``strict``, a row that is not present raises
-        :class:`~repro.errors.DataError` *before* anything is removed;
-        without it, absent rows are ignored (the post-reload shell case —
-        see ``FactorJoin.__getstate__``).
+        Built lazily, exactly once per table *instance* (tables are
+        immutable, so the map never goes stale), and shared by every
+        consumer of the matching pass against that instance:
+        ``remove_rows`` on the database view and TrueScan's ``delete``
+        hold the *same* table object right after fit, so the second
+        matching pass reuses the first's map instead of re-scanning the
+        table.  Derived tables (the results of ``concat`` /
+        ``remove_rows``) start cold and rebuild on their first match —
+        the amortization is per instance, so matching is O(batch) after
+        one O(table) build per table version, not per pass.  Indices
+        per row tuple are ascending, matching the historical
+        first-occurrence-wins deletion order.  The map is not pickled
+        (see ``__getstate__``) — it is a cache, not state.
+        """
+        if self._row_locations is None:
+            locations: dict[tuple, list] = {}
+            for i, row in enumerate(self.row_tuples()):
+                locations.setdefault(row, []).append(i)
+            self._row_locations = locations
+        return self._row_locations
+
+    def deletion_mask(self, rows: "Table",
+                      strict: bool = True) -> np.ndarray:
+        """Boolean keep-mask removing one occurrence per row of ``rows``.
+
+        Matching is O(batch) dictionary lookups against
+        :meth:`row_locations` (amortized: the map is built once per
+        table, not once per batch) instead of the previous full-row
+        multiset scan of the whole table per batch.  With ``strict``, a
+        row that is not present raises :class:`~repro.errors.DataError`
+        *before* anything is removed; without it, absent rows are
+        ignored (the post-reload shell case — see
+        ``FactorJoin.__getstate__``).
         """
         if rows.column_names != self.column_names:
             raise SchemaError(
@@ -121,20 +152,43 @@ class Table:
         pending: dict[tuple, int] = {}
         for row in rows.row_tuples():
             pending[row] = pending.get(row, 0) + 1
-        keep = np.ones(self._nrows, dtype=bool)
-        for i, row in enumerate(self.row_tuples()):
-            count = pending.get(row, 0)
-            if count:
-                keep[i] = False
-                if count == 1:
-                    del pending[row]
-                else:
-                    pending[row] = count - 1
-            if not pending:
-                break
-        if pending and strict:
-            missing = sum(pending.values())
+        locations = self.row_locations()
+        drop: list[int] = []
+        missing = 0
+        first_missing = None
+        for row, count in pending.items():
+            available = locations.get(row, ())
+            matched = min(count, len(available))
+            # first `matched` occurrences, never mutating the shared map
+            drop.extend(available[:matched])
+            if matched < count:
+                missing += count - matched
+                if first_missing is None:
+                    first_missing = row
+        if missing and strict:
             raise DataError(
                 f"cannot delete from table {self.name!r}: {missing} "
-                f"row(s) not present (first: {next(iter(pending))!r})")
-        return self.take(keep)
+                f"row(s) not present (first: {first_missing!r})")
+        keep = np.ones(self._nrows, dtype=bool)
+        if drop:
+            keep[np.asarray(drop, dtype=np.intp)] = False
+        return keep
+
+    def remove_rows(self, rows: "Table", strict: bool = True) -> "Table":
+        """New table with one occurrence of each row of ``rows`` removed
+        (see :meth:`deletion_mask` for matching semantics and cost)."""
+        return self.take(self.deletion_mask(rows, strict=strict))
+
+    # -- persistence ------------------------------------------------------------
+
+    def __getstate__(self):
+        """Pickle without the row-locations cache: it is derived data,
+        and artifacts must stay model-sized, not index-sized."""
+        state = dict(self.__dict__)
+        state["_row_locations"] = None
+        return state
+
+    def __setstate__(self, state):
+        """Restore, tolerating pickles written before the cache existed."""
+        self.__dict__.update(state)
+        self.__dict__.setdefault("_row_locations", None)

@@ -30,6 +30,14 @@ class UnsupportedQueryError(ReproError):
     """
 
 
+class UnsupportedOperationError(ReproError, NotImplementedError):
+    """A model was asked for an operation its capabilities exclude
+    (e.g. deleting from a sample-based estimator, updating a query-driven
+    baseline).  Derives from :class:`NotImplementedError` so callers that
+    predate the error taxonomy keep catching it.
+    """
+
+
 class NotFittedError(ReproError):
     """An estimator was used before ``fit`` (or after a failed fit)."""
 

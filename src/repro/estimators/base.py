@@ -21,6 +21,7 @@ import numpy as np
 from repro.core.binning import Binning
 from repro.data.schema import TableSchema
 from repro.data.table import Table
+from repro.errors import UnsupportedOperationError
 from repro.sql.predicates import Predicate
 
 
@@ -35,6 +36,11 @@ class BaseTableEstimator(ABC):
     """
 
     name: str = "base"
+    #: Predicate classes this estimator evaluates (see
+    #: :data:`repro.api.protocol.PREDICATE_CLASSES`); estimators raise
+    #: :class:`~repro.errors.UnsupportedQueryError` outside this set.
+    predicate_classes: tuple[str, ...] = ("equality", "range", "in",
+                                          "like", "disjunction", "is_null")
 
     @abstractmethod
     def fit(self, table: Table, schema: TableSchema,
@@ -54,7 +60,7 @@ class BaseTableEstimator(ABC):
 
     def update(self, new_rows: Table) -> None:
         """Incrementally absorb inserted rows (Section 4.3)."""
-        raise NotImplementedError(
+        raise UnsupportedOperationError(
             f"{type(self).__name__} does not support incremental updates")
 
     def supports_update(self) -> bool:
@@ -66,7 +72,7 @@ class BaseTableEstimator(ABC):
         """Incrementally absorb deleted rows (Section 4.3, symmetric to
         :meth:`update`).  Sample-based estimators cannot delete without
         bias and keep the default, which raises."""
-        raise NotImplementedError(
+        raise UnsupportedOperationError(
             f"{type(self).__name__} does not support incremental deletions")
 
     def supports_delete(self) -> bool:

@@ -51,6 +51,10 @@ def _contains_like(pred: Predicate) -> bool:
 @register_estimator
 class BayesCardEstimator(BaseTableEstimator):
     name = "bayescard"
+    # LIKE and cross-column disjunctions raise UnsupportedQueryError (the
+    # framework falls back to the sampling estimator, Section 6.1)
+    predicate_classes = ("equality", "range", "in", "disjunction",
+                         "is_null")
 
     def __init__(self, attribute_codes: int = 32, fit_sample_rows: int = 50_000,
                  smoothing: float = 0.1, seed: int = 0):

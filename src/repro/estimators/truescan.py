@@ -57,6 +57,12 @@ class TrueScanEstimator(BaseTableEstimator):
 
     def delete(self, deleted_rows: Table) -> None:
         # non-strict: a row deleted twice (or unknown after a reload)
-        # simply stops contributing; the scan stays exact for what remains
+        # simply stops contributing; the scan stays exact for what
+        # remains.  Matching goes through the table's cached
+        # row-locations map (Table.row_locations): O(batch) lookups
+        # after one build per table version — and while this estimator
+        # still holds the same Table object as the database view (true
+        # right after fit), the matching pass FactorJoin.update already
+        # ran for the view is shared here rather than repeated.
         self._table = self._require_table().remove_rows(deleted_rows,
                                                         strict=False)

@@ -97,3 +97,30 @@ def make_oracle(cards: dict[frozenset, float],
     def oracle(aliases: frozenset) -> float:
         return cards.get(frozenset(aliases), default)
     return oracle
+
+
+def session_oracle(session) -> CardOracle:
+    """Oracle probing a prepared
+    :class:`~repro.api.protocol.EstimationSession` lazily.
+
+    This is the paper's intended optimizer integration: the DP never
+    materializes the whole lattice up front — each ``card(subset)``
+    probe hits the session, which answers it as one incremental factor
+    combination and memoizes it for the next probe.
+    """
+    def oracle(aliases: frozenset) -> float:
+        return session.estimate_join(aliases)
+    return oracle
+
+
+def optimize_with_session(query: Query, session,
+                          cost_model: CostModel = C_OUT
+                          ) -> tuple[JoinPlan, float]:
+    """Best plan under a prepared session's estimates.
+
+    Equivalent to ``optimize(query, make_oracle(session.estimate_all()))``
+    for connected queries — sessions answer probes bit-identically to
+    one-shot estimates — but the lattice is computed on demand as the DP
+    asks for it, amortizing per-query setup across probes.
+    """
+    return optimize(query, session_oracle(session), cost_model)

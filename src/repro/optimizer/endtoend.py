@@ -111,13 +111,23 @@ class EndToEndRunner:
     # -- per method ----------------------------------------------------------------
 
     def run_query(self, method: CardEstMethod, query: Query) -> QueryResult:
+        """One query through the planning pipeline.
+
+        Planning opens one prepared :class:`~repro.api.protocol.
+        EstimationSession` per query (the :class:`~repro.api.protocol.
+        CardinalityModel` interface) and materializes the DP table from
+        it — per-query setup is paid once, not per probe.  Sessions
+        answer bit-identically to one-shot ``estimate_subplans``, so
+        plans are unchanged from the pre-session pipeline.
+        """
         if len(query.aliases) == 1:
             cost = 0.0
             return QueryResult(query, JoinPlan.leaf(query.aliases[0]),
                                0.0, cost, 0.0)
         try:
             with Timer() as timer:
-                estimates = method.estimate_subplans(query, min_tables=1)
+                with method.open_session(query) as session:
+                    estimates = session.estimate_all(min_tables=1)
         except UnsupportedQueryError:
             return QueryResult(query, None, 0.0, float("inf"),
                                float("inf"), supported=False)

@@ -4,6 +4,37 @@ A deliberately dependency-free server (``http.server.ThreadingHTTPServer``,
 one thread per connection) exposing the :class:`~repro.serve.service.
 EstimationService` endpoints an optimizer or load generator needs:
 
+Versioned ``/v1`` routes (the supported API)
+--------------------------------------------
+
+==========================  =================================================
+``POST /v1/estimate``       ``{"sql": ..., "model"?, "explain"?}`` → typed
+                            ``EstimateResponse`` JSON (``api_version``,
+                            estimate, cache level, optional explain trace)
+``POST /v1/subplans``       ``{"sql": ..., "model"?, "min_tables"?}`` →
+                            typed ``SubplanResponse`` JSON (the optimizer's
+                            sub-plan map, keyed by comma-joined alias sets)
+``POST /v1/update``         same body as ``POST /update`` → typed
+                            ``UpdateResponse`` JSON
+``POST /v1/explain``        ``{"sql": ..., "model"?}`` → estimate with the
+                            full explain trace (bound mode, key groups and
+                            bins touched, shard pruning, cache level)
+``GET /v1/models``          published models with declared capabilities
+==========================  =================================================
+
+``/v1`` errors are machine-readable: ``{"error": {"code", "message",
+"type"}}`` with the taxonomy code (``parse_error``,
+``unsupported_query``, ``unsupported_operation``, ``model_not_found``,
+``invalid_request``, ...) and the taxonomy's HTTP status (see
+:mod:`repro.api.messages`).
+
+Legacy unversioned routes (deprecation shims)
+---------------------------------------------
+
+These answer exactly as before ``/v1`` existed — with a ``Deprecation:
+true`` response header — so existing clients keep working; new clients
+should use ``/v1``.
+
 ==========================  =================================================
 ``POST /estimate``          ``{"sql": ..., "model"?, "subplans"?,
                             "min_tables"?}`` → one estimate (or a sub-plan
@@ -38,6 +69,14 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro.api import (
+    EstimateRequest,
+    SubplanRequest,
+    UpdateRequest,
+    error_payload,
+    http_status_of,
+    render_subplan_keys,
+)
 from repro.data.table import Table
 from repro.errors import ModelNotFoundError, ReproError
 from repro.serve.service import EstimationService
@@ -57,11 +96,6 @@ def _table_from_json(table_name: str, rows: dict) -> Table:
     return Table.from_dict(table_name, data, null_masks=masks)
 
 
-def _subplans_to_json(subplans: dict) -> dict:
-    return {",".join(sorted(aliases)): value
-            for aliases, value in subplans.items()}
-
-
 class ServingHandler(BaseHTTPRequestHandler):
     """Routes HTTP requests to the server's ``service``."""
 
@@ -78,11 +112,16 @@ class ServingHandler(BaseHTTPRequestHandler):
 
     # -- plumbing --------------------------------------------------------------
 
-    def _reply(self, payload: dict, status: int = 200) -> None:
+    def _reply(self, payload: dict, status: int = 200,
+               deprecated: bool = False) -> None:
         body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if deprecated:
+            # RFC 9745-style marker: the route still answers, but /v1 is
+            # the supported surface
+            self.send_header("Deprecation", "true")
         self.end_headers()
         self.wfile.write(body)
 
@@ -111,22 +150,40 @@ class ServingHandler(BaseHTTPRequestHandler):
             raise ValueError(f"missing required field {field!r}")
         return payload[field]
 
-    def _dispatch(self, handler) -> None:
+    def _dispatch(self, handler, deprecated: bool = False) -> None:
+        """Legacy dispatch: prose-only error bodies, unchanged statuses."""
         try:
-            self._reply(handler())
+            self._reply(handler(), deprecated=deprecated)
         except ModelNotFoundError as exc:
-            self._reply({"error": str(exc)}, status=404)
+            self._reply({"error": str(exc)}, status=404,
+                        deprecated=deprecated)
         except (ValueError, KeyError, json.JSONDecodeError,
                 NotImplementedError, ReproError) as exc:
-            self._reply({"error": str(exc)}, status=400)
+            self._reply({"error": str(exc)}, status=400,
+                        deprecated=deprecated)
         except Exception as exc:  # pragma: no cover - defensive
-            self._reply({"error": f"internal error: {exc}"}, status=500)
+            self._reply({"error": f"internal error: {exc}"}, status=500,
+                        deprecated=deprecated)
+
+    def _dispatch_v1(self, handler) -> None:
+        """Versioned dispatch: machine-readable taxonomy error bodies
+        (``{"error": {"code", "message", "type"}}``), status from the
+        taxonomy."""
+        try:
+            self._reply(handler())
+        except Exception as exc:
+            self._reply(error_payload(exc), status=http_status_of(exc))
 
     # -- routes ----------------------------------------------------------------
 
     def do_GET(self):
-        if self.path == "/models":
-            self._dispatch(lambda: {"models": self.service.registry.describe()})
+        if self.path == "/v1/models":
+            self._dispatch_v1(self._get_v1_models)
+        elif self.path == "/models":
+            # deprecation shim: GET /v1/models is the supported route
+            self._dispatch(
+                lambda: {"models": self.service.registry.describe()},
+                deprecated=True)
         elif self.path == "/stats":
             self._dispatch(self.service.stats)
         elif self.path == "/health":
@@ -136,12 +193,25 @@ class ServingHandler(BaseHTTPRequestHandler):
                         status=404)
 
     def do_POST(self):
-        if self.path == "/estimate":
-            self._dispatch(self._post_estimate)
+        if self.path == "/v1/estimate":
+            self._dispatch_v1(self._post_v1_estimate)
+        elif self.path == "/v1/subplans":
+            self._dispatch_v1(self._post_v1_subplans)
+        elif self.path == "/v1/update":
+            self._dispatch_v1(self._post_v1_update)
+        elif self.path == "/v1/explain":
+            self._dispatch_v1(self._post_v1_explain)
+        elif self.path == "/estimate":
+            # deprecation shim: POST /v1/estimate (or /v1/subplans when
+            # "subplans" is true) is the supported route
+            self._dispatch(self._post_estimate, deprecated=True)
         elif self.path == "/estimate_batch":
-            self._dispatch(self._post_estimate_batch)
+            # deprecation shim: batch clients should loop /v1/estimate
+            # (one model snapshot per request) until a /v1 batch lands
+            self._dispatch(self._post_estimate_batch, deprecated=True)
         elif self.path == "/update":
-            self._dispatch(self._post_update)
+            # deprecation shim: POST /v1/update is the supported route
+            self._dispatch(self._post_update, deprecated=True)
         elif self.path == "/warmup":
             self._dispatch(self._post_warmup)
         elif self.path == "/snapshot":
@@ -149,6 +219,58 @@ class ServingHandler(BaseHTTPRequestHandler):
         else:
             self._reply({"error": f"unknown route POST {self.path}"},
                         status=404)
+
+    # -- /v1 routes ------------------------------------------------------------
+
+    def _post_v1_estimate(self) -> dict:
+        """Typed single-query estimate (``EstimateRequest`` →
+        ``EstimateResponse``)."""
+        request = EstimateRequest.from_json(self._read_json())
+        return self.service.serve_estimate(request).to_json()
+
+    def _post_v1_subplans(self) -> dict:
+        """Typed sub-plan map (``SubplanRequest`` →
+        ``SubplanResponse``)."""
+        request = SubplanRequest.from_json(self._read_json())
+        return self.service.serve_subplans(request).to_json()
+
+    def _post_v1_update(self) -> dict:
+        """Typed incremental mutation (``UpdateRequest`` →
+        ``UpdateResponse``); same body grammar as the legacy route."""
+        request = self._parse_update(self._read_json())
+        return self.service.serve_update(request).to_json()
+
+    def _post_v1_explain(self) -> dict:
+        """Estimate with the full explain trace attached."""
+        payload = self._read_json()
+        payload["explain"] = True
+        request = EstimateRequest.from_json(payload)
+        return self.service.serve_estimate(request).to_json()
+
+    def _get_v1_models(self) -> dict:
+        """Published models, each with its declared capabilities."""
+        from repro.api import API_VERSION
+
+        registry = self.service.registry
+        models = []
+        for name in registry.names():
+            try:
+                # one resolved record: a concurrent hot-swap must never
+                # pair one version's metadata with another's capabilities
+                record = registry.record(name)
+            except ModelNotFoundError:  # unpublished mid-listing
+                continue
+            entry = record.describe()
+            model = record.model
+            capabilities = getattr(model, "capabilities", None)
+            try:
+                entry["capabilities"] = (capabilities().describe()
+                                         if callable(capabilities)
+                                         else None)
+            except Exception:
+                entry["capabilities"] = None
+            models.append(entry)
+        return {"models": models, "api_version": API_VERSION}
 
     def _post_snapshot(self) -> dict:
         """Save or restore a model's cache snapshot at a server-local
@@ -205,7 +327,7 @@ class ServingHandler(BaseHTTPRequestHandler):
             subplans = self.service.estimate_subplans(
                 sql, model=model,
                 min_tables=int(payload.get("min_tables", 1)))
-            return {"subplans": _subplans_to_json(subplans)}
+            return {"subplans": render_subplan_keys(subplans)}
         return self.service.estimate(sql, model=model).describe()
 
     def _post_estimate_batch(self) -> dict:
@@ -287,8 +409,10 @@ class ServingHandler(BaseHTTPRequestHandler):
                                  f"entries failed to replay"]
         return summary
 
-    def _post_update(self) -> dict:
-        payload = self._read_json()
+    def _parse_update(self, payload: dict) -> UpdateRequest:
+        """One update-body grammar for the legacy and ``/v1`` routes:
+        ``{"table", "rows": {col: [...]}, "op"?: "insert"|"delete",
+        "model"?}``."""
         table_name = self._require(payload, "table")
         op = payload.get("op", "insert")
         if op not in ("insert", "delete"):
@@ -299,10 +423,14 @@ class ServingHandler(BaseHTTPRequestHandler):
                              "{column: [values]} object")
         batch = _table_from_json(table_name, rows)
         if op == "delete":
-            return self.service.update(table_name, deleted_rows=batch,
-                                       model=payload.get("model"))
-        return self.service.update(table_name, batch,
-                                   model=payload.get("model"))
+            return UpdateRequest(table=table_name, deleted_rows=batch,
+                                 model=payload.get("model"))
+        return UpdateRequest(table=table_name, rows=batch,
+                             model=payload.get("model"))
+
+    def _post_update(self) -> dict:
+        return self.service.serve_update(
+            self._parse_update(self._read_json())).describe()
 
 
 class ServingServer(ThreadingHTTPServer):

@@ -56,8 +56,20 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from repro.api import (
+    EstimateRequest,
+    EstimateResponse,
+    SubplanRequest,
+    SubplanResponse,
+    UpdateRequest,
+    UpdateResponse,
+    build_explain_trace,
+    check_operation,
+    coerce_query,
+    with_cache_level,
+)
 from repro.data.table import Table
-from repro.errors import DataError
+from repro.errors import DataError, UnsupportedOperationError
 from repro.serve.cache import EstimateCache, query_fingerprint
 from repro.serve.registry import ModelRecord, ModelRegistry
 from repro.serve.warmup import (
@@ -66,10 +78,12 @@ from repro.serve.warmup import (
     WorkloadEntry,
     WorkloadRecorder,
 )
-from repro.sql import parse_query
 from repro.sql.query import Query
 
 DEFAULT_MODEL = "default"
+
+#: Deprecation alias: the pre-``/v1`` name of the typed response object.
+EstimateResult = EstimateResponse
 
 
 @dataclass
@@ -113,37 +127,6 @@ class LatencyStats:
             "mean_ms": (total / count * 1e3) if count else 0.0,
             "p50_ms": self._percentile(ordered, 0.50) * 1e3,
             "p99_ms": self._percentile(ordered, 0.99) * 1e3,
-        }
-
-
-@dataclass(frozen=True)
-class EstimateResult:
-    """One answered request: the number plus serving metadata.
-
-    ``cache_level`` records where the answer came from: ``"query"`` (exact
-    request fingerprint), ``"subplan"`` (the cross-request sub-plan
-    table), or None (computed by the model).  ``cached`` stays the
-    boolean summary of the first two.
-    """
-
-    estimate: float
-    model: str
-    version: int
-    cached: bool
-    seconds: float
-    sql: str
-    cache_level: str | None = None
-
-    def describe(self) -> dict:
-        """JSON-ready view (the ``POST /estimate`` response body)."""
-        return {
-            "estimate": self.estimate,
-            "model": self.model,
-            "version": self.version,
-            "cached": self.cached,
-            "cache_level": self.cache_level,
-            "seconds": self.seconds,
-            "sql": self.sql,
         }
 
 
@@ -228,7 +211,8 @@ class EstimationService:
 
     @staticmethod
     def _as_query(query: Query | str) -> Query:
-        return parse_query(query) if isinstance(query, str) else query
+        """Deprecated shim: use :func:`repro.api.coerce_query`."""
+        return coerce_query(query)
 
     # -- workload recording ----------------------------------------------------
 
@@ -282,16 +266,29 @@ class EstimationService:
     # -- estimation ------------------------------------------------------------
 
     def estimate(self, query: Query | str,
-                 model: str | None = None) -> EstimateResult:
+                 model: str | None = None) -> EstimateResponse:
         """Single-query estimate: query-level cache, then the sub-plan
-        table, then the model."""
-        return self._estimate_with(self._resolve(model), query,
-                                   requested_model=model)
+        table, then the model.  Shim over :meth:`serve_estimate`."""
+        return self.serve_estimate(EstimateRequest(query=query,
+                                                   model=model))
+
+    def serve_estimate(self, request: EstimateRequest) -> EstimateResponse:
+        """Answer one typed :class:`~repro.api.EstimateRequest`.
+
+        With ``request.explain``, the response carries an
+        :class:`~repro.api.ExplainTrace` (inference knobs, key groups and
+        bins touched, shard pruning, cache level hit).
+        """
+        return self._estimate_with(self._resolve(request.model),
+                                   request.query,
+                                   requested_model=request.model,
+                                   explain=request.explain)
 
     def _estimate_with(self, record: ModelRecord, query: Query | str,
-                       requested_model: str | None = None) -> EstimateResult:
+                       requested_model: str | None = None,
+                       explain: bool = False) -> EstimateResponse:
         start = time.perf_counter()
-        query = self._as_query(query)
+        query = coerce_query(query)
         cache = self._cache_of(record.name)
         key = query_fingerprint(query)
         stamp = cache.invalidations
@@ -327,26 +324,44 @@ class EstimationService:
                 if skey is not None:
                     cache.put_subplan(skey, value, stamp=stamp)
         self._record(KIND_ESTIMATE, query, requested_model)
+        trace = None
+        if explain:
+            trace = with_cache_level(
+                build_explain_trace(record.model, query), cache_level)
         seconds = time.perf_counter() - start
         self.latency.observe(seconds)
-        return EstimateResult(estimate=value, model=record.name,
-                              version=record.version,
-                              cached=cache_level is not None,
-                              seconds=seconds, sql=query.to_sql(),
-                              cache_level=cache_level)
+        return EstimateResponse(estimate=value, model=record.name,
+                                version=record.version,
+                                cached=cache_level is not None,
+                                seconds=seconds, sql=query.to_sql(),
+                                cache_level=cache_level, explain=trace)
 
     def estimate_many(self, queries: list[Query | str],
-                      model: str | None = None) -> list[EstimateResult]:
+                      model: str | None = None) -> list[EstimateResponse]:
         """Batched estimates, all against one resolved model snapshot
         (a hot-swap mid-batch does not mix versions)."""
         record = self._resolve(model)
         return [self._estimate_with(record, q, requested_model=model)
                 for q in queries]
 
+    def explain(self, query: Query | str,
+                model: str | None = None) -> EstimateResponse:
+        """Estimate with a full :class:`~repro.api.ExplainTrace` attached
+        (the ``POST /v1/explain`` entry point)."""
+        return self.serve_estimate(EstimateRequest(query=query,
+                                                   model=model,
+                                                   explain=True))
+
     def estimate_subplans(self, query: Query | str,
                           model: str | None = None,
                           min_tables: int = 1) -> dict[frozenset, float]:
-        """Estimates for every connected sub-plan (optimizer interface).
+        """Estimates for every connected sub-plan (optimizer interface);
+        shim over :meth:`serve_subplans` returning the bare map."""
+        return self.serve_subplans(SubplanRequest(
+            query=query, model=model, min_tables=min_tables)).subplans
+
+    def serve_subplans(self, request: SubplanRequest) -> SubplanResponse:
+        """Answer one typed :class:`~repro.api.SubplanRequest`.
 
         Consults the query-level cache first; on a miss, the whole map is
         assembled from the sub-plan table when every sub-plan is already
@@ -356,8 +371,9 @@ class EstimationService:
         contained sub-plan are served without inference.
         """
         start = time.perf_counter()
+        model, min_tables = request.model, request.min_tables
         record = self._resolve(model)
-        query = self._as_query(query)
+        query = coerce_query(request.query)
         cache = self._cache_of(record.name)
         key = query_fingerprint(query, request=("subplans", min_tables))
         stamp = cache.invalidations
@@ -391,9 +407,13 @@ class EstimationService:
                         {skeys[s]: v for s, v in value.items()
                          if s in skeys}, stamp=stamp)
         self._record(KIND_SUBPLANS, query, model, min_tables=min_tables)
-        self.latency.observe(time.perf_counter() - start)
-        # a copy: callers mutating their result must not poison the cache
-        return dict(value)
+        seconds = time.perf_counter() - start
+        self.latency.observe(seconds)
+        # a copied map: callers mutating their result must not poison
+        # the cache
+        return SubplanResponse(subplans=dict(value), model=record.name,
+                               version=record.version, seconds=seconds,
+                               sql=query.to_sql(), min_tables=min_tables)
 
     # -- mutation --------------------------------------------------------------
 
@@ -407,22 +427,29 @@ class EstimationService:
         reject mismatched column sets up front instead.  Column *order*
         is normalized to the served table's storage order (JSON objects
         are unordered; order is a serving-layer concern, not an error).
-        Also rejects models whose table estimator cannot absorb the
-        operation, so the caller gets a clean error instead of a partial
-        mutation.
+        Also rejects models that cannot absorb the operation, so the
+        caller gets a clean error instead of a partial mutation: via the
+        per-table ``supports_update`` / ``supports_delete`` hooks when
+        the model exposes them (FactorJoin's are estimator-derived), and
+        via the declared :class:`~repro.api.Capabilities` otherwise
+        (:func:`repro.api.check_operation`).
         """
-        if op == "insert":
-            if not getattr(model, "supports_update", lambda *a: True)(
-                    table_name):
-                raise NotImplementedError(
+        hook_name = "supports_update" if op == "insert" else "supports_delete"
+        hook = getattr(model, hook_name, None)
+        if callable(hook):
+            if op == "insert" and not hook(table_name):
+                raise UnsupportedOperationError(
                     f"the served model cannot absorb inserts into "
                     f"{table_name!r} (its table estimator has no update)")
-        else:
-            if not getattr(model, "supports_delete", lambda *a: False)(
-                    table_name):
-                raise NotImplementedError(
+            if op != "insert" and not hook(table_name):
+                raise UnsupportedOperationError(
                     f"the served model cannot absorb deletions from "
                     f"{table_name!r} (its table estimator has no delete)")
+        else:
+            capabilities = getattr(model, "capabilities", None)
+            if callable(capabilities):
+                check_operation(capabilities(),
+                                "update" if op == "insert" else "delete")
         try:
             want = model.database.table(table_name).column_names
         except Exception:
@@ -440,7 +467,14 @@ class EstimationService:
                model: str | None = None,
                deleted_rows: Table | None = None) -> dict:
         """Apply an incremental insert and/or delete to a served model
-        (Section 4.3).
+        (Section 4.3); shim over :meth:`serve_update` returning the
+        legacy summary dict."""
+        return self.serve_update(UpdateRequest(
+            table=table_name, rows=new_rows, deleted_rows=deleted_rows,
+            model=model)).describe()
+
+    def serve_update(self, request: UpdateRequest) -> UpdateResponse:
+        """Apply one typed :class:`~repro.api.UpdateRequest`.
 
         Serialized against other updates.  Both batches are validated
         before any statistic mutates, and the model's cache (both levels)
@@ -448,13 +482,15 @@ class EstimationService:
         mutation must never leave pre-failure entries serving.
         """
         start = time.perf_counter()
-        record = self._resolve(model)
+        table_name = request.table
+        new_rows, deleted_rows = request.rows, request.deleted_rows
+        record = self._resolve(request.model)
         if new_rows is None and deleted_rows is None:
             # reject unsupported models first (the clearer error), then
             # the empty batch
             if not getattr(record.model, "supports_update",
                            lambda *a: True)(table_name):
-                raise NotImplementedError(
+                raise UnsupportedOperationError(
                     f"the served model cannot absorb inserts into "
                     f"{table_name!r} (its table estimator has no update)")
             raise DataError("update needs new_rows and/or deleted_rows")
@@ -481,15 +517,14 @@ class EstimationService:
                 self._mutated_records.add((record.name, record.version))
         seconds = time.perf_counter() - start
         self.update_latency.observe(seconds)
-        return {
-            "model": record.name,
-            "version": record.version,
-            "table": table_name,
-            "rows": len(new_rows) if new_rows is not None else 0,
-            "deleted_rows": (len(deleted_rows) if deleted_rows is not None
-                             else 0),
-            "seconds": seconds,
-        }
+        return UpdateResponse(
+            model=record.name,
+            version=record.version,
+            table=table_name,
+            rows=len(new_rows) if new_rows is not None else 0,
+            deleted_rows=(len(deleted_rows) if deleted_rows is not None
+                          else 0),
+            seconds=seconds)
 
     # -- cache snapshots -------------------------------------------------------
 

@@ -56,7 +56,11 @@ from repro.core.estimator import FactorJoin, FactorJoinConfig
 from repro.data.database import Database
 from repro.data.schema import DatabaseSchema, TableSchema
 from repro.data.table import Table
-from repro.errors import NotFittedError, ReproError
+from repro.errors import (
+    NotFittedError,
+    ReproError,
+    UnsupportedOperationError,
+)
 from repro.estimators.base import BaseTableEstimator
 from repro.factorgraph.chow_liu import (
     chow_liu_tree_from_joints,
@@ -322,6 +326,38 @@ class ShardedFactorJoin:
         return self._require_state().merged.estimate_subplans(
             query, min_tables=min_tables, progressive=progressive)
 
+    def open_session(self, query: Query):
+        """Prepared sub-plan probing over the merged ensemble view (see
+        :meth:`repro.core.estimator.FactorJoin.open_session`).  The
+        session pins the current ensemble state: per the concurrency
+        contract, probes never mix pre- and post-update statistics."""
+        return self._require_state().merged.open_session(query)
+
+    def capabilities(self):
+        """Ensemble :class:`~repro.api.protocol.Capabilities`: the
+        merged model's, with deletion support additionally requiring a
+        policy that can route deleted rows to their owning shard by
+        content."""
+        from dataclasses import replace as _replace
+
+        from repro.estimators.base import ESTIMATOR_REGISTRY
+
+        state = self._require_state()
+        merged = state.merged.capabilities()
+        routable = all(
+            self.policy.can_route_deletes(
+                state.merged.database.schema.table(name))
+            for name in state.merged.database.schema.table_names)
+        # the merged view's table estimators are ensemble facades; the
+        # predicate classes are those of the configured shard estimator
+        shard_cls = ESTIMATOR_REGISTRY.get(self.config.table_estimator)
+        predicates = (tuple(sorted(shard_cls.predicate_classes))
+                      if shard_cls is not None
+                      else merged.predicate_classes)
+        return _replace(merged, name="factorjoin-sharded",
+                        supports_delete=merged.supports_delete and routable,
+                        predicate_classes=predicates)
+
     def subplan_fingerprints(self, query: Query, min_tables: int = 1
                              ) -> dict[frozenset, tuple]:
         return self._require_state().merged.subplan_fingerprints(
@@ -382,12 +418,12 @@ class ShardedFactorJoin:
         sup_update, sup_delete = state.supports.get(table_name,
                                                     (True, True))
         if new_rows is not None and not sup_update:
-            raise NotImplementedError(
+            raise UnsupportedOperationError(
                 f"ensemble shards cannot absorb inserts into "
                 f"{table_name!r} (table estimator has no update)")
         if deleted_rows is not None and not (
                 sup_delete and self.policy.can_route_deletes(tschema)):
-            raise NotImplementedError(
+            raise UnsupportedOperationError(
                 f"ensemble shards cannot absorb deletions from "
                 f"{table_name!r} (table estimator has no delete, or the "
                 f"{self.policy.kind!r} policy cannot route deletions "
@@ -618,6 +654,12 @@ class ShardedFactorJoin:
 
     def group_names(self) -> list[str]:
         return self._require_state().merged.group_names()
+
+    def group_name_of(self, table_name: str, column: str) -> str:
+        """The equivalent key group a join key belongs to (explain
+        traces read this alongside :meth:`binning_for_group`)."""
+        return self._require_state().merged.group_name_of(table_name,
+                                                          column)
 
     def binning_for_group(self, name: str) -> Binning:
         return self._require_state().merged.binning_for_group(name)

@@ -1,0 +1,202 @@
+"""Protocol conformance: every registered model family, one contract.
+
+The capability-matrix suite instantiates every family in
+:func:`repro.api.model_families` (FactorJoin under two table estimators,
+the sharded ensemble, and the baselines) and verifies that *declared*
+:class:`~repro.api.Capabilities` match *actual* behavior:
+
+- all families satisfy the structural :class:`~repro.api.CardinalityModel`
+  protocol;
+- prepared sessions answer bit-identically to one-shot ``estimate`` /
+  ``estimate_subplans``;
+- ``supports_update=False`` / ``supports_delete=False`` families raise
+  the taxonomy error (:class:`~repro.errors.UnsupportedOperationError`,
+  code ``unsupported_operation``), and supporting families absorb a real
+  batch;
+- the optimizer's DP produces bit-identical plans whether it reads a
+  precomputed sub-plan map or probes the session lazily.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    Capabilities,
+    CardinalityModel,
+    EstimationSession,
+    PREDICATE_CLASSES,
+    build_model,
+    error_code,
+    model_families,
+)
+from repro.data import Column, Table
+from repro.errors import UnsupportedOperationError
+from repro.optimizer.dp import make_oracle, optimize, optimize_with_session
+from repro.sql import parse_query
+from tests.conftest import build_toy_db
+
+FAMILIES = sorted(model_families())
+
+QUERY = ("SELECT COUNT(*) FROM A a, B b, C c "
+         "WHERE a.id = b.aid AND b.cid = c.id AND a.x > 1")
+TWO_TABLE = "SELECT COUNT(*) FROM A a, B b WHERE a.id = b.aid"
+
+
+@pytest.fixture(scope="module")
+def shared_db():
+    return build_toy_db(seed=3)
+
+
+@pytest.fixture(scope="module", params=FAMILIES)
+def family_model(request, shared_db):
+    """One fitted model per registered family (module-scoped: families
+    are fitted once for the whole matrix)."""
+    return request.param, build_model(request.param, shared_db)
+
+
+def _insert_batch(n=3, start=500):
+    ids = np.arange(start, start + n)
+    return Table("C", [Column("id", ids),
+                       Column("z", np.ones(n, dtype=ids.dtype))])
+
+
+class TestProtocolConformance:
+    def test_satisfies_protocol(self, family_model):
+        name, model = family_model
+        assert isinstance(model, CardinalityModel), name
+
+    def test_capabilities_are_declared_and_valid(self, family_model):
+        name, model = family_model
+        caps = model.capabilities()
+        assert isinstance(caps, Capabilities)
+        assert caps.name
+        assert set(caps.predicate_classes) <= set(PREDICATE_CLASSES)
+        assert caps.supports_subplans and caps.supports_sessions
+        # granularity and update support must agree
+        assert caps.supports_update == (caps.update_granularity
+                                        == "row-batch")
+
+    def test_estimate_and_subplans_answer(self, family_model):
+        name, model = family_model
+        query = parse_query(QUERY)
+        assert model.estimate(query) >= 0.0
+        subplans = model.estimate_subplans(query, min_tables=1)
+        # singletons + pairs (a,b), (b,c) + the full join
+        assert set(subplans) == {
+            frozenset({"a"}), frozenset({"b"}), frozenset({"c"}),
+            frozenset({"a", "b"}), frozenset({"b", "c"}),
+            frozenset({"a", "b", "c"})}
+
+
+class TestSessionBitIdentity:
+    def test_session_matches_one_shot_estimate(self, family_model):
+        name, model = family_model
+        query = parse_query(QUERY)
+        with model.open_session(query) as session:
+            assert isinstance(session, EstimationSession)
+            assert session.estimate() == model.estimate(query)
+
+    def test_session_lattice_matches_estimate_subplans(self, family_model):
+        name, model = family_model
+        query = parse_query(QUERY)
+        expected = model.estimate_subplans(query, min_tables=1)
+        with model.open_session(query) as session:
+            assert session.estimate_all(min_tables=1) == expected
+            # per-probe answers equal the map entries, and repeating a
+            # probe (memoized) answers identically
+            for subset, value in expected.items():
+                assert session.estimate_join(subset) == value
+                assert session.estimate_join(subset) == value
+
+    def test_session_rejects_foreign_aliases(self, family_model):
+        name, model = family_model
+        session = model.open_session(parse_query(TWO_TABLE))
+        with pytest.raises(ValueError, match="not part of this"):
+            session.estimate_join({"zz"})
+        with pytest.raises(ValueError, match="non-empty"):
+            session.estimate_join(set())
+
+
+class TestCapabilityMatrix:
+    """Declared capabilities must match behavior, per family."""
+
+    def test_update_capability_matches_behavior(self, shared_db,
+                                                family_model):
+        name, _ = family_model
+        model = build_model(name, shared_db)  # fresh: updates mutate
+        caps = model.capabilities()
+        if caps.supports_update:
+            before = model.estimate(parse_query(TWO_TABLE))
+            model.update("C", _insert_batch())
+            assert model.estimate(parse_query(TWO_TABLE)) == before
+        else:
+            with pytest.raises(UnsupportedOperationError) as info:
+                model.update("C", _insert_batch())
+            assert error_code(info.value) == "unsupported_operation"
+
+    def test_delete_capability_matches_behavior(self, shared_db,
+                                                family_model):
+        name, _ = family_model
+        model = build_model(name, shared_db)
+        caps = model.capabilities()
+        batch = _insert_batch()
+        if caps.supports_delete:
+            # insert-then-delete round-trips the statistics
+            probe = parse_query(QUERY)
+            before = model.estimate(probe)
+            model.update("C", batch)
+            model.update("C", deleted_rows=batch)
+            assert model.estimate(probe) == pytest.approx(before,
+                                                          rel=1e-9)
+        else:
+            with pytest.raises(UnsupportedOperationError) as info:
+                model.update("C", deleted_rows=batch)
+            assert error_code(info.value) == "unsupported_operation"
+
+    def test_expected_matrix_corners(self, shared_db):
+        """Spot-check the matrix: exact estimators absorb both
+        operations, bayescard-backed models reject deletions, static
+        baselines reject both."""
+        truescan = build_model("factorjoin", shared_db).capabilities()
+        assert truescan.supports_update and truescan.supports_delete
+        bayes = build_model("factorjoin-bayescard",
+                            shared_db).capabilities()
+        assert bayes.supports_update and not bayes.supports_delete
+        postgres = build_model("baseline-postgres",
+                               shared_db).capabilities()
+        assert not postgres.supports_update
+        datadriven = build_model("baseline-datadriven",
+                                 shared_db).capabilities()
+        assert datadriven.supports_update
+        assert not datadriven.supports_delete
+
+
+class TestServingGate:
+    def test_service_gates_on_declared_capabilities(self, shared_db):
+        """A served model without per-table supports_update/delete hooks
+        (any baseline) is gated by its declared Capabilities — the
+        taxonomy error fires before any batch validation or mutation."""
+        from repro.serve import EstimationService
+
+        service = EstimationService()
+        service.register("pg", build_model("baseline-postgres", shared_db))
+        with pytest.raises(UnsupportedOperationError,
+                           match="does not support incremental"):
+            service.update("C", _insert_batch())
+        with pytest.raises(UnsupportedOperationError,
+                           match="does not support incremental"):
+            service.update("C", deleted_rows=_insert_batch())
+
+
+class TestOptimizerThroughSessions:
+    def test_dp_plans_are_bit_identical_via_session(self, family_model):
+        """The DP picks the same plan (and believes the same cost)
+        whether it reads a precomputed map or probes the session."""
+        name, model = family_model
+        query = parse_query(QUERY)
+        estimates = model.estimate_subplans(query, min_tables=1)
+        plan_map, cost_map = optimize(query, make_oracle(estimates))
+        plan_sess, cost_sess = optimize_with_session(
+            query, model.open_session(query))
+        assert plan_sess == plan_map
+        assert cost_sess == cost_map

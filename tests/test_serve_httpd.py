@@ -119,6 +119,101 @@ class TestRoutes:
         assert _get(server, "/health") == {"ok": True}
 
 
+def _post_raw(server, path, payload):
+    """POST returning (body, headers) for header assertions."""
+    req = urllib.request.Request(
+        _url(server, path), data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(req, timeout=10) as resp:
+        return json.loads(resp.read()), dict(resp.headers)
+
+
+class TestV1Routes:
+    """The versioned API: typed responses, explain traces, capability
+    listings, and the machine-readable error taxonomy."""
+
+    def test_v1_estimate(self, served):
+        server, _, model = served
+        body = _post(server, "/v1/estimate", {"sql": SQL})
+        from repro.sql import parse_query
+        assert body["estimate"] == model.estimate(parse_query(SQL))
+        assert body["api_version"] == "v1"
+        assert body["explain"] is None
+        assert not body["cached"]
+        assert _post(server, "/v1/estimate", {"sql": SQL})["cached"]
+
+    def test_v1_estimate_with_explain(self, served):
+        server, _, _ = served
+        body = _post(server, "/v1/estimate",
+                     {"sql": SQL, "explain": True})
+        trace = body["explain"]
+        assert trace["bound_mode"] == "bound"
+        assert trace["aliases"] == ["a", "b"]
+        assert trace["bins_touched"] >= 1
+        assert trace["capabilities"]["name"] == "factorjoin"
+
+    def test_v1_explain_reports_cache_level(self, served):
+        server, _, _ = served
+        first = _post(server, "/v1/explain", {"sql": SQL})
+        assert first["explain"]["cache_level"] is None
+        again = _post(server, "/v1/explain", {"sql": SQL})
+        assert again["explain"]["cache_level"] == "query"
+        assert again["estimate"] == first["estimate"]
+
+    def test_v1_subplans(self, served):
+        server, _, _ = served
+        body = _post(server, "/v1/subplans", {"sql": SQL})
+        assert set(body["subplans"]) == {"a", "b", "a,b"}
+        assert body["count"] == 3
+        assert body["api_version"] == "v1"
+
+    def test_v1_update(self, served):
+        server, _, _ = served
+        body = _post(server, "/v1/update", {
+            "table": "C", "rows": {"id": [3000], "z": [1]}})
+        assert body["rows"] == 1 and body["deleted_rows"] == 0
+        assert body["api_version"] == "v1"
+
+    def test_v1_models_lists_capabilities(self, served):
+        server, _, _ = served
+        body = _get(server, "/v1/models")
+        (entry,) = body["models"]
+        assert entry["name"] == "default"
+        caps = entry["capabilities"]
+        assert caps["supports_subplans"] and caps["supports_sessions"]
+        assert caps["name"] == "factorjoin"
+
+    def test_v1_error_taxonomy(self, served):
+        server, _, _ = served
+        cases = [
+            ("/v1/estimate", {"sql": "not sql"}, 400, "parse_error"),
+            ("/v1/estimate", {"sql": SQL, "model": "nope"}, 404,
+             "model_not_found"),
+            ("/v1/estimate", {}, 400, "invalid_request"),
+            ("/v1/update", {"table": "C", "rows": {"id": [1], "z": [0]},
+                            "op": "delete"}, 400,
+             "unsupported_operation"),  # bayescard: no delete
+        ]
+        for path, payload, want_status, want_code in cases:
+            status, body = _status_of(lambda: _post(server, path, payload))
+            assert status == want_status, (path, body)
+            assert body["error"]["code"] == want_code, (path, body)
+            assert body["error"]["message"]
+
+    def test_legacy_routes_carry_deprecation_header(self, served):
+        server, _, _ = served
+        _, headers = _post_raw(server, "/estimate", {"sql": SQL})
+        assert headers.get("Deprecation") == "true"
+        _, batch_headers = _post_raw(server, "/estimate_batch",
+                                     {"queries": [SQL]})
+        assert batch_headers.get("Deprecation") == "true"
+        body, v1_headers = _post_raw(server, "/v1/estimate", {"sql": SQL})
+        assert "Deprecation" not in v1_headers
+        # shim and /v1 answer identically
+        legacy = _post(server, "/estimate", {"sql": SQL})
+        assert legacy["estimate"] == body["estimate"]
+
+
 class TestErrors:
     def test_unknown_model_is_404(self, served):
         server, _, _ = served
