@@ -68,6 +68,28 @@ def _factorjoin_sharded(database, workload=None):
         n_shards=2, parallel="serial").fit(database)
 
 
+def _factorjoin_cluster(database, workload=None):
+    import shutil
+    import tempfile
+    import weakref
+
+    from repro.cluster import ClusterModel
+    from repro.core.estimator import FactorJoinConfig
+    from repro.shard import ShardedFactorJoin
+
+    artifact = tempfile.mkdtemp(prefix="repro-cluster-family-")
+    ShardedFactorJoin(
+        FactorJoinConfig(n_bins=4, table_estimator="truescan", seed=0),
+        n_shards=2, parallel="serial").fit(database).save(artifact)
+    # inline workers: the conformance matrix checks the protocol surface,
+    # not the transport (tests/test_cluster_*.py cover real processes) —
+    # and nothing here would ever close spawned workers.  The throwaway
+    # artifact is removed when the model is collected.
+    model = ClusterModel.from_artifact(artifact, workers=2, inline=True)
+    weakref.finalize(model, shutil.rmtree, artifact, True)
+    return model
+
+
 def _baseline_postgres(database, workload=None):
     from repro.baselines import PostgresMethod
 
@@ -96,6 +118,7 @@ _BUILTINS = {
     "factorjoin": _factorjoin,
     "factorjoin-bayescard": _factorjoin_bayescard,
     "factorjoin-sharded": _factorjoin_sharded,
+    "factorjoin-cluster": _factorjoin_cluster,
     "baseline-postgres": _baseline_postgres,
     "baseline-joinhist": _baseline_joinhist,
     "baseline-truecard": _baseline_truecard,

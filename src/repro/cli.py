@@ -5,12 +5,17 @@ Commands
 summary    print the Table 2-style statistics of a synthetic benchmark
 compare    fit a method line-up and print the end-to-end comparison table
 fit        fit FactorJoin — or, with ``--shards N``, a sharded ensemble
-           fitted in parallel — and persist the artifact with ``--save``
+           fitted in parallel — and persist the artifact with ``--save``;
+           ``--distributed`` fits shards in worker processes that save
+           their own sub-artifacts (the driver only merges statistics),
+           ``--compress`` gzips the pickles on disk
 estimate   fit (or ``--load``) FactorJoin and estimate one SQL query;
            ``--save`` persists the fitted model so the fit cost is paid once
 serve      publish fitted models (single or ensemble artifacts) behind the
-           JSON HTTP estimation service; ``--warm`` replays a recorded
-           workload into the caches before traffic is admitted,
+           JSON HTTP estimation service; ``--workers N`` serves ensembles
+           through shard worker processes (repro.cluster), ``--swap-dir``
+           enables the per-shard hot-swap endpoint, ``--warm`` replays a
+           recorded workload into the caches before traffic is admitted,
            ``--record`` logs served queries for the next warm start,
            ``--snapshot`` persists/restores the cache beside the artifact
 """
@@ -102,6 +107,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="artifact directory to write")
     p_fit.add_argument("--name", default=None,
                        help="artifact name recorded in the manifest")
+    p_fit.add_argument("--distributed", action="store_true",
+                       help="fit shards in worker processes (with "
+                            "--shards): each worker saves its own "
+                            "sub-artifact and ships statistics back, so "
+                            "the driver never materializes shard models")
+    p_fit.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="worker process count for --distributed "
+                            "(default: one per shard)")
+    p_fit.add_argument("--compress", action="store_true",
+                       help="gzip-compress the saved pickle(s); loads "
+                            "decompress transparently")
 
     p_estimate = sub.add_parser("estimate", help="estimate one query")
     _add_benchmark_args(p_estimate)
@@ -161,6 +177,16 @@ def build_parser() -> argparse.ArgumentParser:
                               "directory when that flag is given; "
                               "otherwise the endpoint stays disabled)")
     _add_shard_args(p_serve)
+    p_serve.add_argument("--workers", type=int, default=None, metavar="N",
+                         help="serve ensembles through N shard worker "
+                              "processes (repro.cluster): probes fan out "
+                              "across workers, crashes restart and retry "
+                              "transparently; in-process serving without "
+                              "this flag")
+    p_serve.add_argument("--swap-dir", metavar="DIR", default=None,
+                         help="enable POST /v1/swap (per-shard hot-swap), "
+                              "confined to refreshed shard artifacts "
+                              "inside this directory; disabled otherwise")
     p_serve.add_argument("--verbose", action="store_true",
                          help="log one line per HTTP request")
     return parser
@@ -170,9 +196,35 @@ def cmd_fit(args) -> int:
     context = make_context(args.benchmark, scale=args.scale, seed=args.seed,
                            n_queries=args.queries,
                            max_tables=args.max_tables)
+    if args.distributed:
+        from repro.cluster import fit_distributed
+
+        if not args.shards:
+            raise SystemExit("repro fit: --distributed needs --shards N")
+        config = FactorJoinConfig(n_bins=args.bins,
+                                  table_estimator=args.estimator,
+                                  seed=args.seed)
+        summary = fit_distributed(
+            config, context.database, args.save, n_shards=args.shards,
+            policy=args.policy, workers=args.workers, name=args.name,
+            compress=args.compress)
+        per_shard = ", ".join(f"{s:.2f}s"
+                              for s in summary["shard_fit_seconds"])
+        print(f"fitted {summary['n_shards']}-shard {summary['policy']} "
+              f"ensemble across {summary['workers']} worker processes in "
+              f"{summary['fit_seconds']:.2f}s (per-shard fits: "
+              f"{per_shard})")
+        if summary["fallback"]:
+            print(f"note: worker processes unavailable, fitted inline "
+                  f"({summary['fallback']})")
+        if summary["local_refits"]:
+            print(f"note: {summary['local_refits']} shard(s) refitted in "
+                  f"the driver after worker crashes")
+        print(f"saved artifact to {summary['path']}")
+        return 0
     model = _make_model(args)
     model.fit(context.database)
-    model.save(args.save, name=args.name)
+    model.save(args.save, name=args.name, compress=args.compress)
     if args.shards:
         per_shard = ", ".join(f"{s:.2f}s" for s in model.shard_fit_seconds)
         print(f"fitted {args.shards}-shard {args.policy} ensemble in "
@@ -272,6 +324,27 @@ def build_service(args):
     service = EstimationService(
         cache_size=args.cache_size,
         subplan_reuse=not getattr(args, "no_subplan_reuse", False))
+    workers = getattr(args, "workers", None)
+
+    def publish(name: str, path: str, metadata: dict) -> None:
+        manifest = read_manifest(path)
+        if workers and manifest.get("ensemble_version") is not None:
+            from repro.cluster import ClusterModel
+
+            model = ClusterModel.from_artifact(path, workers=workers)
+            cluster = model.pool.describe()
+            note = (f" (inline fallback: {model.pool.fallback})"
+                    if model.pool.fallback else "")
+            print(f"serving {name!r} through "
+                  f"{cluster['n_workers']} shard worker processes{note}")
+        else:
+            if workers:
+                print(f"note: {path!r} is a single-model artifact; "
+                      f"--workers applies to ensembles, serving "
+                      f"in-process")
+            model = load_model(path)
+        service.register(name, model, metadata=metadata)
+
     if args.load:
         seen: dict[str, str] = {}
         for spec in args.load:
@@ -289,9 +362,31 @@ def build_service(args):
             # fingerprint (see EstimationService.save_snapshot)
             fingerprint = (manifest.get("sha256")
                            or manifest.get("shared_sha256"))
-            service.register(name, load_model(path),
-                             metadata={"fingerprint": fingerprint,
-                                       "artifact": path})
+            publish(name, path, metadata={"fingerprint": fingerprint,
+                                          "artifact": path})
+    elif workers:
+        # no artifact given: fit a sharded ensemble on the benchmark,
+        # save it beside the server's working data, and serve it through
+        # worker processes (the artifact is the cluster's unit of state)
+        import tempfile
+
+        if not args.shards:
+            raise SystemExit("repro serve: --workers without --load "
+                             "needs --shards N to fit an ensemble first")
+        model = _make_model(args)
+        context = make_context(args.benchmark, scale=args.scale,
+                               seed=args.seed, n_queries=args.queries,
+                               max_tables=args.max_tables)
+        model.fit(context.database)
+        artifact_dir = tempfile.mkdtemp(prefix="repro-serve-ensemble-")
+        model.save(artifact_dir, name=DEFAULT_MODEL)
+        print(f"fitted ensemble saved to {artifact_dir}")
+        manifest = read_manifest(artifact_dir)
+        publish(DEFAULT_MODEL, artifact_dir,
+                metadata={"benchmark": args.benchmark,
+                          "fingerprint": manifest.get("shared_sha256"),
+                          "artifact": artifact_dir,
+                          "fit_seconds": model.fit_seconds})
     else:
         model = _make_model(args)
         context = make_context(args.benchmark, scale=args.scale,
@@ -352,12 +447,13 @@ def cmd_serve(args) -> int:
     if snapshot_dir is None and args.snapshot:
         snapshot_dir = str(Path(args.snapshot).resolve().parent)
     server = make_server(service, host=args.host, port=args.port,
-                         verbose=args.verbose, snapshot_dir=snapshot_dir)
+                         verbose=args.verbose, snapshot_dir=snapshot_dir,
+                         swap_dir=args.swap_dir)
     host, port = server.server_address[:2]
     print(f"serving models {service.registry.names()} "
           f"on http://{host}:{port}")
     print("endpoints: POST /v1/estimate /v1/subplans /v1/update "
-          "/v1/explain · GET /v1/models /stats /health "
+          "/v1/explain /v1/swap · GET /v1/models /stats /health "
           "(legacy: /estimate /estimate_batch /update /warmup /models)")
     try:
         server.serve_forever()
@@ -375,6 +471,15 @@ def cmd_serve(args) -> int:
                       f"{summary['subplans']} sub-plan entries)")
             except ReproError as exc:  # e.g. ambiguous default model
                 print(f"cache snapshot not saved: {exc}")
+        # cluster models own worker processes; stop them with the server
+        for name in service.registry.names():
+            try:
+                model = service.registry.get(name)
+            except Exception:
+                continue
+            close = getattr(model, "close", None)
+            if callable(close):
+                close()
     return 0
 
 

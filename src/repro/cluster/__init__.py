@@ -1,0 +1,59 @@
+"""Cluster layer: multi-process shard workers behind one model surface.
+
+The sharding layer (:mod:`repro.shard`) made shards the unit of fitting,
+persistence, pruning, and update routing; this package makes them the
+unit of *execution*:
+
+- :mod:`repro.cluster.messages` — the typed RPC plane: every
+  driver/worker exchange is a frozen dataclass carrying the library's
+  own predicates, tables, and statistics;
+- :mod:`repro.cluster.worker` — the worker process: a token-addressed
+  map of shard-model versions answering probes, copy-on-write updates,
+  statistics requests, and fit jobs with the exact in-process code;
+- :mod:`repro.cluster.pool` — process lifecycle: spawn, framed calls
+  with deadlines, health pings, crash detection, restart-with-reseed,
+  and an inline fallback for environments that cannot fork;
+- :mod:`repro.cluster.model` — :class:`ClusterModel`: a
+  :class:`~repro.shard.ensemble.ShardedFactorJoin` whose shard slots are
+  worker-backed proxies — bit-identical answers, per-query batched
+  probe shipping, transparent in-driver crash retries, routed updates,
+  and per-shard hot-swap, all behind the unchanged
+  :class:`~repro.api.protocol.CardinalityModel` protocol;
+- :mod:`repro.cluster.fit` — distributed fit: workers fit and save
+  their shards, the driver assembles the ensemble artifact from shipped
+  statistics without materializing a single shard model.
+
+Serving plugs in unchanged: publish a :class:`ClusterModel` into the
+registry (``repro serve --workers N``) and the estimation service, the
+caches, and the ``/v1`` routes treat it like any other model.
+"""
+
+from repro.cluster.fit import fit_distributed
+from repro.cluster.messages import (
+    Ping,
+    UnknownTokenError,
+    WorkerInfo,
+)
+from repro.cluster.model import (
+    ClusterModel,
+    ClusterTableEstimator,
+    RemoteShardModel,
+)
+from repro.cluster.pool import DEFAULT_TIMEOUT, WorkerPool
+from repro.cluster.worker import ShardWorker, worker_main
+from repro.errors import WorkerError
+
+__all__ = [
+    "ClusterModel",
+    "ClusterTableEstimator",
+    "DEFAULT_TIMEOUT",
+    "fit_distributed",
+    "Ping",
+    "RemoteShardModel",
+    "ShardWorker",
+    "UnknownTokenError",
+    "worker_main",
+    "WorkerError",
+    "WorkerInfo",
+    "WorkerPool",
+]

@@ -1,0 +1,150 @@
+"""Distributed fit: shard models fitted in worker processes, ensemble
+assembled from shipped statistics.
+
+:func:`~repro.shard.ensemble.fit_shard` is a pure function of
+``(config, shard_db, binnings)``, so fitting distributes trivially: the
+driver computes the global binnings (the cheap serial prologue),
+partitions the database, and ships one
+:class:`~repro.cluster.messages.FitShardRequest` per shard to the worker
+pool.  Each worker fits its shard, **saves the sub-artifact itself**
+(checksum-manifested, optionally gzip-compressed), and ships back only
+the shard's mergeable :class:`~repro.shard.ensemble.ShardStats`, pruning
+summary, and manifest entry.  The driver merges the statistics — the
+same lossless :func:`~repro.shard.ensemble.merged_components` the
+in-process fit uses — and writes ``shared.pkl`` plus the ensemble
+manifest, **without ever materializing a shard model**: peak driver
+memory is one merged statistics set, not ``n_shards`` models.
+
+The resulting artifact is indistinguishable from
+``ShardedFactorJoin.fit(...).save(...)`` output: load it with
+:func:`~repro.shard.artifact.load_ensemble` for in-process serving or
+:meth:`~repro.cluster.model.ClusterModel.from_artifact` for
+multi-process serving, and its estimates are bit-identical to the
+in-process fit's (same ``fit_shard``, same merge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from pathlib import Path
+
+from repro.cluster.messages import FitShardRequest, FitShardResult
+from repro.cluster.pool import WorkerPool
+from repro.core.estimator import FactorJoin, FactorJoinConfig
+from repro.data.database import Database
+from repro.errors import WorkerError
+from repro.shard.artifact import _shard_dir, write_ensemble_files
+from repro.shard.ensemble import (
+    ShardedFactorJoin,
+    merged_components,
+    shared_payload,
+)
+from repro.shard.policy import (
+    ShardingPolicy,
+    make_policy,
+    partition_database,
+)
+from repro.utils import Timer
+
+#: Per-shard fit deadline in seconds.  Fits legitimately run far past
+#: the pool's probe deadline; hitting this one means the worker is
+#: genuinely wedged, and the shard refits in the driver.
+FIT_TIMEOUT = 3600.0
+
+
+def fit_distributed(config: FactorJoinConfig, database: Database,
+                    save: str | Path, *, n_shards: int = 4,
+                    policy: ShardingPolicy | str = "hash",
+                    workers: int | None = None,
+                    pool: WorkerPool | None = None,
+                    name: str | None = None,
+                    compress: bool = False,
+                    inline: bool = False,
+                    fit_timeout: float = FIT_TIMEOUT) -> dict:
+    """Fit an ``n_shards`` ensemble through worker processes and save it
+    to the directory ``save``; returns a JSON-ready summary.
+
+    A worker crash mid-fit falls back to fitting that shard in the
+    driver (the fit is pure, so the artifact is identical either way);
+    the summary's ``fallback`` field records any degradation.
+    """
+    save = Path(save)
+    policy = (policy if isinstance(policy, ShardingPolicy)
+              else make_policy(policy, n_shards))
+    shard_config = replace(config, keep_pairwise_joints=True)
+    own_pool = pool is None
+    if pool is None:
+        pool = WorkerPool(min(workers or policy.n_shards, policy.n_shards),
+                          inline=inline)
+    fallbacks = 0
+    try:
+        with Timer() as timer:
+            binnings = FactorJoin(replace(config)).build_binnings(database)
+            shard_dbs = partition_database(database, policy)
+            save.mkdir(parents=True, exist_ok=True)
+            requests = [
+                FitShardRequest(
+                    config=shard_config, database=shard_db,
+                    binnings=binnings,
+                    save_dir=str(save / _shard_dir(index)),
+                    name=f"{name or 'ensemble'}-shard{index}",
+                    compress=compress)
+                for index, shard_db in enumerate(shard_dbs)
+            ]
+            futures = [pool.submit(pool.owner_of(index), request,
+                                   timeout=fit_timeout)
+                       for index, request in enumerate(requests)]
+            results: list[FitShardResult] = []
+            for index, future in enumerate(futures):
+                try:
+                    results.append(future.result())
+                except WorkerError:
+                    # the fit is pure: redo this shard in the driver and
+                    # let the pool restart the worker for the next one
+                    pool.ensure_alive(pool.owner_of(index))
+                    fallbacks += 1
+                    results.append(_fit_locally(requests[index]))
+
+            stats_list = [result.stats for result in results]
+            key_stats, merged_pairs, key_trees, key_joints, supports = (
+                merged_components(database.schema, stats_list))
+        payload = shared_payload(
+            config=config, policy=policy, parallel="process",
+            max_workers=pool.n_workers, parallel_fallback=pool.fallback,
+            fit_seconds=timer.elapsed, last_update_seconds=0.0,
+            shard_fit_seconds=[r.fit_seconds for r in results],
+            summaries=tuple(r.summary for r in results),
+            key_stats=key_stats, key_trees=key_trees,
+            key_joints=key_joints, merged_pairs=merged_pairs,
+            supports=supports, db_shell=database.empty_copy())
+        shard_entries = [{"dir": _shard_dir(index), **result.entry}
+                         for index, result in enumerate(results)]
+        write_ensemble_files(
+            save, payload, shard_entries,
+            kind=(f"{ShardedFactorJoin.__module__}."
+                  f"{ShardedFactorJoin.__qualname__}"),
+            name=name, policy=policy, schema=database.schema,
+            fit_seconds=timer.elapsed, config=config)
+    finally:
+        if own_pool:
+            pool.shutdown()
+    return {
+        "path": str(save),
+        "n_shards": policy.n_shards,
+        "policy": policy.kind,
+        "workers": pool.n_workers,
+        "fit_seconds": timer.elapsed,
+        "shard_fit_seconds": [r.fit_seconds for r in results],
+        "compress": compress,
+        "fallback": pool.fallback,
+        "local_refits": fallbacks,
+    }
+
+
+def _fit_locally(request: FitShardRequest) -> FitShardResult:
+    """The driver-side fallback: the worker's own fit-and-save
+    computation (:func:`~repro.cluster.worker.fit_and_save`), so the
+    artifact is identical either way."""
+    from repro.cluster.worker import fit_and_save
+
+    return fit_and_save(request)

@@ -1,0 +1,229 @@
+"""Typed messages of the cluster RPC plane.
+
+Every exchange between the driver and a shard worker process is one of
+the frozen dataclasses below, wrapped in a :class:`Request` /
+:class:`Reply` envelope and shipped over a stdlib
+:mod:`multiprocessing` pipe.  The payloads deliberately reuse the
+library's own value types — :class:`~repro.sql.predicates.Predicate`
+filters, :class:`~repro.data.table.Table` mutation batches,
+:class:`~repro.shard.ensemble.ShardStats` statistics — so the worker
+executes exactly the code the in-process ensemble would, on exactly the
+same inputs; bit-identical serving falls out of that.
+
+Shard state on a worker is addressed by **token**: an opaque,
+driver-issued id naming one immutable shard-model version.  Every probe
+carries its token, so an estimate pinned to an old ensemble state keeps
+reading the statistics that state was published with, even while an
+update or hot-swap registers newer tokens — the cross-process analogue
+of the ensemble's atomic state swap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import WorkerError
+
+
+class UnknownTokenError(WorkerError):
+    """A worker was asked about a shard-state token it does not hold
+    (usually: the worker restarted and lost its in-memory versions).
+    The driver reseeds the worker and answers the request locally."""
+
+
+# ------------------------------------------------------------- envelope --
+
+
+@dataclass(frozen=True)
+class Request:
+    """One framed request: a monotone per-connection id plus the typed
+    message.  Replies echo the id, so a late reply to a timed-out
+    request is recognized and dropped instead of answering the next one."""
+
+    id: int
+    message: object
+
+
+@dataclass(frozen=True)
+class Reply:
+    """One framed reply; ``error`` carries the worker-side exception
+    (pickled whole when possible, re-raised verbatim in the driver)."""
+
+    id: int
+    ok: bool
+    value: object = None
+    error: BaseException | None = None
+
+
+# ------------------------------------------------------------- lifecycle --
+
+
+@dataclass(frozen=True)
+class Ping:
+    """Health-check: answered with a :class:`WorkerInfo`."""
+
+
+@dataclass(frozen=True)
+class Shutdown:
+    """Orderly exit: the worker acknowledges, then leaves its loop."""
+
+
+@dataclass(frozen=True)
+class WorkerInfo:
+    """A worker's self-report (the :class:`Ping` answer)."""
+
+    pid: int
+    tokens: tuple[str, ...] = ()
+    materialized: tuple[str, ...] = ()
+    probes: int = 0
+    updates: int = 0
+    fits: int = 0
+
+    def describe(self) -> dict:
+        """JSON-ready view (surfaced by the pool's health checks)."""
+        return {
+            "pid": self.pid,
+            "tokens": list(self.tokens),
+            "materialized": list(self.materialized),
+            "probes": self.probes,
+            "updates": self.updates,
+            "fits": self.fits,
+        }
+
+
+# ----------------------------------------------------------- shard state --
+
+
+@dataclass(frozen=True)
+class LoadShard:
+    """Register ``token`` as the shard sub-artifact at ``path``.
+
+    Loading is lazy: the worker records the path and deserializes
+    (checksum-verified, via the ordinary artifact loader) the first time
+    a probe needs the model — mirroring the lazy ``ShardSet`` slots of
+    an in-process ensemble.
+    """
+
+    token: str
+    path: str
+    shard_index: int
+
+
+@dataclass(frozen=True)
+class ReleaseTokens:
+    """Drop shard-state versions no ensemble state references anymore."""
+
+    tokens: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class CloneUpdate:
+    """Copy-on-write update: clone ``base_token``'s model, apply one
+    insert/delete batch, register the result as ``token``.
+
+    The base version survives untouched — estimates pinned to it keep
+    their statistics — exactly like ``clone_for_update`` in the
+    in-process ensemble.  Validation failures leave the worker holding
+    only the base.
+    """
+
+    base_token: str
+    token: str
+    table: str
+    rows: object | None = None
+    deleted_rows: object | None = None
+
+
+# ---------------------------------------------------------------- probes --
+
+
+@dataclass(frozen=True)
+class ProbeItem:
+    """One shard probe: the filtered row count and/or binned key
+    distributions a base factor needs from this shard."""
+
+    token: str
+    table: str
+    pred: object
+    columns: tuple[str, ...] = ()
+    want_total: bool = True
+
+
+@dataclass(frozen=True)
+class BatchProbe:
+    """A batch of probes answered in one round trip.
+
+    The driver ships one batch per worker per query — the per-query key
+    groups travel once, and session probes are then answered from the
+    primed driver-side factors without further RPC.
+    """
+
+    items: tuple[ProbeItem, ...]
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """One :class:`ProbeItem` answer."""
+
+    total: float | None = None
+    dists: dict = field(default_factory=dict)
+
+
+# ------------------------------------------------------------ statistics --
+
+
+@dataclass(frozen=True)
+class ShardStatsRequest:
+    """Fetch one version's mergeable statistics
+    (:class:`~repro.shard.ensemble.ShardStats`) — what a per-shard
+    hot-swap subtracts/adds from the driver's merged state."""
+
+    token: str
+
+
+@dataclass(frozen=True)
+class FingerprintRequest:
+    """Content hash of one version's statistics (cache snapshots)."""
+
+    token: str
+
+
+@dataclass(frozen=True)
+class ModelSizeRequest:
+    """Pickled size of one version's online statistics."""
+
+    token: str
+
+
+# ----------------------------------------------------------------- fit --
+
+
+@dataclass(frozen=True)
+class FitShardRequest:
+    """Distributed fit: fit one shard under the shared global binning
+    and save the sub-artifact worker-side.
+
+    Ships ``(config, shard_db, binnings)`` — the exact arguments of the
+    pure :func:`~repro.shard.ensemble.fit_shard` — and returns a
+    :class:`FitShardResult` of statistics only, so the driver assembles
+    the ensemble without ever materializing a shard model.
+    """
+
+    config: object
+    database: object
+    binnings: dict
+    save_dir: str
+    name: str
+    compress: bool = False
+
+
+@dataclass(frozen=True)
+class FitShardResult:
+    """What a fit worker ships back: mergeable statistics, the shard's
+    pruning summary, timing, and the saved sub-artifact's manifest
+    entry."""
+
+    stats: object
+    summary: object
+    fit_seconds: float
+    entry: dict

@@ -1,0 +1,741 @@
+"""``ClusterModel``: a partitioned ensemble served by worker processes.
+
+The sharded ensemble (PR 3) already decomposes every estimate into
+per-shard probes — filtered row counts and binned key distributions —
+summed under exactly-merged global statistics.  ``ClusterModel`` moves
+those probes into worker processes: it *is* a
+:class:`~repro.shard.ensemble.ShardedFactorJoin` whose shard slots are
+:class:`RemoteShardModel` proxies, so the merged inference, sessions,
+sub-plan maps, routed updates, capabilities, and the whole
+:class:`~repro.api.protocol.CardinalityModel` protocol are inherited —
+and answers are **bit-identical** to the in-process ensemble, because
+every per-shard number is computed by the same code on the same
+statistics, merely in another process, and summed in the same order.
+
+Per-query batching
+------------------
+Opening a session (or any estimate) first resolves the query's key
+groups and ships each worker **one** batch with every (table, filter,
+key-columns) probe its shards owe the query.  The answers prime the
+driver-side factor caches, so sub-plan lattice probes — the optimizer's
+thousands of ``estimate_join`` calls — run incrementally in the driver
+without further RPC.
+
+Crash recovery
+--------------
+The driver keeps a *ledger* per shard-state token: the sub-artifact path
+plus the update journal since.  When a worker dies, the pool restarts it
+and replays the ledger; the request that observed the crash is answered
+*in the driver* from a ledger-materialized local model — transparently,
+with the same statistics the worker held.
+
+Consistency
+-----------
+Updates and per-shard hot-swaps publish a new ensemble state whose slots
+carry fresh tokens; in-flight estimates stay pinned to the tokens of the
+state they resolved, and workers retain every token until the last
+ensemble state referencing it is garbage-collected.  No estimate ever
+mixes pre- and post-mutation statistics — the same contract the
+in-process ensemble's atomic state swap gives, stretched across
+processes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass
+from dataclasses import replace as _replace
+from pathlib import Path
+
+import numpy as np
+
+from repro.cluster.messages import (
+    BatchProbe,
+    CloneUpdate,
+    FingerprintRequest,
+    LoadShard,
+    ModelSizeRequest,
+    ProbeItem,
+    ProbeResult,
+    ReleaseTokens,
+    ShardStatsRequest,
+)
+from repro.cluster.pool import DEFAULT_TIMEOUT, WorkerPool
+from repro.core.key_groups import query_key_groups
+from repro.errors import (
+    ReproError,
+    UnsupportedOperationError,
+    WorkerError,
+)
+from repro.shard.artifact import (
+    load_shard_artifact,
+    load_shard_summary,
+    read_ensemble,
+)
+from repro.shard.ensemble import (
+    EnsembleTableEstimator,
+    ShardedFactorJoin,
+    shard_stats_of,
+)
+from repro.shard.pruning import ShardSummary
+from repro.sql.query import Query
+
+_TOKEN_COUNTER = itertools.count()
+
+
+def _new_token(shard_index: int) -> str:
+    return f"s{shard_index}:v{next(_TOKEN_COUNTER)}"
+
+
+@dataclass(frozen=True)
+class _Ledger:
+    """How to rebuild one shard-state token from durable parts: the
+    sub-artifact on disk plus the update journal applied since.  This is
+    what worker reseeding replays and what the driver materializes for
+    in-process crash retries."""
+
+    shard_index: int
+    path: str
+    journal: tuple = ()
+
+
+class _LedgerBook:
+    """Thread-safe token -> :class:`_Ledger` map.
+
+    Mutated from estimate threads (updates, hot-swaps) *and* from
+    garbage-collection finalizers (token releases), and snapshotted by
+    worker reseeding — plain dict iteration would race those mutations.
+    The lock is re-entrant because a finalizer can fire via GC on the
+    very thread that holds it; every critical section is a single small
+    operation, so re-entry is harmless.
+    """
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._entries: dict[str, _Ledger] = {}
+
+    def get(self, token: str) -> _Ledger | None:
+        with self._lock:
+            return self._entries.get(token)
+
+    def set(self, token: str, ledger: _Ledger) -> None:
+        with self._lock:
+            self._entries[token] = ledger
+
+    def pop(self, token: str) -> None:
+        with self._lock:
+            self._entries.pop(token, None)
+
+    def snapshot(self) -> list[tuple[str, _Ledger]]:
+        with self._lock:
+            return sorted(self._entries.items())
+
+
+def _materialize_ledger(ledger: _Ledger):
+    """A local model holding exactly the token's statistics."""
+    model, _ = load_shard_artifact(ledger.path)
+    for table, rows, deleted_rows in ledger.journal:
+        if deleted_rows is not None:
+            model.update(table, rows, deleted_rows=deleted_rows)
+        else:
+            model.update(table, rows)
+    return model
+
+
+def _reseed_token(pool: WorkerPool, worker_id: int, token: str,
+                  ledger: _Ledger) -> None:
+    """Rebuild ``token`` on a (re)started worker by replaying its ledger.
+
+    Intermediate versions are released immediately; the final
+    ``CloneUpdate`` binds ``token`` itself, so concurrent probes of the
+    token never observe a half-replayed journal.
+    """
+    if not ledger.journal:
+        pool.call(worker_id, LoadShard(token, ledger.path,
+                                       ledger.shard_index))
+        return
+    prev = _new_token(ledger.shard_index)
+    pool.call(worker_id, LoadShard(prev, ledger.path, ledger.shard_index))
+    retire = []
+    for position, (table, rows, deleted_rows) in enumerate(ledger.journal):
+        last = position == len(ledger.journal) - 1
+        nxt = token if last else _new_token(ledger.shard_index)
+        pool.call(worker_id, CloneUpdate(prev, nxt, table, rows,
+                                         deleted_rows))
+        retire.append(prev)
+        prev = nxt
+    pool.call(worker_id, ReleaseTokens(tuple(retire)))
+
+
+def _release_token(pool: WorkerPool, worker_id: int, token: str,
+                   ledgers: "_LedgerBook", local_models: dict) -> None:
+    """GC finalizer of a :class:`RemoteShardModel`: when no ensemble
+    state references the token anymore, drop its ledger, any local
+    fallback model, and queue the worker-side release."""
+    ledgers.pop(token)
+    local_models.pop(token, None)
+    pool.schedule_release(worker_id, token)
+
+
+class RemoteShardModel:
+    """Driver-side handle to one shard-state version in a worker.
+
+    Duck-types the slice of a shard :class:`~repro.core.estimator.
+    FactorJoin` the ensemble layer touches — probes via
+    ``table_estimator``, ``clone_for_update``/``update`` for the routed
+    copy-on-write path, ``fingerprint``/``model_size_bytes`` for
+    introspection — so the inherited ensemble machinery drives workers
+    without knowing it.  Transport failures are absorbed here: the pool
+    restarts the worker and the answer is computed in-process from the
+    token's ledger.
+    """
+
+    def __init__(self, pool: WorkerPool, worker_id: int, shard_index: int,
+                 token: str, ledgers: "_LedgerBook", local_models: dict,
+                 base_token: str | None = None):
+        self.pool = pool
+        self.worker_id = worker_id
+        self.shard_index = shard_index
+        self.token = token
+        self._ledgers = ledgers
+        self._local_models = local_models
+        self._base_token = base_token
+        self._finalizer = weakref.finalize(
+            self, _release_token, pool, worker_id, token, ledgers,
+            local_models)
+
+    # -- probes ---------------------------------------------------------------
+
+    def probe(self, table: str, pred, columns=(),
+              want_total: bool = True) -> ProbeResult:
+        """One shard probe, worker-side when possible, ledger-local on
+        crash (transparently, bit-identically)."""
+        item = ProbeItem(self.token, table, pred, tuple(columns),
+                         want_total)
+        try:
+            return self.pool.call(self.worker_id, BatchProbe((item,)))[0]
+        except WorkerError:
+            self.pool.ensure_alive(self.worker_id)
+            return self.local_probe(item)
+
+    def local_probe(self, item: ProbeItem) -> ProbeResult:
+        """The in-process retry: the worker's own probe computation
+        (:func:`~repro.cluster.worker.probe_model`), driver-side."""
+        from repro.cluster.worker import probe_model
+
+        return probe_model(self._local_model(), item)
+
+    def _local_model(self):
+        model = self._local_models.get(self.token)
+        if model is None:
+            ledger = self._ledgers.get(self.token)
+            if ledger is None:
+                raise WorkerError(
+                    f"shard state {self.token!r} has no ledger to retry "
+                    f"from (already released?)")
+            model = _materialize_ledger(ledger)
+            self._local_models[self.token] = model
+        return model
+
+    def table_estimator(self, table_name: str) -> "_RemoteTableEstimator":
+        return _RemoteTableEstimator(self, table_name)
+
+    # -- copy-on-write update (the inherited _apply_update drives this) --------
+
+    def clone_for_update(self) -> "RemoteShardModel":
+        """A pending new version; :meth:`update` registers it worker-side
+        (mirrors ``FactorJoin.clone_for_update`` + ``update``)."""
+        return RemoteShardModel(self.pool, self.worker_id,
+                                self.shard_index,
+                                _new_token(self.shard_index),
+                                self._ledgers, self._local_models,
+                                base_token=self.token)
+
+    def update(self, table_name: str, new_rows=None,
+               deleted_rows=None) -> None:
+        if self._base_token is None:
+            raise ReproError("update a handle obtained from "
+                             "clone_for_update, not a published slot")
+        message = CloneUpdate(self._base_token, self.token, table_name,
+                              new_rows, deleted_rows)
+        try:
+            self.pool.call(self.worker_id, message)
+        except WorkerError:
+            # crash path: restart, rebuild the base version from its
+            # ledger, and retry once — validation errors (the model
+            # rejecting the batch) are not WorkerErrors and propagate
+            self.pool.ensure_alive(self.worker_id)
+            base_ledger = self._ledgers.get(self._base_token)
+            if base_ledger is not None:
+                try:
+                    _reseed_token(self.pool, self.worker_id,
+                                  self._base_token, base_ledger)
+                except WorkerError:
+                    pass
+            self.pool.call(self.worker_id, message)
+        base_ledger = self._ledgers.get(self._base_token)
+        if base_ledger is not None:
+            self._ledgers.set(self.token, _Ledger(
+                self.shard_index, base_ledger.path,
+                base_ledger.journal
+                + ((table_name, new_rows, deleted_rows),)))
+
+    # -- statistics -----------------------------------------------------------
+
+    def shard_stats(self):
+        """The version's mergeable statistics (hot-swap bookkeeping)."""
+        try:
+            return self.pool.call(self.worker_id,
+                                  ShardStatsRequest(self.token))
+        except WorkerError:
+            self.pool.ensure_alive(self.worker_id)
+            model = self._local_model()
+            return shard_stats_of(model, model.database.schema)
+
+    def fingerprint(self) -> str:
+        try:
+            return self.pool.call(self.worker_id,
+                                  FingerprintRequest(self.token))
+        except WorkerError:
+            self.pool.ensure_alive(self.worker_id)
+            return self._local_model().fingerprint()
+
+    def model_size_bytes(self) -> int:
+        try:
+            return self.pool.call(self.worker_id,
+                                  ModelSizeRequest(self.token))
+        except WorkerError:
+            self.pool.ensure_alive(self.worker_id)
+            return self._local_model().model_size_bytes()
+
+    def __repr__(self) -> str:
+        return (f"RemoteShardModel(shard={self.shard_index}, "
+                f"worker={self.worker_id}, token={self.token!r})")
+
+
+class _RemoteTableEstimator:
+    """Per-table probe surface of one :class:`RemoteShardModel` (what
+    the inherited update path reads for post-delete row counts)."""
+
+    def __init__(self, remote: RemoteShardModel, table_name: str):
+        self._remote = remote
+        self._table_name = table_name
+
+    def estimate_row_count(self, pred) -> float:
+        return self._remote.probe(self._table_name, pred, (), True).total
+
+    def key_distribution(self, column: str, pred) -> np.ndarray:
+        return self._remote.probe(self._table_name, pred, (column,),
+                                  False).dists[column]
+
+
+def merge_probe_results(results, columns, binnings,
+                        want_total: bool):
+    """Sum per-shard probe answers — ``results`` ordered by shard index
+    — into ``(total, dists)``.
+
+    The single definition of the cluster's merge: a plain float sum for
+    totals and a float64 zero-initialized accumulation per column,
+    exactly mirroring the in-process
+    :class:`~repro.shard.ensemble.EnsembleTableEstimator` loops, which
+    is what makes cluster answers bit-identical.  Both the per-probe
+    path and the batched prefetch call this.
+    """
+    total = (float(sum(result.total for result in results))
+             if want_total else None)
+    dists = {}
+    for column in columns:
+        acc = np.zeros(binnings[column].n_bins, dtype=np.float64)
+        for result in results:
+            acc += result.dists[column]
+        dists[column] = acc
+    return total, dists
+
+
+class ClusterTableEstimator(EnsembleTableEstimator):
+    """Ensemble-table facade whose per-shard reads go through workers.
+
+    Overrides exactly the two probe methods; pruning, policy hints, and
+    capability reporting are inherited.  Probes fan out across the
+    candidate shards in parallel (one thread per worker) and merge in
+    shard-index order, so sums are bit-identical to the in-process
+    serial loop.  Answers are memoized per filter under the current
+    ensemble state — a new state builds new estimators, so memoized
+    probes can never survive an update or hot-swap.
+    """
+
+    name = "cluster"
+
+    #: Per-estimator probe memo bound (per published ensemble state).
+    MAX_PROBE_CACHE = 1024
+
+    def __init__(self, *args):
+        super().__init__(*args)
+        self._probe_lock = threading.Lock()
+        self._probe_cache: OrderedDict = OrderedDict()
+
+    # -- memo -----------------------------------------------------------------
+
+    def missing_requirements(self, pred, columns: tuple,
+                             want_total: bool = True):
+        """``(columns_needed, total_needed)`` not yet memoized for
+        ``pred`` (the driver's batched prefetch plans with this)."""
+        with self._probe_lock:
+            entry = self._probe_cache.get(pred)
+            if entry is None:
+                return tuple(columns), want_total
+            cols = tuple(c for c in columns if c not in entry["dists"])
+            return cols, want_total and entry["total"] is None
+
+    def store_probe(self, pred, total, dists: dict) -> None:
+        """Memoize shard-summed probe results for ``pred``."""
+        with self._probe_lock:
+            entry = self._probe_cache.get(pred)
+            if entry is None:
+                entry = {"total": None, "dists": {}}
+                self._probe_cache[pred] = entry
+            if total is not None:
+                entry["total"] = float(total)
+            entry["dists"].update(dists)
+            self._probe_cache.move_to_end(pred)
+            while len(self._probe_cache) > self.MAX_PROBE_CACHE:
+                self._probe_cache.popitem(last=False)
+
+    # -- probes ---------------------------------------------------------------
+
+    def _remotes(self, shard_ids) -> list[RemoteShardModel]:
+        return [self._shard_set.model(index) for index in shard_ids]
+
+    def fetch(self, pred, columns: tuple, want_total: bool):
+        """Fan one probe out across the candidate shards and merge."""
+        remotes = self._remotes(self.candidate_shards(pred))
+        if len(remotes) <= 1:
+            results = [remote.probe(self._table_name, pred, columns,
+                                    want_total) for remote in remotes]
+        else:
+            pool = remotes[0].pool
+            futures = [pool.spawn(remote.probe, self._table_name, pred,
+                                  columns, want_total)
+                       for remote in remotes]
+            results = [future.result() for future in futures]
+        return merge_probe_results(results, columns, self._binnings,
+                                   want_total)
+
+    def _ensure(self, pred, columns: tuple, want_total: bool):
+        cols_needed, total_needed = self.missing_requirements(
+            pred, columns, want_total)
+        if cols_needed or total_needed:
+            total, dists = self.fetch(pred, cols_needed, total_needed)
+            self.store_probe(pred, total, dists)
+        with self._probe_lock:
+            entry = self._probe_cache.get(pred)
+            if entry is not None and all(c in entry["dists"]
+                                         for c in columns) and (
+                    not want_total or entry["total"] is not None):
+                return (entry["total"],
+                        {c: entry["dists"][c] for c in columns})
+        # evicted under memory pressure mid-flight: answer directly
+        return self.fetch(pred, tuple(columns), want_total)
+
+    def estimate_row_count(self, pred) -> float:
+        total, _ = self._ensure(pred, (), True)
+        return total
+
+    def key_distribution(self, column: str, pred) -> np.ndarray:
+        _, dists = self._ensure(pred, (column,), False)
+        return dists[column].copy()
+
+
+class ClusterModel(ShardedFactorJoin):
+    """A served ensemble whose shards live in worker processes.
+
+    Build with :meth:`from_artifact`; everything online — ``estimate``,
+    ``estimate_subplans``, ``open_session``, routed ``update``,
+    ``capabilities`` — is the inherited ensemble surface over
+    worker-backed shard slots, plus :meth:`hot_swap_shard` for
+    republishing one shard and :meth:`workers_health` for the pool.
+    The registry, :class:`~repro.serve.service.EstimationService`, and
+    the ``/v1`` routes serve it unchanged.
+    """
+
+    table_estimator_cls = ClusterTableEstimator
+
+    def __init__(self, *args, **kwargs):
+        raise TypeError(
+            "ClusterModel serves a saved ensemble artifact; build one "
+            "with ClusterModel.from_artifact(path, workers=N)")
+
+    @classmethod
+    def from_artifact(cls, path, *, workers: int | None = None,
+                      pool: WorkerPool | None = None,
+                      expected_schema=None,
+                      timeout: float = DEFAULT_TIMEOUT,
+                      inline: bool = False) -> "ClusterModel":
+        """Serve the ensemble artifact at ``path`` through a worker pool.
+
+        ``workers`` defaults to one process per shard; fewer workers
+        host shard groups (shard *i* on worker ``i % workers``).  Shard
+        sub-artifacts are registered with the workers **lazily** — a
+        worker deserializes a shard the first time a query needs it.
+        Pass a shared ``pool`` to host several cluster models on one set
+        of processes (the pool then outlives :meth:`close`).
+        """
+        payload, shard_dirs, _ = read_ensemble(
+            path, expected_schema=expected_schema)
+        if not shard_dirs:
+            raise ReproError(f"ensemble at {path} has no shards to serve")
+        owns_pool = pool is None
+        if pool is None:
+            pool = WorkerPool(min(workers or len(shard_dirs),
+                                  len(shard_dirs)),
+                              timeout=timeout, inline=inline)
+        ledgers = _LedgerBook()
+        local_models: dict[str, object] = {}
+        slots = []
+        try:
+            for index, shard_dir in enumerate(shard_dirs):
+                token = _new_token(index)
+                worker_id = pool.owner_of(index)
+                ledgers.set(token, _Ledger(index, str(shard_dir)))
+                pool.call(worker_id, LoadShard(token, str(shard_dir),
+                                               index))
+                slots.append(RemoteShardModel(pool, worker_id, index,
+                                              token, ledgers,
+                                              local_models))
+        except Exception:
+            if owns_pool:
+                pool.shutdown()
+            raise
+        model = cls.from_shared_state(payload, slots)
+        model._pool = pool
+        model._owns_pool = owns_pool
+        model._ledgers = ledgers
+        model._local_models = local_models
+        model._artifact_path = str(path)
+        # hooks accumulate per model, so several cluster models can share
+        # one pool and each reseeds its own tokens after a restart
+        pool.add_restart_hook(model._reseed_worker)
+        return model
+
+    # -- worker lifecycle ------------------------------------------------------
+
+    @property
+    def pool(self) -> WorkerPool:
+        return self._pool
+
+    def workers_health(self) -> list[dict]:
+        """Ping every worker (see :meth:`WorkerPool.health`)."""
+        return self._pool.health()
+
+    def _reseed_worker(self, worker_id: int) -> None:
+        """Rebuild every live shard-state token a restarted worker owns
+        (the pool's ``on_restart`` hook)."""
+        for token, ledger in self._ledgers.snapshot():
+            if self._pool.owner_of(ledger.shard_index) == worker_id:
+                _reseed_token(self._pool, worker_id, token, ledger)
+
+    def close(self) -> None:
+        """Detach from the pool: deregister the reseed hook, and shut
+        the pool down when this model owns it (a shared pool keeps
+        running for its other models)."""
+        self._pool.remove_restart_hook(self._reseed_worker)
+        if getattr(self, "_owns_pool", False):
+            self._pool.shutdown()
+
+    def __enter__(self) -> "ClusterModel":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- estimation (batched per-query prefetch, then inherited inference) -----
+
+    def estimate(self, query: Query) -> float:
+        state = self._require_state()
+        self._prefetch(state, query)
+        return state.merged.estimate(query)
+
+    def estimate_subplans(self, query: Query, min_tables: int = 1,
+                          progressive: bool = True) -> dict[frozenset, float]:
+        state = self._require_state()
+        self._prefetch(state, query)
+        return state.merged.estimate_subplans(query, min_tables=min_tables,
+                                              progressive=progressive)
+
+    def open_session(self, query: Query):
+        """Prepared sub-plan probing: the query's per-alias key-group
+        probes ship to the workers once (one batch per worker), and
+        every session probe after that combines the primed factors in
+        the driver — no further RPC."""
+        state = self._require_state()
+        self._prefetch(state, query)
+        return state.merged.open_session(query)
+
+    def base_factor(self, query: Query, alias: str, groups_q=None):
+        state = self._require_state()
+        self._prefetch(state, query)
+        return state.merged.base_factor(query, alias, groups_q)
+
+    def _prefetch(self, state, query: Query) -> None:
+        """Ship every probe the query's base factors will need — one
+        batch per worker, in parallel — and prime the estimators.
+
+        Best-effort: anything this cannot plan (unsupported queries,
+        exotic predicates) simply falls through to the per-probe path,
+        which computes the same numbers one round trip at a time.
+        """
+        try:
+            groups_q = query_key_groups(query)
+        except ReproError:
+            return
+        # one requirement per (table, filter): several aliases of one
+        # table with one filter share probes, exactly as the in-process
+        # estimator would recompute them identically
+        requirements: dict = {}
+        for alias in query.aliases:
+            table_name = query.table_of(alias)
+            pred = query.filter_of(alias)
+            columns: list[str] = []
+            for var in groups_q.vars_of_alias(alias):
+                for ref in groups_q.refs_of(alias, var):
+                    if ref.column not in columns:
+                        columns.append(ref.column)
+            key = (table_name, pred)
+            if key in requirements:
+                merged_cols = requirements[key]
+                for column in columns:
+                    if column not in merged_cols:
+                        merged_cols.append(column)
+            else:
+                requirements[key] = columns
+        plan = []  # (estimator, pred, cols_needed, total_needed, shards)
+        for (table_name, pred), columns in requirements.items():
+            estimator = state.merged.table_estimator(table_name)
+            cols_needed, total_needed = estimator.missing_requirements(
+                pred, tuple(columns))
+            if not cols_needed and not total_needed:
+                continue
+            plan.append((estimator, pred, cols_needed, total_needed,
+                         estimator.candidate_shards(pred)))
+        if not plan:
+            return
+        # group by worker: each worker answers all its shards' probes in
+        # one round trip
+        per_worker: dict[int, list] = {}
+        for probe_id, (estimator, pred, cols, total_needed,
+                       shards) in enumerate(plan):
+            for shard_index in shards:
+                remote = state.shard_set.model(shard_index)
+                item = ProbeItem(remote.token, estimator._table_name,
+                                 pred, cols, total_needed)
+                per_worker.setdefault(remote.worker_id, []).append(
+                    (probe_id, shard_index, remote, item))
+        futures = {
+            worker_id: self._pool.spawn(self._call_batch, worker_id,
+                                        entries)
+            for worker_id, entries in per_worker.items()
+        }
+        by_probe: dict[tuple[int, int], ProbeResult] = {}
+        for worker_id, future in futures.items():
+            for (probe_id, shard_index, _, _), result in zip(
+                    per_worker[worker_id], future.result()):
+                by_probe[(probe_id, shard_index)] = result
+        for probe_id, (estimator, pred, cols, total_needed,
+                       shards) in enumerate(plan):
+            ordered = [by_probe[(probe_id, s)] for s in shards]
+            total, dists = merge_probe_results(ordered, cols,
+                                               estimator._binnings,
+                                               total_needed)
+            estimator.store_probe(pred, total, dists)
+
+    def _call_batch(self, worker_id: int, entries: list) -> list:
+        """One worker's batch; on a crash, restart it and answer each
+        item in-process from its shard's ledger."""
+        try:
+            return list(self._pool.call(
+                worker_id, BatchProbe(tuple(item for *_, item in entries))))
+        except WorkerError:
+            self._pool.ensure_alive(worker_id)
+            return [remote.local_probe(item)
+                    for _, _, remote, item in entries]
+
+    # -- hot swap --------------------------------------------------------------
+
+    def _swap_parts(self, state, index: int, replacement,
+                    summary: ShardSummary | None):
+        """Cluster resolution of a hot-swap replacement (see
+        :meth:`ShardedFactorJoin.hot_swap_shard` for the shared
+        skeleton): the owning worker loads the refreshed sub-artifact as
+        a new token, and the new slot is a worker-backed proxy.
+        In-flight estimates stay pinned to the outgoing token (the
+        worker keeps it until they finish) and the other shards'
+        worker-side models and driver-side probe memos are untouched.
+        """
+        if not isinstance(replacement, (str, Path)):
+            raise UnsupportedOperationError(
+                "a cluster hot-swap takes a shard artifact directory "
+                "(the owning worker loads it); save the refreshed shard "
+                "with repro.shard.save_shard_artifact first")
+        path = Path(replacement)
+        if summary is None:
+            summary = load_shard_summary(path) or ShardSummary({})
+        old_stats = state.shard_set.model(index).shard_stats()
+        worker_id = self._pool.owner_of(index)
+        token = _new_token(index)
+        ledger = _Ledger(index, str(path))
+        self._ledgers.set(token, ledger)
+        try:
+            try:
+                self._pool.call(worker_id, LoadShard(token, str(path),
+                                                     index))
+                new_stats = self._pool.call(worker_id,
+                                            ShardStatsRequest(token))
+            except WorkerError:
+                self._pool.ensure_alive(worker_id)
+                model = _materialize_ledger(ledger)
+                self._local_models[token] = model
+                new_stats = shard_stats_of(model, model.database.schema)
+        except Exception:
+            # a bad replacement (corrupt/missing artifact) publishes
+            # nothing — and must not leak its provisional token
+            _release_token(self._pool, worker_id, token,
+                           self._ledgers, self._local_models)
+            raise
+        slot = RemoteShardModel(self._pool, worker_id, index, token,
+                                self._ledgers, self._local_models)
+        return slot, old_stats, new_stats, summary, {"artifact": str(path)}
+
+    # -- protocol / introspection ----------------------------------------------
+
+    def capabilities(self):
+        """The ensemble's declared capabilities under the cluster's
+        family name."""
+        return _replace(super().capabilities(), name="factorjoin-cluster")
+
+    def describe(self) -> dict:
+        base = super().describe()
+        base.update(kind="ClusterModel", artifact=self._artifact_path,
+                    cluster=self._pool.describe())
+        return base
+
+    # -- blocked persistence surface -------------------------------------------
+
+    def fit(self, database):
+        raise UnsupportedOperationError(
+            "a ClusterModel serves a fitted artifact; fit with "
+            "ShardedFactorJoin.fit (or repro.cluster.fit_distributed), "
+            "save it, then ClusterModel.from_artifact")
+
+    def save(self, path, name=None, compress=False):
+        raise UnsupportedOperationError(
+            "a ClusterModel is a serving facade over the ensemble "
+            "artifact it was opened from; copy or refresh that artifact "
+            "instead of saving the facade")
+
+    def __getstate__(self):
+        raise UnsupportedOperationError(
+            "ClusterModel holds worker processes and cannot be pickled; "
+            "reopen with ClusterModel.from_artifact")

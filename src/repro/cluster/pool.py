@@ -1,0 +1,363 @@
+"""The worker pool: process lifecycle, framed RPC, crash recovery.
+
+One :class:`WorkerPool` hosts ``n_workers`` shard worker processes
+(:func:`~repro.cluster.worker.worker_main`), each on its own
+:mod:`multiprocessing` pipe.  The pool owns the transport concerns —
+request framing, per-worker serialization, timeouts, health-check pings,
+crash detection, restart — and nothing about estimation; the cluster
+model programs against :meth:`call` / :meth:`submit` and registers an
+``on_restart`` hook that reseeds a fresh process with its shard state.
+
+Failure model
+-------------
+A worker that dies (killed, OOM, segfault) or stops answering within the
+deadline is marked dead and its process reaped; the next :meth:`call`
+raises :class:`~repro.errors.WorkerError`, and :meth:`ensure_alive`
+spawns a replacement and runs the reseed hook.  Callers retry the failed
+request *in the driver process* (the cluster model keeps per-shard
+ledgers for exactly that), so a crash costs latency, never availability
+or a wrong answer.
+
+Environments that cannot start processes at all (no fork, sandboxed
+semaphores) degrade to **inline workers**: the same
+:class:`~repro.cluster.worker.ShardWorker` handler table executed in the
+driver process, preserving behavior bit for bit — the cluster then adds
+no parallelism, and ``fallback`` records why.
+"""
+
+from __future__ import annotations
+
+import collections
+import multiprocessing as mp
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+
+from repro.cluster.messages import Ping, Reply, Request, Shutdown
+from repro.cluster.worker import ShardWorker, worker_main
+from repro.errors import ReproError, WorkerError
+
+#: Seconds a worker gets to answer one request before it is declared hung.
+DEFAULT_TIMEOUT = 120.0
+
+
+class _InlineWorker:
+    """A worker without a process: handlers run in the driver (fallback
+    for environments that cannot spawn; also handy in unit tests)."""
+
+    def __init__(self):
+        self.worker = ShardWorker()
+
+    def request(self, message, timeout):
+        return self.worker.handle(message)
+
+    @property
+    def pid(self):
+        import os
+
+        return os.getpid()
+
+    def is_alive(self) -> bool:
+        return True
+
+    def close(self) -> None:
+        return None
+
+    def kill(self) -> None:
+        return None
+
+
+class _ProcessWorker:
+    """One spawned worker process plus its driver-side pipe end."""
+
+    def __init__(self, index: int, context):
+        parent, child = context.Pipe()
+        self.process = context.Process(
+            target=worker_main, args=(child,), daemon=True,
+            name=f"repro-cluster-w{index}")
+        self.process.start()
+        child.close()
+        self.conn = parent
+        self._next_id = 0
+
+    @property
+    def pid(self):
+        return self.process.pid
+
+    def is_alive(self) -> bool:
+        return self.process.is_alive()
+
+    def request(self, message, timeout):
+        self._next_id += 1
+        request = Request(id=self._next_id, message=message)
+        self.conn.send(request)
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"worker pid {self.pid} did not answer a "
+                    f"{type(message).__name__} within {timeout:.0f}s")
+            if self.conn.poll(min(remaining, 0.5)):
+                reply: Reply = self.conn.recv()
+                if reply.id != request.id:
+                    continue  # stale answer to an abandoned request
+                if reply.ok:
+                    return reply.value
+                raise reply.error
+            if not self.process.is_alive():
+                raise EOFError(f"worker pid {self.pid} died mid-request")
+
+    def close(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+    def kill(self) -> None:
+        if self.process.is_alive():
+            self.process.kill()
+        self.process.join(timeout=5)
+        self.close()
+
+
+class _WorkerSlot:
+    """Pool bookkeeping for one worker id: transport, serialization lock,
+    liveness, restart generation, and pending token releases."""
+
+    def __init__(self, index: int):
+        self.index = index
+        self.transport = None
+        self.lock = threading.Lock()
+        self.restart_lock = threading.Lock()
+        self.alive = False
+        self.generation = 0
+        self.restarts = 0
+        self.pending_releases = collections.deque()
+
+
+class WorkerPool:
+    """A fixed-size pool of shard worker processes (see module docs).
+
+    Parameters
+    ----------
+    n_workers:
+        Worker process count (shard *i* is owned by ``i % n_workers``).
+    timeout:
+        Per-request deadline in seconds before a worker counts as hung.
+    inline:
+        Force the in-process fallback (no processes spawned).
+    """
+
+    def __init__(self, n_workers: int, *, timeout: float = DEFAULT_TIMEOUT,
+                 inline: bool = False):
+        if n_workers < 1:
+            raise ReproError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = int(n_workers)
+        self.timeout = float(timeout)
+        self.fallback: str | None = "inline requested" if inline else None
+        # called with a worker id after a crashed worker was replaced;
+        # every cluster model sharing this pool registers one to reseed
+        # the fresh process with its shard state
+        self._restart_hooks: list = []
+        self._context = mp.get_context()
+        self._closed = False
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.n_workers, thread_name_prefix="repro-cluster")
+        self._slots = [_WorkerSlot(i) for i in range(self.n_workers)]
+        for slot in self._slots:
+            self._start(slot, inline=inline)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def _start(self, slot: _WorkerSlot, inline: bool = False) -> None:
+        if inline or self.fallback is not None:
+            slot.transport = _InlineWorker()
+        else:
+            try:
+                slot.transport = _ProcessWorker(slot.index, self._context)
+            except (OSError, ValueError, ImportError) as exc:
+                # constrained environments (no fork, no semaphores) keep
+                # serving through inline workers instead of failing
+                self.fallback = f"{type(exc).__name__}: {exc}"
+                slot.transport = _InlineWorker()
+        slot.alive = True
+        slot.generation += 1
+
+    def owner_of(self, shard_index: int) -> int:
+        """The worker id owning ``shard_index`` (fixed modulo layout)."""
+        return shard_index % self.n_workers
+
+    def ensure_alive(self, worker_id: int) -> bool:
+        """Replace a dead worker and reseed it; returns True when a
+        restart actually happened (idempotent under concurrency)."""
+        slot = self._slots[worker_id]
+        with slot.restart_lock:
+            # slot.lock waits out any in-flight request on the old
+            # transport, so the swap never yanks a pipe from under a
+            # caller (lock order restart_lock -> lock, matching nothing
+            # else, so no deadlock)
+            with slot.lock:
+                if slot.alive or self._closed:
+                    return False
+                old = slot.transport
+                if old is not None:
+                    old.kill()
+                slot.pending_releases.clear()  # died with the process
+                slot.restarts += 1
+                self._start(slot)
+        for hook in list(self._restart_hooks):
+            try:
+                hook(worker_id)
+            except WorkerError:
+                # the replacement died during reseeding; callers keep
+                # falling back to driver-side compute and the next call
+                # tries again
+                pass
+        return True
+
+    def add_restart_hook(self, hook) -> None:
+        """Register ``hook(worker_id)`` to run after a crashed worker is
+        replaced.  Each cluster model sharing the pool registers its own
+        reseeder; hooks run in registration order."""
+        self._restart_hooks.append(hook)
+
+    def remove_restart_hook(self, hook) -> None:
+        """Deregister a restart hook (a closed model must not keep
+        replaying its ledgers into restarted workers)."""
+        try:
+            self._restart_hooks.remove(hook)
+        except ValueError:
+            pass
+
+    def shutdown(self) -> None:
+        """Stop every worker (orderly when possible) and the executor."""
+        if self._closed:
+            return
+        self._closed = True
+        for slot in self._slots:
+            with slot.lock:
+                transport = slot.transport
+                if slot.alive and transport is not None:
+                    try:
+                        transport.request(Shutdown(), timeout=2.0)
+                    except Exception:
+                        pass
+                if transport is not None:
+                    transport.kill()
+                slot.alive = False
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # -- RPC -------------------------------------------------------------------
+
+    def call(self, worker_id: int, message, timeout: float | None = None):
+        """Send one message to one worker and return its answer.
+
+        Serialized per worker (one pipe, one in-flight request).
+        Transport failures — death, hang, broken pipe — mark the worker
+        dead and raise :class:`~repro.errors.WorkerError`; application
+        errors raised by the handler re-raise verbatim.
+        """
+        if self._closed:
+            raise WorkerError("the worker pool is shut down")
+        slot = self._slots[worker_id]
+        with slot.lock:
+            if not slot.alive:
+                raise WorkerError(
+                    f"worker {worker_id} is dead (restart pending)")
+            self._drain_releases(slot)
+            try:
+                return slot.transport.request(
+                    message, timeout if timeout is not None else self.timeout)
+            except (EOFError, OSError, BrokenPipeError, TimeoutError) as exc:
+                slot.alive = False
+                slot.transport.kill()
+                raise WorkerError(
+                    f"worker {worker_id} failed a "
+                    f"{type(message).__name__}: {exc}") from exc
+
+    def submit(self, worker_id: int, message,
+               timeout: float | None = None) -> Future:
+        """:meth:`call` on the pool's fan-out executor (one thread per
+        worker, so a batch across workers runs them in parallel)."""
+        return self._executor.submit(self.call, worker_id, message, timeout)
+
+    def spawn(self, fn, *args) -> Future:
+        """Run ``fn(*args)`` on the fan-out executor.  For driver-side
+        work that itself calls :meth:`call` (per-shard probes with crash
+        fallback); such callables must never :meth:`spawn` again — the
+        executor is sized to the worker count and nested spawns could
+        starve it."""
+        return self._executor.submit(fn, *args)
+
+    def _drain_releases(self, slot: _WorkerSlot) -> None:
+        from repro.cluster.messages import ReleaseTokens
+
+        tokens = []
+        while True:
+            try:
+                tokens.append(slot.pending_releases.popleft())
+            except IndexError:
+                break
+        if tokens:
+            try:
+                slot.transport.request(ReleaseTokens(tuple(tokens)),
+                                       timeout=self.timeout)
+            except Exception:
+                pass  # releases are best-effort memory hygiene
+
+    def schedule_release(self, worker_id: int, token: str) -> None:
+        """Queue a shard-state token for release on the owning worker.
+
+        Called from garbage-collection finalizers, so it only appends to
+        a lock-free deque; the tokens ride along with the next request to
+        that worker.  Releasing a token a restarted worker never held is
+        a harmless no-op.
+        """
+        if not self._closed:
+            self._slots[worker_id].pending_releases.append(token)
+
+    # -- health ----------------------------------------------------------------
+
+    def ping(self, worker_id: int, timeout: float = 5.0):
+        """One worker's :class:`~repro.cluster.messages.WorkerInfo`."""
+        return self.call(worker_id, Ping(), timeout=timeout)
+
+    def health(self, timeout: float = 5.0) -> list[dict]:
+        """Ping every worker; one JSON-ready row per worker, dead ones
+        included (``alive: false`` plus the failure)."""
+        rows = []
+        for slot in self._slots:
+            row = {"worker": slot.index, "generation": slot.generation,
+                   "restarts": slot.restarts}
+            try:
+                info = self.ping(slot.index, timeout=timeout)
+                row.update(alive=True, **info.describe())
+            except WorkerError as exc:
+                row.update(alive=False, error=str(exc))
+            rows.append(row)
+        return rows
+
+    def describe(self) -> dict:
+        """Cheap pool summary (no pings): liveness flags and restarts."""
+        return {
+            "n_workers": self.n_workers,
+            "fallback": self.fallback,
+            "workers": [
+                {"worker": slot.index, "alive": slot.alive,
+                 "restarts": slot.restarts,
+                 "pid": getattr(slot.transport, "pid", None)}
+                for slot in self._slots
+            ],
+        }
+
+    @property
+    def workers(self) -> list[_WorkerSlot]:
+        """The raw worker slots (tests reach the process to kill it)."""
+        return self._slots

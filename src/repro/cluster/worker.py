@@ -1,0 +1,253 @@
+"""The shard worker: one process hosting shard-model versions.
+
+A worker owns the shards the pool assigned to it (shard *i* belongs to
+worker ``i % n_workers``) and holds their models in a token-addressed
+version map.  It answers the typed messages of
+:mod:`repro.cluster.messages` in a single-threaded loop — the driver
+serializes requests per worker, so the worker needs no locks — and runs
+*exactly* the code an in-process ensemble runs: artifact loading through
+the checksum-verified loader, probes through the shard model's fitted
+table estimators, updates through ``clone_for_update``.  Whatever a
+worker answers, the in-process path would have answered bit-identically.
+
+``ShardWorker`` is deliberately runnable without a process around it:
+the pool's inline fallback (for environments that cannot fork) and unit
+tests drive the same handler table directly.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+from repro.cluster.messages import (
+    BatchProbe,
+    CloneUpdate,
+    FingerprintRequest,
+    FitShardRequest,
+    FitShardResult,
+    LoadShard,
+    ModelSizeRequest,
+    Ping,
+    ProbeItem,
+    ProbeResult,
+    ReleaseTokens,
+    Reply,
+    Request,
+    ShardStatsRequest,
+    Shutdown,
+    UnknownTokenError,
+    WorkerInfo,
+)
+from repro.errors import ReproError
+
+
+def probe_model(model, item: ProbeItem) -> ProbeResult:
+    """Answer one probe against a shard model.
+
+    The single definition of a probe's computation: the worker handler
+    and the driver's in-process crash retry both call this, so the
+    "retried requests answer bit-identically" guarantee is structural,
+    not a convention two copies must keep honoring.
+    """
+    estimator = model.table_estimator(item.table)
+    total = (float(estimator.estimate_row_count(item.pred))
+             if item.want_total else None)
+    dists = {column: estimator.key_distribution(column, item.pred)
+             for column in item.columns}
+    return ProbeResult(total=total, dists=dists)
+
+
+def fit_and_save(request: FitShardRequest) -> FitShardResult:
+    """Fit one shard and save its sub-artifact (the single definition
+    the fit worker and the driver's crash fallback share)."""
+    from repro.shard.artifact import save_shard_artifact
+    from repro.shard.ensemble import fit_shard, shard_stats_of
+
+    fit = fit_shard(request.config, request.database, request.binnings)
+    entry = save_shard_artifact(fit.model, request.save_dir,
+                                summary=fit.summary, name=request.name,
+                                compress=request.compress)
+    return FitShardResult(
+        stats=shard_stats_of(fit.model, request.database.schema),
+        summary=fit.summary, fit_seconds=fit.fit_seconds, entry=entry)
+
+
+class _Slot:
+    """One registered shard-state version: a lazy artifact path, a
+    materialized model, or both (path kept for introspection)."""
+
+    __slots__ = ("path", "shard_index", "model")
+
+    def __init__(self, path=None, shard_index=-1, model=None):
+        self.path = path
+        self.shard_index = shard_index
+        self.model = model
+
+
+class ShardWorker:
+    """Handler table for every cluster message (see module docstring)."""
+
+    def __init__(self):
+        self._slots: dict[str, _Slot] = {}
+        self.probes = 0
+        self.updates = 0
+        self.fits = 0
+
+    # -- state ----------------------------------------------------------------
+
+    def _model(self, token: str):
+        slot = self._slots.get(token)
+        if slot is None:
+            raise UnknownTokenError(
+                f"worker pid {os.getpid()} holds no shard state "
+                f"{token!r} (restarted and not reseeded yet?)")
+        if slot.model is None:
+            from repro.shard.artifact import load_shard_artifact
+
+            slot.model, _ = load_shard_artifact(slot.path)
+        return slot.model
+
+    # -- handlers -------------------------------------------------------------
+
+    def handle(self, message):
+        """Dispatch one message; returns the reply value or raises."""
+        handler = self._HANDLERS.get(type(message))
+        if handler is None:
+            raise ReproError(
+                f"worker cannot handle message {type(message).__name__}")
+        return handler(self, message)
+
+    def _ping(self, message: Ping) -> WorkerInfo:
+        return WorkerInfo(
+            pid=os.getpid(),
+            tokens=tuple(sorted(self._slots)),
+            materialized=tuple(sorted(
+                token for token, slot in self._slots.items()
+                if slot.model is not None)),
+            probes=self.probes,
+            updates=self.updates,
+            fits=self.fits,
+        )
+
+    def _load(self, message: LoadShard) -> bool:
+        self._slots[message.token] = _Slot(path=message.path,
+                                           shard_index=message.shard_index)
+        return True
+
+    def _release(self, message: ReleaseTokens) -> int:
+        dropped = 0
+        for token in message.tokens:
+            if self._slots.pop(token, None) is not None:
+                dropped += 1
+        return dropped
+
+    def _clone_update(self, message: CloneUpdate) -> bool:
+        base = self._slots.get(message.base_token)
+        if base is None:
+            raise UnknownTokenError(
+                f"worker pid {os.getpid()} holds no shard state "
+                f"{message.base_token!r} to clone")
+        clone = self._model(message.base_token).clone_for_update()
+        # FactorJoin.update validates before mutating (and mutates only
+        # the clone), so a failed batch leaves this worker holding
+        # exactly the versions it held before
+        if message.deleted_rows is not None:
+            clone.update(message.table, message.rows,
+                         deleted_rows=message.deleted_rows)
+        else:
+            clone.update(message.table, message.rows)
+        self._slots[message.token] = _Slot(shard_index=base.shard_index,
+                                           model=clone)
+        self.updates += 1
+        return True
+
+    def _probe_one(self, item: ProbeItem) -> ProbeResult:
+        result = probe_model(self._model(item.token), item)
+        self.probes += 1
+        return result
+
+    def _batch_probe(self, message: BatchProbe) -> tuple:
+        return tuple(self._probe_one(item) for item in message.items)
+
+    def _shard_stats(self, message: ShardStatsRequest):
+        from repro.shard.ensemble import shard_stats_of
+
+        model = self._model(message.token)
+        return shard_stats_of(model, model.database.schema)
+
+    def _fingerprint(self, message: FingerprintRequest) -> str:
+        return self._model(message.token).fingerprint()
+
+    def _model_size(self, message: ModelSizeRequest) -> int:
+        return int(self._model(message.token).model_size_bytes())
+
+    def _fit_shard(self, message: FitShardRequest) -> FitShardResult:
+        result = fit_and_save(message)
+        self.fits += 1
+        return result
+
+    _HANDLERS = {
+        Ping: _ping,
+        LoadShard: _load,
+        ReleaseTokens: _release,
+        CloneUpdate: _clone_update,
+        BatchProbe: _batch_probe,
+        ShardStatsRequest: _shard_stats,
+        FingerprintRequest: _fingerprint,
+        ModelSizeRequest: _model_size,
+        FitShardRequest: _fit_shard,
+    }
+
+
+def _sendable_error(exc: BaseException) -> BaseException:
+    """The exception itself when it pickles, else a same-message
+    :class:`~repro.errors.ReproError` — the driver always re-raises
+    *something* typed."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return ReproError(f"{type(exc).__name__}: {exc}")
+
+
+def worker_main(conn) -> None:
+    """Process entry point: answer framed requests until shutdown.
+
+    Runs single-threaded over one pipe; any exception a handler raises
+    travels back in the :class:`~repro.cluster.messages.Reply` envelope
+    instead of killing the process, so one bad request never takes the
+    worker's shard state with it.  SIGINT is ignored — a Ctrl-C at the
+    driver's terminal reaches the whole process group, but worker
+    lifecycle belongs to the driver (an orderly ``Shutdown`` message, or
+    a kill on restart), not the keyboard.
+    """
+    import signal
+
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
+    worker = ShardWorker()
+    while True:
+        try:
+            request: Request = conn.recv()
+        except (EOFError, OSError):
+            break
+        if isinstance(request.message, Shutdown):
+            try:
+                conn.send(Reply(id=request.id, ok=True, value=True))
+            except (OSError, BrokenPipeError):
+                pass
+            break
+        try:
+            value = worker.handle(request.message)
+            reply = Reply(id=request.id, ok=True, value=value)
+        except BaseException as exc:  # noqa: BLE001 — ship it to the driver
+            reply = Reply(id=request.id, ok=False,
+                          error=_sendable_error(exc))
+        try:
+            conn.send(reply)
+        except (OSError, BrokenPipeError):
+            break
+    conn.close()

@@ -84,10 +84,45 @@ class BinStats:
                                           part._values)] += part._counts
         return cls.from_value_counts(binning, merged_vals, merged_counts)
 
+    @classmethod
+    def replaced(cls, base: "BinStats", old: "BinStats",
+                 new: "BinStats") -> "BinStats":
+        """``base - old + new``: exact merged statistics after one
+        partition's contribution is swapped out.
+
+        ``base`` is a merged statistic that *contains* ``old`` as one of
+        its parts (the invariant per-shard hot-swap maintains); counts are
+        exact integers in float64, so the subtraction reproduces bit for
+        bit what merging the surviving parts with ``new`` would produce.
+        """
+        for part in (old, new):
+            if part._binning is not base._binning and (
+                    part._binning.n_bins != base._binning.n_bins
+                    or not np.array_equal(part._binning.domain,
+                                          base._binning.domain)
+                    or not np.array_equal(part._binning.bin_ids,
+                                          base._binning.bin_ids)):
+                raise ReproError(
+                    "BinStats.replaced requires all parts to share one "
+                    "binning; refit the replacement shard under the "
+                    "ensemble's global binning")
+        vals = np.union1d(base._values, np.union1d(old._values, new._values))
+        counts = np.zeros(len(vals), dtype=np.float64)
+        counts[np.searchsorted(vals, base._values)] += base._counts
+        counts[np.searchsorted(vals, old._values)] -= old._counts
+        counts[np.searchsorted(vals, new._values)] += new._counts
+        keep = counts > 0
+        return cls.from_value_counts(base._binning, vals[keep], counts[keep])
+
     def copy(self) -> "BinStats":
         """Independent copy (copy-on-write updates in ensembles)."""
         return BinStats.from_value_counts(self._binning, self._values.copy(),
                                           self._counts.copy())
+
+    def value_counts(self) -> tuple[np.ndarray, np.ndarray]:
+        """The exact per-value counts ``(values, counts)`` (read-only
+        views; the full information content of this statistic)."""
+        return self._values, self._counts
 
     # -- accessors -------------------------------------------------------------
 
@@ -168,6 +203,33 @@ class KeyStatistics:
             per_part = [part.stats_of(table, column) for part in parts
                         if part.has_key(table, column)]
             out._per_key[(table, column)] = BinStats.merged(per_part)
+        return out
+
+    @classmethod
+    def replaced(cls, base: "KeyStatistics", old: "KeyStatistics",
+                 new: "KeyStatistics") -> "KeyStatistics":
+        """``base - old + new`` per member key (see
+        :meth:`BinStats.replaced`): the merged group statistics after one
+        partition's contribution is hot-swapped.  Keys absent from a part
+        contribute nothing for that part."""
+        out = cls(base.group_name, base.binning)
+        empty = None
+        for table, column in base.keys:
+            old_part = (old.stats_of(table, column)
+                        if old.has_key(table, column) else None)
+            new_part = (new.stats_of(table, column)
+                        if new.has_key(table, column) else None)
+            if old_part is None and new_part is None:
+                out._per_key[(table, column)] = base.stats_of(table, column)
+                continue
+            if old_part is None or new_part is None:
+                if empty is None:
+                    empty = BinStats(base.binning,
+                                     np.zeros(0, dtype=np.int64))
+                old_part = old_part if old_part is not None else empty
+                new_part = new_part if new_part is not None else empty
+            out._per_key[(table, column)] = BinStats.replaced(
+                base.stats_of(table, column), old_part, new_part)
         return out
 
     def shallow_copy(self) -> "KeyStatistics":

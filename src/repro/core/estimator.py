@@ -570,13 +570,15 @@ class FactorJoin:
             clone.__dict__["_db"] = db
         return clone
 
-    def save(self, path, name: str | None = None) -> "FactorJoin":
+    def save(self, path, name: str | None = None,
+             compress: bool = False) -> "FactorJoin":
         """Persist the fitted model as an artifact directory (manifest +
-        pickle); see :mod:`repro.serve.artifact`.  Returns self."""
+        pickle, gzip-compressed on disk with ``compress``); see
+        :mod:`repro.serve.artifact`.  Returns self."""
         from repro.serve.artifact import save_model
 
         self._check_fitted()
-        save_model(self, path, name=name)
+        save_model(self, path, name=name, compress=compress)
         return self
 
     @classmethod

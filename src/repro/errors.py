@@ -53,3 +53,10 @@ class ArtifactError(ReproError):
 
 class ModelNotFoundError(ReproError):
     """A serving request referenced a model name the registry does not hold."""
+
+
+class WorkerError(ReproError):
+    """A cluster worker process failed (crashed, hung past its deadline,
+    or answered garbage).  The worker pool restarts the process and the
+    failed request is retried in the driver, so callers usually never see
+    this; it surfaces only when the retry path itself is impossible."""

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import dataclasses
 import datetime
+import gzip
 import hashlib
 import json
 import pickle
@@ -28,10 +29,20 @@ from pathlib import Path
 from repro.data.schema import DatabaseSchema
 from repro.errors import ArtifactError
 
-FORMAT_VERSION = 1
+#: Written by this build.  Version 2 adds the optional ``encoding`` field
+#: (``"gzip"``): the pickle bytes on disk are gzip-compressed and
+#: decompressed transparently on load.  Version-1 artifacts (no
+#: ``encoding``) are still read.
+FORMAT_VERSION = 2
+SUPPORTED_FORMAT_VERSIONS = (1, 2)
 
 MANIFEST_NAME = "manifest.json"
 MODEL_NAME = "model.pkl"
+
+#: Gzip level for ``save_model(..., compress=True)``: 6 is the zlib
+#: default — pickled numpy statistics compress well above it only
+#: marginally, and load-time decompression stays cheap.
+GZIP_LEVEL = 6
 
 
 def schema_fingerprint(schema: DatabaseSchema) -> str:
@@ -91,16 +102,26 @@ def _model_schema(model) -> DatabaseSchema | None:
 
 
 def save_model(model, path: str | Path, name: str | None = None,
-               extra_metadata: dict | None = None) -> Path:
+               extra_metadata: dict | None = None,
+               compress: bool = False) -> Path:
     """Persist a fitted model to the directory ``path`` and return it.
 
     The directory is created if needed; an existing artifact there is
     overwritten atomically enough for single-writer use (pickle first,
     manifest last, so a partially written artifact never verifies).
+    With ``compress``, the pickle is gzip-compressed on disk and the
+    manifest records ``"encoding": "gzip"`` — :func:`load_model`
+    decompresses transparently.  The SHA-256 and ``model_bytes`` always
+    describe the bytes actually on disk, so integrity checks never need
+    to decompress.
     """
     path = Path(path)
     path.mkdir(parents=True, exist_ok=True)
     blob = pickle.dumps(model, protocol=pickle.HIGHEST_PROTOCOL)
+    if compress:
+        # mtime=0 keeps equal pickles compressing to equal bytes, so the
+        # recorded sha256 is reproducible across saves
+        blob = gzip.compress(blob, compresslevel=GZIP_LEVEL, mtime=0)
     (path / MODEL_NAME).write_bytes(blob)
 
     schema = _model_schema(model)
@@ -117,6 +138,8 @@ def save_model(model, path: str | Path, name: str | None = None,
         "fit_seconds": float(getattr(model, "fit_seconds", 0.0)),
         "config": _json_safe(config) if config is not None else None,
     }
+    if compress:
+        manifest["encoding"] = "gzip"
     if extra_metadata:
         manifest["extra"] = _json_safe(extra_metadata)
     (path / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
@@ -134,10 +157,15 @@ def read_manifest(path: str | Path) -> dict:
     except json.JSONDecodeError as exc:
         raise ArtifactError(f"corrupt manifest at {manifest_path}: {exc}")
     version = manifest.get("format_version")
-    if version != FORMAT_VERSION:
+    if version not in SUPPORTED_FORMAT_VERSIONS:
         raise ArtifactError(
             f"artifact {path} has format version {version!r}; "
-            f"this build reads version {FORMAT_VERSION}")
+            f"this build reads versions {SUPPORTED_FORMAT_VERSIONS}")
+    encoding = manifest.get("encoding")
+    if encoding not in (None, "gzip"):
+        raise ArtifactError(
+            f"artifact {path} uses unknown encoding {encoding!r}; "
+            f"this build reads plain and gzip artifacts")
     return manifest
 
 
@@ -175,6 +203,12 @@ def load_model(path: str | Path,
                 f"artifact {path} was fitted against a different schema "
                 f"(fingerprint {manifest['schema_hash'][:12]}… vs expected "
                 f"{expected[:12]}…); refit instead of loading")
+    if manifest.get("encoding") == "gzip":
+        try:
+            blob = gzip.decompress(blob)
+        except Exception as exc:
+            raise ArtifactError(
+                f"artifact {path} failed to decompress: {exc}")
     try:
         return pickle.loads(blob)
     except Exception as exc:

@@ -28,6 +28,15 @@ in-place ``update()``.  Invalidation clears both levels atomically, and
 the stamped-put mechanism (see :meth:`EstimateCache.put`) covers both, so
 a slow computation racing a model update can never resurrect pre-update
 state at either level.
+
+For sharded models, entries may additionally be tagged with the set of
+shards the answer read (the serving layer derives it from the same
+pruning introspection the explain trace reports).  A **per-shard
+hot-swap** then evicts only the entries whose answer could have changed
+— :meth:`EstimateCache.invalidate_shards` — instead of clearing both
+levels wholesale, so a 16-shard ensemble republishing one shard keeps
+~15/16ths of its warmed state.  Untagged entries (no pruning info) are
+evicted conservatively.
 """
 
 from __future__ import annotations
@@ -73,8 +82,10 @@ class EstimateCache:
         self.max_size = max_size
         self.subplan_max_size = subplan_max_size
         self._lock = threading.Lock()
-        self._entries: OrderedDict[tuple, object] = OrderedDict()
-        self._subplans: OrderedDict[tuple, float] = OrderedDict()
+        # both levels store (value, shard_tag) pairs; shard_tag is a
+        # frozenset of shard indices the answer read, or None (unknown)
+        self._entries: OrderedDict[tuple, tuple] = OrderedDict()
+        self._subplans: OrderedDict[tuple, tuple] = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -82,6 +93,7 @@ class EstimateCache:
         self.subplan_misses = 0
         self.subplan_evictions = 0
         self.invalidations = 0
+        self.shard_evictions = 0
 
     _MISSING = object()
 
@@ -91,25 +103,28 @@ class EstimateCache:
         """The cached value, or None on a miss (estimates are floats > 0 or
         dicts, so None is unambiguous)."""
         with self._lock:
-            value = self._entries.get(key, self._MISSING)
-            if value is self._MISSING:
+            entry = self._entries.get(key, self._MISSING)
+            if entry is self._MISSING:
                 self.misses += 1
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
-            return value
+            return entry[0]
 
-    def put(self, key: tuple, value, stamp: int | None = None) -> None:
+    def put(self, key: tuple, value, stamp: int | None = None,
+            shards=None) -> None:
         """Insert ``key``; with ``stamp`` (an invalidation count observed
         before computing ``value``), the put is dropped when an
         invalidation happened in between — a slow computation racing an
-        ``update()`` must not resurrect pre-update state."""
+        ``update()`` must not resurrect pre-update state.  ``shards``
+        optionally tags the entry with the shard indices the answer read
+        (see :meth:`invalidate_shards`)."""
         with self._lock:
             if stamp is not None and stamp != self.invalidations:
                 return
             if key in self._entries:
                 self._entries.move_to_end(key)
-            self._entries[key] = value
+            self._entries[key] = (value, _shard_tag(shards))
             while len(self._entries) > self.max_size:
                 self._entries.popitem(last=False)
                 self.evictions += 1
@@ -120,13 +135,13 @@ class EstimateCache:
         """The cached sub-plan estimate for a canonical
         :meth:`~repro.sql.query.Query.subplan_key`, or None on a miss."""
         with self._lock:
-            value = self._subplans.get(key, self._MISSING)
-            if value is self._MISSING:
+            entry = self._subplans.get(key, self._MISSING)
+            if entry is self._MISSING:
                 self.subplan_misses += 1
                 return None
             self._subplans.move_to_end(key)
             self.subplan_hits += 1
-            return value
+            return entry[0]
 
     def lookup_subplans(self, keys: list[tuple]):
         """All-or-nothing batch lookup: ``{key: value}`` when *every* key
@@ -146,28 +161,32 @@ class EstimateCache:
             out = {}
             for key in keys:
                 self._subplans.move_to_end(key)
-                out[key] = self._subplans[key]
+                out[key] = self._subplans[key][0]
             self.subplan_hits += len(keys)
             return out
 
     def put_subplan(self, key: tuple, value: float,
-                    stamp: int | None = None) -> None:
+                    stamp: int | None = None, shards=None) -> None:
         """Insert one sub-plan estimate (same stamp semantics as
         :meth:`put`)."""
-        self.put_subplans({key: value}, stamp=stamp)
+        self.put_subplans({key: value}, stamp=stamp, shards=shards)
 
     def put_subplans(self, entries: dict[tuple, float],
-                     stamp: int | None = None) -> None:
+                     stamp: int | None = None, shards=None) -> None:
         """Insert a batch of sub-plan estimates under one lock acquisition
         (same stamp semantics as :meth:`put`); a batch straddling an
-        invalidation is dropped whole."""
+        invalidation is dropped whole.  ``shards`` tags the whole batch
+        (sub-plans of one query share the query's touched-shard set — a
+        superset of each sub-plan's own, so per-shard eviction stays
+        conservative)."""
+        tag = _shard_tag(shards)
         with self._lock:
             if stamp is not None and stamp != self.invalidations:
                 return
             for key, value in entries.items():
                 if key in self._subplans:
                     self._subplans.move_to_end(key)
-                self._subplans[key] = value
+                self._subplans[key] = (value, tag)
             while len(self._subplans) > self.subplan_max_size:
                 self._subplans.popitem(last=False)
                 self.subplan_evictions += 1
@@ -178,12 +197,17 @@ class EstimateCache:
         """Copyable view of both levels (see :mod:`repro.serve.snapshot`).
 
         Entries are returned in LRU order (least recent first) so a
-        restore into a smaller cache keeps the hottest ones.
+        restore into a smaller cache keeps the hottest ones.  Each row is
+        ``(key, value, shard_tag)``; restores also accept the pre-tag
+        two-element rows of older snapshots.
         """
         with self._lock:
             return {
-                "entries": list(self._entries.items()),
-                "subplans": list(self._subplans.items()),
+                "entries": [(key, value, _tag_list(tag))
+                            for key, (value, tag) in self._entries.items()],
+                "subplans": [(key, value, _tag_list(tag))
+                             for key, (value, tag)
+                             in self._subplans.items()],
             }
 
     def restore(self, snapshot: dict, stamp: int | None = None) -> dict:
@@ -201,27 +225,28 @@ class EstimateCache:
         restore racing an invalidation is dropped whole rather than
         resurrecting pre-update entries.
         """
-        entries = list(snapshot.get("entries", ()))
-        subplans = list(snapshot.get("subplans", ()))
+        entries = [_restore_row(row) for row in snapshot.get("entries", ())]
+        subplans = [_restore_row(row)
+                    for row in snapshot.get("subplans", ())]
         with self._lock:
             if stamp is not None and stamp != self.invalidations:
                 return {"entries": 0, "subplans": 0, "dropped": True}
-            for key, value in entries:
-                self._entries[key] = value
+            for key, value, tag in entries:
+                self._entries[key] = (value, tag)
                 self._entries.move_to_end(key)
             while len(self._entries) > self.max_size:
                 self._entries.popitem(last=False)
-            for key, value in subplans:
-                self._subplans[key] = value
+            for key, value, tag in subplans:
+                self._subplans[key] = (value, tag)
                 self._subplans.move_to_end(key)
             while len(self._subplans) > self.subplan_max_size:
                 self._subplans.popitem(last=False)
             # report what actually survived bound enforcement, not the
             # snapshot's size — operators read these to judge warm-start
             # coverage
-            kept_entries = sum(1 for key, _ in entries
+            kept_entries = sum(1 for key, _, _ in entries
                                if key in self._entries)
-            kept_subplans = sum(1 for key, _ in subplans
+            kept_subplans = sum(1 for key, _, _ in subplans
                                 if key in self._subplans)
         return {"entries": kept_entries, "subplans": kept_subplans,
                 "dropped": False}
@@ -235,6 +260,39 @@ class EstimateCache:
             self._entries.clear()
             self._subplans.clear()
             self.invalidations += 1
+
+    def invalidate_shards(self, shard_indices) -> dict:
+        """Evict only the entries whose answer read one of
+        ``shard_indices`` (a per-shard hot-swap republished them).
+
+        Entries with no shard tag are evicted too — an unknown read set
+        must be assumed stale.  The invalidation stamp is bumped, so
+        every in-flight stamped put drops, including puts for untouched
+        queries: dropping a still-valid put costs one recomputation,
+        while admitting a put that raced the swap could serve a mixed
+        answer.  Returns per-level eviction counts.
+        """
+        touched = frozenset(int(index) for index in shard_indices)
+
+        def stale(tag) -> bool:
+            return tag is None or bool(tag & touched)
+
+        with self._lock:
+            dropped_entries = [key for key, (_, tag)
+                               in self._entries.items() if stale(tag)]
+            for key in dropped_entries:
+                del self._entries[key]
+            dropped_subplans = [key for key, (_, tag)
+                                in self._subplans.items() if stale(tag)]
+            for key in dropped_subplans:
+                del self._subplans[key]
+            self.invalidations += 1
+            self.shard_evictions += len(dropped_entries) + len(
+                dropped_subplans)
+            return {"entries": len(dropped_entries),
+                    "subplans": len(dropped_subplans),
+                    "kept_entries": len(self._entries),
+                    "kept_subplans": len(self._subplans)}
 
     def __len__(self) -> int:
         """Number of query-level entries (see ``stats()['subplan_size']``
@@ -264,4 +322,26 @@ class EstimateCache:
                                      if sub_lookups else 0.0),
                 "subplan_evictions": self.subplan_evictions,
                 "invalidations": self.invalidations,
+                "shard_evictions": self.shard_evictions,
             }
+
+
+def _shard_tag(shards):
+    """Normalize a touched-shards hint to a frozenset (or None)."""
+    if shards is None:
+        return None
+    return frozenset(int(index) for index in shards)
+
+
+def _tag_list(tag):
+    """JSON/pickle-friendly snapshot form of a shard tag."""
+    return sorted(tag) if tag is not None else None
+
+
+def _restore_row(row):
+    """``(key, value[, shard_tag])`` — tolerant of pre-tag snapshots."""
+    if len(row) == 2:
+        key, value = row
+        return key, value, None
+    key, value, tag = row
+    return key, value, _shard_tag(tag)

@@ -19,6 +19,13 @@ Versioned ``/v1`` routes (the supported API)
 ``POST /v1/explain``        ``{"sql": ..., "model"?}`` → estimate with the
                             full explain trace (bound mode, key groups and
                             bins touched, shard pruning, cache level)
+``POST /v1/swap``           ``{"shard": N, "artifact": PATH, "model"?}`` →
+                            per-shard hot-swap: republish one shard of a
+                            served ensemble from a refreshed sub-artifact;
+                            paths are confined to the server's swap
+                            directory (endpoint disabled without one);
+                            cache eviction is scoped to the entries the
+                            swapped shard could have changed
 ``GET /v1/models``          published models with declared capabilities
 ==========================  =================================================
 
@@ -201,6 +208,8 @@ class ServingHandler(BaseHTTPRequestHandler):
             self._dispatch_v1(self._post_v1_update)
         elif self.path == "/v1/explain":
             self._dispatch_v1(self._post_v1_explain)
+        elif self.path == "/v1/swap":
+            self._dispatch_v1(self._post_v1_swap)
         elif self.path == "/estimate":
             # deprecation shim: POST /v1/estimate (or /v1/subplans when
             # "subplans" is true) is the supported route
@@ -246,6 +255,42 @@ class ServingHandler(BaseHTTPRequestHandler):
         payload["explain"] = True
         request = EstimateRequest.from_json(payload)
         return self.service.serve_estimate(request).to_json()
+
+    def _post_v1_swap(self) -> dict:
+        """Per-shard hot-swap of a served ensemble:
+        ``{"shard": N, "artifact": PATH, "model"?}``.
+
+        Like ``POST /snapshot``, the endpoint hands a client-named path
+        to the filesystem (the swapped-in artifact is unpickled), so it
+        only operates when the server was started with a swap directory
+        (``repro serve --swap-dir``) and the resolved artifact stays
+        inside it.
+        """
+        payload = self._read_json()
+        shard = self._require(payload, "shard")
+        if not isinstance(shard, int) or isinstance(shard, bool):
+            raise ValueError("'shard' must be a shard index (integer)")
+        artifact = self._require(payload, "artifact")
+        if not isinstance(artifact, str):
+            raise ValueError("'artifact' must be a path string")
+        artifact = self._confined_swap_path(artifact)
+        return self.service.hot_swap_shard(shard, artifact,
+                                           model=payload.get("model"))
+
+    def _confined_swap_path(self, artifact: str):
+        from pathlib import Path
+
+        directory = getattr(self.server, "swap_dir", None)
+        if directory is None:
+            raise ValueError(
+                "the swap endpoint is disabled: start the server with a "
+                "swap directory (repro serve --swap-dir DIR)")
+        resolved = (Path(directory) / artifact).resolve()
+        if not resolved.is_relative_to(Path(directory).resolve()):
+            raise ValueError(
+                "swap 'artifact' must stay inside the server's swap "
+                "directory (relative names only, no '..')")
+        return resolved
 
     def _get_v1_models(self) -> dict:
         """Published models, each with its declared capabilities."""
@@ -436,8 +481,9 @@ class ServingHandler(BaseHTTPRequestHandler):
 class ServingServer(ThreadingHTTPServer):
     """ThreadingHTTPServer carrying the shared EstimationService.
 
-    ``snapshot_dir`` confines the ``POST /snapshot`` endpoint; when None
-    (the default) that endpoint is disabled — clients must never name
+    ``snapshot_dir`` confines the ``POST /snapshot`` endpoint and
+    ``swap_dir`` the ``POST /v1/swap`` endpoint; when None (the default)
+    the respective endpoint is disabled — clients must never name
     arbitrary server-local paths.
     """
 
@@ -445,30 +491,31 @@ class ServingServer(ThreadingHTTPServer):
 
     def __init__(self, address: tuple[str, int],
                  service: EstimationService, verbose: bool = False,
-                 snapshot_dir=None):
+                 snapshot_dir=None, swap_dir=None):
         super().__init__(address, ServingHandler)
         self.service = service
         self.verbose = verbose
         self.snapshot_dir = snapshot_dir
+        self.swap_dir = swap_dir
 
 
 def make_server(service: EstimationService, host: str = "127.0.0.1",
                 port: int = 8765, verbose: bool = False,
-                snapshot_dir=None) -> ServingServer:
+                snapshot_dir=None, swap_dir=None) -> ServingServer:
     """Bind a serving server (``port=0`` picks a free port for tests)."""
     return ServingServer((host, port), service, verbose=verbose,
-                         snapshot_dir=snapshot_dir)
+                         snapshot_dir=snapshot_dir, swap_dir=swap_dir)
 
 
 def serve_in_background(service: EstimationService, host: str = "127.0.0.1",
-                        port: int = 0, snapshot_dir=None
+                        port: int = 0, snapshot_dir=None, swap_dir=None
                         ) -> tuple[ServingServer, threading.Thread]:
     """Start a server on a daemon thread; returns (server, thread).
 
     Callers stop it with ``server.shutdown(); server.server_close()``.
     """
     server = make_server(service, host=host, port=port,
-                         snapshot_dir=snapshot_dir)
+                         snapshot_dir=snapshot_dir, swap_dir=swap_dir)
     thread = threading.Thread(target=server.serve_forever,
                               name="repro-serve", daemon=True)
     thread.start()

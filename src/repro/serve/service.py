@@ -284,6 +284,23 @@ class EstimationService:
                                    requested_model=request.model,
                                    explain=request.explain)
 
+    @staticmethod
+    def _touched_shards(model, query: Query):
+        """The shard indices an estimate of ``query`` reads (the same
+        pruning introspection the explain trace reports), or None for
+        unsharded models / any failure.  Cache entries are tagged with
+        this so a per-shard hot-swap evicts only what it invalidates."""
+        candidate_shards = getattr(model, "candidate_shards", None)
+        if candidate_shards is None:
+            return None
+        touched: set[int] = set()
+        for alias in query.aliases:
+            try:
+                touched.update(candidate_shards(query, alias))
+            except Exception:
+                return None
+        return frozenset(touched)
+
     def _estimate_with(self, record: ModelRecord, query: Query | str,
                        requested_model: str | None = None,
                        explain: bool = False) -> EstimateResponse:
@@ -311,7 +328,8 @@ class EstimationService:
             if value is not None:
                 cache_level = "subplan"
                 # promote: the next identical request is a query-level hit
-                cache.put(key, value, stamp=stamp)
+                cache.put(key, value, stamp=stamp,
+                          shards=self._touched_shards(record.model, query))
         if value is None:
             value = float(record.model.estimate(query))
             # cache only answers from the still-published model version
@@ -320,9 +338,11 @@ class EstimationService:
             # landing between these two checks still bumps the stamp, so
             # the put drops in every interleaving
             if self.registry.is_current(record):
-                cache.put(key, value, stamp=stamp)
+                shards = self._touched_shards(record.model, query)
+                cache.put(key, value, stamp=stamp, shards=shards)
                 if skey is not None:
-                    cache.put_subplan(skey, value, stamp=stamp)
+                    cache.put_subplan(skey, value, stamp=stamp,
+                                      shards=shards)
         self._record(KIND_ESTIMATE, query, requested_model)
         trace = None
         if explain:
@@ -396,16 +416,20 @@ class EstimationService:
             found = cache.lookup_subplans(list(skeys.values()))
             if found is not None and self.registry.is_current(record):
                 value = {subset: found[k] for subset, k in skeys.items()}
-                cache.put(key, dict(value), stamp=stamp)
+                cache.put(key, dict(value), stamp=stamp,
+                          shards=self._touched_shards(record.model, query))
         if value is None:
             value = record.model.estimate_subplans(query,
                                                    min_tables=min_tables)
             if self.registry.is_current(record):
-                cache.put(key, dict(value), stamp=stamp)
+                # sub-plans of one query share its touched-shard set (a
+                # superset of each sub-plan's own — conservative)
+                shards = self._touched_shards(record.model, query)
+                cache.put(key, dict(value), stamp=stamp, shards=shards)
                 if skeys is not None:
                     cache.put_subplans(
                         {skeys[s]: v for s, v in value.items()
-                         if s in skeys}, stamp=stamp)
+                         if s in skeys}, stamp=stamp, shards=shards)
         self._record(KIND_SUBPLANS, query, model, min_tables=min_tables)
         seconds = time.perf_counter() - start
         self.latency.observe(seconds)
@@ -525,6 +549,52 @@ class EstimationService:
             deleted_rows=(len(deleted_rows) if deleted_rows is not None
                           else 0),
             seconds=seconds)
+
+    def hot_swap_shard(self, shard: int, artifact,
+                       model: str | None = None) -> dict:
+        """Republish one shard of a served ensemble from a refreshed
+        sub-artifact (``POST /v1/swap``), without taking the model out
+        of serving.
+
+        The swap itself is the model's atomic state publish — concurrent
+        estimates finish against whichever state they resolved.  Cache
+        eviction is scoped by what the swap could have changed: when the
+        incoming shard's mergeable statistics equal the outgoing one's
+        (``stats_changed`` false — a refit of the same rows, a
+        re-encoded artifact), only entries whose recorded touched-shards
+        include the swapped shard are evicted
+        (:meth:`~repro.serve.cache.EstimateCache.invalidate_shards`);
+        when they differ, the merged statistics every query reads moved,
+        so both cache levels clear wholesale.
+        """
+        record = self._resolve(model)
+        swap = getattr(record.model, "hot_swap_shard", None)
+        if not callable(swap):
+            raise UnsupportedOperationError(
+                f"model {record.name!r} ({record.kind}) is not a sharded "
+                f"ensemble; per-shard hot-swap needs one")
+        cache = self._cache_of(record.name)
+        with self._update_lock:
+            # hot_swap_shard publishes its new state as the final atomic
+            # step: any failure (bad index, missing artifact, worker
+            # trouble) leaves the served state untouched, so a failed
+            # swap must NOT cost the warmed cache — propagate as-is
+            info = swap(shard, artifact)
+            if info.get("stats_changed", True):
+                cache.invalidate()
+                evicted = None
+            else:
+                evicted = cache.invalidate_shards([shard])
+            # the publish-time artifact fingerprint no longer describes
+            # the served ensemble (see serve_update)
+            self._mutated_records.add((record.name, record.version))
+        return {
+            "model": record.name,
+            "version": record.version,
+            **info,
+            "evicted": evicted,
+            "full_invalidation": evicted is None,
+        }
 
     # -- cache snapshots -------------------------------------------------------
 

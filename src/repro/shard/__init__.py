@@ -23,13 +23,20 @@ from repro.shard.artifact import (
     ENSEMBLE_VERSION,
     is_ensemble_manifest,
     load_ensemble,
+    load_shard_artifact,
+    load_shard_summary,
+    read_ensemble,
     save_ensemble,
+    save_shard_artifact,
 )
 from repro.shard.ensemble import (
     EnsembleTableEstimator,
     ShardSet,
+    ShardStats,
     ShardedFactorJoin,
     fit_shard,
+    merged_components,
+    shard_stats_of,
 )
 from repro.shard.policy import (
     POLICY_REGISTRY,
@@ -56,16 +63,23 @@ __all__ = [
     "HashShardingPolicy",
     "is_ensemble_manifest",
     "load_ensemble",
+    "load_shard_artifact",
+    "load_shard_summary",
     "make_policy",
+    "merged_components",
     "partition_database",
     "POLICY_REGISTRY",
     "predicate_excludes",
     "RangeShardingPolicy",
+    "read_ensemble",
     "register_policy",
     "save_ensemble",
+    "save_shard_artifact",
     "ShardedFactorJoin",
+    "shard_stats_of",
     "ShardingPolicy",
     "ShardSet",
+    "ShardStats",
     "ShardSummary",
     "split_rows",
     "TableSummary",

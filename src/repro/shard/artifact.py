@@ -51,6 +51,7 @@ ENSEMBLE_VERSION = 1
 FORMAT_VERSION = 1
 
 SHARED_NAME = "shared.pkl"
+SUMMARY_NAME = "summary.pkl"
 SHARDS_DIR = "shards"
 
 
@@ -58,12 +59,53 @@ def _shard_dir(index: int) -> str:
     return f"{SHARDS_DIR}/shard-{index:04d}"
 
 
+def save_shard_artifact(model, path: str | Path, summary=None,
+                        name: str | None = None,
+                        compress: bool = False) -> dict:
+    """Persist one shard as a standard model artifact, plus its
+    :class:`~repro.shard.pruning.ShardSummary` (when given) beside it so
+    a later per-shard hot-swap can keep pruning exact.  Returns the
+    manifest entry the ensemble manifest records for this shard."""
+    path = Path(path)
+    save_model(model, path, name=name, compress=compress)
+    if summary is not None:
+        (path / SUMMARY_NAME).write_bytes(
+            pickle.dumps(summary, protocol=pickle.HIGHEST_PROTOCOL))
+    manifest = read_manifest(path)
+    return {
+        "sha256": manifest["sha256"],
+        "model_bytes": manifest["model_bytes"],
+    }
+
+
+def load_shard_summary(path: str | Path):
+    """A shard artifact's :class:`~repro.shard.pruning.ShardSummary`
+    alone (no model deserialization), or None when it carries none."""
+    summary_path = Path(path) / SUMMARY_NAME
+    if not summary_path.is_file():
+        return None
+    try:
+        return pickle.loads(summary_path.read_bytes())
+    except Exception as exc:
+        raise ArtifactError(
+            f"shard artifact {path} has a corrupt {SUMMARY_NAME}: {exc}")
+
+
+def load_shard_artifact(path: str | Path):
+    """Load one shard artifact: ``(model, summary_or_None)``."""
+    path = Path(path)
+    return load_model(path), load_shard_summary(path)
+
+
 def save_ensemble(model: ShardedFactorJoin, path: str | Path,
-                  name: str | None = None) -> Path:
+                  name: str | None = None,
+                  compress: bool = False) -> Path:
     """Persist a fitted ensemble to the directory ``path``; returns it.
 
     Write order is shards, then shared statistics, then the manifest, so
-    a partially written ensemble never verifies.
+    a partially written ensemble never verifies.  ``compress`` gzips
+    every shard's pickle (transparent on load; see
+    :func:`repro.serve.artifact.save_model`).
     """
     path = Path(path)
     path.mkdir(parents=True, exist_ok=True)
@@ -72,37 +114,54 @@ def save_ensemble(model: ShardedFactorJoin, path: str | Path,
 
     shard_entries = []
     for index, shard in enumerate(shards):
-        shard_path = path / _shard_dir(index)
-        save_model(shard, shard_path,
-                   name=f"{name or 'ensemble'}-shard{index}")
-        shard_manifest = read_manifest(shard_path)
-        shard_entries.append({
-            "dir": _shard_dir(index),
-            "sha256": shard_manifest["sha256"],
-            "model_bytes": shard_manifest["model_bytes"],
-        })
+        entry = save_shard_artifact(
+            shard, path / _shard_dir(index),
+            summary=state.summaries[index],
+            name=f"{name or 'ensemble'}-shard{index}", compress=compress)
+        shard_entries.append({"dir": _shard_dir(index), **entry})
 
     # the persisted field set is defined once, in
     # ShardedFactorJoin.shared_state / from_shared_state — the artifact
     # and plain pickling cannot drift apart
-    shared_blob = pickle.dumps(model.shared_state(),
+    write_ensemble_files(path, model.shared_state(), shard_entries,
+                         kind=(f"{type(model).__module__}."
+                               f"{type(model).__qualname__}"),
+                         name=name, policy=model.policy,
+                         schema=state.merged.database.schema,
+                         fit_seconds=model.fit_seconds,
+                         config=model.config)
+    return path
+
+
+def write_ensemble_files(path: str | Path, shared_payload: dict,
+                         shard_entries: list[dict], *, kind: str,
+                         name: str | None, policy, schema,
+                         fit_seconds: float, config) -> Path:
+    """Write an ensemble's ``shared.pkl`` and manifest around shard
+    sub-artifacts already on disk.
+
+    The assembly step both persistence paths share: ``save_ensemble``
+    (shards saved from in-memory models) and the distributed fit, whose
+    workers save their own sub-artifacts and ship back statistics — the
+    driver assembles the ensemble without ever materializing a shard
+    model.
+    """
+    path = Path(path)
+    shared_blob = pickle.dumps(shared_payload,
                                protocol=pickle.HIGHEST_PROTOCOL)
     (path / SHARED_NAME).write_bytes(shared_blob)
-
-    schema = state.merged.database.schema
     manifest = {
         "format_version": FORMAT_VERSION,
         "ensemble_version": ENSEMBLE_VERSION,
-        "kind": (f"{type(model).__module__}."
-                 f"{type(model).__qualname__}"),
+        "kind": kind,
         "name": name or "ensemble",
         "created_at": datetime.datetime.now(
             datetime.timezone.utc).isoformat(),
-        "policy": model.policy.describe(),
-        "n_shards": model.n_shards,
+        "policy": policy.describe(),
+        "n_shards": policy.n_shards,
         "schema_hash": schema_fingerprint(schema),
-        "fit_seconds": float(model.fit_seconds),
-        "config": _json_safe(model.config),
+        "fit_seconds": float(fit_seconds),
+        "config": _json_safe(config),
         "shared_sha256": hashlib.sha256(shared_blob).hexdigest(),
         "shared_bytes": len(shared_blob),
         "shards": shard_entries,
@@ -124,6 +183,22 @@ def load_ensemble(path: str | Path,
     every shard's *manifest* (cheap JSON reads); each shard's pickle is
     verified by :func:`~repro.serve.artifact.load_model` when — and only
     when — that shard is first materialized.
+    """
+    payload, shard_dirs, _ = read_ensemble(path,
+                                           expected_schema=expected_schema)
+    return ShardedFactorJoin.from_shared_state(
+        payload, [_shard_loader(shard_dir) for shard_dir in shard_dirs])
+
+
+def read_ensemble(path: str | Path,
+                  expected_schema: DatabaseSchema | None = None
+                  ) -> tuple[dict, list[Path], dict]:
+    """Verify an ensemble artifact and return
+    ``(shared_payload, shard_dirs, manifest)`` without building a model.
+
+    :func:`load_ensemble` turns the shard directories into lazy local
+    loaders; the cluster model hands them to worker processes instead —
+    both read the artifact through this one verification path.
     """
     path = Path(path)
     manifest = read_manifest(path)
@@ -163,7 +238,7 @@ def load_ensemble(path: str | Path,
                             f"shared statistics: {exc}")
 
     entries = manifest.get("shards") or []
-    loaders = []
+    shard_dirs = []
     for entry in entries:
         shard_path = path / entry["dir"]
         shard_manifest_path = shard_path / MANIFEST_NAME
@@ -177,9 +252,9 @@ def load_ensemble(path: str | Path,
             raise ArtifactError(
                 f"ensemble {path} shard {entry['dir']} does not match "
                 f"the ensemble manifest (sub-artifact replaced?)")
-        loaders.append(_shard_loader(shard_path))
+        shard_dirs.append(shard_path)
 
-    return ShardedFactorJoin.from_shared_state(payload, loaders)
+    return payload, shard_dirs, manifest
 
 
 def _shard_loader(shard_path: Path):

@@ -84,6 +84,87 @@ class ShardFit:
     fit_seconds: float
 
 
+@dataclass
+class ShardStats:
+    """One shard's mergeable statistics, separated from its model.
+
+    Everything the ensemble merge needs from a shard — per-group key
+    statistics, full pairwise key joints, per-table update/delete support
+    — without the table estimators.  Picklable, model-sized: this is
+    what a remote fit worker ships back to the driver, and what a
+    per-shard hot-swap subtracts/adds from the merged state.
+    """
+
+    key_stats: dict[str, KeyStatistics]
+    pairs: dict[tuple[str, str, str], np.ndarray]
+    supports: dict[str, tuple[bool, bool]]
+
+    def digest(self) -> str:
+        """Content hash of the shard's *mergeable* contribution.  Two
+        shards with identical digests contribute identically to the
+        merged statistics (the per-shard hot-swap uses this to decide
+        whether untouched queries' cached estimates survive).
+
+        Hashes the statistics' *values* — per-value counts, binnings,
+        pairwise joints, support flags — never pickle bytes: pickle
+        output depends on object-graph sharing, which differs between a
+        fresh fit and an artifact reload even when the statistics are
+        identical.
+        """
+        import hashlib
+
+        h = hashlib.sha256()
+        for name in sorted(self.key_stats):
+            stats = self.key_stats[name]
+            h.update(name.encode())
+            binning = stats.binning
+            h.update(np.ascontiguousarray(binning.domain).tobytes())
+            h.update(np.ascontiguousarray(binning.bin_ids).tobytes())
+            h.update(str(binning.n_bins).encode())
+            for table, column in sorted(stats.keys):
+                values, counts = stats.stats_of(table,
+                                                column).value_counts()
+                h.update(f"|{table}.{column}|".encode())
+                h.update(np.ascontiguousarray(values).tobytes())
+                h.update(np.ascontiguousarray(counts).tobytes())
+        for key in sorted(self.pairs):
+            h.update(repr(key).encode())
+            h.update(np.ascontiguousarray(self.pairs[key]).tobytes())
+        h.update(repr(sorted(self.supports.items())).encode())
+        return h.hexdigest()
+
+
+def shard_stats_of(model: FactorJoin,
+                   schema: DatabaseSchema) -> ShardStats:
+    """Extract one shard model's :class:`ShardStats`.
+
+    Raises :class:`~repro.errors.ReproError` when the model was fitted
+    without ``keep_pairwise_joints`` and a table has two or more join
+    keys — its contribution to the merged Chow-Liu trees would be lost.
+    """
+    pairs: dict[tuple[str, str, str], np.ndarray] = {}
+    for table_name in schema.table_names:
+        table_pairs = model.pairwise_joints_of(table_name)
+        if not table_pairs and len(
+                schema.table(table_name).key_columns) >= 2:
+            raise ReproError(
+                f"shard model kept no pairwise key joints for table "
+                f"{table_name!r}; fit shards with "
+                f"keep_pairwise_joints=True (fit_shard does) so their "
+                f"statistics stay mergeable")
+        for (col_a, col_b), joint in table_pairs.items():
+            pairs[(table_name, col_a, col_b)] = joint
+    supports = {
+        table_name: (
+            model.table_estimator(table_name).supports_update(),
+            model.table_estimator(table_name).supports_delete(),
+        )
+        for table_name in schema.table_names
+    }
+    return ShardStats(key_stats=dict(model.key_statistics()),
+                      pairs=pairs, supports=supports)
+
+
 def fit_shard(config: FactorJoinConfig, shard_db: Database,
               binnings: dict[str, Binning]) -> ShardFit:
     """Fit one shard model under the shared global binning.
@@ -134,6 +215,11 @@ class ShardSet:
     def materialized_flags(self) -> list[bool]:
         """Which shards are deserialized (False = still a lazy loader)."""
         return [not callable(slot) for slot in self._slots]
+
+    def peek(self, index: int):
+        """The raw slot — a model, a proxy, or a pending loader — without
+        materializing it (cluster plumbing and introspection)."""
+        return self._slots[index]
 
     @property
     def loaded_count(self) -> int:
@@ -240,6 +326,11 @@ class _EnsembleState:
 class ShardedFactorJoin:
     """A FactorJoin-compatible estimator over a partitioned ensemble."""
 
+    #: The per-table estimator facade assembled over the shard set;
+    #: subclasses (the cluster model) substitute a facade that reads
+    #: shards through worker processes instead of local models.
+    table_estimator_cls: type = EnsembleTableEstimator
+
     def __init__(self, config: FactorJoinConfig | None = None, *,
                  n_shards: int = 4,
                  policy: ShardingPolicy | str = "hash",
@@ -284,7 +375,8 @@ class ShardedFactorJoin:
             self._state = _build_state(
                 self.config, database, self.policy,
                 ShardSet.eager([f.model for f in fits]),
-                tuple(f.summary for f in fits))
+                tuple(f.summary for f in fits),
+                estimator_cls=type(self).table_estimator_cls)
         self.fit_seconds = timer.elapsed
         return self
 
@@ -527,18 +619,92 @@ class ShardedFactorJoin:
             self.config, new_db, self.policy, new_shard_set,
             tuple(new_summaries), new_key_stats,
             dict(merged.key_trees()), new_key_joints, new_pairs,
-            dict(state.supports))
+            dict(state.supports),
+            estimator_cls=type(self).table_estimator_cls)
+
+    # ------------------------------------------------------------- hot swap --
+
+    def hot_swap_shard(self, index: int, replacement,
+                       summary: ShardSummary | None = None) -> dict:
+        """Republish one shard of a served ensemble, atomically.
+
+        ``replacement`` is a fitted per-shard :class:`FactorJoin` (fitted
+        under the ensemble's global binning, with pairwise joints kept —
+        :func:`fit_shard` does both) or a shard artifact directory.  Only
+        shard ``index``'s slot is replaced; the other shards' models stay
+        materialized and warm.  The merged statistics absorb the swap as
+        an exact ``- old + new`` delta (:meth:`~repro.core.bin_stats.
+        BinStats.replaced`), the Chow-Liu trees are rebuilt from the new
+        merged joints, and the new ensemble state is published with a
+        single reference swap — an estimate racing the swap computes its
+        whole answer from either the old or the new ensemble, never a
+        mix.
+
+        Returns a summary dict whose ``stats_changed`` flag reports
+        whether the replacement's mergeable statistics differ from the
+        outgoing shard's.  When they do not (a refit of the same rows, an
+        artifact re-encoding), estimates of queries that never probed
+        this shard are unchanged — the serving layer uses this to evict
+        only the cache entries that touched the swapped shard.
+
+        A failed swap (bad index, unreadable artifact) publishes
+        nothing: the state assignment is the final step.  Subclasses
+        override only :meth:`_swap_parts` (how the replacement slot and
+        its statistics are resolved); the lock / delta-merge / publish /
+        digest skeleton stays defined once.
+        """
+        with self._update_lock, Timer() as timer:
+            state = self._require_state()
+            if not 0 <= index < len(state.shard_set):
+                raise ReproError(
+                    f"shard index {index} out of range for a "
+                    f"{len(state.shard_set)}-shard ensemble")
+            slot, old_stats, new_stats, summary, extra = self._swap_parts(
+                state, index, replacement, summary)
+            self._state = replaced_shard_state(
+                self.config, self.policy, state, index, slot,
+                old_stats, new_stats, summary,
+                estimator_cls=type(self).table_estimator_cls)
+            changed = old_stats.digest() != new_stats.digest()
+        self.last_update_seconds = timer.elapsed
+        return {"shard": index, "stats_changed": changed,
+                "seconds": timer.elapsed, **extra}
+
+    def _swap_parts(self, state: "_EnsembleState", index: int,
+                    replacement, summary: ShardSummary | None):
+        """Resolve a hot-swap replacement into ``(slot, old_stats,
+        new_stats, summary, extra)`` — the only step of
+        :meth:`hot_swap_shard` that differs per execution plane.  Here
+        the replacement is a fitted model (or artifact) loaded into this
+        process; the cluster override registers it with the owning
+        worker instead."""
+        if isinstance(replacement, FactorJoin):
+            new_model, loaded_summary = replacement, None
+        else:
+            from repro.shard.artifact import load_shard_artifact
+
+            new_model, loaded_summary = load_shard_artifact(replacement)
+        if summary is None:
+            # a permissive summary never prunes, so it is always correct
+            # (just less selective) when the replacement carries none
+            summary = loaded_summary or ShardSummary({})
+        schema = state.merged.database.schema
+        old_stats = shard_stats_of(state.shard_set.model(index), schema)
+        new_stats = shard_stats_of(new_model, schema)
+        return new_model, old_stats, new_stats, summary, {}
 
     # -------------------------------------------------------------- persist --
 
-    def save(self, path, name: str | None = None) -> "ShardedFactorJoin":
+    def save(self, path, name: str | None = None,
+             compress: bool = False) -> "ShardedFactorJoin":
         """Persist as an ensemble artifact directory (one sub-artifact
-        per shard + shared merged statistics); see
-        :mod:`repro.shard.artifact`.  Returns self."""
+        per shard + shared merged statistics; ``compress`` gzips each
+        shard's pickle); see :mod:`repro.shard.artifact`.  Returns
+        self."""
         from repro.shard.artifact import save_ensemble
 
         self._require_state()
-        save_ensemble(self, path, name=name)
+        save_ensemble(self, path, name=name, compress=compress)
         return self
 
     @classmethod
@@ -557,30 +723,28 @@ class ShardedFactorJoin:
     def shared_state(self) -> dict:
         """Everything the ensemble persists *except* the shard models.
 
-        The single definition of the persisted field set: plain pickling
-        (``__getstate__``/``__setstate__``) and the ensemble artifact
-        (:mod:`repro.shard.artifact`) both go through this and
-        :meth:`from_shared_state`, so a field added here round-trips
-        through every path or none.
+        Built by :func:`shared_payload` — the single definition of the
+        persisted field set: plain pickling (``__getstate__`` /
+        ``__setstate__``), the ensemble artifact
+        (:mod:`repro.shard.artifact`), and the distributed fit all go
+        through it and :meth:`from_shared_state`, so a field added there
+        round-trips through every path or none.
         """
         state = self._require_state()
-        return {
-            "config": self.config,
-            "policy": self.policy,
-            "parallel": self.parallel,
-            "max_workers": self.max_workers,
-            "parallel_fallback": self.parallel_fallback,
-            "fit_seconds": self.fit_seconds,
-            "last_update_seconds": self.last_update_seconds,
-            "shard_fit_seconds": self.shard_fit_seconds,
-            "summaries": state.summaries,
-            "key_stats": state.merged.key_statistics(),
-            "key_trees": state.merged.key_trees(),
-            "key_joints": state.merged._key_joints,
-            "merged_pairs": state.merged_pairs,
-            "supports": state.supports,
-            "db_shell": state.merged.database.empty_copy(),
-        }
+        return shared_payload(
+            config=self.config, policy=self.policy,
+            parallel=self.parallel, max_workers=self.max_workers,
+            parallel_fallback=self.parallel_fallback,
+            fit_seconds=self.fit_seconds,
+            last_update_seconds=self.last_update_seconds,
+            shard_fit_seconds=self.shard_fit_seconds,
+            summaries=state.summaries,
+            key_stats=state.merged.key_statistics(),
+            key_trees=state.merged.key_trees(),
+            key_joints=state.merged._key_joints,
+            merged_pairs=state.merged_pairs,
+            supports=state.supports,
+            db_shell=state.merged.database.empty_copy())
 
     @classmethod
     def from_shared_state(cls, payload: dict,
@@ -604,7 +768,8 @@ class ShardedFactorJoin:
             ShardSet(shard_slots), payload["summaries"],
             payload["key_stats"], payload["key_trees"],
             payload["key_joints"], payload["merged_pairs"],
-            payload["supports"])
+            payload["supports"],
+            estimator_cls=cls.table_estimator_cls)
         return model
 
     def __getstate__(self):
@@ -680,28 +845,146 @@ class ShardedFactorJoin:
 # -------------------------------------------------------------- assembly --
 
 
+def shared_payload(*, config, policy, parallel, max_workers,
+                   parallel_fallback, fit_seconds, last_update_seconds,
+                   shard_fit_seconds, summaries, key_stats, key_trees,
+                   key_joints, merged_pairs, supports, db_shell) -> dict:
+    """The persisted ensemble payload, defined once.
+
+    :meth:`ShardedFactorJoin.shared_state` (fitted models) and the
+    distributed fit (statistics shipped from workers) both assemble the
+    payload here, and :meth:`ShardedFactorJoin.from_shared_state` reads
+    it back — keyword-only so a field added to the set breaks every
+    producer loudly instead of silently missing from one artifact path.
+    """
+    return {
+        "config": config,
+        "policy": policy,
+        "parallel": parallel,
+        "max_workers": max_workers,
+        "parallel_fallback": parallel_fallback,
+        "fit_seconds": fit_seconds,
+        "last_update_seconds": last_update_seconds,
+        "shard_fit_seconds": shard_fit_seconds,
+        "summaries": summaries,
+        "key_stats": key_stats,
+        "key_trees": key_trees,
+        "key_joints": key_joints,
+        "merged_pairs": merged_pairs,
+        "supports": supports,
+        "db_shell": db_shell,
+    }
+
+
 def _build_state(config: FactorJoinConfig, database: Database,
                  policy: ShardingPolicy, shard_set: ShardSet,
-                 summaries: tuple[ShardSummary, ...]) -> _EnsembleState:
+                 summaries: tuple[ShardSummary, ...],
+                 estimator_cls: type | None = None) -> _EnsembleState:
     """Merge freshly fitted shard models into one ensemble state."""
-    models = shard_set.models()
-    schema = database.schema
-    group_names = list(models[0].key_statistics())
+    stats_list = [shard_stats_of(model, database.schema)
+                  for model in shard_set.models()]
+    key_stats, merged_pairs, key_trees, key_joints, supports = (
+        merged_components(database.schema, stats_list))
+    return _assemble_state(config, database, policy, shard_set, summaries,
+                           key_stats, key_trees, key_joints, merged_pairs,
+                           supports, estimator_cls=estimator_cls)
+
+
+def merged_components(schema: DatabaseSchema, stats_list: list[ShardStats]):
+    """Merge per-shard :class:`ShardStats` into the ensemble's shared
+    components; returns ``(key_stats, merged_pairs, key_trees,
+    key_joints, supports)``.
+
+    This is the single definition of the lossless merge: the in-process
+    fit, the distributed fit (whose driver never holds shard models, only
+    their shipped statistics), and artifact assembly all go through it.
+    """
+    group_names = list(stats_list[0].key_stats)
     key_stats = {
-        name: KeyStatistics.merged([m.key_statistics()[name]
-                                    for m in models])
+        name: KeyStatistics.merged([s.key_stats[name] for s in stats_list])
         for name in group_names
     }
     merged_pairs: dict[tuple[str, str, str], np.ndarray] = {}
-    for model in models:
-        for table_name in schema.table_names:
-            for (col_a, col_b), joint in model.pairwise_joints_of(
-                    table_name).items():
-                key = (table_name, col_a, col_b)
-                if key in merged_pairs:
-                    merged_pairs[key] = merged_pairs[key] + joint
-                else:
-                    merged_pairs[key] = joint.copy()
+    for stats in stats_list:
+        for key, joint in stats.pairs.items():
+            if key in merged_pairs:
+                merged_pairs[key] = merged_pairs[key] + joint
+            else:
+                merged_pairs[key] = joint.copy()
+    key_trees, key_joints = trees_from_pairs(schema, merged_pairs)
+    supports = {
+        table_name: (
+            all(s.supports.get(table_name, (True, True))[0]
+                for s in stats_list),
+            all(s.supports.get(table_name, (True, True))[1]
+                for s in stats_list),
+        )
+        for table_name in schema.table_names
+    }
+    return key_stats, merged_pairs, key_trees, key_joints, supports
+
+
+def replaced_shard_state(config: FactorJoinConfig, policy: ShardingPolicy,
+                         state: _EnsembleState, index: int, slot,
+                         old_stats: ShardStats, new_stats: ShardStats,
+                         summary: ShardSummary,
+                         estimator_cls: type | None = None
+                         ) -> _EnsembleState:
+    """The ensemble state after shard ``index`` is replaced by ``slot``.
+
+    Merged statistics absorb an exact ``- old + new`` delta; no other
+    shard is touched (their slots — and, for lazily loaded ensembles,
+    their deserialized models — carry over).  Shared by the in-process
+    :meth:`ShardedFactorJoin.hot_swap_shard` and the cluster model, whose
+    ``slot`` is a worker-backed proxy and whose stats arrive over RPC.
+    """
+    merged = state.merged
+    schema = merged.database.schema
+    key_stats = {
+        name: KeyStatistics.replaced(merged.key_statistics()[name],
+                                     old_stats.key_stats[name],
+                                     new_stats.key_stats[name])
+        for name in merged.key_statistics()
+    }
+    pairs = dict(state.merged_pairs)
+    for key in sorted(set(old_stats.pairs) | set(new_stats.pairs)):
+        old = old_stats.pairs.get(key)
+        new = new_stats.pairs.get(key)
+        base = pairs.get(key)
+        if base is None:
+            base = np.zeros_like(old if old is not None else new)
+        out = base.copy()
+        if old is not None:
+            out -= old
+        if new is not None:
+            out += new
+        np.maximum(out, 0.0, out=out)
+        pairs[key] = out
+    key_trees, key_joints = trees_from_pairs(schema, pairs)
+    # support flags cannot be un-ANDed without every shard's answer, so
+    # the swap narrows conservatively: an ability the ensemble already
+    # lost stays lost even if the outgoing shard caused it
+    supports = {
+        table_name: (
+            state.supports.get(table_name, (True, True))[0]
+            and new_stats.supports.get(table_name, (True, True))[0],
+            state.supports.get(table_name, (True, True))[1]
+            and new_stats.supports.get(table_name, (True, True))[1],
+        )
+        for table_name in schema.table_names
+    }
+    summaries = list(state.summaries)
+    summaries[index] = summary
+    return _assemble_state(config, merged.database, policy,
+                           state.shard_set.replace({index: slot}),
+                           tuple(summaries), key_stats, key_trees,
+                           key_joints, pairs, supports,
+                           estimator_cls=estimator_cls)
+
+
+def trees_from_pairs(schema: DatabaseSchema,
+                     merged_pairs: dict[tuple[str, str, str], np.ndarray]):
+    """Chow-Liu key trees and edge joints from merged pairwise joints."""
     key_trees: dict[str, list[tuple[str, str]]] = {}
     key_joints: dict[tuple[str, str, str], np.ndarray] = {}
     for table_name in schema.table_names:
@@ -722,18 +1005,7 @@ def _build_state(config: FactorJoinConfig, database: Database,
             key_joints[(table_name, parent, child)] = pair[:-1, :-1].copy()
             tree.append((parent, child))
         key_trees[table_name] = tree
-    supports = {
-        table_name: (
-            all(m.table_estimator(table_name).supports_update()
-                for m in models),
-            all(m.table_estimator(table_name).supports_delete()
-                for m in models),
-        )
-        for table_name in schema.table_names
-    }
-    return _assemble_state(config, database, policy, shard_set, summaries,
-                           key_stats, key_trees, key_joints, merged_pairs,
-                           supports)
+    return key_trees, key_joints
 
 
 def _assemble_state(config: FactorJoinConfig, database: Database,
@@ -743,13 +1015,15 @@ def _assemble_state(config: FactorJoinConfig, database: Database,
                     key_trees: dict[str, list[tuple[str, str]]],
                     key_joints: dict[tuple[str, str, str], np.ndarray],
                     merged_pairs: dict[tuple[str, str, str], np.ndarray],
-                    supports: dict[str, tuple[bool, bool]]
+                    supports: dict[str, tuple[bool, bool]],
+                    estimator_cls: type | None = None
                     ) -> _EnsembleState:
     """Wrap merged components into a fresh immutable ensemble state."""
     merged = FactorJoin.from_components(
         config, database, key_stats,
         _ensemble_estimators(database.schema, shard_set, summaries, policy,
-                             key_stats, supports),
+                             key_stats, supports,
+                             estimator_cls=estimator_cls),
         key_trees, key_joints)
     return _EnsembleState(shard_set=shard_set, summaries=tuple(summaries),
                           merged=merged, merged_pairs=merged_pairs,
@@ -760,8 +1034,11 @@ def _ensemble_estimators(schema: DatabaseSchema, shard_set: ShardSet,
                          summaries: tuple[ShardSummary, ...],
                          policy: ShardingPolicy,
                          key_stats: dict[str, KeyStatistics],
-                         supports: dict[str, tuple[bool, bool]]
+                         supports: dict[str, tuple[bool, bool]],
+                         estimator_cls: type | None = None
                          ) -> dict[str, EnsembleTableEstimator]:
+    if estimator_cls is None:
+        estimator_cls = EnsembleTableEstimator
     group_of_key = {}
     for name, stats in key_stats.items():
         for table_name, column in stats.keys:
@@ -774,7 +1051,7 @@ def _ensemble_estimators(schema: DatabaseSchema, shard_set: ShardSet,
             for column in tschema.key_columns
             if (table_name, column) in group_of_key
         }
-        estimators[table_name] = EnsembleTableEstimator(
+        estimators[table_name] = estimator_cls(
             table_name, shard_set,
             [summary.table(table_name) for summary in summaries],
             policy, tschema, binnings,

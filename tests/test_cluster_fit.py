@@ -1,0 +1,157 @@
+"""Distributed fit: worker-saved sub-artifacts, driver-side assembly,
+bit-identity with the in-process fit, and the CLI surface."""
+
+import json
+
+import pytest
+
+from repro.cluster import ClusterModel, fit_distributed
+from repro.core.estimator import FactorJoinConfig
+from repro.shard import ShardedFactorJoin, load_ensemble, load_shard_summary
+from repro.sql import parse_query
+
+QUERIES = [
+    "SELECT COUNT(*) FROM A a, B b WHERE a.id = b.aid",
+    ("SELECT COUNT(*) FROM A a, B b, C c "
+     "WHERE a.id = b.aid AND b.cid = c.id AND a.x > 1"),
+]
+
+
+def _config():
+    return FactorJoinConfig(n_bins=4, table_estimator="truescan", seed=0)
+
+
+class TestFitDistributed:
+    @pytest.fixture(scope="class")
+    def fitted(self, tmp_path_factory):
+        from tests.conftest import build_toy_db
+
+        db = build_toy_db(seed=3)
+        path = tmp_path_factory.mktemp("dist") / "ensemble"
+        summary = fit_distributed(_config(), db, path, n_shards=3,
+                                  workers=2)
+        return db, path, summary
+
+    def test_summary_reports_the_fit(self, fitted):
+        _, path, summary = fitted
+        assert summary["n_shards"] == 3
+        assert summary["workers"] == 2
+        assert len(summary["shard_fit_seconds"]) == 3
+        assert summary["local_refits"] == 0
+        assert summary["path"] == str(path)
+
+    def test_artifact_matches_in_process_fit_bit_for_bit(self, fitted):
+        db, path, _ = fitted
+        loaded = load_ensemble(path)
+        reference = ShardedFactorJoin(_config(), n_shards=3,
+                                      parallel="serial").fit(db)
+        for sql in QUERIES:
+            query = parse_query(sql)
+            assert loaded.estimate(query) == reference.estimate(query)
+            assert loaded.estimate_subplans(query) == \
+                reference.estimate_subplans(query)
+
+    def test_shards_carry_summaries_and_verify(self, fitted):
+        _, path, _ = fitted
+        manifest = json.loads((path / "manifest.json").read_text())
+        assert len(manifest["shards"]) == 3
+        for entry in manifest["shards"]:
+            assert load_shard_summary(path / entry["dir"]) is not None
+
+    def test_cluster_serves_the_distributed_artifact(self, fitted):
+        db, path, _ = fitted
+        reference = ShardedFactorJoin(_config(), n_shards=3,
+                                      parallel="serial").fit(db)
+        with ClusterModel.from_artifact(path, workers=2) as cluster:
+            for sql in QUERIES:
+                assert cluster.estimate(parse_query(sql)) == \
+                    reference.estimate(parse_query(sql))
+
+    def test_compressed_distributed_fit_is_smaller(self, tmp_path):
+        from tests.conftest import build_toy_db
+
+        db = build_toy_db(seed=3)
+        plain = tmp_path / "plain"
+        packed = tmp_path / "packed"
+        fit_distributed(_config(), db, plain, n_shards=2, workers=2)
+        fit_distributed(_config(), db, packed, n_shards=2, workers=2,
+                        compress=True)
+
+        def shard_bytes(root):
+            return sum(p.stat().st_size
+                       for p in root.glob("shards/*/model.pkl"))
+
+        assert shard_bytes(packed) < shard_bytes(plain)
+        for sql in QUERIES:
+            assert load_ensemble(packed).estimate(parse_query(sql)) == \
+                load_ensemble(plain).estimate(parse_query(sql))
+
+
+class TestCLI:
+    def test_fit_distributed_cli_roundtrip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        save = tmp_path / "cli-ensemble"
+        assert main(["fit", "--benchmark", "stats", "--scale", "0.05",
+                     "--queries", "2", "--bins", "4",
+                     "--estimator", "truescan", "--shards", "2",
+                     "--distributed", "--workers", "2",
+                     "--save", str(save)]) == 0
+        out = capsys.readouterr().out
+        assert "2-shard hash ensemble across 2 worker processes" in out
+        loaded = load_ensemble(save)
+        assert loaded.n_shards == 2
+        assert loaded.estimate(
+            parse_query("SELECT COUNT(*) FROM users u")) > 0
+
+    def test_fit_distributed_requires_shards(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="--shards"):
+            main(["fit", "--distributed", "--save", str(tmp_path / "x")])
+
+    def test_fit_compress_flag(self, tmp_path):
+        from repro.cli import main
+        from repro.serve import read_manifest
+
+        save = tmp_path / "compressed"
+        assert main(["fit", "--benchmark", "stats", "--scale", "0.05",
+                     "--queries", "2", "--bins", "4",
+                     "--estimator", "truescan", "--compress",
+                     "--save", str(save)]) == 0
+        assert read_manifest(save)["encoding"] == "gzip"
+
+class TestServeWorkersCLI:
+    def test_build_service_wraps_ensembles_in_cluster_models(
+            self, tmp_path, capsys):
+        from tests.conftest import build_toy_db
+
+        from repro.cli import build_parser, build_service
+
+        db = build_toy_db(seed=3)
+        path = tmp_path / "ens"
+        ShardedFactorJoin(_config(), n_shards=2,
+                          parallel="serial").fit(db).save(path)
+        args = build_parser().parse_args(
+            ["serve", "--load", f"toy={path}", "--workers", "2"])
+        service = build_service(args)
+        try:
+            model = service.registry.get("toy")
+            assert isinstance(model, ClusterModel)
+            assert "2 shard worker processes" in capsys.readouterr().out
+            assert service.estimate(QUERIES[0], model="toy").estimate > 0
+        finally:
+            service.registry.get("toy").close()
+
+    def test_workers_on_single_model_artifact_serves_in_process(
+            self, tmp_path, toy_db, capsys):
+        from repro.cli import build_parser, build_service
+        from repro.core.estimator import FactorJoin
+
+        path = tmp_path / "single"
+        FactorJoin(_config()).fit(toy_db).save(path)
+        args = build_parser().parse_args(
+            ["serve", "--load", f"one={path}", "--workers", "2"])
+        service = build_service(args)
+        assert not isinstance(service.registry.get("one"), ClusterModel)
+        assert "serving\n" not in capsys.readouterr().out

@@ -1,0 +1,472 @@
+"""ClusterModel: bit-identity, routed updates, hot-swap, crash retries,
+and serving integration (HTTP update routing, per-shard cache eviction)."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import CardinalityModel
+from repro.cluster import ClusterModel
+from repro.core.estimator import FactorJoin, FactorJoinConfig
+from repro.data import Column, Table
+from repro.shard import (
+    ShardedFactorJoin,
+    fit_shard,
+    partition_database,
+    save_shard_artifact,
+)
+from repro.sql import parse_query
+
+N_SHARDS = 3
+N_WORKERS = 2
+
+QUERIES = [
+    "SELECT COUNT(*) FROM A a, B b WHERE a.id = b.aid",
+    "SELECT COUNT(*) FROM A a, B b WHERE a.id = b.aid AND a.x > 1",
+    ("SELECT COUNT(*) FROM A a, B b, C c "
+     "WHERE a.id = b.aid AND b.cid = c.id AND c.z = 1"),
+    "SELECT COUNT(*) FROM B b WHERE b.y >= 2",
+    "SELECT COUNT(*) FROM A a WHERE a.id = 4",
+]
+
+
+def _config():
+    return FactorJoinConfig(n_bins=4, table_estimator="truescan", seed=0)
+
+
+def _fit_sharded(db):
+    return ShardedFactorJoin(_config(), n_shards=N_SHARDS,
+                             parallel="serial").fit(db)
+
+
+@pytest.fixture(scope="module")
+def artifact(tmp_path_factory):
+    from tests.conftest import build_toy_db
+
+    db = build_toy_db(seed=3)
+    path = tmp_path_factory.mktemp("cluster") / "ensemble"
+    _fit_sharded(db).save(path)
+    return str(path), db
+
+
+@pytest.fixture(scope="module")
+def served_cluster(artifact):
+    """A read-only cluster over the shared artifact (mutation tests open
+    their own)."""
+    path, db = artifact
+    with ClusterModel.from_artifact(path, workers=N_WORKERS) as cluster:
+        yield cluster, _fit_sharded(db), db
+
+
+@pytest.fixture
+def fresh_cluster(artifact):
+    path, db = artifact
+    with ClusterModel.from_artifact(path, workers=N_WORKERS) as cluster:
+        yield cluster, _fit_sharded(db), db
+
+
+def _insert_batch(n=4, start=700):
+    ids = np.arange(start, start + n)
+    return Table("C", [Column("id", ids),
+                       Column("z", np.ones(n, dtype=ids.dtype))])
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_estimates_match_in_process_ensemble(self, served_cluster,
+                                                 sql):
+        cluster, sharded, _ = served_cluster
+        query = parse_query(sql)
+        assert cluster.estimate(query) == sharded.estimate(query)
+
+    def test_subplan_maps_match(self, served_cluster):
+        cluster, sharded, _ = served_cluster
+        query = parse_query(QUERIES[2])
+        assert cluster.estimate_subplans(query) == \
+            sharded.estimate_subplans(query)
+
+    def test_sessions_match_probe_by_probe(self, served_cluster):
+        cluster, sharded, _ = served_cluster
+        query = parse_query(QUERIES[2])
+        with cluster.open_session(query) as remote, \
+                sharded.open_session(query) as local:
+            for subset in local.estimate_all():
+                assert remote.estimate_join(subset) == \
+                    local.estimate_join(subset)
+
+    def test_shard_pruning_matches(self, served_cluster):
+        cluster, sharded, _ = served_cluster
+        query = parse_query(QUERIES[4])
+        assert cluster.candidate_shards(query, "a") == \
+            sharded.candidate_shards(query, "a")
+        assert len(cluster.candidate_shards(query, "a")) == 1
+
+    def test_protocol_conformance(self, served_cluster):
+        cluster, _, _ = served_cluster
+        assert isinstance(cluster, CardinalityModel)
+        caps = cluster.capabilities()
+        assert caps.name == "factorjoin-cluster"
+        assert caps.supports_update and caps.supports_delete
+
+
+class TestStatsWorkload:
+    def test_bit_identity_across_the_stats_workload(self, tmp_path):
+        """The acceptance gate: the full STATS workload answers
+        identically through worker processes."""
+        from repro.eval.harness import make_context
+
+        ctx = make_context("stats", scale=0.1, seed=0, max_tables=4)
+        sharded = ShardedFactorJoin(
+            FactorJoinConfig(n_bins=8, table_estimator="truescan", seed=0),
+            n_shards=4, parallel="serial").fit(ctx.database)
+        path = tmp_path / "stats-ensemble"
+        sharded.save(path)
+        with ClusterModel.from_artifact(path, workers=4) as cluster:
+            for query in ctx.workload:
+                assert cluster.estimate(query) == sharded.estimate(query)
+
+
+class TestRoutedUpdates:
+    def test_insert_routes_to_owning_worker(self, fresh_cluster):
+        cluster, sharded, _ = fresh_cluster
+        # hash policy on C.id with 3 shards: ids 700..703 land on shards
+        # 1, 2, 0, 1 -> both workers of a 2-worker pool see updates
+        batch = _insert_batch()
+        before = {row["worker"]: row["updates"]
+                  for row in cluster.workers_health()}
+        cluster.update("C", batch)
+        sharded.update("C", batch)
+        after = {row["worker"]: row["updates"]
+                 for row in cluster.workers_health()}
+        assert sum(after.values()) - sum(before.values()) == 3  # 3 shards
+        for sql in QUERIES:
+            assert cluster.estimate(parse_query(sql)) == \
+                sharded.estimate(parse_query(sql))
+
+    def test_single_shard_update_touches_one_worker(self, fresh_cluster):
+        cluster, _, _ = fresh_cluster
+        ids = np.array([900])  # 900 % 3 == 0 -> shard 0 -> worker 0
+        batch = Table("C", [Column("id", ids),
+                            Column("z", np.ones(1, dtype=ids.dtype))])
+        before = {row["worker"]: row["updates"]
+                  for row in cluster.workers_health()}
+        cluster.update("C", batch)
+        after = {row["worker"]: row["updates"]
+                 for row in cluster.workers_health()}
+        assert after[0] - before[0] == 1
+        assert after[1] - before[1] == 0
+
+    def test_delete_round_trips(self, fresh_cluster):
+        cluster, sharded, _ = fresh_cluster
+        probe = parse_query(QUERIES[2])
+        before = cluster.estimate(probe)
+        batch = _insert_batch()
+        cluster.update("C", batch)
+        cluster.update("C", deleted_rows=batch)
+        assert cluster.estimate(probe) == pytest.approx(before, rel=1e-9)
+
+    def test_update_validation_failure_mutates_nothing(self, fresh_cluster):
+        from repro.errors import ReproError
+
+        cluster, _, _ = fresh_cluster
+        probe = parse_query(QUERIES[0])
+        before = cluster.estimate(probe)
+        bad = Table("C", [Column("id", np.arange(3))])  # missing column z
+        with pytest.raises(ReproError):
+            cluster.update("C", bad)
+        assert cluster.estimate(probe) == before
+
+
+class TestCrashRecovery:
+    def test_estimates_survive_a_worker_killed_mid_batch(self,
+                                                         fresh_cluster):
+        cluster, sharded, _ = fresh_cluster
+        queries = [parse_query(sql) for sql in QUERIES]
+        assert cluster.estimate(queries[0]) == sharded.estimate(queries[0])
+        victim = cluster.pool.workers[1]
+        old_pid = victim.transport.pid
+        victim.transport.process.kill()
+        time.sleep(0.2)
+        # the batch keeps answering, bit-identically, through the
+        # in-driver retry while the worker restarts
+        for query in queries:
+            assert cluster.estimate(query) == sharded.estimate(query)
+        health = cluster.workers_health()
+        assert health[1]["alive"] and health[1]["pid"] != old_pid
+        assert health[1]["restarts"] == 1
+        # the reseeded worker holds its shard tokens again and answers
+        assert health[1]["tokens"]
+
+    def test_journal_replay_after_crash_preserves_updates(self,
+                                                          fresh_cluster):
+        cluster, sharded, _ = fresh_cluster
+        batch = _insert_batch()
+        cluster.update("C", batch)
+        sharded.update("C", batch)
+        for victim in cluster.pool.workers:
+            victim.transport.process.kill()
+        time.sleep(0.2)
+        probe = parse_query(QUERIES[2])
+        assert cluster.estimate(probe) == sharded.estimate(probe)
+        # the restarted workers answer probes again (not just fallbacks)
+        health = cluster.workers_health()
+        assert all(row["alive"] and row["tokens"] for row in health)
+        assert cluster.estimate(probe) == sharded.estimate(probe)
+
+
+class TestSharedPool:
+    def test_two_models_share_a_pool_and_reseed_independently(self,
+                                                              artifact):
+        from repro.cluster import WorkerPool
+
+        path, db = artifact
+        reference = _fit_sharded(db)
+        queries = [parse_query(sql) for sql in QUERIES[:3]]
+        want = [reference.estimate(q) for q in queries]
+        with WorkerPool(2, timeout=60.0) as pool:
+            model_a = ClusterModel.from_artifact(path, pool=pool)
+            model_b = ClusterModel.from_artifact(path, pool=pool)
+            assert model_a.estimate(queries[0]) == want[0]
+            assert model_b.estimate(queries[0]) == want[0]
+            # a crash must reseed BOTH models' tokens, not just the
+            # last-attached one (fresh queries force real probes — a
+            # repeated query would answer from the probe memo without
+            # touching the dead worker)
+            pool.workers[0].transport.process.kill()
+            time.sleep(0.2)
+            assert model_a.estimate(queries[1]) == want[1]
+            assert model_b.estimate(queries[1]) == want[1]
+            health = pool.health()
+            assert health[0]["alive"] and health[0]["restarts"] == 1
+            assert health[0]["tokens"]  # both models' tokens reseeded
+            # closing one model detaches only its reseed hook; the pool
+            # and the other model keep serving
+            model_a.close()
+            pool.workers[1].transport.process.kill()
+            time.sleep(0.2)
+            assert model_b.estimate(queries[2]) == want[2]
+
+
+def _refit_shard(db, index, rows_factor=1.0):
+    """Refit shard ``index`` of the toy ensemble's partitioning; with
+    ``rows_factor < 1`` the refreshed shard holds fewer rows (merged
+    statistics change)."""
+    from dataclasses import replace
+
+    policy = ShardedFactorJoin(_config(), n_shards=N_SHARDS,
+                               parallel="serial").policy
+    shard_db = partition_database(db, policy)[index]
+    if rows_factor < 1.0:
+        tables = []
+        for name in shard_db.table_names:
+            table = shard_db.table(name)
+            keep = max(1, int(len(table) * rows_factor))
+            tables.append(table.head(keep))
+        from repro.data import Database
+
+        shard_db = Database(shard_db.schema, tables)
+    binnings = FactorJoin(replace(_config())).build_binnings(db)
+    return fit_shard(replace(_config(), keep_pairwise_joints=True),
+                     shard_db, binnings)
+
+
+class TestHotSwap:
+    def test_same_data_swap_changes_nothing(self, fresh_cluster, tmp_path):
+        cluster, sharded, db = fresh_cluster
+        refit = _refit_shard(db, 1)
+        shard_path = tmp_path / "refresh1"
+        save_shard_artifact(refit.model, shard_path, summary=refit.summary)
+        before = {sql: cluster.estimate(parse_query(sql))
+                  for sql in QUERIES}
+        info = cluster.hot_swap_shard(1, shard_path)
+        assert info["stats_changed"] is False
+        for sql, value in before.items():
+            assert cluster.estimate(parse_query(sql)) == value
+
+    def test_changed_data_swap_matches_in_process_swap(self, fresh_cluster,
+                                                       tmp_path):
+        cluster, sharded, db = fresh_cluster
+        refit = _refit_shard(db, 1, rows_factor=0.5)
+        shard_path = tmp_path / "refresh1-smaller"
+        save_shard_artifact(refit.model, shard_path, summary=refit.summary)
+        cluster_info = cluster.hot_swap_shard(1, shard_path)
+        sharded_info = sharded.hot_swap_shard(1, refit.model,
+                                              summary=refit.summary)
+        assert cluster_info["stats_changed"] is True
+        assert sharded_info["stats_changed"] is True
+        for sql in QUERIES:
+            assert cluster.estimate(parse_query(sql)) == \
+                sharded.estimate(parse_query(sql))
+
+    def test_failed_swap_releases_its_provisional_token(self,
+                                                        fresh_cluster,
+                                                        tmp_path):
+        from repro.errors import ArtifactError
+
+        cluster, sharded, _ = fresh_cluster
+        bad = tmp_path / "bad-shard"
+        bad.mkdir()
+        (bad / "manifest.json").write_text("{}")
+        before = len(cluster._ledgers.snapshot())
+        with pytest.raises(ArtifactError):
+            cluster.hot_swap_shard(1, bad)
+        assert len(cluster._ledgers.snapshot()) == before
+        query = parse_query(QUERIES[0])
+        assert cluster.estimate(query) == sharded.estimate(query)
+
+    def test_swap_requires_an_artifact_path(self, fresh_cluster):
+        from repro.errors import UnsupportedOperationError
+
+        cluster, _, db = fresh_cluster
+        with pytest.raises(UnsupportedOperationError, match="artifact"):
+            cluster.hot_swap_shard(0, _refit_shard(db, 0).model)
+
+    def test_racing_estimates_never_mix_states(self, fresh_cluster,
+                                               tmp_path):
+        """Estimates concurrent with update + hot-swap always equal one
+        of the published states' answers — never a blend."""
+        cluster, sharded, db = fresh_cluster
+        probe = parse_query(QUERIES[2])
+        batch = _insert_batch()
+        v0 = sharded.estimate(probe)
+        sharded.update("C", batch)
+        v1 = sharded.estimate(probe)
+        refit = _refit_shard(db, 1, rows_factor=0.5)
+        shard_path = tmp_path / "refresh-race"
+        save_shard_artifact(refit.model, shard_path, summary=refit.summary)
+        sharded.hot_swap_shard(1, refit.model, summary=refit.summary)
+        v2 = sharded.estimate(probe)
+        allowed = {v0, v1, v2}
+        assert len(allowed) == 3  # the race is observable
+
+        seen, errors = [], []
+
+        def hammer():
+            try:
+                for _ in range(30):
+                    seen.append(cluster.estimate(probe))
+            except Exception as exc:  # pragma: no cover - fail loudly
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        cluster.update("C", batch)
+        cluster.hot_swap_shard(1, shard_path)
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert set(seen) <= allowed
+        assert cluster.estimate(probe) == v2
+
+
+class TestServingIntegration:
+    @pytest.fixture
+    def served(self, fresh_cluster, tmp_path):
+        from repro.serve import EstimationService, serve_in_background
+
+        cluster, sharded, db = fresh_cluster
+        service = EstimationService()
+        service.register("default", cluster)
+        server, _ = serve_in_background(service, port=0,
+                                        swap_dir=str(tmp_path))
+        yield server, service, cluster, sharded, db, tmp_path
+        server.shutdown()
+        server.server_close()
+
+    def _post(self, server, path, payload):
+        import json
+        import urllib.request
+
+        host, port = server.server_address[:2]
+        req = urllib.request.Request(
+            f"http://{host}:{port}{path}",
+            data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"})
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return json.loads(resp.read())
+
+    def test_v1_estimate_serves_the_cluster(self, served):
+        server, _, cluster, sharded, _, _ = served
+        body = self._post(server, "/v1/estimate", {"sql": QUERIES[2]})
+        assert body["estimate"] == sharded.estimate(parse_query(QUERIES[2]))
+
+    def test_v1_update_routes_to_the_owning_worker(self, served):
+        server, _, cluster, sharded, _, _ = served
+        before = {row["worker"]: row["updates"]
+                  for row in cluster.workers_health()}
+        body = self._post(server, "/v1/update", {
+            "table": "C", "rows": {"id": [900], "z": [1]}})  # shard 0
+        assert body["rows"] == 1
+        after = {row["worker"]: row["updates"]
+                 for row in cluster.workers_health()}
+        assert after[0] - before[0] == 1 and after[1] == before[1]
+        sharded.update("C", Table("C", [
+            Column("id", np.array([900])),
+            Column("z", np.ones(1, dtype=np.int64))]))
+        body = self._post(server, "/v1/estimate", {"sql": QUERIES[2]})
+        assert body["estimate"] == sharded.estimate(parse_query(QUERIES[2]))
+
+    def test_v1_swap_endpoint_swaps_and_is_confined(self, served):
+        import urllib.error
+
+        server, service, cluster, _, db, swap_dir = served
+        refit = _refit_shard(db, 1)
+        save_shard_artifact(refit.model, swap_dir / "refresh1",
+                            summary=refit.summary)
+        body = self._post(server, "/v1/swap",
+                          {"shard": 1, "artifact": "refresh1"})
+        assert body["stats_changed"] is False
+        assert body["shard"] == 1
+        with pytest.raises(urllib.error.HTTPError) as info:
+            self._post(server, "/v1/swap",
+                       {"shard": 1, "artifact": "../outside"})
+        assert info.value.code == 400
+
+    def test_hot_swap_evicts_only_touched_entries(self, served):
+        """The per-shard invalidation satellite: after a same-statistics
+        swap of shard 1, a query pruned to shard 0 keeps its cache entry
+        while a query that probed shard 1 is evicted."""
+        server, service, cluster, _, db, swap_dir = served
+        touched = "SELECT COUNT(*) FROM A a WHERE a.id = 4"   # 4 % 3 -> 1
+        untouched = "SELECT COUNT(*) FROM A a WHERE a.id = 3"  # 3 % 3 -> 0
+        assert cluster.candidate_shards(parse_query(touched), "a") == [1]
+        assert cluster.candidate_shards(parse_query(untouched), "a") == [0]
+        service.estimate(touched)
+        service.estimate(untouched)
+        refit = _refit_shard(db, 1)
+        save_shard_artifact(refit.model, swap_dir / "refresh-cache",
+                            summary=refit.summary)
+        summary = service.hot_swap_shard(
+            1, str(swap_dir / "refresh-cache"))
+        assert summary["full_invalidation"] is False
+        assert summary["evicted"]["entries"] >= 1
+        assert summary["evicted"]["kept_entries"] >= 1
+        assert service.estimate(untouched).cached
+        assert not service.estimate(touched).cached
+
+    def test_failed_swap_keeps_the_cache_warm(self, served):
+        """A swap that fails validation publishes nothing, so it must
+        not cost the warmed cache either."""
+        from repro.errors import ReproError
+
+        server, service, cluster, _, db, swap_dir = served
+        query = "SELECT COUNT(*) FROM A a WHERE a.id = 3"
+        service.estimate(query)
+        with pytest.raises(ReproError):
+            service.hot_swap_shard(99, str(swap_dir / "does-not-exist"))
+        assert service.estimate(query).cached
+
+    def test_changed_stats_swap_clears_the_whole_cache(self, served):
+        server, service, cluster, _, db, swap_dir = served
+        untouched = "SELECT COUNT(*) FROM A a WHERE a.id = 3"
+        service.estimate(untouched)
+        refit = _refit_shard(db, 1, rows_factor=0.5)
+        save_shard_artifact(refit.model, swap_dir / "refresh-changed",
+                            summary=refit.summary)
+        summary = service.hot_swap_shard(
+            1, str(swap_dir / "refresh-changed"))
+        assert summary["full_invalidation"] is True
+        assert not service.estimate(untouched).cached

@@ -1,0 +1,130 @@
+"""Worker pool lifecycle: RPC, health pings, crash detection, restart."""
+
+import os
+import time
+
+import pytest
+
+from repro.cluster import ShardWorker, UnknownTokenError, WorkerPool
+from repro.cluster.messages import (
+    BatchProbe,
+    LoadShard,
+    Ping,
+    ProbeItem,
+    ReleaseTokens,
+    WorkerInfo,
+)
+from repro.core.estimator import FactorJoin, FactorJoinConfig
+from repro.errors import ReproError, WorkerError
+from repro.sql.predicates import TruePredicate
+
+
+@pytest.fixture
+def pool():
+    with WorkerPool(2, timeout=60.0) as pool:
+        yield pool
+
+
+@pytest.fixture
+def shard_artifact(tmp_path, toy_db):
+    path = tmp_path / "shard"
+    FactorJoin(FactorJoinConfig(n_bins=4, table_estimator="truescan",
+                                seed=0)).fit(toy_db).save(path)
+    return str(path)
+
+
+class TestRPC:
+    def test_ping_reports_worker_info(self, pool):
+        info = pool.ping(0)
+        assert isinstance(info, WorkerInfo)
+        assert info.pid != os.getpid()  # a real separate process
+        assert info.tokens == ()
+
+    def test_lazy_load_and_probe(self, pool, shard_artifact, toy_db):
+        pool.call(0, LoadShard("tok", shard_artifact, 0))
+        # registered but not deserialized yet
+        info = pool.ping(0)
+        assert info.tokens == ("tok",) and info.materialized == ()
+        result = pool.call(0, BatchProbe((
+            ProbeItem("tok", "A", TruePredicate(), ("id",), True),)))[0]
+        assert result.total == len(toy_db.table("A"))
+        assert result.dists["id"].sum() > 0
+        assert pool.ping(0).materialized == ("tok",)
+
+    def test_application_errors_propagate_typed(self, pool):
+        with pytest.raises(UnknownTokenError):
+            pool.call(0, BatchProbe((
+                ProbeItem("nope", "A", TruePredicate(), (), True),)))
+        with pytest.raises(ReproError, match="cannot handle"):
+            pool.call(0, object())
+        # the worker survives bad requests
+        assert pool.ping(0).pid
+
+    def test_release_tokens(self, pool, shard_artifact):
+        pool.call(1, LoadShard("a", shard_artifact, 1))
+        pool.call(1, LoadShard("b", shard_artifact, 1))
+        assert pool.call(1, ReleaseTokens(("a", "missing"))) == 1
+        assert pool.ping(1).tokens == ("b",)
+
+    def test_scheduled_releases_ride_the_next_call(self, pool,
+                                                   shard_artifact):
+        pool.call(0, LoadShard("gone", shard_artifact, 0))
+        pool.schedule_release(0, "gone")
+        assert pool.ping(0).tokens == ()
+
+
+class TestCrashRecovery:
+    def test_dead_worker_raises_worker_error(self, pool):
+        pool.workers[0].transport.process.kill()
+        time.sleep(0.2)
+        with pytest.raises(WorkerError):
+            pool.ping(0)
+
+    def test_ensure_alive_restarts_and_reseeds(self, pool, shard_artifact):
+        reseeded = []
+        pool.add_restart_hook(lambda wid: (
+            reseeded.append(wid),
+            pool.call(wid, LoadShard("tok", shard_artifact, 0))))
+        old_pid = pool.ping(0).pid
+        pool.workers[0].transport.process.kill()
+        with pytest.raises(WorkerError):
+            pool.ping(0)
+        assert pool.ensure_alive(0)
+        assert reseeded == [0]
+        info = pool.ping(0)
+        assert info.pid != old_pid
+        assert info.tokens == ("tok",)
+        assert pool.workers[0].restarts == 1
+        # idempotent on a live worker
+        assert not pool.ensure_alive(0)
+        assert reseeded == [0]
+
+    def test_health_reports_dead_and_alive(self, pool):
+        pool.workers[1].transport.process.kill()
+        time.sleep(0.2)
+        rows = pool.health()
+        assert rows[0]["alive"] is True
+        assert rows[1]["alive"] is False and "error" in rows[1]
+
+
+class TestInlineFallback:
+    def test_inline_pool_behaves_identically(self, shard_artifact, toy_db):
+        with WorkerPool(2, inline=True) as pool:
+            assert pool.fallback
+            pool.call(0, LoadShard("tok", shard_artifact, 0))
+            result = pool.call(0, BatchProbe((
+                ProbeItem("tok", "B", TruePredicate(), (), True),)))[0]
+            assert result.total == len(toy_db.table("B"))
+            assert pool.ping(0).pid == os.getpid()
+
+
+class TestShardWorkerDirect:
+    def test_handler_table_covers_every_message(self):
+        worker = ShardWorker()
+        assert isinstance(worker.handle(Ping()), WorkerInfo)
+
+    def test_shutdown_pool_rejects_calls(self, shard_artifact):
+        pool = WorkerPool(1)
+        pool.shutdown()
+        with pytest.raises(WorkerError, match="shut down"):
+            pool.call(0, Ping())

@@ -33,6 +33,90 @@ class TestSaveLoad:
         loaded = load_model(tmp_path / "m.fj")
         assert loaded.estimate(QUERY) == want
 
+
+class TestCompression:
+    """Artifact v2: gzip-compressed pickles, transparent on load."""
+
+    def test_compressed_round_trip_identical_estimate(self, fitted,
+                                                      tmp_path):
+        want = fitted.estimate(QUERY)
+        save_model(fitted, tmp_path / "m.gz", compress=True)
+        assert load_model(tmp_path / "m.gz").estimate(QUERY) == want
+
+    def test_compressed_artifact_is_smaller_on_disk(self, fitted,
+                                                    tmp_path):
+        save_model(fitted, tmp_path / "plain")
+        save_model(fitted, tmp_path / "packed", compress=True)
+        plain = (tmp_path / "plain" / MODEL_NAME).stat().st_size
+        packed = (tmp_path / "packed" / MODEL_NAME).stat().st_size
+        assert packed < plain
+
+    def test_manifest_records_encoding_and_on_disk_hash(self, fitted,
+                                                        tmp_path):
+        save_model(fitted, tmp_path / "m.gz", compress=True)
+        manifest = read_manifest(tmp_path / "m.gz")
+        assert manifest["encoding"] == "gzip"
+        assert manifest["format_version"] == FORMAT_VERSION
+        # sha / size describe the bytes on disk (integrity checks never
+        # decompress)
+        blob = (tmp_path / "m.gz" / MODEL_NAME).read_bytes()
+        assert manifest["model_bytes"] == len(blob)
+        import hashlib
+
+        assert manifest["sha256"] == hashlib.sha256(blob).hexdigest()
+
+    def test_corrupt_compressed_payload_refused(self, fitted, tmp_path):
+        save_model(fitted, tmp_path / "m.gz", compress=True)
+        manifest_path = tmp_path / "m.gz" / MANIFEST_NAME
+        model_path = tmp_path / "m.gz" / MODEL_NAME
+        # valid checksum over bytes that are not gzip
+        import hashlib
+
+        model_path.write_bytes(b"not gzip at all")
+        manifest = json.loads(manifest_path.read_text())
+        manifest["sha256"] = hashlib.sha256(b"not gzip at all").hexdigest()
+        manifest["model_bytes"] = len(b"not gzip at all")
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactError, match="decompress"):
+            load_model(tmp_path / "m.gz")
+
+    def test_unknown_encoding_refused(self, fitted, tmp_path):
+        save_model(fitted, tmp_path / "m.gz", compress=True)
+        manifest_path = tmp_path / "m.gz" / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        manifest["encoding"] = "zstd"
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactError, match="unknown encoding"):
+            load_model(tmp_path / "m.gz")
+
+    def test_version_1_artifacts_still_load(self, fitted, tmp_path):
+        save_model(fitted, tmp_path / "m.v1")
+        manifest_path = tmp_path / "m.v1" / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format_version"] = 1
+        manifest_path.write_text(json.dumps(manifest))
+        assert load_model(tmp_path / "m.v1").estimate(QUERY) == \
+            fitted.estimate(QUERY)
+
+    def test_compressed_ensemble_shards(self, toy_db, tmp_path):
+        from repro.shard import ShardedFactorJoin, load_ensemble
+
+        config = FactorJoinConfig(n_bins=4, table_estimator="truescan",
+                                  seed=0)
+        model = ShardedFactorJoin(config, n_shards=2,
+                                  parallel="serial").fit(toy_db)
+        model.save(tmp_path / "plain")
+        model.save(tmp_path / "packed", compress=True)
+
+        def shard_bytes(root):
+            return sum(p.stat().st_size
+                       for p in root.glob("shards/*/" + MODEL_NAME))
+
+        assert shard_bytes(tmp_path / "packed") < shard_bytes(
+            tmp_path / "plain")
+        assert load_ensemble(tmp_path / "packed").estimate(QUERY) == \
+            model.estimate(QUERY)
+
     def test_method_hooks(self, fitted, tmp_path):
         fitted.save(tmp_path / "m.fj")
         loaded = FactorJoin.load(tmp_path / "m.fj")

@@ -215,3 +215,63 @@ class TestSnapshot:
         path.write_bytes(b"not a pickle")
         with pytest.raises(ArtifactError, match="corrupt"):
             read_snapshot(path)
+
+
+class TestShardScopedInvalidation:
+    """Per-shard hot-swap eviction: only entries whose recorded
+    touched-shards include the republished shard are dropped."""
+
+    def _warmed(self):
+        cache = EstimateCache(max_size=8)
+        cache.put(("q0",), 1.0, shards=[0])
+        cache.put(("q01",), 2.0, shards=[0, 1])
+        cache.put(("q2",), 3.0, shards=[2])
+        cache.put(("untagged",), 4.0)
+        cache.put_subplans({("s0",): 0.5}, shards=[0])
+        cache.put_subplan(("s1",), 1.5, shards=[1])
+        return cache
+
+    def test_evicts_touching_and_untagged_entries_only(self):
+        cache = self._warmed()
+        counts = cache.invalidate_shards([1])
+        assert counts == {"entries": 2, "subplans": 1,
+                          "kept_entries": 2, "kept_subplans": 1}
+        assert cache.get(("q0",)) == 1.0
+        assert cache.get(("q2",)) == 3.0
+        assert cache.get(("q01",)) is None       # touched shard 1
+        assert cache.get(("untagged",)) is None  # unknown reads -> stale
+        assert cache.get_subplan(("s0",)) == 0.5
+        assert cache.get_subplan(("s1",)) is None
+        assert cache.stats()["shard_evictions"] == 3
+
+    def test_bumps_the_stamp_so_inflight_puts_drop(self):
+        cache = self._warmed()
+        stamp = cache.invalidations
+        cache.invalidate_shards([2])
+        cache.put(("late",), 9.0, stamp=stamp, shards=[0])
+        assert cache.get(("late",)) is None
+        assert cache.invalidations == stamp + 1
+
+    def test_full_invalidate_still_clears_everything(self):
+        cache = self._warmed()
+        cache.invalidate()
+        assert len(cache) == 0
+        assert cache.get_subplan(("s0",)) is None
+
+    def test_snapshot_round_trips_shard_tags(self):
+        cache = self._warmed()
+        fresh = EstimateCache(max_size=8)
+        fresh.restore(cache.snapshot())
+        fresh.invalidate_shards([1])
+        assert fresh.get(("q0",)) == 1.0
+        assert fresh.get(("q01",)) is None
+
+    def test_restore_accepts_pre_tag_snapshots(self):
+        fresh = EstimateCache(max_size=8)
+        counts = fresh.restore({"entries": [(("old",), 7.0)],
+                                "subplans": [(("olds",), 0.25)]})
+        assert counts == {"entries": 1, "subplans": 1, "dropped": False}
+        assert fresh.get(("old",)) == 7.0
+        # legacy rows have no tag, so a shard swap evicts them
+        fresh.invalidate_shards([5])
+        assert fresh.get(("old",)) is None
