@@ -17,13 +17,19 @@ thin deprecation shims (see the migration table in ``docs/API.md``).
 """
 
 from repro.api.coerce import coerce_query
-from repro.api.explain import build_explain_trace, with_cache_level
+from repro.api.explain import (
+    build_explain_trace,
+    with_cache_level,
+    with_trace_id,
+)
 from repro.api.messages import (
     API_VERSION,
     ERROR_TAXONOMY,
     EstimateRequest,
     EstimateResponse,
     ExplainTrace,
+    FeedbackRequest,
+    FeedbackResponse,
     SubplanRequest,
     SubplanResponse,
     UpdateRequest,
@@ -31,6 +37,7 @@ from repro.api.messages import (
     error_code,
     error_payload,
     http_status_of,
+    q_error,
     render_subplan_keys,
 )
 from repro.api.protocol import (
@@ -66,12 +73,15 @@ __all__ = [
     "EstimationSession",
     "ExplainTrace",
     "FactorJoinSession",
+    "FeedbackRequest",
+    "FeedbackResponse",
     "GenericEstimationSession",
     "http_status_of",
     "model_families",
     "NativeSubplanSession",
     "PREDICATE_CLASSES",
     "ProgressiveProbeSession",
+    "q_error",
     "register_model_family",
     "render_subplan_keys",
     "SubplanRequest",
@@ -80,4 +90,5 @@ __all__ = [
     "UpdateRequest",
     "UpdateResponse",
     "with_cache_level",
+    "with_trace_id",
 ]

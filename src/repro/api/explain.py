@@ -93,3 +93,14 @@ def with_cache_level(trace: ExplainTrace,
                      cache_level: str | None) -> ExplainTrace:
     """A copy of ``trace`` restamped with the serving cache level."""
     return replace(trace, cache_level=cache_level)
+
+
+def with_trace_id(trace: ExplainTrace,
+                  trace_id: str | None) -> ExplainTrace:
+    """A copy of ``trace`` linked to the request's recorded span tree.
+
+    Stamped by the serving layer when structured tracing is on, so a
+    client holding an explain can fetch the matching trace from
+    ``GET /v1/traces`` by id.
+    """
+    return replace(trace, trace_id=trace_id)

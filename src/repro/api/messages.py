@@ -109,18 +109,22 @@ class EstimateRequest:
 
     ``query`` may be a parsed :class:`~repro.sql.query.Query` or SQL text
     (coerced by the service); ``explain`` asks for an
-    :class:`ExplainTrace` alongside the number.
+    :class:`ExplainTrace` alongside the number; ``trace`` additionally
+    asks for the request's rendered span tree
+    (``POST /v1/explain?trace=true``).
     """
 
     query: Query | str
     model: str | None = None
     explain: bool = False
+    trace: bool = False
 
     @classmethod
     def from_json(cls, payload: dict) -> "EstimateRequest":
         """Parse and validate a ``POST /v1/estimate`` body."""
         return cls(query=_query_text(payload), model=payload.get("model"),
-                   explain=bool(payload.get("explain", False)))
+                   explain=bool(payload.get("explain", False)),
+                   trace=bool(payload.get("trace", False)))
 
 
 @dataclass(frozen=True)
@@ -167,7 +171,8 @@ class ExplainTrace:
     ``shards`` reports per-alias shard pruning for ensembles (absent for
     single models); ``cache_level`` is filled in by the serving layer
     (``"query"``, ``"subplan"``, or None when the model computed the
-    answer).
+    answer); ``trace_id`` links the explain to the request's span tree
+    when structured tracing recorded one.
     """
 
     model_kind: str
@@ -179,6 +184,7 @@ class ExplainTrace:
     aliases: tuple[str, ...] = ()
     shards: dict | None = None
     cache_level: str | None = None
+    trace_id: str | None = None
 
     def to_json(self) -> dict:
         """JSON-ready trace (the ``"explain"`` response field)."""
@@ -191,6 +197,8 @@ class ExplainTrace:
             "aliases": list(self.aliases),
             "cache_level": self.cache_level,
         }
+        if self.trace_id is not None:
+            payload["trace_id"] = self.trace_id
         if self.capabilities is not None:
             payload["capabilities"] = self.capabilities
         if self.shards is not None:
@@ -223,6 +231,7 @@ class EstimateResponse:
     sql: str
     cache_level: str | None = None
     explain: ExplainTrace | None = None
+    trace: dict | None = None
 
     def describe(self) -> dict:
         """Legacy JSON view (the unversioned ``POST /estimate`` body)."""
@@ -242,6 +251,8 @@ class EstimateResponse:
         payload["api_version"] = API_VERSION
         payload["explain"] = (self.explain.to_json()
                               if self.explain is not None else None)
+        if self.trace is not None:
+            payload["trace"] = self.trace
         return payload
 
 
@@ -273,6 +284,83 @@ class SubplanResponse:
             "min_tables": self.min_tables,
             "seconds": self.seconds,
             "sql": self.sql,
+            "api_version": API_VERSION,
+        }
+
+
+def q_error(estimate: float, true_cardinality: float) -> float:
+    """The symmetric multiplicative error ``max(est/true, true/est)``.
+
+    Both sides are clamped to at least one row first (the convention
+    FactorJoin's evaluation uses), so empty results do not divide by
+    zero and a perfect estimate scores exactly 1.0.
+    """
+    est = max(float(estimate), 1.0)
+    true = max(float(true_cardinality), 1.0)
+    return max(est / true, true / est)
+
+
+@dataclass(frozen=True)
+class FeedbackRequest:
+    """Ground truth for one served query (``POST /v1/feedback``).
+
+    The executor (or a truth-computing harness) reports the observed
+    ``true_cardinality``; ``estimate`` optionally pins the estimate the
+    feedback refers to — when absent the service re-derives it, which is
+    cheap because the answer is still cached.
+    """
+
+    query: Query | str
+    true_cardinality: float
+    model: str | None = None
+    estimate: float | None = None
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "FeedbackRequest":
+        """Parse and validate a ``POST /v1/feedback`` body."""
+        true_cardinality = payload.get("true_cardinality",
+                                       payload.get("true_card"))
+        if isinstance(true_cardinality, bool) or not isinstance(
+                true_cardinality, (int, float)):
+            raise ValueError(
+                "'true_cardinality' must be a number (the observed "
+                "result cardinality)")
+        if true_cardinality < 0:
+            raise ValueError("'true_cardinality' must be >= 0")
+        estimate = payload.get("estimate")
+        if estimate is not None and (isinstance(estimate, bool)
+                                     or not isinstance(estimate,
+                                                       (int, float))):
+            raise ValueError("'estimate' must be a number when given")
+        return cls(query=_query_text(payload),
+                   true_cardinality=float(true_cardinality),
+                   model=payload.get("model"),
+                   estimate=None if estimate is None else float(estimate))
+
+
+@dataclass(frozen=True)
+class FeedbackResponse:
+    """One absorbed feedback sample: the recorded q-error and where it
+    was filed (per-model, and per-shard for sharded ensembles)."""
+
+    model: str
+    version: int
+    estimate: float
+    true_cardinality: float
+    q_error: float
+    sql: str
+    shards: tuple[int, ...] = ()
+
+    def to_json(self) -> dict:
+        """Versioned JSON view (the ``POST /v1/feedback`` body)."""
+        return {
+            "model": self.model,
+            "version": self.version,
+            "estimate": self.estimate,
+            "true_cardinality": self.true_cardinality,
+            "q_error": self.q_error,
+            "sql": self.sql,
+            "shards": list(self.shards),
             "api_version": API_VERSION,
         }
 

@@ -187,6 +187,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="enable POST /v1/swap (per-shard hot-swap), "
                               "confined to refreshed shard artifacts "
                               "inside this directory; disabled otherwise")
+    p_serve.add_argument("--trace-log", metavar="FILE", default=None,
+                         help="export every finished request trace as "
+                              "one JSON line to this file (span tree "
+                              "with driver and worker-side spans)")
+    p_serve.add_argument("--slow-ms", type=float, default=100.0,
+                         metavar="MS",
+                         help="requests at or above this duration also "
+                              "land in the GET /v1/traces slow-query "
+                              "ring (default 100)")
     p_serve.add_argument("--verbose", action="store_true",
                          help="log one line per HTTP request")
     return parser
@@ -314,6 +323,7 @@ def build_service(args):
     Split from :func:`cmd_serve` so tests can exercise model loading,
     warming, and recording without binding a socket.
     """
+    from repro.obs import JsonlTraceExporter, TraceLog, Tracer
     from repro.serve import (
         DEFAULT_MODEL,
         EstimationService,
@@ -321,9 +331,17 @@ def build_service(args):
         read_manifest,
     )
 
+    exporter = None
+    if getattr(args, "trace_log", None):
+        exporter = JsonlTraceExporter(args.trace_log)
+        print(f"exporting request traces to {args.trace_log}")
+    tracer = Tracer(
+        log=TraceLog(slow_threshold_ms=getattr(args, "slow_ms", 100.0)),
+        exporter=exporter)
     service = EstimationService(
         cache_size=args.cache_size,
-        subplan_reuse=not getattr(args, "no_subplan_reuse", False))
+        subplan_reuse=not getattr(args, "no_subplan_reuse", False),
+        tracer=tracer)
     workers = getattr(args, "workers", None)
 
     def publish(name: str, path: str, metadata: dict) -> None:
@@ -453,8 +471,10 @@ def cmd_serve(args) -> int:
     print(f"serving models {service.registry.names()} "
           f"on http://{host}:{port}")
     print("endpoints: POST /v1/estimate /v1/subplans /v1/update "
-          "/v1/explain /v1/swap · GET /v1/models /stats /health "
-          "(legacy: /estimate /estimate_batch /update /warmup /models)")
+          "/v1/explain /v1/swap /v1/feedback · GET /v1/models /v1/stats "
+          "/v1/traces /metrics /health "
+          "(legacy: /estimate /estimate_batch /update /warmup /models "
+          "/stats)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -471,6 +491,9 @@ def cmd_serve(args) -> int:
                       f"{summary['subplans']} sub-plan entries)")
             except ReproError as exc:  # e.g. ambiguous default model
                 print(f"cache snapshot not saved: {exc}")
+        exporter = getattr(service.tracer, "exporter", None)
+        if exporter is not None:
+            exporter.close()
         # cluster models own worker processes; stop them with the server
         for name in service.registry.names():
             try:

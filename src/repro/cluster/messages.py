@@ -38,21 +38,37 @@ class UnknownTokenError(WorkerError):
 class Request:
     """One framed request: a monotone per-connection id plus the typed
     message.  Replies echo the id, so a late reply to a timed-out
-    request is recognized and dropped instead of answering the next one."""
+    request is recognized and dropped instead of answering the next one.
+
+    ``trace`` optionally carries the driver's trace context — the
+    ``(trace_id, span_id)`` pair of :func:`repro.obs.trace.wire_context`
+    — so the worker can time its handling as a span nested under the
+    exact driver span that issued the RPC.  ``None`` (the default, and
+    what untraced requests send) keeps the worker's trace path entirely
+    skipped.
+    """
 
     id: int
     message: object
+    trace: tuple | None = None
 
 
 @dataclass(frozen=True)
 class Reply:
     """One framed reply; ``error`` carries the worker-side exception
-    (pickled whole when possible, re-raised verbatim in the driver)."""
+    (pickled whole when possible, re-raised verbatim in the driver).
+
+    ``spans`` carries worker-recorded span dicts
+    (:func:`repro.obs.trace.remote_span`) back to the driver, which
+    grafts them into the live trace — on error replies too, so a failed
+    RPC still shows up timed in the request's trace.
+    """
 
     id: int
     ok: bool
     value: object = None
     error: BaseException | None = None
+    spans: tuple = ()
 
 
 # ------------------------------------------------------------- lifecycle --

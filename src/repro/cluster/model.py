@@ -65,6 +65,7 @@ from repro.cluster.messages import (
 )
 from repro.cluster.pool import DEFAULT_TIMEOUT, WorkerPool
 from repro.core.key_groups import query_key_groups
+from repro.obs.trace import capture_context, trace_span, use_context
 from repro.errors import (
     ReproError,
     UnsupportedOperationError,
@@ -219,7 +220,9 @@ class RemoteShardModel:
             return self.pool.call(self.worker_id, BatchProbe((item,)))[0]
         except WorkerError:
             self.pool.ensure_alive(self.worker_id)
-            return self.local_probe(item)
+            with trace_span("probe.retry", retried=True,
+                            restarted_worker=self.worker_id):
+                return self.local_probe(item)
 
     def local_probe(self, item: ProbeItem) -> ProbeResult:
         """The in-process retry: the worker's own probe computation
@@ -268,14 +271,16 @@ class RemoteShardModel:
             # ledger, and retry once — validation errors (the model
             # rejecting the batch) are not WorkerErrors and propagate
             self.pool.ensure_alive(self.worker_id)
-            base_ledger = self._ledgers.get(self._base_token)
-            if base_ledger is not None:
-                try:
-                    _reseed_token(self.pool, self.worker_id,
-                                  self._base_token, base_ledger)
-                except WorkerError:
-                    pass
-            self.pool.call(self.worker_id, message)
+            with trace_span("update.retry", retried=True,
+                            restarted_worker=self.worker_id):
+                base_ledger = self._ledgers.get(self._base_token)
+                if base_ledger is not None:
+                    try:
+                        _reseed_token(self.pool, self.worker_id,
+                                      self._base_token, base_ledger)
+                    except WorkerError:
+                        pass
+                self.pool.call(self.worker_id, message)
         base_ledger = self._ledgers.get(self._base_token)
         if base_ledger is not None:
             self._ledgers.set(self.token, _Ledger(
@@ -330,6 +335,16 @@ class _RemoteTableEstimator:
     def key_distribution(self, column: str, pred) -> np.ndarray:
         return self._remote.probe(self._table_name, pred, (column,),
                                   False).dists[column]
+
+
+def _probe_in_context(ctx, remote: RemoteShardModel, table: str, pred,
+                      columns, want_total: bool) -> ProbeResult:
+    """Executor-thread shim for one fanned-out probe: pool executor
+    threads do not inherit the request thread's trace context, so the
+    caller captures it and this re-activates it around the probe —
+    the rpc and worker spans then nest under the request."""
+    with use_context(ctx):
+        return remote.probe(table, pred, columns, want_total)
 
 
 def merge_probe_results(results, columns, binnings,
@@ -417,8 +432,10 @@ class ClusterTableEstimator(EnsembleTableEstimator):
                                     want_total) for remote in remotes]
         else:
             pool = remotes[0].pool
-            futures = [pool.spawn(remote.probe, self._table_name, pred,
-                                  columns, want_total)
+            ctx = capture_context()
+            futures = [pool.spawn(_probe_in_context, ctx, remote,
+                                  self._table_name, pred, columns,
+                                  want_total)
                        for remote in remotes]
             results = [future.result() for future in futures]
         return merge_probe_results(results, columns, self._binnings,
@@ -530,6 +547,25 @@ class ClusterModel(ShardedFactorJoin):
         """Ping every worker (see :meth:`WorkerPool.health`)."""
         return self._pool.health()
 
+    def collect_metrics(self, model_name: str = "") -> list:
+        """Scrape-time metric families for ``GET /metrics`` (the serving
+        layer calls this hook on every published model that has one):
+        per-worker liveness gauges and restart counters, read from the
+        pool's cheap :meth:`WorkerPool.describe` — no pings, so a scrape
+        never blocks behind a hung worker."""
+        description = self._pool.describe()
+        up, restarts = [], []
+        for row in description["workers"]:
+            labels = {"model": model_name, "worker": str(row["worker"])}
+            up.append((labels, 1.0 if row["alive"] else 0.0))
+            restarts.append((labels, float(row["restarts"])))
+        return [
+            ("gauge", "repro_worker_up",
+             "Shard worker liveness (1 serving, 0 awaiting restart).", up),
+            ("counter", "repro_worker_restarts_total",
+             "Crashed shard workers replaced by the pool.", restarts),
+        ]
+
     def _reseed_worker(self, worker_id: int) -> None:
         """Rebuild every live shard-state token a restarted worker owns
         (the pool's ``on_restart`` hook)."""
@@ -555,15 +591,19 @@ class ClusterModel(ShardedFactorJoin):
 
     def estimate(self, query: Query) -> float:
         state = self._require_state()
-        self._prefetch(state, query)
-        return state.merged.estimate(query)
+        with trace_span("session.prep"):
+            self._prefetch(state, query)
+        with trace_span("bound.fold"):
+            return state.merged.estimate(query)
 
     def estimate_subplans(self, query: Query, min_tables: int = 1,
                           progressive: bool = True) -> dict[frozenset, float]:
         state = self._require_state()
-        self._prefetch(state, query)
-        return state.merged.estimate_subplans(query, min_tables=min_tables,
-                                              progressive=progressive)
+        with trace_span("session.prep"):
+            self._prefetch(state, query)
+        with trace_span("bound.fold"):
+            return state.merged.estimate_subplans(
+                query, min_tables=min_tables, progressive=progressive)
 
     def open_session(self, query: Query):
         """Prepared sub-plan probing: the query's per-alias key-group
@@ -571,12 +611,14 @@ class ClusterModel(ShardedFactorJoin):
         every session probe after that combines the primed factors in
         the driver — no further RPC."""
         state = self._require_state()
-        self._prefetch(state, query)
+        with trace_span("session.prep"):
+            self._prefetch(state, query)
         return state.merged.open_session(query)
 
     def base_factor(self, query: Query, alias: str, groups_q=None):
         state = self._require_state()
-        self._prefetch(state, query)
+        with trace_span("session.prep"):
+            self._prefetch(state, query)
         return state.merged.base_factor(query, alias, groups_q)
 
     def _prefetch(self, state, query: Query) -> None:
@@ -633,9 +675,10 @@ class ClusterModel(ShardedFactorJoin):
                                  pred, cols, total_needed)
                 per_worker.setdefault(remote.worker_id, []).append(
                     (probe_id, shard_index, remote, item))
+        ctx = capture_context()
         futures = {
-            worker_id: self._pool.spawn(self._call_batch, worker_id,
-                                        entries)
+            worker_id: self._pool.spawn(self._batch_in_context, ctx,
+                                        worker_id, entries)
             for worker_id, entries in per_worker.items()
         }
         by_probe: dict[tuple[int, int], ProbeResult] = {}
@@ -651,6 +694,16 @@ class ClusterModel(ShardedFactorJoin):
                                                total_needed)
             estimator.store_probe(pred, total, dists)
 
+    def _batch_in_context(self, ctx, worker_id: int, entries: list) -> list:
+        """Executor-thread shim for one worker's prefetch batch:
+        re-activates the request's trace context on the fan-out thread
+        and wraps the batch in a per-worker span, so the rpc round trip
+        and the worker's own span nest under the request."""
+        with use_context(ctx):
+            with trace_span("probe.fanout", worker=worker_id,
+                            probes=len(entries)):
+                return self._call_batch(worker_id, entries)
+
     def _call_batch(self, worker_id: int, entries: list) -> list:
         """One worker's batch; on a crash, restart it and answer each
         item in-process from its shard's ledger."""
@@ -659,8 +712,10 @@ class ClusterModel(ShardedFactorJoin):
                 worker_id, BatchProbe(tuple(item for *_, item in entries))))
         except WorkerError:
             self._pool.ensure_alive(worker_id)
-            return [remote.local_probe(item)
-                    for _, _, remote, item in entries]
+            with trace_span("probe.retry", retried=True,
+                            restarted_worker=worker_id):
+                return [remote.local_probe(item)
+                        for _, _, remote, item in entries]
 
     # -- hot swap --------------------------------------------------------------
 

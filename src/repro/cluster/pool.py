@@ -34,8 +34,9 @@ import time
 from concurrent.futures import Future, ThreadPoolExecutor
 
 from repro.cluster.messages import Ping, Reply, Request, Shutdown
-from repro.cluster.worker import ShardWorker, worker_main
+from repro.cluster.worker import ShardWorker, handle_traced, worker_main
 from repro.errors import ReproError, WorkerError
+from repro.obs.trace import absorb_remote_spans, trace_span, wire_context
 
 #: Seconds a worker gets to answer one request before it is declared hung.
 DEFAULT_TIMEOUT = 120.0
@@ -49,7 +50,14 @@ class _InlineWorker:
         self.worker = ShardWorker()
 
     def request(self, message, timeout):
-        return self.worker.handle(message)
+        # the shared traced-handling path, so an inline "worker" yields
+        # the identical worker.<Message> span a process worker would
+        value, error, spans = handle_traced(self.worker, message,
+                                            wire_context())
+        absorb_remote_spans(spans)
+        if error is not None:
+            raise error
+        return value
 
     @property
     def pid(self):
@@ -89,7 +97,8 @@ class _ProcessWorker:
 
     def request(self, message, timeout):
         self._next_id += 1
-        request = Request(id=self._next_id, message=message)
+        request = Request(id=self._next_id, message=message,
+                          trace=wire_context())
         self.conn.send(request)
         deadline = time.monotonic() + timeout
         while True:
@@ -102,6 +111,7 @@ class _ProcessWorker:
                 reply: Reply = self.conn.recv()
                 if reply.id != request.id:
                     continue  # stale answer to an abandoned request
+                absorb_remote_spans(getattr(reply, "spans", ()))
                 if reply.ok:
                     return reply.value
                 raise reply.error
@@ -267,20 +277,25 @@ class WorkerPool:
         if self._closed:
             raise WorkerError("the worker pool is shut down")
         slot = self._slots[worker_id]
-        with slot.lock:
-            if not slot.alive:
-                raise WorkerError(
-                    f"worker {worker_id} is dead (restart pending)")
-            self._drain_releases(slot)
-            try:
-                return slot.transport.request(
-                    message, timeout if timeout is not None else self.timeout)
-            except (EOFError, OSError, BrokenPipeError, TimeoutError) as exc:
-                slot.alive = False
-                slot.transport.kill()
-                raise WorkerError(
-                    f"worker {worker_id} failed a "
-                    f"{type(message).__name__}: {exc}") from exc
+        # the rpc span covers queueing on the per-worker lock too — on a
+        # traced request that wait is exactly the latency the driver saw
+        with trace_span(f"rpc.{type(message).__name__}", worker=worker_id):
+            with slot.lock:
+                if not slot.alive:
+                    raise WorkerError(
+                        f"worker {worker_id} is dead (restart pending)")
+                self._drain_releases(slot)
+                try:
+                    return slot.transport.request(
+                        message,
+                        timeout if timeout is not None else self.timeout)
+                except (EOFError, OSError, BrokenPipeError,
+                        TimeoutError) as exc:
+                    slot.alive = False
+                    slot.transport.kill()
+                    raise WorkerError(
+                        f"worker {worker_id} failed a "
+                        f"{type(message).__name__}: {exc}") from exc
 
     def submit(self, worker_id: int, message,
                timeout: float | None = None) -> Future:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 
 from repro.cluster.messages import (
     BatchProbe,
@@ -200,6 +201,42 @@ class ShardWorker:
     }
 
 
+def handle_traced(worker: ShardWorker, message, trace):
+    """Run one handler, timing it into a remote span when the request
+    carried trace context.
+
+    Returns ``(value, error, spans)`` — exactly one of ``value`` /
+    ``error`` is meaningful (``error is None`` on success), and
+    ``spans`` is the tuple of picklable span dicts for the reply.  The
+    single definition both transports use: the process loop
+    (:func:`worker_main`) and the pool's inline fallback call this, so a
+    traced request yields the identical ``worker.<Message>`` span
+    whether its shard lives in another process or in the driver.
+    """
+    if trace is None:
+        try:
+            return worker.handle(message), None, ()
+        except BaseException as exc:  # noqa: BLE001 — shipped in the reply
+            return None, exc, ()
+    from repro.obs.trace import remote_span
+
+    trace_id, parent_id = trace
+    started = time.time()
+    t0 = time.perf_counter()
+    value, error = None, None
+    try:
+        value = worker.handle(message)
+    except BaseException as exc:  # noqa: BLE001 — shipped in the reply
+        error = exc
+    span = remote_span(
+        trace_id, parent_id, f"worker.{type(message).__name__}",
+        started, time.perf_counter() - t0,
+        attributes={"pid": os.getpid()},
+        error=(f"{type(error).__name__}: {error}"
+               if error is not None else None))
+    return value, error, (span,)
+
+
 def _sendable_error(exc: BaseException) -> BaseException:
     """The exception itself when it pickles, else a same-message
     :class:`~repro.errors.ReproError` — the driver always re-raises
@@ -240,12 +277,13 @@ def worker_main(conn) -> None:
             except (OSError, BrokenPipeError):
                 pass
             break
-        try:
-            value = worker.handle(request.message)
-            reply = Reply(id=request.id, ok=True, value=value)
-        except BaseException as exc:  # noqa: BLE001 — ship it to the driver
+        value, error, spans = handle_traced(
+            worker, request.message, getattr(request, "trace", None))
+        if error is None:
+            reply = Reply(id=request.id, ok=True, value=value, spans=spans)
+        else:
             reply = Reply(id=request.id, ok=False,
-                          error=_sendable_error(exc))
+                          error=_sendable_error(error), spans=spans)
         try:
             conn.send(reply)
         except (OSError, BrokenPipeError):

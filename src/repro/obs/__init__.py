@@ -1,0 +1,82 @@
+"""Observability layer: metrics, tracing, and accuracy telemetry.
+
+The serving and cluster stack spans five layers (model → session → cache
+→ service → cluster workers); this package gives every one of them a
+shared, dependency-free instrumentation surface:
+
+- :mod:`repro.obs.metrics` — a **metrics registry** of counters, gauges,
+  and histograms with exact streaming percentiles (values quantized to
+  three significant figures, so percentiles are exact over the *whole*
+  stream in bounded memory, not a recent window).  One registry per
+  service absorbs the former ``LatencyStats``/cache-counter one-offs and
+  renders itself as Prometheus text (``GET /metrics``) or JSON
+  (``GET /v1/stats``).
+- :mod:`repro.obs.trace` — **structured tracing**: every request gets a
+  trace id and a span tree (parse → session prep → cache lookup →
+  per-shard probe fan-out → bound fold).  The trace context propagates
+  inside cluster RPC envelopes, so worker-side spans (artifact load,
+  probe batches, journal replay, reseed) nest under the driver's request
+  span.  Finished traces land in a ring-buffer
+  :class:`~repro.obs.trace.TraceLog` (recent + slow queries, served at
+  ``GET /v1/traces``) and optionally in a JSONL export file
+  (``repro serve --trace-log FILE``).
+- :mod:`repro.obs.export` — the Prometheus text exposition renderer and
+  a validating parser (the CI scrape check), plus the JSONL trace
+  exporter.
+
+Instrumentation is **always on and cheap**: spans are plain objects with
+two clock reads, metric updates are one dict operation under a short
+lock, and the no-op twins (:data:`NULL_METRICS`, :data:`NULL_TRACER`)
+exist so ``benchmarks/bench_obs_overhead.py`` can hold the overhead
+under its <5% QPS gate.
+"""
+
+from repro.obs.export import (
+    JsonlTraceExporter,
+    parse_prometheus_text,
+    render_prometheus,
+)
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    quantize,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TraceLog,
+    Tracer,
+    absorb_remote_spans,
+    capture_context,
+    trace_span,
+    use_context,
+    wire_context,
+)
+
+__all__ = [
+    "absorb_remote_spans",
+    "capture_context",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlTraceExporter",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "NullMetrics",
+    "NullTracer",
+    "parse_prometheus_text",
+    "quantize",
+    "render_prometheus",
+    "Span",
+    "TraceLog",
+    "trace_span",
+    "Tracer",
+    "use_context",
+    "wire_context",
+]

@@ -1,0 +1,254 @@
+"""Exporters: Prometheus text exposition and JSONL trace dumps.
+
+:func:`render_prometheus` turns a registry's collected families into the
+`text exposition format`_ served at ``GET /metrics``;
+:func:`parse_prometheus_text` is the matching structural validator the
+CI scrape check runs against a live scrape, so a malformed rendering
+fails the build rather than a Prometheus server.  Histograms are
+rendered the Prometheus way — cumulative ``le`` buckets ending in
+``+Inf`` plus ``_sum``/``_count`` — from the exact quantized streams the
+registry keeps, so scraped percentiles and ``/v1/stats`` percentiles
+agree.
+
+.. _text exposition format:
+   https://prometheus.io/docs/instrumenting/exposition_formats/
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+_LINE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>[^ ]+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$"
+)
+_LABEL_RE = re.compile(
+    r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"'
+)
+
+
+def _escape_label(value) -> str:
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value) == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_str(labels: dict, extra: tuple | None = None) -> str:
+    items = sorted(labels.items())
+    if extra is not None:
+        items = items + [extra]
+    if not items:
+        return ""
+    body = ",".join(f'{key}="{_escape_label(value)}"'
+                    for key, value in items)
+    return "{" + body + "}"
+
+
+def render_prometheus(families) -> str:
+    """Render collected metric families as Prometheus text exposition.
+
+    ``families`` is what :meth:`MetricsRegistry.collect` yields:
+    ``(kind, name, help, samples)`` where samples are
+    ``(labels, value)`` pairs for counters/gauges and
+    ``(labels, (count, total, counts), buckets)`` triples for
+    histograms (``counts`` being the quantized value→count dict).
+    """
+    lines: list[str] = []
+    for kind, name, help_text, samples in families:
+        if help_text:
+            lines.append(f"# HELP {name} {_escape_help(help_text)}")
+        lines.append(f"# TYPE {name} {kind}")
+        if kind == "histogram":
+            for labels, (count, total, counts), buckets in samples:
+                cumulative = 0
+                remaining = sorted(counts.items())
+                index = 0
+                for bound in buckets:
+                    while (index < len(remaining)
+                           and remaining[index][0] <= bound):
+                        cumulative += remaining[index][1]
+                        index += 1
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_label_str(labels, ('le', _format_value(bound)))}"
+                        f" {cumulative}")
+                lines.append(
+                    f'{name}_bucket{_label_str(labels, ("le", "+Inf"))}'
+                    f" {count}")
+                lines.append(
+                    f"{name}_sum{_label_str(labels)}"
+                    f" {_format_value(total)}")
+                lines.append(f"{name}_count{_label_str(labels)} {count}")
+        else:
+            for labels, value in samples:
+                lines.append(
+                    f"{name}{_label_str(labels)} {_format_value(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus_text(text: str) -> dict:
+    """Structurally validate Prometheus text exposition; the CI scrape
+    check runs this over a live ``GET /metrics`` body.
+
+    Returns ``{metric name: {"type": ..., "help": ..., "samples":
+    [(name, labels, value)]}}`` keyed by family, raising ``ValueError``
+    on any malformed line, unknown sample name, non-float value, or a
+    histogram whose cumulative ``le`` buckets decrease.
+    """
+    families: dict[str, dict] = {}
+    typed: dict[str, str] = {}
+
+    def family_of(sample_name: str) -> str:
+        for suffix in ("_bucket", "_sum", "_count", "_total"):
+            base = sample_name[:-len(suffix)] if sample_name.endswith(
+                suffix) else None
+            if base and base in typed:
+                return base
+        return sample_name
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            parts = line[len("# HELP "):].split(" ", 1)
+            if not parts or not _NAME_RE.fullmatch(parts[0]):
+                raise ValueError(f"line {lineno}: malformed HELP: {raw!r}")
+            families.setdefault(parts[0], {
+                "type": None, "help": None, "samples": []})
+            families[parts[0]]["help"] = parts[1] if len(parts) > 1 else ""
+            continue
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE "):].split(" ")
+            if (len(parts) != 2 or not _NAME_RE.fullmatch(parts[0])
+                    or parts[1] not in ("counter", "gauge", "histogram",
+                                        "summary", "untyped")):
+                raise ValueError(f"line {lineno}: malformed TYPE: {raw!r}")
+            families.setdefault(parts[0], {
+                "type": None, "help": None, "samples": []})
+            families[parts[0]]["type"] = parts[1]
+            typed[parts[0]] = parts[1]
+            continue
+        if line.startswith("#"):
+            continue
+        match = _LINE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample: {raw!r}")
+        sample_name = match.group("name")
+        label_text = match.group("labels")
+        labels: dict[str, str] = {}
+        if label_text:
+            consumed = 0
+            for label in _LABEL_RE.finditer(label_text):
+                labels[label.group("key")] = label.group("value")
+                consumed = label.end()
+            rest = label_text[consumed:].strip().strip(",")
+            if rest:
+                raise ValueError(
+                    f"line {lineno}: malformed labels: {raw!r}")
+        value_text = match.group("value")
+        if value_text == "+Inf":
+            value = math.inf
+        elif value_text == "-Inf":
+            value = -math.inf
+        elif value_text == "NaN":
+            value = math.nan
+        else:
+            try:
+                value = float(value_text)
+            except ValueError:
+                raise ValueError(
+                    f"line {lineno}: non-numeric value: {raw!r}") from None
+        base = family_of(sample_name)
+        family = families.get(base)
+        if family is None:
+            raise ValueError(
+                f"line {lineno}: sample {sample_name!r} precedes its "
+                f"TYPE line")
+        if typed.get(base) == "histogram":
+            if not (sample_name == base + "_bucket"
+                    or sample_name == base + "_sum"
+                    or sample_name == base + "_count"):
+                raise ValueError(
+                    f"line {lineno}: bad histogram sample "
+                    f"{sample_name!r}")
+            if sample_name.endswith("_bucket") and "le" not in labels:
+                raise ValueError(
+                    f"line {lineno}: histogram bucket without le label")
+        family["samples"].append((sample_name, labels, value))
+
+    for base, family in families.items():
+        if family["type"] != "histogram":
+            continue
+        series: dict[tuple, list] = {}
+        for sample_name, labels, value in family["samples"]:
+            if not sample_name.endswith("_bucket"):
+                continue
+            key = tuple(sorted((k, v) for k, v in labels.items()
+                               if k != "le"))
+            bound = (math.inf if labels["le"] == "+Inf"
+                     else float(labels["le"]))
+            series.setdefault(key, []).append((bound, value))
+        for key, points in series.items():
+            points.sort()
+            last = -1.0
+            for bound, cumulative in points:
+                if cumulative < last:
+                    raise ValueError(
+                        f"histogram {base!r}{dict(key)}: cumulative "
+                        f"bucket counts decrease at le={bound}")
+                last = cumulative
+            if points and points[-1][0] != math.inf:
+                raise ValueError(
+                    f"histogram {base!r}: missing le=+Inf bucket")
+    return families
+
+
+class JsonlTraceExporter:
+    """Appends one JSON line per finished trace to a file
+    (``repro serve --trace-log FILE``)."""
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        self._lock = threading.Lock()
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def export(self, record) -> None:
+        line = json.dumps(record.to_json(), default=str,
+                          separators=(",", ":"))
+        with self._lock:
+            self._fh.write(line + "\n")
+            self._fh.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False

@@ -1,0 +1,435 @@
+"""Structured tracing: trace ids, span trees, cross-process propagation.
+
+Every served request gets one **trace**: a root span plus a tree of
+child spans covering the stages the request actually passed through —
+parse, session prep, cache lookup, per-shard probe fan-out, bound fold.
+Spans are plain objects (two clock reads, one list append), created
+through class-based context managers so the always-on cost stays in the
+low microseconds per request.
+
+Context propagation
+-------------------
+The *current* span lives in a thread-local; :func:`trace_span` nests
+under it implicitly.  Two explicit hand-offs cover the places implicit
+context cannot reach:
+
+- **executor threads** — the cluster model fans probe batches out on a
+  thread pool; :func:`capture_context` in the request thread plus
+  :func:`use_context` inside the submitted callable re-activates the
+  request's context there;
+- **worker processes** — :func:`wire_context` yields a picklable
+  ``(trace_id, span_id)`` pair the RPC envelope carries; the worker
+  records its spans as plain dicts against that parent
+  (:func:`remote_span`) and ships them back in the reply, where
+  :func:`absorb_remote_spans` grafts them into the live trace.  Worker
+  spans therefore nest under the exact driver span that issued the RPC,
+  under one consistent trace id.
+
+Finished traces are appended to a :class:`TraceLog` — a ring buffer of
+recent traces plus a second ring of *slow* ones (``GET /v1/traces``) —
+and, when configured, exported as one JSON line each
+(``repro serve --trace-log FILE``).  Trees are rendered lazily on read:
+the per-request cost of keeping a trace is the ring append, not a JSON
+serialization.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+
+_SPAN_IDS = itertools.count(1)
+_TRACE_IDS = itertools.count(1)
+# distinguishes ids minted by different processes (driver vs workers)
+_PROCESS_TAG = f"{os.getpid():x}"
+
+_tls = threading.local()
+
+
+def _new_trace_id() -> str:
+    return f"t{_PROCESS_TAG}-{next(_TRACE_IDS):x}"
+
+
+def _new_span_id() -> str:
+    return f"s{_PROCESS_TAG}-{next(_SPAN_IDS):x}"
+
+
+class Span:
+    """One timed stage of a trace (already started when constructed)."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "start",
+                 "duration", "attributes", "error", "_t0")
+
+    def __init__(self, trace_id: str, parent_id: str | None, name: str,
+                 attributes: dict | None = None):
+        self.trace_id = trace_id
+        self.span_id = _new_span_id()
+        self.parent_id = parent_id
+        self.name = name
+        self.start = time.time()
+        self.duration = None
+        self.attributes = attributes or {}
+        self.error = None
+        self._t0 = time.perf_counter()
+
+    def annotate(self, **attributes) -> None:
+        """Attach attributes after creation (e.g. the cache level the
+        lookup resolved to)."""
+        self.attributes.update(attributes)
+
+    def finish(self, error: str | None = None) -> None:
+        self.duration = time.perf_counter() - self._t0
+        self.error = error
+
+    def to_json(self) -> dict:
+        payload = {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "duration_ms": (self.duration * 1e3
+                            if self.duration is not None else None),
+        }
+        if self.attributes:
+            payload["attributes"] = dict(self.attributes)
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
+
+
+def remote_span(trace_id: str, parent_id: str, name: str,
+                started: float, duration: float,
+                attributes: dict | None = None,
+                error: str | None = None) -> dict:
+    """A worker-side span as a picklable dict (what replies carry).
+
+    Workers have no :class:`Tracer`; they time their handling around
+    two clock reads and ship this dict home, where it joins the trace
+    exactly as if the span had been recorded in the driver.
+    """
+    payload = {
+        "trace_id": trace_id,
+        "span_id": f"w{os.getpid():x}-{next(_SPAN_IDS):x}",
+        "parent_id": parent_id,
+        "name": name,
+        "start": started,
+        "duration_ms": duration * 1e3,
+        "remote": True,
+    }
+    if attributes:
+        payload["attributes"] = dict(attributes)
+    if error is not None:
+        payload["error"] = error
+    return payload
+
+
+class TraceRecord:
+    """One in-flight (then finished) trace: the root span plus every
+    span recorded under it, local or absorbed from workers.
+
+    Appends are lock-protected — the cluster layer finishes spans on
+    executor threads concurrently with the request thread.  The tree is
+    assembled lazily by :meth:`to_json`.
+    """
+
+    __slots__ = ("trace_id", "root", "_spans", "_lock", "finished")
+
+    def __init__(self, root: Span):
+        self.trace_id = root.trace_id
+        self.root = root
+        self._spans: list = [root]
+        self._lock = threading.Lock()
+        self.finished = False
+
+    def add(self, span) -> None:
+        """Record a finished local :class:`Span` or remote span dict."""
+        with self._lock:
+            self._spans.append(span)
+
+    @property
+    def duration_ms(self) -> float:
+        return (self.root.duration or 0.0) * 1e3
+
+    def span_dicts(self) -> list[dict]:
+        with self._lock:
+            spans = list(self._spans)
+        return [span if isinstance(span, dict) else span.to_json()
+                for span in spans]
+
+    def to_json(self) -> dict:
+        """The rendered trace: summary fields plus the nested span tree
+        (spans whose parent never arrived attach under the root)."""
+        spans = self.span_dicts()
+        by_id = {span["span_id"]: dict(span, children=[])
+                 for span in spans}
+        root = by_id[self.root.span_id]
+        for span_id, span in by_id.items():
+            if span_id == self.root.span_id:
+                continue
+            parent = by_id.get(span.get("parent_id"))
+            (parent if parent is not None else root)["children"].append(
+                span)
+        for span in by_id.values():
+            span["children"].sort(key=lambda child: child["start"])
+        return {
+            "trace_id": self.trace_id,
+            "name": self.root.name,
+            "start": self.root.start,
+            "duration_ms": root["duration_ms"],
+            "span_count": len(spans),
+            "error": self.root.error,
+            "root": root,
+        }
+
+
+class TraceLog:
+    """Ring buffers of finished traces: every recent one, plus the ones
+    slower than ``slow_threshold_ms`` (the slow-query log)."""
+
+    def __init__(self, capacity: int = 256, slow_capacity: int = 64,
+                 slow_threshold_ms: float = 100.0):
+        import collections
+
+        self.slow_threshold_ms = float(slow_threshold_ms)
+        self._lock = threading.Lock()
+        self._recent = collections.deque(maxlen=int(capacity))
+        self._slow = collections.deque(maxlen=int(slow_capacity))
+
+    def add(self, record: TraceRecord) -> None:
+        with self._lock:
+            self._recent.append(record)
+            if record.duration_ms >= self.slow_threshold_ms:
+                self._slow.append(record)
+
+    def snapshot(self, slow: bool = False, limit: int = 50) -> list[dict]:
+        """The newest ``limit`` traces (slow ring with ``slow=True``),
+        newest first, rendered to JSON on read."""
+        with self._lock:
+            records = list(self._slow if slow else self._recent)
+        return [record.to_json() for record in reversed(records[-limit:])]
+
+    def describe(self) -> dict:
+        with self._lock:
+            return {
+                "recent": len(self._recent),
+                "slow": len(self._slow),
+                "slow_threshold_ms": self.slow_threshold_ms,
+            }
+
+
+class _Context:
+    """What the thread-local carries: the tracer, the active record,
+    and the span new children nest under."""
+
+    __slots__ = ("tracer", "record", "span")
+
+    def __init__(self, tracer: "Tracer", record: TraceRecord, span: Span):
+        self.tracer = tracer
+        self.record = record
+        self.span = span
+
+
+def _current() -> _Context | None:
+    return getattr(_tls, "ctx", None)
+
+
+def capture_context() -> _Context | None:
+    """The request thread's active context, for hand-off to an executor
+    thread (pair with :func:`use_context` inside the submitted task)."""
+    return _current()
+
+
+class use_context:
+    """Context manager re-activating a captured context on this thread."""
+
+    __slots__ = ("_ctx", "_prev")
+
+    def __init__(self, ctx: _Context | None):
+        self._ctx = ctx
+
+    def __enter__(self):
+        self._prev = _current()
+        _tls.ctx = self._ctx
+        return self._ctx
+
+    def __exit__(self, exc_type, exc, tb):
+        _tls.ctx = self._prev
+        return False
+
+
+def wire_context() -> tuple[str, str] | None:
+    """The picklable ``(trace_id, span_id)`` pair an RPC envelope
+    carries (None when this thread is not tracing)."""
+    ctx = _current()
+    if ctx is None:
+        return None
+    return (ctx.record.trace_id, ctx.span.span_id)
+
+
+def absorb_remote_spans(spans) -> None:
+    """Graft worker-recorded span dicts into this thread's live trace
+    (a no-op outside a trace, or for an empty batch)."""
+    if not spans:
+        return
+    ctx = _current()
+    if ctx is None:
+        return
+    for span in spans:
+        if span.get("trace_id") == ctx.record.trace_id:
+            ctx.record.add(span)
+
+
+class trace_span:
+    """Context manager recording one child span under the current
+    context — the single instrumentation point the whole stack uses.
+
+    Outside a trace (no active context on this thread) entering costs
+    one thread-local read and records nothing, which is what keeps
+    always-on instrumentation viable on microsecond code paths.
+    """
+
+    __slots__ = ("_name", "_attributes", "_span", "_prev")
+
+    def __init__(self, name: str, **attributes):
+        self._name = name
+        self._attributes = attributes
+        self._span = None
+
+    def __enter__(self) -> Span | None:
+        ctx = _current()
+        if ctx is None:
+            self._prev = None
+            return None
+        span = Span(ctx.record.trace_id, ctx.span.span_id, self._name,
+                    self._attributes or None)
+        self._span = span
+        self._prev = ctx
+        _tls.ctx = _Context(ctx.tracer, ctx.record, span)
+        return span
+
+    def __exit__(self, exc_type, exc, tb):
+        span = self._span
+        if span is not None:
+            span.finish(error=(f"{exc_type.__name__}: {exc}"
+                               if exc_type is not None else None))
+            self._prev.record.add(span)
+            _tls.ctx = self._prev
+        return False
+
+
+class _RootScope:
+    """The ``with tracer.trace(...)`` scope: owns finalization."""
+
+    __slots__ = ("_tracer", "_name", "_attributes", "_record", "_prev")
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: dict):
+        self._tracer = tracer
+        self._name = name
+        self._attributes = attributes
+
+    def __enter__(self) -> Span:
+        root = Span(_new_trace_id(), None, self._name,
+                    self._attributes or None)
+        self._record = TraceRecord(root)
+        self._prev = _current()
+        _tls.ctx = _Context(self._tracer, self._record, root)
+        return root
+
+    def __exit__(self, exc_type, exc, tb):
+        record = self._record
+        record.root.finish(error=(f"{exc_type.__name__}: {exc}"
+                                  if exc_type is not None else None))
+        record.finished = True
+        _tls.ctx = self._prev
+        self._tracer._finalize(record)
+        return False
+
+
+class Tracer:
+    """Mints traces, owns the ring buffers and the optional exporter.
+
+    ``trace(name)`` opens a root scope (one per request); ``span`` is
+    re-exported as the module-level :func:`trace_span` since child spans
+    only consult the thread-local context.  ``record_of(root)`` fetches
+    the finished :class:`TraceRecord` for responses that carry their own
+    trace (``/v1/explain?trace=true``).
+    """
+
+    def __init__(self, log: TraceLog | None = None, exporter=None):
+        self.log = log if log is not None else TraceLog()
+        self.exporter = exporter
+        self._lock = threading.Lock()
+        # root span_id -> finished record, bounded: entries are popped
+        # by record_of and the dict is pruned alongside the ring buffer
+        self._finished: dict[str, TraceRecord] = {}
+
+    enabled = True
+
+    def trace(self, name: str, **attributes) -> _RootScope:
+        """Open a root span; the ``with`` scope finalizes the trace."""
+        return _RootScope(self, name, attributes)
+
+    span = staticmethod(trace_span)
+
+    def _finalize(self, record: TraceRecord) -> None:
+        self.log.add(record)
+        with self._lock:
+            self._finished[record.root.span_id] = record
+            while len(self._finished) > 512:
+                self._finished.pop(next(iter(self._finished)))
+        if self.exporter is not None:
+            try:
+                self.exporter.export(record)
+            except Exception:  # an export failure must not fail serving
+                pass
+
+    def record_of(self, root: Span) -> TraceRecord | None:
+        """The finished record whose root is ``root`` (and forget it)."""
+        with self._lock:
+            return self._finished.pop(root.span_id, None)
+
+    def traces(self, slow: bool = False, limit: int = 50) -> list[dict]:
+        """Rendered recent (or slow) traces, newest first."""
+        return self.log.snapshot(slow=slow, limit=limit)
+
+
+class _NullScope:
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NULL_SCOPE = _NullScope()
+
+
+class NullTracer:
+    """The tracer's no-op twin (overhead bench, telemetry off)."""
+
+    enabled = False
+    exporter = None
+
+    def __init__(self):
+        self.log = TraceLog(capacity=1, slow_capacity=1)
+
+    def trace(self, name: str, **attributes) -> _NullScope:
+        return _NULL_SCOPE
+
+    @staticmethod
+    def span(name: str, **attributes) -> _NullScope:
+        return _NULL_SCOPE
+
+    def record_of(self, root) -> None:
+        return None
+
+    def traces(self, slow: bool = False, limit: int = 50) -> list:
+        return []
+
+
+NULL_TRACER = NullTracer()

@@ -300,30 +300,49 @@ class EstimateCache:
         with self._lock:
             return len(self._entries)
 
-    def stats(self) -> dict:
-        """JSON-ready counters, split by level: ``hits``/``misses``/
-        ``hit_rate`` are query-level; ``subplan_*`` mirror them for the
-        sub-plan table."""
+    def counters(self) -> dict:
+        """One consistent snapshot of every raw counter, read under the
+        cache lock.
+
+        This is the *only* sanctioned way for observers (``/metrics``
+        collectors, ``stats()``) to read the counters: reading the
+        attributes field by field without the lock can pair a hit count
+        incremented by one in-flight lookup with a miss count from
+        before it — momentarily reporting more hits than lookups.  A
+        snapshot is internally consistent by construction
+        (``hits + misses`` equals the lookups that had completed when
+        the lock was held).
+        """
         with self._lock:
-            lookups = self.hits + self.misses
-            sub_lookups = self.subplan_hits + self.subplan_misses
             return {
                 "size": len(self._entries),
                 "max_size": self.max_size,
                 "hits": self.hits,
                 "misses": self.misses,
-                "hit_rate": self.hits / lookups if lookups else 0.0,
                 "evictions": self.evictions,
                 "subplan_size": len(self._subplans),
                 "subplan_max_size": self.subplan_max_size,
                 "subplan_hits": self.subplan_hits,
                 "subplan_misses": self.subplan_misses,
-                "subplan_hit_rate": (self.subplan_hits / sub_lookups
-                                     if sub_lookups else 0.0),
                 "subplan_evictions": self.subplan_evictions,
                 "invalidations": self.invalidations,
                 "shard_evictions": self.shard_evictions,
             }
+
+    def stats(self) -> dict:
+        """JSON-ready counters, split by level: ``hits``/``misses``/
+        ``hit_rate`` are query-level; ``subplan_*`` mirror them for the
+        sub-plan table.  Derived from one :meth:`counters` snapshot, so
+        the rates are always computed from a consistent pair."""
+        snapshot = self.counters()
+        lookups = snapshot["hits"] + snapshot["misses"]
+        sub_lookups = (snapshot["subplan_hits"]
+                       + snapshot["subplan_misses"])
+        snapshot["hit_rate"] = (snapshot["hits"] / lookups
+                                if lookups else 0.0)
+        snapshot["subplan_hit_rate"] = (
+            snapshot["subplan_hits"] / sub_lookups if sub_lookups else 0.0)
+        return snapshot
 
 
 def _shard_tag(shards):

@@ -26,8 +26,25 @@ Versioned ``/v1`` routes (the supported API)
                             directory (endpoint disabled without one);
                             cache eviction is scoped to the entries the
                             swapped shard could have changed
+``POST /v1/feedback``       ``{"sql": ..., "true_cardinality": N,
+                            "model"?, "estimate"?}`` → record ground
+                            truth; the q-error lands in the rolling
+                            per-model/per-shard accuracy histograms
 ``GET /v1/models``          published models with declared capabilities
+``GET /v1/stats``           serving statistics: full metric families
+                            (stream-exact latency/q-error summaries),
+                            registry state, trace-log occupancy
+``GET /v1/traces``          recent request span trees from the ring
+                            buffer (``?slow=true`` for the slow-query
+                            log, ``?limit=N``)
+``GET /metrics``            Prometheus text exposition of every metric
+                            family (latency histograms, cache counters,
+                            worker health gauges, q-error histograms)
 ==========================  =================================================
+
+``POST /v1/explain`` accepts ``?trace=true`` (or ``"trace": true`` in
+the body) to attach the request's rendered span tree — driver and
+worker-side spans under one trace id — alongside the explain.
 
 ``/v1`` errors are machine-readable: ``{"error": {"code", "message",
 "type"}}`` with the taxonomy code (``parse_error``,
@@ -63,7 +80,9 @@ should use ``/v1``.
                             into both cache levels; returns the warm
                             summary (see :mod:`repro.serve.warmup`)
 ``GET /models``             published models (name, version, kind)
-``GET /stats``              latency, cache, and registry statistics
+``GET /stats``              latency, cache, and registry statistics in
+                            the legacy shape (``GET /v1/stats`` is the
+                            supported route)
 ==========================  =================================================
 
 Errors return ``{"error": ...}`` with 400 (bad request / unsupported
@@ -75,6 +94,7 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
 
 from repro.api import (
     EstimateRequest,
@@ -132,6 +152,27 @@ class ServingHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _reply_text(self, text: str, status: int = 200,
+                    content_type: str = "text/plain; charset=utf-8"
+                    ) -> None:
+        body = text.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _split_path(self) -> tuple[str, dict]:
+        """``self.path`` as (route, single-valued query params)."""
+        parts = urlsplit(self.path)
+        params = {key: values[-1] for key, values
+                  in parse_qs(parts.query).items()}
+        return parts.path, params
+
+    @staticmethod
+    def _truthy(params: dict, key: str) -> bool:
+        return params.get(key, "").lower() in ("1", "true", "yes", "on")
+
     def _read_json(self) -> dict:
         try:
             length = int(self.headers.get("Content-Length", 0))
@@ -184,46 +225,58 @@ class ServingHandler(BaseHTTPRequestHandler):
     # -- routes ----------------------------------------------------------------
 
     def do_GET(self):
-        if self.path == "/v1/models":
+        path, params = self._split_path()
+        if path == "/v1/models":
             self._dispatch_v1(self._get_v1_models)
-        elif self.path == "/models":
+        elif path == "/v1/stats":
+            self._dispatch_v1(self.service.stats_v1)
+        elif path == "/v1/traces":
+            self._dispatch_v1(lambda: self._get_v1_traces(params))
+        elif path == "/metrics":
+            self._get_metrics()
+        elif path == "/models":
             # deprecation shim: GET /v1/models is the supported route
             self._dispatch(
                 lambda: {"models": self.service.registry.describe()},
                 deprecated=True)
-        elif self.path == "/stats":
-            self._dispatch(self.service.stats)
-        elif self.path == "/health":
+        elif path == "/stats":
+            # deprecation shim: GET /v1/stats is the supported route
+            # (this keeps the legacy body shape)
+            self._dispatch(self.service.stats, deprecated=True)
+        elif path == "/health":
             self._dispatch(lambda: {"ok": True})
         else:
             self._reply({"error": f"unknown route GET {self.path}"},
                         status=404)
 
     def do_POST(self):
-        if self.path == "/v1/estimate":
+        path, params = self._split_path()
+        if path == "/v1/estimate":
             self._dispatch_v1(self._post_v1_estimate)
-        elif self.path == "/v1/subplans":
+        elif path == "/v1/subplans":
             self._dispatch_v1(self._post_v1_subplans)
-        elif self.path == "/v1/update":
+        elif path == "/v1/update":
             self._dispatch_v1(self._post_v1_update)
-        elif self.path == "/v1/explain":
-            self._dispatch_v1(self._post_v1_explain)
-        elif self.path == "/v1/swap":
+        elif path == "/v1/explain":
+            self._dispatch_v1(lambda: self._post_v1_explain(params))
+        elif path == "/v1/swap":
             self._dispatch_v1(self._post_v1_swap)
-        elif self.path == "/estimate":
+        elif path == "/v1/feedback":
+            self._dispatch_v1(self._post_v1_feedback)
+        elif path == "/estimate":
             # deprecation shim: POST /v1/estimate (or /v1/subplans when
             # "subplans" is true) is the supported route
             self._dispatch(self._post_estimate, deprecated=True)
-        elif self.path == "/estimate_batch":
+        elif path == "/estimate_batch":
             # deprecation shim: batch clients should loop /v1/estimate
             # (one model snapshot per request) until a /v1 batch lands
             self._dispatch(self._post_estimate_batch, deprecated=True)
-        elif self.path == "/update":
+        elif path == "/update":
             # deprecation shim: POST /v1/update is the supported route
             self._dispatch(self._post_update, deprecated=True)
-        elif self.path == "/warmup":
+        elif path == "/warmup":
             self._dispatch(self._post_warmup)
-        elif self.path == "/snapshot":
+        elif path == "/snapshot":
             self._dispatch(self._post_snapshot)
         else:
             self._reply({"error": f"unknown route POST {self.path}"},
@@ -249,12 +302,52 @@ class ServingHandler(BaseHTTPRequestHandler):
         request = self._parse_update(self._read_json())
         return self.service.serve_update(request).to_json()
 
-    def _post_v1_explain(self) -> dict:
-        """Estimate with the full explain trace attached."""
+    def _post_v1_explain(self, params: dict | None = None) -> dict:
+        """Estimate with the full explain trace attached;
+        ``?trace=true`` (or ``"trace": true`` in the body) also attaches
+        the request's rendered span tree."""
         payload = self._read_json()
         payload["explain"] = True
+        if params and self._truthy(params, "trace"):
+            payload["trace"] = True
         request = EstimateRequest.from_json(payload)
         return self.service.serve_estimate(request).to_json()
+
+    def _post_v1_feedback(self) -> dict:
+        """Record ground truth for a served query (accuracy telemetry:
+        the q-error lands in the rolling per-model and per-shard
+        histograms exposed at ``GET /metrics``)."""
+        from repro.api import FeedbackRequest
+
+        request = FeedbackRequest.from_json(self._read_json())
+        return self.service.record_feedback(request).to_json()
+
+    def _get_v1_traces(self, params: dict) -> dict:
+        """Recent request span trees from the ring buffer; ``?slow=true``
+        reads the slow-query log instead, ``?limit=N`` bounds the page."""
+        try:
+            limit = int(params.get("limit", 50))
+        except ValueError:
+            raise ValueError("'limit' must be an integer") from None
+        if limit < 1:
+            raise ValueError("'limit' must be >= 1")
+        slow = self._truthy(params, "slow")
+        traces = self.service.tracer.traces(slow=slow, limit=limit)
+        from repro.api import API_VERSION
+
+        return {"traces": traces, "slow": slow, "count": len(traces),
+                **self.service.tracer.log.describe(),
+                "api_version": API_VERSION}
+
+    def _get_metrics(self) -> None:
+        """Prometheus text exposition of every metric family."""
+        try:
+            text = self.service.metrics.render_prometheus()
+        except Exception as exc:  # pragma: no cover - defensive
+            self._reply({"error": f"internal error: {exc}"}, status=500)
+            return
+        self._reply_text(text, content_type="text/plain; version=0.0.4; "
+                                            "charset=utf-8")
 
     def _post_v1_swap(self) -> dict:
         """Per-shard hot-swap of a served ensemble:

@@ -111,6 +111,13 @@ class ModelRegistry:
         records = list(self._records.values())
         return [r.describe() for r in sorted(records, key=lambda r: r.name)]
 
+    def records(self) -> list[ModelRecord]:
+        """One atomic snapshot of every published record, sorted by name
+        (lock-free, same single-read discipline as :meth:`describe`);
+        what scrape-time metrics collectors iterate."""
+        records = list(self._records.values())
+        return sorted(records, key=lambda r: r.name)
+
     # -- writes (serialized) ---------------------------------------------------
 
     def publish(self, name: str, model, metadata: dict | None = None

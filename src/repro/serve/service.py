@@ -54,11 +54,13 @@ from __future__ import annotations
 import contextlib
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import replace
 
 from repro.api import (
     EstimateRequest,
     EstimateResponse,
+    FeedbackRequest,
+    FeedbackResponse,
     SubplanRequest,
     SubplanResponse,
     UpdateRequest,
@@ -66,10 +68,18 @@ from repro.api import (
     build_explain_trace,
     check_operation,
     coerce_query,
+    q_error,
     with_cache_level,
+    with_trace_id,
 )
 from repro.data.table import Table
 from repro.errors import DataError, UnsupportedOperationError
+from repro.obs.metrics import (
+    QERROR_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import Tracer, trace_span
 from repro.serve.cache import EstimateCache, query_fingerprint
 from repro.serve.registry import ModelRecord, ModelRegistry
 from repro.serve.warmup import (
@@ -86,47 +96,50 @@ DEFAULT_MODEL = "default"
 EstimateResult = EstimateResponse
 
 
-@dataclass
 class LatencyStats:
-    """Streaming latency accounting with approximate percentiles.
+    """Deprecated shim: a view over an :mod:`repro.obs` histogram.
 
-    Percentiles come from a bounded window of the most recent
-    observations — enough fidelity for serving dashboards without
-    unbounded memory.
+    Latency accounting now lives in the service's
+    :class:`~repro.obs.metrics.MetricsRegistry` (the
+    ``repro_request_seconds`` histogram), where percentiles are exact
+    over the whole stream instead of a recent window.  This class keeps
+    the pre-``repro.obs`` surface working — ``service.latency.count``,
+    ``.observe()``, ``.summary()`` with the legacy ``*_ms`` keys — as a
+    filtered view over that shared histogram.  New code should read
+    ``service.metrics`` directly.
     """
 
-    window: int = 4096
-    count: int = 0
-    total_seconds: float = 0.0
-    _recent: list = field(default_factory=list)
-    _lock: threading.Lock = field(default_factory=threading.Lock)
+    def __init__(self, window: int = 4096, histogram=None,
+                 match: dict | None = None, labels: dict | None = None):
+        #: Kept for signature compatibility; the histogram is windowless.
+        self.window = window
+        if histogram is None:
+            histogram = Histogram("latency_seconds")
+        self._histogram = histogram
+        self._match = match
+        self._labels = labels or {}
+
+    @property
+    def count(self) -> int:
+        return self._histogram.snapshot(self._match)[0]
+
+    @property
+    def total_seconds(self) -> float:
+        return self._histogram.snapshot(self._match)[1]
 
     def observe(self, seconds: float) -> None:
         """Record one request's wall-clock seconds."""
-        with self._lock:
-            self.count += 1
-            self.total_seconds += seconds
-            self._recent.append(seconds)
-            if len(self._recent) > self.window:
-                del self._recent[: len(self._recent) - self.window]
-
-    def _percentile(self, ordered: list, q: float) -> float:
-        if not ordered:
-            return 0.0
-        idx = min(len(ordered) - 1, int(q * len(ordered)))
-        return ordered[idx]
+        self._histogram.observe(seconds, **self._labels)
 
     def summary(self) -> dict:
-        """JSON-ready count / mean / p50 / p99 over the recent window."""
-        with self._lock:
-            ordered = sorted(self._recent)
-            count, total = self.count, self.total_seconds
+        """JSON-ready count / mean / p50 / p99 (legacy key names)."""
+        merged = self._histogram.summary(self._match)
         return {
-            "count": count,
-            "total_seconds": total,
-            "mean_ms": (total / count * 1e3) if count else 0.0,
-            "p50_ms": self._percentile(ordered, 0.50) * 1e3,
-            "p99_ms": self._percentile(ordered, 0.99) * 1e3,
+            "count": merged["count"],
+            "total_seconds": merged["total"],
+            "mean_ms": merged["mean"] * 1e3,
+            "p50_ms": merged["p50"] * 1e3,
+            "p99_ms": merged["p99"] * 1e3,
         }
 
 
@@ -146,12 +159,20 @@ class EstimationService:
     record_path:
         Start recording served requests to this JSONL path immediately
         (equivalent to calling :meth:`start_recording` after construction).
+    metrics:
+        The :class:`~repro.obs.metrics.MetricsRegistry` to instrument
+        against (a fresh one by default; pass
+        :data:`~repro.obs.metrics.NULL_METRICS` to disable telemetry).
+    tracer:
+        The :class:`~repro.obs.trace.Tracer` recording per-request span
+        trees (a fresh one by default; pass
+        :data:`~repro.obs.trace.NULL_TRACER` to disable tracing).
     """
 
     def __init__(self, registry: ModelRegistry | None = None,
                  cache_size: int = 1024, subplan_reuse: bool = True,
                  subplan_cache_size: int | None = None,
-                 record_path=None):
+                 record_path=None, metrics=None, tracer=None):
         self.registry = registry if registry is not None else ModelRegistry()
         self.cache_size = cache_size
         self.subplan_reuse = subplan_reuse
@@ -168,12 +189,59 @@ class EstimationService:
         # thread-local: warming replays must not be recorded, but other
         # threads' genuine traffic arriving mid-warmup must be
         self._suspended = threading.local()
-        self.latency = LatencyStats()
-        self.update_latency = LatencyStats()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self._request_seconds = self.metrics.histogram(
+            "repro_request_seconds",
+            "Request latency by endpoint and model (seconds).")
+        self._qerror = self.metrics.histogram(
+            "repro_qerror",
+            "Rolling q-error of served estimates, per model "
+            "(ground truth via POST /v1/feedback or record_truth).",
+            buckets=QERROR_BUCKETS)
+        self._shard_qerror = self.metrics.histogram(
+            "repro_shard_qerror",
+            "Rolling q-error attributed to each shard the estimate read.",
+            buckets=QERROR_BUCKETS)
+        self._feedback_total = self.metrics.counter(
+            "repro_feedback_total",
+            "Ground-truth feedback samples absorbed, per model.")
+        # bound (endpoint, model) latency children: the per-request
+        # observe then skips label sorting and child lookup (a benign
+        # race on setdefault hands back equivalent handles)
+        self._bound_latency: dict[tuple[str, str], object] = {}
+        # deprecated views over repro_request_seconds (same numbers the
+        # old windowed LatencyStats reported, now stream-exact)
+        self.latency = LatencyStats(
+            histogram=self._request_seconds,
+            match={"endpoint": ("estimate", "subplans")},
+            labels={"endpoint": "estimate"})
+        self.update_latency = LatencyStats(
+            histogram=self._request_seconds,
+            match={"endpoint": "update"},
+            labels={"endpoint": "update"})
+        # scrape-time collectors: these metrics' source of truth lives
+        # behind other components' locks (cache counters, registry
+        # records, cluster worker health), so /metrics reads one
+        # consistent snapshot from the owner instead of mirroring
+        self.metrics.register_collector(self._collect_cache_metrics)
+        self.metrics.register_collector(self._collect_registry_metrics)
+        self.metrics.register_collector(self._collect_model_metrics)
         self.started_at = time.time()
         self.registry.add_swap_listener(self._on_swap)
         if record_path is not None:
             self.start_recording(record_path)
+
+    def _latency_bound(self, endpoint: str, model: str):
+        """The pre-resolved ``repro_request_seconds`` child for one
+        (endpoint, model) pair — the request hot path's observe handle."""
+        key = (endpoint, model)
+        bound = self._bound_latency.get(key)
+        if bound is None:
+            bound = self._bound_latency.setdefault(
+                key, self._request_seconds.bound(endpoint=endpoint,
+                                                 model=model))
+        return bound
 
     # -- model management ------------------------------------------------------
 
@@ -277,12 +345,34 @@ class EstimationService:
 
         With ``request.explain``, the response carries an
         :class:`~repro.api.ExplainTrace` (inference knobs, key groups and
-        bins touched, shard pruning, cache level hit).
+        bins touched, shard pruning, cache level hit); with
+        ``request.trace``, additionally the request's rendered span tree.
         """
-        return self._estimate_with(self._resolve(request.model),
-                                   request.query,
-                                   requested_model=request.model,
-                                   explain=request.explain)
+        with self.tracer.trace("request.estimate",
+                               model=request.model or "") as root:
+            response = self._estimate_with(self._resolve(request.model),
+                                           request.query,
+                                           requested_model=request.model,
+                                           explain=request.explain)
+        return self._attach_trace(response, root,
+                                  want_tree=request.trace)
+
+    def _attach_trace(self, response: EstimateResponse, root,
+                      want_tree: bool = False) -> EstimateResponse:
+        """Stamp the recorded trace onto a response: the trace id on the
+        explain (always, when tracing is on), and the rendered span tree
+        when the request asked for it (``root`` is None under the null
+        tracer)."""
+        if root is None:
+            return response
+        if response.explain is not None:
+            response = replace(response, explain=with_trace_id(
+                response.explain, root.trace_id))
+        if want_tree:
+            record = self.tracer.record_of(root)
+            if record is not None:
+                response = replace(response, trace=record.to_json())
+        return response
 
     @staticmethod
     def _touched_shards(model, query: Query):
@@ -305,33 +395,42 @@ class EstimationService:
                        requested_model: str | None = None,
                        explain: bool = False) -> EstimateResponse:
         start = time.perf_counter()
-        query = coerce_query(query)
+        with trace_span("parse"):
+            query = coerce_query(query)
         cache = self._cache_of(record.name)
-        key = query_fingerprint(query)
-        stamp = cache.invalidations
-        value = cache.get(key)
-        # a cache entry read while `record` is still published belongs to
-        # record's version (every swap invalidates before the new version
-        # can repopulate) — but a request pinned to a swapped-out record
-        # (estimate_many mid-batch) must not serve the *new* version's
-        # entries under the old version label, so verify currency AFTER
-        # the read and recompute instead of trusting a shared cache
-        if value is not None and not self.registry.is_current(record):
-            value = None
-        cache_level = "query" if value is not None else None
-        skey = None
-        if value is None and self.subplan_reuse:
-            skey = query.subplan_key()
-            value = cache.get_subplan(skey)
+        with trace_span("cache.lookup") as lookup_span:
+            key = query_fingerprint(query)
+            stamp = cache.invalidations
+            value = cache.get(key)
+            # a cache entry read while `record` is still published belongs
+            # to record's version (every swap invalidates before the new
+            # version can repopulate) — but a request pinned to a
+            # swapped-out record (estimate_many mid-batch) must not serve
+            # the *new* version's entries under the old version label, so
+            # verify currency AFTER the read and recompute instead of
+            # trusting a shared cache
             if value is not None and not self.registry.is_current(record):
                 value = None
-            if value is not None:
-                cache_level = "subplan"
-                # promote: the next identical request is a query-level hit
-                cache.put(key, value, stamp=stamp,
-                          shards=self._touched_shards(record.model, query))
+            cache_level = "query" if value is not None else None
+            skey = None
+            if value is None and self.subplan_reuse:
+                skey = query.subplan_key()
+                value = cache.get_subplan(skey)
+                if value is not None and not self.registry.is_current(
+                        record):
+                    value = None
+                if value is not None:
+                    cache_level = "subplan"
+                    # promote: the next identical request is a query-level
+                    # hit
+                    cache.put(key, value, stamp=stamp,
+                              shards=self._touched_shards(record.model,
+                                                          query))
+            if lookup_span is not None:
+                lookup_span.annotate(level=cache_level or "miss")
         if value is None:
-            value = float(record.model.estimate(query))
+            with trace_span("model.estimate", model=record.name):
+                value = float(record.model.estimate(query))
             # cache only answers from the still-published model version
             # (estimate_many pins a record across a hot-swap) and only if
             # no update/swap invalidated the cache mid-computation; a swap
@@ -349,7 +448,7 @@ class EstimationService:
             trace = with_cache_level(
                 build_explain_trace(record.model, query), cache_level)
         seconds = time.perf_counter() - start
-        self.latency.observe(seconds)
+        self._latency_bound("estimate", record.name).observe(seconds)
         return EstimateResponse(estimate=value, model=record.name,
                                 version=record.version,
                                 cached=cache_level is not None,
@@ -364,13 +463,16 @@ class EstimationService:
         return [self._estimate_with(record, q, requested_model=model)
                 for q in queries]
 
-    def explain(self, query: Query | str,
-                model: str | None = None) -> EstimateResponse:
+    def explain(self, query: Query | str, model: str | None = None,
+                trace: bool = False) -> EstimateResponse:
         """Estimate with a full :class:`~repro.api.ExplainTrace` attached
-        (the ``POST /v1/explain`` entry point)."""
+        (the ``POST /v1/explain`` entry point); ``trace=True`` also
+        attaches the request's rendered span tree
+        (``POST /v1/explain?trace=true``)."""
         return self.serve_estimate(EstimateRequest(query=query,
                                                    model=model,
-                                                   explain=True))
+                                                   explain=True,
+                                                   trace=trace))
 
     def estimate_subplans(self, query: Query | str,
                           model: str | None = None,
@@ -390,37 +492,52 @@ class EstimationService:
         maps populate both levels, so later *plain* estimates of any
         contained sub-plan are served without inference.
         """
+        with self.tracer.trace("request.subplans",
+                               model=request.model or ""):
+            return self._subplans_with(request)
+
+    def _subplans_with(self, request: SubplanRequest) -> SubplanResponse:
         start = time.perf_counter()
         model, min_tables = request.model, request.min_tables
         record = self._resolve(model)
-        query = coerce_query(request.query)
+        with trace_span("parse"):
+            query = coerce_query(request.query)
         cache = self._cache_of(record.name)
-        key = query_fingerprint(query, request=("subplans", min_tables))
-        stamp = cache.invalidations
-        value = cache.get(key)
-        # same currency rule as _estimate_with: a swap landing after the
-        # read means the entry may belong to the newer version
-        if value is not None and not self.registry.is_current(record):
-            value = None
-        skeys = None
-        if value is None and self.subplan_reuse:
-            # prefer the model's own fingerprint surface (FactorJoin.
-            # subplan_fingerprints mirrors its estimate_subplans key set
-            # by construction); fall back to the query's for models that
-            # do not expose one
-            fingerprints = getattr(record.model, "subplan_fingerprints",
-                                   None)
-            skeys = (fingerprints(query, min_tables=min_tables)
-                     if fingerprints is not None
-                     else query.subplan_keys(min_tables=min_tables))
-            found = cache.lookup_subplans(list(skeys.values()))
-            if found is not None and self.registry.is_current(record):
-                value = {subset: found[k] for subset, k in skeys.items()}
-                cache.put(key, dict(value), stamp=stamp,
-                          shards=self._touched_shards(record.model, query))
+        with trace_span("cache.lookup") as lookup_span:
+            key = query_fingerprint(query,
+                                    request=("subplans", min_tables))
+            stamp = cache.invalidations
+            value = cache.get(key)
+            # same currency rule as _estimate_with: a swap landing after
+            # the read means the entry may belong to the newer version
+            if value is not None and not self.registry.is_current(record):
+                value = None
+            level = "query" if value is not None else None
+            skeys = None
+            if value is None and self.subplan_reuse:
+                # prefer the model's own fingerprint surface (FactorJoin.
+                # subplan_fingerprints mirrors its estimate_subplans key
+                # set by construction); fall back to the query's for
+                # models that do not expose one
+                fingerprints = getattr(record.model,
+                                       "subplan_fingerprints", None)
+                skeys = (fingerprints(query, min_tables=min_tables)
+                         if fingerprints is not None
+                         else query.subplan_keys(min_tables=min_tables))
+                found = cache.lookup_subplans(list(skeys.values()))
+                if found is not None and self.registry.is_current(record):
+                    value = {subset: found[k]
+                             for subset, k in skeys.items()}
+                    level = "subplan"
+                    cache.put(key, dict(value), stamp=stamp,
+                              shards=self._touched_shards(record.model,
+                                                          query))
+            if lookup_span is not None:
+                lookup_span.annotate(level=level or "miss")
         if value is None:
-            value = record.model.estimate_subplans(query,
-                                                   min_tables=min_tables)
+            with trace_span("model.subplans", model=record.name):
+                value = record.model.estimate_subplans(
+                    query, min_tables=min_tables)
             if self.registry.is_current(record):
                 # sub-plans of one query share its touched-shard set (a
                 # superset of each sub-plan's own — conservative)
@@ -432,7 +549,7 @@ class EstimationService:
                          if s in skeys}, stamp=stamp, shards=shards)
         self._record(KIND_SUBPLANS, query, model, min_tables=min_tables)
         seconds = time.perf_counter() - start
-        self.latency.observe(seconds)
+        self._latency_bound("subplans", record.name).observe(seconds)
         # a copied map: callers mutating their result must not poison
         # the cache
         return SubplanResponse(subplans=dict(value), model=record.name,
@@ -505,6 +622,11 @@ class EstimationService:
         is invalidated even when the update raises partway — a failed
         mutation must never leave pre-failure entries serving.
         """
+        with self.tracer.trace("request.update",
+                               model=request.model or ""):
+            return self._update_with(request)
+
+    def _update_with(self, request: UpdateRequest) -> UpdateResponse:
         start = time.perf_counter()
         table_name = request.table
         new_rows, deleted_rows = request.rows, request.deleted_rows
@@ -524,7 +646,9 @@ class EstimationService:
         if deleted_rows is not None:
             deleted_rows = self._check_batch(record.model, table_name,
                                              deleted_rows, op="delete")
-        with self._update_lock:
+        with self._update_lock, trace_span("model.update",
+                                           model=record.name,
+                                           table=table_name):
             try:
                 if deleted_rows is not None:
                     record.model.update(table_name, new_rows,
@@ -540,7 +664,7 @@ class EstimationService:
                 # snapshot that concurrent GET /models responses iterate
                 self._mutated_records.add((record.name, record.version))
         seconds = time.perf_counter() - start
-        self.update_latency.observe(seconds)
+        self._latency_bound("update", record.name).observe(seconds)
         return UpdateResponse(
             model=record.name,
             version=record.version,
@@ -595,6 +719,71 @@ class EstimationService:
             "evicted": evicted,
             "full_invalidation": evicted is None,
         }
+
+    # -- accuracy telemetry ----------------------------------------------------
+
+    def record_feedback(self, request: FeedbackRequest
+                        ) -> FeedbackResponse:
+        """Absorb one ground-truth sample (``POST /v1/feedback``).
+
+        Records the q-error into the rolling per-model histogram
+        (``repro_qerror``) and, for sharded ensembles, into the per-shard
+        histogram (``repro_shard_qerror``) for every shard the estimate
+        read — the raw drift signal feedback-driven refresh consumes.
+        When the request does not pin the estimate it refers to, the
+        service re-derives it (cheap: the answer is normally still
+        cached); that re-derivation is never workload-recorded.
+        """
+        with self.tracer.trace("request.feedback",
+                               model=request.model or ""):
+            record = self._resolve(request.model)
+            with trace_span("parse"):
+                query = coerce_query(request.query)
+            estimate = request.estimate
+            if estimate is None:
+                with self.recording_suspended():
+                    estimate = self._estimate_with(
+                        record, query,
+                        requested_model=request.model).estimate
+            error = q_error(estimate, request.true_cardinality)
+            shards = self._touched_shards(record.model, query)
+            shard_list = tuple(sorted(shards)) if shards else ()
+            with trace_span("qerror.record", model=record.name):
+                self._qerror.observe(error, model=record.name)
+                for shard in shard_list:
+                    self._shard_qerror.observe(error, model=record.name,
+                                               shard=shard)
+                self._feedback_total.inc(model=record.name)
+            return FeedbackResponse(
+                model=record.name, version=record.version,
+                estimate=float(estimate),
+                true_cardinality=float(request.true_cardinality),
+                q_error=error, sql=query.to_sql(), shards=shard_list)
+
+    def record_truth(self, query: Query | str,
+                     model: str | None = None) -> FeedbackResponse:
+        """Compute ground truth locally and record it as feedback.
+
+        The truescan path: when the served model retains its raw tables
+        (``model.database`` — true for the ``truescan`` table estimator
+        and every model fitted in-process), the exact cardinality is one
+        scan away, so accuracy telemetry needs no external executor.
+        Raises :class:`~repro.errors.UnsupportedOperationError` for
+        models serving without their data.
+        """
+        record = self._resolve(model)
+        database = getattr(record.model, "database", None)
+        if database is None:
+            raise UnsupportedOperationError(
+                f"model {record.name!r} serves without its raw tables; "
+                f"ground truth must come from the executor via "
+                f"POST /v1/feedback")
+        from repro.engine.executor import CardinalityExecutor
+
+        parsed = coerce_query(query)
+        truth = float(CardinalityExecutor(database).cardinality(parsed))
+        return self.record_feedback(FeedbackRequest(
+            query=parsed, true_cardinality=truth, model=model))
 
     # -- cache snapshots -------------------------------------------------------
 
@@ -659,8 +848,85 @@ class EstimationService:
 
     # -- introspection ---------------------------------------------------------
 
+    def _collect_cache_metrics(self):
+        """Scrape-time collector: per-model cache counters.
+
+        Each model's counters come from one locked
+        :meth:`~repro.serve.cache.EstimateCache.counters` snapshot, so a
+        scrape can never pair a hit count from mid-lookup with a stale
+        miss count (hits ≤ lookups holds in every exposition).
+        """
+        with self._caches_lock:
+            caches = sorted(self._caches.items())
+        hits, misses, evictions, entries = [], [], [], []
+        invalidations, shard_evictions = [], []
+        for name, cache in caches:
+            counters = cache.counters()
+            for level, prefix in (("query", ""), ("subplan", "subplan_")):
+                labels = {"model": name, "level": level}
+                hits.append((labels, counters[f"{prefix}hits"]))
+                misses.append((labels, counters[f"{prefix}misses"]))
+                evictions.append((labels, counters[f"{prefix}evictions"]))
+                entries.append((labels, counters["size" if not prefix
+                                                 else "subplan_size"]))
+            invalidations.append(({"model": name},
+                                  counters["invalidations"]))
+            shard_evictions.append(({"model": name},
+                                    counters["shard_evictions"]))
+        return [
+            ("counter", "repro_cache_hits_total",
+             "Cache hits by model and level.", hits),
+            ("counter", "repro_cache_misses_total",
+             "Cache misses by model and level.", misses),
+            ("counter", "repro_cache_evictions_total",
+             "LRU evictions by model and level.", evictions),
+            ("gauge", "repro_cache_entries",
+             "Live cache entries by model and level.", entries),
+            ("counter", "repro_cache_invalidations_total",
+             "Whole-cache invalidations (swap/update) per model.",
+             invalidations),
+            ("counter", "repro_cache_shard_evictions_total",
+             "Entries evicted by scoped per-shard hot-swaps.",
+             shard_evictions),
+        ]
+
+    def _collect_registry_metrics(self):
+        """Scrape-time collector: uptime, swap count, published models
+        (one atomic :meth:`~repro.serve.registry.ModelRegistry.records`
+        snapshot)."""
+        records = self.registry.records()
+        return [
+            ("gauge", "repro_uptime_seconds",
+             "Seconds since the service started.",
+             [({}, time.time() - self.started_at)]),
+            ("counter", "repro_model_swaps_total",
+             "Registry publishes plus unpublishes.",
+             [({}, float(self.registry.swap_count))]),
+            ("gauge", "repro_model_version",
+             "Published version per model (presence means serving).",
+             [({"model": r.name, "kind": r.kind}, float(r.version))
+              for r in records]),
+        ]
+
+    def _collect_model_metrics(self):
+        """Scrape-time collector: families owned by the served models
+        themselves — a cluster-backed model contributes per-worker
+        health gauges and restart counters through its
+        ``collect_metrics(model_name=...)`` hook."""
+        families = []
+        for record in self.registry.records():
+            hook = getattr(record.model, "collect_metrics", None)
+            if not callable(hook):
+                continue
+            try:
+                families.extend(hook(model_name=record.name))
+            except Exception:  # one broken model must not kill /metrics
+                continue
+        return families
+
     def stats(self) -> dict:
-        """JSON-ready serving statistics (``GET /stats``)."""
+        """Legacy JSON serving statistics (the ``GET /stats`` shim);
+        new clients should read :meth:`stats_v1` at ``GET /v1/stats``."""
         with self._caches_lock:
             caches = dict(self._caches)
         with self._recorder_lock:
@@ -677,4 +943,25 @@ class EstimationService:
             "update_latency": self.update_latency.summary(),
             "caches": {name: cache.stats()
                        for name, cache in sorted(caches.items())},
+        }
+
+    def stats_v1(self) -> dict:
+        """JSON serving statistics (``GET /v1/stats``): the registry's
+        full metric families (histograms as stream-exact summaries)
+        plus registry/recording state and the trace-log occupancy."""
+        from repro.api import API_VERSION
+
+        with self._recorder_lock:
+            recorder = self._recorder
+        return {
+            "api_version": API_VERSION,
+            "uptime_seconds": time.time() - self.started_at,
+            "models": self.registry.describe(),
+            "swap_count": self.registry.swap_count,
+            "subplan_reuse": self.subplan_reuse,
+            "recording": (None if recorder is None else
+                          {"path": str(recorder.path),
+                           "recorded": recorder.recorded}),
+            "metrics": self.metrics.to_json(),
+            "traces": self.tracer.log.describe(),
         }

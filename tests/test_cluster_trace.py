@@ -1,0 +1,153 @@
+"""Cross-process trace propagation: worker spans nest under the driver
+span of one trace, inline fallbacks trace identically, and a crash plus
+ledger-replay retry stays a single trace with a marked retry span."""
+
+import time
+
+import pytest
+
+from repro.api import EstimateRequest
+from repro.cluster import ClusterModel
+from repro.core.estimator import FactorJoinConfig
+from repro.serve import EstimationService
+from repro.shard import ShardedFactorJoin
+from repro.sql import parse_query
+
+N_SHARDS = 3
+N_WORKERS = 2
+
+SQL = ("SELECT COUNT(*) FROM A a, B b "
+       "WHERE a.id = b.aid AND a.x > 1")
+SQL_FRESH = ("SELECT COUNT(*) FROM A a, B b, C c "
+             "WHERE a.id = b.aid AND b.cid = c.id AND c.z = 1")
+
+
+@pytest.fixture(scope="module")
+def artifact(tmp_path_factory):
+    from tests.conftest import build_toy_db
+
+    db = build_toy_db(seed=3)
+    config = FactorJoinConfig(n_bins=4, table_estimator="truescan", seed=0)
+    path = tmp_path_factory.mktemp("cluster-trace") / "ensemble"
+    ShardedFactorJoin(config, n_shards=N_SHARDS,
+                      parallel="serial").fit(db).save(path)
+    return str(path)
+
+
+def _traced_estimate(service, sql):
+    response = service.serve_estimate(EstimateRequest(
+        query=sql, model="cluster", explain=True, trace=True))
+    assert response.trace is not None
+    return response
+
+
+def _flatten(span, depth=0, out=None):
+    out = [] if out is None else out
+    out.append((depth, span))
+    for child in span["children"]:
+        _flatten(child, depth + 1, out)
+    return out
+
+
+class TestWorkerSpanNesting:
+    def test_cluster_query_yields_one_tree_with_worker_spans(self,
+                                                             artifact):
+        with ClusterModel.from_artifact(artifact,
+                                        workers=N_WORKERS) as cluster:
+            service = EstimationService()
+            service.register("cluster", cluster)
+            response = _traced_estimate(service, SQL)
+            tree = response.trace
+            assert tree["trace_id"] == response.explain.trace_id
+            spans = _flatten(tree["root"])
+            # one consistent trace id across driver and worker spans
+            assert all(span["trace_id"] == tree["trace_id"]
+                       for _, span in spans)
+            workers = [(depth, span) for depth, span in spans
+                       if span["name"].startswith("worker.")]
+            assert workers, "no worker-side spans in the trace"
+            assert all(span.get("remote") for _, span in workers)
+            by_id = {span["span_id"]: span for _, span in spans}
+            for _, span in workers:
+                parent = by_id[span["parent_id"]]
+                assert parent["name"].startswith("rpc.")
+            # the driver stages of the tentpole's span tree are present
+            names = [span["name"] for _, span in spans]
+            for stage in ("parse", "cache.lookup", "model.estimate",
+                          "session.prep", "probe.fanout", "bound.fold"):
+                assert stage in names, f"missing {stage} in {names}"
+
+    def test_untraced_cluster_requests_ship_no_context(self, artifact):
+        with ClusterModel.from_artifact(artifact,
+                                        workers=N_WORKERS) as cluster:
+            # no active trace: probes answer with no span machinery
+            estimate = cluster.estimate(parse_query(SQL))
+            assert estimate > 0
+
+    def test_inline_fallback_traces_identically(self, artifact):
+        with ClusterModel.from_artifact(artifact, workers=N_WORKERS,
+                                        inline=True) as cluster:
+            service = EstimationService()
+            service.register("cluster", cluster)
+            tree = _traced_estimate(service, SQL).trace
+            spans = _flatten(tree["root"])
+            workers = [span for _, span in spans
+                       if span["name"].startswith("worker.")]
+            assert workers and all(span.get("remote") for span in workers)
+            assert all(span["trace_id"] == tree["trace_id"]
+                       for _, span in spans)
+
+
+class TestCrashRetryTracing:
+    def test_crash_and_ledger_retry_stay_one_trace(self, artifact):
+        with ClusterModel.from_artifact(artifact,
+                                        workers=N_WORKERS) as cluster:
+            service = EstimationService()
+            service.register("cluster", cluster)
+            _traced_estimate(service, SQL)
+            for victim in cluster.pool.workers:
+                victim.transport.process.kill()
+            time.sleep(0.2)
+            # a fresh query (not answerable from probe memos) observes
+            # the crash and retries from the shard ledgers
+            response = _traced_estimate(service, SQL_FRESH)
+            tree = response.trace
+            spans = _flatten(tree["root"])
+            assert all(span["trace_id"] == tree["trace_id"]
+                       for _, span in spans)
+            retries = [span for _, span in spans
+                       if span["name"] in ("probe.retry", "update.retry")]
+            assert retries, "crash retry left no marked span"
+            for span in retries:
+                attrs = span["attributes"]
+                assert attrs["retried"] is True
+                assert attrs["restarted_worker"] in range(N_WORKERS)
+            # the crashed request is still exactly one trace: the ring
+            # gained one entry for it, not one per retry
+            recent = service.tracer.traces(limit=10)
+            assert [t["trace_id"] for t in recent].count(
+                tree["trace_id"]) == 1
+
+    def test_retry_answers_match_and_qerror_files_per_shard(self,
+                                                            artifact):
+        from tests.conftest import build_toy_db
+
+        db = build_toy_db(seed=3)
+        config = FactorJoinConfig(n_bins=4, table_estimator="truescan",
+                                  seed=0)
+        reference = ShardedFactorJoin(config, n_shards=N_SHARDS,
+                                      parallel="serial").fit(db)
+        with ClusterModel.from_artifact(artifact,
+                                        workers=N_WORKERS) as cluster:
+            service = EstimationService()
+            service.register("cluster", cluster)
+            response = _traced_estimate(service, SQL_FRESH)
+            assert response.estimate == reference.estimate(
+                parse_query(SQL_FRESH))
+            feedback = service.record_truth(SQL_FRESH, model="cluster")
+            assert feedback.shards  # filed per shard the estimate read
+            shard_hist = service.metrics.histogram("repro_shard_qerror")
+            for shard in feedback.shards:
+                count, *_ = shard_hist.snapshot(
+                    {"model": "cluster", "shard": shard})
+                assert count == 1

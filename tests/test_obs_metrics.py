@@ -1,0 +1,211 @@
+"""obs.metrics: instruments, exact percentiles, collectors, and the
+Prometheus render/parse round trip."""
+
+import math
+import threading
+
+import pytest
+
+from repro.obs import (
+    NULL_METRICS,
+    Histogram,
+    MetricsRegistry,
+    parse_prometheus_text,
+    quantize,
+    render_prometheus,
+)
+from repro.obs.metrics import QERROR_BUCKETS, percentile_from_counts
+
+
+class TestQuantize:
+    def test_three_significant_figures(self):
+        assert quantize(0.0012344) == pytest.approx(0.00123)
+        assert quantize(123456.0) == pytest.approx(123000.0)
+        assert quantize(1.0) == 1.0
+
+    def test_relative_error_bounded(self):
+        for value in (3.14159e-6, 0.9999, 7.77e9):
+            assert abs(quantize(value) - value) / value <= 1e-3
+
+    def test_degenerate_values_map_to_themselves(self):
+        assert quantize(0.0) == 0.0
+        assert quantize(-5.0) == -5.0
+        assert quantize(math.inf) == math.inf
+
+
+class TestCounterGauge:
+    def test_counter_accumulates_per_label_set(self):
+        registry = MetricsRegistry()
+        c = registry.counter("hits", "help")
+        c.inc(model="a")
+        c.inc(2.0, model="a")
+        c.inc(model="b")
+        assert c.value(model="a") == 3.0
+        assert c.value(model="b") == 1.0
+        assert c.value(model="absent") == 0.0
+
+    def test_gauge_set_and_inc(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(5.0)
+        g.inc(-2.0)
+        assert g.value() == 3.0
+
+    def test_get_or_create_is_idempotent_but_kind_checked(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x")
+
+
+class TestHistogram:
+    def test_exact_percentiles_over_the_whole_stream(self):
+        h = Histogram("lat")
+        for ms in range(1, 1001):  # 1..1000
+            h.observe(ms / 1000.0)
+        s = h.summary()
+        assert s["count"] == 1000
+        assert s["p50"] == pytest.approx(0.501, rel=2e-3)
+        assert s["p99"] == pytest.approx(0.991, rel=2e-3)
+        assert s["min"] == pytest.approx(0.001)
+        assert s["max"] == pytest.approx(1.0)
+
+    def test_match_filter_merges_admissible_label_sets(self):
+        h = Histogram("lat")
+        h.observe(1.0, endpoint="estimate")
+        h.observe(2.0, endpoint="subplans")
+        h.observe(100.0, endpoint="update")
+        count, total, _, _, _ = h.snapshot(
+            {"endpoint": ("estimate", "subplans")})
+        assert count == 2 and total == 3.0
+        assert h.snapshot({"endpoint": "update"})[0] == 1
+        assert h.snapshot()[0] == 3
+
+    def test_percentile_from_counts_nearest_rank(self):
+        counts = {1.0: 3, 2.0: 1}
+        assert percentile_from_counts(counts, 0.50) == 1.0
+        assert percentile_from_counts(counts, 0.99) == 2.0
+        assert percentile_from_counts({}, 0.5) == 0.0
+
+    def test_concurrent_observes_lose_nothing(self):
+        h = Histogram("lat")
+
+        def worker():
+            for _ in range(1000):
+                h.observe(0.001)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert h.snapshot()[0] == 4000
+
+
+class TestCollectAndRender:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_hits_total", "Hits.").inc(3, model="m")
+        registry.gauge("repro_depth", "Depth.").set(2.0)
+        h = registry.histogram("repro_qerror", "Q-error.",
+                               buckets=QERROR_BUCKETS)
+        for v in (1.0, 1.4, 9.0, 500.0):
+            h.observe(v, model="m")
+        return registry
+
+    def test_render_parse_round_trip(self):
+        text = self._registry().render_prometheus()
+        families = parse_prometheus_text(text)
+        assert families["repro_hits_total"]["type"] == "counter"
+        assert families["repro_qerror"]["type"] == "histogram"
+        name, labels, value = families["repro_hits_total"]["samples"][0]
+        assert labels == {"model": "m"} and value == 3.0
+
+    def test_histogram_buckets_are_cumulative_and_capped_by_inf(self):
+        text = self._registry().render_prometheus()
+        buckets = {}
+        for line in text.splitlines():
+            if line.startswith("repro_qerror_bucket"):
+                le = line.split('le="')[1].split('"')[0]
+                buckets[le] = float(line.rsplit(" ", 1)[1])
+        assert buckets["1"] == 1  # just the exact 1.0
+        assert buckets["1.5"] == 2
+        assert buckets["10"] == 3
+        assert buckets["+Inf"] == 4
+        values = [buckets[k] for k in buckets]
+        assert values == sorted(values)
+
+    def test_scrape_time_collector_families_are_included(self):
+        registry = self._registry()
+        registry.register_collector(lambda: [
+            ("gauge", "repro_worker_up", "Liveness.",
+             [({"worker": "0"}, 1.0)])])
+        text = registry.render_prometheus()
+        assert 'repro_worker_up{worker="0"} 1' in text
+        parse_prometheus_text(text)
+
+    def test_broken_collector_never_kills_the_scrape(self):
+        registry = self._registry()
+
+        def broken():
+            raise RuntimeError("boom")
+
+        registry.register_collector(broken)
+        parse_prometheus_text(registry.render_prometheus())
+
+    def test_label_values_are_escaped(self):
+        # quotes, backslashes, newlines in a label value must keep the
+        # exposition parseable (the validator reads the escaped form)
+        families = [("counter", "c", "", [({"q": 'a"b\\c\nd'}, 1.0)])]
+        parsed = parse_prometheus_text(render_prometheus(families))
+        _, labels, _ = parsed["c"]["samples"][0]
+        assert labels == {"q": 'a\\"b\\\\c\\nd'}
+
+    def test_to_json_has_summaries(self):
+        payload = self._registry().to_json()
+        assert payload["repro_qerror"]["summary"]["count"] == 4
+        assert payload["repro_hits_total"]["values"] == {"model=m": 3.0}
+
+
+class TestParserRejections:
+    def test_rejects_malformed_sample_line(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("# TYPE a counter\na{ nonsense\n")
+
+    def test_rejects_sample_preceding_type(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("orphan_metric 1\n")
+
+    def test_rejects_decreasing_cumulative_buckets(self):
+        bad = ("# TYPE h histogram\n"
+               'h_bucket{le="1"} 5\n'
+               'h_bucket{le="2"} 3\n'
+               'h_bucket{le="+Inf"} 5\n'
+               "h_sum 1\nh_count 5\n")
+        with pytest.raises(ValueError):
+            parse_prometheus_text(bad)
+
+    def test_rejects_missing_inf_bucket(self):
+        bad = ("# TYPE h histogram\n"
+               'h_bucket{le="1"} 5\n'
+               "h_sum 1\nh_count 5\n")
+        with pytest.raises(ValueError):
+            parse_prometheus_text(bad)
+
+    def test_rejects_non_numeric_value(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("# TYPE a gauge\na one\n")
+
+
+class TestNullMetrics:
+    def test_same_surface_zero_state(self):
+        h = NULL_METRICS.histogram("x")
+        h.observe(1.0, model="m")
+        assert h.snapshot()[0] == 0
+        assert h.summary()["count"] == 0
+        NULL_METRICS.counter("c").inc()
+        assert NULL_METRICS.counter("c").value() == 0.0
+        assert NULL_METRICS.collect() == []
+        assert not NULL_METRICS.enabled
+        parse_prometheus_text(NULL_METRICS.render_prometheus())

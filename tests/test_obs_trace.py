@@ -1,0 +1,187 @@
+"""obs.trace: span trees, context propagation (threads and processes),
+ring buffers, and the JSONL exporter."""
+
+import json
+import threading
+
+from repro.obs import (
+    NULL_TRACER,
+    JsonlTraceExporter,
+    TraceLog,
+    Tracer,
+    absorb_remote_spans,
+    capture_context,
+    trace_span,
+    use_context,
+    wire_context,
+)
+from repro.obs.trace import remote_span
+
+
+def _tree_names(span, out=None):
+    out = [] if out is None else out
+    out.append(span["name"])
+    for child in span["children"]:
+        _tree_names(child, out)
+    return out
+
+
+class TestSpanTree:
+    def test_nested_spans_render_one_tree(self):
+        tracer = Tracer()
+        with tracer.trace("request", model="m") as root:
+            with trace_span("parse"):
+                pass
+            with trace_span("estimate"):
+                with trace_span("probe"):
+                    pass
+        record = tracer.record_of(root)
+        tree = record.to_json()
+        assert tree["trace_id"] == root.trace_id
+        assert tree["span_count"] == 4
+        assert _tree_names(tree["root"]) == ["request", "parse",
+                                             "estimate", "probe"]
+        probe = tree["root"]["children"][1]["children"][0]
+        assert probe["parent_id"] == tree["root"]["children"][1]["span_id"]
+        assert all(span["trace_id"] == root.trace_id
+                   for span in (tree["root"], probe))
+
+    def test_span_outside_any_trace_is_free_and_silent(self):
+        with trace_span("orphan") as span:
+            assert span is None
+
+    def test_errors_are_recorded_on_the_span(self):
+        tracer = Tracer()
+        try:
+            with tracer.trace("request") as root:
+                with trace_span("inner"):
+                    raise ValueError("boom")
+        except ValueError:
+            pass
+        tree = tracer.record_of(root).to_json()
+        assert "ValueError" in tree["root"]["error"]
+        assert "ValueError" in tree["root"]["children"][0]["error"]
+
+    def test_annotate_attaches_attributes(self):
+        tracer = Tracer()
+        with tracer.trace("request") as root:
+            with trace_span("cache.lookup") as span:
+                span.annotate(level="subplan")
+        tree = tracer.record_of(root).to_json()
+        assert tree["root"]["children"][0]["attributes"] == {
+            "level": "subplan"}
+
+    def test_record_of_is_consumed_once(self):
+        tracer = Tracer()
+        with tracer.trace("request") as root:
+            pass
+        assert tracer.record_of(root) is not None
+        assert tracer.record_of(root) is None
+
+
+class TestContextPropagation:
+    def test_executor_thread_joins_the_trace_via_capture(self):
+        tracer = Tracer()
+        with tracer.trace("request") as root:
+            ctx = capture_context()
+
+            def task():
+                with use_context(ctx):
+                    with trace_span("worker.task"):
+                        pass
+
+            t = threading.Thread(target=task)
+            t.start()
+            t.join()
+        tree = tracer.record_of(root).to_json()
+        assert "worker.task" in _tree_names(tree["root"])
+
+    def test_wire_context_round_trip_absorbs_remote_spans(self):
+        tracer = Tracer()
+        with tracer.trace("request") as root:
+            with trace_span("rpc.BatchProbe") as rpc:
+                wire = wire_context()
+                assert wire == (root.trace_id, rpc.span_id)
+                # the "worker side": a picklable dict against the wire
+                span = remote_span(wire[0], wire[1], "worker.BatchProbe",
+                                   1.0, 0.002, attributes={"pid": 42})
+                absorb_remote_spans((span,))
+        tree = tracer.record_of(root).to_json()
+        rpc_node = tree["root"]["children"][0]
+        worker_node = rpc_node["children"][0]
+        assert worker_node["name"] == "worker.BatchProbe"
+        assert worker_node["remote"] and worker_node["attributes"] == {
+            "pid": 42}
+        assert worker_node["trace_id"] == root.trace_id
+
+    def test_foreign_trace_spans_are_rejected(self):
+        tracer = Tracer()
+        with tracer.trace("request") as root:
+            alien = remote_span("t-other", "s-other", "worker.X", 0.0, 0.1)
+            absorb_remote_spans((alien,))
+        assert tracer.record_of(root).to_json()["span_count"] == 1
+
+    def test_wire_context_is_none_outside_a_trace(self):
+        assert wire_context() is None
+        absorb_remote_spans(({"trace_id": "t"},))  # harmless no-op
+
+
+class TestTraceLog:
+    def test_slow_ring_keeps_only_slow_traces(self):
+        log = TraceLog(capacity=8, slow_capacity=8, slow_threshold_ms=50.0)
+        tracer = Tracer(log=log)
+        with tracer.trace("fast"):
+            pass
+        with tracer.trace("slow") as root:
+            root._t0 -= 1.0  # backdate: 1s duration
+        recent = tracer.traces()
+        assert [t["name"] for t in recent] == ["slow", "fast"]
+        slow = tracer.traces(slow=True)
+        assert [t["name"] for t in slow] == ["slow"]
+        assert log.describe() == {"recent": 2, "slow": 1,
+                                  "slow_threshold_ms": 50.0}
+
+    def test_ring_capacity_bounds_memory(self):
+        tracer = Tracer(log=TraceLog(capacity=4, slow_capacity=2))
+        for i in range(10):
+            with tracer.trace(f"r{i}"):
+                pass
+        names = [t["name"] for t in tracer.traces(limit=100)]
+        assert names == ["r9", "r8", "r7", "r6"]
+
+
+class TestExporter:
+    def test_one_json_line_per_trace(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        with JsonlTraceExporter(str(path)) as exporter:
+            tracer = Tracer(exporter=exporter)
+            for name in ("a", "b"):
+                with tracer.trace(name):
+                    with trace_span("step"):
+                        pass
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["name"] == "a" and first["span_count"] == 2
+        assert first["root"]["children"][0]["name"] == "step"
+
+    def test_export_failure_never_fails_the_request(self, tmp_path):
+        class Broken:
+            def export(self, record):
+                raise OSError("disk full")
+
+        tracer = Tracer(exporter=Broken())
+        with tracer.trace("request"):
+            pass
+        assert tracer.traces()[0]["name"] == "request"
+
+
+class TestNullTracer:
+    def test_null_tracer_records_nothing(self):
+        with NULL_TRACER.trace("request") as root:
+            assert root is None
+            with NULL_TRACER.span("inner") as span:
+                assert span is None
+        assert NULL_TRACER.traces() == []
+        assert NULL_TRACER.record_of(None) is None
+        assert not NULL_TRACER.enabled
