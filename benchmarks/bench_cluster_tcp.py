@@ -1,0 +1,226 @@
+"""TCP transport: localhost QPS vs pipe workers, bit-identical, plus a
+fault-injection soak.
+
+Two gates on a 4-shard STATS ensemble:
+
+- **fidelity** — the same workload answers bit-identically through
+  in-process, pipe, and TCP-localhost transports (the TCP workers are
+  *real* ``repro worker`` subprocesses, resolving shard artifacts
+  through a shared content-addressed store);
+- **throughput** — framing + socket hops must not eat the fan-out win:
+  TCP-localhost QPS stays within 1.5x of pipe QPS.  The assertion arms
+  on machines with >= 4 CPUs where the pipe pool actually spawned
+  processes.
+
+``test_fault_injection_soak`` drives the workload through a
+:class:`tests.fakenet.FaultProxy` cycling every fault kind for
+``REPRO_SOAK_SECONDS`` (default 5; CI uses 30), asserting every answer
+stays bit-identical through drops, disconnects, and slowloris delivery.
+"""
+
+import itertools
+import os
+import subprocess
+import sys
+import threading
+import time
+from contextlib import contextmanager
+
+import pytest
+
+from repro.cluster import ClusterModel, WorkerServer
+from repro.core.estimator import FactorJoinConfig
+from repro.eval.harness import make_context
+from repro.serve import LocalArtifactStore
+from repro.shard import ShardedFactorJoin
+from repro.utils import format_table
+
+N_SHARDS = 4
+N_CLIENTS = 4
+
+HEAVY = dict(n_bins=32, table_estimator="truescan", seed=0)
+
+
+@pytest.fixture(scope="module")
+def cluster_stats_ctx():
+    return make_context("stats", scale=2.0, seed=0, max_tables=5)
+
+
+@pytest.fixture(scope="module")
+def ensemble_artifact(cluster_stats_ctx, tmp_path_factory):
+    model = ShardedFactorJoin(FactorJoinConfig(**HEAVY), n_shards=N_SHARDS,
+                              parallel="serial").fit(
+                                  cluster_stats_ctx.database)
+    path = tmp_path_factory.mktemp("tcp-bench") / "ensemble"
+    model.save(path)
+    return model, path
+
+
+def _drive(model, queries, clients: int) -> float:
+    """Answer every query once across ``clients`` threads; returns QPS."""
+    work = list(enumerate(queries))
+    lock = threading.Lock()
+    errors = []
+
+    def client():
+        while True:
+            with lock:
+                if not work:
+                    return
+                _, query = work.pop()
+            try:
+                model.estimate(query)
+            except Exception as exc:  # pragma: no cover - fail loudly
+                errors.append(exc)
+
+    started = time.perf_counter()
+    threads = [threading.Thread(target=client) for _ in range(clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    assert not errors, errors[:1]
+    return len(queries) / elapsed
+
+
+@contextmanager
+def _worker_processes(store_root, count: int):
+    """Spawn ``count`` real ``repro worker`` subprocesses on ephemeral
+    ports and yield their HOST:PORT addresses."""
+    src_root = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath(src_root) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    procs, addresses = [], []
+    try:
+        for _ in range(count):
+            proc = subprocess.Popen(
+                [sys.executable, "-m", "repro", "worker",
+                 "--listen", "127.0.0.1:0", "--store", str(store_root)],
+                env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+                text=True)
+            procs.append(proc)
+            line = proc.stdout.readline().strip()
+            # "worker listening on HOST:PORT (store: ...)"
+            assert line.startswith("worker listening on "), line
+            addresses.append(line.split()[3])
+        yield addresses
+    finally:
+        for proc in procs:
+            proc.kill()
+        for proc in procs:
+            proc.wait(timeout=10)
+
+
+def test_tcp_localhost_vs_pipe(ensemble_artifact, cluster_stats_ctx,
+                               tmp_path):
+    """The acceptance gate: TCP-localhost serving is bit-identical to
+    pipe (and in-process) serving and within 1.5x of its QPS."""
+    in_process, path = ensemble_artifact
+    workload = cluster_stats_ctx.workload
+    store_root = tmp_path / "store"
+
+    with ClusterModel.from_artifact(path, workers=N_SHARDS) as pipe_model:
+        fallback = pipe_model.pool.fallback is not None
+        pipe_answers = [pipe_model.estimate(q) for q in workload]
+        pipe_qps = _drive(pipe_model, workload, N_CLIENTS)
+
+    with _worker_processes(store_root, N_SHARDS) as addresses:
+        with ClusterModel.from_artifact(
+                path, addresses=addresses,
+                store=LocalArtifactStore(store_root)) as tcp_model:
+            tcp_answers = [tcp_model.estimate(q) for q in workload]
+            tcp_qps = _drive(tcp_model, workload, N_CLIENTS)
+            pids = {row["pid"] for row in tcp_model.workers_health()}
+
+    local_answers = [in_process.estimate(q) for q in workload]
+    assert tcp_answers == pipe_answers == local_answers
+    assert os.getpid() not in pids  # really separate processes
+
+    ratio = pipe_qps / max(tcp_qps, 1e-9)
+    print()
+    print(format_table(
+        ["Transport", "QPS", "vs pipe"],
+        [["pipe (multiprocessing)", f"{pipe_qps:,.1f}", "1.00x"],
+         ["tcp (localhost subprocesses)", f"{tcp_qps:,.1f}",
+          f"{1 / max(ratio, 1e-9):.2f}x"]],
+        title=f"{N_SHARDS}-shard STATS ensemble, {N_CLIENTS} concurrent "
+              f"clients, {len(workload)} distinct queries "
+              f"({os.cpu_count()} CPUs)"))
+
+    cpus = os.cpu_count() or 1
+    if cpus >= N_SHARDS and not fallback:
+        # framing + localhost sockets must stay within 1.5x of pipes
+        assert tcp_qps >= pipe_qps / 1.5
+    else:
+        print(f"QPS gate skipped (cpus={cpus}, fallback={fallback})")
+        assert tcp_qps >= pipe_qps / 10.0
+
+
+def test_fault_injection_soak(ensemble_artifact, cluster_stats_ctx,
+                              tmp_path):
+    """Cycle every fault kind through a proxy for REPRO_SOAK_SECONDS
+    while serving the workload: every answer bit-identical, no estimate
+    ever fails."""
+    from tests.fakenet import FaultProxy
+
+    in_process, path = ensemble_artifact
+    workload = cluster_stats_ctx.workload[:12]
+    reference = [in_process.estimate(q) for q in workload]
+    soak_seconds = float(os.environ.get("REPRO_SOAK_SECONDS", "5"))
+    store_root = tmp_path / "store"
+    store = LocalArtifactStore(store_root)
+
+    faults = itertools.cycle([
+        ("c2s", "drop", {}),
+        ("s2c", "drop", {}),
+        ("s2c", "delay", {"seconds": 0.05}),
+        ("c2s", "dup", {}),
+        ("s2c", "dup", {}),
+        ("s2c", "truncate", {"keep": 5}),
+        ("c2s", "disconnect", {}),
+        ("s2c", "slowloris", {"chunk": 64, "pause": 0.001}),
+    ])
+
+    servers = [WorkerServer(store=store) for _ in range(2)]
+    proxies = []
+    try:
+        addresses = []
+        for server in servers:
+            server.start()
+            proxy = FaultProxy(server.address)
+            proxies.append(proxy)
+            addresses.append(f"{proxy.address[0]}:{proxy.address[1]}")
+        with ClusterModel.from_artifact(path, addresses=addresses,
+                                        store=store, timeout=1.0) as model:
+            served, rehomes = 0, 0
+            deadline = time.monotonic() + soak_seconds
+            while time.monotonic() < deadline:
+                if served and served % 50 == 0:
+                    # probe answers memoize per published state; a
+                    # re-home publishes a fresh one, so real frame
+                    # traffic (and fault consumption) keeps flowing
+                    for proxy in proxies:
+                        proxy.clear()
+                    model.rehome_shard(rehomes % N_SHARDS)
+                    rehomes += 1
+                target, kind, kw = next(faults)
+                proxies[served % len(proxies)].inject(target, kind, **kw)
+                index = served % len(workload)
+                assert model.estimate(workload[index]) == reference[index]
+                served += 1
+            applied = sum(
+                +sum(v for k, v in proxy.stats.items()
+                     if k.startswith("fault_"))
+                for proxy in proxies)
+    finally:
+        for proxy in proxies:
+            proxy.close()
+        for server in servers:
+            server.stop()
+
+    print(f"\nsoak: {served} bit-identical estimates over {soak_seconds:.0f}s"
+          f" with {applied} injected faults and {rehomes} shard re-homes, "
+          f"0 failures")
+    assert served > 0 and applied > 0

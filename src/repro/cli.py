@@ -18,6 +18,11 @@ serve      publish fitted models (single or ensemble artifacts) behind the
            recorded workload into the caches before traffic is admitted,
            ``--record`` logs served queries for the next warm start,
            ``--snapshot`` persists/restores the cache beside the artifact
+worker     run one shard worker as a TCP server (``--listen HOST:PORT``);
+           a driver started with worker addresses serves its ensemble
+           through these instead of spawning local processes —
+           ``--store DIR`` attaches the content-addressed artifact store
+           the driver publishes shard sub-artifacts into
 """
 
 from __future__ import annotations
@@ -198,6 +203,22 @@ def build_parser() -> argparse.ArgumentParser:
                               "ring (default 100)")
     p_serve.add_argument("--verbose", action="store_true",
                          help="log one line per HTTP request")
+
+    p_worker = sub.add_parser(
+        "worker", help="run one shard worker as a TCP server")
+    p_worker.add_argument("--listen", metavar="HOST:PORT",
+                          default="127.0.0.1:0",
+                          help="bind address (port 0 picks a free port; "
+                               "the bound address is printed on startup)")
+    p_worker.add_argument("--store", metavar="DIR", default=None,
+                          help="attach the content-addressed artifact "
+                               "store at DIR (a path shared with the "
+                               "driver); without it the worker can only "
+                               "load shard paths visible on its own "
+                               "filesystem")
+    p_worker.add_argument("--max-frame", type=int, default=None,
+                          metavar="BYTES",
+                          help="largest accepted RPC frame (default 1 GiB)")
     return parser
 
 
@@ -506,12 +527,41 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_worker(args) -> int:
+    from repro.cluster.net import DEFAULT_MAX_FRAME, WorkerServer, \
+        parse_address
+
+    host, port = parse_address(args.listen)
+    store = None
+    if args.store:
+        from repro.serve import LocalArtifactStore
+
+        store = LocalArtifactStore(args.store)
+    server = WorkerServer(
+        host, port, store=store,
+        max_frame=args.max_frame or DEFAULT_MAX_FRAME)
+    bound_host, bound_port = server.address
+    # drivers (and the benchmarks) parse this line to learn the port
+    # when --listen asked for port 0
+    print(f"worker listening on {bound_host}:{bound_port}"
+          + (f" (store: {args.store})" if args.store else ""),
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("worker shutting down")
+    finally:
+        server.stop()
+    return 0
+
+
 COMMANDS = {
     "summary": cmd_summary,
     "compare": cmd_compare,
     "fit": cmd_fit,
     "estimate": cmd_estimate,
     "serve": cmd_serve,
+    "worker": cmd_worker,
 }
 
 

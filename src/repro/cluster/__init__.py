@@ -10,9 +10,15 @@ unit of *execution*:
 - :mod:`repro.cluster.worker` — the worker process: a token-addressed
   map of shard-model versions answering probes, copy-on-write updates,
   statistics requests, and fit jobs with the exact in-process code;
-- :mod:`repro.cluster.pool` — process lifecycle: spawn, framed calls
-  with deadlines, health pings, crash detection, restart-with-reseed,
-  and an inline fallback for environments that cannot fork;
+- :mod:`repro.cluster.pool` — worker lifecycle behind one transport
+  surface: spawn/connect, framed calls with deadlines and a
+  slow-vs-dead grace window, health pings, crash detection,
+  restart-with-reseed, elastic grow/retire, and an inline fallback for
+  environments that cannot fork;
+- :mod:`repro.cluster.net` — the TCP transport: length-prefixed frames
+  over stdlib sockets, a client interchangeable with the pipe
+  transport, and the ``repro worker --listen`` server for multi-host
+  deployments;
 - :mod:`repro.cluster.model` — :class:`ClusterModel`: a
   :class:`~repro.shard.ensemble.ShardedFactorJoin` whose shard slots are
   worker-backed proxies — bit-identical answers, per-query batched
@@ -30,6 +36,8 @@ caches, and the ``/v1`` routes treat it like any other model.
 
 from repro.cluster.fit import fit_distributed
 from repro.cluster.messages import (
+    CompactResult,
+    CompactToken,
     Ping,
     UnknownTokenError,
     WorkerInfo,
@@ -39,6 +47,14 @@ from repro.cluster.model import (
     ClusterTableEstimator,
     RemoteShardModel,
 )
+from repro.cluster.net import (
+    FrameDecoder,
+    FrameError,
+    TcpTransport,
+    WorkerServer,
+    encode_frame,
+    parse_address,
+)
 from repro.cluster.pool import DEFAULT_TIMEOUT, WorkerPool
 from repro.cluster.worker import ShardWorker, worker_main
 from repro.errors import WorkerError
@@ -46,14 +62,22 @@ from repro.errors import WorkerError
 __all__ = [
     "ClusterModel",
     "ClusterTableEstimator",
+    "CompactResult",
+    "CompactToken",
     "DEFAULT_TIMEOUT",
+    "encode_frame",
     "fit_distributed",
+    "FrameDecoder",
+    "FrameError",
+    "parse_address",
     "Ping",
     "RemoteShardModel",
     "ShardWorker",
+    "TcpTransport",
     "UnknownTokenError",
     "worker_main",
     "WorkerError",
     "WorkerInfo",
     "WorkerPool",
+    "WorkerServer",
 ]

@@ -211,6 +211,42 @@ class ModelSizeRequest:
     token: str
 
 
+# ------------------------------------------------------------ compaction --
+
+
+@dataclass(frozen=True)
+class CompactToken:
+    """Ledger compaction: re-save ``token``'s *current* model as a fresh
+    shard sub-artifact, worker-side.
+
+    A long-lived shard accumulates an update journal in its driver-side
+    ledger; every crash reseed replays the whole journal.  Compaction
+    asks the worker holding the state to persist it — to ``save_dir``
+    (a driver-chosen directory; same host or shared filesystem), or,
+    when ``save_dir`` is ``None``, into the worker's own artifact store
+    as a content-addressed entry.  The driver then resets the token's
+    ledger to the fresh artifact with an empty journal, so the next
+    reseed is a single ``LoadShard``.
+    """
+
+    token: str
+    save_dir: str | None = None
+    summary: object | None = None
+    name: str = ""
+    compress: bool = False
+
+
+@dataclass(frozen=True)
+class CompactResult:
+    """A compaction's outcome: where the fresh sub-artifact lives (a
+    directory path, or a ``cas://`` reference when the worker published
+    into its store) plus the manifest entry."""
+
+    path: str
+    sha256: str
+    model_bytes: int
+
+
 # ----------------------------------------------------------------- fit --
 
 

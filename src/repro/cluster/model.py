@@ -55,6 +55,7 @@ import numpy as np
 from repro.cluster.messages import (
     BatchProbe,
     CloneUpdate,
+    CompactToken,
     FingerprintRequest,
     LoadShard,
     ModelSizeRequest,
@@ -79,6 +80,7 @@ from repro.shard.artifact import (
 from repro.shard.ensemble import (
     EnsembleTableEstimator,
     ShardedFactorJoin,
+    _assemble_state,
     shard_stats_of,
 )
 from repro.shard.pruning import ShardSummary
@@ -94,13 +96,17 @@ def _new_token(shard_index: int) -> str:
 @dataclass(frozen=True)
 class _Ledger:
     """How to rebuild one shard-state token from durable parts: the
-    sub-artifact on disk plus the update journal applied since.  This is
-    what worker reseeding replays and what the driver materializes for
-    in-process crash retries."""
+    sub-artifact on disk (a path, or a ``cas://`` store reference) plus
+    the update journal applied since.  This is what worker reseeding
+    replays and what the driver materializes for in-process crash
+    retries.  ``worker_id`` records which worker currently owns the
+    token — authoritative for reseeding, because re-homing moves shards
+    off the pool's default modulo layout."""
 
     shard_index: int
     path: str
     journal: tuple = ()
+    worker_id: int = -1
 
 
 class _LedgerBook:
@@ -112,11 +118,16 @@ class _LedgerBook:
     The lock is re-entrant because a finalizer can fire via GC on the
     very thread that holds it; every critical section is a single small
     operation, so re-entry is harmless.
+
+    ``store`` carries the model's artifact store (or ``None``) so every
+    ledger consumer — crash-retry materialization, hot-swaps, compaction
+    — resolves ``cas://`` paths the same way.
     """
 
-    def __init__(self):
+    def __init__(self, store=None):
         self._lock = threading.RLock()
         self._entries: dict[str, _Ledger] = {}
+        self.store = store
 
     def get(self, token: str) -> _Ledger | None:
         with self._lock:
@@ -135,9 +146,18 @@ class _LedgerBook:
             return sorted(self._entries.items())
 
 
-def _materialize_ledger(ledger: _Ledger):
+def _materialize_ledger(ledger: _Ledger, store=None):
     """A local model holding exactly the token's statistics."""
-    model, _ = load_shard_artifact(ledger.path)
+    from repro.serve.artifact import is_store_ref
+
+    path = ledger.path
+    if is_store_ref(path):
+        if store is None:
+            raise ReproError(
+                f"cannot materialize shard state from {path}: the driver "
+                f"has no artifact store attached")
+        path = store.resolve(path)
+    model, _ = load_shard_artifact(path)
     for table, rows, deleted_rows in ledger.journal:
         if deleted_rows is not None:
             model.update(table, rows, deleted_rows=deleted_rows)
@@ -239,7 +259,7 @@ class RemoteShardModel:
                 raise WorkerError(
                     f"shard state {self.token!r} has no ledger to retry "
                     f"from (already released?)")
-            model = _materialize_ledger(ledger)
+            model = _materialize_ledger(ledger, store=self._ledgers.store)
             self._local_models[self.token] = model
         return model
 
@@ -286,7 +306,8 @@ class RemoteShardModel:
             self._ledgers.set(self.token, _Ledger(
                 self.shard_index, base_ledger.path,
                 base_ledger.journal
-                + ((table_name, new_rows, deleted_rows),)))
+                + ((table_name, new_rows, deleted_rows),),
+                worker_id=self.worker_id))
 
     # -- statistics -----------------------------------------------------------
 
@@ -490,7 +511,9 @@ class ClusterModel(ShardedFactorJoin):
                       pool: WorkerPool | None = None,
                       expected_schema=None,
                       timeout: float = DEFAULT_TIMEOUT,
-                      inline: bool = False) -> "ClusterModel":
+                      inline: bool = False, addresses=None, store=None,
+                      grace: float = 0.0,
+                      compact_after: int | None = None) -> "ClusterModel":
         """Serve the ensemble artifact at ``path`` through a worker pool.
 
         ``workers`` defaults to one process per shard; fewer workers
@@ -499,6 +522,17 @@ class ClusterModel(ShardedFactorJoin):
         worker deserializes a shard the first time a query needs it.
         Pass a shared ``pool`` to host several cluster models on one set
         of processes (the pool then outlives :meth:`close`).
+
+        ``addresses`` serves through externally managed
+        ``repro worker --listen`` servers instead of local processes.
+        ``store`` attaches an artifact store
+        (:class:`~repro.serve.artifact.LocalArtifactStore` on a path
+        every worker can reach): shard sub-artifacts are published into
+        it and registered as ``cas://`` references, which is how remote
+        workers — blind to the driver's filesystem layout — resolve
+        shard state.  ``grace`` is the pool's slow-vs-dead window and
+        ``compact_after`` enables automatic ledger compaction once a
+        shard's update journal reaches that many entries.
         """
         payload, shard_dirs, _ = read_ensemble(
             path, expected_schema=expected_schema)
@@ -506,19 +540,31 @@ class ClusterModel(ShardedFactorJoin):
             raise ReproError(f"ensemble at {path} has no shards to serve")
         owns_pool = pool is None
         if pool is None:
-            pool = WorkerPool(min(workers or len(shard_dirs),
-                                  len(shard_dirs)),
-                              timeout=timeout, inline=inline)
-        ledgers = _LedgerBook()
+            if addresses is not None:
+                pool = WorkerPool(addresses=addresses, timeout=timeout,
+                                  grace=grace, store=store)
+            else:
+                pool = WorkerPool(min(workers or len(shard_dirs),
+                                      len(shard_dirs)),
+                                  timeout=timeout, grace=grace,
+                                  inline=inline, store=store)
+        if store is None:
+            store = getattr(pool, "store", None)
+        ledgers = _LedgerBook(store=store)
         local_models: dict[str, object] = {}
         slots = []
         try:
             for index, shard_dir in enumerate(shard_dirs):
                 token = _new_token(index)
                 worker_id = pool.owner_of(index)
-                ledgers.set(token, _Ledger(index, str(shard_dir)))
-                pool.call(worker_id, LoadShard(token, str(shard_dir),
-                                               index))
+                # with a store, workers address the shard by content —
+                # the only path a remote worker can resolve; without
+                # one, by the driver-local directory
+                ref = (store.publish(shard_dir) if store is not None
+                       else str(shard_dir))
+                ledgers.set(token, _Ledger(index, ref,
+                                           worker_id=worker_id))
+                pool.call(worker_id, LoadShard(token, ref, index))
                 slots.append(RemoteShardModel(pool, worker_id, index,
                                               token, ledgers,
                                               local_models))
@@ -532,6 +578,7 @@ class ClusterModel(ShardedFactorJoin):
         model._ledgers = ledgers
         model._local_models = local_models
         model._artifact_path = str(path)
+        model._compact_after = compact_after
         # hooks accumulate per model, so several cluster models can share
         # one pool and each reseeds its own tokens after a restart
         pool.add_restart_hook(model._reseed_worker)
@@ -559,19 +606,247 @@ class ClusterModel(ShardedFactorJoin):
             labels = {"model": model_name, "worker": str(row["worker"])}
             up.append((labels, 1.0 if row["alive"] else 0.0))
             restarts.append((labels, float(row["restarts"])))
+        transport = description.get("transport_stats") or {}
+        frames = [({"model": model_name, "direction": "sent"},
+                   float(transport.get("frames_sent", 0))),
+                  ({"model": model_name, "direction": "recv"},
+                   float(transport.get("frames_received", 0)))]
+        octets = [({"model": model_name, "direction": "sent"},
+                   float(transport.get("bytes_sent", 0))),
+                  ({"model": model_name, "direction": "recv"},
+                   float(transport.get("bytes_received", 0)))]
         return [
             ("gauge", "repro_worker_up",
              "Shard worker liveness (1 serving, 0 awaiting restart).", up),
             ("counter", "repro_worker_restarts_total",
              "Crashed shard workers replaced by the pool.", restarts),
+            ("counter", "repro_transport_frames_total",
+             "RPC frames on the pool's TCP transports (pipe pools "
+             "report 0).", frames),
+            ("counter", "repro_transport_bytes_total",
+             "Framed RPC bytes on the pool's TCP transports.", octets),
         ]
 
     def _reseed_worker(self, worker_id: int) -> None:
         """Rebuild every live shard-state token a restarted worker owns
-        (the pool's ``on_restart`` hook)."""
+        (the pool's ``on_restart`` hook).  Ownership is read from the
+        ledger itself — re-homing moves tokens off the pool's default
+        layout, so the modulo placement cannot be trusted here."""
         for token, ledger in self._ledgers.snapshot():
-            if self._pool.owner_of(ledger.shard_index) == worker_id:
+            owner = (ledger.worker_id if ledger.worker_id >= 0
+                     else self._pool.owner_of(ledger.shard_index))
+            if owner == worker_id:
                 _reseed_token(self._pool, worker_id, token, ledger)
+
+    # -- elasticity ------------------------------------------------------------
+
+    def grow_workers(self, count: int = 1, *, addresses=None) -> list[int]:
+        """Add workers to the pool (processes, or TCP addresses of
+        ``repro worker`` servers); returns the new worker ids.  New
+        workers start empty — move load onto them with
+        :meth:`rehome_shard`."""
+        return self._pool.grow(count, addresses=addresses)
+
+    def rehome_shard(self, index: int,
+                     worker_id: int | None = None) -> dict:
+        """Move one shard's state to another worker, atomically.
+
+        The target (least-loaded active worker by default, excluding the
+        current owner) is seeded with the shard's ledger — artifact plus
+        journal, the exact replay a crash reseed runs — under a **new**
+        token, and a new ensemble state pointing the shard's slot at the
+        target is published with the merged statistics carried over
+        unchanged, so answers before, during, and after the move are
+        bit-identical.  In-flight estimates stay pinned to the old token
+        on the old worker (which keeps it until they are garbage
+        collected); even if the old worker is retired mid-flight, those
+        probes are answered from the ledger in the driver — no token is
+        ever dropped.
+        """
+        with self._update_lock:
+            state = self._require_state()
+            if not 0 <= index < len(state.shard_set):
+                raise ReproError(
+                    f"shard index {index} out of range for a "
+                    f"{len(state.shard_set)}-shard ensemble")
+            old_slot = state.shard_set.model(index)
+            active = self._pool.active_workers()
+            if worker_id is None:
+                load = {w: 0 for w in active if w != old_slot.worker_id}
+                if not load:
+                    raise ReproError(
+                        "no other active worker to re-home onto "
+                        "(grow the pool first)")
+                for i in range(len(state.shard_set)):
+                    owner = state.shard_set.model(i).worker_id
+                    if owner in load:
+                        load[owner] += 1
+                worker_id = min(sorted(load), key=load.__getitem__)
+            elif worker_id not in active:
+                raise ReproError(
+                    f"worker {worker_id} is retired or unknown")
+            if worker_id == old_slot.worker_id:
+                return {"shard": index, "worker": worker_id,
+                        "moved": False}
+            old_ledger = self._ledgers.get(old_slot.token)
+            if old_ledger is None:
+                raise ReproError(
+                    f"shard state {old_slot.token!r} has no ledger to "
+                    f"re-home from")
+            token = _new_token(index)
+            ledger = _Ledger(index, old_ledger.path, old_ledger.journal,
+                             worker_id=worker_id)
+            self._ledgers.set(token, ledger)
+            try:
+                try:
+                    _reseed_token(self._pool, worker_id, token, ledger)
+                except WorkerError:
+                    # the target died mid-seed: replace it and try once
+                    # more before giving up (leaving the shard where it
+                    # was — nothing was published yet)
+                    self._pool.ensure_alive(worker_id)
+                    _reseed_token(self._pool, worker_id, token, ledger)
+            except Exception:
+                _release_token(self._pool, worker_id, token,
+                               self._ledgers, self._local_models)
+                raise
+            slot = RemoteShardModel(self._pool, worker_id, index, token,
+                                    self._ledgers, self._local_models)
+            # republish with the merged statistics passed through as-is
+            # (the same objects — not a -old+new float round trip, which
+            # would not be bit-stable even for identical stats)
+            merged = state.merged
+            self._state = _assemble_state(
+                self.config, merged.database, self.policy,
+                state.shard_set.replace({index: slot}), state.summaries,
+                merged.key_statistics(), merged.key_trees(),
+                merged._key_joints, state.merged_pairs, state.supports,
+                estimator_cls=type(self).table_estimator_cls)
+        return {"shard": index, "worker": worker_id,
+                "from_worker": old_slot.worker_id, "token": token,
+                "moved": True}
+
+    def shrink_worker(self, worker_id: int) -> dict:
+        """Drain one worker and retire it from the pool.
+
+        Every shard currently homed on the worker is re-homed (one at a
+        time, re-reading the published state each move, so concurrent
+        updates and swaps interleave safely), then the worker id is
+        permanently retired.  Estimates that raced the retirement with
+        probes still pinned to the old worker's tokens fall back to the
+        driver-side ledgers, bit-identically.
+        """
+        moved = []
+        while True:
+            state = self._require_state()
+            victim = None
+            for index in range(len(state.shard_set)):
+                if state.shard_set.model(index).worker_id == worker_id:
+                    victim = index
+                    break
+            if victim is None:
+                break
+            self.rehome_shard(victim)
+            moved.append(victim)
+        self._pool.retire(worker_id)
+        return {"worker": worker_id, "moved_shards": moved,
+                "retired": True}
+
+    # -- ledger compaction -----------------------------------------------------
+
+    def compact_shard(self, index: int, *, save_dir=None,
+                      force: bool = False) -> dict:
+        """Collapse one shard's ledger: persist its *current* state as a
+        fresh sub-artifact and reset the journal.
+
+        The owning worker re-saves the model it already holds
+        (:class:`~repro.cluster.messages.CompactToken`) — into
+        ``save_dir`` when given, into the attached artifact store
+        otherwise (a driver-chosen temporary directory if neither) —
+        and the token's ledger becomes ``(fresh artifact, empty
+        journal)``, so the next crash reseed is a single ``LoadShard``
+        instead of a full journal replay.  Serving state is untouched:
+        same token, same worker-side model, same answers.  If the worker
+        crashes mid-compaction, the driver materializes the ledger and
+        saves it itself.
+        """
+        with self._update_lock:
+            state = self._require_state()
+            if not 0 <= index < len(state.shard_set):
+                raise ReproError(
+                    f"shard index {index} out of range for a "
+                    f"{len(state.shard_set)}-shard ensemble")
+            slot = state.shard_set.model(index)
+            ledger = self._ledgers.get(slot.token)
+            if ledger is None:
+                raise ReproError(
+                    f"shard state {slot.token!r} has no ledger to "
+                    f"compact")
+            if not ledger.journal and not force:
+                return {"shard": index, "token": slot.token,
+                        "compacted": False, "journal_dropped": 0,
+                        "path": ledger.path}
+            summary = state.summaries[index]
+            store = self._ledgers.store
+            if save_dir is None and store is None:
+                import tempfile
+
+                save_dir = tempfile.mkdtemp(
+                    prefix=f"repro-compact-s{index}-")
+            message = CompactToken(
+                slot.token,
+                save_dir=str(save_dir) if save_dir is not None else None,
+                summary=summary)
+            try:
+                result = self._pool.call(slot.worker_id, message)
+                path = result.path
+            except WorkerError:
+                self._pool.ensure_alive(slot.worker_id)
+                path = self._compact_locally(slot, message, store)
+            dropped = len(ledger.journal)
+            self._ledgers.set(slot.token,
+                              _Ledger(index, str(path),
+                                      worker_id=slot.worker_id))
+        return {"shard": index, "token": slot.token, "compacted": True,
+                "journal_dropped": dropped, "path": str(path)}
+
+    def _compact_locally(self, slot: RemoteShardModel, message, store):
+        """Driver-side compaction fallback: materialize the ledger and
+        persist it here (same artifact writer the worker would run)."""
+        import tempfile
+
+        from repro.shard.artifact import save_shard_artifact
+
+        model = slot._local_model()
+        if message.save_dir is not None:
+            save_shard_artifact(model, message.save_dir,
+                                summary=message.summary)
+            return message.save_dir
+        with tempfile.TemporaryDirectory(
+                prefix="repro-compact-") as staging:
+            save_shard_artifact(model, staging, summary=message.summary)
+            return store.publish(staging)
+
+    def update(self, table_name: str, new_rows=None,
+               deleted_rows=None) -> None:
+        """Routed incremental update (inherited), plus automatic ledger
+        compaction when ``compact_after`` is configured."""
+        super().update(table_name, new_rows, deleted_rows=deleted_rows)
+        self._auto_compact()
+
+    def _auto_compact(self) -> None:
+        limit = getattr(self, "_compact_after", None)
+        if not limit:
+            return
+        state = self._require_state()
+        for index in range(len(state.shard_set)):
+            slot = state.shard_set.model(index)
+            ledger = self._ledgers.get(slot.token)
+            if ledger is not None and len(ledger.journal) >= limit:
+                try:
+                    self.compact_shard(index)
+                except (WorkerError, ReproError):
+                    pass  # best-effort; the next update tries again
 
     def close(self) -> None:
         """Detach from the pool: deregister the reseed hook, and shut
@@ -737,20 +1012,24 @@ class ClusterModel(ShardedFactorJoin):
         path = Path(replacement)
         if summary is None:
             summary = load_shard_summary(path) or ShardSummary({})
-        old_stats = state.shard_set.model(index).shard_stats()
-        worker_id = self._pool.owner_of(index)
+        old_slot = state.shard_set.model(index)
+        old_stats = old_slot.shard_stats()
+        # the shard's *current* home (re-homing moves shards off the
+        # pool's default layout, so owner_of(index) would be wrong)
+        worker_id = old_slot.worker_id
+        store = self._ledgers.store
+        ref = store.publish(path) if store is not None else str(path)
         token = _new_token(index)
-        ledger = _Ledger(index, str(path))
+        ledger = _Ledger(index, ref, worker_id=worker_id)
         self._ledgers.set(token, ledger)
         try:
             try:
-                self._pool.call(worker_id, LoadShard(token, str(path),
-                                                     index))
+                self._pool.call(worker_id, LoadShard(token, ref, index))
                 new_stats = self._pool.call(worker_id,
                                             ShardStatsRequest(token))
             except WorkerError:
                 self._pool.ensure_alive(worker_id)
-                model = _materialize_ledger(ledger)
+                model = _materialize_ledger(ledger, store=store)
                 self._local_models[token] = model
                 new_stats = shard_stats_of(model, model.database.schema)
         except Exception:

@@ -1,28 +1,48 @@
-"""The worker pool: process lifecycle, framed RPC, crash recovery.
+"""The worker pool: worker lifecycle, framed RPC, crash recovery.
 
-One :class:`WorkerPool` hosts ``n_workers`` shard worker processes
-(:func:`~repro.cluster.worker.worker_main`), each on its own
-:mod:`multiprocessing` pipe.  The pool owns the transport concerns —
-request framing, per-worker serialization, timeouts, health-check pings,
-crash detection, restart — and nothing about estimation; the cluster
-model programs against :meth:`call` / :meth:`submit` and registers an
-``on_restart`` hook that reseeds a fresh process with its shard state.
+One :class:`WorkerPool` hosts a set of shard workers behind a common
+*transport* surface — ``request(message, timeout, grace)``, ``pid``,
+``is_alive``, ``close``, ``kill`` — with three interchangeable
+implementations:
+
+- :class:`_ProcessWorker` — a spawned local process on a
+  :mod:`multiprocessing` pipe (the default);
+- :class:`~repro.cluster.net.TcpTransport` — a connection to an
+  externally managed ``repro worker --listen HOST:PORT`` server,
+  selected by constructing the pool with ``addresses=[...]``;
+- :class:`_InlineWorker` — the same handler table executed in the
+  driver process (fallback for environments that cannot spawn,
+  preserving behavior bit for bit).
+
+The pool owns the transport concerns — request framing, per-worker
+serialization, timeouts, health-check pings, crash detection, restart —
+and nothing about estimation; the cluster model programs against
+:meth:`call` / :meth:`submit` and registers an ``on_restart`` hook that
+reseeds a fresh worker with its shard state.
 
 Failure model
 -------------
-A worker that dies (killed, OOM, segfault) or stops answering within the
-deadline is marked dead and its process reaped; the next :meth:`call`
-raises :class:`~repro.errors.WorkerError`, and :meth:`ensure_alive`
-spawns a replacement and runs the reseed hook.  Callers retry the failed
-request *in the driver process* (the cluster model keeps per-shard
-ledgers for exactly that), so a crash costs latency, never availability
-or a wrong answer.
+A worker that dies (killed, OOM, segfault, connection reset) or stops
+answering within the deadline **plus the grace window** is marked dead
+and its transport reaped; the next :meth:`call` raises
+:class:`~repro.errors.WorkerError`, and :meth:`ensure_alive` spawns a
+replacement (for TCP workers: reconnects) and runs the reseed hook.
+Callers retry the failed request *in the driver process* (the cluster
+model keeps per-shard ledgers for exactly that), so a crash costs
+latency, never availability or a wrong answer.  The grace window exists
+because "slow" and "dead" are different failures: a worker that is
+merely busy past the deadline — but whose process/connection is
+demonstrably alive — gets one ``grace``-second extension before the
+pool declares it dead and pays a restart plus full ledger reseed.
 
-Environments that cannot start processes at all (no fork, sandboxed
-semaphores) degrade to **inline workers**: the same
-:class:`~repro.cluster.worker.ShardWorker` handler table executed in the
-driver process, preserving behavior bit for bit — the cluster then adds
-no parallelism, and ``fallback`` records why.
+Elasticity
+----------
+:meth:`grow` appends workers (processes or TCP addresses) at runtime;
+:meth:`retire` permanently removes one from service after its shards
+have been re-homed (the cluster model's ``shrink_worker`` orchestrates
+both halves).  Worker ids are stable for the pool's lifetime — a
+retired id is never reused — and :meth:`owner_of` places new shard
+state across the active workers only.
 """
 
 from __future__ import annotations
@@ -41,15 +61,22 @@ from repro.obs.trace import absorb_remote_spans, trace_span, wire_context
 #: Seconds a worker gets to answer one request before it is declared hung.
 DEFAULT_TIMEOUT = 120.0
 
+#: Keys of every transport's byte/frame counters (pipe transports keep
+#: them at zero; the TCP transport counts).
+TRANSPORT_STAT_KEYS = ("frames_sent", "frames_received",
+                       "bytes_sent", "bytes_received")
+
 
 class _InlineWorker:
     """A worker without a process: handlers run in the driver (fallback
     for environments that cannot spawn; also handy in unit tests)."""
 
-    def __init__(self):
-        self.worker = ShardWorker()
+    kind = "inline"
 
-    def request(self, message, timeout):
+    def __init__(self, store=None):
+        self.worker = ShardWorker(store=store)
+
+    def request(self, message, timeout, grace: float = 0.0):
         # the shared traced-handling path, so an inline "worker" yields
         # the identical worker.<Message> span a process worker would
         value, error, spans = handle_traced(self.worker, message,
@@ -78,10 +105,12 @@ class _InlineWorker:
 class _ProcessWorker:
     """One spawned worker process plus its driver-side pipe end."""
 
-    def __init__(self, index: int, context):
+    kind = "pipe"
+
+    def __init__(self, index: int, context, store=None):
         parent, child = context.Pipe()
         self.process = context.Process(
-            target=worker_main, args=(child,), daemon=True,
+            target=worker_main, args=(child, store), daemon=True,
             name=f"repro-cluster-w{index}")
         self.process.start()
         child.close()
@@ -95,18 +124,26 @@ class _ProcessWorker:
     def is_alive(self) -> bool:
         return self.process.is_alive()
 
-    def request(self, message, timeout):
+    def request(self, message, timeout, grace: float = 0.0):
         self._next_id += 1
         request = Request(id=self._next_id, message=message,
                           trace=wire_context())
         self.conn.send(request)
         deadline = time.monotonic() + timeout
+        grace_left = max(0.0, float(grace))
         while True:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
+                if grace_left > 0 and self.process.is_alive():
+                    # slow-but-alive: the process is demonstrably up, so
+                    # extend once instead of paying restart + reseed
+                    deadline += grace_left
+                    grace_left = 0.0
+                    continue
                 raise TimeoutError(
                     f"worker pid {self.pid} did not answer a "
-                    f"{type(message).__name__} within {timeout:.0f}s")
+                    f"{type(message).__name__} within {timeout:.0f}s "
+                    f"(+{float(grace):.0f}s grace)")
             if self.conn.poll(min(remaining, 0.5)):
                 reply: Reply = self.conn.recv()
                 if reply.id != request.id:
@@ -135,36 +172,80 @@ class _WorkerSlot:
     """Pool bookkeeping for one worker id: transport, serialization lock,
     liveness, restart generation, and pending token releases."""
 
-    def __init__(self, index: int):
+    def __init__(self, index: int, address=None):
         self.index = index
+        self.address = address  # (host, port) for TCP workers, else None
         self.transport = None
         self.lock = threading.Lock()
         self.restart_lock = threading.Lock()
         self.alive = False
+        self.retired = False
         self.generation = 0
         self.restarts = 0
+        self.last_error: str | None = None
         self.pending_releases = collections.deque()
+        # transport counters folded in whenever a transport is replaced,
+        # so the repro_transport_* metrics stay monotone across restarts
+        self.stat_totals = dict.fromkeys(TRANSPORT_STAT_KEYS, 0)
+
+    def fold_stats(self) -> None:
+        """Fold the current transport's counters into the slot totals."""
+        stats = getattr(self.transport, "stats", None)
+        if stats:
+            for key in TRANSPORT_STAT_KEYS:
+                self.stat_totals[key] += stats.get(key, 0)
+                stats[key] = 0
+
+    def stats(self) -> dict:
+        """Monotone transport counters (totals + live transport)."""
+        live = getattr(self.transport, "stats", None) or {}
+        return {key: self.stat_totals[key] + live.get(key, 0)
+                for key in TRANSPORT_STAT_KEYS}
 
 
 class WorkerPool:
-    """A fixed-size pool of shard worker processes (see module docs).
+    """A pool of shard workers behind one transport surface (see module
+    docs).
 
     Parameters
     ----------
     n_workers:
-        Worker process count (shard *i* is owned by ``i % n_workers``).
+        Local worker process count.  Mutually exclusive with
+        ``addresses``.
     timeout:
         Per-request deadline in seconds before a worker counts as hung.
+    grace:
+        Extra seconds a worker whose process/connection is still alive
+        gets past the deadline before it is declared dead (the
+        slow-vs-dead distinction; 0 restores deadline-only behavior).
     inline:
         Force the in-process fallback (no processes spawned).
+    addresses:
+        ``"HOST:PORT"`` strings (or pairs) of externally managed
+        ``repro worker`` servers; one TCP worker per address.
+    store:
+        Artifact store handed to spawned/inline workers so they resolve
+        ``cas://`` shard references (TCP workers configure their own
+        store server-side).
     """
 
-    def __init__(self, n_workers: int, *, timeout: float = DEFAULT_TIMEOUT,
-                 inline: bool = False):
-        if n_workers < 1:
+    def __init__(self, n_workers: int | None = None, *,
+                 timeout: float = DEFAULT_TIMEOUT, grace: float = 0.0,
+                 inline: bool = False, addresses=None, store=None,
+                 connect_timeout: float = 5.0):
+        if addresses is not None:
+            if n_workers is not None:
+                raise ReproError(
+                    "pass n_workers or addresses, not both")
+            addresses = list(addresses)
+            if not addresses:
+                raise ReproError("addresses must name at least one worker")
+        elif n_workers is None or n_workers < 1:
             raise ReproError(f"n_workers must be >= 1, got {n_workers}")
-        self.n_workers = int(n_workers)
         self.timeout = float(timeout)
+        self.grace = float(grace)
+        self.connect_timeout = float(connect_timeout)
+        self.store = store
         self.fallback: str | None = "inline requested" if inline else None
         # called with a worker id after a crashed worker was replaced;
         # every cluster model sharing this pool registers one to reseed
@@ -172,35 +253,161 @@ class WorkerPool:
         self._restart_hooks: list = []
         self._context = mp.get_context()
         self._closed = False
+        self._grow_lock = threading.Lock()
+        if addresses is not None:
+            from repro.cluster.net import parse_address
+
+            self._slots = [
+                _WorkerSlot(i, address=parse_address(address))
+                for i, address in enumerate(addresses)]
+        else:
+            self._slots = [_WorkerSlot(i) for i in range(int(n_workers))]
+        self._executor_capacity = len(self._slots)
         self._executor = ThreadPoolExecutor(
-            max_workers=self.n_workers, thread_name_prefix="repro-cluster")
-        self._slots = [_WorkerSlot(i) for i in range(self.n_workers)]
-        for slot in self._slots:
-            self._start(slot, inline=inline)
+            max_workers=self._executor_capacity,
+            thread_name_prefix="repro-cluster")
+        try:
+            for slot in self._slots:
+                self._start(slot, inline=inline, initial=True)
+        except Exception:
+            self.shutdown()
+            raise
 
     # -- lifecycle -------------------------------------------------------------
 
-    def _start(self, slot: _WorkerSlot, inline: bool = False) -> None:
-        if inline or self.fallback is not None:
-            slot.transport = _InlineWorker()
+    @property
+    def n_workers(self) -> int:
+        """Active (non-retired) worker count."""
+        return sum(1 for slot in self._slots if not slot.retired)
+
+    def _start(self, slot: _WorkerSlot, inline: bool = False,
+               initial: bool = False) -> None:
+        if slot.address is not None:
+            from repro.cluster.net import TcpTransport
+
+            try:
+                slot.transport = TcpTransport(
+                    slot.address, connect_timeout=self.connect_timeout)
+            except OSError as exc:
+                # an unreachable worker at construction is a hard error;
+                # on restart it leaves the slot dead and the next call's
+                # ensure_alive retries the reconnect
+                slot.transport = None
+                slot.alive = False
+                slot.last_error = f"{type(exc).__name__}: {exc}"
+                if initial:
+                    raise WorkerError(
+                        f"cannot connect to worker at "
+                        f"{slot.address[0]}:{slot.address[1]}: "
+                        f"{exc}") from exc
+                return
+        elif inline or self.fallback is not None:
+            slot.transport = _InlineWorker(store=self.store)
         else:
             try:
-                slot.transport = _ProcessWorker(slot.index, self._context)
+                slot.transport = _ProcessWorker(slot.index, self._context,
+                                                store=self.store)
             except (OSError, ValueError, ImportError) as exc:
                 # constrained environments (no fork, no semaphores) keep
                 # serving through inline workers instead of failing
                 self.fallback = f"{type(exc).__name__}: {exc}"
-                slot.transport = _InlineWorker()
+                slot.transport = _InlineWorker(store=self.store)
         slot.alive = True
+        slot.last_error = None
         slot.generation += 1
 
     def owner_of(self, shard_index: int) -> int:
-        """The worker id owning ``shard_index`` (fixed modulo layout)."""
-        return shard_index % self.n_workers
+        """The worker id owning newly placed shard state: a fixed modulo
+        layout while every worker is active, and a modulo over the
+        active ids once some have been retired."""
+        slots = self._slots
+        active = [slot.index for slot in slots if not slot.retired]
+        if not active:
+            raise WorkerError("the worker pool has no active workers")
+        if len(active) == len(slots):
+            return shard_index % len(slots)
+        return active[shard_index % len(active)]
+
+    def active_workers(self) -> list[int]:
+        """Ids of the workers currently in service (not retired)."""
+        return [slot.index for slot in self._slots if not slot.retired]
+
+    def grow(self, count: int = 1, *, addresses=None) -> list[int]:
+        """Append workers to the pool; returns their new ids.
+
+        Without ``addresses``, ``count`` local processes are spawned
+        (inline fallbacks under the pool's fallback mode); with it, one
+        TCP worker per ``"HOST:PORT"`` is connected.  New workers start
+        empty — they own shard state only once the cluster model
+        re-homes (or newly places) shards onto them.
+        """
+        if self._closed:
+            raise WorkerError("the worker pool is shut down")
+        if addresses is not None:
+            from repro.cluster.net import parse_address
+
+            specs = [parse_address(address) for address in addresses]
+        else:
+            specs = [None] * int(count)
+        if not specs:
+            return []
+        added = []
+        with self._grow_lock:
+            for address in specs:
+                slot = _WorkerSlot(len(self._slots), address=address)
+                self._start(slot, inline=self.fallback is not None,
+                            initial=True)
+                self._slots.append(slot)
+                added.append(slot.index)
+            self._resize_executor()
+        return added
+
+    def retire(self, worker_id: int) -> None:
+        """Permanently remove one worker from service.
+
+        The caller must re-home the worker's shard state first (the
+        cluster model's ``shrink_worker`` does); calls to a retired
+        worker raise :class:`~repro.errors.WorkerError` and are answered
+        from the shard ledgers like any other worker failure, so an
+        estimate in flight across the retirement still completes
+        bit-identically.  A retired id is never restarted or reused.
+        """
+        slot = self._slots[worker_id]
+        with slot.restart_lock:
+            with slot.lock:
+                if slot.retired:
+                    return
+                slot.retired = True
+                slot.alive = False
+                transport = slot.transport
+                if transport is not None:
+                    if slot.address is None:
+                        # local process: orderly exit; a TCP worker is
+                        # externally managed, just drop the connection
+                        try:
+                            transport.request(Shutdown(), 2.0)
+                        except Exception:
+                            pass
+                    slot.fold_stats()
+                    transport.kill()
+                slot.pending_releases.clear()
+
+    def _resize_executor(self) -> None:
+        if len(self._slots) <= self._executor_capacity:
+            return
+        old = self._executor
+        self._executor_capacity = len(self._slots)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._executor_capacity,
+            thread_name_prefix="repro-cluster")
+        # in-flight futures finish on the old executor's threads
+        old.shutdown(wait=False)
 
     def ensure_alive(self, worker_id: int) -> bool:
         """Replace a dead worker and reseed it; returns True when a
-        restart actually happened (idempotent under concurrency)."""
+        restart actually happened (idempotent under concurrency).
+        TCP workers reconnect instead of respawning; retired workers
+        stay down."""
         slot = self._slots[worker_id]
         with slot.restart_lock:
             # slot.lock waits out any in-flight request on the old
@@ -208,14 +415,17 @@ class WorkerPool:
             # caller (lock order restart_lock -> lock, matching nothing
             # else, so no deadlock)
             with slot.lock:
-                if slot.alive or self._closed:
+                if slot.alive or slot.retired or self._closed:
                     return False
                 old = slot.transport
                 if old is not None:
+                    slot.fold_stats()
                     old.kill()
-                slot.pending_releases.clear()  # died with the process
+                slot.pending_releases.clear()  # died with the worker
                 slot.restarts += 1
                 self._start(slot)
+                if not slot.alive:
+                    return False  # reconnect failed; next call retries
         for hook in list(self._restart_hooks):
             try:
                 hook(worker_id)
@@ -245,15 +455,17 @@ class WorkerPool:
         if self._closed:
             return
         self._closed = True
-        for slot in self._slots:
+        for slot in list(self._slots):
             with slot.lock:
                 transport = slot.transport
-                if slot.alive and transport is not None:
+                if (slot.alive and transport is not None
+                        and slot.address is None):
                     try:
-                        transport.request(Shutdown(), timeout=2.0)
+                        transport.request(Shutdown(), 2.0)
                     except Exception:
                         pass
                 if transport is not None:
+                    slot.fold_stats()
                     transport.kill()
                 slot.alive = False
         self._executor.shutdown(wait=False, cancel_futures=True)
@@ -269,10 +481,11 @@ class WorkerPool:
     def call(self, worker_id: int, message, timeout: float | None = None):
         """Send one message to one worker and return its answer.
 
-        Serialized per worker (one pipe, one in-flight request).
-        Transport failures — death, hang, broken pipe — mark the worker
-        dead and raise :class:`~repro.errors.WorkerError`; application
-        errors raised by the handler re-raise verbatim.
+        Serialized per worker (one transport, one in-flight request).
+        Transport failures — death, hang past timeout+grace, broken
+        pipe, connection reset — mark the worker dead and raise
+        :class:`~repro.errors.WorkerError`; application errors raised
+        by the handler re-raise verbatim.
         """
         if self._closed:
             raise WorkerError("the worker pool is shut down")
@@ -281,6 +494,8 @@ class WorkerPool:
         # traced request that wait is exactly the latency the driver saw
         with trace_span(f"rpc.{type(message).__name__}", worker=worker_id):
             with slot.lock:
+                if slot.retired:
+                    raise WorkerError(f"worker {worker_id} is retired")
                 if not slot.alive:
                     raise WorkerError(
                         f"worker {worker_id} is dead (restart pending)")
@@ -288,10 +503,13 @@ class WorkerPool:
                 try:
                     return slot.transport.request(
                         message,
-                        timeout if timeout is not None else self.timeout)
+                        timeout if timeout is not None else self.timeout,
+                        grace=self.grace)
                 except (EOFError, OSError, BrokenPipeError,
                         TimeoutError) as exc:
                     slot.alive = False
+                    slot.last_error = f"{type(exc).__name__}: {exc}"
+                    slot.fold_stats()
                     slot.transport.kill()
                     raise WorkerError(
                         f"worker {worker_id} failed a "
@@ -323,7 +541,7 @@ class WorkerPool:
         if tokens:
             try:
                 slot.transport.request(ReleaseTokens(tuple(tokens)),
-                                       timeout=self.timeout)
+                                       self.timeout)
             except Exception:
                 pass  # releases are best-effort memory hygiene
 
@@ -336,21 +554,29 @@ class WorkerPool:
         a harmless no-op.
         """
         if not self._closed:
-            self._slots[worker_id].pending_releases.append(token)
+            slot = self._slots[worker_id]
+            if not slot.retired:
+                slot.pending_releases.append(token)
 
     # -- health ----------------------------------------------------------------
 
     def ping(self, worker_id: int, timeout: float = 5.0):
-        """One worker's :class:`~repro.cluster.messages.WorkerInfo`."""
+        """One worker's :class:`~repro.cluster.messages.WorkerInfo`.
+        Subject to the pool's grace window like any call, so a busy
+        worker is not declared dead by an impatient health check."""
         return self.call(worker_id, Ping(), timeout=timeout)
 
     def health(self, timeout: float = 5.0) -> list[dict]:
-        """Ping every worker; one JSON-ready row per worker, dead ones
-        included (``alive: false`` plus the failure)."""
+        """Ping every worker; one JSON-ready row per worker id, dead and
+        retired ones included (``alive: false`` plus the reason)."""
         rows = []
-        for slot in self._slots:
+        for slot in list(self._slots):
             row = {"worker": slot.index, "generation": slot.generation,
-                   "restarts": slot.restarts}
+                   "restarts": slot.restarts, "retired": slot.retired}
+            if slot.retired:
+                row.update(alive=False, error="retired")
+                rows.append(row)
+                continue
             try:
                 info = self.ping(slot.index, timeout=timeout)
                 row.update(alive=True, **info.describe())
@@ -359,16 +585,32 @@ class WorkerPool:
             rows.append(row)
         return rows
 
+    def transport_stats(self) -> dict:
+        """Pool-wide transport counters (monotone across restarts):
+        frames and bytes sent/received.  Pipe and inline transports do
+        not frame, so a pipe-only pool reports zeros."""
+        totals = dict.fromkeys(TRANSPORT_STAT_KEYS, 0)
+        for slot in list(self._slots):
+            for key, value in slot.stats().items():
+                totals[key] += value
+        return totals
+
     def describe(self) -> dict:
-        """Cheap pool summary (no pings): liveness flags and restarts."""
+        """Cheap pool summary (no pings): liveness flags, restarts,
+        transport kinds, and aggregate transport counters."""
         return {
             "n_workers": self.n_workers,
             "fallback": self.fallback,
+            "transport_stats": self.transport_stats(),
             "workers": [
                 {"worker": slot.index, "alive": slot.alive,
+                 "retired": slot.retired,
                  "restarts": slot.restarts,
+                 "transport": getattr(slot.transport, "kind", None),
+                 "address": (f"{slot.address[0]}:{slot.address[1]}"
+                             if slot.address else None),
                  "pid": getattr(slot.transport, "pid", None)}
-                for slot in self._slots
+                for slot in list(self._slots)
             ],
         }
 

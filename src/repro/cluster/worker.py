@@ -24,6 +24,8 @@ import time
 from repro.cluster.messages import (
     BatchProbe,
     CloneUpdate,
+    CompactResult,
+    CompactToken,
     FingerprintRequest,
     FitShardRequest,
     FitShardResult,
@@ -87,15 +89,35 @@ class _Slot:
 
 
 class ShardWorker:
-    """Handler table for every cluster message (see module docstring)."""
+    """Handler table for every cluster message (see module docstring).
 
-    def __init__(self):
+    ``store`` optionally attaches an artifact store
+    (:class:`~repro.serve.artifact.LocalArtifactStore` or compatible):
+    with one, ``cas://<digest>`` shard paths resolve through the store —
+    the multi-host mode, where a worker cannot see the driver's local
+    paths — and compaction can publish fresh sub-artifacts back into it.
+    """
+
+    def __init__(self, store=None):
         self._slots: dict[str, _Slot] = {}
+        self.store = store
         self.probes = 0
         self.updates = 0
         self.fits = 0
 
     # -- state ----------------------------------------------------------------
+
+    def _resolve_path(self, path: str):
+        from repro.serve.artifact import is_store_ref
+
+        if not is_store_ref(path):
+            return path
+        if self.store is None:
+            raise ReproError(
+                f"worker pid {os.getpid()} was asked to load {path} but "
+                f"has no artifact store attached (start it with "
+                f"--store DIR, or pass store= to the pool)")
+        return self.store.resolve(path)
 
     def _model(self, token: str):
         slot = self._slots.get(token)
@@ -106,7 +128,8 @@ class ShardWorker:
         if slot.model is None:
             from repro.shard.artifact import load_shard_artifact
 
-            slot.model, _ = load_shard_artifact(slot.path)
+            slot.model, _ = load_shard_artifact(
+                self._resolve_path(slot.path))
         return slot.model
 
     # -- handlers -------------------------------------------------------------
@@ -188,6 +211,33 @@ class ShardWorker:
         self.fits += 1
         return result
 
+    def _compact(self, message: CompactToken) -> CompactResult:
+        import tempfile
+
+        from repro.shard.artifact import save_shard_artifact
+
+        model = self._model(message.token)
+        if message.save_dir is not None:
+            dest = message.save_dir
+            entry = save_shard_artifact(
+                model, dest, summary=message.summary,
+                name=message.name or None, compress=message.compress)
+            path = str(dest)
+        else:
+            if self.store is None:
+                raise ReproError(
+                    f"worker pid {os.getpid()} cannot compact "
+                    f"{message.token!r} into a store: none attached "
+                    f"(pass save_dir, or start the worker with --store)")
+            with tempfile.TemporaryDirectory(
+                    prefix="repro-compact-") as staging:
+                entry = save_shard_artifact(
+                    model, staging, summary=message.summary,
+                    name=message.name or None, compress=message.compress)
+                path = self.store.publish(staging)
+        return CompactResult(path=path, sha256=entry["sha256"],
+                             model_bytes=entry["model_bytes"])
+
     _HANDLERS = {
         Ping: _ping,
         LoadShard: _load,
@@ -198,6 +248,7 @@ class ShardWorker:
         FingerprintRequest: _fingerprint,
         ModelSizeRequest: _model_size,
         FitShardRequest: _fit_shard,
+        CompactToken: _compact,
     }
 
 
@@ -248,7 +299,7 @@ def _sendable_error(exc: BaseException) -> BaseException:
         return ReproError(f"{type(exc).__name__}: {exc}")
 
 
-def worker_main(conn) -> None:
+def worker_main(conn, store=None) -> None:
     """Process entry point: answer framed requests until shutdown.
 
     Runs single-threaded over one pipe; any exception a handler raises
@@ -265,7 +316,7 @@ def worker_main(conn) -> None:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
     except (ValueError, OSError):  # pragma: no cover - exotic platforms
         pass
-    worker = ShardWorker()
+    worker = ShardWorker(store=store)
     while True:
         try:
             request: Request = conn.recv()

@@ -27,6 +27,8 @@ through the registry, caches, and HTTP front end unchanged.
 
 from repro.serve.artifact import (
     FORMAT_VERSION,
+    LocalArtifactStore,
+    is_store_ref,
     load_model,
     read_manifest,
     save_model,
@@ -62,8 +64,10 @@ __all__ = [
     "EstimationService",
     "FORMAT_VERSION",
     "generated_workload",
+    "is_store_ref",
     "LatencyStats",
     "load_model",
+    "LocalArtifactStore",
     "load_workload",
     "make_server",
     "model_fingerprint",

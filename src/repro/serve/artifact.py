@@ -14,6 +14,16 @@ is durable: fit once, serve forever.  An *artifact* is a directory holding
 and optionally the schema fingerprint against the database the caller
 intends to serve, so a stale artifact fails loudly instead of silently
 producing estimates for the wrong schema.
+
+Artifact stores
+---------------
+The cluster layer additionally resolves shard sub-artifacts through a
+pluggable **artifact store**: artifacts addressed by the SHA-256 the
+manifest already records (``cas://<digest>`` refs) instead of
+driver-local paths, so a worker on another host resolves exactly the
+bytes the driver published.  :class:`LocalArtifactStore` is the local
+directory (or shared-filesystem) implementation; anything with the same
+``publish`` / ``resolve`` / ``contains`` surface plugs in.
 """
 
 from __future__ import annotations
@@ -23,7 +33,9 @@ import datetime
 import gzip
 import hashlib
 import json
+import os
 import pickle
+import shutil
 from pathlib import Path
 
 from repro.data.schema import DatabaseSchema
@@ -213,3 +225,115 @@ def load_model(path: str | Path,
         return pickle.loads(blob)
     except Exception as exc:
         raise ArtifactError(f"artifact {path} failed to unpickle: {exc}")
+
+
+# ------------------------------------------------------------------ stores --
+
+#: Scheme prefix of a content-addressed artifact reference.
+STORE_SCHEME = "cas://"
+
+
+def is_store_ref(path) -> bool:
+    """Whether ``path`` is a ``cas://<sha256>`` store reference rather
+    than a filesystem path."""
+    return isinstance(path, str) and path.startswith(STORE_SCHEME)
+
+
+def store_digest(ref: str) -> str:
+    """The SHA-256 hex digest named by a ``cas://`` reference."""
+    if not is_store_ref(ref):
+        raise ArtifactError(f"{ref!r} is not a {STORE_SCHEME} reference")
+    digest = ref[len(STORE_SCHEME):]
+    if len(digest) != 64 or any(c not in "0123456789abcdef"
+                                for c in digest):
+        raise ArtifactError(
+            f"{ref!r} does not name a SHA-256 digest")
+    return digest
+
+
+class LocalArtifactStore:
+    """A content-addressed artifact store on a local directory.
+
+    Artifacts are keyed by the SHA-256 their manifest already records
+    (the pickle checksum), laid out as ``<root>/<aa>/<digest>/`` — the
+    two-character fan-out keeps directory listings sane at scale.  The
+    root may be any directory the publishing driver and the resolving
+    workers both reach: the same host, or a shared filesystem across
+    hosts.  Publication is idempotent (equal bytes hash to the equal
+    digest) and atomic (staged copy, then a rename), so concurrent
+    publishers of the same artifact cannot corrupt each other.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _dir(self, digest: str) -> Path:
+        return self.root / digest[:2] / digest
+
+    def publish(self, artifact_dir: str | Path) -> str:
+        """Copy the artifact at ``artifact_dir`` into the store; returns
+        its ``cas://<digest>`` reference.  Already-published digests are
+        a no-op."""
+        artifact_dir = Path(artifact_dir)
+        manifest = read_manifest(artifact_dir)
+        digest = manifest.get("sha256")
+        if not digest:
+            raise ArtifactError(
+                f"artifact {artifact_dir} records no sha256; only "
+                f"single-model artifacts (shard sub-artifacts) are "
+                f"content-addressable")
+        dest = self._dir(digest)
+        if not dest.is_dir():
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            staging = dest.parent / f".staging-{os.getpid()}-{digest[:12]}"
+            try:
+                shutil.copytree(artifact_dir, staging,
+                                dirs_exist_ok=True)
+                os.replace(staging, dest)
+            except OSError:
+                # a concurrent publisher won the rename; equal content,
+                # so losing the race is success
+                if not dest.is_dir():
+                    raise
+            finally:
+                shutil.rmtree(staging, ignore_errors=True)
+        return STORE_SCHEME + digest
+
+    def resolve(self, ref: str) -> Path:
+        """The artifact directory a ``cas://`` reference names, with the
+        manifest's recorded digest re-checked against the reference."""
+        digest = store_digest(ref)
+        dest = self._dir(digest)
+        if not dest.is_dir():
+            raise ArtifactError(
+                f"store at {self.root} holds no artifact "
+                f"{digest[:12]}…; publish it (or mount the store the "
+                f"driver published into)")
+        recorded = read_manifest(dest).get("sha256")
+        if recorded != digest:
+            raise ArtifactError(
+                f"store entry {digest[:12]}… records sha256 "
+                f"{str(recorded)[:12]}…; the store is corrupt")
+        return dest
+
+    def contains(self, ref: str) -> bool:
+        """Whether the store already holds ``ref``."""
+        return self._dir(store_digest(ref)).is_dir()
+
+    def refs(self) -> list[str]:
+        """Every reference the store holds (sorted)."""
+        return sorted(
+            STORE_SCHEME + entry.name
+            for fanout in self.root.iterdir() if fanout.is_dir()
+            for entry in fanout.iterdir()
+            if entry.is_dir() and not entry.name.startswith(".")
+        )
+
+    def describe(self) -> dict:
+        """JSON-ready store summary (root and artifact count)."""
+        return {"kind": "local", "root": str(self.root),
+                "artifacts": len(self.refs())}
+
+    def __repr__(self) -> str:
+        return f"LocalArtifactStore({str(self.root)!r})"

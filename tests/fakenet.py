@@ -1,0 +1,262 @@
+"""In-process TCP fault injection for the cluster transport tests.
+
+:class:`FaultProxy` sits between a driver's
+:class:`~repro.cluster.net.TcpTransport` and a
+:class:`~repro.cluster.net.WorkerServer`, forwarding framed RPC traffic
+while injecting scripted faults — dropped, delayed, duplicated, or
+truncated frames, hard disconnects, and byte-at-a-time slowloris
+delivery.  It is frame-aware (it reassembles each direction's stream
+with the real :class:`~repro.cluster.net.FrameDecoder`), so a fault
+always lands on a whole RPC message, which is what makes the tests
+deterministic: "drop the next request" means exactly one request.
+
+The proxy keeps accepting connections, so a driver whose pool declared
+the worker dead reconnects *through the same faults* — the reconnect +
+ledger-reseed path is exercised end to end.
+
+:class:`SlowBeat` is a test-only RPC message whose handler sleeps before
+answering; registering it here (at import time, into the shared
+``ShardWorker`` handler table) makes it visible to in-process TCP
+servers and — under the ``fork`` start method — to pipe worker
+processes, which is how the pool's slow-vs-dead grace window is
+exercised without monkeypatching time.
+"""
+
+from __future__ import annotations
+
+import collections
+import socket
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.cluster.messages import Ping
+from repro.cluster.net import (
+    DEFAULT_MAX_FRAME,
+    FrameDecoder,
+    FrameError,
+    encode_frame,
+    parse_address,
+)
+from repro.cluster.worker import ShardWorker
+
+_RECV = 1 << 16
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scripted fault, consumed by the next frame in its direction.
+
+    kinds: ``drop`` (never forwarded), ``delay`` (forwarded after
+    ``seconds``), ``dup`` (forwarded twice), ``truncate`` (only the
+    first ``keep`` bytes of the wire frame are sent, then the connection
+    is hard-closed), ``disconnect`` (nothing sent, connection
+    hard-closed), ``slowloris`` (forwarded in ``chunk``-byte pieces with
+    ``pause`` seconds between them).
+    """
+
+    kind: str
+    seconds: float = 0.0
+    keep: int = 0
+    chunk: int = 1
+    pause: float = 0.0
+
+
+class _Link:
+    """One client connection and its upstream twin."""
+
+    def __init__(self, client: socket.socket, upstream: socket.socket):
+        self.client = client
+        self.upstream = upstream
+        self.lock = threading.Lock()
+        self.dead = False
+
+    def close(self) -> None:
+        with self.lock:
+            if self.dead:
+                return
+            self.dead = True
+        for sock in (self.client, self.upstream):
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+
+class FaultProxy:
+    """A frame-aware TCP proxy with scripted fault injection.
+
+    Directions: ``"c2s"`` is driver-to-worker (requests), ``"s2c"`` is
+    worker-to-driver (replies).  Faults queue per direction and each is
+    consumed by exactly one frame, in order; frames with no queued fault
+    forward untouched.  ``stats`` counts forwarded frames and applied
+    faults per direction.
+    """
+
+    def __init__(self, upstream, max_frame: int = DEFAULT_MAX_FRAME):
+        self.upstream = parse_address(upstream)
+        self.max_frame = int(max_frame)
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(16)
+        self.address = self._listener.getsockname()[:2]
+        self._faults = {"c2s": collections.deque(),
+                        "s2c": collections.deque()}
+        self._lock = threading.Lock()
+        self.stats = collections.Counter()
+        self._stopped = threading.Event()
+        self._links: list[_Link] = []
+        self._threads: list[threading.Thread] = []
+        self._accepter = threading.Thread(target=self._accept_loop,
+                                          daemon=True,
+                                          name="fakenet-accept")
+        self._accepter.start()
+
+    # -- scripting -------------------------------------------------------------
+
+    def inject(self, direction: str, kind: str, **kw) -> None:
+        """Queue one fault for the next frame in ``direction``."""
+        assert direction in ("c2s", "s2c")
+        with self._lock:
+            self._faults[direction].append(Fault(kind, **kw))
+
+    def clear(self) -> None:
+        """Drop every queued fault (frames forward untouched again)."""
+        with self._lock:
+            for queue in self._faults.values():
+                queue.clear()
+
+    def _next_fault(self, direction: str) -> Fault | None:
+        with self._lock:
+            queue = self._faults[direction]
+            return queue.popleft() if queue else None
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stopped.is_set():
+            try:
+                client, _ = self._listener.accept()
+            except OSError:
+                return
+            try:
+                upstream = socket.create_connection(self.upstream,
+                                                    timeout=5.0)
+            except OSError:
+                client.close()
+                continue
+            for sock in (client, upstream):
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            link = _Link(client, upstream)
+            self._links.append(link)
+            for direction, src, dst in (("c2s", client, upstream),
+                                        ("s2c", upstream, client)):
+                thread = threading.Thread(
+                    target=self._pump, args=(link, direction, src, dst),
+                    daemon=True, name=f"fakenet-{direction}")
+                thread.start()
+                self._threads.append(thread)
+
+    def _pump(self, link: _Link, direction: str, src: socket.socket,
+              dst: socket.socket) -> None:
+        decoder = FrameDecoder(self.max_frame)
+        while not self._stopped.is_set() and not link.dead:
+            try:
+                data = src.recv(_RECV)
+            except OSError:
+                break
+            if not data:
+                break
+            try:
+                payloads = decoder.feed(data)
+            except FrameError:
+                break
+            for payload in payloads:
+                if not self._forward(link, direction, dst, payload):
+                    return
+        link.close()
+
+    def _forward(self, link: _Link, direction: str, dst: socket.socket,
+                 payload: bytes) -> bool:
+        fault = self._next_fault(direction)
+        frame = encode_frame(payload, self.max_frame)
+        try:
+            if fault is None:
+                dst.sendall(frame)
+                self.stats[f"forwarded_{direction}"] += 1
+                return True
+            self.stats[f"fault_{fault.kind}_{direction}"] += 1
+            if fault.kind == "drop":
+                return True
+            if fault.kind == "delay":
+                time.sleep(fault.seconds)
+                dst.sendall(frame)
+                return True
+            if fault.kind == "dup":
+                dst.sendall(frame)
+                dst.sendall(frame)
+                return True
+            if fault.kind == "truncate":
+                dst.sendall(frame[:max(0, int(fault.keep))])
+                link.close()
+                return False
+            if fault.kind == "disconnect":
+                link.close()
+                return False
+            if fault.kind == "slowloris":
+                step = max(1, int(fault.chunk))
+                for start in range(0, len(frame), step):
+                    dst.sendall(frame[start:start + step])
+                    if fault.pause:
+                        time.sleep(fault.pause)
+                return True
+            raise AssertionError(f"unknown fault kind {fault.kind!r}")
+        except OSError:
+            link.close()
+            return False
+
+    def drop_connections(self) -> None:
+        """Hard-close every live link (both ends), keep listening."""
+        for link in list(self._links):
+            link.close()
+
+    def close(self) -> None:
+        """Stop the proxy: close the listener and every link."""
+        self._stopped.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self.drop_connections()
+
+    def __enter__(self) -> "FaultProxy":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# -- slow-but-alive worker behavior -------------------------------------------
+
+
+@dataclass(frozen=True)
+class SlowBeat:
+    """Test-only RPC: sleep ``seconds`` in the worker, then answer like
+    a Ping.  Distinguishes slow-but-alive from dead in grace tests."""
+
+    seconds: float
+
+
+def _slow_beat(worker: ShardWorker, message: SlowBeat):
+    time.sleep(message.seconds)
+    return worker._ping(Ping())
+
+
+# registered into the class-level handler table so in-process servers
+# and fork-started pipe workers both answer it
+ShardWorker._HANDLERS[SlowBeat] = _slow_beat

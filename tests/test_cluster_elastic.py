@@ -1,0 +1,274 @@
+"""Elastic pool: grow/retire workers, shard re-homing, and races between
+re-homing and live estimate/update/hot-swap traffic — always
+bit-identical, never a mixed state or a dropped in-flight token."""
+
+import threading
+
+import pytest
+
+from repro.cluster import ClusterModel, WorkerServer
+from repro.errors import ReproError
+from repro.shard import save_shard_artifact
+from repro.sql import parse_query
+from tests.test_cluster_model import (
+    N_SHARDS,
+    QUERIES,
+    _fit_sharded,
+    _insert_batch,
+    _refit_shard,
+)
+
+N_WORKERS = 2
+
+
+@pytest.fixture(scope="module")
+def artifact(tmp_path_factory):
+    from tests.conftest import build_toy_db
+
+    db = build_toy_db(seed=3)
+    path = tmp_path_factory.mktemp("cluster-elastic") / "ensemble"
+    _fit_sharded(db).save(path)
+    return str(path), db
+
+
+@pytest.fixture
+def cluster(artifact):
+    path, db = artifact
+    with ClusterModel.from_artifact(path, workers=N_WORKERS) as model:
+        yield model, _fit_sharded(db), db
+
+
+def _owner(model, index):
+    return model._require_state().shard_set.model(index).worker_id
+
+
+class TestGrowAndRehome:
+    def test_grow_then_rehome_is_bit_identical(self, cluster):
+        model, reference, _ = cluster
+        added = model.grow_workers(1)
+        assert added == [2]
+        assert model.pool.active_workers() == [0, 1, 2]
+        info = model.rehome_shard(0, worker_id=2)
+        assert info["moved"] and info["worker"] == 2
+        assert _owner(model, 0) == 2
+        for sql in QUERIES:
+            assert model.estimate(parse_query(sql)) == \
+                reference.estimate(parse_query(sql))
+        # the new worker really owns the state (not a silent fallback)
+        health = model.workers_health()
+        assert health[2]["alive"] and health[2]["tokens"]
+
+    def test_default_target_is_least_loaded(self, cluster):
+        model, _, _ = cluster
+        # 3 shards on 2 workers: worker 0 holds shards 0 and 2
+        model.grow_workers(1)
+        info = model.rehome_shard(0)
+        assert info["worker"] == 2  # the empty worker, not worker 1
+        info = model.rehome_shard(2)
+        assert info["worker"] == 1  # now 1 holds one shard, 2 holds one
+
+    def test_rehome_to_current_owner_is_a_noop(self, cluster):
+        model, _, _ = cluster
+        owner = _owner(model, 1)
+        info = model.rehome_shard(1, worker_id=owner)
+        assert info["moved"] is False
+
+    def test_rehome_rejects_bad_targets(self, cluster):
+        model, _, _ = cluster
+        with pytest.raises(ReproError, match="retired or unknown"):
+            model.rehome_shard(0, worker_id=99)
+        with pytest.raises(ReproError, match="out of range"):
+            model.rehome_shard(99)
+
+    def test_rehome_preserves_journal_and_reseeds(self, cluster):
+        """A re-homed shard carries its update journal; a crash of the
+        NEW owner replays it there."""
+        model, reference, _ = cluster
+        batch = _insert_batch()
+        model.update("C", batch)
+        reference.update("C", batch)
+        model.grow_workers(1)
+        model.rehome_shard(1, worker_id=2)
+        victim = model.pool.workers[2]
+        if getattr(victim.transport, "process", None) is not None:
+            victim.transport.process.kill()
+        for sql in QUERIES:
+            assert model.estimate(parse_query(sql)) == \
+                reference.estimate(parse_query(sql))
+        assert model.workers_health()[2]["tokens"]
+
+    def test_grow_with_tcp_address(self, cluster):
+        """A pipe pool grows with an externally managed TCP worker and
+        re-homes a shard onto it (same host, plain paths resolve)."""
+        model, reference, _ = cluster
+        with WorkerServer() as server:
+            server.start()
+            added = model.grow_workers(
+                addresses=[f"{server.address[0]}:{server.address[1]}"])
+            assert added == [2]
+            model.rehome_shard(0, worker_id=2)
+            for sql in QUERIES:
+                assert model.estimate(parse_query(sql)) == \
+                    reference.estimate(parse_query(sql))
+            assert server.worker._slots  # the TCP worker holds the state
+
+
+class TestShrink:
+    def test_shrink_moves_shards_and_retires(self, cluster):
+        model, reference, _ = cluster
+        model.grow_workers(1)
+        info = model.shrink_worker(0)
+        assert info["retired"] and info["moved_shards"]
+        assert model.pool.active_workers() == [1, 2]
+        assert all(_owner(model, i) != 0 for i in range(N_SHARDS))
+        health = model.workers_health()
+        assert health[0]["retired"] and not health[0]["alive"]
+        for sql in QUERIES:
+            assert model.estimate(parse_query(sql)) == \
+                reference.estimate(parse_query(sql))
+        # updates route to the new owners
+        batch = _insert_batch()
+        model.update("C", batch)
+        reference.update("C", batch)
+        for sql in QUERIES:
+            assert model.estimate(parse_query(sql)) == \
+                reference.estimate(parse_query(sql))
+
+    def test_shrink_last_other_worker_is_refused(self, cluster):
+        model, _, _ = cluster
+        model.shrink_worker(1)
+        with pytest.raises(ReproError, match="no other active worker"):
+            model.shrink_worker(0)
+
+    def test_retired_worker_probes_fall_back_to_ledger(self, cluster):
+        """In-flight tokens on a retired worker are never dropped: a
+        probe pinned to them answers from the driver-side ledger,
+        bit-identically (no re-home happened here at all)."""
+        model, reference, _ = cluster
+        query = parse_query(QUERIES[2])
+        want = reference.estimate(query)
+        assert model.estimate(query) == want
+        model.pool.retire(0)  # shards NOT re-homed: tokens stay pinned
+        fresh = parse_query(QUERIES[1])  # uncached: forces real probes
+        assert model.estimate(fresh) == reference.estimate(fresh)
+        assert model.estimate(query) == want
+
+    def test_owner_of_skips_retired_workers(self, cluster):
+        model, _, _ = cluster
+        pool = model.pool
+        before = [pool.owner_of(i) for i in range(N_SHARDS)]
+        assert set(before) == {0, 1}
+        model.grow_workers(1)
+        model.shrink_worker(0)
+        after = [pool.owner_of(i) for i in range(N_SHARDS)]
+        assert 0 not in after and set(after) <= {1, 2}
+
+
+class TestElasticRaces:
+    def test_rehome_under_concurrent_estimates(self, cluster):
+        """Estimates racing a storm of re-homes all equal the single
+        reference answer — statistics never change, so any deviation
+        would be a mixed state."""
+        model, reference, _ = cluster
+        model.grow_workers(1)
+        query = parse_query(QUERIES[2])
+        want = reference.estimate(query)
+        stop = threading.Event()
+        observed, errors = [], []
+
+        def hammer():
+            while not stop.is_set():
+                try:
+                    observed.append(model.estimate(query))
+                except Exception as exc:  # noqa: BLE001 - recorded
+                    errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=hammer) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        try:
+            for round_no in range(6):
+                for index in range(N_SHARDS):
+                    model.rehome_shard(index)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+        assert not errors
+        assert observed and set(observed) == {want}
+
+    def test_rehome_races_update_and_hot_swap(self, cluster, tmp_path):
+        """Re-homes concurrent with updates and a hot-swap: every
+        observed estimate equals one of the published states' answers,
+        never a blend, and no token is dropped."""
+        model, reference, db = cluster
+        model.grow_workers(1)
+        query = parse_query(QUERIES[2])
+        batch = _insert_batch()
+        v0 = reference.estimate(query)
+        reference.update("C", batch)
+        v1 = reference.estimate(query)
+        refit = _refit_shard(db, 1, rows_factor=0.5)
+        shard_path = tmp_path / "refresh-elastic"
+        save_shard_artifact(refit.model, shard_path, summary=refit.summary)
+        reference.hot_swap_shard(1, refit.model, summary=refit.summary)
+        v2 = reference.estimate(query)
+        allowed = {v0, v1, v2}
+        assert len(allowed) == 3  # the race is observable
+
+        stop = threading.Event()
+        observed, errors = [], []
+
+        def hammer():
+            while not stop.is_set():
+                try:
+                    observed.append(model.estimate(query))
+                except Exception as exc:  # noqa: BLE001 - recorded
+                    errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=hammer) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        try:
+            model.rehome_shard(0)
+            model.update("C", batch)
+            model.rehome_shard(1)
+            model.hot_swap_shard(1, shard_path)
+            model.rehome_shard(2)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+        assert not errors
+        assert observed and set(observed) <= allowed
+        assert model.estimate(query) == v2
+
+    def test_shrink_under_concurrent_estimates(self, cluster):
+        model, reference, _ = cluster
+        model.grow_workers(2)
+        query = parse_query(QUERIES[0])
+        want = reference.estimate(query)
+        stop = threading.Event()
+        observed, errors = [], []
+
+        def hammer():
+            while not stop.is_set():
+                try:
+                    observed.append(model.estimate(query))
+                except Exception as exc:  # noqa: BLE001 - recorded
+                    errors.append(exc)
+                    return
+
+        thread = threading.Thread(target=hammer)
+        thread.start()
+        try:
+            model.shrink_worker(0)
+            model.shrink_worker(1)
+        finally:
+            stop.set()
+            thread.join(timeout=30)
+        assert not errors
+        assert observed and set(observed) == {want}
+        assert model.pool.active_workers() == [2, 3]

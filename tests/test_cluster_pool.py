@@ -128,3 +128,49 @@ class TestShardWorkerDirect:
         pool.shutdown()
         with pytest.raises(WorkerError, match="shut down"):
             pool.call(0, Ping())
+
+
+class TestGraceWindow:
+    """Regression: a slow-but-alive worker must not be declared dead when
+    the pool has a grace window; without one the old deadline behavior
+    (restart + reseed) still applies."""
+
+    @staticmethod
+    def _slow_pool(**kw):
+        import multiprocessing as mp
+
+        if mp.get_start_method() != "fork":
+            pytest.skip("SlowBeat handler needs fork-inherited registry")
+        pool = WorkerPool(1, **kw)
+        if pool.fallback:
+            pool.shutdown()
+            pytest.skip("no subprocess support on this platform")
+        return pool
+
+    def test_slow_but_alive_survives_with_grace(self):
+        from tests.fakenet import SlowBeat
+
+        with self._slow_pool(timeout=0.3, grace=2.0) as pool:
+            info = pool.call(0, SlowBeat(0.8))
+            assert info.pid == pool.workers[0].transport.pid
+            assert pool.workers[0].alive
+            assert pool.workers[0].restarts == 0
+
+    def test_slow_worker_dies_without_grace(self):
+        from tests.fakenet import SlowBeat
+
+        with self._slow_pool(timeout=0.3, grace=0.0) as pool:
+            with pytest.raises(WorkerError, match="did not answer"):
+                pool.call(0, SlowBeat(0.8))
+            assert not pool.workers[0].alive
+            assert pool.ensure_alive(0)
+
+    def test_grace_does_not_save_a_dead_worker(self):
+        with self._slow_pool(timeout=0.5, grace=5.0) as pool:
+            pool.workers[0].transport.process.kill()
+            time.sleep(0.2)
+            start = time.monotonic()
+            with pytest.raises(WorkerError):
+                pool.call(0, Ping())
+            # a dead peer fails the liveness check: no grace extension
+            assert time.monotonic() - start < 4.0

@@ -2,10 +2,12 @@
 
 Random predicate trees and queries are rendered to SQL and parsed back;
 the parsed artifacts must be semantically identical (same signature, same
-rows selected).
+rows selected).  The cluster transport's frame codec gets the same
+treatment: arbitrary payloads through arbitrary stream chunkings.
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -128,3 +130,70 @@ class TestQueryRoundTrip:
                       {"t": Comparison("c0", "=", "o'brien")})
         reparsed = parse_query(query.to_sql())
         assert reparsed.filter_of("t") == Comparison("c0", "=", "o'brien")
+
+
+class TestFrameCodecRoundTrip:
+    """The TCP frame codec: any payload survives any chunking of the
+    byte stream, and garbage or oversized prefixes are refused rather
+    than misparsed."""
+
+    @given(st.lists(st.binary(max_size=2048), max_size=8),
+           st.integers(min_value=1, max_value=97))
+    @settings(max_examples=150, deadline=None)
+    def test_roundtrip_through_arbitrary_chunking(self, payloads, step):
+        from repro.cluster.net import FrameDecoder, encode_frame
+
+        stream = b"".join(encode_frame(p) for p in payloads)
+        decoder = FrameDecoder()
+        out = []
+        for start in range(0, len(stream), step):
+            out.extend(decoder.feed(stream[start:start + step]))
+        assert out == payloads
+
+    @given(st.binary(min_size=12, max_size=64))
+    @settings(max_examples=150, deadline=None)
+    def test_garbage_magic_is_refused(self, blob):
+        from repro.cluster.net import FRAME_MAGIC, FrameDecoder, FrameError
+
+        if blob[:4] == FRAME_MAGIC:
+            blob = b"XXXX" + blob[4:]
+        with pytest.raises(FrameError):
+            FrameDecoder().feed(blob)
+
+    @given(st.integers(min_value=1, max_value=1 << 40))
+    @settings(max_examples=100, deadline=None)
+    def test_oversized_length_prefix_is_refused(self, excess):
+        import struct
+
+        from repro.cluster.net import FRAME_MAGIC, FrameDecoder, FrameError
+
+        limit = 4096
+        header = struct.pack(">4sQ", FRAME_MAGIC, limit + excess)
+        with pytest.raises(FrameError):
+            FrameDecoder(max_frame=limit).feed(header)
+
+    @given(st.binary(min_size=0, max_size=512),
+           st.integers(min_value=0, max_value=11))
+    @settings(max_examples=150, deadline=None)
+    def test_partial_read_resumes(self, payload, cut):
+        """Feeding any prefix — even a split header — yields nothing,
+        and the remainder completes the frame exactly once."""
+        from repro.cluster.net import FrameDecoder, encode_frame
+
+        frame = encode_frame(payload)
+        decoder = FrameDecoder()
+        assert decoder.feed(frame[:cut]) == []
+        assert decoder.feed(frame[cut:-1] if len(frame) > cut else b"") == []
+        tail = frame[-1:] if len(frame) > cut else frame[cut:]
+        assert decoder.feed(tail) == [payload]
+
+    @given(st.binary(max_size=4096))
+    @settings(max_examples=100, deadline=None)
+    def test_encode_respects_max_frame(self, payload):
+        from repro.cluster.net import FrameError, encode_frame
+
+        if len(payload) > 64:
+            with pytest.raises(FrameError):
+                encode_frame(payload, max_frame=64)
+        else:
+            assert encode_frame(payload, max_frame=64)
