@@ -37,17 +37,33 @@ The final check scrapes a **live** ``GET /metrics`` under concurrent
 traffic and validates the body with the strict exposition parser — the
 CI guard that the text Prometheus ingests is well-formed while the
 counters underneath are moving.
+
+The cluster scenario applies the same discipline one layer down: two
+real TCP shard workers with live per-worker registries versus two with
+:data:`~repro.obs.NULL_METRICS`, gating worker-side instrumentation to
+the same <5% budget and bounding the latency of a federated scrape
+(driver ``/metrics`` → ``CollectMetrics`` RPC per worker).
+
+Every gate also records its numbers into ``BENCH_obs.json``
+(machine-readable: QPS, overhead %, scrape latency) so CI can upload
+the measurements as an artifact and trend them across commits.
 """
 
+import json
+import os
 import threading
 import time
+from contextlib import contextmanager
 
 import pytest
 
+from repro.cluster import ClusterModel, WorkerServer
 from repro.core.estimator import FactorJoin, FactorJoinConfig
 from repro.eval.harness import make_context
 from repro.obs import NULL_METRICS, NULL_TRACER, parse_prometheus_text
-from repro.serve import EstimationService, serve_in_background
+from repro.serve import EstimationService, LocalArtifactStore, \
+    serve_in_background
+from repro.shard import ShardedFactorJoin
 from repro.utils import format_table
 
 #: Instrumented serving must retain this fraction of null-build QPS on
@@ -60,8 +76,33 @@ MIN_QPS_RATIO = 0.95
 #: if the hot path grows a disproportionate cost.
 MAX_HIT_OVERHEAD_US = 75.0
 
+#: A federated scrape does one 5s-timeout ``CollectMetrics`` RPC per
+#: worker, serially; against two healthy localhost workers it takes
+#: milliseconds.  The bound catches a scrape path that starts blocking
+#: on worker traffic (it must never ride the request lock).
+MAX_FEDERATED_SCRAPE_SECONDS = 2.0
+
 ROUNDS = 10
 N_QUERIES = 20
+N_CLUSTER_WORKERS = 2
+
+#: Gate measurements accumulated across tests, flushed to
+#: ``BENCH_obs.json`` (override the path with ``BENCH_OBS_JSON``) by the
+#: module-scoped reporter fixture below.
+RESULTS: dict = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_report():
+    """Write whatever gates ran to the machine-readable report, even on
+    partial failure — CI uploads the file as an artifact either way."""
+    yield
+    path = os.environ.get("BENCH_OBS_JSON", "BENCH_obs.json")
+    payload = {"generated_by": "benchmarks/bench_obs_overhead.py",
+               **RESULTS}
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
 
 
 @pytest.fixture(scope="module")
@@ -120,6 +161,12 @@ class TestOverheadGate:
         }
         best = _interleaved_best(services, queries)
         ratio = best["null"] / best["instrumented"]
+        RESULTS["inference"] = {
+            "null_qps": 1.0 / best["null"],
+            "instrumented_qps": 1.0 / best["instrumented"],
+            "qps_ratio": ratio,
+            "overhead_pct": (1.0 - ratio) * 100.0,
+        }
         print()
         print(format_table(
             ["build", "inference QPS", "ratio vs null"],
@@ -144,6 +191,11 @@ class TestOverheadGate:
         }
         best = _interleaved_best(services, queries)
         overhead_us = (best["instrumented"] - best["null"]) * 1e6
+        RESULTS["hit_path"] = {
+            "null_us_per_request": best["null"] * 1e6,
+            "instrumented_us_per_request": best["instrumented"] * 1e6,
+            "overhead_us": overhead_us,
+        }
         print()
         print(format_table(
             ["build", "cache-hit us/req"],
@@ -175,19 +227,117 @@ class TestLiveScrape:
             thread = threading.Thread(target=traffic)
             thread.start()
             try:
+                scrape_seconds = []
                 for _ in range(10):
+                    started = time.perf_counter()
                     with urllib.request.urlopen(
                             f"http://{host}:{port}/metrics",
                             timeout=10) as resp:
                         assert resp.status == 200
                         body = resp.read().decode()
+                    scrape_seconds.append(time.perf_counter() - started)
                     families = parse_prometheus_text(body)
                     assert families["repro_request_seconds"][
                         "type"] == "histogram"
                     assert "repro_cache_hits_total" in families
+                RESULTS["live_scrape"] = {
+                    "best_seconds": min(scrape_seconds),
+                    "worst_seconds": max(scrape_seconds),
+                }
             finally:
                 stop.set()
                 thread.join()
         finally:
             server.shutdown()
             server.server_close()
+
+
+@pytest.fixture(scope="module")
+def cluster_artifact(obs_ctx, tmp_path_factory):
+    model = ShardedFactorJoin(
+        FactorJoinConfig(n_bins=8, table_estimator="truescan", seed=0),
+        n_shards=N_CLUSTER_WORKERS, parallel="serial").fit(
+            obs_ctx.database)
+    path = tmp_path_factory.mktemp("obs-cluster") / "ensemble"
+    model.save(path)
+    return path
+
+
+@contextmanager
+def _tcp_cluster(path, store_root, instrumented: bool):
+    """A ClusterModel over real TCP worker servers whose registries are
+    live (default) or :data:`NULL_METRICS` (genuinely uninstrumented)."""
+    metrics = None if instrumented else NULL_METRICS
+    servers = [
+        WorkerServer(store=LocalArtifactStore(store_root),
+                     metrics=metrics).start()
+        for _ in range(N_CLUSTER_WORKERS)
+    ]
+    model = ClusterModel.from_artifact(
+        path, addresses=[server.address for server in servers],
+        store=LocalArtifactStore(store_root))
+    try:
+        yield model
+    finally:
+        model.close()
+        for server in servers:
+            server.stop()
+
+
+class TestClusterOverheadGate:
+    def test_worker_instrumentation_and_federated_scrape(
+            self, cluster_artifact, obs_ctx, tmp_path_factory):
+        """Same <5% budget, one layer down: per-worker registries timing
+        every handler dispatch across real TCP transports, then a
+        federated ``/metrics`` scrape (CollectMetrics RPC per worker)
+        that must stay fast and strict-parse clean."""
+        queries = obs_ctx.workload[:N_QUERIES]
+        roots = tmp_path_factory.mktemp("obs-cluster-stores")
+        with _tcp_cluster(cluster_artifact, roots / "null",
+                          instrumented=False) as null_model, \
+                _tcp_cluster(cluster_artifact, roots / "live",
+                             instrumented=True) as live_model:
+            best = _interleaved_best(
+                {"null": null_model, "instrumented": live_model}, queries)
+            ratio = best["null"] / best["instrumented"]
+
+            service = _service_for(live_model)
+            started = time.perf_counter()
+            text = service.metrics.render_prometheus()
+            scrape = time.perf_counter() - started
+            families = parse_prometheus_text(text)
+
+        RESULTS["cluster"] = {
+            "n_workers": N_CLUSTER_WORKERS,
+            "null_qps": 1.0 / best["null"],
+            "instrumented_qps": 1.0 / best["instrumented"],
+            "qps_ratio": ratio,
+            "overhead_pct": (1.0 - ratio) * 100.0,
+            "federated_scrape_seconds": scrape,
+        }
+        print()
+        print(format_table(
+            ["build", "cluster QPS", "ratio vs null"],
+            [["null workers (NULL_METRICS)",
+              f"{1.0 / best['null']:.0f}", "1.000"],
+             ["instrumented workers",
+              f"{1.0 / best['instrumented']:.0f}", f"{ratio:.3f}"]]))
+        print(f"federated scrape: {scrape * 1e3:.1f}ms "
+              f"(bound {MAX_FEDERATED_SCRAPE_SECONDS:.1f}s)")
+
+        assert ratio >= MIN_QPS_RATIO, (
+            f"worker-side telemetry costs {(1 - ratio) * 100:.1f}% QPS "
+            f"(gate: <{(1 - MIN_QPS_RATIO) * 100:.0f}%)")
+        assert scrape < MAX_FEDERATED_SCRAPE_SECONDS, (
+            f"federated scrape took {scrape:.2f}s through "
+            f"{N_CLUSTER_WORKERS} TCP workers")
+        handler = families["repro_worker_handler_seconds"]
+        workers_seen = {labels["worker"]
+                        for _name, labels, _value in handler["samples"]}
+        assert len(workers_seen) == N_CLUSTER_WORKERS
+
+
+def _service_for(model) -> EstimationService:
+    service = EstimationService()
+    service.register("cluster", model)
+    return service

@@ -196,6 +196,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="export every finished request trace as "
                               "one JSON line to this file (span tree "
                               "with driver and worker-side spans)")
+    p_serve.add_argument("--trace-log-max-bytes", type=int, default=None,
+                         metavar="N",
+                         help="roll the trace log over before it "
+                              "exceeds N bytes, keeping one predecessor "
+                              "file (FILE.1); unbounded without it")
     p_serve.add_argument("--slow-ms", type=float, default=100.0,
                          metavar="MS",
                          help="requests at or above this duration also "
@@ -203,6 +208,29 @@ def build_parser() -> argparse.ArgumentParser:
                               "ring (default 100)")
     p_serve.add_argument("--verbose", action="store_true",
                          help="log one line per HTTP request")
+
+    p_profile = sub.add_parser(
+        "profile", help="capture a stack profile from a running "
+                        "'repro serve' instance (GET /v1/profile)")
+    p_profile.add_argument("--url", default="http://127.0.0.1:8765",
+                           help="base URL of the serving instance "
+                                "(default matches 'repro serve')")
+    p_profile.add_argument("--seconds", type=float, default=1.0,
+                           help="sampling duration (server clamps to 30)")
+    p_profile.add_argument("--hz", type=float, default=99.0,
+                           help="samples per second (server clamps to "
+                                "1..999)")
+    p_profile.add_argument("--worker", type=int, default=None,
+                           help="profile this shard worker of a "
+                                "cluster-backed model instead of the "
+                                "serving process")
+    p_profile.add_argument("--model", default=None,
+                           help="model whose worker pool --worker "
+                                "refers to (needed only when several "
+                                "models are served)")
+    p_profile.add_argument("--json", action="store_true",
+                           help="print the full JSON body instead of "
+                                "bare collapsed-stack text")
 
     p_worker = sub.add_parser(
         "worker", help="run one shard worker as a TCP server")
@@ -354,7 +382,9 @@ def build_service(args):
 
     exporter = None
     if getattr(args, "trace_log", None):
-        exporter = JsonlTraceExporter(args.trace_log)
+        exporter = JsonlTraceExporter(
+            args.trace_log,
+            max_bytes=getattr(args, "trace_log_max_bytes", None))
         print(f"exporting request traces to {args.trace_log}")
     tracer = Tracer(
         log=TraceLog(slow_threshold_ms=getattr(args, "slow_ms", 100.0)),
@@ -493,7 +523,7 @@ def cmd_serve(args) -> int:
           f"on http://{host}:{port}")
     print("endpoints: POST /v1/estimate /v1/subplans /v1/update "
           "/v1/explain /v1/swap /v1/feedback · GET /v1/models /v1/stats "
-          "/v1/traces /metrics /health "
+          "/v1/traces /v1/slo /v1/profile /metrics /health "
           "(legacy: /estimate /estimate_batch /update /warmup /models "
           "/stats)")
     try:
@@ -524,6 +554,28 @@ def cmd_serve(args) -> int:
             close = getattr(model, "close", None)
             if callable(close):
                 close()
+    return 0
+
+
+def cmd_profile(args) -> int:
+    import urllib.parse
+    import urllib.request
+
+    params = {"seconds": args.seconds, "hz": args.hz}
+    if args.worker is not None:
+        params["worker"] = args.worker
+    if args.model:
+        params["model"] = args.model
+    if not args.json:
+        params["format"] = "collapsed"
+    url = (args.url.rstrip("/") + "/v1/profile?"
+           + urllib.parse.urlencode(params))
+    # the server blocks for the sampling duration; leave headroom for a
+    # forwarded worker profile on a loaded host
+    with urllib.request.urlopen(url,
+                                timeout=args.seconds + 60.0) as response:
+        body = response.read().decode("utf-8", "replace")
+    print(body, end="" if body.endswith("\n") else "\n")
     return 0
 
 
@@ -561,6 +613,7 @@ COMMANDS = {
     "fit": cmd_fit,
     "estimate": cmd_estimate,
     "serve": cmd_serve,
+    "profile": cmd_profile,
     "worker": cmd_worker,
 }
 

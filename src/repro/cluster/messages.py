@@ -247,6 +247,54 @@ class CompactResult:
     model_bytes: int
 
 
+# --------------------------------------------------------- observability --
+
+
+@dataclass(frozen=True)
+class CollectMetrics:
+    """Scrape the worker's own metrics registry.
+
+    Answered with a :class:`MetricsSnapshot` whose payload is the
+    picklable dict of :func:`repro.obs.federate.snapshot_registry`; the
+    driver merges it into the federated ``/metrics`` view under
+    ``worker=``/``shard_group=`` labels.  Handling this message is
+    deliberately excluded from the worker's own handler timing, so the
+    snapshot a scrape returns is bit-identical to the worker registry's
+    state at that moment.
+    """
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """A worker's frozen registry (the :class:`CollectMetrics` answer)."""
+
+    pid: int
+    snapshot: dict
+
+
+@dataclass(frozen=True)
+class Profile:
+    """Sample the worker process's stacks for ``seconds`` at ``hz``
+    (clamped worker-side; see :mod:`repro.obs.profile`).  The worker's
+    request loop blocks for the duration — callers must use a timeout
+    comfortably above ``seconds``."""
+
+    seconds: float = 1.0
+    hz: float = 99.0
+
+
+@dataclass(frozen=True)
+class ProfileResult:
+    """A remote profiling run: sample count plus collapsed-stack text
+    ready for flamegraph tooling."""
+
+    pid: int
+    seconds: float
+    hz: float
+    samples: int
+    collapsed: str
+
+
 # ----------------------------------------------------------------- fit --
 
 

@@ -55,17 +55,20 @@ import numpy as np
 from repro.cluster.messages import (
     BatchProbe,
     CloneUpdate,
+    CollectMetrics,
     CompactToken,
     FingerprintRequest,
     LoadShard,
     ModelSizeRequest,
     ProbeItem,
     ProbeResult,
+    Profile,
     ReleaseTokens,
     ShardStatsRequest,
 )
 from repro.cluster.pool import DEFAULT_TIMEOUT, WorkerPool
 from repro.core.key_groups import query_key_groups
+from repro.obs.federate import MetricsFederator
 from repro.obs.trace import capture_context, trace_span, use_context
 from repro.errors import (
     ReproError,
@@ -579,6 +582,7 @@ class ClusterModel(ShardedFactorJoin):
         model._local_models = local_models
         model._artifact_path = str(path)
         model._compact_after = compact_after
+        model._federator = MetricsFederator()
         # hooks accumulate per model, so several cluster models can share
         # one pool and each reseeds its own tokens after a restart
         pool.add_restart_hook(model._reseed_worker)
@@ -597,9 +601,14 @@ class ClusterModel(ShardedFactorJoin):
     def collect_metrics(self, model_name: str = "") -> list:
         """Scrape-time metric families for ``GET /metrics`` (the serving
         layer calls this hook on every published model that has one):
-        per-worker liveness gauges and restart counters, read from the
-        pool's cheap :meth:`WorkerPool.describe` — no pings, so a scrape
-        never blocks behind a hung worker."""
+        per-worker liveness gauges and restart counters from the pool's
+        cheap :meth:`WorkerPool.describe`, plus the **federated** worker
+        registries — each live worker answers a ``CollectMetrics`` RPC
+        (5s timeout, like a ping) and its snapshot merges in under
+        ``worker=``/``shard_group=`` labels with restart-safe monotone
+        folding; a worker that fails the scrape keeps serving its
+        last-known state, so one hung worker degrades the pane instead
+        of killing it."""
         description = self._pool.describe()
         up, restarts = [], []
         for row in description["workers"]:
@@ -615,7 +624,7 @@ class ClusterModel(ShardedFactorJoin):
                    float(transport.get("bytes_sent", 0))),
                   ({"model": model_name, "direction": "recv"},
                    float(transport.get("bytes_received", 0)))]
-        return [
+        families = [
             ("gauge", "repro_worker_up",
              "Shard worker liveness (1 serving, 0 awaiting restart).", up),
             ("counter", "repro_worker_restarts_total",
@@ -626,6 +635,57 @@ class ClusterModel(ShardedFactorJoin):
             ("counter", "repro_transport_bytes_total",
              "Framed RPC bytes on the pool's TCP transports.", octets),
         ]
+        families.extend(self._federated_families(model_name, description))
+        return families
+
+    def _shard_groups(self) -> dict[int, str]:
+        """``worker id -> "0+3"``-style sorted shard-index labels, read
+        from the token ledgers (re-homing moves shards off the pool's
+        modulo layout, so placement must come from the ledger)."""
+        groups: dict[int, set[int]] = {}
+        for _token, ledger in self._ledgers.snapshot():
+            owner = (ledger.worker_id if ledger.worker_id >= 0
+                     else self._pool.owner_of(ledger.shard_index))
+            groups.setdefault(owner, set()).add(ledger.shard_index)
+        return {worker_id: "+".join(str(i) for i in sorted(indices))
+                for worker_id, indices in groups.items()}
+
+    def _federated_families(self, model_name: str,
+                            description: dict) -> list:
+        federator = getattr(self, "_federator", None)
+        if federator is None:
+            return []
+        groups = self._shard_groups()
+        for row in description["workers"]:
+            worker_id = row["worker"]
+            if row["retired"]:
+                federator.forget(worker_id)
+                continue
+            if not row["alive"]:
+                federator.mark_unreachable(worker_id)
+                continue
+            labels = {"model": model_name, "worker": str(worker_id),
+                      "shard_group": groups.get(worker_id, "")}
+            try:
+                reply = self._pool.call(worker_id, CollectMetrics(),
+                                        timeout=5.0)
+            except WorkerError:
+                federator.mark_unreachable(worker_id)
+                continue
+            federator.absorb(worker_id, row.get("generation", 0),
+                             reply.snapshot, labels)
+        return federator.families()
+
+    def profile_worker(self, worker_id: int, seconds: float = 1.0,
+                       hz: float = 99.0):
+        """Sample a remote worker's stacks for ``seconds`` at ``hz``
+        (the ``Profile`` RPC); returns the
+        :class:`~repro.cluster.messages.ProfileResult` whose
+        ``collapsed`` text feeds flamegraph tooling.  The worker's
+        request loop blocks for the duration, so the RPC timeout is
+        held comfortably above ``seconds``."""
+        return self._pool.call(worker_id, Profile(seconds=seconds, hz=hz),
+                               timeout=float(seconds) + 30.0)
 
     def _reseed_worker(self, worker_id: int) -> None:
         """Rebuild every live shard-state token a restarted worker owns

@@ -278,8 +278,9 @@ class WorkerServer:
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
-                 store=None, max_frame: int = DEFAULT_MAX_FRAME):
-        self.worker = ShardWorker(store=store)
+                 store=None, max_frame: int = DEFAULT_MAX_FRAME,
+                 metrics=None):
+        self.worker = ShardWorker(store=store, metrics=metrics)
         self.max_frame = int(max_frame)
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)

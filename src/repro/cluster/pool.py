@@ -597,7 +597,10 @@ class WorkerPool:
 
     def describe(self) -> dict:
         """Cheap pool summary (no pings): liveness flags, restarts,
-        transport kinds, and aggregate transport counters."""
+        generations, transport kinds, and transport counters — both the
+        pool aggregate and the per-worker monotone ledgers (the
+        ``/v1/stats`` ``workers`` rows and the federation layer's
+        restart keying both read this)."""
         return {
             "n_workers": self.n_workers,
             "fallback": self.fallback,
@@ -606,10 +609,12 @@ class WorkerPool:
                 {"worker": slot.index, "alive": slot.alive,
                  "retired": slot.retired,
                  "restarts": slot.restarts,
+                 "generation": slot.generation,
                  "transport": getattr(slot.transport, "kind", None),
                  "address": (f"{slot.address[0]}:{slot.address[1]}"
                              if slot.address else None),
-                 "pid": getattr(slot.transport, "pid", None)}
+                 "pid": getattr(slot.transport, "pid", None),
+                 "transport_stats": slot.stats()}
                 for slot in list(self._slots)
             ],
         }

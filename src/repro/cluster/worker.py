@@ -24,16 +24,20 @@ import time
 from repro.cluster.messages import (
     BatchProbe,
     CloneUpdate,
+    CollectMetrics,
     CompactResult,
     CompactToken,
     FingerprintRequest,
     FitShardRequest,
     FitShardResult,
     LoadShard,
+    MetricsSnapshot,
     ModelSizeRequest,
     Ping,
     ProbeItem,
     ProbeResult,
+    Profile,
+    ProfileResult,
     ReleaseTokens,
     Reply,
     Request,
@@ -43,6 +47,7 @@ from repro.cluster.messages import (
     WorkerInfo,
 )
 from repro.errors import ReproError
+from repro.obs.metrics import MetricsRegistry
 
 
 def probe_model(model, item: ProbeItem) -> ProbeResult:
@@ -96,14 +101,39 @@ class ShardWorker:
     with one, ``cas://<digest>`` shard paths resolve through the store —
     the multi-host mode, where a worker cannot see the driver's local
     paths — and compaction can publish fresh sub-artifacts back into it.
+
+    Each worker runs its own :class:`~repro.obs.metrics.MetricsRegistry`
+    (pass ``metrics=NULL_METRICS`` to disable): handler dispatch,
+    artifact resolve/load, and the probe/update/compact paths are timed
+    worker-side, and a ``CollectMetrics`` scrape ships the registry to
+    the driver for federation.  Scrape and profile handling itself is
+    excluded from handler timing, so the shipped snapshot matches the
+    registry bit-for-bit at scrape time.
     """
 
-    def __init__(self, store=None):
+    def __init__(self, store=None, metrics=None):
         self._slots: dict[str, _Slot] = {}
         self.store = store
         self.probes = 0
         self.updates = 0
         self.fits = 0
+        self.metrics = MetricsRegistry() if metrics is None else metrics
+        self._handler_seconds = self.metrics.histogram(
+            "repro_worker_handler_seconds",
+            "Wall time handling each RPC message type, worker-side")
+        self._artifact_seconds = self.metrics.histogram(
+            "repro_worker_artifact_seconds",
+            "Artifact latency worker-side: cas:// store resolve and "
+            "shard-artifact load")
+        self._probes_total = self.metrics.counter(
+            "repro_worker_probes_total",
+            "Shard probes answered by this worker")
+        self._updates_total = self.metrics.counter(
+            "repro_worker_updates_total",
+            "Copy-on-write shard updates applied by this worker")
+        self._compactions_total = self.metrics.counter(
+            "repro_worker_compactions_total",
+            "Shard compactions persisted by this worker")
 
     # -- state ----------------------------------------------------------------
 
@@ -117,7 +147,11 @@ class ShardWorker:
                 f"worker pid {os.getpid()} was asked to load {path} but "
                 f"has no artifact store attached (start it with "
                 f"--store DIR, or pass store= to the pool)")
-        return self.store.resolve(path)
+        t0 = time.perf_counter()
+        resolved = self.store.resolve(path)
+        self._artifact_seconds.observe(time.perf_counter() - t0,
+                                       op="resolve")
+        return resolved
 
     def _model(self, token: str):
         slot = self._slots.get(token)
@@ -128,11 +162,21 @@ class ShardWorker:
         if slot.model is None:
             from repro.shard.artifact import load_shard_artifact
 
-            slot.model, _ = load_shard_artifact(
-                self._resolve_path(slot.path))
+            path = self._resolve_path(slot.path)
+            t0 = time.perf_counter()
+            slot.model, _ = load_shard_artifact(path)
+            self._artifact_seconds.observe(time.perf_counter() - t0,
+                                           op="load")
         return slot.model
 
     # -- handlers -------------------------------------------------------------
+
+    #: Message types whose handling is not timed into the worker's own
+    #: histograms: a metrics scrape must return the registry exactly as
+    #: it stood (its own timing would land just after the snapshot and
+    #: break bit-identity with the federated view), and a profile run
+    #: blocks for seconds by design.
+    _UNTIMED = (CollectMetrics, Profile)
 
     def handle(self, message):
         """Dispatch one message; returns the reply value or raises."""
@@ -140,7 +184,15 @@ class ShardWorker:
         if handler is None:
             raise ReproError(
                 f"worker cannot handle message {type(message).__name__}")
-        return handler(self, message)
+        if not self.metrics.enabled or isinstance(message, self._UNTIMED):
+            return handler(self, message)
+        t0 = time.perf_counter()
+        try:
+            return handler(self, message)
+        finally:
+            self._handler_seconds.observe(
+                time.perf_counter() - t0,
+                message=type(message).__name__)
 
     def _ping(self, message: Ping) -> WorkerInfo:
         return WorkerInfo(
@@ -184,11 +236,13 @@ class ShardWorker:
         self._slots[message.token] = _Slot(shard_index=base.shard_index,
                                            model=clone)
         self.updates += 1
+        self._updates_total.inc()
         return True
 
     def _probe_one(self, item: ProbeItem) -> ProbeResult:
         result = probe_model(self._model(item.token), item)
         self.probes += 1
+        self._probes_total.inc()
         return result
 
     def _batch_probe(self, message: BatchProbe) -> tuple:
@@ -235,8 +289,23 @@ class ShardWorker:
                     model, staging, summary=message.summary,
                     name=message.name or None, compress=message.compress)
                 path = self.store.publish(staging)
+        self._compactions_total.inc()
         return CompactResult(path=path, sha256=entry["sha256"],
                              model_bytes=entry["model_bytes"])
+
+    def _collect_metrics(self, message: CollectMetrics) -> MetricsSnapshot:
+        from repro.obs.federate import snapshot_registry
+
+        return MetricsSnapshot(pid=os.getpid(),
+                               snapshot=snapshot_registry(self.metrics))
+
+    def _profile(self, message: Profile) -> ProfileResult:
+        from repro.obs.profile import profile_here
+
+        report = profile_here(seconds=message.seconds, hz=message.hz)
+        return ProfileResult(pid=os.getpid(), seconds=report.seconds,
+                             hz=report.hz, samples=report.samples,
+                             collapsed=report.collapsed())
 
     _HANDLERS = {
         Ping: _ping,
@@ -249,6 +318,8 @@ class ShardWorker:
         ModelSizeRequest: _model_size,
         FitShardRequest: _fit_shard,
         CompactToken: _compact,
+        CollectMetrics: _collect_metrics,
+        Profile: _profile,
     }
 
 

@@ -1,4 +1,4 @@
-"""Observability layer: metrics, tracing, and accuracy telemetry.
+"""Observability layer: metrics, tracing, profiling, SLOs — cluster-wide.
 
 The serving and cluster stack spans five layers (model → session → cache
 → service → cluster workers); this package gives every one of them a
@@ -10,7 +10,9 @@ shared, dependency-free instrumentation surface:
   stream in bounded memory, not a recent window).  One registry per
   service absorbs the former ``LatencyStats``/cache-counter one-offs and
   renders itself as Prometheus text (``GET /metrics``) or JSON
-  (``GET /v1/stats``).
+  (``GET /v1/stats``).  Histogram observations can carry a trace id,
+  stored as per-bucket **exemplars** linking a slow percentile bucket to
+  a concrete trace.
 - :mod:`repro.obs.trace` — **structured tracing**: every request gets a
   trace id and a span tree (parse → session prep → cache lookup →
   per-shard probe fan-out → bound fold).  The trace context propagates
@@ -19,22 +21,43 @@ shared, dependency-free instrumentation surface:
   span.  Finished traces land in a ring-buffer
   :class:`~repro.obs.trace.TraceLog` (recent + slow queries, served at
   ``GET /v1/traces``) and optionally in a JSONL export file
-  (``repro serve --trace-log FILE``).
+  (``repro serve --trace-log FILE``, size-capped via rotation).
 - :mod:`repro.obs.export` — the Prometheus text exposition renderer and
   a validating parser (the CI scrape check), plus the JSONL trace
   exporter.
+- :mod:`repro.obs.federate` — **cross-process federation**: shard
+  workers each run their own registry; a scrape-time ``CollectMetrics``
+  RPC ships picklable snapshots to the driver, where they merge
+  losslessly (quantized count-dict histograms sum exactly) under
+  ``worker=``/``shard_group=`` labels, with restart-safe monotone
+  folding keyed by pool-slot generation.
+- :mod:`repro.obs.profile` — a stdlib **wall-clock sampling profiler**
+  (``sys._current_frames`` at a configurable hz) with collapsed-stack
+  export, reachable via ``GET /v1/profile``, ``repro profile``, and a
+  ``Profile`` RPC against remote workers.
+- :mod:`repro.obs.slo` — declared **service-level objectives**
+  (availability, latency, q-error) with rolling multi-window burn-rate
+  gauges (``repro_slo_burn_rate``), served at ``GET /v1/slo`` and on
+  ``/metrics``.
 
 Instrumentation is **always on and cheap**: spans are plain objects with
 two clock reads, metric updates are one dict operation under a short
-lock, and the no-op twins (:data:`NULL_METRICS`, :data:`NULL_TRACER`)
-exist so ``benchmarks/bench_obs_overhead.py`` can hold the overhead
-under its <5% QPS gate.
+lock, and the no-op twins (:data:`NULL_METRICS`, :data:`NULL_TRACER`,
+:data:`NULL_SLO`) exist so ``benchmarks/bench_obs_overhead.py`` can hold
+the overhead under its <5% QPS gate.
 """
 
 from repro.obs.export import (
     JsonlTraceExporter,
     parse_prometheus_text,
     render_prometheus,
+)
+from repro.obs.federate import (
+    MetricsFederator,
+    empty_snapshot,
+    merge_snapshot,
+    snapshot_families,
+    snapshot_registry,
 )
 from repro.obs.metrics import (
     NULL_METRICS,
@@ -43,7 +66,15 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     NullMetrics,
+    percentile_from_counts,
     quantize,
+)
+from repro.obs.profile import ProfileReport, profile_here
+from repro.obs.slo import (
+    NULL_SLO,
+    SLO,
+    NullSloTracker,
+    SloTracker,
 )
 from repro.obs.trace import (
     NULL_TRACER,
@@ -53,6 +84,7 @@ from repro.obs.trace import (
     Tracer,
     absorb_remote_spans,
     capture_context,
+    current_trace_id,
     trace_span,
     use_context,
     wire_context,
@@ -62,17 +94,30 @@ __all__ = [
     "absorb_remote_spans",
     "capture_context",
     "Counter",
+    "current_trace_id",
+    "empty_snapshot",
     "Gauge",
     "Histogram",
     "JsonlTraceExporter",
+    "merge_snapshot",
+    "MetricsFederator",
     "MetricsRegistry",
     "NULL_METRICS",
+    "NULL_SLO",
     "NULL_TRACER",
     "NullMetrics",
+    "NullSloTracker",
     "NullTracer",
     "parse_prometheus_text",
+    "percentile_from_counts",
+    "profile_here",
+    "ProfileReport",
     "quantize",
     "render_prometheus",
+    "SLO",
+    "SloTracker",
+    "snapshot_families",
+    "snapshot_registry",
     "Span",
     "TraceLog",
     "trace_span",

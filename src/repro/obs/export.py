@@ -227,10 +227,18 @@ def parse_prometheus_text(text: str) -> dict:
 
 class JsonlTraceExporter:
     """Appends one JSON line per finished trace to a file
-    (``repro serve --trace-log FILE``)."""
+    (``repro serve --trace-log FILE``).
 
-    def __init__(self, path: str):
+    With ``max_bytes`` set, the log rolls over before a write would
+    exceed the limit: the current file is renamed to ``<path>.1``
+    (replacing any previous rollover) and a fresh file is started, so
+    disk usage stays bounded at roughly twice ``max_bytes`` with the
+    most recent traces always available.
+    """
+
+    def __init__(self, path: str, max_bytes: int | None = None):
         self.path = str(path)
+        self.max_bytes = int(max_bytes) if max_bytes else None
         self._lock = threading.Lock()
         self._fh = open(self.path, "a", encoding="utf-8")
 
@@ -238,8 +246,19 @@ class JsonlTraceExporter:
         line = json.dumps(record.to_json(), default=str,
                           separators=(",", ":"))
         with self._lock:
+            if (self.max_bytes is not None
+                    and self._fh.tell() > 0
+                    and self._fh.tell() + len(line) + 1 > self.max_bytes):
+                self._rotate()
             self._fh.write(line + "\n")
             self._fh.flush()
+
+    def _rotate(self) -> None:
+        import os
+
+        self._fh.close()
+        os.replace(self.path, self.path + ".1")
+        self._fh = open(self.path, "w", encoding="utf-8")
 
     def close(self) -> None:
         with self._lock:

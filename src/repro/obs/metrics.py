@@ -26,6 +26,7 @@ disable) instrumentation overhead.
 
 from __future__ import annotations
 
+import bisect
 import math
 import threading
 
@@ -77,6 +78,13 @@ def percentile_from_counts(counts: dict[float, int], q: float) -> float:
 
 def _label_key(labels: dict) -> tuple:
     return tuple(sorted(labels.items()))
+
+
+def _bucket_bound(buckets: tuple, value: float) -> float:
+    """The Prometheus ``le`` bound ``value`` falls under (``inf`` past
+    the last finite bucket) — the key exemplars are stored by."""
+    index = bisect.bisect_left(buckets, value)
+    return buckets[index] if index < len(buckets) else math.inf
 
 
 class _Metric:
@@ -141,9 +149,10 @@ class Gauge(_Metric):
 
 class _HistogramChild:
     """One label set's histogram state: count/sum/min/max plus the
-    quantized value→count map percentiles are computed from."""
+    quantized value→count map percentiles are computed from, and the
+    latest exemplar per ``le`` bucket (observation value + trace id)."""
 
-    __slots__ = ("count", "total", "min", "max", "counts")
+    __slots__ = ("count", "total", "min", "max", "counts", "exemplars")
 
     def __init__(self):
         self.count = 0
@@ -151,6 +160,7 @@ class _HistogramChild:
         self.min = math.inf
         self.max = -math.inf
         self.counts: dict[float, int] = {}
+        self.exemplars: dict[float, tuple[float, str]] = {}
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -179,13 +189,17 @@ class Histogram(_Metric):
         super().__init__(name, help_text)
         self.buckets = tuple(sorted(buckets))
 
-    def observe(self, value: float, **labels) -> None:
+    def observe(self, value: float, trace_id: str | None = None,
+                **labels) -> None:
         key = _label_key(labels)
         with self._lock:
             child = self._values.get(key)
             if child is None:
                 child = self._values[key] = _HistogramChild()
             child.observe(value)
+            if trace_id is not None:
+                bound = _bucket_bound(self.buckets, value)
+                child.exemplars[bound] = (value, trace_id)
 
     def snapshot(self, match: dict | None = None
                  ) -> tuple[int, float, float, float, dict]:
@@ -241,7 +255,7 @@ class Histogram(_Metric):
             child = self._values.get(key)
             if child is None:
                 child = self._values[key] = _HistogramChild()
-        return BoundHistogram(self._lock, child)
+        return BoundHistogram(self._lock, child, self.buckets)
 
     def children_snapshot(self) -> list[tuple[dict, int, float, dict]]:
         """Copied ``(labels, count, total, counts)`` per label set, read
@@ -251,6 +265,35 @@ class Histogram(_Metric):
             return [(dict(key), child.count, child.total,
                      dict(child.counts))
                     for key, child in self._values.items()]
+
+    def full_children_snapshot(
+            self) -> list[tuple[dict, int, float, float, float, dict]]:
+        """Copied ``(labels, count, total, min, max, counts)`` per label
+        set — the complete per-child state the federation layer ships
+        across processes (see :mod:`repro.obs.federate`).  Summing two
+        such snapshots loses nothing: counts add, min/max fold."""
+        with self._lock:
+            return [(dict(key), child.count, child.total, child.min,
+                     child.max, dict(child.counts))
+                    for key, child in self._values.items()]
+
+    def exemplars(self) -> list[dict]:
+        """JSON-ready exemplars: per label set, the latest
+        ``(value, trace_id)`` pair recorded in each ``le`` bucket, so a
+        slow p99 bucket links straight to a trace."""
+        with self._lock:
+            items = [(dict(key), dict(child.exemplars))
+                     for key, child in self._values.items()]
+        out: list[dict] = []
+        for labels, exemplars in items:
+            for bound, (value, trace_id) in sorted(exemplars.items()):
+                out.append({
+                    "labels": labels,
+                    "le": "+Inf" if bound == math.inf else bound,
+                    "value": value,
+                    "trace_id": trace_id,
+                })
+        return out
 
     def to_json(self) -> dict:
         return {_render_label_suffix(labels) or "": {
@@ -263,15 +306,19 @@ class BoundHistogram:
     :meth:`Histogram.bound`); shares the parent histogram's lock, so
     bound and labeled observes interleave safely."""
 
-    __slots__ = ("_lock", "_child")
+    __slots__ = ("_lock", "_child", "_buckets")
 
-    def __init__(self, lock, child: _HistogramChild):
+    def __init__(self, lock, child: _HistogramChild, buckets: tuple = ()):
         self._lock = lock
         self._child = child
+        self._buckets = buckets
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, trace_id: str | None = None) -> None:
         with self._lock:
             self._child.observe(value)
+            if trace_id is not None:
+                bound = _bucket_bound(self._buckets, value)
+                self._child.exemplars[bound] = (value, trace_id)
 
 
 def _matches(labels: dict, match: dict | None) -> bool:
@@ -389,8 +436,12 @@ class MetricsRegistry:
         out: dict[str, dict] = {}
         for metric in self.metrics():
             if isinstance(metric, Histogram):
-                out[metric.name] = {"kind": metric.kind,
-                                    "summary": metric.summary()}
+                entry = {"kind": metric.kind,
+                         "summary": metric.summary()}
+                exemplars = metric.exemplars()
+                if exemplars:
+                    entry["exemplars"] = exemplars
+                out[metric.name] = entry
             else:
                 out[metric.name] = {"kind": metric.kind,
                                     "values": metric.to_json()}
@@ -430,6 +481,15 @@ class _NullInstrument:
 
     def snapshot(self, match=None):
         return 0, 0.0, 0.0, 0.0, {}
+
+    def children_snapshot(self) -> list:
+        return []
+
+    def full_children_snapshot(self) -> list:
+        return []
+
+    def exemplars(self) -> list:
+        return []
 
     def summary(self, match=None) -> dict:
         return {"count": 0, "total": 0.0, "mean": 0.0, "min": 0.0,

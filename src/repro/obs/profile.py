@@ -1,0 +1,131 @@
+"""A dependency-free wall-clock sampling profiler.
+
+:func:`profile_here` spawns a daemon sampler thread that snapshots
+every live thread's stack via ``sys._current_frames()`` at a fixed rate
+while the caller blocks, then aggregates identical stacks into counts.
+Sampling is wall-clock (a thread blocked on a lock or a socket is
+counted where it blocks), which is the view that matters for serving
+latency; overhead is one frame walk per thread per tick, nothing on
+the code being profiled.
+
+The report exports `collapsed stack`_ text — one ``frame;frame;frame
+count`` line per distinct stack, root first — the interchange format
+flamegraph tooling consumes directly.  It is exposed three ways:
+``GET /v1/profile`` on the serving API, ``repro profile`` on the
+command line, and a ``Profile`` RPC so a remote shard worker can be
+profiled through the same pane of glass.
+
+.. _collapsed stack:
+   https://github.com/brendangregg/FlameGraph#2-fold-stacks
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+
+#: Hard cap on one profiling run (seconds) — ``/v1/profile`` is a
+#: synchronous endpoint and RPC handlers hold a worker's request loop.
+MAX_SECONDS = 30.0
+
+#: Sampling-rate clamp (samples per second).
+MIN_HZ, MAX_HZ = 1.0, 999.0
+
+
+def _frame_label(frame) -> str:
+    """``file.py:function`` — line numbers are deliberately dropped so
+    samples taken at different lines of one function aggregate."""
+    code = frame.f_code
+    return f"{os.path.basename(code.co_filename)}:{code.co_name}"
+
+
+def _stack_of(frame) -> tuple[str, ...]:
+    frames: list[str] = []
+    while frame is not None:
+        frames.append(_frame_label(frame))
+        frame = frame.f_back
+    frames.reverse()
+    return tuple(frames)
+
+
+class ProfileReport:
+    """Aggregated samples from one profiling run."""
+
+    __slots__ = ("seconds", "hz", "samples", "stacks")
+
+    def __init__(self, seconds: float, hz: float, samples: int,
+                 stacks: dict[tuple[str, ...], int]):
+        #: Requested duration (seconds, post-clamp).
+        self.seconds = seconds
+        #: Requested sampling rate (post-clamp).
+        self.hz = hz
+        #: Sampling ticks actually taken.
+        self.samples = samples
+        #: ``stack tuple (root first) -> sample count``.
+        self.stacks = stacks
+
+    def collapsed(self) -> str:
+        """Collapsed-stack text: ``frame;frame;frame count`` lines,
+        heaviest stacks first — pipe into ``flamegraph.pl`` as-is."""
+        lines = [";".join(stack) + f" {count}"
+                 for stack, count in sorted(
+                     self.stacks.items(),
+                     key=lambda item: (-item[1], item[0]))]
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        """JSON-ready summary (the ``GET /v1/profile`` body)."""
+        return {
+            "seconds": self.seconds,
+            "hz": self.hz,
+            "samples": self.samples,
+            "distinct_stacks": len(self.stacks),
+            "collapsed": self.collapsed(),
+        }
+
+
+def clamp_request(seconds: float, hz: float) -> tuple[float, float]:
+    """Clamp a profiling request to safe bounds (duration capped at
+    :data:`MAX_SECONDS`, rate within [:data:`MIN_HZ`, :data:`MAX_HZ`])."""
+    seconds = min(max(float(seconds), 0.01), MAX_SECONDS)
+    hz = min(max(float(hz), MIN_HZ), MAX_HZ)
+    return seconds, hz
+
+
+def profile_here(seconds: float = 1.0, hz: float = 99.0) -> ProfileReport:
+    """Sample every thread in this process for ``seconds`` at ``hz``.
+
+    The caller blocks for the duration; a daemon thread does the
+    sampling and excludes itself, so the calling thread's stack (e.g. a
+    worker's request loop inside the ``Profile`` handler) is included
+    in the report.  Stacks are rooted at the owning thread's name.
+    """
+    seconds, hz = clamp_request(seconds, hz)
+    interval = 1.0 / hz
+    deadline = time.monotonic() + seconds
+    stacks: dict[tuple[str, ...], int] = {}
+    ticks = 0
+
+    def _sample_loop():
+        nonlocal ticks
+        me = threading.get_ident()
+        while time.monotonic() < deadline:
+            names = {thread.ident: thread.name
+                     for thread in threading.enumerate()}
+            for ident, frame in sys._current_frames().items():
+                if ident == me:
+                    continue
+                root = names.get(ident, f"thread-{ident}")
+                stack = (root,) + _stack_of(frame)
+                stacks[stack] = stacks.get(stack, 0) + 1
+            ticks += 1
+            time.sleep(interval)
+
+    sampler = threading.Thread(target=_sample_loop,
+                               name="repro-profile-sampler", daemon=True)
+    sampler.start()
+    sampler.join(timeout=seconds + 5.0)
+    return ProfileReport(seconds=seconds, hz=hz, samples=ticks,
+                         stacks=stacks)

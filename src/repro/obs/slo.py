@@ -1,0 +1,265 @@
+"""Service-level objectives and multi-window burn-rate tracking.
+
+Raw counters say what happened; an SLO says whether it is *fine*.  Each
+declared objective (availability, latency-under-threshold, q-error —
+the accuracy signal ``/v1/feedback`` already reports) classifies every
+event as good or bad, and the tracker keeps those outcomes in coarse
+time buckets so it can answer, per rolling window, the standard
+alerting question: at the current error rate, how fast is the error
+budget burning?
+
+``burn_rate = error_rate / (1 - objective)`` — 1.0 means the budget is
+being consumed exactly as fast as the objective allows; the
+conventional multi-window page fires when both a short and a long
+window burn hot (short catches the spike, long confirms it is not a
+blip).  The tracker exports ``repro_slo_burn_rate{slo=,window=}``
+gauges through the registry's collector hook and a JSON view for
+``GET /v1/slo``, which is the signal ROADMAP open item 4's adaptive
+refresh is meant to consume.
+
+The clock is injectable so tests drive windows deterministically.
+Recording is two dict updates under one lock — cheap enough for the
+per-request hot path; :data:`NULL_SLO` is the no-op twin used when
+telemetry is disabled wholesale.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+
+#: Default rolling windows: label → width in seconds.
+DEFAULT_WINDOWS = (("5m", 300.0), ("1h", 3600.0), ("6h", 21600.0))
+
+#: Outcome-bucket width (seconds); window edges are quantized to this.
+BUCKET_SECONDS = 10.0
+
+
+class SLO:
+    """One declared objective: a target good-fraction plus an optional
+    numeric threshold separating good from bad observations."""
+
+    __slots__ = ("name", "objective", "threshold", "description")
+
+    def __init__(self, name: str, objective: float,
+                 threshold: float | None = None, description: str = ""):
+        if not 0.0 < objective < 1.0:
+            raise ValueError(
+                f"objective must be in (0, 1), got {objective!r}")
+        self.name = name
+        self.objective = float(objective)
+        self.threshold = None if threshold is None else float(threshold)
+        self.description = description
+
+    def to_json(self) -> dict:
+        return {"name": self.name, "objective": self.objective,
+                "threshold": self.threshold,
+                "description": self.description}
+
+
+class _SloState:
+    __slots__ = ("slo", "buckets", "good_total", "bad_total")
+
+    def __init__(self, slo: SLO):
+        self.slo = slo
+        self.buckets: dict[int, list[int]] = {}  # bucket -> [good, bad]
+        self.good_total = 0
+        self.bad_total = 0
+
+
+class SloTracker:
+    """Declared objectives plus rolling good/bad outcome buckets.
+
+    ``clock`` defaults to ``time.monotonic`` and is injectable; all
+    window math quantizes to :data:`BUCKET_SECONDS`-wide buckets, which
+    bounds memory at (longest window / bucket width) entries per SLO.
+    """
+
+    enabled = True
+
+    def __init__(self, windows=DEFAULT_WINDOWS,
+                 bucket_seconds: float = BUCKET_SECONDS, clock=None):
+        self.windows = tuple(windows)
+        self._bucket_seconds = float(bucket_seconds)
+        self._horizon_buckets = int(
+            max(width for _label, width in self.windows)
+            / self._bucket_seconds) + 1
+        self._clock = clock if clock is not None else time.monotonic
+        self._lock = threading.Lock()
+        self._states: dict[str, _SloState] = {}
+
+    def declare(self, name: str, objective: float,
+                threshold: float | None = None,
+                description: str = "") -> SLO:
+        """Register (or return the existing) objective ``name``."""
+        with self._lock:
+            state = self._states.get(name)
+            if state is None:
+                state = _SloState(SLO(name, objective, threshold,
+                                      description))
+                self._states[name] = state
+            return state.slo
+
+    def _record_locked(self, state: _SloState, good: bool,
+                       n: int = 1) -> None:
+        bucket = int(self._clock() / self._bucket_seconds)
+        cell = state.buckets.get(bucket)
+        if cell is None:
+            cell = state.buckets[bucket] = [0, 0]
+            self._prune(state, bucket)
+        if good:
+            cell[0] += n
+            state.good_total += n
+        else:
+            cell[1] += n
+            state.bad_total += n
+
+    def record(self, name: str, good: bool, n: int = 1) -> None:
+        """Record ``n`` good or bad events against objective ``name``
+        (which must have been declared — typos should fail loudly)."""
+        with self._lock:
+            self._record_locked(self._states[name], good, n)
+
+    def record_value(self, name: str, value: float) -> bool:
+        """Record an observation against ``name``'s threshold (good iff
+        ``value <= threshold``); returns the verdict.  One lock
+        acquisition — this sits on the per-request hot path."""
+        with self._lock:
+            state = self._states[name]
+            threshold = state.slo.threshold
+            good = threshold is None or value <= threshold
+            self._record_locked(state, good)
+        return good
+
+    def _prune(self, state: _SloState, now_bucket: int) -> None:
+        floor = now_bucket - self._horizon_buckets
+        if len(state.buckets) > self._horizon_buckets:
+            for bucket in [b for b in state.buckets if b < floor]:
+                del state.buckets[bucket]
+
+    def window_counts(self, name: str, window_seconds: float
+                      ) -> tuple[int, int]:
+        """``(good, bad)`` totals over the trailing window."""
+        with self._lock:
+            state = self._states[name]
+            now_bucket = int(self._clock() / self._bucket_seconds)
+            floor = now_bucket - int(window_seconds
+                                     / self._bucket_seconds)
+            good = bad = 0
+            for bucket, (g, b) in state.buckets.items():
+                if floor < bucket <= now_bucket:
+                    good += g
+                    bad += b
+        return good, bad
+
+    def burn_rate(self, name: str, window_seconds: float) -> float:
+        """Error-budget burn over the trailing window: the window's
+        error rate divided by the budget ``1 - objective``.  0.0 with
+        no traffic (no evidence is not an outage)."""
+        good, bad = self.window_counts(name, window_seconds)
+        total = good + bad
+        if not total:
+            return 0.0
+        with self._lock:
+            budget = 1.0 - self._states[name].slo.objective
+        error_rate = bad / total
+        if budget <= 0.0:
+            return math.inf if bad else 0.0
+        return error_rate / budget
+
+    def snapshot(self) -> dict:
+        """The ``GET /v1/slo`` body: every objective with lifetime
+        totals and per-window error/burn rates."""
+        with self._lock:
+            names = sorted(self._states)
+        slos = []
+        for name in names:
+            with self._lock:
+                state = self._states[name]
+                entry = state.slo.to_json()
+                entry["good_total"] = state.good_total
+                entry["bad_total"] = state.bad_total
+            windows = {}
+            for label, width in self.windows:
+                good, bad = self.window_counts(name, width)
+                total = good + bad
+                windows[label] = {
+                    "good": good,
+                    "bad": bad,
+                    "error_rate": (bad / total) if total else 0.0,
+                    "burn_rate": self.burn_rate(name, width),
+                }
+            entry["windows"] = windows
+            slos.append(entry)
+        return {"slos": slos}
+
+    def collect(self) -> list[tuple[str, str, str, list]]:
+        """Collector hook for the metrics registry: objectives, lifetime
+        outcome counters, and per-window burn-rate gauges."""
+        with self._lock:
+            names = sorted(self._states)
+        objective_samples: list = []
+        event_samples: list = []
+        burn_samples: list = []
+        for name in names:
+            with self._lock:
+                state = self._states[name]
+                objective = state.slo.objective
+                good_total = state.good_total
+                bad_total = state.bad_total
+            objective_samples.append(({"slo": name}, objective))
+            event_samples.append(
+                ({"slo": name, "outcome": "good"}, float(good_total)))
+            event_samples.append(
+                ({"slo": name, "outcome": "bad"}, float(bad_total)))
+            for label, width in self.windows:
+                burn_samples.append(
+                    ({"slo": name, "window": label},
+                     self.burn_rate(name, width)))
+        if not names:
+            return []
+        return [
+            ("gauge", "repro_slo_objective",
+             "Declared objective (target good fraction) per SLO",
+             objective_samples),
+            ("counter", "repro_slo_events_total",
+             "Lifetime good/bad outcome counts per SLO",
+             event_samples),
+            ("gauge", "repro_slo_burn_rate",
+             "Error-budget burn rate per SLO and rolling window "
+             "(1.0 = burning exactly at budget)",
+             burn_samples),
+        ]
+
+
+class NullSloTracker:
+    """No-op twin of :class:`SloTracker` (telemetry disabled)."""
+
+    enabled = False
+    windows = ()
+
+    def declare(self, name, objective, threshold=None,
+                description="") -> None:
+        return None
+
+    def record(self, name, good, n=1) -> None:
+        return None
+
+    def record_value(self, name, value) -> bool:
+        return True
+
+    def window_counts(self, name, window_seconds) -> tuple[int, int]:
+        return 0, 0
+
+    def burn_rate(self, name, window_seconds) -> float:
+        return 0.0
+
+    def snapshot(self) -> dict:
+        return {"slos": []}
+
+    def collect(self) -> list:
+        return []
+
+
+NULL_SLO = NullSloTracker()

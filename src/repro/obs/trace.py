@@ -269,6 +269,15 @@ def wire_context() -> tuple[str, str] | None:
     return (ctx.record.trace_id, ctx.span.span_id)
 
 
+def current_trace_id() -> str | None:
+    """The active trace's id on this thread (None outside a trace) —
+    the cheap read histogram exemplars link observations through."""
+    ctx = _current()
+    if ctx is None:
+        return None
+    return ctx.record.trace_id
+
+
 def absorb_remote_spans(spans) -> None:
     """Graft worker-recorded span dicts into this thread's live trace
     (a no-op outside a trace, or for an empty batch)."""

@@ -32,14 +32,29 @@ Versioned ``/v1`` routes (the supported API)
                             per-model/per-shard accuracy histograms
 ``GET /v1/models``          published models with declared capabilities
 ``GET /v1/stats``           serving statistics: full metric families
-                            (stream-exact latency/q-error summaries),
-                            registry state, trace-log occupancy
+                            (stream-exact latency/q-error summaries,
+                            exemplar trace links), registry state,
+                            trace-log occupancy, SLO burn rates, and a
+                            ``workers`` section for cluster-backed
+                            models
 ``GET /v1/traces``          recent request span trees from the ring
                             buffer (``?slow=true`` for the slow-query
                             log, ``?limit=N``)
+``GET /v1/slo``             declared objectives with lifetime outcome
+                            totals and rolling multi-window burn rates
+``GET /v1/profile``         wall-clock stack sampling: ``?seconds=&hz=``
+                            profiles the serving process, ``&worker=N``
+                            (with ``&model=`` when several are served)
+                            forwards to that shard worker via the
+                            ``Profile`` RPC; ``&format=collapsed``
+                            returns bare collapsed-stack text for
+                            flamegraph tooling instead of JSON
 ``GET /metrics``            Prometheus text exposition of every metric
                             family (latency histograms, cache counters,
-                            worker health gauges, q-error histograms)
+                            worker health gauges, q-error histograms,
+                            SLO burn rates, plus federated per-worker
+                            families under ``worker=``/``shard_group=``
+                            labels for cluster-backed models)
 ==========================  =================================================
 
 ``POST /v1/explain`` accepts ``?trace=true`` (or ``"trace": true`` in
@@ -232,6 +247,13 @@ class ServingHandler(BaseHTTPRequestHandler):
             self._dispatch_v1(self.service.stats_v1)
         elif path == "/v1/traces":
             self._dispatch_v1(lambda: self._get_v1_traces(params))
+        elif path == "/v1/slo":
+            self._dispatch_v1(self.service.slo_v1)
+        elif path == "/v1/profile":
+            if params.get("format") == "collapsed":
+                self._get_profile_collapsed(params)
+            else:
+                self._dispatch_v1(lambda: self._get_v1_profile(params))
         elif path == "/metrics":
             self._get_metrics()
         elif path == "/models":
@@ -338,6 +360,43 @@ class ServingHandler(BaseHTTPRequestHandler):
         return {"traces": traces, "slow": slow, "count": len(traces),
                 **self.service.tracer.log.describe(),
                 "api_version": API_VERSION}
+
+    def _profile_request(self, params: dict) -> dict:
+        """Parse and run one ``GET /v1/profile`` request: ``seconds=``,
+        ``hz=``, optional ``model=`` and ``worker=`` (forwarding the run
+        to a remote shard worker via the ``Profile`` RPC)."""
+        try:
+            seconds = float(params.get("seconds", 1.0))
+            hz = float(params.get("hz", 99.0))
+        except ValueError:
+            raise ValueError(
+                "'seconds' and 'hz' must be numbers") from None
+        worker = params.get("worker")
+        if worker is not None:
+            try:
+                worker = int(worker)
+            except ValueError:
+                raise ValueError(
+                    "'worker' must be an integer worker id") from None
+        return self.service.profile(seconds=seconds, hz=hz,
+                                    model=params.get("model"),
+                                    worker=worker)
+
+    def _get_v1_profile(self, params: dict) -> dict:
+        from repro.api import API_VERSION
+
+        return {"api_version": API_VERSION,
+                **self._profile_request(params)}
+
+    def _get_profile_collapsed(self, params: dict) -> None:
+        """``GET /v1/profile?format=collapsed``: the bare collapsed-stack
+        text, ready to pipe into flamegraph tooling."""
+        try:
+            result = self._profile_request(params)
+        except Exception as exc:
+            self._reply(error_payload(exc), status=http_status_of(exc))
+            return
+        self._reply_text(result["collapsed"] + "\n")
 
     def _get_metrics(self) -> None:
         """Prometheus text exposition of every metric family."""

@@ -52,6 +52,7 @@ the paper's incremental maintenance accepts.
 from __future__ import annotations
 
 import contextlib
+import os
 import threading
 import time
 from dataclasses import replace
@@ -79,7 +80,8 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
-from repro.obs.trace import Tracer, trace_span
+from repro.obs.slo import NULL_SLO, SloTracker
+from repro.obs.trace import Tracer, current_trace_id, trace_span
 from repro.serve.cache import EstimateCache, query_fingerprint
 from repro.serve.registry import ModelRecord, ModelRegistry
 from repro.serve.warmup import (
@@ -227,6 +229,22 @@ class EstimationService:
         self.metrics.register_collector(self._collect_cache_metrics)
         self.metrics.register_collector(self._collect_registry_metrics)
         self.metrics.register_collector(self._collect_model_metrics)
+        # declared objectives over the signals above: availability and
+        # latency from the request paths, accuracy from /v1/feedback;
+        # burn rates export via the collector (repro_slo_burn_rate) and
+        # GET /v1/slo.  Disabled alongside metrics so the overhead bench
+        # compares genuinely uninstrumented serving.
+        self.slo = SloTracker() if self.metrics.enabled else NULL_SLO
+        self.slo.declare(
+            "availability", objective=0.999,
+            description="Requests answered without error")
+        self.slo.declare(
+            "latency", objective=0.99, threshold=0.1,
+            description="Estimation requests answered within 100 ms")
+        self.slo.declare(
+            "qerror", objective=0.9, threshold=10.0,
+            description="Feedback q-errors within 10x of ground truth")
+        self.metrics.register_collector(self.slo.collect)
         self.started_at = time.time()
         self.registry.add_swap_listener(self._on_swap)
         if record_path is not None:
@@ -350,10 +368,14 @@ class EstimationService:
         """
         with self.tracer.trace("request.estimate",
                                model=request.model or "") as root:
-            response = self._estimate_with(self._resolve(request.model),
-                                           request.query,
-                                           requested_model=request.model,
-                                           explain=request.explain)
+            try:
+                response = self._estimate_with(
+                    self._resolve(request.model), request.query,
+                    requested_model=request.model,
+                    explain=request.explain)
+            except Exception:
+                self.slo.record("availability", False)
+                raise
         return self._attach_trace(response, root,
                                   want_tree=request.trace)
 
@@ -448,7 +470,12 @@ class EstimationService:
             trace = with_cache_level(
                 build_explain_trace(record.model, query), cache_level)
         seconds = time.perf_counter() - start
-        self._latency_bound("estimate", record.name).observe(seconds)
+        # the exemplar links this observation's bucket to its trace, so
+        # a slow p99 bucket on a dashboard resolves to a concrete trace
+        self._latency_bound("estimate", record.name).observe(
+            seconds, trace_id=current_trace_id())
+        self.slo.record("availability", True)
+        self.slo.record_value("latency", seconds)
         return EstimateResponse(estimate=value, model=record.name,
                                 version=record.version,
                                 cached=cache_level is not None,
@@ -494,7 +521,11 @@ class EstimationService:
         """
         with self.tracer.trace("request.subplans",
                                model=request.model or ""):
-            return self._subplans_with(request)
+            try:
+                return self._subplans_with(request)
+            except Exception:
+                self.slo.record("availability", False)
+                raise
 
     def _subplans_with(self, request: SubplanRequest) -> SubplanResponse:
         start = time.perf_counter()
@@ -549,7 +580,10 @@ class EstimationService:
                          if s in skeys}, stamp=stamp, shards=shards)
         self._record(KIND_SUBPLANS, query, model, min_tables=min_tables)
         seconds = time.perf_counter() - start
-        self._latency_bound("subplans", record.name).observe(seconds)
+        self._latency_bound("subplans", record.name).observe(
+            seconds, trace_id=current_trace_id())
+        self.slo.record("availability", True)
+        self.slo.record_value("latency", seconds)
         # a copied map: callers mutating their result must not poison
         # the cache
         return SubplanResponse(subplans=dict(value), model=record.name,
@@ -624,7 +658,11 @@ class EstimationService:
         """
         with self.tracer.trace("request.update",
                                model=request.model or ""):
-            return self._update_with(request)
+            try:
+                return self._update_with(request)
+            except Exception:
+                self.slo.record("availability", False)
+                raise
 
     def _update_with(self, request: UpdateRequest) -> UpdateResponse:
         start = time.perf_counter()
@@ -664,7 +702,9 @@ class EstimationService:
                 # snapshot that concurrent GET /models responses iterate
                 self._mutated_records.add((record.name, record.version))
         seconds = time.perf_counter() - start
-        self._latency_bound("update", record.name).observe(seconds)
+        self._latency_bound("update", record.name).observe(
+            seconds, trace_id=current_trace_id())
+        self.slo.record("availability", True)
         return UpdateResponse(
             model=record.name,
             version=record.version,
@@ -749,11 +789,13 @@ class EstimationService:
             shards = self._touched_shards(record.model, query)
             shard_list = tuple(sorted(shards)) if shards else ()
             with trace_span("qerror.record", model=record.name):
-                self._qerror.observe(error, model=record.name)
+                self._qerror.observe(error, trace_id=current_trace_id(),
+                                     model=record.name)
                 for shard in shard_list:
                     self._shard_qerror.observe(error, model=record.name,
                                                shard=shard)
                 self._feedback_total.inc(model=record.name)
+                self.slo.record_value("qerror", error)
             return FeedbackResponse(
                 model=record.name, version=record.version,
                 estimate=float(estimate),
@@ -846,7 +888,65 @@ class EstimationService:
         return restore_snapshot(cache, path, self._fingerprint_of(record),
                                 stamp=stamp)
 
+    # -- profiling -------------------------------------------------------------
+
+    def profile(self, seconds: float = 1.0, hz: float = 99.0,
+                model: str | None = None,
+                worker: int | None = None) -> dict:
+        """Sample stacks for ``seconds`` at ``hz`` (``GET /v1/profile``).
+
+        With ``worker=None`` the serving process itself is profiled
+        (every thread, wall-clock).  With a worker id, the request is
+        forwarded as a ``Profile`` RPC to that shard worker of the
+        resolved (cluster-backed) model, so a remote host is profiled
+        through the same pane.  Returns a JSON-ready dict whose
+        ``collapsed`` text is flamegraph-ready; duration and rate are
+        clamped to safe bounds (see :mod:`repro.obs.profile`).
+        """
+        from repro.obs.profile import profile_here
+
+        if worker is None:
+            report = profile_here(seconds=seconds, hz=hz)
+            return {"pid": os.getpid(), "worker": None,
+                    **report.to_json()}
+        record = self._resolve(model)
+        hook = getattr(record.model, "profile_worker", None)
+        if not callable(hook):
+            raise UnsupportedOperationError(
+                f"model {record.name!r} is not cluster-backed; only the "
+                f"serving process can be profiled (omit 'worker')")
+        result = hook(int(worker), seconds=seconds, hz=hz)
+        return {"pid": result.pid, "worker": int(worker),
+                "model": record.name, "seconds": result.seconds,
+                "hz": result.hz, "samples": result.samples,
+                "collapsed": result.collapsed}
+
     # -- introspection ---------------------------------------------------------
+
+    def slo_v1(self) -> dict:
+        """The ``GET /v1/slo`` body: every declared objective with
+        lifetime outcome totals and per-window error/burn rates (see
+        :mod:`repro.obs.slo`)."""
+        from repro.api import API_VERSION
+
+        return {"api_version": API_VERSION, **self.slo.snapshot()}
+
+    def _workers_overview(self) -> dict | None:
+        """Per-model worker rows for the ``/v1/stats`` ``workers``
+        section: the pool's cheap describe() — liveness, restarts,
+        generation, and per-worker monotone transport counters — for
+        every cluster-backed model (None when none is)."""
+        overview: dict[str, dict] = {}
+        for record in self.registry.records():
+            pool = getattr(record.model, "pool", None)
+            describe = getattr(pool, "describe", None)
+            if not callable(describe):
+                continue
+            try:
+                overview[record.name] = describe()
+            except Exception:  # a broken pool must not kill /v1/stats
+                continue
+        return overview or None
 
     def _collect_cache_metrics(self):
         """Scrape-time collector: per-model cache counters.
@@ -947,8 +1047,11 @@ class EstimationService:
 
     def stats_v1(self) -> dict:
         """JSON serving statistics (``GET /v1/stats``): the registry's
-        full metric families (histograms as stream-exact summaries)
-        plus registry/recording state and the trace-log occupancy."""
+        full metric families (histograms as stream-exact summaries, with
+        exemplar trace links when present), registry/recording state,
+        the trace-log occupancy, SLO burn rates, and — for
+        cluster-backed models — a ``workers`` section of per-worker
+        health rows and transport counters."""
         from repro.api import API_VERSION
 
         with self._recorder_lock:
@@ -964,4 +1067,6 @@ class EstimationService:
                            "recorded": recorder.recorded}),
             "metrics": self.metrics.to_json(),
             "traces": self.tracer.log.describe(),
+            "slo": self.slo.snapshot(),
+            "workers": self._workers_overview(),
         }

@@ -1,0 +1,265 @@
+"""Federated worker metrics: lossless-merge properties and the
+end-to-end TCP acceptance path (driver /metrics fronting real workers).
+"""
+
+import json
+import urllib.parse
+import urllib.request
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import parse_prometheus_text
+from repro.obs.federate import (
+    MetricsFederator,
+    empty_snapshot,
+    merge_snapshot,
+    snapshot_families,
+    snapshot_registry,
+)
+from repro.obs.metrics import (
+    MetricsRegistry,
+    _label_key,
+    percentile_from_counts,
+)
+from repro.serve import EstimationService, serve_in_background
+from tests.test_cluster_model import QUERIES, _fit_sharded
+from tests.test_cluster_tcp import tcp_cluster
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::pytest.PytestUnraisableExceptionWarning")
+
+HIST = "h_seconds"
+CTR = "c_total"
+KEY = _label_key({"op": "x"})
+
+observations = st.lists(
+    st.floats(min_value=1e-6, max_value=1e6,
+              allow_nan=False, allow_infinity=False),
+    min_size=0, max_size=20)
+
+
+def _worker_registry(values):
+    registry = MetricsRegistry()
+    hist = registry.histogram(HIST, "test histogram", buckets=(0.1, 1.0))
+    ctr = registry.counter(CTR, "test counter")
+    for value in values:
+        hist.observe(value, op="x")
+        ctr.inc(op="x")
+    return registry
+
+
+def _merge_in_order(snapshots, order):
+    acc = empty_snapshot()
+    for index in order:
+        merge_snapshot(acc, snapshots[index])
+    return acc
+
+
+class TestMergeProperties:
+    @settings(deadline=None, max_examples=50)
+    @given(data=st.data())
+    def test_any_merge_order_equals_single_registry(self, data):
+        """Merging N worker snapshots in any order reproduces the
+        single-registry observation exactly: same quantized count maps,
+        hence bit-identical nearest-rank quantiles."""
+        per_worker = data.draw(
+            st.lists(observations, min_size=1, max_size=5))
+        snapshots = [snapshot_registry(_worker_registry(values))
+                     for values in per_worker]
+        combined = _worker_registry(
+            [v for values in per_worker for v in values])
+        expected = snapshot_registry(combined)
+
+        order = data.draw(st.permutations(range(len(snapshots))))
+        merged = _merge_in_order(snapshots, order)
+
+        assert (merged["counters"][CTR]["samples"]
+                == expected["counters"][CTR]["samples"])
+        merged_children = merged["histograms"][HIST]["children"]
+        expected_children = expected["histograms"][HIST]["children"]
+        assert merged_children.keys() == expected_children.keys()
+        for key, (count, total, low, high, counts) in (
+                expected_children.items()):
+            m_count, m_total, m_low, m_high, m_counts = merged_children[key]
+            assert m_counts == counts          # exact quantized map
+            assert m_count == count
+            assert (m_low, m_high) == (low, high)
+            assert m_total == pytest.approx(total, rel=1e-9)
+            for q in (0.5, 0.95, 0.99):
+                assert (percentile_from_counts(m_counts, q)
+                        == percentile_from_counts(counts, q))
+
+    @settings(deadline=None, max_examples=30)
+    @given(data=st.data())
+    def test_merge_is_order_independent(self, data):
+        per_worker = data.draw(
+            st.lists(observations, min_size=2, max_size=4))
+        snapshots = [snapshot_registry(_worker_registry(values))
+                     for values in per_worker]
+        order_a = data.draw(st.permutations(range(len(snapshots))))
+        order_b = data.draw(st.permutations(range(len(snapshots))))
+        a = _merge_in_order(snapshots, order_a)
+        b = _merge_in_order(snapshots, order_b)
+        assert (a["counters"][CTR]["samples"].keys()
+                == b["counters"][CTR]["samples"].keys())
+        for key, value in a["counters"][CTR]["samples"].items():
+            assert b["counters"][CTR]["samples"][key] == (
+                pytest.approx(value, rel=1e-9))
+        a_children = a["histograms"][HIST]["children"]
+        b_children = b["histograms"][HIST]["children"]
+        assert a_children.keys() == b_children.keys()
+        for key in a_children:
+            assert a_children[key][4] == b_children[key][4]
+            assert a_children[key][0] == b_children[key][0]
+
+    @settings(deadline=None, max_examples=30)
+    @given(rounds=st.lists(observations, min_size=1, max_size=4))
+    def test_restart_folding_keeps_counters_monotone(self, rounds):
+        """Each generation starts a fresh registry (counts from zero);
+        the federator's view must never go backwards and must end at the
+        sum over all incarnations."""
+        federator = MetricsFederator()
+        seen = 0.0
+        total_events = 0
+        for generation, values in enumerate(rounds, start=1):
+            snapshot = snapshot_registry(_worker_registry(values))
+            federator.absorb(0, generation, snapshot, {"worker": "0"})
+            view = federator.worker_view(0)
+            now = view["counters"][CTR]["samples"].get(KEY, 0.0)
+            assert now >= seen
+            seen = now
+            total_events += len(values)
+        assert seen == float(total_events)
+        view = federator.worker_view(0)
+        child = view["histograms"][HIST]["children"].get(
+            KEY, (0, 0.0, 0.0, 0.0, {}))
+        assert child[0] == total_events
+        assert sum(child[4].values()) == total_events
+
+
+class TestFederatorLedger:
+    def test_unreachable_worker_keeps_last_known_state(self):
+        federator = MetricsFederator()
+        snapshot = snapshot_registry(_worker_registry([0.2, 0.4]))
+        federator.absorb(1, 1, snapshot, {"worker": "1"})
+        federator.mark_unreachable(1)
+        families = dict(
+            (name, samples)
+            for _kind, name, _help, samples in federator.families())
+        fresh = families["repro_worker_metrics_fresh"]
+        assert fresh == [({"worker": "1"}, 0.0)]
+        assert CTR in families and families[CTR]
+        federator.forget(1)
+        assert federator.worker_view(1) is None
+        assert not federator.families()
+
+    def test_families_stamp_extra_labels_on_every_sample(self):
+        snapshot = snapshot_registry(_worker_registry([0.3]))
+        families = snapshot_families(snapshot, {"worker": "7",
+                                                "shard_group": "0+1"})
+        for _kind, _name, _help, samples in families:
+            for labels, *_rest in samples:
+                assert labels["worker"] == "7"
+                assert labels["shard_group"] == "0+1"
+
+
+@pytest.fixture(scope="module")
+def artifact(tmp_path_factory):
+    from tests.conftest import build_toy_db
+
+    db = build_toy_db(seed=3)
+    path = tmp_path_factory.mktemp("obs-fed") / "ensemble"
+    _fit_sharded(db).save(path)
+    return str(path)
+
+
+def _get(server, path):
+    host, port = server.server_address[:2]
+    with urllib.request.urlopen(f"http://{host}:{port}{path}",
+                                timeout=30) as resp:
+        return resp.read().decode()
+
+
+def _post(server, path, payload):
+    host, port = server.server_address[:2]
+    req = urllib.request.Request(
+        f"http://{host}:{port}{path}",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(req, timeout=30) as resp:
+        return json.loads(resp.read())
+
+
+class TestFederatedScrapeAcceptance:
+    def test_driver_scrape_is_bit_identical_to_worker_registries(
+            self, artifact, tmp_path):
+        """The acceptance path: a /metrics scrape from a driver fronting
+        two TCP workers carries worker-labeled histograms whose merged
+        quantiles equal the workers' own registries bit for bit, and a
+        /v1/profile against a remote worker yields collapsed stacks."""
+        with tcp_cluster(artifact, tmp_path / "store") as (model, _, servers):
+            service = EstimationService()
+            service.register("cluster", model)
+            httpd, _ = serve_in_background(service, port=0)
+            try:
+                for sql in QUERIES:
+                    body = _post(httpd, "/v1/estimate",
+                                 {"sql": sql, "model": "cluster"})
+                    assert body["estimate"] >= 0
+
+                text = _get(httpd, "/metrics")
+                families = parse_prometheus_text(text)
+
+                handler = families["repro_worker_handler_seconds"]
+                assert handler["type"] == "histogram"
+                workers_seen = {labels["worker"]
+                                for _name, labels, _v in handler["samples"]}
+                assert workers_seen == {"0", "1"}
+                for _name, labels, _value in handler["samples"]:
+                    assert labels["shard_group"]
+                    assert labels["model"] == "cluster"
+                assert "repro_worker_metrics_fresh" in families
+
+                for worker_id, server in enumerate(servers):
+                    view = model._federator.worker_view(worker_id)
+                    assert view is not None
+                    own = snapshot_registry(server.worker.metrics)
+                    fed_children = view["histograms"][
+                        "repro_worker_handler_seconds"]["children"]
+                    own_children = own["histograms"][
+                        "repro_worker_handler_seconds"]["children"]
+                    assert fed_children.keys() == own_children.keys()
+                    for key, own_child in own_children.items():
+                        fed_child = fed_children[key]
+                        assert fed_child[4] == own_child[4]
+                        for q in (0.5, 0.95, 0.99):
+                            assert (percentile_from_counts(fed_child[4], q)
+                                    == percentile_from_counts(
+                                        own_child[4], q))
+
+                collapsed = _get(
+                    httpd, "/v1/profile?" + urllib.parse.urlencode(
+                        {"seconds": 0.2, "hz": 50, "worker": 0,
+                         "model": "cluster", "format": "collapsed"}))
+                lines = [l for l in collapsed.splitlines() if l.strip()]
+                assert lines
+                for line in lines:
+                    stack, count = line.rsplit(" ", 1)
+                    assert stack and int(count) >= 1
+
+                stats = json.loads(_get(httpd, "/v1/stats"))
+                rows = stats["workers"]["cluster"]["workers"]
+                assert len(rows) == 2
+                for row in rows:
+                    assert "generation" in row
+                    assert "transport_stats" in row
+
+                slo = json.loads(_get(httpd, "/v1/slo"))
+                availability = next(s for s in slo["slos"]
+                                    if s["name"] == "availability")
+                assert availability["good_total"] >= len(QUERIES)
+            finally:
+                httpd.shutdown()
+                httpd.server_close()

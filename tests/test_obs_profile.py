@@ -1,0 +1,113 @@
+"""The stdlib sampling profiler: collapsed-stack reports, request
+clamping, and the worker-side ``Profile`` RPC handler."""
+
+import os
+import threading
+import time
+
+from repro.cluster.messages import CollectMetrics, Profile, ProfileResult
+from repro.cluster.worker import ShardWorker
+from repro.obs.profile import (
+    MAX_HZ,
+    MAX_SECONDS,
+    MIN_HZ,
+    ProfileReport,
+    clamp_request,
+    profile_here,
+)
+
+
+def _busy_until(stop):
+    while not stop.is_set():
+        sum(i * i for i in range(200))
+
+
+class TestProfileHere:
+    def test_samples_every_thread_including_the_caller(self):
+        stop = threading.Event()
+        worker = threading.Thread(target=_busy_until, args=(stop,),
+                                  name="busy-loop", daemon=True)
+        worker.start()
+        try:
+            report = profile_here(seconds=0.3, hz=200)
+        finally:
+            stop.set()
+            worker.join()
+        assert report.samples > 0
+        collapsed = report.collapsed()
+        assert collapsed
+        lines = collapsed.splitlines()
+        # Heaviest-first, "frame;frame;... count" per line.
+        counts = []
+        for line in lines:
+            stack, count = line.rsplit(" ", 1)
+            assert stack
+            counts.append(int(count))
+        assert counts == sorted(counts, reverse=True)
+        # The busy thread's stack is rooted at its thread name and
+        # includes the hot function.
+        assert any(line.startswith("busy-loop;") and "_busy_until" in line
+                   for line in lines)
+        # The caller's own (blocked) thread shows up too.
+        roots = {line.split(";", 1)[0] for line in lines}
+        assert len(roots) >= 2
+
+    def test_sampler_thread_excludes_itself(self):
+        report = profile_here(seconds=0.1, hz=100)
+        assert not any("repro-profile-sampler" in line
+                       for line in report.collapsed().splitlines())
+
+    def test_to_json_shape(self):
+        report = profile_here(seconds=0.05, hz=100)
+        payload = report.to_json()
+        assert payload["seconds"] == 0.05
+        assert payload["hz"] == 100.0
+        assert payload["samples"] == report.samples
+        assert payload["distinct_stacks"] == len(report.stacks)
+        assert isinstance(payload["collapsed"], str)
+
+
+class TestClamping:
+    def test_bounds(self):
+        assert clamp_request(1e6, 1e6) == (MAX_SECONDS, MAX_HZ)
+        assert clamp_request(-5, 0) == (0.01, MIN_HZ)
+        assert clamp_request(1.5, 99.0) == (1.5, 99.0)
+
+    def test_profile_here_applies_the_clamp(self):
+        report = profile_here(seconds=-1, hz=10 ** 9)
+        assert report.seconds == 0.01
+        assert report.hz == MAX_HZ
+
+
+class TestEmptyReport:
+    def test_collapsed_of_empty_report_is_empty(self):
+        report = ProfileReport(seconds=1.0, hz=10.0, samples=0, stacks={})
+        assert report.collapsed() == ""
+        assert report.to_json()["distinct_stacks"] == 0
+
+
+class TestWorkerProfileRpc:
+    def test_handle_profile_returns_collapsed_stacks(self):
+        worker = ShardWorker()
+        result = worker.handle(Profile(seconds=0.1, hz=100))
+        assert isinstance(result, ProfileResult)
+        assert result.pid == os.getpid()
+        assert result.samples > 0
+        assert result.collapsed
+        for line in result.collapsed.splitlines():
+            stack, count = line.rsplit(" ", 1)
+            assert stack and int(count) >= 1
+
+    def test_profile_and_collect_metrics_are_untimed(self):
+        """Scrape- and profile-plane RPCs must not perturb the handler
+        histogram, or a scrape's snapshot would differ from the registry
+        it just froze."""
+        worker = ShardWorker()
+        worker.handle(Profile(seconds=0.02, hz=50))
+        worker.handle(CollectMetrics())
+        reply = worker.handle(CollectMetrics())
+        children = reply.snapshot["histograms"][
+            "repro_worker_handler_seconds"]["children"]
+        messages = {dict(key).get("message") for key in children}
+        assert "Profile" not in messages
+        assert "CollectMetrics" not in messages
