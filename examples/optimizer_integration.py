@@ -1,21 +1,35 @@
 """Injecting cardinalities into a query optimizer (the paper's end-to-end
 methodology, Section 6.1).
 
-Every estimator family implements the ``repro.api.CardinalityModel``
-protocol, so the optimizer holds one prepared ``EstimationSession`` per
-query and probes the sub-plan lattice through it — per-query setup (key
-groups, base factors) is paid once, and the DP asks for cardinalities
-lazily via ``optimize_with_session``.  The chosen plans are then costed
-under the *true* cardinalities, so plan-quality differences are exactly
-attributable to estimation quality.
+The plan layer packages the paper's optimizer-injection loop behind a
+single seam: a ``CardinalityGenerator`` answers sub-plan cardinality
+probes (from a local fitted model here; ``RemoteCardinalityGenerator``
+speaks to a ``repro serve`` endpoint with the same interface), and
+``plan_query`` runs the DPsub join ordering under those answers.  The
+decision carries the chosen order *and* every injected cardinality as
+optimizer hint text — the pg_hint_plan dialect pastes straight into a
+PostgreSQL session with the extension loaded, the JSON dialect feeds
+engines with a structured hint interface.
+
+The chosen plans are then costed under the *true* cardinalities, so
+plan-quality differences are exactly attributable to estimation quality.
 
 Run:  python examples/optimizer_integration.py
+Against a live server instead:
+      python -m repro serve --benchmark stats --scale 0.1 --port 8787 &
+      python examples/optimizer_integration.py http://127.0.0.1:8787
 """
 
-from repro.baselines import FactorJoinMethod, PostgresMethod, TrueCardMethod
-from repro.core.estimator import FactorJoinConfig
-from repro.optimizer.dp import optimize_with_session
+import sys
+
+from repro.baselines import PostgresMethod, TrueCardMethod
+from repro.core.estimator import FactorJoin, FactorJoinConfig
 from repro.optimizer.endtoend import EndToEndRunner
+from repro.plan import (
+    LocalCardinalityGenerator,
+    RemoteCardinalityGenerator,
+    plan_query,
+)
 from repro.workloads import build_stats_ceb
 
 
@@ -28,29 +42,35 @@ def main() -> None:
     query = max(bench.workload, key=lambda q: q.num_tables())
     print("query:", query.to_sql()[:100], "...\n")
 
-    methods = [
-        PostgresMethod(),
-        FactorJoinMethod(FactorJoinConfig(n_bins=8,
-                                          table_estimator="bayescard")),
-        TrueCardMethod(),
-    ]
-    for method in methods:
-        method.fit(bench.database)
-        # one prepared session per planning task: the DP probes it
-        # lazily, each probe one incremental factor combination
-        with method.open_session(query) as session:
-            plan, believed_cost = optimize_with_session(query, session)
-        actual_cost = runner.true_cost_of_plan(query, plan)
-        print(f"=== {method.name} ===")
-        print(plan.render(indent=1))
-        print(f"  believed cost: {believed_cost:,.0f}   "
-              f"actual cost: {actual_cost:,.0f}\n")
+    # one generator per estimator: it memoizes sub-plan estimates across
+    # queries, so replanning a workload never recomputes a lattice
+    generators = {
+        "postgres": LocalCardinalityGenerator(
+            model=PostgresMethod().fit(bench.database)),
+        "factorjoin": LocalCardinalityGenerator(
+            model=FactorJoin(FactorJoinConfig(
+                n_bins=8, table_estimator="bayescard")).fit(
+                    bench.database)),
+        "truecard": LocalCardinalityGenerator(
+            model=TrueCardMethod().fit(bench.database)),
+    }
+    if len(sys.argv) > 1:  # plan against a live /v1/subplans endpoint
+        generators["remote"] = RemoteCardinalityGenerator(sys.argv[1])
 
-    result = runner.run(methods[1], bench.workload)
-    base = runner.run(methods[0], bench.workload)
-    print(f"workload end-to-end: FactorJoin {result.total_end_to_end:.3f}s "
-          f"vs Postgres {base.total_end_to_end:.3f}s "
-          f"({result.improvement_over(base) * 100:+.1f}%)")
+    for name, generator in generators.items():
+        decision = plan_query(query, generator)
+        actual_cost = runner.true_cost_of_plan(query, decision.plan)
+        print(f"=== {name} ===")
+        print(decision.plan.render(indent=1))
+        print(f"  believed cost: {decision.estimated_cost:,.0f}   "
+              f"actual cost: {actual_cost:,.0f}")
+        # the hint text an engine-side executor would consume
+        print(decision.hint_text())
+        print()
+
+    # the same decision as neutral JSON, for non-PostgreSQL consumers
+    decision = plan_query(query, generators["factorjoin"])
+    print("JSON dialect:", decision.hint_text("json")[:120], "...")
 
 
 if __name__ == "__main__":

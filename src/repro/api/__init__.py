@@ -37,6 +37,7 @@ from repro.api.messages import (
     error_code,
     error_payload,
     http_status_of,
+    p_error,
     q_error,
     render_subplan_keys,
 )
@@ -79,6 +80,7 @@ __all__ = [
     "http_status_of",
     "model_families",
     "NativeSubplanSession",
+    "p_error",
     "PREDICATE_CLASSES",
     "ProgressiveProbeSession",
     "q_error",

@@ -300,6 +300,22 @@ def q_error(estimate: float, true_cardinality: float) -> float:
     return max(est / true, true / est)
 
 
+def p_error(plan_cost: float, optimal_cost: float) -> float:
+    """The plan-cost suboptimality ratio ``plan_cost / optimal_cost``.
+
+    Both costs are the *true*-cardinality costs of two plans for the
+    same query — the chosen plan's and the best-known plan's — so the
+    ratio measures how much the optimizer lost by planning under
+    estimates (the paper's end-to-end plan-quality signal, P-error).
+    Costs are clamped to at least one unit and the ratio to at least
+    1.0: cost models legitimately emit 0 for single-join plans, and
+    jitter must not score a plan as better than optimal.
+    """
+    plan = max(float(plan_cost), 1.0)
+    optimal = max(float(optimal_cost), 1.0)
+    return max(plan / optimal, 1.0)
+
+
 @dataclass(frozen=True)
 class FeedbackRequest:
     """Ground truth for one served query (``POST /v1/feedback``).
@@ -308,12 +324,25 @@ class FeedbackRequest:
     ``true_cardinality``; ``estimate`` optionally pins the estimate the
     feedback refers to — when absent the service re-derives it, which is
     cheap because the answer is still cached.
+
+    ``plan_cost`` / ``optimal_cost`` optionally carry end-to-end plan
+    quality from a plan harness (both plans costed under truth); when
+    both are present the service records their :func:`p_error` into the
+    plan-quality histogram and SLO.  They come as a pair or not at all.
     """
 
     query: Query | str
     true_cardinality: float
     model: str | None = None
     estimate: float | None = None
+    plan_cost: float | None = None
+    optimal_cost: float | None = None
+
+    def __post_init__(self):
+        if (self.plan_cost is None) != (self.optimal_cost is None):
+            raise ValueError(
+                "'plan_cost' and 'optimal_cost' come as a pair: P-error "
+                "is their ratio under true cardinalities")
 
     @classmethod
     def from_json(cls, payload: dict) -> "FeedbackRequest":
@@ -327,21 +356,33 @@ class FeedbackRequest:
                 "result cardinality)")
         if true_cardinality < 0:
             raise ValueError("'true_cardinality' must be >= 0")
-        estimate = payload.get("estimate")
-        if estimate is not None and (isinstance(estimate, bool)
-                                     or not isinstance(estimate,
-                                                       (int, float))):
-            raise ValueError("'estimate' must be a number when given")
+
+        def number_or_none(field_name: str, minimum: float | None = None):
+            value = payload.get(field_name)
+            if value is None:
+                return None
+            if isinstance(value, bool) or not isinstance(value,
+                                                         (int, float)):
+                raise ValueError(
+                    f"'{field_name}' must be a number when given")
+            if minimum is not None and value < minimum:
+                raise ValueError(f"'{field_name}' must be >= {minimum}")
+            return float(value)
+
         return cls(query=_query_text(payload),
                    true_cardinality=float(true_cardinality),
                    model=payload.get("model"),
-                   estimate=None if estimate is None else float(estimate))
+                   estimate=number_or_none("estimate"),
+                   plan_cost=number_or_none("plan_cost", minimum=0.0),
+                   optimal_cost=number_or_none("optimal_cost",
+                                               minimum=0.0))
 
 
 @dataclass(frozen=True)
 class FeedbackResponse:
-    """One absorbed feedback sample: the recorded q-error and where it
-    was filed (per-model, and per-shard for sharded ensembles)."""
+    """One absorbed feedback sample: the recorded q-error (and, when the
+    request carried plan costs, the recorded P-error) and where it was
+    filed (per-model, and per-shard for sharded ensembles)."""
 
     model: str
     version: int
@@ -350,10 +391,11 @@ class FeedbackResponse:
     q_error: float
     sql: str
     shards: tuple[int, ...] = ()
+    p_error: float | None = None
 
     def to_json(self) -> dict:
         """Versioned JSON view (the ``POST /v1/feedback`` body)."""
-        return {
+        payload = {
             "model": self.model,
             "version": self.version,
             "estimate": self.estimate,
@@ -363,6 +405,9 @@ class FeedbackResponse:
             "shards": list(self.shards),
             "api_version": API_VERSION,
         }
+        if self.p_error is not None:
+            payload["p_error"] = self.p_error
+        return payload
 
 
 @dataclass(frozen=True)

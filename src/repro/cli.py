@@ -23,6 +23,14 @@ worker     run one shard worker as a TCP server (``--listen HOST:PORT``);
            through these instead of spawning local processes —
            ``--store DIR`` attaches the content-addressed artifact store
            the driver publishes shard sub-artifacts into
+plan       choose a join order for one SQL query and print it as plan
+           hints (pg_hint_plan or JSON dialect); estimates come from a
+           locally fitted/loaded model, or — with ``--url`` — from a
+           running ``repro serve`` instance over ``POST /v1/subplans``
+e2e        end-to-end plan quality over the benchmark workload: plans
+           chosen under the estimator vs. the truecard oracle, both
+           costed under true cardinalities; prints P-error summary,
+           plan agreement rate, and the worst-regressing queries
 """
 
 from __future__ import annotations
@@ -231,6 +239,47 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile.add_argument("--json", action="store_true",
                            help="print the full JSON body instead of "
                                 "bare collapsed-stack text")
+
+    p_plan = sub.add_parser(
+        "plan", help="choose a join order for one query and print the "
+                     "plan hints")
+    _add_benchmark_args(p_plan)
+    p_plan.add_argument("sql", help="SELECT COUNT(*) query text")
+    p_plan.add_argument("--bins", type=int, default=8)
+    p_plan.add_argument("--estimator", default="bayescard",
+                        choices=("bayescard", "sampling", "truescan",
+                                 "histogram1d"))
+    p_plan.add_argument("--load", metavar="DIR", default=None,
+                        help="load a saved model artifact instead of "
+                             "fitting on the benchmark")
+    p_plan.add_argument("--url", metavar="URL", default=None,
+                        help="plan against a running 'repro serve' "
+                             "instance (POST /v1/subplans) instead of a "
+                             "local model")
+    p_plan.add_argument("--model", default=None,
+                        help="served model name (with --url)")
+    p_plan.add_argument("--dialect", default="pg_hint_plan",
+                        choices=("pg_hint_plan", "json"),
+                        help="hint text dialect (default pg_hint_plan)")
+    p_plan.add_argument("--cost-model", default="c_out",
+                        choices=("c_out", "c_mm"),
+                        help="plan cost model (default c_out)")
+
+    p_e2e = sub.add_parser(
+        "e2e", help="end-to-end plan quality vs the truecard oracle")
+    _add_benchmark_args(p_e2e)
+    p_e2e.add_argument("--bins", type=int, default=8)
+    p_e2e.add_argument("--estimator", default="bayescard",
+                       choices=("bayescard", "sampling", "truescan",
+                                "histogram1d"))
+    p_e2e.add_argument("--cost-model", default="c_out",
+                       choices=("c_out", "c_mm"),
+                       help="plan cost model (default c_out)")
+    p_e2e.add_argument("--worst", type=int, default=5, metavar="N",
+                       help="how many worst-P-error queries to list")
+    p_e2e.add_argument("--json", action="store_true",
+                       help="print the full machine-readable report "
+                            "(the BENCH_plan.json shape)")
 
     p_worker = sub.add_parser(
         "worker", help="run one shard worker as a TCP server")
@@ -521,7 +570,7 @@ def cmd_serve(args) -> int:
     host, port = server.server_address[:2]
     print(f"serving models {service.registry.names()} "
           f"on http://{host}:{port}")
-    print("endpoints: POST /v1/estimate /v1/subplans /v1/update "
+    print("endpoints: POST /v1/estimate /v1/subplans /v1/plan /v1/update "
           "/v1/explain /v1/swap /v1/feedback · GET /v1/models /v1/stats "
           "/v1/traces /v1/slo /v1/profile /metrics /health "
           "(legacy: /estimate /estimate_batch /update /warmup /models "
@@ -554,6 +603,88 @@ def cmd_serve(args) -> int:
             close = getattr(model, "close", None)
             if callable(close):
                 close()
+    return 0
+
+
+def cmd_plan(args) -> int:
+    from repro.optimizer.cost import COST_MODELS
+    from repro.plan import (
+        LocalCardinalityGenerator,
+        RemoteCardinalityGenerator,
+        plan_query,
+    )
+
+    query = coerce_query(args.sql)
+    if args.url:
+        generator = RemoteCardinalityGenerator(args.url, model=args.model)
+        source = args.url
+    elif args.load:
+        from repro.serve import load_model
+
+        generator = LocalCardinalityGenerator(model=load_model(args.load))
+        source = args.load
+    else:
+        model = FactorJoin(FactorJoinConfig(
+            n_bins=args.bins, table_estimator=args.estimator,
+            seed=args.seed))
+        context = make_context(args.benchmark, scale=args.scale,
+                               seed=args.seed, n_queries=args.queries,
+                               max_tables=args.max_tables)
+        model.fit(context.database)
+        generator = LocalCardinalityGenerator(model=model)
+        source = f"{args.benchmark} fit"
+    decision = plan_query(query, generator,
+                          COST_MODELS[args.cost_model])
+    print(f"join order ({args.cost_model} cost "
+          f"{decision.estimated_cost:,.1f}, estimates from {source}):")
+    print(decision.plan.render())
+    print("hints:")
+    print(decision.hint_text(args.dialect))
+    return 0
+
+
+def cmd_e2e(args) -> int:
+    import json
+
+    from repro.optimizer.cost import COST_MODELS
+    from repro.plan import LocalCardinalityGenerator, PlanHarness
+
+    context = make_context(args.benchmark, scale=args.scale,
+                           seed=args.seed, n_queries=args.queries,
+                           max_tables=args.max_tables)
+    model = FactorJoin(FactorJoinConfig(
+        n_bins=args.bins, table_estimator=args.estimator,
+        seed=args.seed))
+    model.fit(context.database)
+    harness = PlanHarness(context.database,
+                          cost_model=COST_MODELS[args.cost_model])
+    report = harness.run(LocalCardinalityGenerator(model=model),
+                         context.workload, name="factorjoin")
+    if args.json:
+        print(json.dumps(report.to_json(worst=args.worst), indent=2,
+                         sort_keys=True))
+        return 0
+    summary = report.p_error_summary()
+    rows = [
+        ["queries", str(len(report.verdicts))],
+        ["unsupported", str(report.num_unsupported)],
+        ["plan agreement", f"{report.agreement_rate:.1%}"],
+        ["P-error mean", f"{summary['mean']:.3f}"],
+        ["P-error median", f"{summary['median']:.3f}"],
+        ["P-error p90", f"{summary['p90']:.3f}"],
+        ["P-error max", f"{summary['max']:.3f}"],
+    ]
+    print(format_table(
+        ["metric", "value"], rows,
+        title=f"Plan quality on {context.benchmark.name} "
+              f"({args.cost_model})"))
+    worst = [v for v in report.worst(args.worst) if v.p_error > 1.0]
+    if worst:
+        print("\nworst queries (P-error > 1):")
+        for verdict in worst:
+            print(f"  {verdict.p_error:8.3f}  {verdict.sql}")
+    else:
+        print("\nevery chosen plan matched the truecard-oracle cost.")
     return 0
 
 
@@ -613,6 +744,8 @@ COMMANDS = {
     "fit": cmd_fit,
     "estimate": cmd_estimate,
     "serve": cmd_serve,
+    "plan": cmd_plan,
+    "e2e": cmd_e2e,
     "profile": cmd_profile,
     "worker": cmd_worker,
 }

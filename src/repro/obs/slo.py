@@ -2,7 +2,8 @@
 
 Raw counters say what happened; an SLO says whether it is *fine*.  Each
 declared objective (availability, latency-under-threshold, q-error —
-the accuracy signal ``/v1/feedback`` already reports) classifies every
+the accuracy signal ``/v1/feedback`` already reports — and plan quality,
+the P-error signal plan-cost feedback reports) classifies every
 event as good or bad, and the tracker keeps those outcomes in coarse
 time buckets so it can answer, per rolling window, the standard
 alerting question: at the current error rate, how fast is the error
@@ -31,6 +32,14 @@ import time
 
 #: Default rolling windows: label → width in seconds.
 DEFAULT_WINDOWS = (("5m", 300.0), ("1h", 3600.0), ("6h", 21600.0))
+
+#: The default plan-quality objective the serving layer declares: at
+#: least this fraction of plan-cost feedback samples must land within
+#: :data:`PLAN_QUALITY_THRESHOLD` of the truecard-oracle plan.  A
+#: P-error of 2.0 means the chosen plan costs twice the best plan under
+#: true cardinalities — the conventional "noticeably worse" line.
+PLAN_QUALITY_OBJECTIVE = 0.9
+PLAN_QUALITY_THRESHOLD = 2.0
 
 #: Outcome-bucket width (seconds); window edges are quantized to this.
 BUCKET_SECONDS = 10.0

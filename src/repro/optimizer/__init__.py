@@ -8,7 +8,7 @@ proxy), and measured estimation latency is added as planning time.
 
 from repro.optimizer.plans import JoinPlan
 from repro.optimizer.cost import CostModel, COST_MODELS
-from repro.optimizer.dp import optimize
+from repro.optimizer.dp import optimize, plan_order_key
 from repro.optimizer.endtoend import EndToEndResult, EndToEndRunner
 
 __all__ = [
@@ -18,4 +18,5 @@ __all__ = [
     "EndToEndRunner",
     "JoinPlan",
     "optimize",
+    "plan_order_key",
 ]

@@ -6,6 +6,15 @@ cheapest plan is the cheapest way of splitting it into two connected,
 joinable halves.  Cardinalities come from an injected oracle — which is how
 the harness feeds each CardEst method's estimates to the same optimizer,
 mirroring the paper's "inject into PostgreSQL" methodology.
+
+Determinism contract
+--------------------
+``optimize`` is a pure function of (query structure, oracle values, cost
+model): equal-cost candidates are tie-broken by :func:`plan_order_key`,
+a total order over plan trees, so the chosen plan never depends on
+enumeration order, hash seeds, or dict history.  The same estimator
+therefore always yields bit-identical plans — the property the plan
+harness's agreement metric and the plan-identity CI gates assert.
 """
 
 from __future__ import annotations
@@ -19,9 +28,25 @@ from repro.sql.query import Query
 CardOracle = Callable[[frozenset], float]
 
 
+def plan_order_key(plan: JoinPlan) -> tuple:
+    """A total order over join trees used to tie-break equal-cost plans.
+
+    Leaves order by alias; joins order by (left key, right key), with
+    every leaf sorting before every join of the same cost.  The key is a
+    pure function of the tree, so "smallest key wins" makes the DP's
+    choice among equally cheap plans reproducible across runs, Python
+    versions, and hash seeds — plan-identity assertions (same estimator
+    twice → bit-identical plans) rely on it.
+    """
+    if plan.is_leaf:
+        return (0, min(plan.aliases))
+    return (1, plan_order_key(plan.left), plan_order_key(plan.right))
+
+
 def optimize(query: Query, card: CardOracle,
              cost_model: CostModel = C_OUT) -> tuple[JoinPlan, float]:
-    """Best plan and its estimated cost for ``query`` under ``card``."""
+    """Best plan and its estimated cost for ``query`` under ``card``;
+    equal-cost ties resolve to the smallest :func:`plan_order_key`."""
     aliases = query.aliases
     if not aliases:
         raise ValueError("cannot optimize an empty query")
@@ -40,7 +65,7 @@ def optimize(query: Query, card: CardOracle,
         return _greedy_disconnected(query, card, cost_model)
 
     for subset in subsets:
-        best_cost, best_plan = float("inf"), None
+        best_cost, best_plan, best_key = float("inf"), None, None
         members = sorted(subset)
         # enumerate proper subsets via bitmask over the subset's members
         n = len(members)
@@ -53,8 +78,11 @@ def optimize(query: Query, card: CardOracle,
                 continue
             plan = JoinPlan.join(best[left][1], best[right][1])
             cost = cost_model.cost(plan, card)
-            if cost < best_cost:
-                best_cost, best_plan = cost, plan
+            if cost > best_cost:
+                continue
+            key = plan_order_key(plan)
+            if cost < best_cost or key < best_key:
+                best_cost, best_plan, best_key = cost, plan, key
         if best_plan is not None:
             best[subset] = (best_cost, best_plan)
 
@@ -74,18 +102,25 @@ def _joinable(left: frozenset, right: frozenset,
 
 def _greedy_disconnected(query: Query, card: CardOracle,
                          cost_model: CostModel) -> tuple[JoinPlan, float]:
-    """Left-deep greedy fallback that tolerates cross products."""
+    """Left-deep greedy fallback that tolerates cross products.
+
+    Candidate pools iterate in sorted alias order and ``min`` keys carry
+    the alias as final component, so equal-cardinality ties resolve to
+    the lexicographically smallest alias — never to set iteration order,
+    which varies with hash randomization across runs.
+    """
     aliases = list(query.aliases)
     adj = query.adjacency()
     remaining = set(aliases)
-    start = min(remaining, key=lambda a: card(frozenset([a])))
+    start = min(sorted(remaining),
+                key=lambda a: (card(frozenset([a])), a))
     plan = JoinPlan.leaf(start)
     remaining.discard(start)
     while remaining:
-        connected = [a for a in remaining if adj[a] & plan.aliases]
+        connected = [a for a in sorted(remaining) if adj[a] & plan.aliases]
         pool = connected or sorted(remaining)
         nxt = min(pool,
-                  key=lambda a: card(plan.aliases | frozenset([a])))
+                  key=lambda a: (card(plan.aliases | frozenset([a])), a))
         plan = JoinPlan.join(plan, JoinPlan.leaf(nxt))
         remaining.discard(nxt)
     return plan, cost_model.cost(plan, card)

@@ -1,0 +1,57 @@
+"""``repro.plan`` — the estimator as an optimizer's estimator.
+
+The subsystem that turns cardinality numbers into *plans*, reproducing
+the paper's end-to-end methodology (Section 6) with in-repo machinery:
+
+- :mod:`repro.plan.generator` — :class:`CardinalityGenerator` backends
+  (in-process model/service, or a remote server over ``/v1/subplans``)
+  answering per-join-subset probes with a canonical
+  ``subplan_key``-keyed memo;
+- :mod:`repro.plan.hints` — join order + injected cardinalities as
+  round-trippable hint text (pg_hint_plan and JSON dialects);
+- :mod:`repro.plan.planner` — :func:`plan_query`: generator → DP
+  optimizer → :class:`PlanDecision` (plan, cost, cards, hints);
+- :mod:`repro.plan.harness` — :class:`PlanHarness`: replay a workload,
+  plan under estimates vs. the truecard oracle, cost both under truth,
+  report P-error / agreement / worst regressions;
+- :mod:`repro.plan.messages` — the typed ``POST /v1/plan``
+  request/response pair.
+"""
+
+from repro.plan.generator import (
+    CardinalityGenerator,
+    GeneratorError,
+    LocalCardinalityGenerator,
+    RemoteCardinalityGenerator,
+)
+from repro.plan.harness import PlanHarness, PlanQualityReport, PlanVerdict
+from repro.plan.hints import (
+    HINT_DIALECTS,
+    PlanHints,
+    hints_of,
+    leading_as_json,
+    parse_hints,
+    render_hints,
+)
+from repro.plan.messages import PlanRequest, PlanResponse
+from repro.plan.planner import PlanDecision, plan_query
+
+__all__ = [
+    "CardinalityGenerator",
+    "GeneratorError",
+    "HINT_DIALECTS",
+    "LocalCardinalityGenerator",
+    "PlanDecision",
+    "PlanHarness",
+    "PlanHints",
+    "PlanQualityReport",
+    "PlanRequest",
+    "PlanResponse",
+    "PlanVerdict",
+    "RemoteCardinalityGenerator",
+    "hints_of",
+    "leading_as_json",
+    "parse_hints",
+    "plan_query",
+    "render_hints",
+]

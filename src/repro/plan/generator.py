@@ -1,0 +1,210 @@
+"""Cardinality generators: the estimator as an optimizer's oracle.
+
+A :class:`CardinalityGenerator` answers per-join-subset cardinalities for
+an external optimizer — the injection interface of the paper's end-to-end
+evaluation (estimates are *injected into* a planner; the planner never
+calls the model directly).  Two backends answer identically:
+
+- :class:`LocalCardinalityGenerator` holds a fitted
+  :class:`~repro.api.protocol.CardinalityModel` in process and asks it
+  for whole sub-plan maps (``estimate_subplans``) and single induced
+  sub-queries (``estimate``);
+- :class:`RemoteCardinalityGenerator` speaks to a running server over
+  ``POST /v1/subplans`` / ``POST /v1/estimate`` with a stdlib HTTP
+  client — the deployment shape where the optimizer and the estimator
+  are separate processes.
+
+Both share one memo keyed on the canonical, alias-invariant
+:meth:`~repro.sql.query.Query.subplan_key`, so a subset probed under one
+query (or one alias spelling) is answered from memory when any later
+query induces the same sub-plan.  JSON serializes finite floats
+losslessly, so the remote backend returns bit-identical numbers to the
+local one against the same model — the agreement the plan CI gate
+asserts.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+from repro.api import coerce_query
+from repro.errors import ReproError
+from repro.optimizer.dp import CardOracle
+from repro.sql.query import Query
+
+
+class CardinalityGenerator:
+    """Answers join-subset cardinality probes for an optimizer.
+
+    Subclasses implement :meth:`_subplan_map` (the whole connected
+    sub-plan lattice of a query) and :meth:`_estimate_query` (one
+    arbitrary induced sub-query — the escape hatch for off-lattice
+    probes such as the cross products a disconnected join graph forces).
+    The base class owns the :meth:`~repro.sql.query.Query.subplan_key`
+    memo and the optimizer-facing surface: :meth:`prepare`,
+    :meth:`card`, and :meth:`oracle`.
+    """
+
+    def __init__(self):
+        self._memo: dict[tuple, float] = {}
+
+    # -- backend hooks ----------------------------------------------------
+
+    def _subplan_map(self, query: Query) -> dict[frozenset, float]:
+        raise NotImplementedError
+
+    def _estimate_query(self, query: Query) -> float:
+        raise NotImplementedError
+
+    # -- optimizer surface ------------------------------------------------
+
+    @property
+    def memo_size(self) -> int:
+        """Memoized sub-plan entries held so far."""
+        return len(self._memo)
+
+    def prepare(self, query: Query | str) -> dict[frozenset, float]:
+        """Fetch (or recall) the whole connected sub-plan map of
+        ``query`` — singletons included — memoizing every entry.
+
+        One backend round trip answers all of a query's lattice probes;
+        entries already memoized under their canonical keys (from an
+        earlier overlapping query) skip the backend entirely.
+        """
+        query = coerce_query(query)
+        keys = query.subplan_keys(min_tables=1)
+        if all(k in self._memo for k in keys.values()):
+            return {subset: self._memo[k] for subset, k in keys.items()}
+        cards = self._subplan_map(query)
+        for subset, value in cards.items():
+            key = keys.get(subset)
+            if key is None:
+                key = query.subquery(subset).subplan_key()
+            self._memo[key] = float(value)
+        return {s: float(v) for s, v in cards.items()}
+
+    def card(self, query: Query | str, aliases) -> float:
+        """The estimated cardinality of one alias subset of ``query``.
+
+        Probes hit the memo first (canonical key, so alias spelling and
+        the enclosing query do not matter); misses estimate the induced
+        sub-query through the backend and memoize the answer.
+        """
+        query = coerce_query(query)
+        subset = frozenset(aliases)
+        unknown = subset - set(query.aliases)
+        if unknown:
+            raise ValueError(
+                f"subset names aliases {sorted(unknown)} not in the query")
+        if not subset:
+            raise ValueError("cannot estimate an empty alias subset")
+        sub = query.subquery(subset)
+        key = sub.subplan_key()
+        value = self._memo.get(key)
+        if value is None:
+            value = float(self._estimate_query(sub))
+            self._memo[key] = value
+        return value
+
+    def oracle(self, query: Query | str) -> CardOracle:
+        """A :data:`~repro.optimizer.dp.CardOracle` over ``query`` for
+        the DP optimizer: the lattice is prefetched in one round trip,
+        off-lattice probes fall back to :meth:`card`."""
+        query = coerce_query(query)
+        cards = self.prepare(query)
+
+        def probe(aliases: frozenset) -> float:
+            subset = frozenset(aliases)
+            value = cards.get(subset)
+            if value is not None:
+                return value
+            return self.card(query, subset)
+
+        return probe
+
+
+class LocalCardinalityGenerator(CardinalityGenerator):
+    """A generator over an in-process
+    :class:`~repro.api.protocol.CardinalityModel` (a fitted estimator or
+    a whole :class:`~repro.serve.service.EstimationService` via
+    ``service=``, which adds its two-level cache in front)."""
+
+    def __init__(self, model=None, service=None, model_name: str | None = None):
+        super().__init__()
+        if (model is None) == (service is None):
+            raise ValueError(
+                "provide exactly one of 'model' (a fitted "
+                "CardinalityModel) or 'service' (an EstimationService)")
+        self._model = model
+        self._service = service
+        self._model_name = model_name
+
+    def _subplan_map(self, query: Query) -> dict[frozenset, float]:
+        if self._service is not None:
+            return self._service.estimate_subplans(
+                query, model=self._model_name, min_tables=1)
+        return self._model.estimate_subplans(query, min_tables=1)
+
+    def _estimate_query(self, query: Query) -> float:
+        if self._service is not None:
+            return self._service.estimate(
+                query, model=self._model_name).estimate
+        return float(self._model.estimate(query))
+
+
+class GeneratorError(ReproError):
+    """The remote generator's server answered an error or was unreachable."""
+
+
+class RemoteCardinalityGenerator(CardinalityGenerator):
+    """A generator over a running server's versioned HTTP API.
+
+    Lattice fetches go through ``POST /v1/subplans`` (one request per
+    unseen query); off-lattice probes through ``POST /v1/estimate`` on
+    the induced sub-query's SQL.  Uses only :mod:`urllib` — no client
+    dependency — and raises :class:`GeneratorError` carrying the
+    server's taxonomy error code when a request fails.
+    """
+
+    def __init__(self, base_url: str, model: str | None = None,
+                 timeout: float = 30.0):
+        super().__init__()
+        self.base_url = base_url.rstrip("/")
+        self._model_name = model
+        self._timeout = timeout
+
+    def _post(self, route: str, payload: dict) -> dict:
+        body = json.dumps(payload).encode()
+        request = urllib.request.Request(
+            self.base_url + route, data=body,
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self._timeout) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                error = json.loads(exc.read()).get("error", {})
+            except Exception:
+                error = {}
+            raise GeneratorError(
+                f"{route} answered {exc.code} "
+                f"[{error.get('code', 'unknown')}]: "
+                f"{error.get('message', exc.reason)}") from None
+        except OSError as exc:
+            raise GeneratorError(
+                f"cannot reach {self.base_url}{route}: {exc}") from None
+
+    def _subplan_map(self, query: Query) -> dict[frozenset, float]:
+        payload = self._post("/v1/subplans", {
+            "sql": query.to_sql(), "model": self._model_name,
+            "min_tables": 1})
+        return {frozenset(key.split(",")): float(value)
+                for key, value in payload["subplans"].items()}
+
+    def _estimate_query(self, query: Query) -> float:
+        payload = self._post("/v1/estimate", {
+            "sql": query.to_sql(), "model": self._model_name})
+        return float(payload["estimate"])

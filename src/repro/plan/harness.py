@@ -1,0 +1,206 @@
+"""The end-to-end plan-quality harness: estimates → plans → verdict.
+
+The paper's headline evaluation is not q-error but what the estimates
+*do* to plans (Section 6: inject cardinalities, compare query
+performance).  This harness reproduces that loop with the in-repo
+engine:
+
+1. for each workload query, a :class:`~repro.plan.generator.
+   CardinalityGenerator` supplies sub-plan estimates and the DP
+   optimizer chooses a plan under them (:func:`~repro.plan.planner.
+   plan_query`);
+2. the *same* optimizer chooses the oracle plan under true sub-plan
+   cardinalities (computed once per query and cached);
+3. both plans are costed under **true** cardinalities — the
+   execution-time proxy — yielding the per-query **P-error**
+   (:func:`~repro.api.messages.p_error`: chosen true cost over oracle
+   true cost, clamped ≥ 1) and whether the two plans agree exactly.
+
+The report aggregates mean/median/tail P-error, the plan-choice
+agreement rate, and the worst-regressing queries, and renders to JSON
+(the shape ``benchmarks/bench_plan_quality.py`` persists and CI gates
+on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.api import coerce_query
+from repro.api.messages import p_error
+from repro.errors import ReproError, UnsupportedQueryError
+from repro.optimizer.cost import C_OUT, CostModel
+from repro.optimizer.dp import make_oracle, optimize
+from repro.optimizer.endtoend import EndToEndRunner
+from repro.plan.generator import CardinalityGenerator
+from repro.plan.planner import PlanDecision, plan_query
+from repro.sql.query import Query
+
+
+@dataclass(frozen=True)
+class PlanVerdict:
+    """One query's end-to-end outcome under a generator's estimates."""
+
+    sql: str
+    chosen: str
+    optimal: str
+    estimated_cost: float
+    true_cost: float
+    optimal_cost: float
+    p_error: float
+    agreed: bool
+    hint_text: str
+    supported: bool = True
+
+    def to_json(self) -> dict:
+        return {
+            "sql": self.sql,
+            "chosen": self.chosen,
+            "optimal": self.optimal,
+            "estimated_cost": self.estimated_cost,
+            "true_cost": self.true_cost,
+            "optimal_cost": self.optimal_cost,
+            "p_error": self.p_error,
+            "agreed": self.agreed,
+            "supported": self.supported,
+        }
+
+
+def _quantile(values: list[float], q: float) -> float:
+    """Nearest-rank quantile of a non-empty sorted list."""
+    index = min(len(values) - 1, max(0, round(q * (len(values) - 1))))
+    return values[index]
+
+
+@dataclass
+class PlanQualityReport:
+    """Aggregated plan quality of one generator over one workload."""
+
+    name: str
+    verdicts: list[PlanVerdict] = field(default_factory=list)
+
+    @property
+    def supported(self) -> list[PlanVerdict]:
+        return [v for v in self.verdicts if v.supported]
+
+    @property
+    def num_unsupported(self) -> int:
+        return len(self.verdicts) - len(self.supported)
+
+    @property
+    def agreement_rate(self) -> float:
+        """The fraction of supported queries whose chosen plan equals
+        the truecard-oracle plan exactly."""
+        supported = self.supported
+        if not supported:
+            return 0.0
+        return sum(1 for v in supported if v.agreed) / len(supported)
+
+    def p_error_summary(self) -> dict:
+        """Mean / median / p90 / max P-error over supported queries."""
+        errors = sorted(v.p_error for v in self.supported)
+        if not errors:
+            return {"count": 0, "mean": 0.0, "median": 0.0,
+                    "p90": 0.0, "max": 0.0}
+        return {
+            "count": len(errors),
+            "mean": sum(errors) / len(errors),
+            "median": _quantile(errors, 0.5),
+            "p90": _quantile(errors, 0.9),
+            "max": errors[-1],
+        }
+
+    def worst(self, n: int = 5) -> list[PlanVerdict]:
+        """The ``n`` supported queries with the highest P-error — the
+        regression list a perf PR reads first."""
+        ranked = sorted(self.supported,
+                        key=lambda v: (-v.p_error, v.sql))
+        return ranked[:n]
+
+    def to_json(self, worst: int = 5) -> dict:
+        """The machine-readable report (``BENCH_plan.json`` shape)."""
+        return {
+            "name": self.name,
+            "queries": len(self.verdicts),
+            "unsupported": self.num_unsupported,
+            "agreement_rate": self.agreement_rate,
+            "p_error": self.p_error_summary(),
+            "worst": [v.to_json() for v in self.worst(worst)],
+        }
+
+
+class PlanHarness:
+    """Drives workloads through plan selection and scores the plans.
+
+    Truth (per-query true sub-plan cardinalities and the oracle plan) is
+    computed from ``database`` through the shared
+    :class:`~repro.optimizer.endtoend.EndToEndRunner` and cached across
+    generators, so comparing several estimators over one workload pays
+    for ground truth once.
+    """
+
+    def __init__(self, database, cost_model: CostModel = C_OUT):
+        self._runner = EndToEndRunner(database, cost_model=cost_model)
+        self._cost_model = cost_model
+        self._oracle_plans: dict = {}
+
+    def oracle_decision(self, query: Query | str) -> tuple:
+        """The truecard-oracle plan and its true cost for one query."""
+        query = coerce_query(query)
+        key = query.signature()
+        if key not in self._oracle_plans:
+            truth = self._runner.true_subplan_cards(query)
+            if len(query.aliases) == 1:
+                from repro.optimizer.plans import JoinPlan
+
+                plan = JoinPlan.leaf(query.aliases[0])
+            else:
+                plan, _ = optimize(query, make_oracle(truth),
+                                   self._cost_model)
+            self._oracle_plans[key] = (
+                plan, self._runner.true_cost_of_plan(query, plan))
+        return self._oracle_plans[key]
+
+    def judge(self, decision: PlanDecision) -> PlanVerdict:
+        """Score one already-made :class:`~repro.plan.planner.
+        PlanDecision` against the truecard oracle."""
+        query = decision.query
+        optimal_plan, optimal_cost = self.oracle_decision(query)
+        true_cost = self._runner.true_cost_of_plan(query, decision.plan)
+        return PlanVerdict(
+            sql=query.to_sql(),
+            chosen=decision.plan.render(),
+            optimal=optimal_plan.render(),
+            estimated_cost=decision.estimated_cost,
+            true_cost=true_cost,
+            optimal_cost=optimal_cost,
+            p_error=p_error(true_cost, optimal_cost),
+            agreed=decision.plan == optimal_plan,
+            hint_text=decision.hint_text())
+
+    def run_query(self, generator: CardinalityGenerator,
+                  query: Query | str) -> PlanVerdict:
+        """Plan one query under ``generator`` and score the plan; a
+        query the backend cannot estimate scores as unsupported rather
+        than aborting the workload."""
+        query = coerce_query(query)
+        try:
+            decision = plan_query(query, generator, self._cost_model)
+        except (UnsupportedQueryError, ReproError) as exc:
+            if not isinstance(exc, UnsupportedQueryError) and (
+                    "unsupported" not in str(exc)):
+                raise
+            return PlanVerdict(
+                sql=query.to_sql(), chosen="", optimal="",
+                estimated_cost=float("inf"), true_cost=float("inf"),
+                optimal_cost=float("inf"), p_error=float("inf"),
+                agreed=False, hint_text="", supported=False)
+        return self.judge(decision)
+
+    def run(self, generator: CardinalityGenerator, workload,
+            name: str = "estimator") -> PlanQualityReport:
+        """The whole workload through plan selection, scored."""
+        report = PlanQualityReport(name)
+        for query in workload:
+            report.verdicts.append(self.run_query(generator, query))
+        return report

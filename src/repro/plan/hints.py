@@ -1,0 +1,387 @@
+"""Plan hints: join order + injected cardinalities as text, round-trippable.
+
+The paper's end-to-end methodology injects estimated cardinalities into an
+external optimizer; the practical transport for that injection is *hint
+text* attached to the query (pg_hint_plan's ``Leading``/``Rows`` comment
+syntax is the de-facto standard).  This module renders a chosen
+:class:`~repro.optimizer.plans.JoinPlan` plus its injected sub-plan
+cardinalities in two dialects and parses both back **losslessly**:
+
+- ``pg_hint_plan`` — the comment dialect real engines consume::
+
+      /*+
+      Leading(((a b) c))
+      Rows(a b #42.0)
+      Rows(a b c #7.5)
+      */
+
+  ``Leading`` carries the join tree as nested pairs; each ``Rows`` hint
+  pins one alias subset's cardinality (pg_hint_plan's ``#rows`` absolute
+  form).  Cardinalities are formatted with ``repr(float)``, whose
+  shortest-round-trip guarantee makes ``parse(render(h)) == h`` exact.
+
+- ``json`` — a neutral structured dialect for clients that would rather
+  not parse comment syntax; same content, stable key order, one line.
+
+Parsing is strict: unknown hints, unbalanced parentheses, duplicate
+``Rows`` subsets, rows for aliases outside the ``Leading`` tree,
+non-numeric counts, or trailing garbage raise
+:class:`~repro.errors.ParseError` (taxonomy code ``parse_error``) rather
+than guessing.  :func:`hints_of` builds hints from a plan and a sub-plan
+cardinality map; :meth:`PlanHints.plan` rebuilds the
+:class:`~repro.optimizer.plans.JoinPlan`.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import ParseError
+from repro.optimizer.plans import JoinPlan
+
+#: Supported hint dialects (the ``dialect`` field of ``POST /v1/plan``).
+HINT_DIALECTS = ("pg_hint_plan", "json")
+
+_IDENT = re.compile(r"[A-Za-z_][A-Za-z0-9_]*\Z")
+
+
+def _leaves(tree) -> list[str]:
+    """Leaf aliases of a leading tree, left to right."""
+    if isinstance(tree, str):
+        return [tree]
+    return _leaves(tree[0]) + _leaves(tree[1])
+
+
+def _check_tree(tree) -> None:
+    if isinstance(tree, str):
+        if not _IDENT.match(tree):
+            raise ParseError(f"invalid alias {tree!r} in Leading tree")
+        return
+    if not isinstance(tree, tuple) or len(tree) != 2:
+        raise ParseError(
+            f"Leading tree nodes must be aliases or pairs, got {tree!r}")
+    _check_tree(tree[0])
+    _check_tree(tree[1])
+
+
+def canonical_rows(rows) -> tuple:
+    """Normalize a rows mapping/iterable into the canonical tuple form:
+    ``((sorted alias tuple, float), ...)`` ordered by (size, aliases).
+
+    Accepts a ``{alias_set: rows}`` mapping or an iterable of
+    ``(aliases, rows)`` pairs; alias sets must be unique.
+    """
+    items = rows.items() if isinstance(rows, Mapping) else rows
+    seen: dict[tuple[str, ...], float] = {}
+    for aliases, value in items:
+        key = tuple(sorted(aliases))
+        if not key:
+            raise ParseError("a Rows hint needs at least one alias")
+        if key in seen:
+            raise ParseError(f"duplicate Rows hint for {{{', '.join(key)}}}")
+        seen[key] = float(value)
+    return tuple(sorted(seen.items(), key=lambda kv: (len(kv[0]), kv[0])))
+
+
+@dataclass(frozen=True)
+class PlanHints:
+    """A chosen join order plus injected cardinalities, dialect-neutral.
+
+    ``leading`` is the join tree as nested 2-tuples with alias-string
+    leaves (a bare string for a single-table plan); ``rows`` is the
+    canonical tuple of ``(sorted alias tuple, cardinality)`` pairs (see
+    :func:`canonical_rows`).  Instances are validated on construction so
+    every ``PlanHints`` renders, and rendering/parsing are mutually
+    inverse in both dialects.
+    """
+
+    leading: object
+    rows: tuple = ()
+
+    def __post_init__(self):
+        _check_tree(self.leading)
+        leaves = _leaves(self.leading)
+        if len(set(leaves)) != len(leaves):
+            raise ParseError(
+                f"Leading tree repeats aliases: {sorted(leaves)}")
+        object.__setattr__(self, "rows", canonical_rows(self.rows))
+        alias_set = set(leaves)
+        for aliases, value in self.rows:
+            unknown = set(aliases) - alias_set
+            if unknown:
+                raise ParseError(
+                    f"Rows hint references aliases {sorted(unknown)} "
+                    f"outside the Leading tree")
+            if len(aliases) < 2:
+                raise ParseError(
+                    f"Rows hints inject join cardinalities; a single "
+                    f"alias ({aliases[0]!r}) is a scan, not a join")
+            if not (value >= 0.0) or value != value or value == float("inf"):
+                raise ParseError(
+                    f"Rows({' '.join(aliases)}) needs a finite "
+                    f"non-negative count, got {value!r}")
+
+    @property
+    def aliases(self) -> tuple[str, ...]:
+        """The join order's aliases, left to right."""
+        return tuple(_leaves(self.leading))
+
+    def plan(self) -> JoinPlan:
+        """Rebuild the :class:`~repro.optimizer.plans.JoinPlan` the
+        ``Leading`` tree encodes."""
+        def build(tree) -> JoinPlan:
+            if isinstance(tree, str):
+                return JoinPlan.leaf(tree)
+            return JoinPlan.join(build(tree[0]), build(tree[1]))
+        return build(self.leading)
+
+    def cardinalities(self) -> dict[frozenset, float]:
+        """The injected cardinalities as an oracle-ready
+        ``{alias frozenset: rows}`` map."""
+        return {frozenset(aliases): value for aliases, value in self.rows}
+
+
+def leading_tree(plan: JoinPlan):
+    """A plan's join order as the nested-tuple ``leading`` form."""
+    if plan.is_leaf:
+        return next(iter(plan.aliases))
+    return (leading_tree(plan.left), leading_tree(plan.right))
+
+
+def leading_as_json(tree):
+    """A leading tree in the JSON dialect's nested-list form."""
+    if isinstance(tree, str):
+        return tree
+    return [leading_as_json(tree[0]), leading_as_json(tree[1])]
+
+
+def hints_of(plan: JoinPlan, cards: Mapping[frozenset, float]) -> PlanHints:
+    """Build hints for a chosen plan from a sub-plan cardinality map.
+
+    Every multi-table entry of ``cards`` whose aliases fall inside the
+    plan is injected (not just the plan's own join nodes): an optimizer
+    replanning under these hints then prices *alternative* join orders
+    with the same estimates the plan was chosen under.
+    """
+    aliases = plan.aliases
+    rows = [(subset, value) for subset, value in cards.items()
+            if len(subset) >= 2 and frozenset(subset) <= aliases]
+    return PlanHints(leading=leading_tree(plan), rows=canonical_rows(rows))
+
+
+# ------------------------------------------------------------- rendering --
+
+
+def _render_count(value: float) -> str:
+    """Lossless float text: ``repr`` round-trips the shortest form."""
+    return repr(float(value))
+
+
+def _render_tree(tree) -> str:
+    if isinstance(tree, str):
+        return tree
+    return f"({_render_tree(tree[0])} {_render_tree(tree[1])})"
+
+
+def render_hints(hints: PlanHints, dialect: str = "pg_hint_plan") -> str:
+    """Render hints as text in one of :data:`HINT_DIALECTS`.
+
+    Output is canonical — one fixed ordering and float formatting — so
+    identical hints render to bit-identical text (the plan-identity CI
+    gate compares hint text directly).
+    """
+    if dialect == "pg_hint_plan":
+        lines = [f"Leading({_render_tree(hints.leading)})"]
+        lines += [f"Rows({' '.join(aliases)} #{_render_count(value)})"
+                  for aliases, value in hints.rows]
+        return "/*+\n" + "\n".join(lines) + "\n*/"
+    if dialect == "json":
+        payload = {
+            "dialect": "json",
+            "leading": leading_as_json(hints.leading),
+            "rows": [{"aliases": list(aliases), "rows": value}
+                     for aliases, value in hints.rows],
+        }
+        return json.dumps(payload, sort_keys=True)
+    raise ValueError(
+        f"unknown hint dialect {dialect!r}; choose from {HINT_DIALECTS}")
+
+
+# --------------------------------------------------------------- parsing --
+
+
+def parse_hints(text: str, dialect: str | None = None) -> PlanHints:
+    """Parse hint text back into :class:`PlanHints` (strict).
+
+    With ``dialect=None`` the dialect is detected from the first
+    character (``/*+`` → pg_hint_plan, ``{`` → json).  Malformed input
+    raises :class:`~repro.errors.ParseError`; the round-trip contract is
+    ``parse_hints(render_hints(h, d)) == h`` for both dialects.
+    """
+    if not isinstance(text, str) or not text.strip():
+        raise ParseError("hint text must be a non-empty string")
+    stripped = text.strip()
+    if dialect is None:
+        dialect = "pg_hint_plan" if stripped.startswith("/*") else (
+            "json" if stripped.startswith("{") else None)
+        if dialect is None:
+            raise ParseError(
+                "cannot detect hint dialect: expected a /*+ ... */ "
+                "comment (pg_hint_plan) or a JSON object")
+    if dialect == "pg_hint_plan":
+        return _parse_pg(stripped)
+    if dialect == "json":
+        return _parse_json(stripped)
+    raise ValueError(
+        f"unknown hint dialect {dialect!r}; choose from {HINT_DIALECTS}")
+
+
+def _parse_pg(text: str) -> PlanHints:
+    if not text.startswith("/*+") or not text.endswith("*/"):
+        raise ParseError(
+            "pg_hint_plan text must be one /*+ ... */ comment block")
+    body = text[3:-2]
+    if "/*" in body or "*/" in body:
+        raise ParseError("nested comment markers inside the hint block")
+    leading = None
+    rows: list[tuple[tuple[str, ...], float]] = []
+    for name, args in _hint_calls(body):
+        if name == "Leading":
+            if leading is not None:
+                raise ParseError("more than one Leading hint")
+            leading = _parse_leading_args(args)
+        elif name == "Rows":
+            rows.append(_parse_rows_args(args))
+        else:
+            raise ParseError(
+                f"unsupported hint {name!r}: this dialect carries only "
+                f"Leading and Rows")
+    if leading is None:
+        raise ParseError("hint block has no Leading hint")
+    return PlanHints(leading=leading, rows=canonical_rows(rows))
+
+
+def _hint_calls(body: str):
+    """Yield ``(name, argument text)`` for each ``Name( ... )`` call,
+    enforcing balanced parentheses and nothing but whitespace between
+    calls."""
+    i, n = 0, len(body)
+    while i < n:
+        if body[i].isspace():
+            i += 1
+            continue
+        match = re.match(r"([A-Za-z_][A-Za-z0-9_]*)\(", body[i:])
+        if not match:
+            raise ParseError(
+                f"expected a hint call at {body[i:i + 20]!r}")
+        name = match.group(1)
+        depth, j = 1, i + match.end()
+        start = j
+        while j < n and depth:
+            if body[j] == "(":
+                depth += 1
+            elif body[j] == ")":
+                depth -= 1
+            j += 1
+        if depth:
+            raise ParseError(f"unbalanced parentheses in {name} hint")
+        yield name, body[start:j - 1]
+        i = j
+
+
+def _parse_leading_args(args: str):
+    tokens = re.findall(r"\(|\)|[^\s()]+", args)
+    if not tokens:
+        raise ParseError("Leading hint is empty")
+    pos = 0
+
+    def node():
+        nonlocal pos
+        if pos >= len(tokens):
+            raise ParseError("Leading tree ends unexpectedly")
+        token = tokens[pos]
+        pos += 1
+        if token == "(":
+            left = node()
+            right = node()
+            if pos >= len(tokens) or tokens[pos] != ")":
+                raise ParseError(
+                    "Leading tree pairs must hold exactly two nodes")
+            pos += 1
+            return (left, right)
+        if token == ")":
+            raise ParseError("unexpected ')' in Leading tree")
+        if not _IDENT.match(token):
+            raise ParseError(f"invalid alias {token!r} in Leading tree")
+        return token
+
+    tree = node()
+    if pos != len(tokens):
+        raise ParseError("trailing tokens after the Leading tree")
+    return tree
+
+
+def _parse_rows_args(args: str) -> tuple[tuple[str, ...], float]:
+    tokens = args.split()
+    if len(tokens) < 2:
+        raise ParseError(
+            f"Rows hint needs aliases and a #count, got {args!r}")
+    count = tokens[-1]
+    if not count.startswith("#"):
+        raise ParseError(
+            f"Rows count must use the absolute '#N' form, got {count!r}")
+    try:
+        value = float(count[1:])
+    except ValueError:
+        raise ParseError(f"invalid Rows count {count!r}") from None
+    aliases = tokens[:-1]
+    for alias in aliases:
+        if not _IDENT.match(alias):
+            raise ParseError(f"invalid alias {alias!r} in Rows hint")
+    return tuple(aliases), value
+
+
+def _parse_json(text: str) -> PlanHints:
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ParseError(f"invalid JSON hint text: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ParseError("JSON hints must be an object")
+    extra = set(payload) - {"dialect", "leading", "rows"}
+    if extra:
+        raise ParseError(f"unknown JSON hint fields {sorted(extra)}")
+    if payload.get("dialect") != "json":
+        raise ParseError("JSON hints must declare \"dialect\": \"json\"")
+    if "leading" not in payload:
+        raise ParseError("JSON hints need a \"leading\" tree")
+
+    def tree(node):
+        if isinstance(node, str):
+            return node
+        if isinstance(node, list) and len(node) == 2:
+            return (tree(node[0]), tree(node[1]))
+        raise ParseError(
+            f"\"leading\" nodes must be aliases or 2-element lists, "
+            f"got {node!r}")
+
+    rows = []
+    for entry in payload.get("rows", []):
+        if (not isinstance(entry, dict)
+                or set(entry) != {"aliases", "rows"}):
+            raise ParseError(
+                "each rows entry must be {\"aliases\": [...], "
+                "\"rows\": N}")
+        aliases = entry["aliases"]
+        if (not isinstance(aliases, list) or not aliases
+                or not all(isinstance(a, str) for a in aliases)):
+            raise ParseError(f"invalid rows aliases {aliases!r}")
+        value = entry["rows"]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ParseError(f"rows count must be a number, got {value!r}")
+        rows.append((tuple(aliases), float(value)))
+    return PlanHints(leading=tree(payload["leading"]),
+                     rows=canonical_rows(rows))

@@ -1,0 +1,86 @@
+"""Typed request/response objects for ``POST /v1/plan``.
+
+These live beside the plan subsystem (not in :mod:`repro.api.messages`)
+because they carry plan-layer vocabulary — join orders, hint dialects —
+that the base API deliberately does not know about; the HTTP layer
+imports them from here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.api.messages import API_VERSION, _query_text, render_subplan_keys
+from repro.plan.hints import HINT_DIALECTS
+from repro.sql.query import Query
+
+
+@dataclass(frozen=True)
+class PlanRequest:
+    """One plan-selection request (``POST /v1/plan``).
+
+    ``dialect`` selects the hint rendering
+    (:data:`~repro.plan.hints.HINT_DIALECTS`); ``trace`` additionally
+    asks for the request's rendered span tree.
+    """
+
+    query: Query | str
+    model: str | None = None
+    dialect: str = "pg_hint_plan"
+    trace: bool = False
+
+    def __post_init__(self):
+        if self.dialect not in HINT_DIALECTS:
+            raise ValueError(
+                f"'dialect' must be one of {list(HINT_DIALECTS)}, "
+                f"got {self.dialect!r}")
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "PlanRequest":
+        """Parse and validate a ``POST /v1/plan`` body."""
+        return cls(query=_query_text(payload), model=payload.get("model"),
+                   dialect=payload.get("dialect", "pg_hint_plan"),
+                   trace=bool(payload.get("trace", False)))
+
+
+@dataclass(frozen=True)
+class PlanResponse:
+    """One chosen plan: the join order, the injected cardinalities, the
+    rendered hint text, and serving metadata.
+
+    ``join_order`` is the plan's parenthesized rendering; ``leading``
+    the same tree in the JSON hint dialect's nested-list form;
+    ``cardinalities`` the injected sub-plan estimates keyed by
+    comma-joined sorted alias sets (the ``/v1/subplans`` key shape).
+    """
+
+    join_order: str
+    leading: object
+    cardinalities: dict
+    hint_text: str
+    dialect: str
+    estimated_cost: float
+    model: str
+    version: int
+    seconds: float
+    sql: str
+    trace: dict | None = None
+
+    def to_json(self) -> dict:
+        """Versioned JSON view (the ``POST /v1/plan`` body)."""
+        payload = {
+            "join_order": self.join_order,
+            "leading": self.leading,
+            "cardinalities": render_subplan_keys(self.cardinalities),
+            "hint_text": self.hint_text,
+            "dialect": self.dialect,
+            "estimated_cost": self.estimated_cost,
+            "model": self.model,
+            "version": self.version,
+            "seconds": self.seconds,
+            "sql": self.sql,
+            "api_version": API_VERSION,
+        }
+        if self.trace is not None:
+            payload["trace"] = self.trace
+        return payload

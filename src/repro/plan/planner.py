@@ -1,0 +1,73 @@
+"""Plan selection: a cardinality generator drives the DP optimizer.
+
+One call — :func:`plan_query` — turns a query plus a
+:class:`~repro.plan.generator.CardinalityGenerator` into a
+:class:`PlanDecision`: the chosen join order, the sub-plan cardinalities
+that were injected to choose it, the estimated cost, and the rendered
+hint text an external engine would attach to the query.  Equal-cost ties
+inside the DP resolve by :func:`~repro.optimizer.dp.plan_order_key`, so
+the same generator always yields a bit-identical decision (and therefore
+bit-identical hint text).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.api import coerce_query
+from repro.optimizer.cost import C_OUT, CostModel
+from repro.optimizer.dp import optimize
+from repro.optimizer.plans import JoinPlan
+from repro.plan.generator import CardinalityGenerator
+from repro.plan.hints import PlanHints, hints_of, render_hints
+from repro.sql.query import Query
+
+
+@dataclass(frozen=True)
+class PlanDecision:
+    """One planned query: the order chosen, the numbers that chose it,
+    and the hint text that would inject both into an external engine."""
+
+    query: Query
+    plan: JoinPlan
+    estimated_cost: float
+    cardinalities: dict
+    hints: PlanHints
+
+    def hint_text(self, dialect: str = "pg_hint_plan") -> str:
+        """The decision rendered as plan hints (see
+        :mod:`repro.plan.hints` for the dialects)."""
+        return render_hints(self.hints, dialect)
+
+
+def plan_query(query: Query | str, generator: CardinalityGenerator,
+               cost_model: CostModel = C_OUT) -> PlanDecision:
+    """Choose a join order for ``query`` under ``generator``'s estimates.
+
+    The generator's whole sub-plan lattice is fetched in one round trip
+    (:meth:`~repro.plan.generator.CardinalityGenerator.prepare`), the DP
+    optimizer picks the cheapest order under ``cost_model``, and every
+    injected multi-table cardinality inside the plan is rendered into
+    the hints — so an engine replanning under those hints prices
+    alternative orders with the same estimates.
+    """
+    query = coerce_query(query)
+    cards = generator.prepare(query)
+    if len(query.aliases) == 1:
+        plan, cost = JoinPlan.leaf(query.aliases[0]), 0.0
+    else:
+        def probe(aliases: frozenset) -> float:
+            value = cards.get(frozenset(aliases))
+            if value is not None:
+                return value
+            return generator.card(query, aliases)
+
+        plan, cost = optimize(query, probe, cost_model)
+        # a disconnected join graph probes off-lattice cross products —
+        # fold whatever the fallback planner asked for into the hints
+        for node in plan.inner_nodes():
+            cards.setdefault(frozenset(node.aliases),
+                             generator.card(query, node.aliases))
+    return PlanDecision(query=query, plan=plan, estimated_cost=cost,
+                        cardinalities=cards,
+                        hints=hints_of(plan, cards))

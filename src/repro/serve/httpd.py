@@ -14,6 +14,13 @@ Versioned ``/v1`` routes (the supported API)
 ``POST /v1/subplans``       ``{"sql": ..., "model"?, "min_tables"?}`` →
                             typed ``SubplanResponse`` JSON (the optimizer's
                             sub-plan map, keyed by comma-joined alias sets)
+``POST /v1/plan``           ``{"sql": ..., "model"?, "dialect"?,
+                            "trace"?}`` → typed ``PlanResponse`` JSON:
+                            the DP-chosen join order, the injected
+                            sub-plan cardinalities, and the order +
+                            cardinalities rendered as plan hints
+                            (``dialect``: ``"pg_hint_plan"`` or
+                            ``"json"``; see :mod:`repro.plan.hints`)
 ``POST /v1/update``         same body as ``POST /update`` → typed
                             ``UpdateResponse`` JSON
 ``POST /v1/explain``        ``{"sql": ..., "model"?}`` → estimate with the
@@ -277,6 +284,8 @@ class ServingHandler(BaseHTTPRequestHandler):
             self._dispatch_v1(self._post_v1_estimate)
         elif path == "/v1/subplans":
             self._dispatch_v1(self._post_v1_subplans)
+        elif path == "/v1/plan":
+            self._dispatch_v1(lambda: self._post_v1_plan(params))
         elif path == "/v1/update":
             self._dispatch_v1(self._post_v1_update)
         elif path == "/v1/explain":
@@ -317,6 +326,18 @@ class ServingHandler(BaseHTTPRequestHandler):
         ``SubplanResponse``)."""
         request = SubplanRequest.from_json(self._read_json())
         return self.service.serve_subplans(request).to_json()
+
+    def _post_v1_plan(self, params: dict | None = None) -> dict:
+        """Typed plan selection (``PlanRequest`` → ``PlanResponse``):
+        join order + injected cardinalities + hint text; ``?trace=true``
+        (or ``"trace": true`` in the body) attaches the span tree."""
+        from repro.plan.messages import PlanRequest
+
+        payload = self._read_json()
+        if params and self._truthy(params, "trace"):
+            payload["trace"] = True
+        request = PlanRequest.from_json(payload)
+        return self.service.serve_plan(request).to_json()
 
     def _post_v1_update(self) -> dict:
         """Typed incremental mutation (``UpdateRequest`` →

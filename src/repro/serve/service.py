@@ -80,7 +80,12 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
-from repro.obs.slo import NULL_SLO, SloTracker
+from repro.obs.slo import (
+    NULL_SLO,
+    PLAN_QUALITY_OBJECTIVE,
+    PLAN_QUALITY_THRESHOLD,
+    SloTracker,
+)
 from repro.obs.trace import Tracer, current_trace_id, trace_span
 from repro.serve.cache import EstimateCache, query_fingerprint
 from repro.serve.registry import ModelRecord, ModelRegistry
@@ -205,6 +210,11 @@ class EstimationService:
             "repro_shard_qerror",
             "Rolling q-error attributed to each shard the estimate read.",
             buckets=QERROR_BUCKETS)
+        self._perror = self.metrics.histogram(
+            "repro_perror",
+            "Rolling P-error (plan-cost suboptimality vs the truecard "
+            "oracle) of plan-cost feedback, per model.",
+            buckets=QERROR_BUCKETS)
         self._feedback_total = self.metrics.counter(
             "repro_feedback_total",
             "Ground-truth feedback samples absorbed, per model.")
@@ -244,6 +254,12 @@ class EstimationService:
         self.slo.declare(
             "qerror", objective=0.9, threshold=10.0,
             description="Feedback q-errors within 10x of ground truth")
+        self.slo.declare(
+            "plan_quality", objective=PLAN_QUALITY_OBJECTIVE,
+            threshold=PLAN_QUALITY_THRESHOLD,
+            description="Plan-cost feedback P-errors within "
+                        f"{PLAN_QUALITY_THRESHOLD}x of the truecard-"
+                        "oracle plan")
         self.metrics.register_collector(self.slo.collect)
         self.started_at = time.time()
         self.registry.add_swap_listener(self._on_swap)
@@ -590,6 +606,63 @@ class EstimationService:
                                version=record.version, seconds=seconds,
                                sql=query.to_sql(), min_tables=min_tables)
 
+    # -- planning --------------------------------------------------------------
+
+    def serve_plan(self, request) -> "PlanResponse":
+        """Choose a join order for one query (``POST /v1/plan``).
+
+        The sub-plan lattice comes through the same path as
+        ``serve_subplans`` — two-level cache, workload recording — then
+        the DP optimizer picks the cheapest order under the service's
+        estimates (equal-cost ties resolved by
+        :func:`~repro.optimizer.dp.plan_order_key`, so the same model
+        always answers a bit-identical plan), and the order plus every
+        injected cardinality render as hint text in the requested
+        dialect.  Returns a typed
+        :class:`~repro.plan.messages.PlanResponse`.
+        """
+        from repro.optimizer.dp import make_oracle, optimize
+        from repro.optimizer.plans import JoinPlan
+        from repro.plan.hints import hints_of, leading_as_json, \
+            leading_tree, render_hints
+        from repro.plan.messages import PlanResponse
+
+        with self.tracer.trace("request.plan",
+                               model=request.model or "") as root:
+            try:
+                start = time.perf_counter()
+                record = self._resolve(request.model)
+                sub = self._subplans_with(SubplanRequest(
+                    query=request.query, model=request.model,
+                    min_tables=1))
+                query = coerce_query(request.query)
+                with trace_span("optimize"):
+                    if len(query.aliases) == 1:
+                        plan, cost = JoinPlan.leaf(query.aliases[0]), 0.0
+                    else:
+                        plan, cost = optimize(
+                            query, make_oracle(sub.subplans))
+                    hints = hints_of(plan, sub.subplans)
+                    text = render_hints(hints, request.dialect)
+            except Exception:
+                self.slo.record("availability", False)
+                raise
+            seconds = time.perf_counter() - start
+            self._latency_bound("plan", record.name).observe(
+                seconds, trace_id=current_trace_id())
+        trace = None
+        if request.trace and root is not None:
+            trace_record = self.tracer.record_of(root)
+            if trace_record is not None:
+                trace = trace_record.to_json()
+        return PlanResponse(
+            join_order=plan.render(),
+            leading=leading_as_json(leading_tree(plan)),
+            cardinalities=hints.cardinalities(),
+            hint_text=text, dialect=request.dialect,
+            estimated_cost=cost, model=sub.model, version=sub.version,
+            seconds=seconds, sql=sub.sql, trace=trace)
+
     # -- mutation --------------------------------------------------------------
 
     @staticmethod
@@ -773,6 +846,12 @@ class EstimationService:
         When the request does not pin the estimate it refers to, the
         service re-derives it (cheap: the answer is normally still
         cached); that re-derivation is never workload-recorded.
+
+        When the request also carries plan costs (``plan_cost`` /
+        ``optimal_cost`` from a plan harness, both under true
+        cardinalities), their P-error lands in the per-model
+        ``repro_perror`` histogram and the ``plan_quality`` SLO — the
+        end-to-end counterpart of the q-error signal.
         """
         with self.tracer.trace("request.feedback",
                                model=request.model or ""):
@@ -786,6 +865,12 @@ class EstimationService:
                         record, query,
                         requested_model=request.model).estimate
             error = q_error(estimate, request.true_cardinality)
+            plan_error = None
+            if request.plan_cost is not None:
+                from repro.api import p_error
+
+                plan_error = p_error(request.plan_cost,
+                                     request.optimal_cost)
             shards = self._touched_shards(record.model, query)
             shard_list = tuple(sorted(shards)) if shards else ()
             with trace_span("qerror.record", model=record.name):
@@ -796,11 +881,17 @@ class EstimationService:
                                                shard=shard)
                 self._feedback_total.inc(model=record.name)
                 self.slo.record_value("qerror", error)
+                if plan_error is not None:
+                    self._perror.observe(plan_error,
+                                         trace_id=current_trace_id(),
+                                         model=record.name)
+                    self.slo.record_value("plan_quality", plan_error)
             return FeedbackResponse(
                 model=record.name, version=record.version,
                 estimate=float(estimate),
                 true_cardinality=float(request.true_cardinality),
-                q_error=error, sql=query.to_sql(), shards=shard_list)
+                q_error=error, sql=query.to_sql(), shards=shard_list,
+                p_error=plan_error)
 
     def record_truth(self, query: Query | str,
                      model: str | None = None) -> FeedbackResponse:

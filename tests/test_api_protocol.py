@@ -188,6 +188,51 @@ class TestServingGate:
             service.update("C", deleted_rows=_insert_batch())
 
 
+class TestPlanConformance:
+    """The ``plan`` capability row: every registered family drives the
+    plan layer — cardinality injection, deterministic join ordering, and
+    lossless hint round-trips."""
+
+    def test_every_family_plans_deterministically(self, family_model):
+        from repro.plan import LocalCardinalityGenerator, plan_query
+
+        name, model = family_model
+        first = plan_query(QUERY, LocalCardinalityGenerator(model=model))
+        second = plan_query(QUERY,
+                            LocalCardinalityGenerator(model=model))
+        assert first.plan == second.plan, name
+        assert first.hint_text() == second.hint_text(), name
+        assert first.estimated_cost == second.estimated_cost, name
+
+    def test_every_family_hint_text_round_trips(self, family_model):
+        from repro.plan import (LocalCardinalityGenerator, parse_hints,
+                                plan_query, render_hints)
+
+        name, model = family_model
+        decision = plan_query(QUERY,
+                              LocalCardinalityGenerator(model=model))
+        for dialect in ("pg_hint_plan", "json"):
+            text = decision.hint_text(dialect)
+            assert render_hints(parse_hints(text, dialect),
+                                dialect) == text, name
+
+    def test_every_family_serves_plans(self, family_model):
+        """``serve_plan`` answers for every family and matches the
+        direct plan layer bit-for-bit."""
+        from repro.plan import (LocalCardinalityGenerator, PlanRequest,
+                                plan_query)
+        from repro.serve import EstimationService
+
+        name, model = family_model
+        service = EstimationService()
+        service.register("m", model)
+        response = service.serve_plan(PlanRequest(query=QUERY))
+        decision = plan_query(QUERY,
+                              LocalCardinalityGenerator(model=model))
+        assert response.hint_text == decision.hint_text(), name
+        assert response.estimated_cost == decision.estimated_cost, name
+
+
 class TestOptimizerThroughSessions:
     def test_dp_plans_are_bit_identical_via_session(self, family_model):
         """The DP picks the same plan (and believes the same cost)

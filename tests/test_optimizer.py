@@ -121,6 +121,105 @@ class TestDP:
         assert cost == 50  # joins a2-b first
 
 
+def _src_path() -> str:
+    """The repo's src/ directory, for PYTHONPATH in subprocess runs."""
+    from pathlib import Path
+
+    return str(Path(__file__).resolve().parents[1] / "src")
+
+
+class TestDeterministicTieBreak:
+    """Equal-cost plans must resolve identically across runs (the
+    plan-identity contract the plan harness and CI gates rely on)."""
+
+    # a star query where every two-table join costs the same: many
+    # equal-cost orders, so the tie-break decides everything
+    SQL = ("SELECT COUNT(*) FROM A a1, A a2, A a3, B b "
+           "WHERE a1.id = b.aid AND a2.id = b.aid AND a3.id = b.aid")
+
+    def tied_cards(self):
+        cards = {frozenset([a]): 10.0 for a in ("a1", "a2", "a3", "b")}
+        for subset in parse_query(self.SQL).connected_subsets(2):
+            cards[subset] = 100.0
+        return cards
+
+    def test_plan_order_key_is_a_total_order(self):
+        from repro.optimizer import plan_order_key
+
+        ab = JoinPlan.join(JoinPlan.leaf("a"), JoinPlan.leaf("b"))
+        ba = JoinPlan.join(JoinPlan.leaf("b"), JoinPlan.leaf("a"))
+        assert plan_order_key(ab) != plan_order_key(ba)
+        assert plan_order_key(JoinPlan.leaf("a")) < plan_order_key(ab)
+        # equal trees share a key
+        assert plan_order_key(ab) == plan_order_key(
+            JoinPlan.join(JoinPlan.leaf("a"), JoinPlan.leaf("b")))
+
+    def test_tied_costs_resolve_to_smallest_key(self):
+        from repro.optimizer import plan_order_key
+
+        q = parse_query(self.SQL)
+        plan, cost = optimize(q, make_oracle(self.tied_cards()))
+        # every candidate split ties on cost, so the winner must carry
+        # the smallest plan_order_key among same-cost alternatives at
+        # the root: re-running can never pick a different tree
+        again, cost2 = optimize(q, make_oracle(self.tied_cards()))
+        assert cost == cost2
+        assert plan_order_key(plan) == plan_order_key(again)
+        assert plan == again
+
+    def test_identical_across_hash_seeds(self):
+        """The chosen plan must not depend on PYTHONHASHSEED (set-iteration
+        order) — run the same optimization in fresh interpreters."""
+        import subprocess
+        import sys
+
+        program = (
+            "from repro.sql import parse_query\n"
+            "from repro.optimizer import optimize\n"
+            "from repro.optimizer.dp import make_oracle\n"
+            f"q = parse_query({self.SQL!r})\n"
+            "cards = {frozenset([a]): 10.0 for a in "
+            "('a1', 'a2', 'a3', 'b')}\n"
+            "for s in q.connected_subsets(2): cards[s] = 100.0\n"
+            "plan, _ = optimize(q, make_oracle(cards))\n"
+            "print(plan.render())\n"
+        )
+        renders = set()
+        for seed in ("0", "1", "31337"):
+            out = subprocess.run(
+                [sys.executable, "-c", program], capture_output=True,
+                text=True, check=True,
+                env={"PYTHONHASHSEED": seed, "PYTHONPATH": _src_path()})
+            renders.add(out.stdout)
+        assert len(renders) == 1
+
+    def test_greedy_fallback_deterministic_across_hash_seeds(self):
+        import subprocess
+        import sys
+
+        # disconnected: exercises _greedy_disconnected's tie-breaks
+        program = (
+            "from repro.sql import parse_query\n"
+            "from repro.optimizer import optimize\n"
+            "from repro.optimizer.dp import make_oracle\n"
+            "q = parse_query('SELECT COUNT(*) FROM A a, B b, C c "
+            "WHERE a.id = b.aid')\n"
+            "cards = {frozenset(s): 10.0 for s in "
+            "(['a'], ['b'], ['c'], ['a', 'b'], ['a', 'c'], ['b', 'c'], "
+            "['a', 'b', 'c'])}\n"
+            "plan, _ = optimize(q, make_oracle(cards))\n"
+            "print(plan.render())\n"
+        )
+        renders = set()
+        for seed in ("0", "7", "4242"):
+            out = subprocess.run(
+                [sys.executable, "-c", program], capture_output=True,
+                text=True, check=True,
+                env={"PYTHONHASHSEED": seed, "PYTHONPATH": _src_path()})
+            renders.add(out.stdout)
+        assert len(renders) == 1
+
+
 class TestEndToEnd:
     def test_true_card_plans_are_never_worse(self, toy_db):
         runner = EndToEndRunner(toy_db)

@@ -1,0 +1,155 @@
+"""Tests for the end-to-end plan-quality harness."""
+
+import pytest
+
+from repro.baselines import TrueCardMethod
+from repro.core.estimator import FactorJoin, FactorJoinConfig
+from repro.plan import (
+    LocalCardinalityGenerator,
+    PlanHarness,
+    PlanQualityReport,
+    plan_query,
+)
+from repro.sql import parse_query
+from tests.conftest import build_toy_db
+
+QUERIES = [
+    "SELECT COUNT(*) FROM A a, B b WHERE a.id = b.aid",
+    "SELECT COUNT(*) FROM A a, B b, C c "
+    "WHERE a.id = b.aid AND b.cid = c.id",
+    "SELECT COUNT(*) FROM A a, B b, C c "
+    "WHERE a.id = b.aid AND b.cid = c.id AND a.x > 0",
+    "SELECT COUNT(*) FROM A a WHERE a.x > 2",
+]
+
+
+@pytest.fixture(scope="module")
+def toy():
+    return build_toy_db()
+
+
+@pytest.fixture(scope="module")
+def factorjoin(toy):
+    return FactorJoin(FactorJoinConfig(n_bins=4)).fit(toy)
+
+
+class TestVerdicts:
+    def test_p_error_is_at_least_one(self, toy, factorjoin):
+        harness = PlanHarness(toy)
+        generator = LocalCardinalityGenerator(model=factorjoin)
+        for sql in QUERIES:
+            verdict = harness.run_query(generator, parse_query(sql))
+            assert verdict.supported
+            assert verdict.p_error >= 1.0
+            assert verdict.true_cost >= verdict.optimal_cost - 1e-9
+
+    def test_truecard_generator_is_optimal(self, toy):
+        """Planning under true cardinalities must match the oracle
+        exactly: P-error 1.0 and full plan agreement."""
+        harness = PlanHarness(toy)
+        truth = TrueCardMethod().fit(toy)
+        generator = LocalCardinalityGenerator(model=truth)
+        report = harness.run(generator,
+                             [parse_query(s) for s in QUERIES],
+                             name="truecard")
+        assert report.agreement_rate == 1.0
+        assert report.p_error_summary()["max"] == 1.0
+
+    def test_agreement_implies_unit_p_error(self, toy, factorjoin):
+        harness = PlanHarness(toy)
+        generator = LocalCardinalityGenerator(model=factorjoin)
+        for sql in QUERIES:
+            verdict = harness.run_query(generator, parse_query(sql))
+            if verdict.agreed:
+                assert verdict.p_error == pytest.approx(1.0)
+
+    def test_hint_text_round_trips(self, toy, factorjoin):
+        from repro.plan import parse_hints
+
+        harness = PlanHarness(toy)
+        generator = LocalCardinalityGenerator(model=factorjoin)
+        verdict = harness.run_query(generator, parse_query(QUERIES[1]))
+        hints = parse_hints(verdict.hint_text)
+        assert hints.plan().aliases == frozenset(
+            parse_query(QUERIES[1]).aliases)
+
+    def test_single_table_query_is_trivially_optimal(self, toy,
+                                                     factorjoin):
+        harness = PlanHarness(toy)
+        generator = LocalCardinalityGenerator(model=factorjoin)
+        verdict = harness.run_query(generator, parse_query(QUERIES[3]))
+        assert verdict.agreed
+        assert verdict.p_error == 1.0
+
+
+class TestReport:
+    def make_report(self, toy, factorjoin):
+        harness = PlanHarness(toy)
+        generator = LocalCardinalityGenerator(model=factorjoin)
+        return harness.run(generator,
+                           [parse_query(s) for s in QUERIES],
+                           name="factorjoin")
+
+    def test_summary_shape(self, toy, factorjoin):
+        report = self.make_report(toy, factorjoin)
+        summary = report.p_error_summary()
+        assert summary["count"] == len(QUERIES)
+        assert 1.0 <= summary["median"] <= summary["p90"] <= summary["max"]
+        assert 0.0 <= report.agreement_rate <= 1.0
+
+    def test_worst_is_sorted_desc(self, toy, factorjoin):
+        report = self.make_report(toy, factorjoin)
+        worst = report.worst(3)
+        errors = [v.p_error for v in worst]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_to_json_shape(self, toy, factorjoin):
+        import json
+
+        report = self.make_report(toy, factorjoin)
+        payload = report.to_json(worst=2)
+        json.dumps(payload)  # must be serializable as-is
+        assert payload["name"] == "factorjoin"
+        assert payload["queries"] == len(QUERIES)
+        assert payload["unsupported"] == 0
+        assert len(payload["worst"]) <= 2
+        assert set(payload["p_error"]) == {
+            "count", "mean", "median", "p90", "max"}
+
+    def test_unsupported_queries_are_reported_not_raised(self, toy):
+        class Unsupported:
+            def estimate_subplans(self, query, min_tables=1):
+                from repro.errors import UnsupportedQueryError
+
+                raise UnsupportedQueryError("outer joins unsupported")
+
+            def estimate(self, query):  # pragma: no cover
+                raise AssertionError("unreachable")
+
+        harness = PlanHarness(toy)
+        generator = LocalCardinalityGenerator(model=Unsupported())
+        report = harness.run(generator, [parse_query(QUERIES[1])],
+                             name="broken")
+        assert report.num_unsupported == 1
+        assert report.p_error_summary()["count"] == 0
+        assert not report.verdicts[0].supported
+
+    def test_empty_report(self):
+        report = PlanQualityReport(name="empty", verdicts=())
+        assert report.agreement_rate == 0.0
+        assert report.p_error_summary()["count"] == 0
+
+
+class TestDeterminism:
+    def test_same_estimator_twice_is_bit_identical(self, toy,
+                                                   factorjoin):
+        """The CI gate contract: re-planning the same workload with the
+        same estimator yields identical plans and hint text."""
+        for sql in QUERIES:
+            first = plan_query(
+                sql, LocalCardinalityGenerator(model=factorjoin))
+            second = plan_query(
+                sql, LocalCardinalityGenerator(model=factorjoin))
+            assert first.plan == second.plan
+            assert first.hint_text() == second.hint_text()
+            assert first.hint_text("json") == second.hint_text("json")

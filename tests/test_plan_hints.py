@@ -1,0 +1,203 @@
+"""Hint round-trip properties and strict-parser rejection tests.
+
+``parse_hints(render_hints(h, dialect))`` must be the identity for both
+dialects over arbitrary join trees and cardinality sets (hypothesis),
+and malformed hint text must raise ``ParseError`` rather than being
+guessed at.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParseError
+from repro.optimizer.plans import JoinPlan
+from repro.plan import (
+    HINT_DIALECTS,
+    PlanHints,
+    hints_of,
+    parse_hints,
+    render_hints,
+)
+
+ALIASES = ("a", "b", "c", "d", "e", "t0", "t1", "users", "posts_x")
+
+
+@st.composite
+def leading_tree(draw):
+    """A random join tree (nested pairs) over 1..6 distinct aliases."""
+    count = draw(st.integers(1, 6))
+    pool = list(draw(st.permutations(ALIASES))[:count])
+    nodes = list(pool)
+    while len(nodes) > 1:
+        i = draw(st.integers(0, len(nodes) - 2))
+        right = nodes.pop(i + 1)
+        nodes[i] = (nodes[i], right)
+    return nodes[0]
+
+
+def tree_leaves(tree):
+    if isinstance(tree, str):
+        return [tree]
+    return tree_leaves(tree[0]) + tree_leaves(tree[1])
+
+
+@st.composite
+def plan_hints(draw):
+    tree = draw(leading_tree())
+    leaves = tree_leaves(tree)
+    rows = []
+    if len(leaves) >= 2:
+        n_rows = draw(st.integers(0, 4))
+        seen = set()
+        for _ in range(n_rows):
+            size = draw(st.integers(2, len(leaves)))
+            subset = tuple(sorted(draw(st.permutations(leaves))[:size]))
+            if subset in seen:
+                continue
+            seen.add(subset)
+            value = draw(st.one_of(
+                st.integers(0, 10**12).map(float),
+                st.floats(min_value=0.0, max_value=1e18,
+                          allow_nan=False, allow_infinity=False)))
+            rows.append((subset, value))
+    return PlanHints(leading=tree, rows=tuple(rows))
+
+
+class TestRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(hints=plan_hints(), dialect=st.sampled_from(HINT_DIALECTS))
+    def test_parse_render_is_lossless(self, hints, dialect):
+        text = render_hints(hints, dialect)
+        assert parse_hints(text, dialect) == hints
+        # dialect auto-detection must reach the same result
+        assert parse_hints(text) == hints
+
+    @settings(max_examples=100, deadline=None)
+    @given(hints=plan_hints())
+    def test_rendering_is_canonical(self, hints):
+        """Equal hints render to bit-identical text in both dialects."""
+        for dialect in HINT_DIALECTS:
+            text = render_hints(hints, dialect)
+            assert render_hints(parse_hints(text, dialect),
+                                dialect) == text
+
+    @settings(max_examples=100, deadline=None)
+    @given(hints=plan_hints())
+    def test_plan_reconstruction(self, hints):
+        plan = hints.plan()
+        assert isinstance(plan, JoinPlan)
+        assert list(plan.leaves()) == list(hints.aliases)
+
+    def test_float_precision_survives(self):
+        value = 12345.678901234567  # needs all 17 significant digits
+        hints = PlanHints(leading=("a", "b"),
+                          rows=(((("a", "b")), value),))
+        for dialect in HINT_DIALECTS:
+            parsed = parse_hints(render_hints(hints, dialect), dialect)
+            assert parsed.rows[0][1] == value
+
+
+class TestHintsOf:
+    def test_only_plan_subsets_injected(self):
+        plan = JoinPlan.join(
+            JoinPlan.join(JoinPlan.leaf("a"), JoinPlan.leaf("b")),
+            JoinPlan.leaf("c"))
+        cards = {
+            frozenset(["a"]): 5.0,              # singleton: scan, not a join
+            frozenset(["a", "b"]): 10.0,
+            frozenset(["b", "c"]): 20.0,        # alternative order: injected
+            frozenset(["a", "b", "c"]): 30.0,
+            frozenset(["a", "z"]): 99.0,        # outside the plan: dropped
+        }
+        hints = hints_of(plan, cards)
+        assert hints.cardinalities() == {
+            frozenset(["a", "b"]): 10.0,
+            frozenset(["b", "c"]): 20.0,
+            frozenset(["a", "b", "c"]): 30.0,
+        }
+
+    def test_rows_sorted_canonically(self):
+        plan = JoinPlan.join(
+            JoinPlan.join(JoinPlan.leaf("c"), JoinPlan.leaf("b")),
+            JoinPlan.leaf("a"))
+        cards = {frozenset(["a", "b", "c"]): 3.0,
+                 frozenset(["b", "c"]): 2.0}
+        hints = hints_of(plan, cards)
+        assert [r[0] for r in hints.rows] == [("b", "c"), ("a", "b", "c")]
+
+
+class TestRejection:
+    @pytest.mark.parametrize("text", [
+        "",
+        "   ",
+        "Leading((a b))",                      # no comment markers
+        "/*+ Leading((a b)) */ trailing",      # text after the block
+        "/*+ */",                              # no Leading at all
+        "/*+ Rows(a b #5) */",                 # Rows without Leading
+        "/*+ Leading((a b)) Leading((b a)) */",
+        "/*+ Leading((a b) */",                # unbalanced parens
+        "/*+ Leading((a b c)) */",             # 3-ary pair
+        "/*+ Leading((a a)) */",               # repeated alias
+        "/*+ Leading((a b)) Rows(a b 5) */",   # missing '#'
+        "/*+ Leading((a b)) Rows(a b #x) */",  # non-numeric count
+        "/*+ Leading((a b)) Rows(a #5) */",    # single-alias Rows
+        "/*+ Leading((a b)) Rows(a c #5) */",  # alias outside Leading
+        "/*+ Leading((a b)) Rows(a b #5) Rows(b a #6) */",  # dup subset
+        "/*+ Leading((a b)) Rows(a b #inf) */",  # non-finite count
+        "/*+ Leading((a b)) Rows(a b #-3) */",   # negative count
+        "/*+ Hash(a b) */",                    # unsupported hint
+        "/*+ Leading((1a b)) */",              # invalid alias token
+    ])
+    def test_malformed_pg_hints_raise(self, text):
+        with pytest.raises(ParseError):
+            parse_hints(text, "pg_hint_plan")
+
+    @pytest.mark.parametrize("text", [
+        "not json",
+        "[]",
+        '{"leading": ["a", "b"]}',               # missing dialect
+        '{"dialect": "json"}',                   # missing leading
+        '{"dialect": "json", "leading": ["a", "b", "c"]}',
+        '{"dialect": "json", "leading": ["a", "b"], "rows": [{}]}',
+        '{"dialect": "json", "leading": ["a", "b"], '
+        '"rows": [{"aliases": ["a", "b"], "rows": true}]}',
+        '{"dialect": "json", "leading": ["a", "b"], '
+        '"rows": [{"aliases": [], "rows": 5}]}',
+        '{"dialect": "json", "leading": ["a", "b"], "extra": 1}',
+        '{"dialect": "pg_hint_plan", "leading": ["a", "b"]}',
+    ])
+    def test_malformed_json_hints_raise(self, text):
+        with pytest.raises(ParseError):
+            parse_hints(text, "json")
+
+    def test_unknown_dialect_raises(self):
+        hints = PlanHints(leading="a")
+        with pytest.raises(ValueError):
+            render_hints(hints, "oracle")
+        with pytest.raises(ValueError):
+            parse_hints("/*+ Leading(a) */", "oracle")
+
+    def test_undetectable_dialect_raises(self):
+        with pytest.raises(ParseError):
+            parse_hints("Leading((a b))")
+
+    def test_constructor_validates(self):
+        with pytest.raises(ParseError):
+            PlanHints(leading=("a", "a"))
+        with pytest.raises(ParseError):
+            PlanHints(leading=("a", "b"),
+                      rows=((("a", "b"), float("nan")),))
+        with pytest.raises(ParseError):
+            PlanHints(leading=("a", "b"), rows=((("a",), 5.0),))
+        with pytest.raises(ParseError):
+            PlanHints(leading=("a", "b"), rows=((("a", "c"), 5.0),))
+
+    def test_nan_never_renders(self):
+        # constructor rejects NaN, so no rendered text can carry one
+        assert math.isnan(float("nan"))  # sanity on the guard itself
+        with pytest.raises(ParseError):
+            PlanHints(leading=("a", "b"),
+                      rows=((("a", "b"), float("inf")),))

@@ -1,0 +1,193 @@
+"""Serving-layer planning: ``serve_plan`` / ``POST /v1/plan`` and the
+plan-quality feedback path (``p_error`` on ``/v1/feedback``)."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.estimator import FactorJoin, FactorJoinConfig
+from repro.plan import (
+    LocalCardinalityGenerator,
+    PlanRequest,
+    parse_hints,
+    plan_query,
+)
+from repro.serve import EstimationService, serve_in_background
+from repro.sql import parse_query
+
+SQL = ("SELECT COUNT(*) FROM A a, B b, C c "
+       "WHERE a.id = b.aid AND b.cid = c.id AND a.x > 1")
+TWO_TABLE = "SELECT COUNT(*) FROM A a, B b WHERE a.id = b.aid"
+ONE_TABLE = "SELECT COUNT(*) FROM A a WHERE a.x > 1"
+
+
+@pytest.fixture
+def served(toy_db):
+    model = FactorJoin(FactorJoinConfig(n_bins=4)).fit(toy_db)
+    service = EstimationService()
+    service.register("default", model)
+    server, _ = serve_in_background(service, port=0)
+    yield server, service, model
+    server.shutdown()
+    server.server_close()
+
+
+def _url(server, path):
+    host, port = server.server_address[:2]
+    return f"http://{host}:{port}{path}"
+
+
+def _post(server, path, payload):
+    req = urllib.request.Request(
+        _url(server, path), data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(req, timeout=10) as resp:
+        return json.loads(resp.read())
+
+
+def _error_of(server, path, payload):
+    with pytest.raises(urllib.error.HTTPError) as info:
+        _post(server, path, payload)
+    return info.value.code, json.loads(info.value.read())
+
+
+class TestServePlan:
+    def test_matches_local_generator(self, served):
+        """The service plan is bit-identical to planning directly
+        against the model — serving adds caching, not drift."""
+        server, service, model = served
+        response = service.serve_plan(PlanRequest(query=SQL))
+        decision = plan_query(SQL, LocalCardinalityGenerator(model=model))
+        assert response.join_order == decision.plan.render()
+        assert response.hint_text == decision.hint_text()
+        assert response.estimated_cost == decision.estimated_cost
+        # the response carries the hinted (multi-table) sub-plans
+        assert response.cardinalities == {
+            s: v for s, v in decision.cardinalities.items() if len(s) > 1}
+
+    def test_repeat_requests_are_bit_identical(self, served):
+        server, service, _ = served
+        first = service.serve_plan(PlanRequest(query=SQL))
+        second = service.serve_plan(PlanRequest(query=SQL))
+        assert first.join_order == second.join_order
+        assert first.hint_text == second.hint_text
+        assert first.leading == second.leading
+        assert first.estimated_cost == second.estimated_cost
+
+    def test_single_table_plan(self, served):
+        _, service, _ = served
+        response = service.serve_plan(PlanRequest(query=ONE_TABLE))
+        assert response.estimated_cost == 0.0
+        assert response.leading == "a"
+
+    def test_json_dialect(self, served):
+        _, service, _ = served
+        response = service.serve_plan(
+            PlanRequest(query=SQL, dialect="json"))
+        hints = parse_hints(response.hint_text, "json")
+        assert hints.plan().aliases == frozenset(
+            parse_query(SQL).aliases)
+
+    def test_bad_dialect_rejected_at_request(self):
+        with pytest.raises(ValueError):
+            PlanRequest(query=SQL, dialect="oracle")
+
+
+class TestPlanRoute:
+    def test_post_v1_plan(self, served):
+        server, service, model = served
+        body = _post(server, "/v1/plan", {"sql": SQL})
+        decision = plan_query(SQL, LocalCardinalityGenerator(model=model))
+        assert body["hint_text"] == decision.hint_text()
+        assert body["join_order"] == decision.plan.render()
+        assert body["dialect"] == "pg_hint_plan"
+        assert body["model"] == "default"
+        assert body["api_version"]
+        # cardinalities come back keyed by canonical sub-plan alias sets
+        parsed = {frozenset(k.split(",")): v
+                  for k, v in body["cardinalities"].items()}
+        assert parsed == {s: v for s, v in decision.cardinalities.items()
+                          if len(s) > 1}
+
+    def test_plan_hints_parse_back(self, served):
+        server, _, _ = served
+        body = _post(server, "/v1/plan", {"sql": SQL, "dialect": "json"})
+        hints = parse_hints(body["hint_text"])
+        assert hints.plan().render() in body["join_order"]
+
+    def test_trace_param(self, served):
+        server, _, _ = served
+        body = _post(server, "/v1/plan?trace=true", {"sql": TWO_TABLE})
+        assert body["trace"]["name"] == "request.plan"
+        assert "trace" not in _post(server, "/v1/plan",
+                                    {"sql": TWO_TABLE})
+
+    def test_parse_error_taxonomy(self, served):
+        server, _, _ = served
+        code, payload = _error_of(server, "/v1/plan",
+                                  {"sql": "not sql at all"})
+        assert code == 400
+        assert payload["error"]["code"] == "parse_error"
+
+    def test_unknown_model_taxonomy(self, served):
+        server, _, _ = served
+        code, payload = _error_of(server, "/v1/plan",
+                                  {"sql": SQL, "model": "missing"})
+        assert code == 404
+        assert payload["error"]["code"] == "model_not_found"
+
+    def test_bad_dialect_taxonomy(self, served):
+        server, _, _ = served
+        code, payload = _error_of(server, "/v1/plan",
+                                  {"sql": SQL, "dialect": "oracle"})
+        assert code == 400
+
+    def test_plan_latency_is_metered(self, served):
+        server, service, _ = served
+        _post(server, "/v1/plan", {"sql": SQL})
+        summary = service.metrics.histogram(
+            "repro_request_seconds").summary(
+                {"endpoint": "plan", "model": "default"})
+        assert summary["count"] == 1
+
+
+class TestPlanFeedback:
+    def test_plan_costs_record_p_error(self, served):
+        server, service, _ = served
+        body = _post(server, "/v1/feedback",
+                     {"sql": TWO_TABLE, "true_cardinality": 10.0,
+                      "plan_cost": 30.0, "optimal_cost": 10.0})
+        assert body["p_error"] == pytest.approx(3.0)
+        summary = service.metrics.histogram("repro_perror").summary()
+        assert summary["count"] == 1
+        snapshot = service.slo.snapshot()
+        names = {entry["name"] for entry in snapshot["slos"]}
+        assert "plan_quality" in names
+
+    def test_feedback_without_plan_costs_has_no_p_error(self, served):
+        server, service, _ = served
+        body = _post(server, "/v1/feedback",
+                     {"sql": TWO_TABLE, "true_cardinality": 10.0})
+        assert "p_error" not in body
+        assert service.metrics.histogram("repro_perror").summary()[
+            "count"] == 0
+
+    def test_plan_cost_pair_enforced(self, served):
+        server, _, _ = served
+        code, _ = _error_of(server, "/v1/feedback",
+                            {"sql": TWO_TABLE, "true_cardinality": 10.0,
+                             "plan_cost": 30.0})
+        assert code == 400
+        code, _ = _error_of(server, "/v1/feedback",
+                            {"sql": TWO_TABLE, "true_cardinality": 10.0,
+                             "plan_cost": -1.0, "optimal_cost": 2.0})
+        assert code == 400
+
+    def test_p_error_clamped_to_one(self, served):
+        server, _, _ = served
+        body = _post(server, "/v1/feedback",
+                     {"sql": TWO_TABLE, "true_cardinality": 10.0,
+                      "plan_cost": 5.0, "optimal_cost": 50.0})
+        assert body["p_error"] == 1.0
