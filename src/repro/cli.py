@@ -31,6 +31,10 @@ e2e        end-to-end plan quality over the benchmark workload: plans
            chosen under the estimator vs. the truecard oracle, both
            costed under true cardinalities; prints P-error summary,
            plan agreement rate, and the worst-regressing queries
+alerts     print the alert rules of a running ``repro serve`` instance
+           with their current ok/pending/firing state (GET /v1/alerts)
+debug-bundle  dump the flight recorder's worst-offender debug bundles
+           from a running instance (GET /v1/debug/bundles)
 """
 
 from __future__ import annotations
@@ -214,6 +218,18 @@ def build_parser() -> argparse.ArgumentParser:
                          help="requests at or above this duration also "
                               "land in the GET /v1/traces slow-query "
                               "ring (default 100)")
+    p_serve.add_argument("--alert-log", metavar="FILE", default=None,
+                         help="export every alert firing/resolved "
+                              "transition as one JSON line to this file")
+    p_serve.add_argument("--alert-log-max-bytes", type=int, default=None,
+                         metavar="N",
+                         help="roll the alert log over before it "
+                              "exceeds N bytes, keeping one predecessor "
+                              "file (FILE.1); unbounded without it")
+    p_serve.add_argument("--alert-interval", type=float, default=5.0,
+                         metavar="SECONDS",
+                         help="background alert-evaluation period "
+                              "(default 5)")
     p_serve.add_argument("--verbose", action="store_true",
                          help="log one line per HTTP request")
 
@@ -239,6 +255,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile.add_argument("--json", action="store_true",
                            help="print the full JSON body instead of "
                                 "bare collapsed-stack text")
+
+    p_alerts = sub.add_parser(
+        "alerts", help="show alert rules and states of a running "
+                       "'repro serve' instance (GET /v1/alerts)")
+    p_alerts.add_argument("--url", default="http://127.0.0.1:8765",
+                          help="base URL of the serving instance "
+                               "(default matches 'repro serve')")
+    p_alerts.add_argument("--json", action="store_true",
+                          help="print the full JSON body instead of the "
+                               "rule table")
+
+    p_debug = sub.add_parser(
+        "debug-bundle", help="dump worst-offender debug bundles from a "
+                             "running 'repro serve' instance "
+                             "(GET /v1/debug/bundles)")
+    p_debug.add_argument("--url", default="http://127.0.0.1:8765",
+                         help="base URL of the serving instance "
+                              "(default matches 'repro serve')")
+    p_debug.add_argument("--kind", choices=("qerror", "latency"),
+                         default=None,
+                         help="only this offense kind (both by default)")
+    p_debug.add_argument("--limit", type=int, default=None, metavar="N",
+                         help="at most N bundles (all kept by default)")
+    p_debug.add_argument("--output", "-o", metavar="FILE", default=None,
+                         help="write the JSON body to FILE instead of "
+                              "stdout")
 
     p_plan = sub.add_parser(
         "plan", help="choose a join order for one query and print the "
@@ -421,7 +463,14 @@ def build_service(args):
     Split from :func:`cmd_serve` so tests can exercise model loading,
     warming, and recording without binding a socket.
     """
-    from repro.obs import JsonlTraceExporter, TraceLog, Tracer
+    from repro.obs import (
+        AlertEngine,
+        JsonlEventExporter,
+        JsonlTraceExporter,
+        TraceLog,
+        Tracer,
+        default_alert_rules,
+    )
     from repro.serve import (
         DEFAULT_MODEL,
         EstimationService,
@@ -438,10 +487,18 @@ def build_service(args):
     tracer = Tracer(
         log=TraceLog(slow_threshold_ms=getattr(args, "slow_ms", 100.0)),
         exporter=exporter)
+    alerts = None
+    if getattr(args, "alert_log", None):
+        alert_exporter = JsonlEventExporter(
+            args.alert_log,
+            max_bytes=getattr(args, "alert_log_max_bytes", None))
+        alerts = AlertEngine(rules=default_alert_rules(),
+                             exporter=alert_exporter)
+        print(f"exporting alert events to {args.alert_log}")
     service = EstimationService(
         cache_size=args.cache_size,
         subplan_reuse=not getattr(args, "no_subplan_reuse", False),
-        tracer=tracer)
+        tracer=tracer, alerts=alerts)
     workers = getattr(args, "workers", None)
 
     def publish(name: str, path: str, metadata: dict) -> None:
@@ -568,11 +625,14 @@ def cmd_serve(args) -> int:
                          verbose=args.verbose, snapshot_dir=snapshot_dir,
                          swap_dir=args.swap_dir)
     host, port = server.server_address[:2]
+    service.start_alert_ticker(
+        interval=getattr(args, "alert_interval", 5.0))
     print(f"serving models {service.registry.names()} "
           f"on http://{host}:{port}")
     print("endpoints: POST /v1/estimate /v1/subplans /v1/plan /v1/update "
           "/v1/explain /v1/swap /v1/feedback · GET /v1/models /v1/stats "
-          "/v1/traces /v1/slo /v1/profile /metrics /health "
+          "/v1/traces /v1/slo /v1/drift /v1/alerts /v1/debug/bundles "
+          "/v1/profile /metrics /health "
           "(legacy: /estimate /estimate_batch /update /warmup /models "
           "/stats)")
     try:
@@ -581,6 +641,7 @@ def cmd_serve(args) -> int:
         print("shutting down")
     finally:
         server.server_close()
+        service.stop_alert_ticker()
         if getattr(args, "snapshot", None):
             from repro.errors import ReproError
 
@@ -591,9 +652,14 @@ def cmd_serve(args) -> int:
                       f"{summary['subplans']} sub-plan entries)")
             except ReproError as exc:  # e.g. ambiguous default model
                 print(f"cache snapshot not saved: {exc}")
+        # flush buffered JSONL records: a SIGINT must not drop the last
+        # traces or alert events still sitting in libc's buffers
         exporter = getattr(service.tracer, "exporter", None)
         if exporter is not None:
             exporter.close()
+        alert_exporter = getattr(service.alerts, "exporter", None)
+        if alert_exporter is not None:
+            alert_exporter.close()
         # cluster models own worker processes; stop them with the server
         for name in service.registry.names():
             try:
@@ -710,6 +776,57 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_alerts(args) -> int:
+    import json
+    import urllib.request
+
+    url = args.url.rstrip("/") + "/v1/alerts"
+    with urllib.request.urlopen(url, timeout=30.0) as response:
+        body = response.read().decode("utf-8", "replace")
+    if args.json:
+        print(body, end="" if body.endswith("\n") else "\n")
+        return 0
+    payload = json.loads(body)
+    rows = payload.get("alerts", [])
+    if not rows:
+        print("no alert rules configured")
+        return 0
+    print(f"{'RULE':<28} {'STATE':<8} {'VALUE':>10} {'THRESHOLD':>10} "
+          f"SEVERITY")
+    for row in rows:
+        value = row.get("value")
+        shown = "-" if value is None else f"{value:.3f}"
+        print(f"{row['name']:<28} {row['state']:<8} {shown:>10} "
+              f"{row['threshold']:>10.3f} {row['severity']}")
+    firing = payload.get("firing", 0)
+    print(f"{firing} firing")
+    return 0
+
+
+def cmd_debug_bundle(args) -> int:
+    import urllib.parse
+    import urllib.request
+
+    params = {}
+    if args.kind:
+        params["kind"] = args.kind
+    if args.limit is not None:
+        params["limit"] = args.limit
+    url = args.url.rstrip("/") + "/v1/debug/bundles"
+    if params:
+        url += "?" + urllib.parse.urlencode(params)
+    with urllib.request.urlopen(url, timeout=30.0) as response:
+        body = response.read().decode("utf-8", "replace")
+    if args.output:
+        Path(args.output).write_text(
+            body if body.endswith("\n") else body + "\n",
+            encoding="utf-8")
+        print(f"wrote debug bundles to {args.output}")
+        return 0
+    print(body, end="" if body.endswith("\n") else "\n")
+    return 0
+
+
 def cmd_worker(args) -> int:
     from repro.cluster.net import DEFAULT_MAX_FRAME, WorkerServer, \
         parse_address
@@ -747,6 +864,8 @@ COMMANDS = {
     "plan": cmd_plan,
     "e2e": cmd_e2e,
     "profile": cmd_profile,
+    "alerts": cmd_alerts,
+    "debug-bundle": cmd_debug_bundle,
     "worker": cmd_worker,
 }
 

@@ -273,6 +273,45 @@ class MetricsSnapshot:
 
 
 @dataclass(frozen=True)
+class RecordFeedback:
+    """Absorb one accuracy-feedback sample into the worker's own
+    :class:`~repro.obs.drift.DriftMonitor`.
+
+    ``sample`` is a picklable :class:`~repro.obs.drift.DriftSample`
+    already stamped by the driver's clock (bucketing follows the
+    stamp, so forwarding never shifts a sample between windows);
+    ``scopes`` restricts attribution — the driver keeps the
+    model/table/template scopes itself and forwards only the shard
+    scope, so every attribution key is fed from exactly one process and
+    the federated merge is lossless.
+    """
+
+    sample: object
+    scopes: tuple = ("shard",)
+
+
+@dataclass(frozen=True)
+class CollectDrift:
+    """Scrape the worker's own drift-monitor state.
+
+    Answered with a :class:`DriftSnapshot`; the driver merges worker
+    snapshots through :func:`repro.obs.drift.merge_drift_snapshot` into
+    the one ``/v1/drift`` view.  Untimed for the same reason as
+    :class:`CollectMetrics`: the shipped snapshot must match the
+    monitor bit-for-bit at scrape time.
+    """
+
+
+@dataclass(frozen=True)
+class DriftSnapshot:
+    """A worker's frozen drift-monitor state (the :class:`CollectDrift`
+    answer)."""
+
+    pid: int
+    snapshot: dict
+
+
+@dataclass(frozen=True)
 class Profile:
     """Sample the worker process's stacks for ``seconds`` at ``hz``
     (clamped worker-side; see :mod:`repro.obs.profile`).  The worker's

@@ -55,6 +55,7 @@ import numpy as np
 from repro.cluster.messages import (
     BatchProbe,
     CloneUpdate,
+    CollectDrift,
     CollectMetrics,
     CompactToken,
     FingerprintRequest,
@@ -63,11 +64,13 @@ from repro.cluster.messages import (
     ProbeItem,
     ProbeResult,
     Profile,
+    RecordFeedback,
     ReleaseTokens,
     ShardStatsRequest,
 )
 from repro.cluster.pool import DEFAULT_TIMEOUT, WorkerPool
 from repro.core.key_groups import query_key_groups
+from repro.obs.drift import DriftFederator, empty_drift_snapshot
 from repro.obs.federate import MetricsFederator
 from repro.obs.trace import capture_context, trace_span, use_context
 from repro.errors import (
@@ -583,6 +586,7 @@ class ClusterModel(ShardedFactorJoin):
         model._artifact_path = str(path)
         model._compact_after = compact_after
         model._federator = MetricsFederator()
+        model._drift_federator = DriftFederator()
         # hooks accumulate per model, so several cluster models can share
         # one pool and each reseeds its own tokens after a restart
         pool.add_restart_hook(model._reseed_worker)
@@ -675,6 +679,76 @@ class ClusterModel(ShardedFactorJoin):
             federator.absorb(worker_id, row.get("generation", 0),
                              reply.snapshot, labels)
         return federator.families()
+
+    def _shard_owners(self) -> dict[int, int]:
+        """``shard index -> owning worker id``, read from the token
+        ledgers (same re-homing caveat as :meth:`_shard_groups`)."""
+        owners: dict[int, int] = {}
+        for _token, ledger in self._ledgers.snapshot():
+            owners[ledger.shard_index] = (
+                ledger.worker_id if ledger.worker_id >= 0
+                else self._pool.owner_of(ledger.shard_index))
+        return owners
+
+    def absorb_drift(self, sample) -> tuple:
+        """Forward a feedback sample's shard-scope drift attribution to
+        the workers owning those shards (the serving layer's hook;
+        workers absorb with ``scopes=("shard",)`` so each attribution
+        key lives in exactly one process).
+
+        Returns the shard indices successfully delegated — the caller
+        absorbs any remainder (unowned shards, failed workers) locally,
+        so a dead worker degrades attribution locality, never loses the
+        sample.  Bucketing follows ``sample.at``, the driver's stamp,
+        so forwarding never shifts a sample between windows.
+        """
+        owners = self._shard_owners()
+        by_worker: dict[int, list] = {}
+        for shard in sample.shards:
+            owner = owners.get(shard)
+            if owner is not None:
+                by_worker.setdefault(owner, []).append(shard)
+        delegated: list = []
+        for worker_id in sorted(by_worker):
+            shards = tuple(sorted(by_worker[worker_id]))
+            message = RecordFeedback(
+                sample=_replace(sample, shards=shards))
+            try:
+                self._pool.call(worker_id, message, timeout=5.0)
+            except WorkerError:
+                continue
+            delegated.extend(shards)
+        return tuple(sorted(delegated))
+
+    def collect_drift(self) -> dict:
+        """The federated drift snapshot: every live worker answers a
+        ``CollectDrift`` RPC (5s timeout, like a metrics scrape) and the
+        snapshots merge under the same restart-safe semantics as
+        :meth:`collect_metrics` — a failed scrape serves last-known
+        state, a retired worker is forgotten.  The serving layer folds
+        the result into its own monitor's report, so ``GET /v1/drift``
+        is one merged view regardless of transport."""
+        federator = getattr(self, "_drift_federator", None)
+        if federator is None:
+            return empty_drift_snapshot()
+        description = self._pool.describe()
+        for row in description["workers"]:
+            worker_id = row["worker"]
+            if row["retired"]:
+                federator.forget(worker_id)
+                continue
+            if not row["alive"]:
+                federator.mark_unreachable(worker_id)
+                continue
+            try:
+                reply = self._pool.call(worker_id, CollectDrift(),
+                                        timeout=5.0)
+            except WorkerError:
+                federator.mark_unreachable(worker_id)
+                continue
+            federator.absorb(worker_id, row.get("generation", 0),
+                             reply.snapshot)
+        return federator.merged()
 
     def profile_worker(self, worker_id: int, seconds: float = 1.0,
                        hz: float = 99.0):

@@ -24,9 +24,11 @@ import time
 from repro.cluster.messages import (
     BatchProbe,
     CloneUpdate,
+    CollectDrift,
     CollectMetrics,
     CompactResult,
     CompactToken,
+    DriftSnapshot,
     FingerprintRequest,
     FitShardRequest,
     FitShardResult,
@@ -38,6 +40,7 @@ from repro.cluster.messages import (
     ProbeResult,
     Profile,
     ProfileResult,
+    RecordFeedback,
     ReleaseTokens,
     Reply,
     Request,
@@ -47,6 +50,7 @@ from repro.cluster.messages import (
     WorkerInfo,
 )
 from repro.errors import ReproError
+from repro.obs.drift import NULL_DRIFT, DriftMonitor
 from repro.obs.metrics import MetricsRegistry
 
 
@@ -111,13 +115,20 @@ class ShardWorker:
     registry bit-for-bit at scrape time.
     """
 
-    def __init__(self, store=None, metrics=None):
+    def __init__(self, store=None, metrics=None, drift=None):
         self._slots: dict[str, _Slot] = {}
         self.store = store
         self.probes = 0
         self.updates = 0
         self.fits = 0
         self.metrics = MetricsRegistry() if metrics is None else metrics
+        # shard-scope drift attribution for locally-owned shards; the
+        # driver forwards stamped samples via RecordFeedback and scrapes
+        # with CollectDrift (disabled alongside metrics so the overhead
+        # bench compares genuinely uninstrumented workers)
+        self.drift = (drift if drift is not None
+                      else (DriftMonitor() if self.metrics.enabled
+                            else NULL_DRIFT))
         self._handler_seconds = self.metrics.histogram(
             "repro_worker_handler_seconds",
             "Wall time handling each RPC message type, worker-side")
@@ -176,7 +187,7 @@ class ShardWorker:
     #: it stood (its own timing would land just after the snapshot and
     #: break bit-identity with the federated view), and a profile run
     #: blocks for seconds by design.
-    _UNTIMED = (CollectMetrics, Profile)
+    _UNTIMED = (CollectMetrics, CollectDrift, Profile)
 
     def handle(self, message):
         """Dispatch one message; returns the reply value or raises."""
@@ -299,6 +310,14 @@ class ShardWorker:
         return MetricsSnapshot(pid=os.getpid(),
                                snapshot=snapshot_registry(self.metrics))
 
+    def _record_feedback(self, message: RecordFeedback) -> bool:
+        self.drift.absorb(message.sample, scopes=message.scopes)
+        return True
+
+    def _collect_drift(self, message: CollectDrift) -> DriftSnapshot:
+        return DriftSnapshot(pid=os.getpid(),
+                             snapshot=self.drift.snapshot())
+
     def _profile(self, message: Profile) -> ProfileResult:
         from repro.obs.profile import profile_here
 
@@ -319,6 +338,8 @@ class ShardWorker:
         FitShardRequest: _fit_shard,
         CompactToken: _compact,
         CollectMetrics: _collect_metrics,
+        RecordFeedback: _record_feedback,
+        CollectDrift: _collect_drift,
         Profile: _profile,
     }
 

@@ -23,8 +23,8 @@ shared, dependency-free instrumentation surface:
   ``GET /v1/traces``) and optionally in a JSONL export file
   (``repro serve --trace-log FILE``, size-capped via rotation).
 - :mod:`repro.obs.export` — the Prometheus text exposition renderer and
-  a validating parser (the CI scrape check), plus the JSONL trace
-  exporter.
+  a validating parser (the CI scrape check), plus the JSONL trace and
+  alert-event exporters (shared size-capped rotation).
 - :mod:`repro.obs.federate` — **cross-process federation**: shard
   workers each run their own registry; a scrape-time ``CollectMetrics``
   RPC ships picklable snapshots to the driver, where they merge
@@ -39,6 +39,21 @@ shared, dependency-free instrumentation surface:
   (availability, latency, q-error) with rolling multi-window burn-rate
   gauges (``repro_slo_burn_rate``), served at ``GET /v1/slo`` and on
   ``/metrics``.
+- :mod:`repro.obs.drift` — **drift detection**: a
+  :class:`~repro.obs.drift.DriftMonitor` attributes every feedback
+  sample (q-error / P-error) per model, shard, table, and query
+  template, running a Page-Hinkley change detector per attribution key
+  over rolling windows; reports (``GET /v1/drift``,
+  ``repro_drift_score``) federate across cluster workers through a
+  ``CollectDrift`` RPC, bit-identically to in-process monitoring.
+- :mod:`repro.obs.alerts` — a declarative
+  :class:`~repro.obs.alerts.AlertRule` engine (threshold +
+  ``for_seconds`` hold, pending → firing → resolved state machine)
+  over SLO burn rates, drift scores, and registered metrics, served at
+  ``GET /v1/alerts`` with JSONL transition events.
+- :mod:`repro.obs.flight` — the **flight recorder**: bounded rings of
+  full debug bundles for the worst offenders by q-error and latency
+  (``GET /v1/debug/bundles``, ``repro debug-bundle``).
 
 Instrumentation is **always on and cheap**: spans are plain objects with
 two clock reads, metric updates are one dict operation under a short
@@ -47,10 +62,34 @@ lock, and the no-op twins (:data:`NULL_METRICS`, :data:`NULL_TRACER`,
 the overhead under its <5% QPS gate.
 """
 
+from repro.obs.alerts import (
+    NULL_ALERTS,
+    AlertEngine,
+    AlertRule,
+    NullAlertEngine,
+    default_alert_rules,
+)
+from repro.obs.drift import (
+    NULL_DRIFT,
+    DriftFederator,
+    DriftMonitor,
+    DriftReport,
+    DriftSample,
+    NullDriftMonitor,
+    empty_drift_snapshot,
+    merge_drift_snapshot,
+    template_of,
+)
 from repro.obs.export import (
+    JsonlEventExporter,
     JsonlTraceExporter,
     parse_prometheus_text,
     render_prometheus,
+)
+from repro.obs.flight import (
+    NULL_FLIGHT,
+    FlightRecorder,
+    NullFlightRecorder,
 )
 from repro.obs.federate import (
     MetricsFederator,
@@ -92,19 +131,36 @@ from repro.obs.trace import (
 
 __all__ = [
     "absorb_remote_spans",
+    "AlertEngine",
+    "AlertRule",
     "capture_context",
     "Counter",
     "current_trace_id",
+    "default_alert_rules",
+    "DriftFederator",
+    "DriftMonitor",
+    "DriftReport",
+    "DriftSample",
+    "empty_drift_snapshot",
     "empty_snapshot",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "JsonlEventExporter",
     "JsonlTraceExporter",
+    "merge_drift_snapshot",
     "merge_snapshot",
     "MetricsFederator",
     "MetricsRegistry",
+    "NULL_ALERTS",
+    "NULL_DRIFT",
+    "NULL_FLIGHT",
     "NULL_METRICS",
     "NULL_SLO",
     "NULL_TRACER",
+    "NullAlertEngine",
+    "NullDriftMonitor",
+    "NullFlightRecorder",
     "NullMetrics",
     "NullSloTracker",
     "NullTracer",
@@ -119,6 +175,7 @@ __all__ = [
     "snapshot_families",
     "snapshot_registry",
     "Span",
+    "template_of",
     "TraceLog",
     "trace_span",
     "Tracer",

@@ -225,15 +225,15 @@ def parse_prometheus_text(text: str) -> dict:
     return families
 
 
-class JsonlTraceExporter:
-    """Appends one JSON line per finished trace to a file
-    (``repro serve --trace-log FILE``).
+class _JsonlWriter:
+    """Append-only JSONL file with size-capped rotation — the shared
+    machinery behind the trace and alert-event exporters.
 
     With ``max_bytes`` set, the log rolls over before a write would
     exceed the limit: the current file is renamed to ``<path>.1``
     (replacing any previous rollover) and a fresh file is started, so
     disk usage stays bounded at roughly twice ``max_bytes`` with the
-    most recent traces always available.
+    most recent records always available.
     """
 
     def __init__(self, path: str, max_bytes: int | None = None):
@@ -242,9 +242,10 @@ class JsonlTraceExporter:
         self._lock = threading.Lock()
         self._fh = open(self.path, "a", encoding="utf-8")
 
-    def export(self, record) -> None:
-        line = json.dumps(record.to_json(), default=str,
-                          separators=(",", ":"))
+    def write_json(self, payload: dict) -> None:
+        """Append ``payload`` as one compact JSON line (rotating
+        first if the write would exceed ``max_bytes``)."""
+        line = json.dumps(payload, default=str, separators=(",", ":"))
         with self._lock:
             if (self.max_bytes is not None
                     and self._fh.tell() > 0
@@ -261,6 +262,8 @@ class JsonlTraceExporter:
         self._fh = open(self.path, "w", encoding="utf-8")
 
     def close(self) -> None:
+        """Flush and close the file (``repro serve`` calls this on
+        shutdown so SIGINT never drops buffered records)."""
         with self._lock:
             if not self._fh.closed:
                 self._fh.close()
@@ -271,3 +274,21 @@ class JsonlTraceExporter:
     def __exit__(self, exc_type, exc, tb):
         self.close()
         return False
+
+
+class JsonlTraceExporter(_JsonlWriter):
+    """Appends one JSON line per finished trace to a file
+    (``repro serve --trace-log FILE``); see :class:`_JsonlWriter` for
+    the rotation contract."""
+
+    def export(self, record) -> None:
+        self.write_json(record.to_json())
+
+
+class JsonlEventExporter(_JsonlWriter):
+    """Appends one JSON line per alert transition event to a file
+    (``repro serve --alert-log FILE``); same rotation contract as the
+    trace exporter."""
+
+    def export(self, event: dict) -> None:
+        self.write_json(event)

@@ -40,6 +40,15 @@ QERROR_BUCKETS = (1.0, 1.2, 1.5, 2.0, 3.0, 5.0, 10.0, 30.0, 100.0,
 
 _SIG_FIGS = 3
 
+#: Distinct label sets an instrument tracks before further new label
+#: sets collapse into the :data:`OVERFLOW_LABEL_KEY` child.  High-
+#: cardinality sources (per-template drift labels, adversarial label
+#: values) can therefore never grow the registry without bound.
+DEFAULT_MAX_LABEL_SETS = 512
+
+#: The label set absorbing past-cap arrivals.
+OVERFLOW_LABEL_KEY = (("label_overflow", "true"),)
+
 
 def quantize(value: float) -> float:
     """Quantize ``value`` to :data:`_SIG_FIGS` significant figures.
@@ -88,15 +97,33 @@ def _bucket_bound(buckets: tuple, value: float) -> float:
 
 
 class _Metric:
-    """Shared shape of every instrument: name, help text, label sets."""
+    """Shared shape of every instrument: name, help text, label sets.
+
+    Distinct label sets per instrument are capped at
+    ``max_label_sets``; once full, updates for *new* label sets land on
+    the single ``label_overflow="true"`` child and
+    ``dropped_label_sets`` counts how many were collapsed (exported as
+    ``repro_metric_dropped_label_sets_total``)."""
 
     kind = "untyped"
 
-    def __init__(self, name: str, help_text: str = ""):
+    def __init__(self, name: str, help_text: str = "",
+                 max_label_sets: int = DEFAULT_MAX_LABEL_SETS):
         self.name = name
         self.help = help_text
+        self.max_label_sets = int(max_label_sets)
+        self.dropped_label_sets = 0
         self._lock = threading.Lock()
         self._values: dict[tuple, object] = {}
+
+    def _admit(self, key: tuple) -> tuple:
+        """The label key an update should land on (callers hold the
+        metric lock): ``key`` itself while known or under the cap, the
+        overflow child once the cap is hit."""
+        if key in self._values or len(self._values) < self.max_label_sets:
+            return key
+        self.dropped_label_sets += 1
+        return OVERFLOW_LABEL_KEY
 
     def samples(self) -> list[tuple[dict, object]]:
         """Consistent ``(labels, value)`` snapshot (one lock hold)."""
@@ -113,6 +140,7 @@ class Counter(_Metric):
     def inc(self, amount: float = 1.0, **labels) -> None:
         key = _label_key(labels)
         with self._lock:
+            key = self._admit(key)
             self._values[key] = self._values.get(key, 0.0) + amount
 
     def value(self, **labels) -> float:
@@ -130,12 +158,15 @@ class Gauge(_Metric):
     kind = "gauge"
 
     def set(self, value: float, **labels) -> None:
+        key = _label_key(labels)
         with self._lock:
-            self._values[_label_key(labels)] = float(value)
+            key = self._admit(key)
+            self._values[key] = float(value)
 
     def inc(self, amount: float = 1.0, **labels) -> None:
         key = _label_key(labels)
         with self._lock:
+            key = self._admit(key)
             self._values[key] = self._values.get(key, 0.0) + amount
 
     def value(self, **labels) -> float:
@@ -185,14 +216,16 @@ class Histogram(_Metric):
     kind = "histogram"
 
     def __init__(self, name: str, help_text: str = "",
-                 buckets: tuple = LATENCY_BUCKETS):
-        super().__init__(name, help_text)
+                 buckets: tuple = LATENCY_BUCKETS,
+                 max_label_sets: int = DEFAULT_MAX_LABEL_SETS):
+        super().__init__(name, help_text, max_label_sets=max_label_sets)
         self.buckets = tuple(sorted(buckets))
 
     def observe(self, value: float, trace_id: str | None = None,
                 **labels) -> None:
         key = _label_key(labels)
         with self._lock:
+            key = self._admit(key)
             child = self._values.get(key)
             if child is None:
                 child = self._values[key] = _HistogramChild()
@@ -252,6 +285,7 @@ class Histogram(_Metric):
         """
         key = _label_key(labels)
         with self._lock:
+            key = self._admit(key)
             child = self._values.get(key)
             if child is None:
                 child = self._values[key] = _HistogramChild()
@@ -360,29 +394,38 @@ class MetricsRegistry:
     #: twin reports False; benches and tests branch on it).
     enabled = True
 
-    def counter(self, name: str, help_text: str = "") -> Counter:
-        return self._get_or_create(Counter, name, help_text)
+    def counter(self, name: str, help_text: str = "",
+                max_label_sets: int = DEFAULT_MAX_LABEL_SETS) -> Counter:
+        return self._get_or_create(Counter, name, help_text,
+                                   max_label_sets)
 
-    def gauge(self, name: str, help_text: str = "") -> Gauge:
-        return self._get_or_create(Gauge, name, help_text)
+    def gauge(self, name: str, help_text: str = "",
+              max_label_sets: int = DEFAULT_MAX_LABEL_SETS) -> Gauge:
+        return self._get_or_create(Gauge, name, help_text,
+                                   max_label_sets)
 
     def histogram(self, name: str, help_text: str = "",
-                  buckets: tuple = LATENCY_BUCKETS) -> Histogram:
+                  buckets: tuple = LATENCY_BUCKETS,
+                  max_label_sets: int = DEFAULT_MAX_LABEL_SETS
+                  ) -> Histogram:
         with self._lock:
             metric = self._metrics.get(name)
             if metric is None:
-                metric = Histogram(name, help_text, buckets=buckets)
+                metric = Histogram(name, help_text, buckets=buckets,
+                                   max_label_sets=max_label_sets)
                 self._metrics[name] = metric
         if not isinstance(metric, Histogram):
             raise ValueError(
                 f"metric {name!r} already registered as {metric.kind}")
         return metric
 
-    def _get_or_create(self, cls, name: str, help_text: str):
+    def _get_or_create(self, cls, name: str, help_text: str,
+                       max_label_sets: int = DEFAULT_MAX_LABEL_SETS):
         with self._lock:
             metric = self._metrics.get(name)
             if metric is None:
-                metric = cls(name, help_text)
+                metric = cls(name, help_text,
+                             max_label_sets=max_label_sets)
                 self._metrics[name] = metric
         if type(metric) is not cls:
             raise ValueError(
@@ -414,6 +457,15 @@ class MetricsRegistry:
             else:
                 families.append((metric.kind, metric.name, metric.help,
                                  metric.samples()))
+        dropped = [({"metric": metric.name},
+                    float(metric.dropped_label_sets))
+                   for metric in self.metrics()
+                   if metric.dropped_label_sets]
+        if dropped:
+            families.append((
+                "counter", "repro_metric_dropped_label_sets_total",
+                "Label sets collapsed into the label_overflow child "
+                "past an instrument's cardinality cap.", dropped))
         with self._lock:
             collectors = list(self._collectors)
         for collector in collectors:

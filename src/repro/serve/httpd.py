@@ -49,6 +49,21 @@ Versioned ``/v1`` routes (the supported API)
                             log, ``?limit=N``)
 ``GET /v1/slo``             declared objectives with lifetime outcome
                             totals and rolling multi-window burn rates
+``GET /v1/drift``           the merged drift report: per-key
+                            (model/shard/table/template) Page-Hinkley
+                            scores, stable/drifting/critical status,
+                            magnitude and onset, with federated worker
+                            snapshots folded in for cluster-backed
+                            models (``?top=N`` bounds the offender
+                            list)
+``GET /v1/alerts``          every alert rule with its current
+                            ok/pending/firing state, last evaluated
+                            value, and transition counts
+``GET /v1/debug/bundles``   the flight recorder's worst-offender debug
+                            bundles (``?kind=qerror|latency``,
+                            ``?limit=N``): request, estimate vs truth,
+                            per-shard attribution, span tree, cache
+                            counters
 ``GET /v1/profile``         wall-clock stack sampling: ``?seconds=&hz=``
                             profiles the serving process, ``&worker=N``
                             (with ``&model=`` when several are served)
@@ -256,6 +271,12 @@ class ServingHandler(BaseHTTPRequestHandler):
             self._dispatch_v1(lambda: self._get_v1_traces(params))
         elif path == "/v1/slo":
             self._dispatch_v1(self.service.slo_v1)
+        elif path == "/v1/drift":
+            self._dispatch_v1(lambda: self._get_v1_drift(params))
+        elif path == "/v1/alerts":
+            self._dispatch_v1(self.service.alerts_v1)
+        elif path == "/v1/debug/bundles":
+            self._dispatch_v1(lambda: self._get_v1_debug_bundles(params))
         elif path == "/v1/profile":
             if params.get("format") == "collapsed":
                 self._get_profile_collapsed(params)
@@ -381,6 +402,34 @@ class ServingHandler(BaseHTTPRequestHandler):
         return {"traces": traces, "slow": slow, "count": len(traces),
                 **self.service.tracer.log.describe(),
                 "api_version": API_VERSION}
+
+    def _get_v1_drift(self, params: dict) -> dict:
+        """The merged drift report (service monitor + federated worker
+        snapshots); ``?top=N`` bounds the top-offender list."""
+        try:
+            top = int(params.get("top", 10))
+        except ValueError:
+            raise ValueError("'top' must be an integer") from None
+        if top < 1:
+            raise ValueError("'top' must be >= 1")
+        return self.service.drift_v1(top=top)
+
+    def _get_v1_debug_bundles(self, params: dict) -> dict:
+        """The flight recorder's worst-offender bundles;
+        ``?kind=qerror|latency`` filters, ``?limit=N`` bounds the
+        page."""
+        kind = params.get("kind")
+        if kind is not None and kind not in ("qerror", "latency"):
+            raise ValueError("'kind' must be 'qerror' or 'latency'")
+        limit = params.get("limit")
+        if limit is not None:
+            try:
+                limit = int(limit)
+            except ValueError:
+                raise ValueError("'limit' must be an integer") from None
+            if limit < 1:
+                raise ValueError("'limit' must be >= 1")
+        return self.service.debug_bundles_v1(kind=kind, limit=limit)
 
     def _profile_request(self, params: dict) -> dict:
         """Parse and run one ``GET /v1/profile`` request: ``seconds=``,

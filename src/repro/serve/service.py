@@ -75,6 +75,17 @@ from repro.api import (
 )
 from repro.data.table import Table
 from repro.errors import DataError, UnsupportedOperationError
+from repro.obs.alerts import (
+    NULL_ALERTS,
+    AlertEngine,
+    default_alert_rules,
+)
+from repro.obs.drift import (
+    NULL_DRIFT,
+    DriftMonitor,
+    template_of,
+)
+from repro.obs.flight import NULL_FLIGHT, FlightRecorder
 from repro.obs.metrics import (
     QERROR_BUCKETS,
     Histogram,
@@ -174,12 +185,24 @@ class EstimationService:
         The :class:`~repro.obs.trace.Tracer` recording per-request span
         trees (a fresh one by default; pass
         :data:`~repro.obs.trace.NULL_TRACER` to disable tracing).
+    drift:
+        The :class:`~repro.obs.drift.DriftMonitor` attributing feedback
+        accuracy per model/shard/table/template (a fresh one by default
+        when metrics are enabled; tests inject fake-clock monitors).
+    alerts:
+        The :class:`~repro.obs.alerts.AlertEngine` evaluated by
+        :meth:`evaluate_alerts` (defaults to one loaded with
+        :func:`~repro.obs.alerts.default_alert_rules`).
+    flight:
+        The :class:`~repro.obs.flight.FlightRecorder` keeping
+        worst-offender debug bundles by q-error and latency.
     """
 
     def __init__(self, registry: ModelRegistry | None = None,
                  cache_size: int = 1024, subplan_reuse: bool = True,
                  subplan_cache_size: int | None = None,
-                 record_path=None, metrics=None, tracer=None):
+                 record_path=None, metrics=None, tracer=None,
+                 drift=None, alerts=None, flight=None):
         self.registry = registry if registry is not None else ModelRegistry()
         self.cache_size = cache_size
         self.subplan_reuse = subplan_reuse
@@ -261,6 +284,23 @@ class EstimationService:
                         f"{PLAN_QUALITY_THRESHOLD}x of the truecard-"
                         "oracle plan")
         self.metrics.register_collector(self.slo.collect)
+        # drift attribution, alerting, and the flight recorder ride the
+        # same enablement switch as the rest of the telemetry; each is
+        # injectable so tests (and the detection bench) drive them with
+        # fake clocks
+        self.drift = (drift if drift is not None
+                      else (DriftMonitor() if self.metrics.enabled
+                            else NULL_DRIFT))
+        self.alerts = (alerts if alerts is not None
+                       else (AlertEngine(rules=default_alert_rules())
+                             if self.metrics.enabled else NULL_ALERTS))
+        self.flight = (flight if flight is not None
+                       else (FlightRecorder() if self.metrics.enabled
+                             else NULL_FLIGHT))
+        self.metrics.register_collector(self._collect_drift_metrics)
+        self.metrics.register_collector(self.alerts.collect)
+        self._alert_ticker: threading.Thread | None = None
+        self._alert_ticker_stop: threading.Event | None = None
         self.started_at = time.time()
         self.registry.add_swap_listener(self._on_swap)
         if record_path is not None:
@@ -392,8 +432,35 @@ class EstimationService:
             except Exception:
                 self.slo.record("availability", False)
                 raise
-        return self._attach_trace(response, root,
-                                  want_tree=request.trace)
+        response = self._attach_trace(response, root,
+                                      want_tree=request.trace)
+        self._flight_latency(response, root)
+        return response
+
+    def _flight_latency(self, response: EstimateResponse, root) -> None:
+        """Offer a served estimate to the flight recorder's latency
+        ring; the bundle (with the request's span tree, popped from the
+        tracer if :meth:`_attach_trace` did not already) is assembled
+        only for admitted offenders."""
+        seconds = response.seconds
+        if seconds is None or not self.flight.admits("latency", seconds):
+            return
+        trace = response.trace
+        if trace is None and root is not None:
+            record = self.tracer.record_of(root)
+            if record is not None:
+                trace = record.to_json()
+        self.flight.record("latency", seconds, {
+            "sql": response.sql,
+            "model": response.model,
+            "version": response.version,
+            "estimate": response.estimate,
+            "seconds": seconds,
+            "cached": response.cached,
+            "cache_level": response.cache_level,
+            "trace_id": root.trace_id if root is not None else None,
+            "trace": trace,
+        })
 
     def _attach_trace(self, response: EstimateResponse, root,
                       want_tree: bool = False) -> EstimateResponse:
@@ -886,6 +953,29 @@ class EstimationService:
                                          trace_id=current_trace_id(),
                                          model=record.name)
                     self.slo.record_value("plan_quality", plan_error)
+                if self.drift.enabled:
+                    tables = tuple(sorted(
+                        {query.table_of(a) for a in query.aliases}))
+                    sample = self.drift.sample_of(
+                        record.name, "qerror", error, shards=shard_list,
+                        tables=tables, template=template_of(query))
+                    self._absorb_drift(record.model, sample)
+                    if plan_error is not None:
+                        self._absorb_drift(record.model, replace(
+                            sample, metric="perror", value=plan_error))
+            if self.flight.enabled and self.flight.admits("qerror", error):
+                self.flight.record("qerror", error, {
+                    "sql": query.to_sql(),
+                    "model": record.name,
+                    "version": record.version,
+                    "estimate": float(estimate),
+                    "true_cardinality": float(request.true_cardinality),
+                    "q_error": error,
+                    "p_error": plan_error,
+                    "shards": list(shard_list),
+                    "trace_id": current_trace_id(),
+                    "cache": self._cache_of(record.name).counters(),
+                })
             return FeedbackResponse(
                 model=record.name, version=record.version,
                 estimate=float(estimate),
@@ -917,6 +1007,156 @@ class EstimationService:
         truth = float(CardinalityExecutor(database).cardinality(parsed))
         return self.record_feedback(FeedbackRequest(
             query=parsed, true_cardinality=truth, model=model))
+
+    def _absorb_drift(self, model, sample) -> None:
+        """Route one stamped drift sample: shard-scope attribution is
+        delegated to the owning workers when the model is cluster-backed
+        (its ``absorb_drift`` hook), everything else — plus any shard a
+        worker could not take — is absorbed locally.  Each attribution
+        key therefore lives in exactly one process, which is what makes
+        the federated ``/v1/drift`` merge lossless."""
+        delegated = ()
+        hook = getattr(model, "absorb_drift", None)
+        if callable(hook) and sample.shards:
+            try:
+                delegated = tuple(hook(sample))
+            except Exception:
+                delegated = ()
+        if delegated:
+            sample = replace(sample, shards=tuple(
+                s for s in sample.shards if s not in delegated))
+        self.drift.absorb(sample)
+
+    def _drift_extras(self) -> list[dict]:
+        """Federated drift snapshots from every cluster-backed model's
+        ``collect_drift`` hook (one broken model degrades the view,
+        never kills it)."""
+        extras = []
+        for record in self.registry.records():
+            hook = getattr(record.model, "collect_drift", None)
+            if not callable(hook):
+                continue
+            try:
+                extras.append(hook())
+            except Exception:
+                continue
+        return extras
+
+    def drift_report(self, top: int = 10):
+        """The merged :class:`~repro.obs.drift.DriftReport` over the
+        service's own monitor plus every cluster-backed model's
+        federated worker snapshots — one view regardless of where the
+        attribution keys live."""
+        return self.drift.report(extra=self._drift_extras(), top=top)
+
+    def drift_v1(self, top: int = 10) -> dict:
+        """The ``GET /v1/drift`` body: per-status counts, the ``top``
+        worst offenders, and every attribution key's score, status,
+        magnitude, and onset (see :mod:`repro.obs.drift`)."""
+        from repro.api import API_VERSION
+
+        return {"api_version": API_VERSION,
+                **self.drift_report(top=top).to_json()}
+
+    def alerts_v1(self) -> dict:
+        """The ``GET /v1/alerts`` body: every alert rule with its
+        current state, last evaluated value, and transition counts (see
+        :mod:`repro.obs.alerts`)."""
+        from repro.api import API_VERSION
+
+        return {"api_version": API_VERSION, **self.alerts.snapshot()}
+
+    def debug_bundles_v1(self, kind: str | None = None,
+                         limit: int | None = None) -> dict:
+        """The ``GET /v1/debug/bundles`` body: the flight recorder's
+        worst-offender bundles (``kind`` of ``qerror`` / ``latency``,
+        or both), worst first, plus occupancy counts."""
+        from repro.api import API_VERSION
+
+        return {"api_version": API_VERSION,
+                "recorder": self.flight.describe(),
+                "bundles": self.flight.bundles(kind=kind, limit=limit)}
+
+    def _resolve_signal(self, spec: str, report) -> float | None:
+        """Resolve one alert-rule signal spec against the service's
+        telemetry (see :mod:`repro.obs.alerts` for the grammar);
+        ``report`` is this tick's drift report, computed once."""
+        kind, _, rest = spec.partition(":")
+        if kind == "slo_burn":
+            name, _, window = rest.partition(":")
+            for label, width in self.slo.windows:
+                if label == window:
+                    try:
+                        return float(self.slo.burn_rate(name, width))
+                    except KeyError:
+                        return None
+            return None
+        if kind == "drift":
+            counts = report.counts
+            if rest == "critical":
+                return float(counts["critical"])
+            if rest == "drifting":
+                return float(counts["drifting"] + counts["critical"])
+            if rest == "max_score":
+                return float(report.max_score())
+            return None
+        if kind == "metric":
+            for metric in self.metrics.metrics():
+                if metric.name != rest:
+                    continue
+                if isinstance(metric, Histogram):
+                    count, _total, _low, _high, _counts = \
+                        metric.snapshot()
+                    return float(count)
+                return float(sum(value for _labels, value
+                                 in metric.samples()))
+            return None
+        return None
+
+    def evaluate_alerts(self) -> list[dict]:
+        """Run one alert-engine evaluation tick against the current SLO
+        burn rates, the merged drift report, and registered metrics;
+        returns (and exports) this tick's firing/resolved transition
+        events.  The serving loop drives this via
+        :meth:`start_alert_ticker`; tests call it directly under a fake
+        clock."""
+        if not self.alerts.enabled:
+            return []
+        report = self.drift_report()
+        return self.alerts.evaluate(
+            lambda spec: self._resolve_signal(spec, report))
+
+    def start_alert_ticker(self, interval: float = 5.0) -> None:
+        """Start the background daemon thread evaluating alerts every
+        ``interval`` seconds (idempotent; no-op when alerting is
+        disabled).  ``repro serve`` starts one and stops it on
+        shutdown."""
+        if not self.alerts.enabled or self._alert_ticker is not None:
+            return
+        stop = threading.Event()
+
+        def _tick() -> None:
+            while not stop.wait(interval):
+                try:
+                    self.evaluate_alerts()
+                except Exception:
+                    continue
+
+        ticker = threading.Thread(target=_tick, name="repro-alert-ticker",
+                                  daemon=True)
+        self._alert_ticker = ticker
+        self._alert_ticker_stop = stop
+        ticker.start()
+
+    def stop_alert_ticker(self) -> None:
+        """Stop the background alert ticker, if one is running."""
+        ticker, stop = self._alert_ticker, self._alert_ticker_stop
+        self._alert_ticker = None
+        self._alert_ticker_stop = None
+        if stop is not None:
+            stop.set()
+        if ticker is not None:
+            ticker.join(timeout=5.0)
 
     # -- cache snapshots -------------------------------------------------------
 
@@ -1114,6 +1354,14 @@ class EstimationService:
             except Exception:  # one broken model must not kill /metrics
                 continue
         return families
+
+    def _collect_drift_metrics(self):
+        """Scrape-time collector: ``repro_drift_*`` families from the
+        merged drift report (the service's own monitor plus federated
+        worker snapshots), so ``/metrics`` and ``/v1/drift`` agree."""
+        if not self.drift.enabled:
+            return []
+        return self.drift_report().families()
 
     def stats(self) -> dict:
         """Legacy JSON serving statistics (the ``GET /stats`` shim);

@@ -1,0 +1,236 @@
+"""Drift federation across the cluster stack: shard-scope attribution
+routed to TCP workers, bit-identical federated snapshots vs in-process
+monitoring, and the end-to-end acceptance path — a seeded STATS
+workload with an injected shift drives the DriftReport, the
+drift-critical alert, and the flight recorder identically through a
+2-worker TCP cluster's ``GET /v1/drift``."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.api import FeedbackRequest
+from repro.core.estimator import FactorJoinConfig
+from repro.obs import (
+    AlertEngine,
+    DriftMonitor,
+    FlightRecorder,
+    default_alert_rules,
+)
+from repro.obs.federate import snapshot_registry
+from repro.serve import EstimationService, serve_in_background
+from repro.shard import ShardedFactorJoin
+from tests.test_cluster_model import QUERIES, _fit_sharded
+from tests.test_cluster_tcp import tcp_cluster
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::pytest.PytestUnraisableExceptionWarning")
+
+
+class FakeClock:
+    def __init__(self, at=0.0):
+        self.at = at
+
+    def __call__(self):
+        return self.at
+
+    def advance(self, seconds):
+        self.at += seconds
+
+
+@pytest.fixture(scope="module")
+def artifact(tmp_path_factory):
+    from tests.conftest import build_toy_db
+
+    db = build_toy_db(seed=3)
+    path = tmp_path_factory.mktemp("drift-cluster") / "ensemble"
+    _fit_sharded(db).save(path)
+    return str(path), db
+
+
+def _service(model, clock, rules=()):
+    service = EstimationService(
+        drift=DriftMonitor(clock=clock),
+        alerts=AlertEngine(rules=rules, clock=clock),
+        flight=FlightRecorder())
+    service.register("m", model)
+    return service
+
+
+def _truth_of(db, query):
+    from repro.engine.executor import CardinalityExecutor
+    from repro.sql import parse_query
+
+    return float(CardinalityExecutor(db).cardinality(parse_query(query)))
+
+
+class TestShardQerrorFederation:
+    def test_tcp_feedback_lands_the_in_process_shard_labels(
+            self, artifact, tmp_path):
+        """Satellite gate: ground-truth feedback against a TCP-backed
+        cluster records the same ``repro_shard_qerror`` label sets —
+        same shards, bit-identical quantized count maps — as the same
+        feedback against the in-process ensemble, and the drift
+        monitors (worker-held shard keys federated back vs all-local)
+        report identically."""
+        path, db = artifact
+        clock = FakeClock()
+        with tcp_cluster(path, tmp_path / "store") as (cluster, _, _):
+            local = _service(_fit_sharded(db), clock)
+            remote = _service(cluster, clock)
+            for sql in QUERIES:
+                truth = _truth_of(db, sql)
+                clock.advance(1.0)
+                mine = local.record_feedback(FeedbackRequest(
+                    query=sql, true_cardinality=truth))
+                theirs = remote.record_feedback(FeedbackRequest(
+                    query=sql, true_cardinality=truth))
+                assert theirs.estimate == mine.estimate
+                assert theirs.shards == mine.shards
+                assert theirs.q_error == mine.q_error
+
+            mine, theirs = (
+                snapshot_registry(service.metrics)["histograms"][
+                    "repro_shard_qerror"]["children"]
+                for service in (local, remote))
+            assert theirs.keys() == mine.keys()
+            assert {("shard", s) for s in range(3)} <= \
+                {pair for key in mine for pair in key}
+            for key, child in mine.items():
+                assert theirs[key][4] == child[4]  # quantized counts
+                assert theirs[key][0] == child[0]
+
+            assert remote.drift_v1() == local.drift_v1()
+            # the shard keys really live on the workers, not the driver
+            driver_scopes = {key[0] for key
+                             in remote.drift.snapshot()["keys"]}
+            assert "shard" not in driver_scopes
+            federated_scopes = {key[0] for key
+                                in cluster.collect_drift()["keys"]}
+            assert federated_scopes == {"shard"}
+
+
+class TestDriftAcceptance:
+    def test_injected_shift_reports_identically_through_tcp(
+            self, tmp_path):
+        """The acceptance gate: a seeded STATS workload with an
+        injected update-driven shift on one query's tables produces a
+        DriftReport attributing drift to the touched shards and tables,
+        fires the drift-critical alert after its hold window, captures
+        the offending queries in the flight recorder — and reports
+        identically through a 2-worker TCP cluster's federated
+        ``GET /v1/drift``, fake clock throughout."""
+        from repro.eval.harness import make_context
+
+        ctx = make_context("stats", scale=0.1, seed=0, max_tables=4)
+        sharded = ShardedFactorJoin(
+            FactorJoinConfig(n_bins=8, table_estimator="truescan",
+                             seed=0),
+            n_shards=4, parallel="serial").fit(ctx.database)
+        path = tmp_path / "stats-ensemble"
+        sharded.save(path)
+        clock = FakeClock()
+        with tcp_cluster(str(path), tmp_path / "store",
+                         n_servers=2) as (cluster, _, _):
+            local = _service(sharded, clock,
+                             rules=default_alert_rules())
+            remote = _service(cluster, clock,
+                              rules=default_alert_rules())
+            services = (local, remote)
+            queries = ctx.workload[:10]
+            drifted = queries[0]
+            drifted_tables = sorted(
+                {drifted.table_of(a) for a in drifted.aliases})
+
+            def feed(query, inflate=1.0):
+                clock.advance(1.0)
+                est = local.estimate(query, model="m").estimate
+                truth = max(est, 1.0) * inflate
+                responses = [
+                    service.record_feedback(FeedbackRequest(
+                        query=query, true_cardinality=truth,
+                        estimate=est, model="m"))
+                    for service in services]
+                assert responses[1].shards == responses[0].shards
+                return responses[0]
+
+            # stable prefix: every query at q-error ~1, the soon-to-
+            # drift query often enough to establish its baseline
+            for _ in range(16):
+                feed(drifted)
+            for query in queries[1:]:
+                for _ in range(2):
+                    feed(query)
+            for service in services:
+                report = service.drift_report()
+                assert report.counts["drifting"] == 0
+                assert report.counts["critical"] == 0
+                assert service.evaluate_alerts() == []
+
+            # the injected shift: updates landed on the drifted query's
+            # tables, so its truth now dwarfs the stale estimates; the
+            # clock jump pushes the stable prefix out of the "recent"
+            # window so the report's magnitude isolates the shift
+            clock.advance(400.0)
+            drift_shards = set()
+            for _ in range(12):
+                drift_shards.update(feed(drifted, inflate=60.0).shards)
+
+            report = local.drift_report()
+            critical = {(e["scope"], e["key"]) for e in report.entries
+                        if e["status"] == "critical"}
+            assert ("model", "") in critical
+            for table in drifted_tables:
+                assert ("table", table) in critical
+            assert drift_shards
+            for shard in drift_shards:
+                assert ("shard", str(shard)) in critical
+            # untouched attribution keys stay stable
+            for entry in report.entries:
+                if entry["scope"] == "shard" and \
+                        int(entry["key"]) not in drift_shards:
+                    assert entry["status"] == "stable"
+                if entry["scope"] == "table" and \
+                        entry["key"] not in drifted_tables:
+                    assert entry["status"] == "stable"
+            worst = report.top(1)[0]
+            assert worst["onset"] is not None
+            assert worst["magnitude"] > 5.0
+
+            # the drift-critical alert: pending on first sight of the
+            # critical key, firing once the hold window has passed
+            for service in services:
+                assert service.evaluate_alerts() == []
+                snap = service.alerts_v1()
+                state = {a["name"]: a["state"] for a in snap["alerts"]}
+                assert state["drift-critical"] == "pending"
+            clock.advance(61.0)
+            for service in services:
+                events = service.evaluate_alerts()
+                assert [e["event"] for e in events] == ["firing"]
+                assert events[0]["rule"] == "drift-critical"
+                assert service.alerts_v1()["firing"] == 1
+
+            # the flight recorder holds the offending query, worst first
+            for service in services:
+                bundles = service.flight.bundles("qerror")
+                assert bundles
+                assert bundles[0]["score"] == pytest.approx(60.0)
+                assert bundles[0]["bundle"]["sql"] == drifted.to_sql()
+                assert bundles[0]["bundle"]["shards"] == \
+                    sorted(drift_shards)
+
+            # federated /v1/drift over HTTP == the in-process report
+            want = json.loads(json.dumps(local.drift_v1(top=5)))
+            httpd, _ = serve_in_background(remote, port=0)
+            try:
+                host, port = httpd.server_address[:2]
+                with urllib.request.urlopen(
+                        f"http://{host}:{port}/v1/drift?top=5",
+                        timeout=30) as resp:
+                    got = json.loads(resp.read())
+            finally:
+                httpd.shutdown()
+                httpd.server_close()
+            assert got == want

@@ -198,6 +198,49 @@ class TestParserRejections:
             parse_prometheus_text("# TYPE a gauge\na one\n")
 
 
+class TestLabelCardinalityCap:
+    def test_past_cap_label_sets_collapse_into_overflow_child(self):
+        registry = MetricsRegistry()
+        c = registry.counter("c_total", "caps", max_label_sets=3)
+        for i in range(10):
+            c.inc(query=f"q{i}")
+        assert c.dropped_label_sets == 7
+        samples = dict((tuple(sorted(labels.items())), value)
+                       for labels, value in c.samples())
+        assert len(samples) == 4  # 3 admitted + the overflow child
+        assert samples[(("label_overflow", "true"),)] == 7.0
+        # existing label sets keep updating after the cap is hit
+        c.inc(query="q0")
+        assert c.value(query="q0") == 2.0
+        assert c.dropped_label_sets == 7
+
+    def test_histogram_overflow_keeps_observations(self):
+        h = Histogram("h", max_label_sets=2)
+        for i in range(5):
+            h.observe(1.0, op=f"op{i}")
+        assert h.snapshot()[0] == 5  # nothing lost, only relabeled
+        assert h.dropped_label_sets == 3
+        overflow = h.snapshot({"label_overflow": "true"})
+        assert overflow[0] == 3
+
+    def test_dropped_family_lands_in_the_scrape(self):
+        registry = MetricsRegistry()
+        g = registry.gauge("g", "gauges", max_label_sets=1)
+        g.set(1.0, shard="0")
+        g.set(2.0, shard="1")
+        text = registry.render_prometheus()
+        assert ('repro_metric_dropped_label_sets_total{metric="g"} 1'
+                in text)
+        assert 'label_overflow="true"' in text
+        parse_prometheus_text(text)
+
+    def test_uncapped_registry_scrapes_without_the_family(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "c").inc(model="m")
+        assert ("repro_metric_dropped_label_sets_total"
+                not in registry.render_prometheus())
+
+
 class TestNullMetrics:
     def test_same_surface_zero_state(self):
         h = NULL_METRICS.histogram("x")

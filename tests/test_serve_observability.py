@@ -246,3 +246,97 @@ class TestAccuracyTelemetry:
         service.record_feedback(FeedbackRequest(query=SQL,
                                                 true_cardinality=10.0))
         assert service.stop_recording() == 0
+
+
+class TestDriftEndpoints:
+    def test_feedback_feeds_drift_and_the_v1_route(self, served):
+        server, service, _ = served
+        est = _post(server, "/estimate", {"sql": SQL})["estimate"]
+        for _ in range(12):
+            _post(server, "/v1/feedback",
+                  {"sql": SQL, "true_cardinality": max(est, 1.0)})
+        body = _get(server, "/v1/drift?top=3")
+        assert body["api_version"] == "v1"
+        assert body["samples"] > 0
+        assert set(body["counts"]) == {"stable", "drifting", "critical"}
+        scopes = {entry["scope"] for entry in body["keys"]}
+        assert {"model", "table", "template"} <= scopes
+        by_scope = {e["scope"]: e for e in body["keys"]}
+        assert by_scope["model"]["model"] == "default"
+        assert by_scope["table"]["key"] in ("A", "B")
+        text = _get_raw(server, "/metrics")[2]
+        families = parse_prometheus_text(text)
+        assert families["repro_drift_score"]["type"] == "gauge"
+        assert families["repro_drift_state"]["type"] == "gauge"
+
+    def test_v1_drift_rejects_bad_top(self, served):
+        server, _, _ = served
+        with pytest.raises(urllib.error.HTTPError) as info:
+            _get(server, "/v1/drift?top=0")
+        assert info.value.code == 400
+
+
+class TestAlertEndpoints:
+    def test_v1_alerts_lists_the_stock_rules(self, served):
+        server, service, _ = served
+        service.evaluate_alerts()
+        body = _get(server, "/v1/alerts")
+        assert body["api_version"] == "v1"
+        names = {a["name"] for a in body["alerts"]}
+        assert names == {"availability-fast-burn", "latency-fast-burn",
+                         "qerror-fast-burn", "drift-critical"}
+        assert body["firing"] == 0
+        assert all(a["state"] == "ok" for a in body["alerts"])
+        text = _get_raw(server, "/metrics")[2]
+        families = parse_prometheus_text(text)
+        samples = families["repro_alert_state"]["samples"]
+        assert {labels["rule"] for _n, labels, _v in samples} == names
+
+    def test_ticker_lifecycle_is_idempotent(self, served):
+        _, service, _ = served
+        service.start_alert_ticker(interval=30.0)
+        first = service._alert_ticker
+        service.start_alert_ticker(interval=30.0)
+        assert service._alert_ticker is first
+        service.stop_alert_ticker()
+        assert service._alert_ticker is None
+        service.stop_alert_ticker()  # no-op
+
+
+class TestFlightRecorder:
+    def test_keeps_only_the_worst_offenders(self):
+        from repro.obs import FlightRecorder
+
+        recorder = FlightRecorder(capacity=2)
+        for score in (3.0, 1.0, 7.0, 2.0):
+            if recorder.admits("qerror", score):
+                recorder.record("qerror", score, {"score": score})
+        kept = recorder.bundles("qerror")
+        assert [b["score"] for b in kept] == [7.0, 3.0]
+        described = recorder.describe()
+        assert described["kinds"]["qerror"]["kept"] == 2
+
+    def test_v1_debug_bundles_carries_feedback_offenders(self, served):
+        server, _, _ = served
+        est = _post(server, "/estimate", {"sql": SQL})["estimate"]
+        _post(server, "/v1/feedback",
+              {"sql": SQL, "true_cardinality": max(est * 100.0, 1.0)})
+        body = _get(server, "/v1/debug/bundles?kind=qerror")
+        assert body["api_version"] == "v1"
+        assert body["bundles"]
+        worst = body["bundles"][0]
+        assert worst["kind"] == "qerror"
+        bundle = worst["bundle"]
+        assert bundle["model"] == "default"
+        assert bundle["q_error"] == pytest.approx(worst["score"])
+        assert bundle["sql"]
+        latency = _get(server, "/v1/debug/bundles?kind=latency")
+        for row in latency["bundles"]:
+            assert row["bundle"]["trace"]["root"]["name"] == \
+                "request.estimate"
+
+    def test_v1_debug_bundles_rejects_unknown_kind(self, served):
+        server, _, _ = served
+        with pytest.raises(urllib.error.HTTPError) as info:
+            _get(server, "/v1/debug/bundles?kind=everything")
+        assert info.value.code == 400
